@@ -1,0 +1,83 @@
+// Ablation / future-work demo: the paper's §6 roadmap — "adjust the
+// allocation of cores ... in response to real-time resource utilization" —
+// implemented as an observe-analyze-refine loop and run on the simulated
+// gateway.
+//
+// Starting from Table 3's worst configuration (A: 8 compression / 4
+// decompression threads, ~37 Gbps), the BottleneckAdvisor reads each run's
+// per-stage utilization, grows the saturated stage, and regenerates the
+// plan, converging to the neighbourhood of the best hand-tuned
+// configuration (F/G, ~90 Gbps) in a handful of iterations with no workload
+// knowledge.
+#include "bench/bench_util.h"
+#include "core/advisor.h"
+#include "core/config_generator.h"
+#include "simrt/driver.h"
+
+using namespace numastream;
+using namespace numastream::bench;
+using namespace numastream::simrt;
+
+int main() {
+  print_header("Ablation - adaptive tuning loop (the paper's future work, §6)",
+               "observe-analyze-refine converges from config A (~37 Gbps) to "
+               "the best region (~90 Gbps) automatically");
+
+  const MachineTopology lynx = lynxdtn_topology();
+  const std::vector<MachineTopology> senders = {updraft_topology("updraft1")};
+  ConfigGenerator generator(lynx, senders);
+
+  // Table 3 config A: the paper's end-to-end baseline.
+  WorkloadSpec spec;
+  spec.num_streams = 1;
+  spec.compression_threads = 8;
+  spec.transfer_threads = 8;
+  spec.decompression_threads = 4;
+
+  ExperimentOptions options;
+  options.link.bandwidth_gbps = 100;
+  options.source_gbps = 100;
+  options.chunks_per_stream = 300;
+
+  // A larger headroom makes convergence geometric rather than incremental:
+  // each refinement sizes the bottleneck stage for 1.4x the current load.
+  BottleneckAdvisor advisor(AdvisorOptions{.headroom = 1.4});
+  TextTable table({"iter", "C", "S/R", "D", "e2e (Gbps)", "advisor verdict"});
+
+  double first = 0;
+  double last = 0;
+  for (int iteration = 0; iteration < 15; ++iteration) {
+    auto plan = generator.generate(spec, PlacementStrategy::kNumaAware);
+    NS_CHECK(plan.ok(), "adaptive plan generation failed");
+    auto result = run_plan(senders, lynx, plan.value(), options);
+    NS_CHECK(result.ok(), "adaptive run failed");
+    last = result.value().e2e_gbps;
+    if (iteration == 0) {
+      first = last;
+    }
+
+    const AdvisorReport report = advisor.analyze(result.value().observation);
+    table.add_row({std::to_string(iteration), std::to_string(spec.compression_threads),
+                   std::to_string(spec.transfer_threads),
+                   std::to_string(spec.decompression_threads), fmt_double(last, 1),
+                   report.rationale});
+    if (report.bottleneck == StageKind::kNone) {
+      break;  // externally limited: converged
+    }
+    spec = advisor.refine(spec, report);
+    // Respect the generator's physical budgets (it clamps compression to the
+    // sender's cores; transfer threads must fit the NIC domain).
+    spec.transfer_threads = std::min(spec.transfer_threads, 16);
+    spec.decompression_threads = std::min(spec.decompression_threads, 16);
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("converged: %.1f -> %.1f Gbps (%.2fx)\n\n", first, last, last / first);
+
+  shape_check("starts at the paper's config-A baseline (~37 Gbps)",
+              near_factor(first, 37.0, 0.12));
+  shape_check("converges to the best-configuration region (~90 Gbps)",
+              near_factor(last, 90.0, 0.10));
+  shape_check("overall gain matches the paper's 2.6x hand-tuned headline",
+              near_factor(last / first, 2.6, 0.12));
+  return finish();
+}

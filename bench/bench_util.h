@@ -1,0 +1,51 @@
+// Shared plumbing for the figure benches.
+//
+// Every fig* binary reproduces one table or figure from the paper's
+// evaluation: it runs the simulated experiment, prints the series next to
+// the values the paper reports, and evaluates explicit SHAPE checks (who
+// wins, by what factor, where the crossover falls). Benches exit nonzero if
+// a shape check fails, so `for b in build/bench/*; do $b; done` doubles as a
+// reproduction regression suite.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "metrics/table.h"
+
+namespace numastream::bench {
+
+inline int g_failed_checks = 0;
+
+inline void print_header(const std::string& figure, const std::string& claim) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper: %s\n", claim.c_str());
+  std::printf("==========================================================\n");
+}
+
+/// Records and prints one shape assertion.
+inline void shape_check(const std::string& what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "FAIL", what.c_str());
+  if (!ok) {
+    ++g_failed_checks;
+  }
+}
+
+/// "x within rel of y" helper for factor comparisons.
+inline bool near_factor(double measured, double expected, double rel) {
+  return measured >= expected * (1 - rel) && measured <= expected * (1 + rel);
+}
+
+inline int finish() {
+  if (g_failed_checks > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_failed_checks);
+    return 1;
+  }
+  std::printf("\nall shape checks passed\n");
+  return 0;
+}
+
+}  // namespace numastream::bench

@@ -1,0 +1,57 @@
+// Figure 5: receiver-side throughput as the number of streaming processes
+// varies across NUMA domains (200 Gbps NIC attached to NUMA 1).
+//
+// Paper's findings: (1) throughput rises with process/core count toward
+// 190+ Gbps; (2) pinning all streaming processes to NUMA 1 yields an average
+// ~15% gain over NUMA 0.
+#include "bench/bench_util.h"
+#include "bench/netonly_rig.h"
+
+using namespace numastream;
+using namespace numastream::bench;
+
+int main() {
+  print_header("Figure 5 - streaming processes vs NUMA domain (200G NIC on NUMA 1)",
+               "throughput rises with #p, saturates 190+ Gbps; N1 placement ~15% "
+               "above N0");
+
+  TextTable table({"#p", "cores", "N0 (Gbps)", "N1 (Gbps)", "N0,1 (Gbps)", "N1/N0"});
+  double low_p_gain_sum = 0;
+  int low_p_count = 0;
+  double n0_saturated = 0;
+  double n1_saturated = 0;
+  double split_saturated = 0;
+
+  for (const int p : {2, 4, 8, 16, 32, 64, 128}) {
+    const int cores = std::min(p, 16);
+    const NetOnlyResult n0 = run_network_only(p, cores_n0(cores));
+    const NetOnlyResult n1 = run_network_only(p, cores_n1(cores));
+    const NetOnlyResult split = run_network_only(p, cores_split(std::min(p, 32)));
+    table.add_row({std::to_string(p), std::to_string(cores),
+                   fmt_double(n0.receiver_gbps, 1), fmt_double(n1.receiver_gbps, 1),
+                   fmt_double(split.receiver_gbps, 1),
+                   fmt_double(n1.receiver_gbps / n0.receiver_gbps, 3)});
+    if (p <= 4) {
+      low_p_gain_sum += n1.receiver_gbps / n0.receiver_gbps;
+      ++low_p_count;
+    }
+    if (p >= 16) {
+      n0_saturated = n0.receiver_gbps;
+      n1_saturated = n1.receiver_gbps;
+      split_saturated = split.receiver_gbps;
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double mean_gain = low_p_gain_sum / low_p_count;
+  shape_check("throughput grows with process count and saturates",
+              n1_saturated > 150.0);
+  shape_check("NUMA 1 placement reaches the paper's 190+ Gbps",
+              n1_saturated >= 190.0);
+  shape_check("NUMA 1 beats NUMA 0 by ~15% (paper: average 15%)",
+              near_factor(mean_gain, 1.15, 0.05) &&
+                  n1_saturated / n0_saturated >= 1.10);
+  shape_check("split placement lands between N0 and N1 at saturation",
+              split_saturated >= n0_saturated && split_saturated <= n1_saturated * 1.01);
+  return finish();
+}

@@ -1,0 +1,71 @@
+// Figure 7: average normalized remote-memory (NUMA) access bandwidth per
+// CPU core during the streaming experiments.
+//
+// The paper's point: with the NIC on NUMA 1, receive threads pinned to
+// NUMA 0 generate heavy remote access (every packet read crosses the
+// interconnect), while threads on NUMA 1 generate essentially none — the
+// mechanism behind Figure 5's throughput gap.
+#include "bench/bench_util.h"
+#include "bench/netonly_rig.h"
+
+using namespace numastream;
+using namespace numastream::bench;
+
+int main() {
+  print_header("Figure 7 - normalized remote memory access per core",
+               "remote access concentrates on NUMA 0 receive cores; NUMA 1 "
+               "placement shows none");
+
+  struct FigConfig {
+    std::string label;
+    int processes;
+    std::vector<int> cores;
+  };
+  const std::vector<FigConfig> configs = {
+      {"16P_16c_N0", 16, cores_n0(16)},
+      {"16P_16c_N1", 16, cores_n1(16)},
+      {"32P_32c_N01", 32, cores_split(32)},
+  };
+
+  TextTable table({"core", configs[0].label, configs[1].label, configs[2].label});
+  std::vector<NetOnlyResult> results;
+  results.reserve(configs.size());
+  for (const auto& config : configs) {
+    results.push_back(run_network_only(config.processes, config.cores));
+  }
+  for (int core = 0; core < 32; ++core) {
+    std::vector<std::string> row = {std::to_string(core)};
+    for (const auto& result : results) {
+      row.push_back(fmt_double(
+          result.normalized_remote[static_cast<std::size_t>(core)], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+
+  double n0_config_remote_on_n0_cores = 0;
+  double n1_config_remote_total = 0;
+  for (int core = 0; core < 16; ++core) {
+    n0_config_remote_on_n0_cores +=
+        results[0].normalized_remote[static_cast<std::size_t>(core)];
+  }
+  for (int core = 0; core < 32; ++core) {
+    n1_config_remote_total +=
+        results[1].normalized_remote[static_cast<std::size_t>(core)];
+  }
+  double split_remote_n0 = 0;
+  double split_remote_n1 = 0;
+  for (int core = 0; core < 16; ++core) {
+    split_remote_n0 += results[2].normalized_remote[static_cast<std::size_t>(core)];
+    split_remote_n1 +=
+        results[2].normalized_remote[static_cast<std::size_t>(core + 16)];
+  }
+
+  shape_check("N0 placement: every N0 receive core shows heavy remote access",
+              n0_config_remote_on_n0_cores > 12.0);
+  shape_check("N1 placement: remote access is absent",
+              n1_config_remote_total < 0.01);
+  shape_check("split placement: remote access only on the N0 half",
+              split_remote_n0 > 6.0 && split_remote_n1 < 0.01);
+  return finish();
+}

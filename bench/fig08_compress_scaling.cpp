@@ -1,0 +1,95 @@
+// Figure 8 (+ Table 1): compression throughput vs number of compression
+// threads for configurations A-H, plus the Fig. 8b core-usage view.
+//
+// Paper's findings (Observation 2): throughput scales linearly with threads
+// up to the core count of the execution domain; beyond that, single-domain
+// configurations (A-D) stall around half of what cross-domain configurations
+// (E-H) reach at 32+ threads, and neither the data's memory domain nor the
+// execution domain changes compression speed.
+#include "bench/bench_util.h"
+#include "bench/codec_rig.h"
+#include "metrics/core_usage.h"
+
+using namespace numastream;
+using namespace numastream::bench;
+
+int main() {
+  print_header(
+      "Figure 8a / Table 1 - compression throughput vs threads (configs A-H)",
+      "linear scaling up to the domain's core count; A-D stall at 16 cores "
+      "while E-H keep scaling to 32; memory/execution domain irrelevant");
+
+  std::printf("Table 1 (experimental configurations):\n");
+  TextTable table1({"config", "memory domain", "execution domain"});
+  for (const auto& config : table1_configs()) {
+    table1.add_row({std::string(1, config.label), std::to_string(config.memory_domain),
+                    to_string(config.execution)});
+  }
+  std::printf("%s\n", table1.render().c_str());
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8, 16, 32, 64};
+  std::vector<std::string> headers = {"threads"};
+  for (const auto& config : table1_configs()) {
+    headers.push_back(std::string(1, config.label));
+  }
+  TextTable results(headers);
+
+  // [config][thread_count_index] -> Gbps of raw input compressed.
+  std::vector<std::vector<double>> series(table1_configs().size());
+  for (const int threads : thread_counts) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    for (std::size_t c = 0; c < table1_configs().size(); ++c) {
+      const ComputeSweepResult result =
+          run_compute_sweep(table1_configs()[c], threads, /*decompress=*/false);
+      series[c].push_back(result.throughput_gbps);
+      row.push_back(fmt_double(result.throughput_gbps, 1));
+    }
+    results.add_row(std::move(row));
+  }
+  std::printf("compression throughput (Gbps of raw input):\n%s",
+              results.render().c_str());
+
+  // Fig 8b: core usage at 16 and 32 threads for A (single domain) and E (split).
+  std::printf("\nFigure 8b - core usage (16 and 32 threads):\n");
+  std::vector<std::string> labels;
+  std::vector<CoreUsageMatrix> columns;
+  for (const int threads : {16, 32}) {
+    for (const char label : {'A', 'E'}) {
+      const auto& config = table1_configs()[static_cast<std::size_t>(label - 'A')];
+      const ComputeSweepResult result =
+          run_compute_sweep(config, threads, /*decompress=*/false);
+      CoreUsageMatrix matrix(result.core_utilization.size());
+      for (std::size_t core = 0; core < result.core_utilization.size(); ++core) {
+        matrix.add_busy_time(static_cast<int>(core), result.core_utilization[core]);
+      }
+      matrix.set_elapsed(1.0);
+      labels.push_back(std::string(1, label) + "_" + std::to_string(threads) + "t");
+      columns.push_back(std::move(matrix));
+    }
+  }
+  std::printf("%s", render_usage_heatmap(labels, columns).c_str());
+
+  // ---- shape checks ----
+  const auto at = [&](char config, int threads) {
+    const std::size_t c = static_cast<std::size_t>(config - 'A');
+    const auto it = std::find(thread_counts.begin(), thread_counts.end(), threads);
+    return series[c][static_cast<std::size_t>(it - thread_counts.begin())];
+  };
+
+  shape_check("scaling 1->8 threads is linear (config A)",
+              near_factor(at('A', 8) / at('A', 1), 8.0, 0.05));
+  shape_check("memory domain does not matter (A vs C at 16 threads)",
+              near_factor(at('A', 16) / at('C', 16), 1.0, 0.02));
+  shape_check("execution domain does not matter below saturation (A vs B at 8)",
+              near_factor(at('A', 8) / at('B', 8), 1.0, 0.02));
+  shape_check("single-domain configs stop scaling at 16 threads (A: 32 <= 16 x 1.02)",
+              at('A', 32) <= at('A', 16) * 1.02);
+  shape_check("split configs keep scaling to 32 threads (E: 32 ~= 2 x 16)",
+              near_factor(at('E', 32) / at('E', 16), 2.0, 0.1));
+  shape_check("at 32+ threads A-D sit near half of E-H (paper: 'nearly halved')",
+              near_factor(at('A', 32) / at('E', 32), 0.5, 0.15) &&
+                  near_factor(at('D', 64) / at('H', 64), 0.5, 0.25));
+  shape_check("OS-managed G tracks split E",
+              near_factor(at('G', 32) / at('E', 32), 1.0, 0.05));
+  return finish();
+}

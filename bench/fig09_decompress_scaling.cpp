@@ -1,0 +1,83 @@
+// Figure 9: decompression throughput vs number of decompression threads for
+// Table 1 configurations A-H, plus the Fig. 9b core-usage view.
+//
+// Paper's findings (Observation 3): decompression is ~3x faster than
+// compression at equal thread counts; throughput scales with threads; at 16
+// threads the cross-domain configurations (E/F) outpace single-domain ones
+// because spreading halves the per-socket LLC/memory-controller pressure.
+#include "bench/bench_util.h"
+#include "bench/codec_rig.h"
+#include "metrics/core_usage.h"
+
+using namespace numastream;
+using namespace numastream::bench;
+
+int main() {
+  print_header(
+      "Figure 9a - decompression throughput vs threads (configs A-H)",
+      "~3x compression speed; E/F pull ahead at 16 threads via cross-domain "
+      "spread (LLC/MC contention)");
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8, 16};
+  std::vector<std::string> headers = {"threads"};
+  for (const auto& config : table1_configs()) {
+    headers.push_back(std::string(1, config.label));
+  }
+  TextTable results(headers);
+
+  std::vector<std::vector<double>> series(table1_configs().size());
+  for (const int threads : thread_counts) {
+    std::vector<std::string> row = {std::to_string(threads)};
+    for (std::size_t c = 0; c < table1_configs().size(); ++c) {
+      const ComputeSweepResult result =
+          run_compute_sweep(table1_configs()[c], threads, /*decompress=*/true);
+      series[c].push_back(result.throughput_gbps);
+      row.push_back(fmt_double(result.throughput_gbps, 1));
+    }
+    results.add_row(std::move(row));
+  }
+  std::printf("decompression throughput (Gbps of raw output):\n%s",
+              results.render().c_str());
+
+  std::printf("\nFigure 9b - core usage (8 and 16 threads):\n");
+  std::vector<std::string> labels;
+  std::vector<CoreUsageMatrix> columns;
+  for (const int threads : {8, 16}) {
+    for (const char label : {'A', 'E'}) {
+      const auto& config = table1_configs()[static_cast<std::size_t>(label - 'A')];
+      const ComputeSweepResult result =
+          run_compute_sweep(config, threads, /*decompress=*/true);
+      CoreUsageMatrix matrix(result.core_utilization.size());
+      for (std::size_t core = 0; core < result.core_utilization.size(); ++core) {
+        matrix.add_busy_time(static_cast<int>(core), result.core_utilization[core]);
+      }
+      matrix.set_elapsed(1.0);
+      labels.push_back(std::string(1, label) + "_" + std::to_string(threads) + "t");
+      columns.push_back(std::move(matrix));
+    }
+  }
+  std::printf("%s", render_usage_heatmap(labels, columns).c_str());
+
+  const auto at = [&](char config, int threads) {
+    const std::size_t c = static_cast<std::size_t>(config - 'A');
+    const auto it = std::find(thread_counts.begin(), thread_counts.end(), threads);
+    return series[c][static_cast<std::size_t>(it - thread_counts.begin())];
+  };
+
+  // Compression reference for the 3x claim.
+  const double compress_8 =
+      run_compute_sweep(table1_configs()[0], 8, /*decompress=*/false).throughput_gbps;
+
+  shape_check("decompression ~3x compression at 8 threads (paper: ~3x)",
+              near_factor(at('A', 8) / compress_8, 2.9, 0.15));
+  shape_check("scaling 1->8 threads is linear (config A)",
+              near_factor(at('A', 8) / at('A', 1), 8.0, 0.05));
+  shape_check("at 8 threads all configurations agree (paper: consistent)",
+              near_factor(at('A', 8) / at('E', 8), 1.0, 0.03) &&
+                  near_factor(at('C', 8) / at('G', 8), 1.0, 0.03));
+  shape_check("at 16 threads split E/F outpace single-domain A-D",
+              at('E', 16) > at('A', 16) * 1.05 && at('F', 16) > at('D', 16) * 1.05);
+  shape_check("memory domain alone does not matter (A vs C, 16 threads)",
+              near_factor(at('A', 16) / at('C', 16), 1.0, 0.03));
+  return finish();
+}

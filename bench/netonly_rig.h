@@ -1,0 +1,112 @@
+// Shared rig for the network-only receiver experiments (§3.1: Figs. 5, 6, 7).
+//
+// Four sender machines stream to lynxdtn over the 200 Gbps APS-ALCF path with
+// no codec stages, exactly the Fig. 1 gateway setup: `processes` streaming
+// processes (1 send + 1 receive thread each), with every receive thread
+// pinned round-robin onto `cores` — a specific core subset of one NUMA
+// domain or an even split across both.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "simhw/machine.h"
+#include "simhw/network.h"
+#include "simrt/calibration.h"
+#include "simrt/pipeline.h"
+#include "topo/topology.h"
+
+namespace numastream::bench {
+
+struct NetOnlyResult {
+  double receiver_gbps = 0;
+  std::vector<double> core_utilization;    // per receiver core
+  std::vector<double> normalized_remote;   // per receiver core
+};
+
+/// Runs `processes` network-only streams into lynxdtn, receive threads
+/// pinned round-robin over `recv_cores`.
+inline NetOnlyResult run_network_only(int processes, const std::vector<int>& recv_cores,
+                                      std::uint64_t chunks_per_stream = 150) {
+  using namespace numastream::simrt;
+
+  sim::Simulation sim;
+  const MachineTopology lynx_topo = lynxdtn_topology();
+  SimHost lynx(sim, lynx_topo, HostParams{});
+  SimLink link(sim, "aps-alcf", LinkParams{.bandwidth_gbps = 200});
+
+  // The paper's four sender machines, reused round-robin by the streams.
+  std::vector<MachineTopology> sender_topos;
+  std::vector<std::unique_ptr<SimHost>> senders;
+  for (int i = 0; i < 4; ++i) {
+    sender_topos.push_back(updraft_topology("sender" + std::to_string(i)));
+  }
+  for (const auto& topo : sender_topos) {
+    senders.push_back(std::make_unique<SimHost>(sim, topo, HostParams{}));
+  }
+
+  Calibration calib;
+  const int receiver_nic = lynx.nic_resource("mlx5_stream").value();
+
+  std::vector<std::unique_ptr<StreamPipeline>> pipelines;
+  for (int p = 0; p < processes; ++p) {
+    SimHost& sender = *senders[static_cast<std::size_t>(p) % senders.size()];
+    StreamPipeline::Spec spec;
+    spec.stream_id = static_cast<std::uint32_t>(p);
+    spec.chunks = chunks_per_stream;
+    spec.compress = false;
+    spec.sender_host = &sender;
+    spec.receiver_host = &lynx;
+    spec.link = &link;
+    spec.sender_nic = sender.nic_resource("mlx5_stream").value();
+    spec.receiver_nic = receiver_nic;
+    spec.receiver_nic_domain = 1;
+    // Sender-side placement is immaterial (Observation 4); use the NIC domain.
+    spec.send_workers = {{.core = 16 + (p % 16)}};
+    spec.receive_workers = {
+        {.core = recv_cores[static_cast<std::size_t>(p) % recv_cores.size()]}};
+    pipelines.push_back(std::make_unique<StreamPipeline>(sim, calib, spec));
+  }
+  for (auto& pipeline : pipelines) {
+    pipeline->launch();
+  }
+  sim.run();
+
+  NetOnlyResult result;
+  for (const auto& pipeline : pipelines) {
+    const double window =
+        pipeline->finished_at() > 0 ? pipeline->finished_at() : sim.now();
+    result.receiver_gbps +=
+        bytes_per_sec_to_gbps(pipeline->wire_bytes_received() / window);
+  }
+  lynx.usage().set_elapsed(sim.now());
+  result.core_utilization = lynx.usage().utilizations();
+  result.normalized_remote = lynx.remote_access().normalized_remote();
+  return result;
+}
+
+/// The paper's core subsets: first `cores` cores of NUMA 0 / NUMA 1, or an
+/// even split over both domains.
+inline std::vector<int> cores_n0(int cores) {
+  std::vector<int> out;
+  for (int i = 0; i < cores; ++i) {
+    out.push_back(i % 16);
+  }
+  return out;
+}
+inline std::vector<int> cores_n1(int cores) {
+  std::vector<int> out;
+  for (int i = 0; i < cores; ++i) {
+    out.push_back(16 + (i % 16));
+  }
+  return out;
+}
+inline std::vector<int> cores_split(int cores) {
+  std::vector<int> out;
+  for (int i = 0; i < cores; ++i) {
+    out.push_back(i % 2 == 0 ? (i / 2) % 16 : 16 + ((i / 2) % 16));
+  }
+  return out;
+}
+
+}  // namespace numastream::bench

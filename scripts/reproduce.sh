@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# One-shot reproduction: build, test, regenerate every figure/table, and
+# leave the transcripts in test_output.txt / bench_output.txt at the repo
+# root (the files EXPERIMENTS.md's numbers come from).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  if [[ -x "$b" && -f "$b" ]]; then
+    echo "===== $(basename "$b") =====" | tee -a bench_output.txt
+    "$b" 2>&1 | tee -a bench_output.txt
+  fi
+done
+
+echo
+echo "reproduction complete: see test_output.txt and bench_output.txt"

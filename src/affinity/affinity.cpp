@@ -1,0 +1,72 @@
+#include "affinity/affinity.h"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace numastream {
+namespace {
+
+CpuSet cpuset_from_mask(const cpu_set_t& mask) {
+  CpuSet out;
+  for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+    if (CPU_ISSET(cpu, &mask)) {
+      out.add(cpu);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<CpuSet> current_thread_affinity() {
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) != 0) {
+    return unavailable_error(std::string("sched_getaffinity: ") + std::strerror(errno));
+  }
+  return cpuset_from_mask(mask);
+}
+
+Result<CpuSet> pin_current_thread(const CpuSet& cpus) {
+  if (cpus.empty()) {
+    return invalid_argument_error("cannot pin to an empty CPU set");
+  }
+  auto online = current_thread_affinity();
+  // If we cannot read the current mask, try the request verbatim.
+  const CpuSet usable = online.ok() ? cpus.intersect(online.value()) : cpus;
+  if (usable.empty()) {
+    return unavailable_error("requested CPUs [" + cpus.to_cpulist() +
+                             "] are all offline or outside this thread's cgroup");
+  }
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  for (const int cpu : usable.to_vector()) {
+    if (cpu < CPU_SETSIZE) {
+      CPU_SET(cpu, &mask);
+    }
+  }
+  if (sched_setaffinity(0, sizeof(mask), &mask) != 0) {
+    return unavailable_error(std::string("sched_setaffinity: ") + std::strerror(errno));
+  }
+  return usable;
+}
+
+int current_cpu() noexcept {
+#ifdef __linux__
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+void set_current_thread_name(const std::string& name) noexcept {
+  char truncated[16] = {};
+  std::strncpy(truncated, name.c_str(), sizeof(truncated) - 1);
+  pthread_setname_np(pthread_self(), truncated);
+}
+
+}  // namespace numastream

@@ -1,0 +1,32 @@
+// Thread-to-CPU pinning.
+//
+// On a real NUMA host these calls translate directly to sched_setaffinity,
+// which is how the paper's runtime (via libnuma's numa_bind) restricts each
+// task to its chosen domain. On hosts where some requested CPUs do not exist
+// (CI, laptops), pinning intersects the request with the online set and
+// reports what actually happened instead of failing the whole pipeline.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "topo/cpuset.h"
+
+namespace numastream {
+
+/// Pins the calling thread to `cpus`. Returns the CPU set actually applied
+/// (the intersection with online CPUs), or an error if that intersection is
+/// empty or the kernel rejected the mask.
+Result<CpuSet> pin_current_thread(const CpuSet& cpus);
+
+/// Current affinity mask of the calling thread.
+Result<CpuSet> current_thread_affinity();
+
+/// CPU the calling thread last ran on (sched_getcpu), -1 if unavailable.
+int current_cpu() noexcept;
+
+/// Names the calling thread (visible in /proc and debuggers); truncated to
+/// the kernel's 15-character limit. Best effort.
+void set_current_thread_name(const std::string& name) noexcept;
+
+}  // namespace numastream

@@ -1,0 +1,49 @@
+#include "affinity/binding.h"
+
+#include "affinity/affinity.h"
+
+namespace numastream {
+
+std::string NumaBinding::to_string() const {
+  auto domain_name = [](int d) {
+    return d == kOsChoice ? std::string("OS") : std::to_string(d);
+  };
+  return "exec=" + domain_name(execution_domain) + " mem=" + domain_name(memory_domain);
+}
+
+void PlacementRecorder::record(PlacementRecord record) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+}
+
+std::vector<PlacementRecord> PlacementRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t PlacementRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+Status apply_binding(const MachineTopology& topo, const NumaBinding& binding,
+                     const std::string& task_name, PlacementRecorder* recorder) {
+  PlacementRecord record{.task_name = task_name, .binding = binding, .applied_cpus = {}};
+  if (!binding.os_managed()) {
+    auto domain = topo.domain(binding.execution_domain);
+    if (!domain.ok()) {
+      return domain.status();
+    }
+    auto applied = pin_current_thread(domain.value().cpus);
+    if (!applied.ok()) {
+      return applied.status();
+    }
+    record.applied_cpus = std::move(applied).value();
+  }
+  if (recorder != nullptr) {
+    recorder->record(std::move(record));
+  }
+  return Status::ok();
+}
+
+}  // namespace numastream

@@ -1,0 +1,68 @@
+// NumaBinding: the numa_bind()-shaped policy object.
+//
+// The paper uses libnuma's numa_bind() to "restrict a task and its children
+// to run and allocate memory exclusively from the specified NUMA sockets".
+// NumaBinding expresses the same intent — an execution domain plus a memory
+// domain — resolves it against a MachineTopology, applies the CPU part via
+// sched_setaffinity, and *records* the memory part. (True mbind-style page
+// placement needs a NUMA kernel + libnuma headers; on this build the memory
+// intent is honored by the simulator and by first-touch on real NUMA hosts,
+// because a thread pinned to a domain first-touches pages in that domain.)
+//
+// PlacementRecorder accumulates every binding applied during a run so tests
+// and the experiment driver can assert exactly where each task went.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "topo/topology.h"
+
+namespace numastream {
+
+/// Where a task executes and where its buffers should live.
+/// A domain of kOsChoice leaves the decision to the OS scheduler — the
+/// baseline the paper compares against.
+struct NumaBinding {
+  static constexpr int kOsChoice = -1;
+
+  int execution_domain = kOsChoice;
+  int memory_domain = kOsChoice;
+
+  [[nodiscard]] bool os_managed() const noexcept {
+    return execution_domain == kOsChoice;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One applied (or recorded) placement decision.
+struct PlacementRecord {
+  std::string task_name;     ///< e.g. "recv-3", "decomp-0"
+  NumaBinding binding;
+  CpuSet applied_cpus;       ///< empty when os_managed
+};
+
+/// Thread-safe log of placement decisions for one runtime instance.
+class PlacementRecorder {
+ public:
+  void record(PlacementRecord record);
+  [[nodiscard]] std::vector<PlacementRecord> snapshot() const;
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PlacementRecord> records_;
+};
+
+/// Applies `binding` to the calling thread against `topo`:
+///  * os_managed            -> no syscall; the OS keeps full freedom,
+///  * execution_domain >= 0 -> pin to that domain's CPUs (intersected with
+///                             what is online; see pin_current_thread).
+/// Records the outcome in `recorder` (if non-null) under `task_name`.
+Status apply_binding(const MachineTopology& topo, const NumaBinding& binding,
+                     const std::string& task_name, PlacementRecorder* recorder);
+
+}  // namespace numastream

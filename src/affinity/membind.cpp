@@ -1,0 +1,157 @@
+#include "affinity/membind.h"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/assert.h"
+
+namespace numastream {
+namespace {
+
+// Policy constants from <linux/mempolicy.h> (not included to stay
+// header-independent; these values are kernel ABI and stable).
+constexpr int kMpolBind = 2;
+constexpr int kMpolInterleave = 3;
+
+long sys_mbind(void* addr, unsigned long len, int mode, const unsigned long* nodemask,
+               unsigned long maxnode, unsigned int flags) {
+#ifdef SYS_mbind
+  return ::syscall(SYS_mbind, addr, len, mode, nodemask, maxnode, flags);
+#else
+  errno = ENOSYS;
+  return -1;
+#endif
+}
+
+std::size_t page_size() {
+  static const std::size_t size = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+/// Shrinks [addr, addr+length) to the fully-contained pages.
+/// Returns false when no whole page fits.
+bool aligned_interior(void* addr, std::size_t length, void*& start,
+                      std::size_t& aligned_length) {
+  const std::size_t page = page_size();
+  const auto begin = reinterpret_cast<std::uintptr_t>(addr);
+  const std::uintptr_t aligned_begin = (begin + page - 1) & ~(page - 1);
+  const std::uintptr_t end = begin + length;
+  const std::uintptr_t aligned_end = end & ~(page - 1);
+  if (aligned_end <= aligned_begin) {
+    return false;
+  }
+  start = reinterpret_cast<void*>(aligned_begin);
+  aligned_length = aligned_end - aligned_begin;
+  return true;
+}
+
+Status apply_policy(void* addr, std::size_t length, int mode,
+                    const std::vector<int>& domains) {
+  if (domains.empty()) {
+    return invalid_argument_error("membind: need at least one domain");
+  }
+  unsigned long nodemask = 0;
+  for (const int domain : domains) {
+    if (domain < 0 || domain >= static_cast<int>(sizeof(nodemask) * 8)) {
+      return invalid_argument_error("membind: domain " + std::to_string(domain) +
+                                    " out of nodemask range");
+    }
+    nodemask |= 1UL << domain;
+  }
+
+  void* start = nullptr;
+  std::size_t aligned_length = 0;
+  if (!aligned_interior(addr, length, start, aligned_length)) {
+    return invalid_argument_error(
+        "membind: range contains no fully-aligned page (length " +
+        std::to_string(length) + ")");
+  }
+  if (sys_mbind(start, aligned_length, mode, &nodemask, sizeof(nodemask) * 8, 0) != 0) {
+    const int err = errno;
+    if (err == ENOSYS) {
+      return unimplemented_error("membind: kernel lacks mbind support");
+    }
+    return unavailable_error(std::string("membind: mbind failed: ") +
+                             std::strerror(err));
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+bool memory_binding_supported() {
+  static const bool supported = [] {
+    // Probe: bind one fresh page to node 0. Any success (or EINVAL from a
+    // non-existent node on exotic configs) proves the syscall is live.
+    const std::size_t page = page_size();
+    void* probe = ::mmap(nullptr, page, PROT_READ | PROT_WRITE,
+                         MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (probe == MAP_FAILED) {
+      return false;
+    }
+    const Status status = bind_memory_to_domain(probe, page, 0);
+    ::munmap(probe, page);
+    return status.is_ok();
+  }();
+  return supported;
+}
+
+Status bind_memory_to_domain(void* addr, std::size_t length, int domain) {
+  return apply_policy(addr, length, kMpolBind, {domain});
+}
+
+Status interleave_memory(void* addr, std::size_t length,
+                         const std::vector<int>& domains) {
+  return apply_policy(addr, length, kMpolInterleave, domains);
+}
+
+Result<DomainBoundBuffer> DomainBoundBuffer::allocate(std::size_t size, int domain) {
+  if (size == 0) {
+    return invalid_argument_error("DomainBoundBuffer: zero size");
+  }
+  const std::size_t page = page_size();
+  const std::size_t rounded = (size + page - 1) & ~(page - 1);
+  void* memory = ::mmap(nullptr, rounded, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (memory == MAP_FAILED) {
+    return resource_exhausted_error(std::string("DomainBoundBuffer: mmap: ") +
+                                    std::strerror(errno));
+  }
+  bool bound = false;
+  if (domain >= 0) {
+    // Apply the policy before first touch; only then does it govern where
+    // every page is physically allocated.
+    bound = bind_memory_to_domain(memory, rounded, domain).is_ok();
+  }
+  return DomainBoundBuffer(static_cast<std::uint8_t*>(memory), rounded, domain, bound);
+}
+
+DomainBoundBuffer::DomainBoundBuffer(DomainBoundBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      domain_(other.domain_),
+      bound_(other.bound_) {}
+
+DomainBoundBuffer& DomainBoundBuffer::operator=(DomainBoundBuffer&& other) noexcept {
+  if (this != &other) {
+    this->~DomainBoundBuffer();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    domain_ = other.domain_;
+    bound_ = other.bound_;
+  }
+  return *this;
+}
+
+DomainBoundBuffer::~DomainBoundBuffer() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+  }
+}
+
+}  // namespace numastream

@@ -1,0 +1,77 @@
+// Memory binding: the memory half of numa_bind(), without libnuma.
+//
+// The paper's runtime restricts each task to "run and allocate memory
+// exclusively from the specified NUMA sockets". Thread placement is
+// sched_setaffinity (affinity.h); this header provides the allocation half
+// through the raw mbind(2) syscall:
+//
+//   * bind_memory_to_domain()  - MPOL_BIND: pages of a range must come from
+//                                one domain (a receive buffer pinned to the
+//                                NIC domain),
+//   * interleave_memory()      - MPOL_INTERLEAVE: spread pages round-robin
+//                                across domains (a shared staging area that
+//                                must not overload one memory controller),
+//   * DomainBoundBuffer        - RAII page-aligned allocation with a policy
+//                                applied before first touch, which is the
+//                                only time a policy fully controls placement.
+//
+// On kernels without NUMA support (or inside restricted containers) mbind
+// fails; every entry point reports that as a Status instead of failing the
+// pipeline — placement then degrades to first-touch, exactly like the rest
+// of the library.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+/// True if this kernel/container accepts mbind at all (probed once).
+bool memory_binding_supported();
+
+/// Applies MPOL_BIND for `domain` to the fully-contained pages of
+/// [addr, addr+length). Unaligned edges are left on the default policy (they
+/// share pages with neighbouring allocations, which must not be re-bound).
+Status bind_memory_to_domain(void* addr, std::size_t length, int domain);
+
+/// Applies MPOL_INTERLEAVE across `domains` to the fully-contained pages.
+Status interleave_memory(void* addr, std::size_t length,
+                         const std::vector<int>& domains);
+
+/// A page-aligned buffer with a NUMA memory policy applied at allocation
+/// time (before any touch). Falls back to an unbound buffer when binding is
+/// unavailable; `bound()` reports which happened.
+class DomainBoundBuffer {
+ public:
+  /// Allocates `size` bytes bound to `domain`; domain < 0 = no policy.
+  static Result<DomainBoundBuffer> allocate(std::size_t size, int domain);
+
+  DomainBoundBuffer(DomainBoundBuffer&& other) noexcept;
+  DomainBoundBuffer& operator=(DomainBoundBuffer&& other) noexcept;
+  DomainBoundBuffer(const DomainBoundBuffer&) = delete;
+  DomainBoundBuffer& operator=(const DomainBoundBuffer&) = delete;
+  ~DomainBoundBuffer();
+
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] MutableByteSpan span() noexcept { return {data_, size_}; }
+
+  /// True if the requested policy was actually applied.
+  [[nodiscard]] bool bound() const noexcept { return bound_; }
+  [[nodiscard]] int domain() const noexcept { return domain_; }
+
+ private:
+  DomainBoundBuffer(std::uint8_t* data, std::size_t size, int domain, bool bound)
+      : data_(data), size_(size), domain_(domain), bound_(bound) {}
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  int domain_ = -1;
+  bool bound_ = false;
+};
+
+}  // namespace numastream

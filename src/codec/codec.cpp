@@ -1,0 +1,141 @@
+#include "codec/codec.h"
+
+#include <cstring>
+
+#include "codec/delta_rle.h"
+#include "codec/lz4.h"
+
+namespace numastream {
+namespace {
+
+class NullCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "null"; }
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kNull; }
+  [[nodiscard]] std::size_t max_compressed_size(
+      std::size_t raw_size) const noexcept override {
+    return raw_size;
+  }
+
+  Result<std::size_t> compress(ByteSpan src, MutableByteSpan dst) const override {
+    if (dst.size() < src.size()) {
+      return resource_exhausted_error("null codec: destination too small");
+    }
+    if (!src.empty()) {  // empty spans may carry null pointers
+      std::memcpy(dst.data(), src.data(), src.size());
+    }
+    return src.size();
+  }
+
+  Result<std::size_t> decompress(ByteSpan src, MutableByteSpan dst) const override {
+    if (dst.size() != src.size()) {
+      return data_loss_error("null codec: payload size does not match raw size");
+    }
+    if (!src.empty()) {
+      std::memcpy(dst.data(), src.data(), src.size());
+    }
+    return src.size();
+  }
+};
+
+class Lz4Codec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "lz4"; }
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kLz4; }
+  [[nodiscard]] std::size_t max_compressed_size(
+      std::size_t raw_size) const noexcept override {
+    return lz4_compress_bound(raw_size);
+  }
+
+  Result<std::size_t> compress(ByteSpan src, MutableByteSpan dst) const override {
+    return lz4_compress_block(src, dst);
+  }
+
+  Result<std::size_t> decompress(ByteSpan src, MutableByteSpan dst) const override {
+    auto produced = lz4_decompress_block(src, dst);
+    if (produced.ok() && produced.value() != dst.size()) {
+      return data_loss_error("lz4 codec: short decode");
+    }
+    return produced;
+  }
+};
+
+class DeltaRleCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "delta_rle"; }
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kDeltaRle; }
+  [[nodiscard]] std::size_t max_compressed_size(
+      std::size_t raw_size) const noexcept override {
+    return delta_rle_compress_bound(raw_size);
+  }
+
+  Result<std::size_t> compress(ByteSpan src, MutableByteSpan dst) const override {
+    return delta_rle_compress(src, dst);
+  }
+
+  Result<std::size_t> decompress(ByteSpan src, MutableByteSpan dst) const override {
+    return delta_rle_decompress(src, dst);
+  }
+};
+
+class Lz4HcCodec final : public Codec {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "lz4hc"; }
+  [[nodiscard]] CodecId id() const noexcept override { return CodecId::kLz4Hc; }
+  [[nodiscard]] std::size_t max_compressed_size(
+      std::size_t raw_size) const noexcept override {
+    return lz4_compress_bound(raw_size);
+  }
+
+  Result<std::size_t> compress(ByteSpan src, MutableByteSpan dst) const override {
+    return lz4hc_compress_block(src, dst);
+  }
+
+  // The HC variant emits the standard block format; decoding is shared.
+  Result<std::size_t> decompress(ByteSpan src, MutableByteSpan dst) const override {
+    auto produced = lz4_decompress_block(src, dst);
+    if (produced.ok() && produced.value() != dst.size()) {
+      return data_loss_error("lz4hc codec: short decode");
+    }
+    return produced;
+  }
+};
+
+const NullCodec kNullCodec;
+const Lz4Codec kLz4Codec;
+const DeltaRleCodec kDeltaRleCodec;
+const Lz4HcCodec kLz4HcCodec;
+
+}  // namespace
+
+const Codec* codec_by_id(CodecId id) noexcept {
+  switch (id) {
+    case CodecId::kNull:
+      return &kNullCodec;
+    case CodecId::kLz4:
+      return &kLz4Codec;
+    case CodecId::kDeltaRle:
+      return &kDeltaRleCodec;
+    case CodecId::kLz4Hc:
+      return &kLz4HcCodec;
+  }
+  return nullptr;
+}
+
+const Codec* codec_by_name(std::string_view name) noexcept {
+  for (const Codec* codec : {static_cast<const Codec*>(&kNullCodec),
+                             static_cast<const Codec*>(&kLz4Codec),
+                             static_cast<const Codec*>(&kDeltaRleCodec),
+                             static_cast<const Codec*>(&kLz4HcCodec)}) {
+    if (codec->name() == name) {
+      return codec;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Codec*> all_codecs() {
+  return {&kNullCodec, &kLz4Codec, &kDeltaRleCodec, &kLz4HcCodec};
+}
+
+}  // namespace numastream

@@ -1,0 +1,58 @@
+// The codec abstraction the streaming pipeline is written against.
+//
+// A Codec is stateless and thread-safe: the paper runs up to 64 concurrent
+// compression threads over one algorithm, so all per-call state lives on the
+// caller's stack/buffers. Codecs are identified by a stable one-byte id that
+// is carried in every frame header, so sender and receiver negotiate nothing:
+// the receiver instantiates whatever each frame declares.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+/// Stable wire ids. Never renumber: they appear in frames and sdf files.
+enum class CodecId : std::uint8_t {
+  kNull = 0,      ///< memcpy; the "no compression" baseline configuration
+  kLz4 = 1,       ///< LZ4 block format (codec/lz4.h)
+  kDeltaRle = 2,  ///< delta+zigzag+varint+RLE for uint16 detector data
+  kLz4Hc = 3,     ///< LZ4 block format, high-compression chain matcher
+};
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual CodecId id() const noexcept = 0;
+
+  /// Worst-case output size for `raw_size` input bytes; size destination
+  /// buffers with this before calling compress().
+  [[nodiscard]] virtual std::size_t max_compressed_size(
+      std::size_t raw_size) const noexcept = 0;
+
+  /// Compresses src into dst; returns bytes written.
+  virtual Result<std::size_t> compress(ByteSpan src, MutableByteSpan dst) const = 0;
+
+  /// Decompresses src into dst (sized to the known raw size); returns bytes
+  /// produced. Malformed input must yield DATA_LOSS, never UB.
+  virtual Result<std::size_t> decompress(ByteSpan src, MutableByteSpan dst) const = 0;
+};
+
+/// Codec lookup by wire id; nullptr for unknown ids (the caller turns that
+/// into a DATA_LOSS on the frame). The returned object is a process-lifetime
+/// singleton; do not delete.
+const Codec* codec_by_id(CodecId id) noexcept;
+
+/// Codec lookup by name ("null", "lz4", "delta_rle"); nullptr when unknown.
+const Codec* codec_by_name(std::string_view name) noexcept;
+
+/// All registered codecs, for enumeration in tools/tests.
+std::vector<const Codec*> all_codecs();
+
+}  // namespace numastream

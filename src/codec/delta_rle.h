@@ -1,0 +1,40 @@
+// Delta + RLE codec specialised for uint16 scientific detector data.
+//
+// Tomographic projections are smooth fields sampled as little-endian uint16
+// pixels: neighbouring samples differ by small values. This codec exploits
+// that directly:
+//
+//   stage 1  delta      d[i] = s[i] - s[i-1]  (mod 2^16) over uint16 samples
+//   stage 2  zigzag     small signed deltas -> small unsigned values
+//   stage 3  varint     1 byte for |delta| < 64, at most 3 bytes ever
+//   stage 4  byte RLE   runs of >= 4 identical bytes (flat image regions)
+//
+// It typically beats LZ4 on ratio for detector frames while staying fully
+// streamable, and it exists in the library both as a useful alternative codec
+// and as the second data point for the codec-choice ablation bench.
+//
+// A trailing odd byte (inputs are not required to be an even number of bytes)
+// is carried verbatim after the encoded stream.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+/// Worst case: every delta needs 3 varint bytes and RLE adds one token byte
+/// per 127 literals, plus small constant headroom.
+constexpr std::size_t delta_rle_compress_bound(std::size_t raw_size) noexcept {
+  const std::size_t varint_worst = (raw_size / 2) * 3 + 1;
+  return varint_worst + varint_worst / 127 + 16;
+}
+
+/// Compresses `src`; returns bytes written into `dst` (size it with
+/// delta_rle_compress_bound).
+Result<std::size_t> delta_rle_compress(ByteSpan src, MutableByteSpan dst);
+
+/// Decompresses into `dst`, which must be exactly the original size
+/// (known from the frame header). Malformed input yields DATA_LOSS.
+Result<std::size_t> delta_rle_decompress(ByteSpan src, MutableByteSpan dst);
+
+}  // namespace numastream

@@ -1,0 +1,107 @@
+#include "codec/frame.h"
+
+#include "codec/xxhash.h"
+#include "common/assert.h"
+
+namespace numastream {
+
+Bytes encode_frame(const Codec& codec, ByteSpan raw) {
+  // Compress into scratch space sized by the codec's bound.
+  Bytes scratch(codec.max_compressed_size(raw.size()));
+  auto written = codec.compress(raw, scratch);
+  NS_CHECK(written.ok(), "compress into a bound-sized buffer must succeed");
+
+  // Store-uncompressed fallback when the codec did not help.
+  const Codec* effective = &codec;
+  ByteSpan payload(scratch.data(), written.value());
+  if (written.value() >= raw.size() && codec.id() != CodecId::kNull) {
+    effective = codec_by_id(CodecId::kNull);
+    payload = raw;
+  }
+
+  Bytes frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  ByteWriter w(frame);
+  w.u32(kFrameMagic);
+  w.u8(static_cast<std::uint8_t>(effective->id()));
+  w.u8(0);   // flags
+  w.u16(0);  // reserved
+  w.u64(raw.size());
+  w.u64(payload.size());
+  w.u32(xxhash32(payload));
+  w.u32(xxhash32(raw));
+  w.raw(payload);
+  return frame;
+}
+
+Result<FrameView> decode_frame(ByteSpan frame) {
+  ByteReader reader(frame);
+  std::uint32_t magic = 0;
+  std::uint8_t codec_id = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t reserved = 0;
+  std::uint64_t raw_size = 0;
+  std::uint64_t payload_size = 0;
+  std::uint32_t payload_hash = 0;
+  std::uint32_t content_hash = 0;
+
+  NS_RETURN_IF_ERROR(reader.u32(magic));
+  if (magic != kFrameMagic) {
+    return data_loss_error("frame: bad magic (got " + hex_preview(frame) + ")");
+  }
+  NS_RETURN_IF_ERROR(reader.u8(codec_id));
+  NS_RETURN_IF_ERROR(reader.u8(flags));
+  NS_RETURN_IF_ERROR(reader.u16(reserved));
+  if (flags != 0 || reserved != 0) {
+    return data_loss_error("frame: nonzero reserved fields (future format?)");
+  }
+  NS_RETURN_IF_ERROR(reader.u64(raw_size));
+  NS_RETURN_IF_ERROR(reader.u64(payload_size));
+  NS_RETURN_IF_ERROR(reader.u32(payload_hash));
+  NS_RETURN_IF_ERROR(reader.u32(content_hash));
+
+  if (codec_by_id(static_cast<CodecId>(codec_id)) == nullptr) {
+    return data_loss_error("frame: unknown codec id " + std::to_string(codec_id));
+  }
+  if (payload_size != reader.remaining()) {
+    return data_loss_error("frame: payload size " + std::to_string(payload_size) +
+                           " does not match remaining " +
+                           std::to_string(reader.remaining()) + " bytes");
+  }
+  ByteSpan payload;
+  NS_RETURN_IF_ERROR(reader.raw(payload_size, payload));
+  if (xxhash32(payload) != payload_hash) {
+    return data_loss_error("frame: payload checksum mismatch");
+  }
+
+  FrameView view;
+  view.codec = static_cast<CodecId>(codec_id);
+  view.raw_size = raw_size;
+  view.content_hash = content_hash;
+  view.payload = payload;
+  return view;
+}
+
+Result<Bytes> decode_frame_content(ByteSpan frame) {
+  auto view = decode_frame(frame);
+  if (!view.ok()) {
+    return view.status();
+  }
+  const Codec* codec = codec_by_id(view.value().codec);
+  NS_CHECK(codec != nullptr, "decode_frame validated the codec id");
+
+  Bytes raw(view.value().raw_size);
+  auto produced = codec->decompress(view.value().payload, raw);
+  if (!produced.ok()) {
+    return produced.status();
+  }
+  if (produced.value() != raw.size()) {
+    return data_loss_error("frame: decoded size mismatch");
+  }
+  if (xxhash32(raw) != view.value().content_hash) {
+    return data_loss_error("frame: content checksum mismatch after decompression");
+  }
+  return raw;
+}
+
+}  // namespace numastream

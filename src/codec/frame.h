@@ -1,0 +1,52 @@
+// Compressed-chunk frame format.
+//
+// Every data chunk that leaves a compression thread is wrapped in this frame
+// before it is handed to a sending thread (Fig. 2 of the paper). The frame is
+// self-describing — codec id, raw size, payload checksum, content checksum —
+// so the receiving side can route any frame to the right decompressor and
+// verify both the bytes it received and the bytes it reconstructed.
+//
+// Layout (all little-endian):
+//   offset size  field
+//   0      4     magic "NSF1"
+//   4      1     codec id (CodecId)
+//   5      1     flags (reserved, must be 0)
+//   6      2     reserved (must be 0)
+//   8      8     raw (uncompressed) size
+//   16     8     payload (compressed) size
+//   24     4     xxhash32 of the payload bytes
+//   28     4     xxhash32 of the raw content
+//   32     ...   payload
+#pragma once
+
+#include "codec/codec.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+inline constexpr std::size_t kFrameHeaderSize = 32;
+inline constexpr std::uint32_t kFrameMagic = 0x3146534EU;  // "NSF1" little-endian
+
+/// Parsed header plus a view of the payload (borrowing the input buffer).
+struct FrameView {
+  CodecId codec = CodecId::kNull;
+  std::uint64_t raw_size = 0;
+  std::uint32_t content_hash = 0;
+  ByteSpan payload;
+};
+
+/// Compresses `raw` with `codec` and wraps it in a frame.
+/// If compression would expand the data (incompressible input), the frame is
+/// transparently stored with the null codec instead — the receiver handles
+/// both cases identically.
+Bytes encode_frame(const Codec& codec, ByteSpan raw);
+
+/// Parses and validates a frame header + payload checksum. The returned view
+/// borrows `frame`; it is valid while `frame` lives.
+Result<FrameView> decode_frame(ByteSpan frame);
+
+/// Fully decodes a frame: parse, decompress, verify the content checksum.
+Result<Bytes> decode_frame_content(ByteSpan frame);
+
+}  // namespace numastream

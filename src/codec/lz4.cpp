@@ -1,0 +1,458 @@
+#include "codec/lz4.h"
+
+#include <cstring>
+
+namespace numastream {
+namespace {
+
+// Format constants from the LZ4 block specification.
+constexpr std::size_t kMinMatch = 4;          // shortest encodable match
+constexpr std::size_t kMfLimit = 12;          // last match starts >= 12 bytes from end
+constexpr std::size_t kLastLiterals = 5;      // final 5 bytes are always literals
+constexpr std::size_t kMaxOffset = 65535;     // 16-bit match offset
+constexpr unsigned kTokenMax = 15;            // nibble saturation value
+
+constexpr int kHashLog = 16;
+constexpr std::uint32_t kHashMultiplier = 2654435761U;  // Knuth multiplicative
+
+inline std::uint32_t hash4(std::uint32_t value) noexcept {
+  return (value * kHashMultiplier) >> (32 - kHashLog);
+}
+
+// Emits an LZ4 length using the 15 + 255* + remainder scheme.
+// Returns false if dst space ran out.
+inline bool emit_length(std::size_t value, std::uint8_t*& op,
+                        const std::uint8_t* const oend) noexcept {
+  while (value >= 255) {
+    if (op >= oend) {
+      return false;
+    }
+    *op++ = 255;
+    value -= 255;
+  }
+  if (op >= oend) {
+    return false;
+  }
+  *op++ = static_cast<std::uint8_t>(value);
+  return true;
+}
+
+}  // namespace
+
+Result<std::size_t> lz4_compress_block(ByteSpan src, MutableByteSpan dst) {
+  const std::uint8_t* const base = src.data();
+  const std::size_t src_size = src.size();
+  std::uint8_t* op = dst.data();
+  const std::uint8_t* const oend = dst.data() + dst.size();
+
+  const auto overflow = [] {
+    return resource_exhausted_error("lz4: destination buffer too small");
+  };
+
+  if (src_size == 0) {
+    return std::size_t{0};
+  }
+
+  // Emits the literal run [anchor, lit_end) as a (possibly final) sequence,
+  // with match fields appended by the caller when not final.
+  const auto emit_literals = [&](const std::uint8_t* anchor, const std::uint8_t* lit_end,
+                                 std::uint8_t*& token_out) -> bool {
+    const std::size_t lit_len = static_cast<std::size_t>(lit_end - anchor);
+    if (op >= oend) {
+      return false;
+    }
+    token_out = op++;
+    if (lit_len >= kTokenMax) {
+      *token_out = static_cast<std::uint8_t>(kTokenMax << 4);
+      if (!emit_length(lit_len - kTokenMax, op, oend)) {
+        return false;
+      }
+    } else {
+      *token_out = static_cast<std::uint8_t>(lit_len << 4);
+    }
+    if (static_cast<std::size_t>(oend - op) < lit_len) {
+      return false;
+    }
+    std::memcpy(op, anchor, lit_len);
+    op += lit_len;
+    return true;
+  };
+
+  // Inputs too small to ever contain a legal match are a single literal run.
+  if (src_size >= kMfLimit + 1) {
+    // Position table: value is an absolute offset into src. Entry 0 is
+    // ambiguous with "empty", which is resolved by requiring candidate < ip
+    // and re-verifying the 4 candidate bytes before use.
+    std::vector<std::uint32_t> table(std::size_t{1} << kHashLog, 0);
+
+    const std::uint8_t* ip = base;
+    const std::uint8_t* anchor = base;
+    const std::uint8_t* const mflimit = base + src_size - kMfLimit;
+    const std::uint8_t* const matchlimit = base + src_size - kLastLiterals;
+
+    // Skip acceleration (LZ4's fast-mode heuristic): after every 64 failed
+    // probes the scan step grows by one, so incompressible regions are
+    // crossed in O(n/step) probes instead of stalling the compressor at one
+    // hash lookup per byte. Any match resets the step to 1.
+    constexpr unsigned kSkipTrigger = 6;
+    unsigned search_count = 1U << kSkipTrigger;
+
+    while (ip < mflimit) {
+      const std::uint32_t sequence = load_le32(ip);
+      const std::uint32_t h = hash4(sequence);
+      const std::uint8_t* candidate = base + table[h];
+      table[h] = static_cast<std::uint32_t>(ip - base);
+
+      const bool usable = candidate < ip &&
+                          static_cast<std::size_t>(ip - candidate) <= kMaxOffset &&
+                          load_le32(candidate) == sequence;
+      if (!usable) {
+        ip += search_count++ >> kSkipTrigger;
+        continue;
+      }
+      search_count = 1U << kSkipTrigger;
+
+      // Extend the match backward over pending literals.
+      const std::uint8_t* match = candidate;
+      while (ip > anchor && match > base && ip[-1] == match[-1]) {
+        --ip;
+        --match;
+      }
+
+      // Extend forward (first 4 bytes already verified when not backed up;
+      // after backing up the verified region only grew).
+      const std::uint8_t* mp = match + kMinMatch;
+      const std::uint8_t* fp = ip + kMinMatch;
+      while (fp < matchlimit && *fp == *mp) {
+        ++fp;
+        ++mp;
+      }
+      const std::size_t match_len = static_cast<std::size_t>(fp - ip);
+
+      std::uint8_t* token = nullptr;
+      if (!emit_literals(anchor, ip, token)) {
+        return overflow();
+      }
+
+      // Offset.
+      if (oend - op < 2) {
+        return overflow();
+      }
+      store_le16(op, static_cast<std::uint16_t>(ip - match));
+      op += 2;
+
+      // Match length (stored as length - kMinMatch).
+      const std::size_t stored = match_len - kMinMatch;
+      if (stored >= kTokenMax) {
+        *token |= static_cast<std::uint8_t>(kTokenMax);
+        if (!emit_length(stored - kTokenMax, op, oend)) {
+          return overflow();
+        }
+      } else {
+        *token |= static_cast<std::uint8_t>(stored);
+      }
+
+      ip = fp;
+      anchor = ip;
+
+      // Seed the table near the match end so the next search can chain into
+      // data we just skipped over.
+      if (ip - 2 > base && ip < mflimit) {
+        table[hash4(load_le32(ip - 2))] = static_cast<std::uint32_t>((ip - 2) - base);
+      }
+    }
+
+    // Final literal run.
+    std::uint8_t* token = nullptr;
+    if (!emit_literals(anchor, base + src_size, token)) {
+      return overflow();
+    }
+  } else {
+    std::uint8_t* token = nullptr;
+    if (!emit_literals(base, base + src_size, token)) {
+      return overflow();
+    }
+  }
+
+  return static_cast<std::size_t>(op - dst.data());
+}
+
+Result<std::size_t> lz4_decompress_block(ByteSpan src, MutableByteSpan dst) {
+  const std::uint8_t* ip = src.data();
+  const std::uint8_t* const iend = ip + src.size();
+  std::uint8_t* op = dst.data();
+  std::uint8_t* const oend = op + dst.size();
+
+  const auto corrupt = [](const char* what) {
+    return data_loss_error(std::string("lz4: malformed block: ") + what);
+  };
+
+  if (src.empty()) {
+    return std::size_t{0};
+  }
+
+  // Reads an extended length; fails on truncation or absurd accumulation.
+  const auto read_length = [&](std::size_t base_len, std::size_t& out) -> bool {
+    std::size_t len = base_len;
+    if (base_len == kTokenMax) {
+      std::uint8_t byte = 0;
+      do {
+        if (ip >= iend) {
+          return false;
+        }
+        byte = *ip++;
+        len += byte;
+        if (len > dst.size() + src.size()) {
+          return false;  // cannot be a valid length for these buffers
+        }
+      } while (byte == 255);
+    }
+    out = len;
+    return true;
+  };
+
+  while (ip < iend) {
+    const std::uint8_t token = *ip++;
+
+    // Literals.
+    std::size_t lit_len = 0;
+    if (!read_length(token >> 4, lit_len)) {
+      return corrupt("bad literal length");
+    }
+    if (static_cast<std::size_t>(iend - ip) < lit_len) {
+      return corrupt("literal run past end of input");
+    }
+    if (static_cast<std::size_t>(oend - op) < lit_len) {
+      return corrupt("literal run past end of output");
+    }
+    std::memcpy(op, ip, lit_len);
+    ip += lit_len;
+    op += lit_len;
+
+    if (ip == iend) {
+      break;  // last sequence carries no match
+    }
+
+    // Match offset.
+    if (iend - ip < 2) {
+      return corrupt("truncated offset");
+    }
+    const std::uint16_t offset = load_le16(ip);
+    ip += 2;
+    if (offset == 0) {
+      return corrupt("zero offset");
+    }
+    if (static_cast<std::size_t>(op - dst.data()) < offset) {
+      return corrupt("offset reaches before output start");
+    }
+
+    // Match length.
+    std::size_t match_len = 0;
+    if (!read_length(token & 0x0F, match_len)) {
+      return corrupt("bad match length");
+    }
+    match_len += kMinMatch;
+    if (static_cast<std::size_t>(oend - op) < match_len) {
+      return corrupt("match past end of output");
+    }
+
+    const std::uint8_t* match = op - offset;
+    if (offset >= 8) {
+      // Non-overlapping enough for block copies.
+      std::size_t remaining = match_len;
+      while (remaining >= 8) {
+        std::memcpy(op, match, 8);
+        op += 8;
+        match += 8;
+        remaining -= 8;
+      }
+      std::memcpy(op, match, remaining);
+      op += remaining;
+    } else {
+      // Overlapping copy replicates the pattern byte-by-byte, which is the
+      // defined semantics (e.g. offset 1 produces a run).
+      for (std::size_t i = 0; i < match_len; ++i) {
+        *op = *match;
+        ++op;
+        ++match;
+      }
+    }
+  }
+
+  return static_cast<std::size_t>(op - dst.data());
+}
+
+Result<std::size_t> lz4hc_compress_block(ByteSpan src, MutableByteSpan dst,
+                                         int max_chain) {
+  NS_CHECK(max_chain > 0, "lz4hc needs a positive chain depth");
+  const std::uint8_t* const base = src.data();
+  const std::size_t src_size = src.size();
+  std::uint8_t* op = dst.data();
+  const std::uint8_t* const oend = dst.data() + dst.size();
+
+  const auto overflow = [] {
+    return resource_exhausted_error("lz4hc: destination buffer too small");
+  };
+
+  if (src_size == 0) {
+    return std::size_t{0};
+  }
+
+  const auto emit_literals = [&](const std::uint8_t* anchor, const std::uint8_t* lit_end,
+                                 std::uint8_t*& token_out) -> bool {
+    const std::size_t lit_len = static_cast<std::size_t>(lit_end - anchor);
+    if (op >= oend) {
+      return false;
+    }
+    token_out = op++;
+    if (lit_len >= kTokenMax) {
+      *token_out = static_cast<std::uint8_t>(kTokenMax << 4);
+      if (!emit_length(lit_len - kTokenMax, op, oend)) {
+        return false;
+      }
+    } else {
+      *token_out = static_cast<std::uint8_t>(lit_len << 4);
+    }
+    if (static_cast<std::size_t>(oend - op) < lit_len) {
+      return false;
+    }
+    std::memcpy(op, anchor, lit_len);
+    op += lit_len;
+    return true;
+  };
+
+  if (src_size >= kMfLimit + 1) {
+    // Hash heads + a window-sized chain: chain[p & 0xFFFF] links position p
+    // to the previous position with the same hash. Positions further back
+    // than the 64 KiB offset limit are unreachable anyway, so the masked
+    // chain loses nothing.
+    constexpr std::uint32_t kNoPos = 0xFFFFFFFFU;
+    std::vector<std::uint32_t> head(std::size_t{1} << kHashLog, kNoPos);
+    std::vector<std::uint32_t> chain(kMaxOffset + 1, kNoPos);
+
+    const auto insert_position = [&](std::size_t pos) {
+      const std::uint32_t h = hash4(load_le32(base + pos));
+      chain[pos & kMaxOffset] = head[h];
+      head[h] = static_cast<std::uint32_t>(pos);
+    };
+
+    const std::uint8_t* ip = base;
+    const std::uint8_t* anchor = base;
+    const std::uint8_t* const mflimit = base + src_size - kMfLimit;
+    const std::uint8_t* const matchlimit = base + src_size - kLastLiterals;
+
+    while (ip < mflimit) {
+      const std::size_t pos = static_cast<std::size_t>(ip - base);
+      const std::uint32_t sequence = load_le32(ip);
+
+      // Walk the chain for the longest reachable match.
+      const std::uint8_t* best_match = nullptr;
+      std::size_t best_len = kMinMatch - 1;
+      std::uint32_t candidate = head[hash4(sequence)];
+      for (int depth = 0; depth < max_chain && candidate != kNoPos; ++depth) {
+        if (pos - candidate > kMaxOffset) {
+          break;  // chain has left the window
+        }
+        const std::uint8_t* cand_ptr = base + candidate;
+        if (load_le32(cand_ptr) == sequence) {
+          const std::uint8_t* mp = cand_ptr + kMinMatch;
+          const std::uint8_t* fp = ip + kMinMatch;
+          while (fp < matchlimit && *fp == *mp) {
+            ++fp;
+            ++mp;
+          }
+          const std::size_t len = static_cast<std::size_t>(fp - ip);
+          if (len > best_len) {
+            best_len = len;
+            best_match = cand_ptr;
+          }
+        }
+        candidate = chain[candidate & kMaxOffset];
+      }
+      insert_position(pos);
+
+      if (best_match == nullptr) {
+        ++ip;
+        continue;
+      }
+
+      // Extend backward over pending literals.
+      const std::uint8_t* match = best_match;
+      while (ip > anchor && match > base && ip[-1] == match[-1]) {
+        --ip;
+        --match;
+        ++best_len;
+      }
+
+      std::uint8_t* token = nullptr;
+      if (!emit_literals(anchor, ip, token)) {
+        return overflow();
+      }
+      if (oend - op < 2) {
+        return overflow();
+      }
+      store_le16(op, static_cast<std::uint16_t>(ip - match));
+      op += 2;
+      const std::size_t stored = best_len - kMinMatch;
+      if (stored >= kTokenMax) {
+        *token |= static_cast<std::uint8_t>(kTokenMax);
+        if (!emit_length(stored - kTokenMax, op, oend)) {
+          return overflow();
+        }
+      } else {
+        *token |= static_cast<std::uint8_t>(stored);
+      }
+
+      // Index every covered position so later matches can chain into it.
+      const std::uint8_t* const match_end = ip + best_len;
+      for (const std::uint8_t* p = ip + 1; p < match_end && p < mflimit; ++p) {
+        insert_position(static_cast<std::size_t>(p - base));
+      }
+      ip = match_end;
+      anchor = ip;
+    }
+
+    std::uint8_t* token = nullptr;
+    if (!emit_literals(anchor, base + src_size, token)) {
+      return overflow();
+    }
+  } else {
+    std::uint8_t* token = nullptr;
+    if (!emit_literals(base, base + src_size, token)) {
+      return overflow();
+    }
+  }
+
+  return static_cast<std::size_t>(op - dst.data());
+}
+
+Bytes lz4hc_compress(ByteSpan src, int max_chain) {
+  Bytes out(lz4_compress_bound(src.size()));
+  auto written = lz4hc_compress_block(src, out, max_chain);
+  NS_CHECK(written.ok(), "lz4hc_compress with a bound-sized buffer cannot fail");
+  out.resize(written.value());
+  return out;
+}
+
+Bytes lz4_compress(ByteSpan src) {
+  Bytes out(lz4_compress_bound(src.size()));
+  auto written = lz4_compress_block(src, out);
+  NS_CHECK(written.ok(), "lz4_compress with a bound-sized buffer cannot fail");
+  out.resize(written.value());
+  return out;
+}
+
+Result<Bytes> lz4_decompress(ByteSpan src, std::size_t raw_size) {
+  Bytes out(raw_size);
+  auto produced = lz4_decompress_block(src, out);
+  if (!produced.ok()) {
+    return produced.status();
+  }
+  if (produced.value() != raw_size) {
+    return data_loss_error("lz4: block decoded to " + std::to_string(produced.value()) +
+                           " bytes, expected " + std::to_string(raw_size));
+  }
+  return out;
+}
+
+}  // namespace numastream

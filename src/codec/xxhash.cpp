@@ -1,0 +1,202 @@
+#include "codec/xxhash.h"
+
+#include <cstring>
+
+namespace numastream {
+namespace {
+
+// Specification constants.
+constexpr std::uint32_t kP32_1 = 2654435761U;
+constexpr std::uint32_t kP32_2 = 2246822519U;
+constexpr std::uint32_t kP32_3 = 3266489917U;
+constexpr std::uint32_t kP32_4 = 668265263U;
+constexpr std::uint32_t kP32_5 = 374761393U;
+
+constexpr std::uint64_t kP64_1 = 11400714785074694791ULL;
+constexpr std::uint64_t kP64_2 = 14029467366897019727ULL;
+constexpr std::uint64_t kP64_3 = 1609587929392839161ULL;
+constexpr std::uint64_t kP64_4 = 9650029242287828579ULL;
+constexpr std::uint64_t kP64_5 = 2870177450012600261ULL;
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int r) noexcept {
+  return (x << r) | (x >> (32 - r));
+}
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint32_t round32(std::uint32_t acc, std::uint32_t lane) noexcept {
+  return rotl32(acc + lane * kP32_2, 13) * kP32_1;
+}
+
+constexpr std::uint64_t round64(std::uint64_t acc, std::uint64_t lane) noexcept {
+  return rotl64(acc + lane * kP64_2, 31) * kP64_1;
+}
+
+constexpr std::uint64_t merge_round64(std::uint64_t h, std::uint64_t acc) noexcept {
+  return (h ^ round64(0, acc)) * kP64_1 + kP64_4;
+}
+
+std::uint32_t avalanche32(std::uint32_t h) noexcept {
+  h ^= h >> 15;
+  h *= kP32_2;
+  h ^= h >> 13;
+  h *= kP32_3;
+  h ^= h >> 16;
+  return h;
+}
+
+// Tail of xxHash32: mixes the final <16 remaining bytes into h.
+std::uint32_t finalize32(std::uint32_t h, const std::uint8_t* p,
+                         std::size_t len) noexcept {
+  while (len >= 4) {
+    h = rotl32(h + load_le32(p) * kP32_3, 17) * kP32_4;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h = rotl32(h + std::uint32_t{*p} * kP32_5, 11) * kP32_1;
+    ++p;
+    --len;
+  }
+  return avalanche32(h);
+}
+
+}  // namespace
+
+std::uint32_t xxhash32(ByteSpan data, std::uint32_t seed) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+  std::uint32_t h;
+  if (len >= 16) {
+    std::uint32_t a1 = seed + kP32_1 + kP32_2;
+    std::uint32_t a2 = seed + kP32_2;
+    std::uint32_t a3 = seed;
+    std::uint32_t a4 = seed - kP32_1;
+    const std::uint8_t* const limit = p + len - 16;
+    do {
+      a1 = round32(a1, load_le32(p));
+      a2 = round32(a2, load_le32(p + 4));
+      a3 = round32(a3, load_le32(p + 8));
+      a4 = round32(a4, load_le32(p + 12));
+      p += 16;
+    } while (p <= limit);
+    h = rotl32(a1, 1) + rotl32(a2, 7) + rotl32(a3, 12) + rotl32(a4, 18);
+  } else {
+    h = seed + kP32_5;
+  }
+  h += static_cast<std::uint32_t>(data.size());
+  return finalize32(h, p, data.size() - static_cast<std::size_t>(p - data.data()));
+}
+
+std::uint64_t xxhash64(ByteSpan data, std::uint64_t seed) noexcept {
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+  std::uint64_t h;
+  if (len >= 32) {
+    std::uint64_t a1 = seed + kP64_1 + kP64_2;
+    std::uint64_t a2 = seed + kP64_2;
+    std::uint64_t a3 = seed;
+    std::uint64_t a4 = seed - kP64_1;
+    const std::uint8_t* const limit = p + len - 32;
+    do {
+      a1 = round64(a1, load_le64(p));
+      a2 = round64(a2, load_le64(p + 8));
+      a3 = round64(a3, load_le64(p + 16));
+      a4 = round64(a4, load_le64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(a1, 1) + rotl64(a2, 7) + rotl64(a3, 12) + rotl64(a4, 18);
+    h = merge_round64(h, a1);
+    h = merge_round64(h, a2);
+    h = merge_round64(h, a3);
+    h = merge_round64(h, a4);
+  } else {
+    h = seed + kP64_5;
+  }
+  h += data.size();
+  len = data.size() - static_cast<std::size_t>(p - data.data());
+  while (len >= 8) {
+    h ^= round64(0, load_le64(p));
+    h = rotl64(h, 27) * kP64_1 + kP64_4;
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    h ^= std::uint64_t{load_le32(p)} * kP64_1;
+    h = rotl64(h, 23) * kP64_2 + kP64_3;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h ^= std::uint64_t{*p} * kP64_5;
+    h = rotl64(h, 11) * kP64_1;
+    ++p;
+    --len;
+  }
+  h ^= h >> 33;
+  h *= kP64_2;
+  h ^= h >> 29;
+  h *= kP64_3;
+  h ^= h >> 32;
+  return h;
+}
+
+XxHash32::XxHash32(std::uint32_t seed) noexcept : seed_(seed) {
+  acc_[0] = seed + kP32_1 + kP32_2;
+  acc_[1] = seed + kP32_2;
+  acc_[2] = seed;
+  acc_[3] = seed - kP32_1;
+}
+
+void XxHash32::update(ByteSpan data) noexcept {
+  total_len_ += data.size();
+  const std::uint8_t* p = data.data();
+  std::size_t len = data.size();
+
+  // Top up a partial 16-byte stripe first.
+  if (buffered_ > 0) {
+    const std::size_t need = 16 - buffered_;
+    const std::size_t take = std::min(need, len);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += static_cast<std::uint32_t>(take);
+    p += take;
+    len -= take;
+    if (buffered_ < 16) {
+      return;
+    }
+    acc_[0] = round32(acc_[0], load_le32(buffer_));
+    acc_[1] = round32(acc_[1], load_le32(buffer_ + 4));
+    acc_[2] = round32(acc_[2], load_le32(buffer_ + 8));
+    acc_[3] = round32(acc_[3], load_le32(buffer_ + 12));
+    buffered_ = 0;
+  }
+
+  while (len >= 16) {
+    acc_[0] = round32(acc_[0], load_le32(p));
+    acc_[1] = round32(acc_[1], load_le32(p + 4));
+    acc_[2] = round32(acc_[2], load_le32(p + 8));
+    acc_[3] = round32(acc_[3], load_le32(p + 12));
+    p += 16;
+    len -= 16;
+  }
+
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffered_ = static_cast<std::uint32_t>(len);
+  }
+}
+
+std::uint32_t XxHash32::digest() const noexcept {
+  std::uint32_t h;
+  if (total_len_ >= 16) {
+    h = rotl32(acc_[0], 1) + rotl32(acc_[1], 7) + rotl32(acc_[2], 12) +
+        rotl32(acc_[3], 18);
+  } else {
+    h = seed_ + kP32_5;
+  }
+  h += static_cast<std::uint32_t>(total_len_);
+  return finalize32(h, buffer_, buffered_);
+}
+
+}  // namespace numastream

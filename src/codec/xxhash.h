@@ -1,0 +1,40 @@
+// xxHash32 / xxHash64, implemented from the published specification.
+//
+// The paper's runtime moves multi-megabyte chunks across a network; the frame
+// format protects each chunk payload and its decompressed content with an
+// xxHash32 so corruption (a bug, a flaky link, a bad codec round-trip) is
+// detected at the consumer rather than silently fed to analysis. xxHash was
+// chosen because it is the checksum family LZ4's own frame format uses and it
+// runs far faster than the data arrives.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace numastream {
+
+/// One-shot xxHash32 of `data` with the given seed.
+std::uint32_t xxhash32(ByteSpan data, std::uint32_t seed = 0) noexcept;
+
+/// One-shot xxHash64 of `data` with the given seed.
+std::uint64_t xxhash64(ByteSpan data, std::uint64_t seed = 0) noexcept;
+
+/// Streaming xxHash32 for incremental framing paths: feed any number of
+/// update() calls, then digest(). Matches the one-shot function exactly.
+class XxHash32 {
+ public:
+  explicit XxHash32(std::uint32_t seed = 0) noexcept;
+
+  void update(ByteSpan data) noexcept;
+  [[nodiscard]] std::uint32_t digest() const noexcept;
+
+ private:
+  std::uint32_t acc_[4];
+  std::uint8_t buffer_[16];
+  std::uint32_t buffered_ = 0;
+  std::uint64_t total_len_ = 0;
+  std::uint32_t seed_ = 0;
+};
+
+}  // namespace numastream

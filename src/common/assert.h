@@ -1,0 +1,41 @@
+// Lightweight runtime checking macros used across numastream.
+//
+// NS_CHECK(cond, msg)    - always-on invariant check; aborts with a message.
+// NS_DCHECK(cond, msg)   - debug-only check (compiled out in NDEBUG builds).
+// NS_UNREACHABLE(msg)    - marks impossible control flow.
+//
+// These are deliberately macros (not functions) so that the failure message
+// carries the file/line of the call site.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace numastream::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line, const char* cond,
+                                      const char* msg) {
+  std::fprintf(stderr, "numastream check failed at %s:%d: (%s) %s\n", file, line, cond,
+               msg);
+  std::abort();
+}
+
+}  // namespace numastream::detail
+
+#define NS_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::numastream::detail::check_failed(__FILE__, __LINE__, #cond, msg); \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define NS_DCHECK(cond, msg) \
+  do {                       \
+  } while (0)
+#else
+#define NS_DCHECK(cond, msg) NS_CHECK(cond, msg)
+#endif
+
+#define NS_UNREACHABLE(msg) \
+  ::numastream::detail::check_failed(__FILE__, __LINE__, "unreachable", msg)

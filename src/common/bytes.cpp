@@ -1,0 +1,25 @@
+#include "common/bytes.h"
+
+#include <cstdio>
+
+namespace numastream {
+
+std::string hex_preview(ByteSpan data, std::size_t max_bytes) {
+  std::string out;
+  const std::size_t n = std::min(data.size(), max_bytes);
+  out.reserve(n * 3 + 4);
+  char buf[4];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%02x", data[i]);
+    if (i != 0) {
+      out += ' ';
+    }
+    out += buf;
+  }
+  if (data.size() > max_bytes) {
+    out += " ...";
+  }
+  return out;
+}
+
+}  // namespace numastream

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in numastream that needs randomness (synthetic data generation,
+// property tests, simulated OS scheduling jitter) takes an explicit generator
+// seeded by the caller, so experiments and tests are reproducible bit-for-bit.
+//
+// The generator is xoshiro256**, seeded through splitmix64 as its author
+// recommends. Both are implemented here from the published reference
+// algorithms; no global state is used anywhere.
+#pragma once
+
+#include <cstdint>
+
+namespace numastream {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Used to expand a single user seed into xoshiro's 256-bit state.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator, so it
+/// can drive <random> distributions, but the helpers below avoid <random>'s
+/// cross-platform nondeterminism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds deterministically from a single value.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  std::uint64_t operator()() noexcept { return next_u64(); }
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform value in [0, bound). `bound` must be nonzero. Uses Lemire's
+  /// multiply-shift rejection method for an unbiased result.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Standard normal variate (Marsaglia polar method; deterministic).
+  double next_gaussian() noexcept;
+
+ private:
+  std::uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace numastream

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+namespace numastream {
+
+std::string_view status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kUnimplemented:
+      return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) {
+    return "OK";
+  }
+  std::string out(status_code_name(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status invalid_argument_error(std::string message) {
+  return {StatusCode::kInvalidArgument, std::move(message)};
+}
+Status out_of_range_error(std::string message) {
+  return {StatusCode::kOutOfRange, std::move(message)};
+}
+Status data_loss_error(std::string message) {
+  return {StatusCode::kDataLoss, std::move(message)};
+}
+Status unavailable_error(std::string message) {
+  return {StatusCode::kUnavailable, std::move(message)};
+}
+Status resource_exhausted_error(std::string message) {
+  return {StatusCode::kResourceExhausted, std::move(message)};
+}
+Status internal_error(std::string message) {
+  return {StatusCode::kInternal, std::move(message)};
+}
+Status unimplemented_error(std::string message) {
+  return {StatusCode::kUnimplemented, std::move(message)};
+}
+
+}  // namespace numastream

@@ -1,0 +1,120 @@
+// Error handling for numastream.
+//
+// The library reports recoverable failures through Status / Result<T> rather
+// than exceptions: streaming pipelines run on worker threads where an escaping
+// exception would terminate the process, and the hot path must be able to
+// propagate "queue closed" or "corrupt frame" conditions cheaply.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+/// Broad classification of a failure. Mirrors the small set of conditions the
+/// runtime actually distinguishes when deciding how to react.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller violated an API precondition that is data-dependent
+  kOutOfRange,        ///< index/offset beyond a container or format limit
+  kDataLoss,          ///< corrupt or truncated encoded data
+  kUnavailable,       ///< transient: peer not yet reachable, queue closed, ...
+  kResourceExhausted, ///< buffer/queue capacity exceeded
+  kInternal,          ///< invariant violation that was recoverable
+  kUnimplemented,     ///< feature not supported on this platform/build
+};
+
+/// Human-readable name of a StatusCode (stable, for logs and tests).
+std::string_view status_code_name(StatusCode code) noexcept;
+
+/// A success-or-error value. Cheap to copy in the success case (no allocation).
+class Status {
+ public:
+  /// Success.
+  Status() noexcept = default;
+
+  /// Failure with a classification and a human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    NS_DCHECK(code != StatusCode::kOk, "error Status must carry a non-OK code");
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "<code>: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Convenience constructors matching the StatusCode values.
+Status invalid_argument_error(std::string message);
+Status out_of_range_error(std::string message);
+Status data_loss_error(std::string message);
+Status unavailable_error(std::string message);
+Status resource_exhausted_error(std::string message);
+Status internal_error(std::string message);
+Status unimplemented_error(std::string message);
+
+/// A value or an error. `value()` aborts if called on an error Result, so
+/// callers must test `ok()` (or use `value_or`).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    NS_DCHECK(!std::get<Status>(storage_).is_ok(),
+              "Result constructed from an OK status carries no value");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(storage_); }
+
+  [[nodiscard]] const T& value() const& {
+    NS_CHECK(ok(), "Result::value() called on an error");
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    NS_CHECK(ok(), "Result::value() called on an error");
+    return std::get<T>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    NS_CHECK(ok(), "Result::value() called on an error");
+    return std::get<T>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::ok() : std::get<Status>(storage_);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace numastream
+
+/// Early-return helper: evaluates `expr` (a Status); returns it on error.
+#define NS_RETURN_IF_ERROR(expr)                  \
+  do {                                            \
+    ::numastream::Status ns_status_tmp_ = (expr); \
+    if (!ns_status_tmp_.is_ok()) {                \
+      return ns_status_tmp_;                      \
+    }                                             \
+  } while (0)

@@ -1,0 +1,133 @@
+// BoundedQueue<T>: the thread-safe queue at the heart of the paper's pipeline
+// (Fig. 2): compressors push into it, senders pop from it; receivers push,
+// decompressors pop.
+//
+// Semantics chosen for pipeline use:
+//  * bounded: a full queue blocks producers, providing backpressure so a slow
+//    stage throttles the stages upstream of it instead of buffering unboundedly;
+//  * closeable: when a stage finishes it closes the queue; consumers drain the
+//    remaining items and then observe kUnavailable, which is the pipeline's
+//    end-of-stream signal;
+//  * MPMC: any number of producer and consumer threads.
+//
+// Implementation: mutex + two condition variables. For the chunk sizes this
+// runtime moves (11 MiB), queue synchronization is nanoseconds against
+// milliseconds of work per item, so a lock-free MPMC queue would add risk for
+// no measurable gain. (The lock-free SpscRing exists for the per-connection
+// fast paths; see spsc_ring.h.)
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/assert.h"
+#include "common/status.h"
+
+namespace numastream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    NS_CHECK(capacity > 0, "BoundedQueue capacity must be positive");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until space is available or the queue is closed.
+  /// Returns kUnavailable if the queue was closed (the item is dropped; the
+  /// pipeline is shutting down).
+  Status push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) {
+      return unavailable_error("queue closed");
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::ok();
+  }
+
+  /// Non-blocking push; kResourceExhausted when full, kUnavailable when closed.
+  Status try_push(T item) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return unavailable_error("queue closed");
+      }
+      if (items_.size() >= capacity_) {
+        return resource_exhausted_error("queue full");
+      }
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return Status::ok();
+  }
+
+  /// Blocks until an item is available or the queue is closed AND drained.
+  /// nullopt means end-of-stream: no item will ever arrive again.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) {
+      return std::nullopt;  // closed and drained
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; nullopt when currently empty (not necessarily closed).
+  std::optional<T> try_pop() {
+    std::optional<T> item;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Ends the stream. Idempotent. Producers' pending pushes fail; consumers
+  /// drain remaining items then see end-of-stream.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace numastream

@@ -1,0 +1,39 @@
+#include "concurrency/thread_pool.h"
+
+#include "affinity/affinity.h"
+#include "common/assert.h"
+
+namespace numastream {
+
+PinnedThreadGroup::PinnedThreadGroup(const MachineTopology& topo, std::string name,
+                                     std::size_t count, std::vector<NumaBinding> bindings,
+                                     WorkerBody body, PlacementRecorder* recorder) {
+  NS_CHECK(!bindings.empty(), "PinnedThreadGroup needs at least one binding");
+  NS_CHECK(body != nullptr, "PinnedThreadGroup needs a worker body");
+  threads_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NumaBinding binding = bindings[i % bindings.size()];
+    std::string worker_name = name + "-" + std::to_string(i);
+    threads_.emplace_back([&topo, binding, worker_name = std::move(worker_name),
+                           i, body, recorder] {
+      set_current_thread_name(worker_name);
+      WorkerContext ctx;
+      ctx.worker_index = static_cast<int>(i);
+      ctx.binding = binding;
+      ctx.binding_status = apply_binding(topo, binding, worker_name, recorder);
+      body(ctx);
+    });
+  }
+}
+
+PinnedThreadGroup::~PinnedThreadGroup() { join(); }
+
+void PinnedThreadGroup::join() {
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+}
+
+}  // namespace numastream

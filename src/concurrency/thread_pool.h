@@ -1,0 +1,56 @@
+// PinnedThreadGroup: the runtime's worker-thread primitive.
+//
+// The paper's pipeline does not use a shared task pool: each stage owns a
+// fixed set of long-lived worker threads, each bound to a NUMA domain before
+// it starts processing. PinnedThreadGroup captures exactly that: spawn N
+// threads, apply a NumaBinding to each, run the given loop body, join on
+// destruction (RAII — a pipeline can never leak a running thread).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "affinity/binding.h"
+#include "common/status.h"
+#include "topo/topology.h"
+
+namespace numastream {
+
+class PinnedThreadGroup {
+ public:
+  /// Context passed to each worker body.
+  struct WorkerContext {
+    int worker_index = 0;          ///< 0..count-1 within this group
+    NumaBinding binding;           ///< the binding that was applied
+    Status binding_status;         ///< outcome of apply_binding (workers may
+                                   ///< proceed unpinned if pinning failed)
+  };
+
+  using WorkerBody = std::function<void(const WorkerContext&)>;
+
+  /// Spawns `count` workers named "<name>-<i>". Worker i receives
+  /// bindings[i % bindings.size()]; pass a single binding to bind the whole
+  /// group to one domain, or alternating bindings to split a group across
+  /// domains (the paper's configurations E/F).
+  PinnedThreadGroup(const MachineTopology& topo, std::string name, std::size_t count,
+                    std::vector<NumaBinding> bindings, WorkerBody body,
+                    PlacementRecorder* recorder = nullptr);
+
+  PinnedThreadGroup(const PinnedThreadGroup&) = delete;
+  PinnedThreadGroup& operator=(const PinnedThreadGroup&) = delete;
+
+  /// Joins all workers (blocks until every body returns).
+  ~PinnedThreadGroup();
+
+  /// Explicit join; idempotent.
+  void join();
+
+  [[nodiscard]] std::size_t size() const noexcept { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace numastream

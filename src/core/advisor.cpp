@@ -1,0 +1,114 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+std::string to_string(StageKind stage) {
+  switch (stage) {
+    case StageKind::kCompress:
+      return "compress";
+    case StageKind::kSend:
+      return "send";
+    case StageKind::kReceive:
+      return "receive";
+    case StageKind::kDecompress:
+      return "decompress";
+    case StageKind::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+AdvisorReport BottleneckAdvisor::analyze(const PipelineObservation& observation) const {
+  struct Candidate {
+    StageKind kind;
+    const StageObservation* stage;
+  };
+  const Candidate candidates[] = {
+      {StageKind::kCompress, &observation.compress},
+      {StageKind::kSend, &observation.send},
+      {StageKind::kReceive, &observation.receive},
+      {StageKind::kDecompress, &observation.decompress},
+  };
+
+  AdvisorReport report;
+  // The bottleneck is the saturated stage with the least spare capacity —
+  // i.e. the highest utilization. A pipeline throttled by something external
+  // (source rate, NIC) has no saturated stage at all.
+  double best_utilization = options_.saturation_threshold;
+  for (const auto& candidate : candidates) {
+    if (candidate.stage->threads <= 0) {
+      continue;
+    }
+    if (candidate.stage->utilization > best_utilization) {
+      best_utilization = candidate.stage->utilization;
+      report.bottleneck = candidate.kind;
+    }
+  }
+
+  std::ostringstream why;
+  if (report.bottleneck == StageKind::kNone) {
+    why << "no stage saturated (max utilization "
+        << static_cast<int>(best_utilization * 100)
+        << "%); the pipeline is externally limited - do not add threads";
+    report.rationale = why.str();
+    return report;
+  }
+
+  const StageObservation* stage = nullptr;
+  for (const auto& candidate : candidates) {
+    if (candidate.kind == report.bottleneck) {
+      stage = candidate.stage;
+    }
+  }
+  NS_CHECK(stage != nullptr, "bottleneck stage must be one of the candidates");
+
+  // Per-thread capacity: what one fully-busy thread of this stage delivers.
+  report.bottleneck_per_thread =
+      observation.raw_throughput /
+      (static_cast<double>(stage->threads) * stage->utilization);
+
+  // Size the stage so it could carry the pipeline's headroom-adjusted load.
+  const double target_rate = observation.raw_throughput * options_.headroom;
+  int needed = static_cast<int>(
+      std::ceil(target_rate / report.bottleneck_per_thread));
+  needed = std::max(needed, stage->threads + 1);  // always make progress
+  report.recommended_threads = std::min(needed, options_.max_threads_per_stage);
+
+  why << to_string(report.bottleneck) << " is the bottleneck ("
+      << static_cast<int>(stage->utilization * 100) << "% busy on "
+      << stage->threads << " thread(s), ~"
+      << static_cast<long long>(report.bottleneck_per_thread / 1e6)
+      << " MB/s each); grow to " << report.recommended_threads << " thread(s)";
+  report.rationale = why.str();
+  return report;
+}
+
+WorkloadSpec BottleneckAdvisor::refine(const WorkloadSpec& spec,
+                                       const AdvisorReport& report) const {
+  WorkloadSpec refined = spec;
+  switch (report.bottleneck) {
+    case StageKind::kCompress:
+      refined.compression_threads = report.recommended_threads;
+      break;
+    case StageKind::kSend:
+    case StageKind::kReceive:
+      // Transfer threads are symmetric by construction (x S = x R = x TCP
+      // streams); either side being the bottleneck grows both.
+      refined.transfer_threads = report.recommended_threads;
+      break;
+    case StageKind::kDecompress:
+      refined.decompression_threads = report.recommended_threads;
+      break;
+    case StageKind::kNone:
+      break;
+  }
+  return refined;
+}
+
+}  // namespace numastream

@@ -1,0 +1,86 @@
+// BottleneckAdvisor: the paper's future-work feature ("adjust the allocation
+// of cores to streaming software processes in response to real-time resource
+// utilization", §6), implemented as an observe-analyze-refine loop.
+//
+// The advisor consumes per-stage observations of a running pipeline — how
+// many bytes each stage moved and how busy its threads were — identifies the
+// bottleneck stage, and proposes a new WorkloadSpec that shifts thread budget
+// toward it (never exceeding the core budgets the ConfigGenerator enforces).
+// Iterating advisor -> generator -> run converges from a bad configuration
+// (e.g. Table 3's config A at 37 Gbps) to the neighbourhood of the best one
+// without any a-priori knowledge of the workload; the ablation bench
+// `ablation_adaptive` demonstrates exactly that on the simulated gateway.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/config_generator.h"
+
+namespace numastream {
+
+/// One stage's measurements over an observation window.
+struct StageObservation {
+  int threads = 0;
+  /// Mean utilization of the stage's threads in [0, 1]: busy time divided by
+  /// (window x threads). A saturated stage reads ~1.
+  double utilization = 0;
+};
+
+/// A pipeline observation window. Throughputs are bytes/second of RAW data
+/// (the common currency across stages: compression input, decompression
+/// output), so stages are directly comparable.
+struct PipelineObservation {
+  double raw_throughput = 0;  ///< delivered end-to-end rate (bytes/sec raw)
+  StageObservation compress;
+  StageObservation send;
+  StageObservation receive;
+  StageObservation decompress;
+};
+
+enum class StageKind { kCompress, kSend, kReceive, kDecompress, kNone };
+
+std::string to_string(StageKind stage);
+
+/// The advisor's verdict for one window.
+struct AdvisorReport {
+  StageKind bottleneck = StageKind::kNone;
+  /// Estimated per-thread capacity of the bottleneck stage (raw bytes/sec),
+  /// i.e. throughput / (threads x utilization).
+  double bottleneck_per_thread = 0;
+  /// Threads the bottleneck stage would need to stop limiting the pipeline.
+  int recommended_threads = 0;
+  std::string rationale;
+};
+
+struct AdvisorOptions {
+  /// A stage whose mean utilization is above this is considered saturated.
+  double saturation_threshold = 0.80;
+  /// Headroom factor applied when sizing the bottleneck stage up, so the
+  /// next iteration lands past the knee instead of exactly on it.
+  double headroom = 1.25;
+  /// Never recommend more threads than this per stage (safety rail; the
+  /// generator additionally clamps to physical core budgets).
+  int max_threads_per_stage = 64;
+};
+
+class BottleneckAdvisor {
+ public:
+  explicit BottleneckAdvisor(AdvisorOptions options = {}) : options_(options) {}
+
+  /// Analyzes one window: which stage limits throughput, and how many
+  /// threads would relieve it. Reports kNone when no stage is saturated
+  /// (the pipeline is externally limited: source rate, NIC, link).
+  [[nodiscard]] AdvisorReport analyze(const PipelineObservation& observation) const;
+
+  /// Applies a report to a WorkloadSpec: bumps the bottleneck stage's thread
+  /// count, leaving everything else untouched. Returns the refined spec
+  /// (idempotent when report.bottleneck == kNone).
+  [[nodiscard]] WorkloadSpec refine(const WorkloadSpec& spec,
+                                    const AdvisorReport& report) const;
+
+ private:
+  AdvisorOptions options_;
+};
+
+}  // namespace numastream

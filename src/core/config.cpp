@@ -1,0 +1,291 @@
+// Config text grammar (one directive per line, '#' starts a comment):
+//
+//   node <name>
+//   role sender|receiver
+//   codec <codec-name>
+//   chunk_bytes <n>
+//   queue_capacity <n>
+//   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
+//
+// Example (the paper's NUMA-aware receiver for one of four streams):
+//   node lynxdtn
+//   role receiver
+//   codec lz4
+//   task receive count=4 exec=1 mem=1 stream=0
+//   task decompress count=4 exec=0 mem=0 stream=0
+#include "core/config.h"
+
+#include <sstream>
+
+#include "codec/codec.h"
+
+namespace numastream {
+namespace {
+
+std::string domain_to_token(int domain) {
+  return domain == NumaBinding::kOsChoice ? "os" : std::to_string(domain);
+}
+
+Result<int> domain_from_token(const std::string& token) {
+  if (token == "os") {
+    return NumaBinding::kOsChoice;
+  }
+  try {
+    std::size_t used = 0;
+    const int value = std::stoi(token, &used);
+    if (used != token.size() || value < 0) {
+      return invalid_argument_error("config: bad domain '" + token + "'");
+    }
+    return value;
+  } catch (const std::exception&) {
+    return invalid_argument_error("config: bad domain '" + token + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, sep)) {
+    out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(TaskType type) {
+  switch (type) {
+    case TaskType::kCompress:
+      return "compress";
+    case TaskType::kSend:
+      return "send";
+    case TaskType::kReceive:
+      return "receive";
+    case TaskType::kDecompress:
+      return "decompress";
+  }
+  return "?";
+}
+
+Result<TaskType> task_type_from_string(const std::string& text) {
+  if (text == "compress") {
+    return TaskType::kCompress;
+  }
+  if (text == "send") {
+    return TaskType::kSend;
+  }
+  if (text == "receive") {
+    return TaskType::kReceive;
+  }
+  if (text == "decompress") {
+    return TaskType::kDecompress;
+  }
+  return invalid_argument_error("config: unknown task type '" + text + "'");
+}
+
+int NodeConfig::thread_count(TaskType type, int stream_id) const {
+  int total = 0;
+  for (const auto& group : tasks) {
+    if (group.type == type && (stream_id < 0 || group.stream_id == stream_id ||
+                               group.stream_id < 0)) {
+      total += group.count;
+    }
+  }
+  return total;
+}
+
+Status NodeConfig::validate(const MachineTopology& topo) const {
+  if (node_name.empty()) {
+    return invalid_argument_error("config: empty node name");
+  }
+  if (codec_by_name(codec_name) == nullptr) {
+    return invalid_argument_error("config: unknown codec '" + codec_name + "'");
+  }
+  if (chunk_bytes == 0) {
+    return invalid_argument_error("config: zero chunk size");
+  }
+  if (queue_capacity == 0) {
+    return invalid_argument_error("config: zero queue capacity");
+  }
+  if (tasks.empty()) {
+    return invalid_argument_error("config: no task groups");
+  }
+  for (const auto& group : tasks) {
+    if (group.count <= 0) {
+      return invalid_argument_error("config: non-positive thread count for " +
+                                    to_string(group.type));
+    }
+    if (group.bindings.empty()) {
+      return invalid_argument_error("config: task group without bindings");
+    }
+    for (const auto& binding : group.bindings) {
+      if (!binding.os_managed() && !topo.domain(binding.execution_domain).ok()) {
+        return invalid_argument_error("config: task " + to_string(group.type) +
+                                      " pinned to unknown domain " +
+                                      std::to_string(binding.execution_domain));
+      }
+    }
+    const bool sender_task =
+        group.type == TaskType::kCompress || group.type == TaskType::kSend;
+    if (sender_task != (role == NodeRole::kSender)) {
+      return invalid_argument_error("config: task " + to_string(group.type) +
+                                    " does not belong on a " +
+                                    (role == NodeRole::kSender ? std::string("sender")
+                                                               : std::string("receiver")));
+    }
+  }
+  return Status::ok();
+}
+
+std::string NodeConfig::serialize() const {
+  std::ostringstream out;
+  out << "node " << node_name << "\n";
+  out << "role " << (role == NodeRole::kSender ? "sender" : "receiver") << "\n";
+  out << "codec " << codec_name << "\n";
+  out << "chunk_bytes " << chunk_bytes << "\n";
+  out << "queue_capacity " << queue_capacity << "\n";
+  for (const auto& group : tasks) {
+    out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
+    for (std::size_t i = 0; i < group.bindings.size(); ++i) {
+      out << (i == 0 ? "" : ",") << domain_to_token(group.bindings[i].execution_domain);
+    }
+    out << " mem=" << domain_to_token(group.bindings.front().memory_domain);
+    if (group.stream_id >= 0) {
+      out << " stream=" << group.stream_id;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Result<NodeConfig> NodeConfig::parse(const std::string& text) {
+  NodeConfig config;
+  config.tasks.clear();
+  bool saw_node = false;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    std::istringstream fields(line);
+    std::string directive;
+    if (!(fields >> directive)) {
+      continue;  // blank line
+    }
+    const auto fail = [&](const std::string& why) {
+      return invalid_argument_error("config line " + std::to_string(line_no) + ": " +
+                                    why);
+    };
+
+    if (directive == "node") {
+      if (!(fields >> config.node_name)) {
+        return fail("missing node name");
+      }
+      saw_node = true;
+    } else if (directive == "role") {
+      std::string role;
+      if (!(fields >> role)) {
+        return fail("missing role");
+      }
+      if (role == "sender") {
+        config.role = NodeRole::kSender;
+      } else if (role == "receiver") {
+        config.role = NodeRole::kReceiver;
+      } else {
+        return fail("unknown role '" + role + "'");
+      }
+    } else if (directive == "codec") {
+      if (!(fields >> config.codec_name)) {
+        return fail("missing codec name");
+      }
+    } else if (directive == "chunk_bytes") {
+      if (!(fields >> config.chunk_bytes)) {
+        return fail("bad chunk_bytes");
+      }
+    } else if (directive == "queue_capacity") {
+      if (!(fields >> config.queue_capacity)) {
+        return fail("bad queue_capacity");
+      }
+    } else if (directive == "task") {
+      TaskGroupConfig group;
+      std::string type_token;
+      if (!(fields >> type_token)) {
+        return fail("missing task type");
+      }
+      auto type = task_type_from_string(type_token);
+      if (!type.ok()) {
+        return fail(type.status().message());
+      }
+      group.type = type.value();
+      group.bindings.clear();
+
+      int memory_domain = NumaBinding::kOsChoice;
+      std::vector<int> exec_domains;
+      bool saw_count = false;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        if (key == "count") {
+          try {
+            group.count = std::stoi(value);
+          } catch (const std::exception&) {
+            return fail("bad count '" + value + "'");
+          }
+          saw_count = true;
+        } else if (key == "exec") {
+          for (const std::string& token : split(value, ',')) {
+            auto domain = domain_from_token(token);
+            if (!domain.ok()) {
+              return fail(domain.status().message());
+            }
+            exec_domains.push_back(domain.value());
+          }
+        } else if (key == "mem") {
+          auto domain = domain_from_token(value);
+          if (!domain.ok()) {
+            return fail(domain.status().message());
+          }
+          memory_domain = domain.value();
+        } else if (key == "stream") {
+          try {
+            group.stream_id = std::stoi(value);
+          } catch (const std::exception&) {
+            return fail("bad stream id '" + value + "'");
+          }
+        } else {
+          return fail("unknown attribute '" + key + "'");
+        }
+      }
+      if (!saw_count) {
+        return fail("task missing count=");
+      }
+      if (exec_domains.empty()) {
+        exec_domains.push_back(NumaBinding::kOsChoice);
+      }
+      for (const int domain : exec_domains) {
+        group.bindings.push_back(
+            NumaBinding{.execution_domain = domain, .memory_domain = memory_domain});
+      }
+      config.tasks.push_back(std::move(group));
+    } else {
+      return fail("unknown directive '" + directive + "'");
+    }
+  }
+  if (!saw_node) {
+    return invalid_argument_error("config: missing 'node' directive");
+  }
+  return config;
+}
+
+}  // namespace numastream

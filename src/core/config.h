@@ -1,0 +1,65 @@
+// RuntimeConfig: the configuration files of Fig. 4.
+//
+// The paper's "runtime configuration generator" emits one configuration per
+// node, specifying "the type of tasks designated to individual sockets, the
+// number of tasks, and the task execution location". NodeConfig is that
+// document: a node role, codec and chunk geometry, and a list of task groups
+// each with a thread count and NUMA bindings. It serializes to a small
+// line-oriented text format so configurations can be inspected, diffed, and
+// shipped to remote nodes, and parses back with full validation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "affinity/binding.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "topo/topology.h"
+
+namespace numastream {
+
+/// The four task types of the heterogeneous pipeline (Fig. 2).
+enum class TaskType { kCompress, kSend, kReceive, kDecompress };
+
+std::string to_string(TaskType type);
+Result<TaskType> task_type_from_string(const std::string& text);
+
+enum class NodeRole { kSender, kReceiver };
+
+/// One group of identical worker threads.
+struct TaskGroupConfig {
+  TaskType type = TaskType::kCompress;
+  int count = 1;
+  /// Applied round-robin over the group's workers; one entry pins the whole
+  /// group to a domain, two alternate it across domains (split placement).
+  std::vector<NumaBinding> bindings = {NumaBinding{}};
+  /// Stream this group serves, or -1 for all streams on this node.
+  int stream_id = -1;
+};
+
+struct NodeConfig {
+  std::string node_name;
+  NodeRole role = NodeRole::kSender;
+  std::string codec_name = "lz4";
+  std::uint64_t chunk_bytes = kProjectionChunkBytes;
+  std::size_t queue_capacity = 8;
+  std::vector<TaskGroupConfig> tasks;
+
+  /// Total threads of one task type across all groups (optionally filtered
+  /// to one stream).
+  [[nodiscard]] int thread_count(TaskType type, int stream_id = -1) const;
+
+  /// Checks the config is executable on `topo`: known codec, positive
+  /// counts, every pinned domain exists, role/task-type consistency
+  /// (senders compress+send, receivers receive+decompress).
+  [[nodiscard]] Status validate(const MachineTopology& topo) const;
+
+  /// Text form (see config.cpp header comment for the grammar).
+  [[nodiscard]] std::string serialize() const;
+
+  static Result<NodeConfig> parse(const std::string& text);
+};
+
+}  // namespace numastream

@@ -1,0 +1,255 @@
+#include "core/config_generator.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "codec/codec.h"
+
+namespace numastream {
+namespace {
+
+/// All domain ids of `topo` except `excluded`; falls back to all domains
+/// when exclusion would leave nothing (single-socket machines).
+std::vector<int> domains_except(const MachineTopology& topo, int excluded) {
+  std::vector<int> out;
+  for (const auto& domain : topo.domains()) {
+    if (domain.id != excluded) {
+      out.push_back(domain.id);
+    }
+  }
+  if (out.empty()) {
+    for (const auto& domain : topo.domains()) {
+      out.push_back(domain.id);
+    }
+  }
+  return out;
+}
+
+std::vector<NumaBinding> bindings_for_domains(const std::vector<int>& domains,
+                                              PlacementStrategy strategy) {
+  if (strategy == PlacementStrategy::kOsManaged) {
+    return {NumaBinding{}};
+  }
+  std::vector<NumaBinding> out;
+  out.reserve(domains.size());
+  for (const int d : domains) {
+    out.push_back(NumaBinding{.execution_domain = d, .memory_domain = d});
+  }
+  return out;
+}
+
+}  // namespace
+
+ConfigGenerator::ConfigGenerator(MachineTopology receiver,
+                                 std::vector<MachineTopology> senders)
+    : receiver_(std::move(receiver)), senders_(std::move(senders)) {}
+
+Result<StreamingPlan> ConfigGenerator::generate(const WorkloadSpec& spec,
+                                                PlacementStrategy strategy) const {
+  if (spec.num_streams <= 0) {
+    return invalid_argument_error("generator: need at least one stream");
+  }
+  if (static_cast<std::size_t>(spec.num_streams) != senders_.size()) {
+    return invalid_argument_error(
+        "generator: " + std::to_string(spec.num_streams) + " streams but " +
+        std::to_string(senders_.size()) + " sender topologies");
+  }
+  if (codec_by_name(spec.codec) == nullptr) {
+    return invalid_argument_error("generator: unknown codec '" + spec.codec + "'");
+  }
+
+  // ---- choose the streaming NIC(s) ----
+  std::vector<NicInfo> nics;
+  if (spec.use_all_nics) {
+    for (const auto& nic : receiver_.nics()) {
+      if (nic.numa_domain >= 0) {
+        nics.push_back(nic);
+      }
+    }
+  } else if (const auto preferred = receiver_.preferred_nic(); preferred.has_value()) {
+    nics.push_back(*preferred);
+  }
+  if (nics.empty()) {
+    return invalid_argument_error(
+        "generator: receiver has no NIC with a known NUMA attachment");
+  }
+
+  // Stream i lands on NIC i % n; count how many streams each NIC domain
+  // serves, because that domain's cores are the receive-thread budget.
+  std::vector<const NicInfo*> stream_nic(static_cast<std::size_t>(spec.num_streams));
+  std::map<int, int> streams_per_domain;
+  for (int stream = 0; stream < spec.num_streams; ++stream) {
+    const NicInfo& nic = nics[static_cast<std::size_t>(stream) % nics.size()];
+    stream_nic[static_cast<std::size_t>(stream)] = &nic;
+    streams_per_domain[nic.numa_domain] += 1;
+  }
+
+  // When every domain hosts a streaming NIC, receive and decompression
+  // threads must share each domain's cores (there is no "other socket" free
+  // of the receive path), so both budgets get half a domain each. With a
+  // single streaming NIC the classic partition applies: receivers own the
+  // NIC domain, decompressors own the rest.
+  const bool nics_cover_all_domains =
+      streams_per_domain.size() == receiver_.domain_count();
+
+  // Obs. 1/4: receivers live on their NIC's domain, one thread per core,
+  // shared evenly among the streams of that domain. With several NIC domains
+  // the tightest one sets the symmetric per-stream thread count.
+  int transfer_threads = spec.transfer_threads;
+  if (transfer_threads == 0) {
+    transfer_threads = 1 << 30;
+    for (const auto& [domain, streams] : streams_per_domain) {
+      const auto info = receiver_.domain(domain);
+      if (!info.ok()) {
+        return info.status();
+      }
+      int budget = static_cast<int>(info.value().cpus.count());
+      if (nics_cover_all_domains) {
+        // Receive is the cheap receiver-side stage (packet processing moves
+        // several times more bytes per core-second than decompression
+        // produces), so it gets a quarter of a shared domain and
+        // decompression the rest.
+        budget = std::max(1, budget / 4);
+      }
+      transfer_threads =
+          std::min(transfer_threads, std::max(1, budget / streams));
+    }
+  }
+  for (const auto& [domain, streams] : streams_per_domain) {
+    const int cores = static_cast<int>(receiver_.domain(domain).value().cpus.count());
+    if (transfer_threads * streams > cores) {
+      return invalid_argument_error(
+          "generator: " + std::to_string(streams) + " streams x " +
+          std::to_string(transfer_threads) + " receive threads exceed the " +
+          std::to_string(cores) + " cores of NIC domain " + std::to_string(domain));
+    }
+  }
+
+  StreamingPlan plan;
+  std::ostringstream why;
+  why << "receiver " << receiver_.hostname() << ": " << nics.size()
+      << " streaming NIC(s) in use";
+  for (const auto& nic : nics) {
+    why << " [" << nic.name << " -> NUMA " << nic.numa_domain << "]";
+  }
+  why << "; receive threads pinned to their NIC's domain (Obs. 1/4), "
+      << transfer_threads << " per stream, never oversubscribed\n";
+
+  // Receiver config: per-stream receive + decompress groups.
+  plan.receiver.node_name = receiver_.hostname();
+  plan.receiver.role = NodeRole::kReceiver;
+  plan.receiver.codec_name = spec.codec;
+  plan.receiver.chunk_bytes = spec.chunk_bytes;
+  plan.receiver.queue_capacity = spec.queue_capacity;
+
+  for (int stream = 0; stream < spec.num_streams; ++stream) {
+    const NicInfo& nic = *stream_nic[static_cast<std::size_t>(stream)];
+    plan.stream_receiver_nics.push_back(nic.name);
+
+    // Obs. 3: this stream's decompressors go to the socket(s) away from its
+    // own receive path.
+    // Decompression's budget is every core of its domain(s) that the receive
+    // threads placed there do not occupy (zero with a single streaming NIC,
+    // where the domains are cleanly partitioned).
+    const std::vector<int> decomp_domains = domains_except(receiver_, nic.numa_domain);
+    int decomp_core_budget = 0;
+    for (const int d : decomp_domains) {
+      int cores = static_cast<int>(receiver_.domain(d).value().cpus.count());
+      const auto it = streams_per_domain.find(d);
+      if (it != streams_per_domain.end()) {
+        cores -= transfer_threads * it->second;
+      }
+      decomp_core_budget += std::max(0, cores);
+    }
+    // The budget is shared by the streams whose receive path sits on this
+    // same NIC domain (they all push their decompression to the other
+    // socket(s)); with one NIC that is every stream, with one NIC per domain
+    // it is only that NIC's share.
+    const int sharing_streams = streams_per_domain.at(nic.numa_domain);
+    int decompression_threads = spec.decompression_threads;
+    if (decompression_threads == 0) {
+      decompression_threads = std::max(1, decomp_core_budget / sharing_streams);
+    }
+
+    plan.receiver.tasks.push_back(
+        TaskGroupConfig{.type = TaskType::kReceive,
+                        .count = transfer_threads,
+                        .bindings = bindings_for_domains({nic.numa_domain}, strategy),
+                        .stream_id = stream});
+    plan.receiver.tasks.push_back(
+        TaskGroupConfig{.type = TaskType::kDecompress,
+                        .count = decompression_threads,
+                        .bindings = bindings_for_domains(decomp_domains, strategy),
+                        .stream_id = stream});
+    why << "stream " << stream << ": receive on NUMA " << nic.numa_domain << " via "
+        << nic.name << ", " << decompression_threads
+        << " decompression thread(s) on domain(s) {";
+    for (std::size_t i = 0; i < decomp_domains.size(); ++i) {
+      why << (i == 0 ? "" : ",") << decomp_domains[i];
+    }
+    why << "} (Obs. 3)\n";
+  }
+
+  // Sender configs.
+  for (int stream = 0; stream < spec.num_streams; ++stream) {
+    const MachineTopology& sender = senders_[static_cast<std::size_t>(stream)];
+    NodeConfig config;
+    config.node_name = sender.hostname();
+    config.role = NodeRole::kSender;
+    config.codec_name = spec.codec;
+    config.chunk_bytes = spec.chunk_bytes;
+    config.queue_capacity = spec.queue_capacity;
+
+    // Obs. 2: compression scales to the core count and placement is free,
+    // so use every domain; never exceed the core count.
+    const int sender_cores = static_cast<int>(sender.cpu_count());
+    int compression_threads = spec.compression_threads;
+    if (compression_threads == 0) {
+      compression_threads = sender_cores;
+    }
+    compression_threads = std::min(compression_threads, sender_cores);
+
+    std::vector<int> all_domains;
+    for (const auto& domain : sender.domains()) {
+      all_domains.push_back(domain.id);
+    }
+    config.tasks.push_back(TaskGroupConfig{
+        .type = TaskType::kCompress,
+        .count = compression_threads,
+        .bindings = bindings_for_domains(all_domains, strategy),
+        .stream_id = stream});
+
+    // Sender-side transfer placement does not matter (Obs. 4); pin to the
+    // sender's own NIC domain when known, purely for determinism.
+    const auto sender_nic = sender.preferred_nic();
+    const std::vector<int> send_domains =
+        sender_nic.has_value() ? std::vector<int>{sender_nic->numa_domain} : all_domains;
+    config.tasks.push_back(TaskGroupConfig{
+        .type = TaskType::kSend,
+        .count = transfer_threads,
+        .bindings = bindings_for_domains(send_domains, strategy),
+        .stream_id = stream});
+
+    why << "sender " << sender.hostname() << ": " << compression_threads
+        << " compression threads (= core budget, Obs. 2), " << transfer_threads
+        << " send threads (symmetric with receive; placement immaterial, Obs. 4)\n";
+    plan.senders.push_back(std::move(config));
+  }
+
+  if (strategy == PlacementStrategy::kOsManaged) {
+    why << "strategy OS: identical thread counts, all placement left to the "
+           "operating system scheduler (comparison baseline)\n";
+  }
+  plan.rationale = why.str();
+
+  // Self-check: every emitted config must validate against its topology.
+  NS_RETURN_IF_ERROR(plan.receiver.validate(receiver_));
+  for (int stream = 0; stream < spec.num_streams; ++stream) {
+    NS_RETURN_IF_ERROR(plan.senders[static_cast<std::size_t>(stream)].validate(
+        senders_[static_cast<std::size_t>(stream)]));
+  }
+  return plan;
+}
+
+}  // namespace numastream

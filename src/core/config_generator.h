@@ -1,0 +1,78 @@
+// ConfigGenerator: the paper's "runtime configuration generator" (Fig. 4).
+//
+// Input: the receiver's topology (including which NUMA domain its streaming
+// NIC hangs off), the sender topologies, and a workload description. Output:
+// one NodeConfig per node embodying the paper's four observations:
+//
+//   Obs. 1+4  receiving threads are pinned to the NIC's NUMA domain; the
+//             NIC-domain cores are divided evenly among streams (one thread
+//             per core - never oversubscribed).
+//   Obs. 2    compression thread count never exceeds the sender's core
+//             count; compression placement is free (memory/exec domain do
+//             not matter), so compressors split across all domains to use
+//             every core.
+//   Obs. 3    decompression threads go to the non-NIC domain(s) (keeping the
+//             NIC domain for receivers), split evenly when more than one
+//             non-NIC domain exists, again never oversubscribed.
+//
+// The OS strategy emits the same thread counts with every binding left to
+// the OS scheduler - the baseline the paper compares against in Fig. 14.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "topo/topology.h"
+
+namespace numastream {
+
+struct WorkloadSpec {
+  int num_streams = 1;
+  std::string codec = "lz4";
+  std::uint64_t chunk_bytes = kProjectionChunkBytes;
+  std::size_t queue_capacity = 8;
+  /// Compression threads per sender; 0 = use every sender core (Obs. 2).
+  int compression_threads = 0;
+  /// Send/receive threads per stream; 0 = derive from the NIC-domain core
+  /// budget (Obs. 1/4).
+  int transfer_threads = 0;
+  /// Decompression threads per stream; 0 = derive from the non-NIC-domain
+  /// core budget (Obs. 3).
+  int decompression_threads = 0;
+
+  /// Spread streams across every NIC with a known NUMA attachment instead of
+  /// concentrating on the fastest one — the multi-NIC scale-out the paper's
+  /// introduction motivates. Each stream's receive threads are pinned to its
+  /// own NIC's domain; its decompression threads go to the other socket.
+  bool use_all_nics = false;
+};
+
+enum class PlacementStrategy {
+  kOsManaged,  ///< thread counts only; the OS places threads (baseline)
+  kNumaAware,  ///< the paper's runtime placement
+};
+
+struct StreamingPlan {
+  std::vector<NodeConfig> senders;  ///< one per stream, in stream order
+  NodeConfig receiver;              ///< carries per-stream receive/decompress groups
+  /// The receiver NIC each stream lands on (parallel to stream ids). All
+  /// entries equal the preferred NIC unless WorkloadSpec::use_all_nics.
+  std::vector<std::string> stream_receiver_nics;
+  std::string rationale;            ///< human-readable derivation of the choices
+};
+
+class ConfigGenerator {
+ public:
+  ConfigGenerator(MachineTopology receiver, std::vector<MachineTopology> senders);
+
+  /// Generates a plan. Fails if the workload cannot fit (more streams than
+  /// NIC-domain cores, stream count != sender count, unknown codec).
+  [[nodiscard]] Result<StreamingPlan> generate(const WorkloadSpec& spec,
+                                               PlacementStrategy strategy) const;
+
+ private:
+  MachineTopology receiver_;
+  std::vector<MachineTopology> senders_;
+};
+
+}  // namespace numastream

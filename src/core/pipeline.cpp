@@ -1,0 +1,365 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <ctime>
+#include <mutex>
+
+#include "codec/frame.h"
+#include "core/advisor.h"
+#include "common/assert.h"
+#include "concurrency/bounded_queue.h"
+#include "concurrency/thread_pool.h"
+#include "metrics/throughput.h"
+
+namespace numastream {
+namespace {
+
+/// CPU time consumed by the calling thread so far — the honest "busy"
+/// metric for stage utilization: blocking on queues or sockets costs no CPU,
+/// so utilization = cpu_time / (elapsed x threads) reads ~1 only for stages
+/// that are genuinely compute-saturated.
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return 0;
+  }
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Accumulates per-stage CPU seconds from many workers (stored in
+/// microseconds so a plain atomic integer suffices).
+class BusyCounter {
+ public:
+  void add_seconds(double seconds) {
+    micros_.fetch_add(static_cast<std::uint64_t>(seconds * 1e6),
+                      std::memory_order_relaxed);
+  }
+  [[nodiscard]] double seconds() const {
+    return static_cast<double>(micros_.load(std::memory_order_relaxed)) * 1e-6;
+  }
+
+ private:
+  std::atomic<std::uint64_t> micros_{0};
+};
+
+/// First-error-wins collector shared by a pipeline's worker threads.
+class ErrorCollector {
+ public:
+  void record(const Status& status) {
+    if (status.is_ok()) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (first_.is_ok()) {
+      first_ = status;
+    }
+  }
+
+  [[nodiscard]] Status first() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return first_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Status first_;
+};
+
+/// Aggregates a config's task groups of one type into a single worker pool
+/// description (total count + concatenated bindings).
+struct GroupSpec {
+  int count = 0;
+  std::vector<NumaBinding> bindings;
+};
+
+GroupSpec collect_group(const NodeConfig& config, TaskType type) {
+  GroupSpec spec;
+  for (const auto& group : config.tasks) {
+    if (group.type != type) {
+      continue;
+    }
+    spec.count += group.count;
+    for (const auto& binding : group.bindings) {
+      spec.bindings.push_back(binding);
+    }
+  }
+  if (spec.bindings.empty()) {
+    spec.bindings.push_back(NumaBinding{});
+  }
+  return spec;
+}
+
+}  // namespace
+
+TomoChunkSource::TomoChunkSource(TomoConfig config, std::uint32_t stream_id,
+                                 std::uint64_t count)
+    : generator_(config), stream_id_(stream_id), count_(count) {}
+
+std::optional<Chunk> TomoChunkSource::next() {
+  const std::uint64_t index = issued_.fetch_add(1, std::memory_order_relaxed);
+  if (index >= count_) {
+    return std::nullopt;
+  }
+  return generator_.chunk(stream_id_, index);
+}
+
+void CountingSink::deliver(Chunk chunk) {
+  chunks_.fetch_add(1, std::memory_order_relaxed);
+  bytes_.fetch_add(chunk.size(), std::memory_order_relaxed);
+}
+
+void DemuxSink::route(std::uint32_t stream_id, ChunkSink* sink) {
+  NS_CHECK(sink != nullptr, "DemuxSink route needs a sink");
+  routes_[stream_id] = sink;
+}
+
+void DemuxSink::set_fallback(ChunkSink* sink) { fallback_ = sink; }
+
+void DemuxSink::deliver(Chunk chunk) {
+  const auto it = routes_.find(chunk.stream_id);
+  if (it != routes_.end()) {
+    it->second->deliver(std::move(chunk));
+    return;
+  }
+  if (fallback_ != nullptr) {
+    fallback_->deliver(std::move(chunk));
+    return;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+StreamSender::StreamSender(const MachineTopology& topo, NodeConfig config)
+    : topo_(topo), config_(std::move(config)) {
+  NS_CHECK(config_.role == NodeRole::kSender, "StreamSender needs a sender config");
+}
+
+Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& connect,
+                                      PlacementRecorder* recorder) {
+  NS_RETURN_IF_ERROR(config_.validate(topo_));
+  const Codec* codec = codec_by_name(config_.codec_name);
+  NS_CHECK(codec != nullptr, "validate() checked the codec");
+
+  const GroupSpec compress = collect_group(config_, TaskType::kCompress);
+  const GroupSpec send = collect_group(config_, TaskType::kSend);
+  if (compress.count <= 0 || send.count <= 0) {
+    return invalid_argument_error("sender config needs compress and send tasks");
+  }
+
+  // Establish every connection before starting the clock, mirroring the
+  // paper's measurement of steady-state streaming (not connection setup).
+  std::vector<std::unique_ptr<ByteStream>> streams;
+  streams.reserve(static_cast<std::size_t>(send.count));
+  for (int i = 0; i < send.count; ++i) {
+    auto stream = connect();
+    if (!stream.ok()) {
+      return stream.status();
+    }
+    streams.push_back(std::move(stream).value());
+  }
+
+  BoundedQueue<Message> queue(config_.queue_capacity);
+  ErrorCollector errors;
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> raw_bytes{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  std::atomic<int> live_compressors{compress.count};
+
+  ThroughputMeter meter;
+  meter.start();
+
+  // Sending threads: drain the queue into their private connection.
+  BusyCounter send_busy;
+  PinnedThreadGroup senders(
+      topo_, "send", static_cast<std::size_t>(send.count), send.bindings,
+      [&](const PinnedThreadGroup::WorkerContext& ctx) {
+        PushSocket socket(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
+        while (auto message = queue.pop()) {
+          const Status status = socket.send(*message);
+          if (!status.is_ok()) {
+            errors.record(status);
+            queue.close();  // unblock the rest of the pipeline
+            break;
+          }
+        }
+        errors.record(socket.finish(0));
+        wire_bytes.fetch_add(socket.bytes_sent(), std::memory_order_relaxed);
+        send_busy.add_seconds(thread_cpu_seconds());
+      },
+      recorder);
+
+  // Compression threads: pull chunks, frame them, enqueue for sending.
+  BusyCounter compress_busy;
+  PinnedThreadGroup compressors(
+      topo_, "comp", static_cast<std::size_t>(compress.count), compress.bindings,
+      [&](const PinnedThreadGroup::WorkerContext&) {
+        while (auto chunk = source.next()) {
+          Message message;
+          message.stream_id = chunk->stream_id;
+          message.sequence = chunk->sequence;
+          message.body = encode_frame(*codec, chunk->payload);
+          raw_bytes.fetch_add(chunk->size(), std::memory_order_relaxed);
+          chunks.fetch_add(1, std::memory_order_relaxed);
+          if (!queue.push(std::move(message)).is_ok()) {
+            break;  // pipeline shutting down (peer failure)
+          }
+        }
+        if (live_compressors.fetch_sub(1) == 1) {
+          queue.close();  // last compressor ends the stream
+        }
+        compress_busy.add_seconds(thread_cpu_seconds());
+      },
+      recorder);
+
+  compressors.join();
+  senders.join();
+
+  const Status first_error = errors.first();
+  if (!first_error.is_ok()) {
+    return first_error;
+  }
+  SenderStats stats;
+  stats.chunks = chunks.load();
+  stats.raw_bytes = raw_bytes.load();
+  stats.wire_bytes = wire_bytes.load();
+  stats.elapsed_seconds = meter.elapsed_seconds();
+  stats.compress_busy_seconds = compress_busy.seconds();
+  stats.send_busy_seconds = send_busy.seconds();
+  stats.compress_threads = compress.count;
+  stats.send_threads = send.count;
+  return stats;
+}
+
+StreamReceiver::StreamReceiver(const MachineTopology& topo, NodeConfig config)
+    : topo_(topo), config_(std::move(config)) {
+  NS_CHECK(config_.role == NodeRole::kReceiver, "StreamReceiver needs a receiver config");
+}
+
+Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
+                                          PlacementRecorder* recorder) {
+  NS_RETURN_IF_ERROR(config_.validate(topo_));
+
+  const GroupSpec receive = collect_group(config_, TaskType::kReceive);
+  const GroupSpec decompress = collect_group(config_, TaskType::kDecompress);
+  if (receive.count <= 0 || decompress.count <= 0) {
+    return invalid_argument_error("receiver config needs receive and decompress tasks");
+  }
+
+  // One accepted connection per receiving thread, before the clock starts.
+  std::vector<std::unique_ptr<ByteStream>> streams;
+  streams.reserve(static_cast<std::size_t>(receive.count));
+  for (int i = 0; i < receive.count; ++i) {
+    auto stream = listener.accept();
+    if (!stream.ok()) {
+      return stream.status();
+    }
+    streams.push_back(std::move(stream).value());
+  }
+
+  BoundedQueue<Message> queue(config_.queue_capacity);
+  ErrorCollector errors;
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> raw_bytes{0};
+  std::atomic<std::uint64_t> wire_bytes{0};
+  std::atomic<std::uint64_t> corrupt_frames{0};
+  std::atomic<int> live_receivers{receive.count};
+
+  ThroughputMeter meter;
+  meter.start();
+
+  BusyCounter receive_busy;
+  BusyCounter decompress_busy;
+  PinnedThreadGroup receivers(
+      topo_, "recv", static_cast<std::size_t>(receive.count), receive.bindings,
+      [&](const PinnedThreadGroup::WorkerContext& ctx) {
+        PullSocket socket(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
+        while (true) {
+          auto message = socket.recv();
+          if (!message.ok()) {
+            // Clean end of stream is the normal exit; anything else is real.
+            if (message.status().code() != StatusCode::kUnavailable) {
+              errors.record(message.status());
+            }
+            break;
+          }
+          if (message.value().end_of_stream) {
+            break;
+          }
+          if (!queue.push(std::move(message).value()).is_ok()) {
+            break;  // pipeline shutting down
+          }
+        }
+        wire_bytes.fetch_add(socket.bytes_received(), std::memory_order_relaxed);
+        if (live_receivers.fetch_sub(1) == 1) {
+          queue.close();
+        }
+        receive_busy.add_seconds(thread_cpu_seconds());
+      },
+      recorder);
+
+  PinnedThreadGroup decompressors(
+      topo_, "decomp", static_cast<std::size_t>(decompress.count), decompress.bindings,
+      [&](const PinnedThreadGroup::WorkerContext&) {
+        while (auto message = queue.pop()) {
+          auto content = decode_frame_content(message->body);
+          if (!content.ok()) {
+            corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+            continue;  // drop the frame; keep the stream alive
+          }
+          Chunk chunk;
+          chunk.stream_id = message->stream_id;
+          chunk.sequence = message->sequence;
+          chunk.payload = std::move(content).value();
+          raw_bytes.fetch_add(chunk.size(), std::memory_order_relaxed);
+          chunks.fetch_add(1, std::memory_order_relaxed);
+          sink.deliver(std::move(chunk));
+        }
+        decompress_busy.add_seconds(thread_cpu_seconds());
+      },
+      recorder);
+
+  receivers.join();
+  decompressors.join();
+
+  const Status first_error = errors.first();
+  if (!first_error.is_ok()) {
+    return first_error;
+  }
+  ReceiverStats stats;
+  stats.chunks = chunks.load();
+  stats.raw_bytes = raw_bytes.load();
+  stats.wire_bytes = wire_bytes.load();
+  stats.corrupt_frames = corrupt_frames.load();
+  stats.elapsed_seconds = meter.elapsed_seconds();
+  stats.receive_busy_seconds = receive_busy.seconds();
+  stats.decompress_busy_seconds = decompress_busy.seconds();
+  stats.receive_threads = receive.count;
+  stats.decompress_threads = decompress.count;
+  return stats;
+}
+
+PipelineObservation make_observation(const SenderStats& sender,
+                                     const ReceiverStats& receiver) {
+  const auto stage = [](double busy, int threads, double elapsed) {
+    StageObservation observation;
+    observation.threads = threads;
+    observation.utilization =
+        threads > 0 && elapsed > 0
+            ? std::min(1.0, busy / (elapsed * static_cast<double>(threads)))
+            : 0.0;
+    return observation;
+  };
+  PipelineObservation observation;
+  observation.raw_throughput = receiver.raw_rate();
+  observation.compress = stage(sender.compress_busy_seconds, sender.compress_threads,
+                               sender.elapsed_seconds);
+  observation.send =
+      stage(sender.send_busy_seconds, sender.send_threads, sender.elapsed_seconds);
+  observation.receive = stage(receiver.receive_busy_seconds, receiver.receive_threads,
+                              receiver.elapsed_seconds);
+  observation.decompress =
+      stage(receiver.decompress_busy_seconds, receiver.decompress_threads,
+            receiver.elapsed_seconds);
+  return observation;
+}
+
+}  // namespace numastream

@@ -1,0 +1,180 @@
+// The executable streaming pipeline (Fig. 2 of the paper), on real threads.
+//
+// StreamSender:   ChunkSource -> {C} compression threads -> bounded queue ->
+//                 {S} sending threads -> one ByteStream each.
+// StreamReceiver: {R} receiving threads (one accepted connection each) ->
+//                 bounded queue -> {D} decompression threads -> ChunkSink.
+//
+// Thread counts and NUMA bindings come from a NodeConfig (hand-written or
+// produced by the ConfigGenerator), so the same code runs the paper's
+// NUMA-aware placement and the OS baseline. Transports are pluggable: tests
+// run the full pipeline over in-process pipes, the examples over TCP
+// loopback, and a deployment would run it host-to-host — the pipeline code
+// is identical in all three.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/config.h"
+#include "data/chunk.h"
+#include "data/tomo.h"
+#include "msg/socket.h"
+#include "msg/transport.h"
+
+namespace numastream {
+
+/// Produces the chunks a sender streams. Implementations must be
+/// thread-safe: every compression thread pulls from the same source.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+  /// Next chunk, or nullopt when the dataset is exhausted.
+  virtual std::optional<Chunk> next() = 0;
+};
+
+/// Serves `count` synthetic projections for stream `stream_id`.
+class TomoChunkSource final : public ChunkSource {
+ public:
+  TomoChunkSource(TomoConfig config, std::uint32_t stream_id, std::uint64_t count);
+  std::optional<Chunk> next() override;
+
+ private:
+  TomoGenerator generator_;
+  std::uint32_t stream_id_;
+  std::uint64_t count_;
+  std::atomic<std::uint64_t> issued_{0};
+};
+
+/// Receives decompressed chunks. Must be thread-safe.
+class ChunkSink {
+ public:
+  virtual ~ChunkSink() = default;
+  virtual void deliver(Chunk chunk) = 0;
+};
+
+/// Counts chunks/bytes and records the highest sequence per stream.
+class CountingSink final : public ChunkSink {
+ public:
+  void deliver(Chunk chunk) override;
+  [[nodiscard]] std::uint64_t chunks() const noexcept { return chunks_.load(); }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_.load(); }
+
+ private:
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+/// Routes chunks to per-stream sinks by Chunk::stream_id — the receiver-side
+/// demultiplexer of a multi-stream gateway (Fig. 13): one StreamReceiver can
+/// accept connections from several senders and this sink keeps their chunks
+/// apart. Chunks for unregistered stream ids go to the fallback sink (or are
+/// counted as dropped when none is set).
+class DemuxSink final : public ChunkSink {
+ public:
+  /// Routes `stream_id` to `sink` (not owned; must outlive the pipeline).
+  void route(std::uint32_t stream_id, ChunkSink* sink);
+
+  /// Receives chunks whose stream id has no route; optional.
+  void set_fallback(ChunkSink* sink);
+
+  void deliver(Chunk chunk) override;
+
+  /// Chunks that had neither a route nor a fallback.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_.load(); }
+
+ private:
+  std::map<std::uint32_t, ChunkSink*> routes_;  // set up before run(); read-only after
+  ChunkSink* fallback_ = nullptr;
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+struct SenderStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t raw_bytes = 0;   ///< uncompressed bytes consumed
+  std::uint64_t wire_bytes = 0;  ///< bytes actually written to the transport
+  double elapsed_seconds = 0;
+  // Per-stage accounting for the adaptive advisor (core/advisor.h): how much
+  // wall time the stage's workers spent actively processing (vs blocked on
+  // queues/sockets), and how many workers ran.
+  double compress_busy_seconds = 0;
+  double send_busy_seconds = 0;
+  int compress_threads = 0;
+  int send_threads = 0;
+
+  [[nodiscard]] double raw_rate() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(raw_bytes) / elapsed_seconds : 0;
+  }
+  [[nodiscard]] double wire_rate() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(wire_bytes) / elapsed_seconds : 0;
+  }
+  [[nodiscard]] double compression_ratio() const noexcept {
+    return wire_bytes > 0
+               ? static_cast<double>(raw_bytes) / static_cast<double>(wire_bytes)
+               : 0;
+  }
+};
+
+struct ReceiverStats {
+  std::uint64_t chunks = 0;
+  std::uint64_t raw_bytes = 0;   ///< decompressed bytes delivered to the sink
+  std::uint64_t wire_bytes = 0;  ///< bytes read off the transport
+  std::uint64_t corrupt_frames = 0;
+  double elapsed_seconds = 0;
+  double receive_busy_seconds = 0;
+  double decompress_busy_seconds = 0;
+  int receive_threads = 0;
+  int decompress_threads = 0;
+
+  [[nodiscard]] double raw_rate() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(raw_bytes) / elapsed_seconds : 0;
+  }
+  [[nodiscard]] double wire_rate() const noexcept {
+    return elapsed_seconds > 0 ? static_cast<double>(wire_bytes) / elapsed_seconds : 0;
+  }
+};
+
+/// One transport connection per sending thread.
+using ConnectFn = std::function<Result<std::unique_ptr<ByteStream>>()>;
+
+class StreamSender {
+ public:
+  /// `config` must be a sender config that validates against `topo`.
+  StreamSender(const MachineTopology& topo, NodeConfig config);
+
+  /// Drains `source` through the pipeline; blocks until every thread
+  /// finishes. `connect` is invoked once per sending thread.
+  Result<SenderStats> run(ChunkSource& source, const ConnectFn& connect,
+                          PlacementRecorder* recorder = nullptr);
+
+ private:
+  const MachineTopology& topo_;
+  NodeConfig config_;
+};
+
+class StreamReceiver {
+ public:
+  /// `config` must be a receiver config that validates against `topo`.
+  StreamReceiver(const MachineTopology& topo, NodeConfig config);
+
+  /// Accepts one connection per receiving thread from `listener`, then
+  /// drains them all into `sink`; blocks until every peer finishes.
+  Result<ReceiverStats> run(Listener& listener, ChunkSink& sink,
+                            PlacementRecorder* recorder = nullptr);
+
+ private:
+  const MachineTopology& topo_;
+  NodeConfig config_;
+};
+
+/// Combines one run's sender and receiver stats into the advisor's
+/// observation format (core/advisor.h), enabling the observe-analyze-refine
+/// loop on the real pipeline exactly as on the simulated one. Utilization is
+/// active processing time over (elapsed x threads).
+struct PipelineObservation;  // forward declared in core/advisor.h
+PipelineObservation make_observation(const SenderStats& sender,
+                                     const ReceiverStats& receiver);
+
+}  // namespace numastream

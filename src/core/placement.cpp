@@ -1,0 +1,69 @@
+#include "core/placement.h"
+
+namespace numastream {
+
+std::string to_string(ExecutionDomainPolicy policy) {
+  switch (policy) {
+    case ExecutionDomainPolicy::kDomain0:
+      return "N0";
+    case ExecutionDomainPolicy::kDomain1:
+      return "N1";
+    case ExecutionDomainPolicy::kSplit:
+      return "N0&1";
+    case ExecutionDomainPolicy::kOsManaged:
+      return "OS";
+  }
+  return "?";
+}
+
+std::vector<NumaBinding> bindings_for_policy(ExecutionDomainPolicy policy,
+                                             int memory_domain) {
+  switch (policy) {
+    case ExecutionDomainPolicy::kDomain0:
+      return {NumaBinding{.execution_domain = 0, .memory_domain = memory_domain}};
+    case ExecutionDomainPolicy::kDomain1:
+      return {NumaBinding{.execution_domain = 1, .memory_domain = memory_domain}};
+    case ExecutionDomainPolicy::kSplit:
+      return {NumaBinding{.execution_domain = 0, .memory_domain = memory_domain},
+              NumaBinding{.execution_domain = 1, .memory_domain = memory_domain}};
+    case ExecutionDomainPolicy::kOsManaged:
+      return {NumaBinding{.execution_domain = NumaBinding::kOsChoice,
+                          .memory_domain = memory_domain}};
+  }
+  return {NumaBinding{}};
+}
+
+const std::vector<ComputePlacementConfig>& table1_configs() {
+  static const std::vector<ComputePlacementConfig> kConfigs = {
+      {'A', 0, ExecutionDomainPolicy::kDomain0},
+      {'B', 0, ExecutionDomainPolicy::kDomain1},
+      {'C', 1, ExecutionDomainPolicy::kDomain0},
+      {'D', 1, ExecutionDomainPolicy::kDomain1},
+      {'E', 0, ExecutionDomainPolicy::kSplit},
+      {'F', 1, ExecutionDomainPolicy::kSplit},
+      {'G', 0, ExecutionDomainPolicy::kOsManaged},
+      {'H', 1, ExecutionDomainPolicy::kOsManaged},
+  };
+  return kConfigs;
+}
+
+const std::vector<TransferPlacementConfig>& table2_configs() {
+  static const std::vector<TransferPlacementConfig> kConfigs = {
+      {'A', ExecutionDomainPolicy::kDomain0, ExecutionDomainPolicy::kDomain0},
+      {'B', ExecutionDomainPolicy::kDomain0, ExecutionDomainPolicy::kDomain1},
+      {'C', ExecutionDomainPolicy::kDomain1, ExecutionDomainPolicy::kDomain0},
+      {'D', ExecutionDomainPolicy::kDomain1, ExecutionDomainPolicy::kDomain1},
+      {'E', ExecutionDomainPolicy::kOsManaged, ExecutionDomainPolicy::kOsManaged},
+  };
+  return kConfigs;
+}
+
+const std::vector<ThreadCountConfig>& table3_configs() {
+  static const std::vector<ThreadCountConfig> kConfigs = {
+      {'A', 8, 4},  {'B', 8, 8},   {'C', 16, 8}, {'D', 16, 16},
+      {'E', 32, 4}, {'F', 32, 8},  {'G', 32, 16},
+  };
+  return kConfigs;
+}
+
+}  // namespace numastream

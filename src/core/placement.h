@@ -1,0 +1,70 @@
+// The paper's experimental configuration tables, as first-class types.
+//
+// Section 3 and 4 of the paper sweep three configuration spaces:
+//   Table 1 (configs A-H): where the data lives x where compression /
+//                          decompression threads execute,
+//   Table 2 (configs A-E): which socket sender threads and receiver threads
+//                          run on for the network-only experiment,
+//   Table 3 (configs A-G): how many compression and decompression threads
+//                          the end-to-end pipeline uses.
+// The benches and the config generator share these definitions so "config D"
+// means exactly the same thing everywhere.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "affinity/binding.h"
+
+namespace numastream {
+
+/// How threads of one task are spread over NUMA domains.
+enum class ExecutionDomainPolicy {
+  kDomain0,    ///< all threads pinned to NUMA 0
+  kDomain1,    ///< all threads pinned to NUMA 1
+  kSplit,      ///< alternate threads across NUMA 0 and NUMA 1 (configs E/F)
+  kOsManaged,  ///< no pinning; the OS scheduler decides (configs G/H)
+};
+
+std::string to_string(ExecutionDomainPolicy policy);
+
+/// Expands a policy into the binding list PinnedThreadGroup consumes
+/// (worker i gets bindings[i % size]). `memory_domain` records where the
+/// task's source data lives (Table 1's "Memory Domain" column).
+std::vector<NumaBinding> bindings_for_policy(ExecutionDomainPolicy policy,
+                                             int memory_domain);
+
+// ---- Table 1: compression / decompression placement configs A-H ----
+
+struct ComputePlacementConfig {
+  char label;                      ///< 'A'..'H'
+  int memory_domain;               ///< domain holding the source data (0/1)
+  ExecutionDomainPolicy execution; ///< where the worker threads run
+};
+
+/// The eight rows of Table 1, in order A..H.
+const std::vector<ComputePlacementConfig>& table1_configs();
+
+// ---- Table 2: sender/receiver socket configs A-E ----
+
+struct TransferPlacementConfig {
+  char label;                          ///< 'A'..'E'
+  ExecutionDomainPolicy sender;        ///< socket of sending threads
+  ExecutionDomainPolicy receiver;      ///< socket of receiving threads
+};
+
+/// The five rows of Table 2, in order A..E.
+const std::vector<TransferPlacementConfig>& table2_configs();
+
+// ---- Table 3: end-to-end thread-count configs A-G ----
+
+struct ThreadCountConfig {
+  char label;                 ///< 'A'..'G'
+  int compression_threads;    ///< {C} on the sender
+  int decompression_threads;  ///< {D} on the receiver
+};
+
+/// The seven rows of Table 3, in order A..G.
+const std::vector<ThreadCountConfig>& table3_configs();
+
+}  // namespace numastream

@@ -1,0 +1,13 @@
+#include "data/chunk.h"
+
+#include "common/units.h"
+
+namespace numastream {
+
+std::string Chunk::debug_string() const {
+  return "chunk{stream=" + std::to_string(stream_id) + " seq=" + std::to_string(sequence) +
+         " domain=" + std::to_string(memory_domain) + " size=" + format_bytes(size()) +
+         "}";
+}
+
+}  // namespace numastream

@@ -1,0 +1,29 @@
+// Chunk: the unit of work flowing through the pipeline.
+//
+// The paper streams one X-ray projection per chunk — 11.0592 MB — and every
+// stage (compress, send, receive, decompress) operates on whole chunks. A
+// chunk carries identity (stream, sequence) so multi-stream receivers can
+// demultiplex and detect loss/reordering, plus a record of which NUMA domain
+// its buffer was allocated in (first-touch), which the metrics layer uses to
+// attribute remote-memory traffic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace numastream {
+
+struct Chunk {
+  std::uint32_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  /// NUMA domain the payload pages live in; -1 when unknown/not NUMA-tracked.
+  int memory_domain = -1;
+  Bytes payload;
+
+  [[nodiscard]] std::size_t size() const noexcept { return payload.size(); }
+  [[nodiscard]] std::string debug_string() const;
+};
+
+}  // namespace numastream

@@ -1,0 +1,159 @@
+#include "data/sdf.h"
+
+#include "codec/xxhash.h"
+#include "common/assert.h"
+
+namespace numastream {
+namespace {
+
+Bytes encode_header(const SdfHeader& header) {
+  Bytes out;
+  out.reserve(kSdfHeaderSize);
+  ByteWriter w(out);
+  w.u32(kSdfMagic);
+  w.u32(1);  // version
+  w.u64(header.chunk_count);
+  w.u64(header.chunk_bytes);
+  w.u32(header.rows);
+  w.u32(header.cols);
+  w.u32(header.element_size);
+  while (out.size() < kSdfHeaderSize) {
+    out.push_back(0);
+  }
+  return out;
+}
+
+Result<SdfHeader> decode_header(ByteSpan data) {
+  ByteReader reader(data);
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  SdfHeader header;
+  NS_RETURN_IF_ERROR(reader.u32(magic));
+  if (magic != kSdfMagic) {
+    return data_loss_error("sdf: bad magic");
+  }
+  NS_RETURN_IF_ERROR(reader.u32(version));
+  if (version != 1) {
+    return data_loss_error("sdf: unsupported version " + std::to_string(version));
+  }
+  NS_RETURN_IF_ERROR(reader.u64(header.chunk_count));
+  NS_RETURN_IF_ERROR(reader.u64(header.chunk_bytes));
+  NS_RETURN_IF_ERROR(reader.u32(header.rows));
+  NS_RETURN_IF_ERROR(reader.u32(header.cols));
+  NS_RETURN_IF_ERROR(reader.u32(header.element_size));
+  if (header.chunk_bytes == 0) {
+    return data_loss_error("sdf: zero chunk size");
+  }
+  return header;
+}
+
+}  // namespace
+
+SdfWriter::SdfWriter(std::ofstream out, SdfHeader header)
+    : out_(std::move(out)), header_(header) {}
+
+Result<SdfWriter> SdfWriter::create(const std::string& path, const SdfHeader& header) {
+  if (header.chunk_bytes == 0) {
+    return invalid_argument_error("sdf: chunk size must be positive");
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return unavailable_error("sdf: cannot create " + path);
+  }
+  SdfHeader h = header;
+  h.chunk_count = 0;
+  const Bytes bytes = encode_header(h);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return unavailable_error("sdf: failed writing header to " + path);
+  }
+  return SdfWriter(std::move(out), h);
+}
+
+Status SdfWriter::append(ByteSpan chunk) {
+  NS_CHECK(!closed_, "append after close");
+  if (chunk.size() != header_.chunk_bytes) {
+    return invalid_argument_error("sdf: chunk size " + std::to_string(chunk.size()) +
+                                  " != declared " + std::to_string(header_.chunk_bytes));
+  }
+  std::uint8_t hash_bytes[4];
+  store_le32(hash_bytes, xxhash32(chunk));
+  out_.write(reinterpret_cast<const char*>(hash_bytes), 4);
+  out_.write(reinterpret_cast<const char*>(chunk.data()),
+             static_cast<std::streamsize>(chunk.size()));
+  if (!out_) {
+    return unavailable_error("sdf: write failed");
+  }
+  ++written_;
+  return Status::ok();
+}
+
+Status SdfWriter::close() {
+  if (closed_) {
+    return Status::ok();
+  }
+  closed_ = true;
+  header_.chunk_count = written_;
+  out_.seekp(0);
+  const Bytes bytes = encode_header(header_);
+  out_.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  out_.flush();
+  if (!out_) {
+    return unavailable_error("sdf: failed finalizing header");
+  }
+  return Status::ok();
+}
+
+SdfWriter::~SdfWriter() {
+  if (out_.is_open()) {
+    NS_CHECK(closed_, "SdfWriter destroyed without close(); file would be corrupt");
+  }
+}
+
+SdfReader::SdfReader(std::ifstream in, SdfHeader header)
+    : in_(std::move(in)), header_(header) {}
+
+Result<SdfReader> SdfReader::open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return unavailable_error("sdf: cannot open " + path);
+  }
+  Bytes header_bytes(kSdfHeaderSize);
+  in.read(reinterpret_cast<char*>(header_bytes.data()), kSdfHeaderSize);
+  if (in.gcount() != static_cast<std::streamsize>(kSdfHeaderSize)) {
+    return data_loss_error("sdf: truncated header in " + path);
+  }
+  auto header = decode_header(header_bytes);
+  if (!header.ok()) {
+    return header.status();
+  }
+  return SdfReader(std::move(in), header.value());
+}
+
+Result<Bytes> SdfReader::read_chunk(std::uint64_t index) {
+  if (index >= header_.chunk_count) {
+    return out_of_range_error("sdf: chunk " + std::to_string(index) + " of " +
+                              std::to_string(header_.chunk_count));
+  }
+  const std::uint64_t record_size = 4 + header_.chunk_bytes;
+  const std::uint64_t offset = kSdfHeaderSize + index * record_size;
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+
+  std::uint8_t hash_bytes[4];
+  in_.read(reinterpret_cast<char*>(hash_bytes), 4);
+  Bytes chunk(header_.chunk_bytes);
+  in_.read(reinterpret_cast<char*>(chunk.data()),
+           static_cast<std::streamsize>(chunk.size()));
+  if (!in_) {
+    return data_loss_error("sdf: truncated chunk " + std::to_string(index));
+  }
+  if (xxhash32(chunk) != load_le32(hash_bytes)) {
+    return data_loss_error("sdf: checksum mismatch on chunk " + std::to_string(index));
+  }
+  return chunk;
+}
+
+}  // namespace numastream

@@ -1,0 +1,90 @@
+// SDF ("streaming data format"): a minimal chunked scientific-data container.
+//
+// Plays the role HDF5 plays in the paper — a file the sender slices into
+// fixed-size projection chunks — without pulling in an external dependency.
+// The format is deliberately simple: a fixed header describing the chunk
+// geometry, then each chunk stored sequentially with its own xxhash32, so a
+// reader can random-access chunk i at a computed offset and verify it.
+//
+// Layout (little-endian):
+//   header (64 bytes):
+//     0   4  magic "SDF1"
+//     4   4  version (1)
+//     8   8  chunk count
+//     16  8  chunk size in bytes (all chunks equal-sized)
+//     24  4  rows per chunk     (metadata for consumers; 0 if not image data)
+//     28  4  cols per chunk
+//     32  4  element size in bytes (2 for uint16 detector data)
+//     36 28  reserved (zero)
+//   then per chunk: u32 xxhash32(payload) + payload (chunk size bytes)
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+struct SdfHeader {
+  std::uint64_t chunk_count = 0;
+  std::uint64_t chunk_bytes = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::uint32_t element_size = 0;
+};
+
+inline constexpr std::size_t kSdfHeaderSize = 64;
+inline constexpr std::uint32_t kSdfMagic = 0x31464453U;  // "SDF1"
+
+/// Writes a dataset chunk-by-chunk. The chunk count is fixed up on close(),
+/// so producers can stream without knowing the total in advance.
+class SdfWriter {
+ public:
+  /// Creates/truncates `path`. `header.chunk_count` is ignored (counted).
+  static Result<SdfWriter> create(const std::string& path, const SdfHeader& header);
+
+  SdfWriter(SdfWriter&&) = default;
+  SdfWriter& operator=(SdfWriter&&) = default;
+
+  /// Appends one chunk; must be exactly header.chunk_bytes long.
+  Status append(ByteSpan chunk);
+
+  /// Rewrites the header with the final count and flushes. Must be called;
+  /// the destructor checks.
+  Status close();
+
+  ~SdfWriter();
+
+ private:
+  SdfWriter(std::ofstream out, SdfHeader header);
+
+  std::ofstream out_;
+  SdfHeader header_;
+  std::uint64_t written_ = 0;
+  bool closed_ = false;
+};
+
+/// Random-access reader with per-chunk verification.
+class SdfReader {
+ public:
+  static Result<SdfReader> open(const std::string& path);
+
+  SdfReader(SdfReader&&) = default;
+  SdfReader& operator=(SdfReader&&) = default;
+
+  [[nodiscard]] const SdfHeader& header() const noexcept { return header_; }
+
+  /// Reads chunk `index`, verifying its checksum.
+  Result<Bytes> read_chunk(std::uint64_t index);
+
+ private:
+  SdfReader(std::ifstream in, SdfHeader header);
+
+  std::ifstream in_;
+  SdfHeader header_;
+};
+
+}  // namespace numastream

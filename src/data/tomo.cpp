@@ -1,0 +1,126 @@
+#include "data/tomo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace numastream {
+namespace {
+
+// Cheap stateless per-pixel hash for shot noise: must be fast (it runs for
+// every pixel) and deterministic in (seed, projection, pixel).
+inline std::uint64_t pixel_hash(std::uint64_t seed, std::uint64_t projection,
+                                std::uint64_t pixel) noexcept {
+  std::uint64_t x = seed ^ (projection * 0x9e3779b97f4a7c15ULL) ^
+                    (pixel * 0xbf58476d1ce4e5b9ULL);
+  x ^= x >> 31;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 29;
+  return x;
+}
+
+}  // namespace
+
+TomoGenerator::TomoGenerator(TomoConfig config) : config_(config) {
+  NS_CHECK(config_.rows > 0 && config_.cols > 0, "projection must be non-empty");
+  NS_CHECK(config_.quantization_step > 0, "quantization step must be positive");
+  Rng rng(config_.seed);
+  spheres_.reserve(config_.num_spheres);
+  const double rows = config_.rows;
+  const double cols = config_.cols;
+  for (std::uint32_t i = 0; i < config_.num_spheres; ++i) {
+    Sphere s;
+    s.row_center = rng.next_double() * rows;
+    s.col_center = rng.next_double() * cols;
+    s.radius = 20.0 + rng.next_double() * (std::min(rows, cols) / 12.0);
+    s.density = 0.4 + rng.next_double() * 1.2;
+    s.angular_rate = (rng.next_double() - 0.5) * 2.0;
+    spheres_.push_back(s);
+  }
+}
+
+Bytes TomoGenerator::projection(std::uint64_t index) const {
+  const std::uint32_t rows = config_.rows;
+  const std::uint32_t cols = config_.cols;
+  const std::size_t n_pixels = static_cast<std::size_t>(rows) * cols;
+
+  // Absorption accumulator (double keeps the field smooth before quantizing).
+  std::vector<float> absorption(n_pixels, 0.0F);
+
+  // Rotation angle of this projection; sphere centers drift horizontally as
+  // the sample rotates, like a real tomographic scan.
+  const double angle = static_cast<double>(index) * (3.14159265358979 / 180.0);
+  for (const Sphere& s : spheres_) {
+    const double col_center =
+        s.col_center + std::sin(angle * s.angular_rate) * (config_.cols / 8.0);
+    const double row_center = s.row_center;
+    const double r = s.radius;
+
+    const auto row_lo = static_cast<std::int64_t>(std::floor(row_center - r));
+    const auto row_hi = static_cast<std::int64_t>(std::ceil(row_center + r));
+    const auto col_lo = static_cast<std::int64_t>(std::floor(col_center - r));
+    const auto col_hi = static_cast<std::int64_t>(std::ceil(col_center + r));
+    const std::int64_t rlo = std::clamp<std::int64_t>(row_lo, 0, rows - 1);
+    const std::int64_t rhi = std::clamp<std::int64_t>(row_hi, 0, rows - 1);
+    const std::int64_t clo = std::clamp<std::int64_t>(col_lo, 0, cols - 1);
+    const std::int64_t chi = std::clamp<std::int64_t>(col_hi, 0, cols - 1);
+
+    for (std::int64_t row = rlo; row <= rhi; ++row) {
+      const double dr = static_cast<double>(row) - row_center;
+      const double max_dc_sq = r * r - dr * dr;
+      if (max_dc_sq <= 0.0) {
+        continue;
+      }
+      float* out_row = absorption.data() + static_cast<std::size_t>(row) * cols;
+      for (std::int64_t col = clo; col <= chi; ++col) {
+        const double dc = static_cast<double>(col) - col_center;
+        const double d_sq = max_dc_sq - dc * dc;
+        if (d_sq > 0.0) {
+          // Chord length of the X-ray through the sphere.
+          out_row[col] += static_cast<float>(2.0 * std::sqrt(d_sq) * s.density);
+        }
+      }
+    }
+  }
+
+  Bytes out(n_pixels * 2);
+  const double illum_base = 42000.0;
+  const std::uint32_t step = config_.quantization_step;
+  const std::uint32_t noise_per_1024 = config_.noise_per_1024;
+
+  for (std::uint32_t row = 0; row < rows; ++row) {
+    // Smooth illumination profile across the detector (beam is brighter in
+    // the middle), constant per row segment so it quantizes to runs.
+    const double row_illum =
+        illum_base * (0.9 + 0.1 * std::cos((static_cast<double>(row) / rows - 0.5) * 3.0));
+    const float* abs_row = absorption.data() + static_cast<std::size_t>(row) * cols;
+    std::uint8_t* out_row = out.data() + static_cast<std::size_t>(row) * cols * 2;
+    for (std::uint32_t col = 0; col < cols; ++col) {
+      double value = row_illum - 55.0 * static_cast<double>(abs_row[col]);
+      value = std::clamp(value, 0.0, 65535.0);
+      auto quantized = static_cast<std::uint32_t>(value);
+      quantized -= quantized % step;
+
+      const std::size_t pixel = static_cast<std::size_t>(row) * cols + col;
+      const std::uint64_t h = pixel_hash(config_.seed, index, pixel);
+      if ((h & 1023) < noise_per_1024) {
+        // Shot noise: a small random excursion that defeats run-length
+        // matching at this pixel.
+        quantized = std::min<std::uint32_t>(65535, quantized + ((h >> 10) & 0x1FF));
+      }
+      store_le16(out_row + 2 * col, static_cast<std::uint16_t>(quantized));
+    }
+  }
+  return out;
+}
+
+Chunk TomoGenerator::chunk(std::uint32_t stream_id, std::uint64_t index) const {
+  Chunk c;
+  c.stream_id = stream_id;
+  c.sequence = index;
+  c.payload = projection(index);
+  return c;
+}
+
+}  // namespace numastream

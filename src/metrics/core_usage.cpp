@@ -1,0 +1,115 @@
+#include "metrics/core_usage.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace numastream {
+namespace {
+
+char shade_char(double utilization) {
+  // ' ' for idle, '1'..'9' for 10%..90%, '#' for saturated.
+  if (utilization < 0.05) {
+    return ' ';
+  }
+  if (utilization >= 0.95) {
+    return '#';
+  }
+  const int decile = std::clamp(static_cast<int>(utilization * 10.0), 1, 9);
+  return static_cast<char>('0' + decile);
+}
+
+}  // namespace
+
+CoreUsageMatrix::CoreUsageMatrix(std::size_t num_cores) : busy_(num_cores, 0.0) {}
+
+void CoreUsageMatrix::add_busy_time(int core, double busy_seconds) {
+  NS_CHECK(core >= 0 && static_cast<std::size_t>(core) < busy_.size(),
+           "core id out of range");
+  busy_[static_cast<std::size_t>(core)] += busy_seconds;
+}
+
+void CoreUsageMatrix::set_elapsed(double elapsed_seconds) {
+  elapsed_seconds_ = elapsed_seconds;
+}
+
+double CoreUsageMatrix::utilization(int core) const {
+  NS_CHECK(core >= 0 && static_cast<std::size_t>(core) < busy_.size(),
+           "core id out of range");
+  if (elapsed_seconds_ <= 0) {
+    return 0.0;
+  }
+  return std::min(1.0, busy_[static_cast<std::size_t>(core)] / elapsed_seconds_);
+}
+
+std::vector<double> CoreUsageMatrix::utilizations() const {
+  std::vector<double> out(busy_.size());
+  for (std::size_t core = 0; core < busy_.size(); ++core) {
+    out[core] = utilization(static_cast<int>(core));
+  }
+  return out;
+}
+
+std::string CoreUsageMatrix::render_column() const {
+  std::string out;
+  out.reserve(busy_.size());
+  for (std::size_t core = 0; core < busy_.size(); ++core) {
+    out.push_back(shade_char(utilization(static_cast<int>(core))));
+  }
+  return out;
+}
+
+std::string CoreUsageMatrix::to_csv(const std::string& label) const {
+  std::string out;
+  char line[96];
+  for (std::size_t core = 0; core < busy_.size(); ++core) {
+    std::snprintf(line, sizeof(line), "%s,%zu,%.4f\n", label.c_str(), core,
+                  utilization(static_cast<int>(core)));
+    out += line;
+  }
+  return out;
+}
+
+std::string render_usage_heatmap(const std::vector<std::string>& labels,
+                                 const std::vector<CoreUsageMatrix>& columns) {
+  NS_CHECK(labels.size() == columns.size(), "one label per column");
+  if (columns.empty()) {
+    return "";
+  }
+  std::size_t cores = 0;
+  for (const auto& c : columns) {
+    cores = std::max(cores, c.num_cores());
+  }
+  std::size_t width = 0;
+  for (const auto& l : labels) {
+    width = std::max(width, l.size());
+  }
+  width = std::max<std::size_t>(width, 3) + 2;
+
+  std::string out;
+  // Core rows, core 0 at the top as in the paper's figures.
+  for (std::size_t core = 0; core < cores; ++core) {
+    char prefix[32];
+    std::snprintf(prefix, sizeof(prefix), "core %2zu |", core);
+    out += prefix;
+    for (const auto& column : columns) {
+      const char c = core < column.num_cores()
+                         ? column.render_column()[core]
+                         : ' ';
+      out += std::string(width - 1, ' ');
+      out.push_back(c);
+    }
+    out += '\n';
+  }
+  // Column labels, vertical alignment under each column.
+  out += "        ";
+  for (const auto& label : labels) {
+    out += std::string(width - label.size(), ' ');
+    out += label;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace numastream

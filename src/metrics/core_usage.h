@@ -1,0 +1,54 @@
+// CoreUsageMatrix: per-core utilization over a run.
+//
+// Figures 6, 8b and 9b of the paper are heatmaps of "core usage for different
+// configurations": cores on one axis, configurations on the other, cell
+// intensity = how busy that core was. The simulator records busy time per
+// core into this matrix; render() emits the heatmap as aligned text (one
+// shade character per 10% utilization) and to_csv() emits the raw numbers
+// for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace numastream {
+
+class CoreUsageMatrix {
+ public:
+  explicit CoreUsageMatrix(std::size_t num_cores);
+
+  /// Accumulates `busy_seconds` of work attributed to `core`.
+  void add_busy_time(int core, double busy_seconds);
+
+  /// Ends the observation window; utilizations are busy/elapsed.
+  void set_elapsed(double elapsed_seconds);
+
+  [[nodiscard]] std::size_t num_cores() const noexcept { return busy_.size(); }
+
+  /// Utilization of one core in [0, 1] (clamped: oversubscribed cores that
+  /// accumulated more busy-time than wall time read as 1).
+  [[nodiscard]] double utilization(int core) const;
+
+  /// All utilizations, index = core id.
+  [[nodiscard]] std::vector<double> utilizations() const;
+
+  /// One text column per configuration is built by the caller; this renders
+  /// a single column: core 0 at the top (as in the paper's figures), one
+  /// character per core: ' ' (idle) through '9'/'#' (saturated).
+  [[nodiscard]] std::string render_column() const;
+
+  /// "core,utilization" CSV rows.
+  [[nodiscard]] std::string to_csv(const std::string& label) const;
+
+ private:
+  std::vector<double> busy_;
+  double elapsed_seconds_ = 0;
+};
+
+/// Renders several labelled usage columns side by side — the full Fig 6 /
+/// 8b / 9b style heatmap as text.
+std::string render_usage_heatmap(const std::vector<std::string>& labels,
+                                 const std::vector<CoreUsageMatrix>& columns);
+
+}  // namespace numastream

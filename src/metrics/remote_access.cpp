@@ -1,0 +1,69 @@
+#include "metrics/remote_access.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+RemoteAccessCounter::RemoteAccessCounter(std::size_t num_cores)
+    : local_(num_cores, 0), remote_(num_cores, 0) {}
+
+void RemoteAccessCounter::add_local_bytes(int core, std::uint64_t bytes) {
+  NS_CHECK(core >= 0 && static_cast<std::size_t>(core) < local_.size(),
+           "core id out of range");
+  local_[static_cast<std::size_t>(core)] += bytes;
+}
+
+void RemoteAccessCounter::add_remote_bytes(int core, std::uint64_t bytes) {
+  NS_CHECK(core >= 0 && static_cast<std::size_t>(core) < remote_.size(),
+           "core id out of range");
+  remote_[static_cast<std::size_t>(core)] += bytes;
+}
+
+std::uint64_t RemoteAccessCounter::local_bytes(int core) const {
+  NS_CHECK(core >= 0 && static_cast<std::size_t>(core) < local_.size(),
+           "core id out of range");
+  return local_[static_cast<std::size_t>(core)];
+}
+
+std::uint64_t RemoteAccessCounter::remote_bytes(int core) const {
+  NS_CHECK(core >= 0 && static_cast<std::size_t>(core) < remote_.size(),
+           "core id out of range");
+  return remote_[static_cast<std::size_t>(core)];
+}
+
+std::vector<double> RemoteAccessCounter::normalized_remote() const {
+  std::vector<double> out(remote_.size(), 0.0);
+  const std::uint64_t peak = *std::max_element(remote_.begin(), remote_.end());
+  if (peak == 0) {
+    return out;
+  }
+  for (std::size_t core = 0; core < remote_.size(); ++core) {
+    out[core] = static_cast<double>(remote_[core]) / static_cast<double>(peak);
+  }
+  return out;
+}
+
+double RemoteAccessCounter::remote_fraction(int core) const {
+  const std::uint64_t local = local_bytes(core);
+  const std::uint64_t remote = remote_bytes(core);
+  const std::uint64_t total = local + remote;
+  return total == 0 ? 0.0 : static_cast<double>(remote) / static_cast<double>(total);
+}
+
+std::string RemoteAccessCounter::to_csv(const std::string& label) const {
+  const std::vector<double> normalized = normalized_remote();
+  std::string out;
+  char line[128];
+  for (std::size_t core = 0; core < local_.size(); ++core) {
+    std::snprintf(line, sizeof(line), "%s,%zu,%llu,%llu,%.4f\n", label.c_str(), core,
+                  static_cast<unsigned long long>(local_[core]),
+                  static_cast<unsigned long long>(remote_[core]), normalized[core]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace numastream

@@ -1,0 +1,44 @@
+// RemoteAccessCounter: per-core local vs remote memory traffic.
+//
+// Figure 7 of the paper shows "average normalized remote memory access (NUMA
+// access) bandwidth for every CPU core" — the direct evidence that placing
+// receiving threads on the wrong socket forces their packet reads across the
+// inter-socket interconnect. The simulated machine routes every memory
+// transfer through this counter, tagging it local (requesting core's own
+// domain) or remote (any other domain).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace numastream {
+
+class RemoteAccessCounter {
+ public:
+  explicit RemoteAccessCounter(std::size_t num_cores);
+
+  void add_local_bytes(int core, std::uint64_t bytes);
+  void add_remote_bytes(int core, std::uint64_t bytes);
+
+  [[nodiscard]] std::size_t num_cores() const noexcept { return local_.size(); }
+  [[nodiscard]] std::uint64_t local_bytes(int core) const;
+  [[nodiscard]] std::uint64_t remote_bytes(int core) const;
+
+  /// Remote bytes of each core divided by the maximum remote bytes of any
+  /// core — the "normalized remote access bandwidth" axis of Fig 7. All
+  /// zeros when no remote traffic occurred anywhere.
+  [[nodiscard]] std::vector<double> normalized_remote() const;
+
+  /// Fraction of this core's traffic that was remote (0 when idle).
+  [[nodiscard]] double remote_fraction(int core) const;
+
+  /// "core,local_bytes,remote_bytes,normalized_remote" CSV rows.
+  [[nodiscard]] std::string to_csv(const std::string& label) const;
+
+ private:
+  std::vector<std::uint64_t> local_;
+  std::vector<std::uint64_t> remote_;
+};
+
+}  // namespace numastream

@@ -1,0 +1,97 @@
+#include "metrics/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NS_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  NS_CHECK(cells.size() == headers_.size(), "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& first_cell, const std::vector<double>& values,
+                        int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(first_cell);
+  for (const double v : values) {
+    cells.push_back(fmt_double(v, precision));
+  }
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      line += c == 0 ? "" : "  ";
+      // Right-align all but the first column (numbers read better that way).
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (c == 0) {
+        line += cells[c];
+        line += std::string(pad, ' ');
+      } else {
+        line += std::string(pad, ' ');
+        line += cells[c];
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) {
+    total += w + 2;
+  }
+  out += std::string(total > 2 ? total - 2 : total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string TextTable::to_csv() const {
+  const auto join = [](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) {
+        line += ',';
+      }
+      line += cells[c];
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = join(headers_);
+  for (const auto& row : rows_) {
+    out += join(row);
+  }
+  return out;
+}
+
+}  // namespace numastream

@@ -1,0 +1,40 @@
+// TextTable: aligned console tables for the figure benches.
+//
+// Every bench binary prints the paper's reported series next to the simulated
+// reproduction; this formatter keeps those tables readable and consistent.
+// It also emits CSV so results can be re-plotted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace numastream {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows: formats doubles with `precision` digits.
+  void add_row(const std::string& first_cell, const std::vector<double>& values,
+               int precision = 2);
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Aligned text rendering with a header separator.
+  [[nodiscard]] std::string render() const;
+
+  /// Comma-separated rendering (headers first).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (bench helpers).
+std::string fmt_double(double value, int precision = 2);
+
+}  // namespace numastream

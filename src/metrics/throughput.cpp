@@ -1,0 +1,31 @@
+#include "metrics/throughput.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace numastream {
+
+SummaryStats SummaryStats::from(const std::vector<double>& values) {
+  SummaryStats stats;
+  stats.count = values.size();
+  if (values.empty()) {
+    return stats;
+  }
+  stats.min = *std::min_element(values.begin(), values.end());
+  stats.max = *std::max_element(values.begin(), values.end());
+  double sum = 0;
+  for (const double v : values) {
+    sum += v;
+  }
+  stats.mean = sum / static_cast<double>(values.size());
+  double sq = 0;
+  for (const double v : values) {
+    sq += (v - stats.mean) * (v - stats.mean);
+  }
+  stats.stddev = values.size() > 1
+                     ? std::sqrt(sq / static_cast<double>(values.size() - 1))
+                     : 0.0;
+  return stats;
+}
+
+}  // namespace numastream

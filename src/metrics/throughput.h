@@ -1,0 +1,60 @@
+// Throughput measurement.
+//
+// ThroughputMeter counts bytes from any number of worker threads and converts
+// them to a rate over an explicit window — the number every figure in the
+// paper's evaluation reports. SummaryStats aggregates repeated runs the way
+// the paper does ("each configuration is tested ten times and the average is
+// presented").
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace numastream {
+
+class ThroughputMeter {
+ public:
+  /// Records `n` bytes handled by the calling thread.
+  void add_bytes(std::uint64_t n) noexcept {
+    bytes_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Total bytes recorded so far.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Marks the start of the measurement window (call once, before traffic).
+  void start() noexcept { start_time_ = Clock::now(); }
+
+  /// Seconds since start().
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_time_).count();
+  }
+
+  /// Mean rate in bytes/second since start(); 0 before any time has passed.
+  [[nodiscard]] double bytes_per_second() const noexcept {
+    const double seconds = elapsed_seconds();
+    return seconds > 0 ? static_cast<double>(total_bytes()) / seconds : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::atomic<std::uint64_t> bytes_{0};
+  Clock::time_point start_time_ = Clock::now();
+};
+
+/// Mean / min / max / stddev over repeated trial values.
+struct SummaryStats {
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+  std::size_t count = 0;
+
+  static SummaryStats from(const std::vector<double>& values);
+};
+
+}  // namespace numastream

@@ -1,0 +1,81 @@
+#include "metrics/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+RateTimeline::RateTimeline(double bucket_seconds) : bucket_seconds_(bucket_seconds) {
+  NS_CHECK(bucket_seconds > 0, "timeline bucket must be positive");
+}
+
+void RateTimeline::record(double time_seconds, double bytes) {
+  NS_CHECK(time_seconds >= 0, "timeline time cannot be negative");
+  const auto bucket = static_cast<std::size_t>(time_seconds / bucket_seconds_);
+  if (buckets_.size() <= bucket) {
+    buckets_.resize(bucket + 1, 0.0);
+  }
+  buckets_[bucket] += bytes;
+}
+
+std::vector<double> RateTimeline::rates() const {
+  std::vector<double> out(buckets_.size());
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i] / bucket_seconds_;
+  }
+  return out;
+}
+
+double RateTimeline::peak_rate() const {
+  double peak = 0;
+  for (const double bytes : buckets_) {
+    peak = std::max(peak, bytes / bucket_seconds_);
+  }
+  return peak;
+}
+
+double RateTimeline::mean_active_rate() const {
+  double total = 0;
+  std::size_t active = 0;
+  for (const double bytes : buckets_) {
+    if (bytes > 0) {
+      total += bytes / bucket_seconds_;
+      ++active;
+    }
+  }
+  return active == 0 ? 0.0 : total / static_cast<double>(active);
+}
+
+std::string RateTimeline::sparkline(double max_rate) const {
+  static const char kRamp[] = " .:-=+*#@";
+  constexpr int kLevels = 8;  // indexes 1..8 of kRamp; 0 = empty bucket
+  const double scale = max_rate > 0 ? max_rate : peak_rate();
+  std::string out;
+  out.reserve(buckets_.size());
+  for (const double bytes : buckets_) {
+    const double rate = bytes / bucket_seconds_;
+    if (rate <= 0 || scale <= 0) {
+      out.push_back(kRamp[0]);
+      continue;
+    }
+    const int level = std::clamp(
+        static_cast<int>(rate / scale * kLevels + 0.5), 1, kLevels);
+    out.push_back(kRamp[level]);
+  }
+  return out;
+}
+
+std::string RateTimeline::to_csv(const std::string& label) const {
+  std::string out;
+  char line[96];
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    std::snprintf(line, sizeof(line), "%s,%zu,%.1f\n", label.c_str(), i,
+                  buckets_[i] / bucket_seconds_);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace numastream

@@ -1,0 +1,48 @@
+// RateTimeline: bucketed byte-rate time series.
+//
+// The paper reports steady-state averages; a timeline shows *how* a pipeline
+// reaches them — ramp-up while queues fill, plateaus at the bottleneck rate,
+// drain at end of stream. The simulated driver records one per stream and
+// the benches render them as sparklines next to the averages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace numastream {
+
+class RateTimeline {
+ public:
+  /// `bucket_seconds` is the aggregation window; all rates are per-bucket
+  /// byte totals divided by it.
+  explicit RateTimeline(double bucket_seconds);
+
+  /// Records `bytes` delivered at absolute time `time_seconds` (>= 0).
+  void record(double time_seconds, double bytes);
+
+  [[nodiscard]] double bucket_seconds() const noexcept { return bucket_seconds_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Bytes/second per bucket, index 0 = [0, bucket_seconds).
+  [[nodiscard]] std::vector<double> rates() const;
+
+  /// Peak bucket rate (0 when empty).
+  [[nodiscard]] double peak_rate() const;
+
+  /// Mean rate over the buckets that carry any traffic (0 when empty).
+  [[nodiscard]] double mean_active_rate() const;
+
+  /// Eight-level ASCII sparkline (" .:-=+*#@" ramp), one character per
+  /// bucket, scaled to `max_rate` (0 = auto-scale to the peak).
+  [[nodiscard]] std::string sparkline(double max_rate = 0) const;
+
+  /// "label,bucket_index,rate_bytes_per_sec" rows.
+  [[nodiscard]] std::string to_csv(const std::string& label) const;
+
+ private:
+  double bucket_seconds_;
+  std::vector<double> buckets_;  // byte totals
+};
+
+}  // namespace numastream

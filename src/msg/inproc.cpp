@@ -1,0 +1,152 @@
+#include "msg/inproc.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+namespace numastream {
+namespace {
+
+// One direction of the pipe: a bounded byte FIFO with TCP-like semantics.
+struct Channel {
+  explicit Channel(std::size_t capacity) : capacity(capacity) {}
+
+  std::mutex mu;
+  std::condition_variable readable;
+  std::condition_variable writable;
+  std::deque<std::uint8_t> bytes;
+  const std::size_t capacity;
+  bool write_closed = false;  // writer called shutdown_write (clean EOF)
+  bool reader_gone = false;   // reading endpoint destroyed (writes fail)
+
+  Status write_all(ByteSpan data) {
+    std::size_t sent = 0;
+    std::unique_lock<std::mutex> lock(mu);
+    while (sent < data.size()) {
+      writable.wait(lock, [&] {
+        return reader_gone || write_closed || bytes.size() < capacity;
+      });
+      if (reader_gone) {
+        return unavailable_error("inproc: peer endpoint destroyed");
+      }
+      if (write_closed) {
+        return unavailable_error("inproc: write after shutdown");
+      }
+      const std::size_t room = capacity - bytes.size();
+      const std::size_t n = std::min(room, data.size() - sent);
+      bytes.insert(bytes.end(), data.begin() + static_cast<std::ptrdiff_t>(sent),
+                   data.begin() + static_cast<std::ptrdiff_t>(sent + n));
+      sent += n;
+      readable.notify_one();
+    }
+    return Status::ok();
+  }
+
+  Result<std::size_t> read_some(MutableByteSpan out) {
+    std::unique_lock<std::mutex> lock(mu);
+    readable.wait(lock, [&] { return write_closed || !bytes.empty(); });
+    if (bytes.empty()) {
+      return std::size_t{0};  // clean EOF
+    }
+    const std::size_t n = std::min(out.size(), bytes.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = bytes.front();
+      bytes.pop_front();
+    }
+    writable.notify_one();
+    return n;
+  }
+
+  void shutdown_write() {
+    const std::lock_guard<std::mutex> lock(mu);
+    write_closed = true;
+    readable.notify_all();
+    writable.notify_all();
+  }
+
+  void reader_destroyed() {
+    const std::lock_guard<std::mutex> lock(mu);
+    reader_gone = true;
+    writable.notify_all();
+  }
+};
+
+// An endpoint writes to `tx` and reads from `rx`.
+class InprocStream final : public ByteStream {
+ public:
+  InprocStream(std::shared_ptr<Channel> tx, std::shared_ptr<Channel> rx)
+      : tx_(std::move(tx)), rx_(std::move(rx)) {}
+
+  ~InprocStream() override {
+    tx_->shutdown_write();     // our writes end
+    rx_->reader_destroyed();   // peer writes now fail fast
+  }
+
+  Status write_all(ByteSpan data) override { return tx_->write_all(data); }
+  Result<std::size_t> read_some(MutableByteSpan out) override {
+    return rx_->read_some(out);
+  }
+  void shutdown_write() override { tx_->shutdown_write(); }
+
+ private:
+  std::shared_ptr<Channel> tx_;
+  std::shared_ptr<Channel> rx_;
+};
+
+}  // namespace
+
+InprocPair make_inproc_pair(std::size_t buffer_capacity) {
+  auto a_to_b = std::make_shared<Channel>(buffer_capacity);
+  auto b_to_a = std::make_shared<Channel>(buffer_capacity);
+  InprocPair pair;
+  pair.first = std::make_unique<InprocStream>(a_to_b, b_to_a);
+  pair.second = std::make_unique<InprocStream>(b_to_a, a_to_b);
+  return pair;
+}
+
+struct InprocListener::State {
+  std::mutex mu;
+  std::condition_variable pending_cv;
+  std::deque<std::unique_ptr<ByteStream>> pending;
+  bool closed = false;
+};
+
+InprocListener::InprocListener(std::size_t buffer_capacity)
+    : state_(std::make_shared<State>()), buffer_capacity_(buffer_capacity) {}
+
+InprocListener::~InprocListener() { close(); }
+
+Result<std::unique_ptr<ByteStream>> InprocListener::connect() {
+  InprocPair pair = make_inproc_pair(buffer_capacity_);
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->closed) {
+      return unavailable_error("inproc listener closed");
+    }
+    state_->pending.push_back(std::move(pair.second));
+  }
+  state_->pending_cv.notify_one();
+  return std::move(pair.first);
+}
+
+Result<std::unique_ptr<ByteStream>> InprocListener::accept() {
+  std::unique_lock<std::mutex> lock(state_->mu);
+  state_->pending_cv.wait(lock,
+                          [&] { return state_->closed || !state_->pending.empty(); });
+  if (state_->pending.empty()) {
+    return unavailable_error("inproc listener closed");
+  }
+  auto stream = std::move(state_->pending.front());
+  state_->pending.pop_front();
+  return stream;
+}
+
+void InprocListener::close() {
+  {
+    const std::lock_guard<std::mutex> lock(state_->mu);
+    state_->closed = true;
+  }
+  state_->pending_cv.notify_all();
+}
+
+}  // namespace numastream

@@ -1,0 +1,43 @@
+// In-process transport: a pair of connected ByteStream endpoints backed by
+// two bounded byte buffers (one per direction). Semantically a loopback TCP
+// connection — blocking writes when the peer's window is full, EOF after
+// shutdown_write, UNAVAILABLE when the peer endpoint is destroyed — so the
+// full pipeline can be tested hermetically without real sockets.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "msg/transport.h"
+
+namespace numastream {
+
+struct InprocPair {
+  std::unique_ptr<ByteStream> first;
+  std::unique_ptr<ByteStream> second;
+};
+
+/// Creates a connected endpoint pair. `buffer_capacity` is the per-direction
+/// window; small values exercise backpressure paths in tests.
+InprocPair make_inproc_pair(std::size_t buffer_capacity = 1 << 20);
+
+/// An in-process Listener: connect() hands one endpoint to the caller and
+/// queues the other for accept(), mirroring how a TCP client/server meet.
+class InprocListener final : public Listener {
+ public:
+  explicit InprocListener(std::size_t buffer_capacity = 1 << 20);
+  ~InprocListener() override;
+
+  /// Client side: creates a connection to this listener.
+  Result<std::unique_ptr<ByteStream>> connect();
+
+  Result<std::unique_ptr<ByteStream>> accept() override;
+  void close() override;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+  std::size_t buffer_capacity_;
+};
+
+}  // namespace numastream

@@ -1,0 +1,80 @@
+#include "msg/message.h"
+
+#include <cstring>
+
+#include "codec/xxhash.h"
+
+namespace numastream {
+
+Bytes encode_message(const Message& message) {
+  Bytes out;
+  out.reserve(kMessageHeaderSize + message.body.size());
+  ByteWriter w(out);
+  w.u32(kMessageMagic);
+  w.u32(message.stream_id);
+  w.u64(message.sequence);
+  w.u16(message.end_of_stream ? kMessageFlagEndOfStream : 0);
+  w.u16(0);
+  w.u64(message.body.size());
+  w.u32(xxhash32(message.body));
+  w.raw(message.body);
+  return out;
+}
+
+void MessageDecoder::feed(ByteSpan data) {
+  // Compact occasionally so the buffer does not grow without bound across a
+  // long-lived connection.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+Result<Message> MessageDecoder::next() {
+  if (corrupt_) {
+    return data_loss_error("message stream previously corrupt");
+  }
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < kMessageHeaderSize) {
+    return unavailable_error("need more bytes for header");
+  }
+  const std::uint8_t* header = buffer_.data() + consumed_;
+  const std::uint32_t magic = load_le32(header);
+  if (magic != kMessageMagic) {
+    corrupt_ = true;
+    return data_loss_error("message: bad magic " +
+                           hex_preview(ByteSpan(header, 4)));
+  }
+  const std::uint16_t flags = load_le16(header + 16);
+  const std::uint16_t reserved = load_le16(header + 18);
+  const std::uint64_t body_size = load_le64(header + 20);
+  if ((flags & ~kMessageFlagEndOfStream) != 0 || reserved != 0) {
+    corrupt_ = true;
+    return data_loss_error("message: unknown flags");
+  }
+  if (body_size > kMaxMessageBody) {
+    corrupt_ = true;
+    return data_loss_error("message: body size " + std::to_string(body_size) +
+                           " exceeds limit");
+  }
+  if (available < kMessageHeaderSize + body_size) {
+    return unavailable_error("need more bytes for body");
+  }
+
+  Message message;
+  message.stream_id = load_le32(header + 4);
+  message.sequence = load_le64(header + 8);
+  message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
+  message.body.assign(header + kMessageHeaderSize,
+                      header + kMessageHeaderSize + body_size);
+  if (xxhash32(message.body) != load_le32(header + 28)) {
+    corrupt_ = true;
+    return data_loss_error("message: body checksum mismatch");
+  }
+  consumed_ += kMessageHeaderSize + body_size;
+  return message;
+}
+
+}  // namespace numastream

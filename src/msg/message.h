@@ -1,0 +1,77 @@
+// Wire message format.
+//
+// The paper uses ZeroMQ PUSH/PULL sockets to move compressed chunks between
+// sender and receiver threads. This module provides the same narrow facility
+// without the dependency: length-prefixed, checksummed messages over a byte
+// stream, with a stream id and sequence number so a multi-stream gateway can
+// demultiplex, and an end-of-stream flag so receivers know when a producer
+// has finished (ZeroMQ conveys this out of band; we carry it in-band).
+//
+// Layout (little-endian):
+//   0   4  magic "NSM1"
+//   4   4  stream id
+//   8   8  sequence number
+//   16  2  flags (bit 0: end-of-stream)
+//   18  2  reserved (0)
+//   20  8  body size
+//   28  4  xxhash32(body)
+//   32  .. body
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+inline constexpr std::uint32_t kMessageMagic = 0x314D534EU;  // "NSM1"
+inline constexpr std::size_t kMessageHeaderSize = 32;
+inline constexpr std::uint16_t kMessageFlagEndOfStream = 1;
+
+/// Refuse absurd body sizes before allocating: protects a receiver from a
+/// corrupt or hostile length prefix. Generous relative to the 11 MiB chunks.
+inline constexpr std::uint64_t kMaxMessageBody = 1ULL << 30;
+
+struct Message {
+  std::uint32_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  bool end_of_stream = false;
+  Bytes body;
+
+  [[nodiscard]] static Message end_of_stream_marker(std::uint32_t stream_id,
+                                                    std::uint64_t sequence) {
+    Message m;
+    m.stream_id = stream_id;
+    m.sequence = sequence;
+    m.end_of_stream = true;
+    return m;
+  }
+};
+
+/// Serializes a message (header + body) into a fresh buffer.
+Bytes encode_message(const Message& message);
+
+/// Incremental decoder: feed() arbitrary byte slices as they arrive from a
+/// stream; next() yields complete, checksum-verified messages. Any framing
+/// violation is sticky — the connection is unusable after DATA_LOSS.
+class MessageDecoder {
+ public:
+  /// Appends received bytes to the internal reassembly buffer.
+  void feed(ByteSpan data);
+
+  /// Returns the next complete message, or:
+  ///   UNAVAILABLE - need more bytes (not an error; keep feeding),
+  ///   DATA_LOSS   - stream corrupt (sticky).
+  Result<Message> next();
+
+  /// Bytes currently buffered awaiting completion.
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  Bytes buffer_;
+  std::size_t consumed_ = 0;
+  bool corrupt_ = false;
+};
+
+}  // namespace numastream

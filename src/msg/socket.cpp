@@ -1,0 +1,60 @@
+#include "msg/socket.h"
+
+#include "common/assert.h"
+
+namespace numastream {
+
+PushSocket::PushSocket(std::unique_ptr<ByteStream> stream) : stream_(std::move(stream)) {
+  NS_CHECK(stream_ != nullptr, "PushSocket needs a stream");
+}
+
+Status PushSocket::send(const Message& message) {
+  NS_CHECK(!finished_, "send after finish");
+  const Bytes wire = encode_message(message);
+  NS_RETURN_IF_ERROR(stream_->write_all(wire));
+  bytes_sent_ += wire.size();
+  return Status::ok();
+}
+
+Status PushSocket::finish(std::uint32_t stream_id) {
+  if (finished_) {
+    return Status::ok();
+  }
+  const Status status = send(Message::end_of_stream_marker(stream_id, 0));
+  finished_ = true;
+  stream_->shutdown_write();
+  return status;
+}
+
+PullSocket::PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer)
+    : stream_(std::move(stream)), read_buffer_(read_buffer) {
+  NS_CHECK(stream_ != nullptr, "PullSocket needs a stream");
+  NS_CHECK(read_buffer > 0, "read buffer must be non-empty");
+}
+
+Result<Message> PullSocket::recv() {
+  while (true) {
+    auto message = decoder_.next();
+    if (message.ok()) {
+      return message;
+    }
+    if (message.status().code() == StatusCode::kDataLoss) {
+      return message.status();
+    }
+    // Need more bytes.
+    auto n = stream_->read_some(read_buffer_);
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (n.value() == 0) {
+      if (decoder_.buffered() != 0) {
+        return data_loss_error("connection closed mid-message");
+      }
+      return unavailable_error("end of stream");
+    }
+    bytes_received_ += n.value();
+    decoder_.feed(ByteSpan(read_buffer_.data(), n.value()));
+  }
+}
+
+}  // namespace numastream

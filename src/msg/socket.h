@@ -1,0 +1,56 @@
+// PushSocket / PullSocket: whole-message send/receive over a ByteStream —
+// the ZeroMQ PUSH/PULL shape the paper's runtime is built from. One sending
+// thread owns one PushSocket; one receiving thread owns one PullSocket; the
+// pair forms one TCP stream of the paper's "x sending threads, x receiving
+// threads, x TCP streams" layout.
+#pragma once
+
+#include <memory>
+
+#include "msg/message.h"
+#include "msg/transport.h"
+
+namespace numastream {
+
+class PushSocket {
+ public:
+  explicit PushSocket(std::unique_ptr<ByteStream> stream);
+
+  /// Sends one message (blocking until fully written).
+  Status send(const Message& message);
+
+  /// Sends the end-of-stream marker and closes the write side. Idempotent.
+  Status finish(std::uint32_t stream_id);
+
+  /// Bytes pushed so far, including headers (for throughput accounting).
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  std::unique_ptr<ByteStream> stream_;
+  std::uint64_t bytes_sent_ = 0;
+  bool finished_ = false;
+};
+
+class PullSocket {
+ public:
+  explicit PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer = 256 * 1024);
+
+  /// Receives the next message (blocking).
+  ///   UNAVAILABLE - clean end of stream (peer finished or disconnected
+  ///                 between messages),
+  ///   DATA_LOSS   - corrupt framing or connection lost mid-message.
+  /// An end-of-stream marker message is delivered like any other; callers
+  /// check Message::end_of_stream.
+  Result<Message> recv();
+
+  /// Bytes pulled so far, including headers.
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+
+ private:
+  std::unique_ptr<ByteStream> stream_;
+  MessageDecoder decoder_;
+  Bytes read_buffer_;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace numastream

@@ -1,0 +1,161 @@
+#include "msg/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace numastream {
+namespace {
+
+Status errno_error(const std::string& what) {
+  return unavailable_error(what + ": " + std::strerror(errno));
+}
+
+class TcpStream final : public ByteStream {
+ public:
+  explicit TcpStream(int fd) : fd_(fd) {}
+
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  ~TcpStream() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  Status write_all(ByteSpan data) override {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return errno_error("send");
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+  }
+
+  Result<std::size_t> read_some(MutableByteSpan out) override {
+    while (true) {
+      const ssize_t n = ::recv(fd_, out.data(), out.size(), 0);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return errno_error("recv");
+      }
+      return static_cast<std::size_t>(n);
+    }
+  }
+
+  void shutdown_write() override { ::shutdown(fd_, SHUT_WR); }
+
+ private:
+  int fd_;
+};
+
+Result<sockaddr_in> resolve(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument_error("not an IPv4 address: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<TcpListener>> TcpListener::bind(const std::string& host,
+                                                       std::uint16_t port) {
+  auto addr = resolve(host, port);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return errno_error("socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+             sizeof(sockaddr_in)) != 0) {
+    const Status status = errno_error("bind " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status status = errno_error("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status status = errno_error("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<TcpListener>(new TcpListener(fd, ntohs(bound.sin_port)));
+}
+
+TcpListener::~TcpListener() { close(); }
+
+Result<std::unique_ptr<ByteStream>> TcpListener::accept() {
+  if (fd_ < 0) {
+    return unavailable_error("listener closed");
+  }
+  while (true) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return errno_error("accept");
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::unique_ptr<ByteStream>(std::make_unique<TcpStream>(client));
+  }
+}
+
+void TcpListener::close() {
+  if (fd_ >= 0) {
+    // shutdown() unblocks a thread parked in accept(); close() alone may not.
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::unique_ptr<ByteStream>> tcp_connect(const std::string& host,
+                                                std::uint16_t port) {
+  auto addr = resolve(host, port);
+  if (!addr.ok()) {
+    return addr.status();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return errno_error("socket");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr.value()),
+                sizeof(sockaddr_in)) != 0) {
+    const Status status = errno_error("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<ByteStream>(std::make_unique<TcpStream>(fd));
+}
+
+}  // namespace numastream

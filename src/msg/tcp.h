@@ -1,0 +1,38 @@
+// TCP transport: the production byte stream between sender and receiver
+// hosts. Blocking sockets with TCP_NODELAY (the pipeline sends multi-megabyte
+// frames; Nagle only adds latency) and SO_REUSEADDR on the listener so test
+// runs can rebind promptly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "msg/transport.h"
+
+namespace numastream {
+
+class TcpListener final : public Listener {
+ public:
+  /// Binds and listens on `host:port`. Port 0 picks an ephemeral port;
+  /// query it with port().
+  static Result<std::unique_ptr<TcpListener>> bind(const std::string& host,
+                                                   std::uint16_t port);
+
+  ~TcpListener() override;
+  Result<std::unique_ptr<ByteStream>> accept() override;
+  void close() override;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  TcpListener(int fd, std::uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to `host:port` (blocking).
+Result<std::unique_ptr<ByteStream>> tcp_connect(const std::string& host,
+                                                std::uint16_t port);
+
+}  // namespace numastream

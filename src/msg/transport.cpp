@@ -1,0 +1,24 @@
+#include "msg/transport.h"
+
+namespace numastream {
+
+Status read_exact(ByteStream& stream, MutableByteSpan out) {
+  std::size_t filled = 0;
+  while (filled < out.size()) {
+    auto n = stream.read_some(out.subspan(filled));
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (n.value() == 0) {
+      if (filled == 0) {
+        return unavailable_error("end of stream");
+      }
+      return data_loss_error("stream ended mid-message (" + std::to_string(filled) +
+                             " of " + std::to_string(out.size()) + " bytes)");
+    }
+    filled += n.value();
+  }
+  return Status::ok();
+}
+
+}  // namespace numastream

@@ -1,0 +1,50 @@
+// Transport abstraction: a reliable, ordered, connection-oriented byte
+// stream, with two implementations:
+//   * TcpTransport (msg/tcp.h)       - real sockets, used host-to-host and in
+//                                      the loopback examples,
+//   * InprocTransport (msg/inproc.h) - an in-memory pipe for tests and for
+//                                      single-process pipelines.
+//
+// The streaming runtime is written entirely against this interface, so every
+// pipeline test can run on inproc and the identical code path ships over TCP.
+#pragma once
+
+#include <memory>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Writes the entire span (blocking). UNAVAILABLE once the peer is gone.
+  virtual Status write_all(ByteSpan data) = 0;
+
+  /// Reads at least 1 and at most `out.size()` bytes (blocking).
+  /// Returns 0 exactly once: clean end-of-stream (peer closed after flushing).
+  virtual Result<std::size_t> read_some(MutableByteSpan out) = 0;
+
+  /// Closes the write direction; the peer's read_some eventually returns 0.
+  /// Reading may continue. Idempotent.
+  virtual void shutdown_write() = 0;
+};
+
+/// Blocking helper: fills `out` completely, or reports why it could not.
+/// UNAVAILABLE = clean EOF before any byte; DATA_LOSS = EOF mid-buffer.
+Status read_exact(ByteStream& stream, MutableByteSpan out);
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  /// Blocks for the next inbound connection. UNAVAILABLE once closed.
+  virtual Result<std::unique_ptr<ByteStream>> accept() = 0;
+
+  /// Unblocks pending and future accept() calls.
+  virtual void close() = 0;
+};
+
+}  // namespace numastream

@@ -1,0 +1,120 @@
+#include "sim/allocator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace numastream::sim {
+
+std::vector<double> max_min_fair_rates(const std::vector<double>& capacities,
+                                       const std::vector<JobDemands>& jobs) {
+  const std::size_t n_resources = capacities.size();
+  const std::size_t n_jobs = jobs.size();
+  for (const double c : capacities) {
+    NS_CHECK(c > 0, "resource capacities must be positive");
+  }
+
+  std::vector<double> rates(n_jobs, 0.0);
+  if (n_jobs == 0) {
+    return rates;
+  }
+
+  std::vector<double> remaining = capacities;
+  std::vector<bool> frozen(n_jobs, false);
+  std::size_t unfrozen_count = n_jobs;
+
+  // Weighted aggregate demand per resource (units consumed per unit of water
+  // level), maintained incrementally. The entry count is tracked as an
+  // integer so a resource whose users have all frozen reads as exactly
+  // unconstrained — floating subtraction alone can leave dust in demand_sum
+  // that would make the resource look saturated with no job left to freeze.
+  std::vector<double> demand_sum(n_resources, 0.0);
+  std::vector<int> demand_entries(n_resources, 0);
+  for (const auto& job : jobs) {
+    NS_CHECK(job.weight > 0, "job weights must be positive");
+    for (const auto& d : job.demands) {
+      NS_CHECK(d.resource >= 0 && static_cast<std::size_t>(d.resource) < n_resources,
+               "demand references unknown resource");
+      NS_CHECK(d.units_per_work >= 0, "demands must be non-negative");
+      demand_sum[static_cast<std::size_t>(d.resource)] += job.weight * d.units_per_work;
+      demand_entries[static_cast<std::size_t>(d.resource)] += 1;
+    }
+  }
+
+  // `level` is the current common water level; job j's rate is weight_j*level.
+  double level = 0.0;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  while (unfrozen_count > 0) {
+    // How much further can the water level rise before a resource saturates?
+    double next_level = kInf;
+    for (std::size_t r = 0; r < n_resources; ++r) {
+      if (demand_entries[r] > 0 && demand_sum[r] > 0) {
+        next_level = std::min(next_level, level + remaining[r] / demand_sum[r]);
+      }
+    }
+    // Per-job caps bind at level = cap / weight.
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      if (!frozen[j]) {
+        next_level = std::min(next_level, jobs[j].rate_cap / jobs[j].weight);
+      }
+    }
+    if (next_level == kInf) {
+      // No unfrozen job touches any resource and none has a finite cap.
+      for (std::size_t j = 0; j < n_jobs; ++j) {
+        if (!frozen[j]) {
+          rates[j] = jobs[j].rate_cap;
+        }
+      }
+      return rates;
+    }
+
+    // Drain capacity consumed by the rise.
+    const double rise = next_level - level;
+    for (std::size_t r = 0; r < n_resources; ++r) {
+      remaining[r] -= demand_sum[r] * rise;
+      if (remaining[r] < 0) {
+        remaining[r] = 0;  // numerical dust
+      }
+    }
+    level = next_level;
+
+    // Freeze: jobs whose cap binds, and jobs touching a saturated resource.
+    // Relative tolerances so chained saturations freeze together.
+    bool froze_any = false;
+    for (std::size_t j = 0; j < n_jobs; ++j) {
+      if (frozen[j]) {
+        continue;
+      }
+      bool freeze = jobs[j].rate_cap / jobs[j].weight <= level * (1 + 1e-12);
+      if (!freeze) {
+        for (const auto& d : jobs[j].demands) {
+          const auto r = static_cast<std::size_t>(d.resource);
+          if (d.units_per_work > 1e-15 && remaining[r] <= 1e-12 * capacities[r]) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[j] = true;
+        rates[j] = std::min(jobs[j].weight * level, jobs[j].rate_cap);
+        --unfrozen_count;
+        froze_any = true;
+        for (const auto& d : jobs[j].demands) {
+          const auto r = static_cast<std::size_t>(d.resource);
+          demand_sum[r] -= jobs[j].weight * d.units_per_work;
+          demand_entries[r] -= 1;
+          if (demand_entries[r] == 0 || demand_sum[r] < 0) {
+            demand_sum[r] = 0;
+          }
+        }
+      }
+    }
+    NS_CHECK(froze_any, "progressive filling must freeze at least one job per round");
+  }
+  return rates;
+}
+
+}  // namespace numastream::sim

@@ -1,0 +1,55 @@
+// Max-min fair rate allocation with heterogeneous demands — the analytical
+// heart of the simulator.
+//
+// The simulated machine is a set of capacitated resources (core cycles,
+// memory-controller bandwidth, inter-socket link bandwidth, NIC line rate).
+// Each active job j processes "work units" (bytes) at some rate x_j and
+// consumes d_{j,r} units of resource r per work unit (e.g. a decompression
+// job consumes CPU-seconds and memory-controller bytes per output byte).
+// Feasibility requires for every resource r:
+//
+//     sum_j d_{j,r} * x_j  <=  C_r
+//
+// The allocator computes the (unique) max-min fair rate vector by progressive
+// filling (water-filling): raise every unfrozen job's rate uniformly until
+// some resource saturates, freeze the jobs using that resource, subtract
+// their consumption, repeat. This is the standard fluid model for steady-
+// state throughput of contended systems; it reproduces processor sharing on
+// cores, fair bandwidth sharing on links, and bottleneck shifting between
+// stages — exactly the phenomena the paper's figures measure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace numastream::sim {
+
+/// One job's per-work-unit demand on one resource.
+struct Demand {
+  int resource = 0;
+  double units_per_work = 0;  ///< must be > 0 to constrain the job
+};
+
+/// A job's full demand vector. A job with no positive demand would be
+/// unbounded; the allocator clamps such jobs to `rate_cap`.
+///
+/// `weight` sets the fairness currency: rates are allocated as
+/// x_j = weight_j * level with a common water level. With equal weights this
+/// is plain max-min (TCP-style equal byte rates on a shared link). For CPU
+/// co-location the right share is equal *time*, not equal bytes — a
+/// lightweight I/O thread must not halve a co-located compute thread — so
+/// compute jobs use weight = their solo throughput (1 / cpu_seconds_per_byte),
+/// which makes the water level a CPU-time share.
+struct JobDemands {
+  std::vector<Demand> demands;
+  double rate_cap = 1e18;  ///< optional per-job ceiling (work units / sec)
+  double weight = 1.0;     ///< must be > 0
+};
+
+/// Computes max-min fair rates. `capacities[r]` is resource r's capacity in
+/// units/sec. Returns one rate per job (same order). All capacities must be
+/// > 0; demands must be >= 0.
+std::vector<double> max_min_fair_rates(const std::vector<double>& capacities,
+                                       const std::vector<JobDemands>& jobs);
+
+}  // namespace numastream::sim

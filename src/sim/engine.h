@@ -1,0 +1,205 @@
+// Discrete-event simulation engine.
+//
+// Simulated activities are C++20 coroutines (SimProc). A process co_awaits:
+//   * sim.delay(seconds)  - virtual time passes,
+//   * sim.job(spec)       - a piece of work that consumes capacitated
+//                           resources; its duration emerges from max-min
+//                           fair sharing with every other in-flight job,
+//   * SimQueue push/pop   - bounded pipeline queues (sim/queue.h).
+//
+// The engine interleaves two sources of progress: scheduled events (delays,
+// queue wakeups) and job completions. Whenever the set of in-flight jobs
+// changes, all rates are recomputed with the progressive-filling allocator;
+// between changes every job progresses linearly, so the next completion time
+// is exact. Virtual time is in seconds; work units are bytes throughout the
+// streaming models.
+//
+// Determinism: the engine is single-threaded and breaks ties by insertion
+// order, so a given scenario always produces bit-identical results.
+//
+// TOOLCHAIN NOTE (GCC 12): temporaries materialized inside a `co_await`
+// operand expression can be destroyed twice by GCC 12's coroutine frame
+// promotion (fixed in GCC 13). The engine is hardened against this:
+// JobAwaiter is trivially destructible (the JobSpec moves into the engine
+// inside job(), before any await machinery runs), and the queue awaiters
+// never own live payloads at destruction time. Call sites must still follow
+// one rule: build a JobSpec as a NAMED local and `co_await sim.job(
+// std::move(spec))` — never construct nested non-trivial temporaries inline
+// in the co_await expression.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "sim/allocator.h"
+
+namespace numastream::sim {
+
+class Simulation;
+
+/// Owning handle for a simulated process coroutine. Spawn it on a Simulation
+/// to run it; an unspawned SimProc cleans up after itself.
+class SimProc {
+ public:
+  struct promise_type {
+    SimProc get_return_object() {
+      return SimProc(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  SimProc(SimProc&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  SimProc& operator=(SimProc&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  SimProc(const SimProc&) = delete;
+  SimProc& operator=(const SimProc&) = delete;
+  ~SimProc() { destroy(); }
+
+ private:
+  friend class Simulation;
+  explicit SimProc(Handle handle) : handle_(handle) {}
+  Handle release() noexcept { return std::exchange(handle_, {}); }
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  Handle handle_;
+};
+
+/// One unit of simulated work.
+struct JobSpec {
+  double work = 0;  ///< work units (bytes); 0 completes instantly
+  JobDemands demands;
+  /// Optional per-advance hook: (work_done, dt) since the last advance.
+  /// Used by the machine model to attribute busy time and byte counters.
+  std::function<void(double work_done, double dt)> on_progress;
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+  ~Simulation();
+
+  /// Registers a resource. `contention_overhead` models per-sharer loss
+  /// (context switching, cache thrash): with k concurrent jobs the resource
+  /// delivers capacity / (1 + overhead * (k - 1)).
+  int add_resource(std::string name, double capacity, double contention_overhead = 0.0);
+
+  [[nodiscard]] std::size_t resource_count() const noexcept { return resources_.size(); }
+  [[nodiscard]] const std::string& resource_name(int id) const;
+  [[nodiscard]] double resource_capacity(int id) const;
+
+  /// Cumulative units consumed from a resource since the start.
+  [[nodiscard]] double consumed(int id) const;
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Starts a process; it first runs when the engine reaches the current
+  /// virtual time (i.e. within run()).
+  void spawn(SimProc proc);
+
+  /// Runs until no event or job remains, or virtual time passes `limit`.
+  void run(double limit = 1e30);
+
+  /// Number of jobs currently in flight (for tests / debugging).
+  [[nodiscard]] std::size_t active_jobs() const noexcept { return jobs_.size(); }
+
+  // ---- awaitables -------------------------------------------------------
+
+  struct DelayAwaiter {
+    Simulation& sim;
+    double seconds;
+    [[nodiscard]] bool await_ready() const noexcept { return seconds <= 0; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      sim.schedule(sim.now_ + seconds, handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await sim.delay(s): resume after s simulated seconds.
+  DelayAwaiter delay(double seconds) { return DelayAwaiter{*this, seconds}; }
+
+  /// Trivially destructible on purpose (see the GCC 12 note above): the
+  /// spec already lives inside the engine when this awaiter is created.
+  struct JobAwaiter {
+    Simulation* sim;
+    bool ready;
+    [[nodiscard]] bool await_ready() const noexcept { return ready; }
+    void await_suspend(std::coroutine_handle<> handle) {
+      sim->attach_pending_job(handle);
+    }
+    void await_resume() const noexcept {}
+  };
+
+  /// co_await sim.job(std::move(spec)): resume when the work completes.
+  /// The spec must be a named local moved in (never an inline temporary
+  /// with nested non-trivial subobjects; see the GCC 12 note).
+  JobAwaiter job(JobSpec spec);
+
+  /// Schedules a bare wakeup (used by SimQueue). Delta time 0 = "later this
+  /// same instant", preserving FIFO order among same-time events.
+  void schedule(double time, std::coroutine_handle<> handle);
+
+ private:
+  struct Resource {
+    std::string name;
+    double capacity;
+    double contention_overhead;
+    double consumed = 0;
+    int active_jobs = 0;
+  };
+
+  struct ActiveJob {
+    JobSpec spec;
+    double remaining;
+    double rate = 0;
+    std::coroutine_handle<> waiter;
+  };
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;
+    bool operator>(const Event& other) const noexcept {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+
+  void attach_pending_job(std::coroutine_handle<> waiter);
+  void recompute_rates();
+  void advance_to(double t);
+
+  double now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::vector<Resource> resources_;
+  std::vector<std::unique_ptr<ActiveJob>> jobs_;
+  bool rates_dirty_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::vector<SimProc::Handle> owned_;
+  /// Job created by job() whose awaiting coroutine has not suspended yet.
+  ActiveJob* pending_job_ = nullptr;
+};
+
+}  // namespace numastream::sim

@@ -1,0 +1,168 @@
+// SimQueue<T>: the simulated counterpart of concurrency/bounded_queue.h.
+//
+// Same contract as the real pipeline queue — bounded, closeable, FIFO,
+// blocking push when full and pop when empty — but "blocking" suspends the
+// calling coroutine until a partner or close() wakes it through the engine's
+// event list. The simulated pipeline stages therefore exhibit the same
+// backpressure coupling as the real ones: a slow stage stalls its upstream.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+
+#include "common/assert.h"
+#include "sim/engine.h"
+
+namespace numastream::sim {
+
+template <typename T>
+class SimQueue {
+ public:
+  SimQueue(Simulation& sim, std::size_t capacity) : sim_(sim), capacity_(capacity) {
+    NS_CHECK(capacity > 0, "SimQueue capacity must be positive");
+  }
+
+  SimQueue(const SimQueue&) = delete;
+  SimQueue& operator=(const SimQueue&) = delete;
+
+  // ---- push -------------------------------------------------------------
+
+  struct PushAwaiter {
+    SimQueue& queue;
+    T item;
+    bool accepted = false;
+
+    bool await_ready() {
+      if (queue.closed_) {
+        accepted = false;
+        return true;
+      }
+      if (queue.try_deliver_or_store(item)) {
+        accepted = true;
+        return true;
+      }
+      return false;  // full: suspend
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      queue.push_waiters_.push_back(PushWaiter{handle, this});
+    }
+    /// true if the item entered the queue; false if the queue closed first.
+    bool await_resume() const noexcept { return accepted; }
+  };
+
+  /// co_await queue.push(item) -> bool (false when closed).
+  PushAwaiter push(T item) { return PushAwaiter{*this, std::move(item)}; }
+
+  // ---- pop --------------------------------------------------------------
+
+  struct PopAwaiter {
+    SimQueue& queue;
+    std::optional<T> item;
+
+    bool await_ready() {
+      if (!queue.items_.empty()) {
+        item = std::move(queue.items_.front());
+        queue.items_.pop_front();
+        queue.admit_waiting_pusher();
+        return true;
+      }
+      if (queue.closed_) {
+        return true;  // drained + closed: end of stream (item stays empty)
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> handle) {
+      queue.pop_waiters_.push_back(PopWaiter{handle, this});
+    }
+    /// The item, or nullopt at end of stream.
+    std::optional<T> await_resume() noexcept { return std::move(item); }
+  };
+
+  /// co_await queue.pop() -> std::optional<T> (nullopt = closed and drained).
+  PopAwaiter pop() { return PopAwaiter{*this}; }
+
+  // ---- control ----------------------------------------------------------
+
+  /// Ends the stream: waiting pushers fail, waiting poppers drain then see
+  /// end-of-stream. Idempotent.
+  void close() {
+    if (closed_) {
+      return;
+    }
+    closed_ = true;
+    for (auto& waiter : push_waiters_) {
+      waiter.awaiter->accepted = false;
+      // Strip the undelivered item now so the awaiter owns nothing at
+      // destruction (defence against GCC 12's double-destruction of
+      // co_await temporaries; see sim/engine.h).
+      T discarded = std::move(waiter.awaiter->item);
+      (void)discarded;
+      sim_.schedule(sim_.now(), waiter.handle);
+    }
+    push_waiters_.clear();
+    // Poppers can only be waiting when the buffer is empty.
+    for (auto& waiter : pop_waiters_) {
+      sim_.schedule(sim_.now(), waiter.handle);
+    }
+    pop_waiters_.clear();
+  }
+
+  [[nodiscard]] bool closed() const noexcept { return closed_; }
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t waiting_poppers() const noexcept {
+    return pop_waiters_.size();
+  }
+  [[nodiscard]] std::size_t waiting_pushers() const noexcept {
+    return push_waiters_.size();
+  }
+
+ private:
+  struct PushWaiter {
+    std::coroutine_handle<> handle;
+    PushAwaiter* awaiter;
+  };
+  struct PopWaiter {
+    std::coroutine_handle<> handle;
+    PopAwaiter* awaiter;
+  };
+
+  /// Hands `item` to a waiting popper or stores it. False when full.
+  bool try_deliver_or_store(T& item) {
+    if (!pop_waiters_.empty()) {
+      NS_DCHECK(items_.empty(), "poppers cannot wait while items are buffered");
+      PopWaiter waiter = pop_waiters_.front();
+      pop_waiters_.pop_front();
+      waiter.awaiter->item = std::move(item);
+      sim_.schedule(sim_.now(), waiter.handle);
+      return true;
+    }
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+      return true;
+    }
+    return false;
+  }
+
+  /// After a pop freed a slot, admit the oldest waiting pusher.
+  void admit_waiting_pusher() {
+    if (push_waiters_.empty() || items_.size() >= capacity_) {
+      return;
+    }
+    PushWaiter waiter = push_waiters_.front();
+    push_waiters_.pop_front();
+    items_.push_back(std::move(waiter.awaiter->item));
+    waiter.awaiter->accepted = true;
+    sim_.schedule(sim_.now(), waiter.handle);
+  }
+
+  Simulation& sim_;
+  const std::size_t capacity_;
+  std::deque<T> items_;
+  std::deque<PushWaiter> push_waiters_;
+  std::deque<PopWaiter> pop_waiters_;
+  bool closed_ = false;
+};
+
+}  // namespace numastream::sim

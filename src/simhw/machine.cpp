@@ -1,0 +1,143 @@
+#include "simhw/machine.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace numastream::simrt {
+
+SimHost::SimHost(sim::Simulation& sim, const MachineTopology& topo, HostParams params)
+    : sim_(sim),
+      topo_(&topo),
+      params_(params),
+      usage_(topo.cpu_count() == 0 ? 0 : static_cast<std::size_t>(
+                                             topo.all_cpus().to_vector().back() + 1)),
+      remote_(usage_.num_cores()) {
+  NS_CHECK(topo.validate().is_ok(), "SimHost needs a valid topology");
+
+  const std::size_t max_cpu = usage_.num_cores();
+  core_resources_.assign(max_cpu, -1);
+  core_domains_.assign(max_cpu, -1);
+
+  int max_domain = 0;
+  for (const auto& domain : topo.domains()) {
+    max_domain = std::max(max_domain, domain.id);
+  }
+  memory_resources_.assign(static_cast<std::size_t>(max_domain) + 1, -1);
+
+  const std::string host = topo.hostname();
+  for (const auto& domain : topo.domains()) {
+    memory_resources_[static_cast<std::size_t>(domain.id)] = sim.add_resource(
+        host + ".mc" + std::to_string(domain.id), params.memory_bandwidth);
+    for (const int cpu : domain.cpus.to_vector()) {
+      core_resources_[static_cast<std::size_t>(cpu)] =
+          sim.add_resource(host + ".cpu" + std::to_string(cpu), 1.0,
+                           params.core_oversubscription_overhead);
+      core_domains_[static_cast<std::size_t>(cpu)] = domain.id;
+    }
+  }
+  interconnect_ = sim.add_resource(host + ".upi", params.interconnect_bandwidth);
+  for (const auto& nic : topo.nics()) {
+    nic_resources_.emplace_back(
+        nic.name,
+        sim.add_resource(host + ".nic." + nic.name,
+                         gbps_to_bytes_per_sec(nic.line_rate_gbps)));
+  }
+}
+
+int SimHost::core_resource(int cpu) const {
+  NS_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < core_resources_.size() &&
+               core_resources_[static_cast<std::size_t>(cpu)] >= 0,
+           "unknown core");
+  return core_resources_[static_cast<std::size_t>(cpu)];
+}
+
+int SimHost::memory_resource(int domain) const {
+  NS_CHECK(domain >= 0 &&
+               static_cast<std::size_t>(domain) < memory_resources_.size() &&
+               memory_resources_[static_cast<std::size_t>(domain)] >= 0,
+           "unknown domain");
+  return memory_resources_[static_cast<std::size_t>(domain)];
+}
+
+Result<int> SimHost::nic_resource(const std::string& nic_name) const {
+  for (const auto& [name, resource] : nic_resources_) {
+    if (name == nic_name) {
+      return resource;
+    }
+  }
+  return out_of_range_error("no NIC named " + nic_name + " on " + topo_->hostname());
+}
+
+int SimHost::domain_of_core(int cpu) const {
+  NS_CHECK(cpu >= 0 && static_cast<std::size_t>(cpu) < core_domains_.size() &&
+               core_domains_[static_cast<std::size_t>(cpu)] >= 0,
+           "unknown core");
+  return core_domains_[static_cast<std::size_t>(cpu)];
+}
+
+sim::JobSpec SimHost::step_job(const StepSpec& step) {
+  const int core = step.core;
+  const int exec_domain = domain_of_core(core);
+
+  // CPU demand, inflated when a latency-sensitive step touches remote memory.
+  bool touches_remote = false;
+  for (const auto& access : step.accesses) {
+    if (access.data_domain != exec_domain) {
+      touches_remote = true;
+      break;
+    }
+  }
+  double cpu_per_byte =
+      step.cpu_seconds_per_byte *
+      (touches_remote && step.latency_sensitive
+           ? 1.0 + params_.remote_access_cpu_penalty
+           : 1.0);
+  if (!step.pinned) {
+    cpu_per_byte *= 1.0 + params_.unpinned_cpu_overhead;
+  }
+
+  sim::JobSpec spec;
+  spec.work = step.work_bytes;
+  spec.demands.rate_cap = step.rate_cap;
+  // Weight = the step's solo CPU throughput, so that co-located steps split
+  // CPU *time* fairly: a lightweight protocol thread sharing a core with a
+  // compute thread takes only the slice it can use (see sim/allocator.h).
+  spec.demands.weight = 1.0 / cpu_per_byte;
+  spec.demands.demands.push_back(sim::Demand{core_resource(core), cpu_per_byte});
+
+  double local_bytes_per_work = 0;
+  double remote_bytes_per_work = 0;
+  for (const auto& access : step.accesses) {
+    spec.demands.demands.push_back(
+        sim::Demand{memory_resource(access.data_domain), access.bytes_per_work});
+    if (access.data_domain == exec_domain) {
+      local_bytes_per_work += access.bytes_per_work;
+    } else {
+      // Remote traffic additionally crosses the interconnect.
+      spec.demands.demands.push_back(
+          sim::Demand{interconnect_, access.bytes_per_work});
+      remote_bytes_per_work += access.bytes_per_work;
+    }
+  }
+
+  spec.on_progress = [this, core, cpu_per_byte, local_bytes_per_work,
+                      remote_bytes_per_work](double work_done, double) {
+    if (work_done <= 0) {
+      return;
+    }
+    usage_.add_busy_time(core, cpu_per_byte * work_done);
+    if (local_bytes_per_work > 0) {
+      remote_.add_local_bytes(
+          core, static_cast<std::uint64_t>(local_bytes_per_work * work_done));
+    }
+    if (remote_bytes_per_work > 0) {
+      remote_.add_remote_bytes(
+          core, static_cast<std::uint64_t>(remote_bytes_per_work * work_done));
+    }
+  };
+  return spec;
+}
+
+}  // namespace numastream::simrt

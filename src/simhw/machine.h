@@ -1,0 +1,116 @@
+// SimHost: a simulated NUMA machine built from a MachineTopology.
+//
+// Maps the hardware the paper's experiments ran on into engine resources:
+//   * one CPU resource per core (capacity 1 cpu-second/second, with a
+//     configurable oversubscription overhead modelling context switching —
+//     Observation 2's "performance declines beyond the core count"),
+//   * one memory-bandwidth resource per NUMA domain (the socket's memory
+//     controller path, shared by every thread touching that domain's DRAM —
+//     the LLC/MC contention of Observation 3),
+//   * one inter-socket interconnect resource (QPI/UPI — crossing it is what
+//     makes remote placement slow, Observations 1 and 4),
+//   * one resource per NIC (line rate).
+//
+// step_job() converts "this worker, on this core, processes N bytes touching
+// memory in these domains" into an engine JobSpec: CPU demand (inflated by
+// the remote-access penalty when any touched domain is not the core's own),
+// per-domain memory-controller demand, interconnect demand for every remote
+// byte — and a metrics hook that attributes busy time to the core and
+// local/remote bytes to the per-core counters (Figs. 6 and 7).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "metrics/core_usage.h"
+#include "metrics/remote_access.h"
+#include "sim/engine.h"
+#include "topo/topology.h"
+
+namespace numastream::simrt {
+
+/// Hardware model parameters. Defaults are calibrated in
+/// simrt/calibration.h; see that header for the derivation.
+struct HostParams {
+  /// Per-socket effective streaming memory bandwidth (bytes/sec). This is
+  /// the sustainable LLC-miss path, far below the DDR spec sheet number.
+  double memory_bandwidth = 74e9;
+  /// Inter-socket interconnect bandwidth (bytes/sec), both directions pooled.
+  double interconnect_bandwidth = 21e9;
+  /// Extra CPU time per byte when the touched data is in a remote domain
+  /// (cache-miss stalls over the interconnect). 0.176 = the ~15% throughput
+  /// loss the paper measures for wrong-socket receivers.
+  double remote_access_cpu_penalty = 0.176;
+  /// Context-switch / cache-thrash loss per extra thread sharing a core.
+  double core_oversubscription_overhead = 0.12;
+  /// Extra CPU per byte for threads the OS may migrate freely (unpinned):
+  /// migrations cost cache warmth and occasionally cross sockets. Pinned
+  /// threads never pay this; it is the second half of the paper's runtime-
+  /// vs-OS gap (the first being wrong-socket receive placement).
+  double unpinned_cpu_overhead = 0.12;
+};
+
+class SimHost {
+ public:
+  /// Registers all resources for `topo` on `sim`. `topo` must outlive this.
+  SimHost(sim::Simulation& sim, const MachineTopology& topo, HostParams params);
+
+  [[nodiscard]] const MachineTopology& topology() const noexcept { return *topo_; }
+  [[nodiscard]] const HostParams& params() const noexcept { return params_; }
+
+  /// Engine resource ids.
+  [[nodiscard]] int core_resource(int cpu) const;
+  [[nodiscard]] int memory_resource(int domain) const;
+  [[nodiscard]] int interconnect_resource() const noexcept { return interconnect_; }
+  [[nodiscard]] Result<int> nic_resource(const std::string& nic_name) const;
+
+  /// Domain owning a core (cached lookup).
+  [[nodiscard]] int domain_of_core(int cpu) const;
+
+  /// One memory touch of a processing step.
+  struct MemoryAccess {
+    int data_domain = 0;       ///< domain whose DRAM holds the bytes
+    double bytes_per_work = 1; ///< MC traffic per work byte
+  };
+
+  /// One processing step executed by a worker thread.
+  struct StepSpec {
+    int core = 0;                       ///< executing core (global cpu id)
+    double work_bytes = 0;              ///< bytes processed by this step
+    double cpu_seconds_per_byte = 0;    ///< base CPU cost
+    std::vector<MemoryAccess> accesses; ///< memory traffic of the step
+    double rate_cap = 1e18;             ///< optional per-step rate ceiling
+    /// False when the worker is OS-scheduled rather than pinned; adds
+    /// HostParams::unpinned_cpu_overhead to the step's CPU cost.
+    bool pinned = true;
+    /// Remote-access CPU penalty applies only to latency-sensitive steps
+    /// (packet processing chasing fresh DMA data). Streaming compute —
+    /// compression/decompression — prefetches ahead and hides remote
+    /// latency, which is exactly the paper's Observations 2 and 3 ("source
+    /// data storage location ... does not impact performance").
+    bool latency_sensitive = false;
+  };
+
+  /// Builds the JobSpec for a step, including the metrics hook. The result
+  /// must be co_awaited following the hoisting rule in sim/engine.h.
+  [[nodiscard]] sim::JobSpec step_job(const StepSpec& step);
+
+  /// Per-core busy time observed so far (finalize with set_elapsed()).
+  [[nodiscard]] CoreUsageMatrix& usage() noexcept { return usage_; }
+  [[nodiscard]] RemoteAccessCounter& remote_access() noexcept { return remote_; }
+
+ private:
+  sim::Simulation& sim_;
+  const MachineTopology* topo_;
+  HostParams params_;
+  std::vector<int> core_resources_;    // index = global cpu id
+  std::vector<int> core_domains_;      // index = global cpu id
+  std::vector<int> memory_resources_;  // index = domain id
+  int interconnect_ = -1;
+  std::vector<std::pair<std::string, int>> nic_resources_;
+  CoreUsageMatrix usage_;
+  RemoteAccessCounter remote_;
+};
+
+}  // namespace numastream::simrt

@@ -1,0 +1,32 @@
+#include "simhw/network.h"
+
+#include "common/units.h"
+
+namespace numastream::simrt {
+
+SimLink::SimLink(sim::Simulation& sim, std::string name, LinkParams params)
+    : sim_(sim),
+      params_(params),
+      resource_(sim.add_resource(std::move(name),
+                                 gbps_to_bytes_per_sec(params.bandwidth_gbps))) {}
+
+sim::JobSpec SimLink::transfer_job(SimHost& receiver, int sender_nic,
+                                   int receiver_nic, int nic_domain, double bytes,
+                                   double per_connection_cap) const {
+  // 1/efficiency line-rate units per goodput byte: protocol overhead eats a
+  // slice of every hop.
+  const double overhead = 1.0 / params_.efficiency;
+
+  sim::JobSpec spec;
+  spec.work = bytes;
+  spec.demands.rate_cap = per_connection_cap;
+  spec.demands.demands.push_back(sim::Demand{sender_nic, overhead});
+  spec.demands.demands.push_back(sim::Demand{resource_, overhead});
+  spec.demands.demands.push_back(sim::Demand{receiver_nic, overhead});
+  // DMA write into the NIC-attached domain's DRAM.
+  spec.demands.demands.push_back(
+      sim::Demand{receiver.memory_resource(nic_domain), 1.0});
+  return spec;
+}
+
+}  // namespace numastream::simrt

@@ -1,0 +1,50 @@
+// Simulated network path between a sender host and the receiver host.
+//
+// A transfer moving `bytes` over a connection consumes, simultaneously
+// (one engine job with a joint demand vector — the stages of a real NIC
+// pipeline overlap):
+//   * the sender's NIC line rate,
+//   * the shared network link (the 200 Gbps APS-ALCF path of §3.1, or the
+//     100 Gbps path of §3.4),
+//   * the receiver's NIC line rate, and
+//   * the receiver's NIC-domain memory controller — the DMA write of §2.2:
+//     packets land in the NIC-attached domain's DRAM no matter where the
+//     receiving thread runs. This is the hardware fact Observation 1 rests on.
+//
+// `efficiency` converts line rate to achievable goodput (TCP/IP + Ethernet
+// framing overhead): the paper's "190+ Gbps out of 200" and "97 out of 100".
+#pragma once
+
+#include "common/status.h"
+#include "simhw/machine.h"
+
+namespace numastream::simrt {
+
+struct LinkParams {
+  double bandwidth_gbps = 200.0;
+  double efficiency = 0.97;  ///< protocol overhead on every hop
+};
+
+class SimLink {
+ public:
+  SimLink(sim::Simulation& sim, std::string name, LinkParams params);
+
+  /// Builds the transfer JobSpec for `bytes` moving from `sender` to
+  /// `receiver`, landing in the receiver's `nic_domain` DRAM via DMA.
+  /// `sender_nic`/`receiver_nic` are SimHost nic_resource() ids.
+  /// `per_connection_cap` bounds a single TCP stream (bytes/sec).
+  [[nodiscard]] sim::JobSpec transfer_job(SimHost& receiver, int sender_nic,
+                                          int receiver_nic, int nic_domain,
+                                          double bytes,
+                                          double per_connection_cap = 1e18) const;
+
+  [[nodiscard]] int resource() const noexcept { return resource_; }
+  [[nodiscard]] double efficiency() const noexcept { return params_.efficiency; }
+
+ private:
+  sim::Simulation& sim_;
+  LinkParams params_;
+  int resource_;
+};
+
+}  // namespace numastream::simrt

@@ -1,0 +1,71 @@
+#include "simhw/scheduler.h"
+
+#include "common/assert.h"
+
+namespace numastream::simrt {
+
+std::vector<int> assign_pinned(const MachineTopology& topo,
+                               const std::vector<NumaBinding>& bindings,
+                               std::size_t count) {
+  NS_CHECK(!bindings.empty(), "assign_pinned needs at least one binding");
+  // Per-binding rotation state: each binding cycles through its own domain's
+  // cores independently, so a split group fills both domains evenly.
+  struct BindingState {
+    std::vector<int> cores;
+    std::size_t next = 0;
+  };
+  std::vector<BindingState> states;
+  states.reserve(bindings.size());
+  for (const auto& binding : bindings) {
+    NS_CHECK(!binding.os_managed(),
+             "assign_pinned cannot place OS-managed bindings; use OsScheduler");
+    auto domain = topo.domain(binding.execution_domain);
+    NS_CHECK(domain.ok(), "binding references unknown domain");
+    states.push_back(BindingState{.cores = domain.value().cpus.to_vector()});
+  }
+
+  std::vector<int> assignment;
+  assignment.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    BindingState& state = states[i % states.size()];
+    assignment.push_back(state.cores[state.next % state.cores.size()]);
+    ++state.next;
+  }
+  return assignment;
+}
+
+OsScheduler::OsScheduler(const MachineTopology& topo, Mode mode, std::uint64_t seed)
+    : cores_(topo.all_cpus().to_vector()), load_(cores_.size(), 0), mode_(mode),
+      rng_(seed) {
+  NS_CHECK(!cores_.empty(), "OsScheduler needs at least one core");
+}
+
+int OsScheduler::place_thread() {
+  std::size_t pick = 0;
+  switch (mode_) {
+    case Mode::kRandom:
+      pick = rng_.next_below(cores_.size());
+      break;
+    case Mode::kLeastLoaded: {
+      for (std::size_t i = 1; i < cores_.size(); ++i) {
+        if (load_[i] < load_[pick]) {
+          pick = i;
+        }
+      }
+      break;
+    }
+  }
+  load_[pick] += 1;
+  return cores_[pick];
+}
+
+std::vector<int> OsScheduler::place_threads(std::size_t count) {
+  std::vector<int> assignment;
+  assignment.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    assignment.push_back(place_thread());
+  }
+  return assignment;
+}
+
+}  // namespace numastream::simrt

@@ -1,0 +1,60 @@
+// Thread-to-core assignment for simulated hosts.
+//
+// The NUMA-aware runtime pins each worker to a concrete core; the OS
+// baseline lets the kernel place threads. Both are modelled here:
+//
+//   * assign_pinned(): deterministic round-robin over the cores of the
+//     binding's execution domain — exactly what PinnedThreadGroup +
+//     sched_setaffinity produce on real hardware. More threads than cores
+//     wrap (oversubscription, as in the paper's 32/64-thread sweeps).
+//
+//   * OsScheduler: emulates placement without topology knowledge. Two modes:
+//       kRandom      - each thread lands on a uniformly random core (seeded,
+//                      deterministic). Captures that CFS neither knows the
+//                      NIC domain nor keeps a NUMA-clean balance under a
+//                      bursty pipeline; collisions and wrong-socket placement
+//                      both occur, as the paper observes ("the OS does not
+//                      always possess the intricate architectural knowledge
+//                      ... to maximize efficiency").
+//       kLeastLoaded - each thread goes to the core with the fewest assigned
+//                      threads (ties to the lowest id). An idealized, best-
+//                      case kernel; used by the ablation bench to show how
+//                      much of the paper's 1.48x comes from placement
+//                      knowledge vs. balancing luck.
+#pragma once
+
+#include <vector>
+
+#include "affinity/binding.h"
+#include "common/rng.h"
+#include "topo/topology.h"
+
+namespace numastream::simrt {
+
+/// Cores for `count` workers honouring `bindings` (applied round-robin, as
+/// PinnedThreadGroup does): worker i draws from bindings[i % size]'s domain.
+/// os_managed bindings must not appear here (use OsScheduler).
+std::vector<int> assign_pinned(const MachineTopology& topo,
+                               const std::vector<NumaBinding>& bindings,
+                               std::size_t count);
+
+class OsScheduler {
+ public:
+  enum class Mode { kRandom, kLeastLoaded };
+
+  OsScheduler(const MachineTopology& topo, Mode mode, std::uint64_t seed);
+
+  /// Places one thread and records the load it adds.
+  int place_thread();
+
+  /// Places `count` threads.
+  std::vector<int> place_threads(std::size_t count);
+
+ private:
+  std::vector<int> cores_;
+  std::vector<int> load_;  // parallel to cores_
+  Mode mode_;
+  Rng rng_;
+};
+
+}  // namespace numastream::simrt

@@ -1,0 +1,321 @@
+#include "simrt/driver.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/assert.h"
+
+namespace numastream::simrt {
+namespace {
+
+using StageBusy = StreamPipeline::StageBusy;
+
+/// Resolves worker cores for task groups on one host. Pinned groups rotate
+/// through their domains' cores; the rotation state persists across calls so
+/// a catch-all group serving several streams spreads its threads instead of
+/// restarting at the first core for every stream. OS-managed groups go
+/// through the host's scheduler emulation (which is stateful by nature).
+class CoreAllocator {
+ public:
+  CoreAllocator(const MachineTopology& topo, OsScheduler& os) : topo_(topo), os_(os) {}
+
+  /// Draws `group.count` cores for one stream's use of `group`.
+  Result<std::vector<StreamPipeline::Worker>> take(const TaskGroupConfig& group) {
+    NS_CHECK(!group.bindings.empty(), "validated configs have bindings");
+    const bool os_managed = group.bindings.front().os_managed();
+    for (const auto& binding : group.bindings) {
+      if (binding.os_managed() != os_managed) {
+        return invalid_argument_error(
+            "simulated driver requires a task group to be either fully pinned "
+            "or fully OS-managed");
+      }
+    }
+    if (os_managed) {
+      std::vector<StreamPipeline::Worker> workers;
+      for (const int core : os_.place_threads(static_cast<std::size_t>(group.count))) {
+        workers.push_back(StreamPipeline::Worker{.core = core, .pinned = false});
+      }
+      return workers;
+    }
+
+    // Pinning binds a thread to a *domain* (numa_bind semantics); the kernel
+    // then balances within the mask. Model that by rotating through each
+    // domain's cores with state shared across every group on this host, so
+    // four streams' worth of domain-1 receive threads spread over all of
+    // domain 1 instead of stacking on its first cores.
+    std::vector<StreamPipeline::Worker> workers;
+    workers.reserve(static_cast<std::size_t>(group.count));
+    std::size_t& round = group_rounds_.try_emplace(&group, 0).first->second;
+    for (int i = 0; i < group.count; ++i) {
+      const auto& binding = group.bindings[round++ % group.bindings.size()];
+      auto domain = topo_.domain(binding.execution_domain);
+      if (!domain.ok()) {
+        return domain.status();
+      }
+      PinState& state = pin_states_.try_emplace(binding.execution_domain).first->second;
+      if (state.cores.empty()) {
+        state.cores = domain.value().cpus.to_vector();
+      }
+      workers.push_back(StreamPipeline::Worker{
+          .core = state.cores[state.next % state.cores.size()], .pinned = true});
+      ++state.next;
+    }
+    return workers;
+  }
+
+  /// Draws workers for every group of `type` that serves `stream`.
+  Result<std::vector<StreamPipeline::Worker>> take_for(const NodeConfig& config,
+                                                       TaskType type, int stream) {
+    std::vector<StreamPipeline::Worker> workers;
+    for (const auto& group : config.tasks) {
+      if (group.type != type || (group.stream_id >= 0 && group.stream_id != stream)) {
+        continue;
+      }
+      auto group_workers = take(group);
+      if (!group_workers.ok()) {
+        return group_workers.status();
+      }
+      workers.insert(workers.end(), group_workers.value().begin(),
+                     group_workers.value().end());
+    }
+    return workers;
+  }
+
+ private:
+  struct PinState {
+    std::vector<int> cores;
+    std::size_t next = 0;
+  };
+
+  const MachineTopology& topo_;
+  OsScheduler& os_;
+  std::map<int, PinState> pin_states_;  // keyed by execution domain
+  /// Split groups alternate bindings; the alternation continues across the
+  /// streams a catch-all group serves.
+  std::map<const TaskGroupConfig*, std::size_t> group_rounds_;
+};
+
+}  // namespace
+
+Result<ExperimentResult> run_experiment(
+    const std::vector<MachineTopology>& sender_topos,
+    const std::vector<NodeConfig>& sender_configs,
+    const MachineTopology& receiver_topo, const NodeConfig& receiver_config,
+    const ExperimentOptions& options) {
+  if (sender_topos.size() != sender_configs.size() || sender_topos.empty()) {
+    return invalid_argument_error("driver: need one sender config per topology");
+  }
+  NS_RETURN_IF_ERROR(receiver_config.validate(receiver_topo));
+  for (std::size_t i = 0; i < sender_configs.size(); ++i) {
+    NS_RETURN_IF_ERROR(sender_configs[i].validate(sender_topos[i]));
+  }
+
+  const auto preferred_nic_info = receiver_topo.preferred_nic();
+  if (!preferred_nic_info.has_value() && options.receiver_nic_per_stream.empty()) {
+    return invalid_argument_error("driver: receiver has no NIC with known domain");
+  }
+  // Per-stream receiver NIC (multi-NIC gateways); default = preferred.
+  const auto nic_for_stream = [&](std::size_t stream) -> Result<NicInfo> {
+    if (stream < options.receiver_nic_per_stream.size() &&
+        !options.receiver_nic_per_stream[stream].empty()) {
+      const auto nic = receiver_topo.find_nic(options.receiver_nic_per_stream[stream]);
+      if (!nic.has_value() || nic->numa_domain < 0) {
+        return invalid_argument_error("driver: receiver NIC '" +
+                                      options.receiver_nic_per_stream[stream] +
+                                      "' unknown or without a NUMA attachment");
+      }
+      return *nic;
+    }
+    if (!preferred_nic_info.has_value()) {
+      return invalid_argument_error("driver: receiver has no NIC with known domain");
+    }
+    return *preferred_nic_info;
+  };
+
+  sim::Simulation sim;
+  SimHost receiver(sim, receiver_topo, options.host_params);
+  std::vector<std::unique_ptr<SimHost>> senders;
+  senders.reserve(sender_topos.size());
+  for (const auto& topo : sender_topos) {
+    senders.push_back(std::make_unique<SimHost>(sim, topo, options.host_params));
+  }
+  SimLink link(sim, "backbone", options.link);
+
+
+  // One OS-scheduler emulation per host, shared by all its OS-managed groups
+  // (the kernel balances the whole machine, not one group at a time).
+  OsScheduler receiver_os(receiver_topo, options.os_mode, options.os_seed);
+  CoreAllocator receiver_alloc(receiver_topo, receiver_os);
+  std::vector<std::unique_ptr<OsScheduler>> sender_os;
+  std::vector<std::unique_ptr<CoreAllocator>> sender_alloc;
+  for (std::size_t i = 0; i < sender_topos.size(); ++i) {
+    sender_os.push_back(std::make_unique<OsScheduler>(
+        sender_topos[i], options.os_mode, options.os_seed + 1 + i));
+    sender_alloc.push_back(
+        std::make_unique<CoreAllocator>(sender_topos[i], *sender_os.back()));
+  }
+
+  std::vector<std::unique_ptr<RateTimeline>> timelines;
+  std::vector<std::unique_ptr<StreamPipeline>> pipelines;
+  for (std::size_t stream = 0; stream < sender_configs.size(); ++stream) {
+    const NodeConfig& sender_config = sender_configs[stream];
+    const MachineTopology& sender_topo = sender_topos[stream];
+    SimHost& sender = *senders[stream];
+
+    const auto sender_nic_info = sender_topo.preferred_nic().has_value()
+                                     ? sender_topo.preferred_nic()
+                                     : std::optional<NicInfo>(sender_topo.nics().empty()
+                                                                  ? NicInfo{}
+                                                                  : sender_topo.nics()[0]);
+    if (!sender_nic_info.has_value() || sender_nic_info->name.empty()) {
+      return invalid_argument_error("driver: sender " + sender_topo.hostname() +
+                                    " has no NIC");
+    }
+    auto sender_nic = sender.nic_resource(sender_nic_info->name);
+    if (!sender_nic.ok()) {
+      return sender_nic.status();
+    }
+
+    auto stream_nic_info = nic_for_stream(stream);
+    if (!stream_nic_info.ok()) {
+      return stream_nic_info.status();
+    }
+    auto receiver_nic = receiver.nic_resource(stream_nic_info.value().name);
+    if (!receiver_nic.ok()) {
+      return receiver_nic.status();
+    }
+
+    const int stream_id = static_cast<int>(stream);
+    auto compress_workers =
+        sender_alloc[stream]->take_for(sender_config, TaskType::kCompress, stream_id);
+    auto send_workers =
+        sender_alloc[stream]->take_for(sender_config, TaskType::kSend, stream_id);
+    auto receive_workers =
+        receiver_alloc.take_for(receiver_config, TaskType::kReceive, stream_id);
+    auto decompress_workers =
+        receiver_alloc.take_for(receiver_config, TaskType::kDecompress, stream_id);
+    for (const auto* result : {&compress_workers, &send_workers, &receive_workers,
+                               &decompress_workers}) {
+      if (!result->ok()) {
+        return result->status();
+      }
+    }
+    if (send_workers.value().empty() || receive_workers.value().empty()) {
+      return invalid_argument_error("driver: stream " + std::to_string(stream_id) +
+                                    " has no send/receive threads");
+    }
+    if (send_workers.value().size() != receive_workers.value().size()) {
+      return invalid_argument_error(
+          "driver: stream " + std::to_string(stream_id) +
+          " has asymmetric send/receive thread counts (the pipeline pairs them)");
+    }
+
+    StreamPipeline::Spec spec;
+    spec.stream_id = static_cast<std::uint32_t>(stream);
+    spec.chunks = options.chunks_per_stream;
+    spec.compress = options.compress;
+    spec.sender_host = &sender;
+    spec.receiver_host = &receiver;
+    spec.link = &link;
+    spec.sender_nic = sender_nic.value();
+    spec.receiver_nic = receiver_nic.value();
+    spec.receiver_nic_domain = stream_nic_info.value().numa_domain;
+    spec.source_data_domain = options.source_data_domain;
+    spec.compress_workers = std::move(compress_workers).value();
+    spec.send_workers = std::move(send_workers).value();
+    spec.receive_workers = std::move(receive_workers).value();
+    spec.decompress_workers = std::move(decompress_workers).value();
+    spec.per_connection_cap = options.per_connection_cap;
+    spec.queue_capacity = options.queue_capacity;
+    if (options.source_gbps > 0) {
+      spec.source_bytes_per_sec = gbps_to_bytes_per_sec(options.source_gbps);
+    }
+    if (options.timeline_bucket_seconds > 0) {
+      timelines.push_back(
+          std::make_unique<RateTimeline>(options.timeline_bucket_seconds));
+      spec.e2e_timeline = timelines.back().get();
+    }
+    pipelines.push_back(std::make_unique<StreamPipeline>(sim, options.calib, spec));
+  }
+
+  for (auto& pipeline : pipelines) {
+    pipeline->launch();
+  }
+  sim.run();
+
+  ExperimentResult result;
+  result.elapsed_seconds = sim.now();
+  if (result.elapsed_seconds <= 0) {
+    return internal_error("driver: simulation made no progress");
+  }
+  for (const auto& pipeline : pipelines) {
+    // Each stream carries a fixed chunk budget; rate it over its own active
+    // window so an early finisher is not diluted by slower streams.
+    const double window = pipeline->finished_at() > 0 ? pipeline->finished_at()
+                                                      : result.elapsed_seconds;
+    StreamResult stream;
+    stream.network_gbps =
+        bytes_per_sec_to_gbps(pipeline->wire_bytes_received() / window);
+    stream.e2e_gbps =
+        bytes_per_sec_to_gbps(pipeline->raw_bytes_delivered() / window);
+    stream.chunks = pipeline->chunks_delivered();
+    result.network_gbps += stream.network_gbps;
+    result.e2e_gbps += stream.e2e_gbps;
+    result.streams.push_back(stream);
+  }
+  receiver.usage().set_elapsed(result.elapsed_seconds);
+  result.receiver_core_utilization = receiver.usage().utilizations();
+  result.receiver_remote_normalized = receiver.remote_access().normalized_remote();
+
+  // Aggregate the advisor's observation across streams. Utilization is the
+  // stage's total busy time over (window x total threads).
+  StageBusy total_busy;
+  int threads_compress = 0;
+  int threads_send = 0;
+  int threads_receive = 0;
+  int threads_decompress = 0;
+  for (const auto& pipeline : pipelines) {
+    total_busy.compress += pipeline->stage_busy().compress;
+    total_busy.send += pipeline->stage_busy().send;
+    total_busy.receive += pipeline->stage_busy().receive;
+    total_busy.decompress += pipeline->stage_busy().decompress;
+    threads_compress += static_cast<int>(pipeline->spec().compress_workers.size());
+    threads_send += static_cast<int>(pipeline->spec().send_workers.size());
+    threads_receive += static_cast<int>(pipeline->spec().receive_workers.size());
+    threads_decompress +=
+        static_cast<int>(pipeline->spec().decompress_workers.size());
+  }
+  const auto stage_observation = [&](double busy, int threads) {
+    StageObservation stage;
+    stage.threads = threads;
+    stage.utilization =
+        threads > 0 ? busy / (result.elapsed_seconds * threads) : 0.0;
+    return stage;
+  };
+  result.observation.raw_throughput =
+      gbps_to_bytes_per_sec(result.e2e_gbps);
+  result.observation.compress = stage_observation(total_busy.compress, threads_compress);
+  result.observation.send = stage_observation(total_busy.send, threads_send);
+  result.observation.receive = stage_observation(total_busy.receive, threads_receive);
+  result.observation.decompress =
+      stage_observation(total_busy.decompress, threads_decompress);
+  for (auto& timeline : timelines) {
+    result.stream_timelines.push_back(std::move(*timeline));
+  }
+  return result;
+}
+
+Result<ExperimentResult> run_plan(const std::vector<MachineTopology>& sender_topos,
+                                  const MachineTopology& receiver_topo,
+                                  const StreamingPlan& plan,
+                                  const ExperimentOptions& options) {
+  ExperimentOptions effective = options;
+  if (effective.receiver_nic_per_stream.empty()) {
+    effective.receiver_nic_per_stream = plan.stream_receiver_nics;
+  }
+  return run_experiment(sender_topos, plan.senders, receiver_topo, plan.receiver,
+                        effective);
+}
+
+}  // namespace numastream::simrt

@@ -1,0 +1,97 @@
+// ExperimentDriver: executes a runtime configuration (NodeConfigs, as
+// written by hand or by the ConfigGenerator) on simulated hardware and
+// reports the metrics the paper's evaluation section reports.
+//
+// This is the bridge between the paper's contribution (core/) and the
+// simulated testbed (simhw/ + simrt/): the same NodeConfig that drives the
+// real threaded pipeline drives the simulated one, so "runtime placement vs
+// OS placement" is a one-flag difference here exactly as it is on metal.
+#pragma once
+
+#include <vector>
+
+#include "core/advisor.h"
+#include "metrics/timeline.h"
+#include "core/config.h"
+#include "core/config_generator.h"
+#include "simhw/network.h"
+#include "simhw/scheduler.h"
+#include "simrt/calibration.h"
+#include "simrt/pipeline.h"
+
+namespace numastream::simrt {
+
+struct ExperimentOptions {
+  HostParams host_params;
+  LinkParams link;
+  Calibration calib;
+  std::uint64_t chunks_per_stream = 300;
+
+  /// Emulation mode for os-managed bindings (see simhw/scheduler.h).
+  OsScheduler::Mode os_mode = OsScheduler::Mode::kRandom;
+  std::uint64_t os_seed = 1;
+
+  /// false = network-only runs (§3.4): codec stages are skipped even if the
+  /// configs carry compress/decompress groups.
+  bool compress = true;
+
+  /// Domain holding the source dataset on each sender (Table 1 sweeps this).
+  int source_data_domain = 0;
+
+  double per_connection_cap = 1e18;
+  std::size_t queue_capacity = 8;
+
+  /// Per-sender instrument/dataset generation rate in Gbps of raw data
+  /// ("senders exclusively generate data chunks at a fixed rate", §3.1).
+  /// 0 = unlimited (the source never throttles the pipeline).
+  double source_gbps = 0;
+
+  /// Receiver NIC per stream (names from the receiver topology). Empty =
+  /// every stream uses the preferred NIC. run_plan() fills this from the
+  /// plan's multi-NIC assignment automatically.
+  std::vector<std::string> receiver_nic_per_stream;
+
+  /// When > 0, record per-stream delivered-rate timelines with this bucket
+  /// width (virtual seconds); see ExperimentResult::stream_timelines.
+  double timeline_bucket_seconds = 0;
+};
+
+struct StreamResult {
+  double network_gbps = 0;  ///< wire goodput delivered to the receiver
+  double e2e_gbps = 0;      ///< decompressed bytes delivered
+  std::uint64_t chunks = 0;
+};
+
+struct ExperimentResult {
+  double elapsed_seconds = 0;
+  double network_gbps = 0;  ///< cumulative across streams
+  double e2e_gbps = 0;      ///< cumulative across streams
+  std::vector<StreamResult> streams;
+  /// Receiver-side per-core views (Figs. 6 and 7).
+  std::vector<double> receiver_core_utilization;
+  std::vector<double> receiver_remote_normalized;
+  /// Per-stage utilization aggregated across streams, in the advisor's
+  /// format, so an observe-analyze-refine loop can run on top of the
+  /// simulated gateway (the paper's future-work feature).
+  PipelineObservation observation;
+  /// Per-stream delivered-rate timelines (empty unless
+  /// ExperimentOptions::timeline_bucket_seconds > 0).
+  std::vector<RateTimeline> stream_timelines;
+};
+
+/// Runs one experiment: stream i flows from sender_configs[i] (on
+/// sender_topos[i]) to the shared receiver. Thread counts, placements and
+/// codec choice are taken from the configs.
+Result<ExperimentResult> run_experiment(
+    const std::vector<MachineTopology>& sender_topos,
+    const std::vector<NodeConfig>& sender_configs,
+    const MachineTopology& receiver_topo, const NodeConfig& receiver_config,
+    const ExperimentOptions& options);
+
+/// Convenience overload for a generated plan.
+Result<ExperimentResult> run_plan(const std::vector<MachineTopology>& sender_topos,
+                                  const MachineTopology& receiver_topo,
+                                  const StreamingPlan& plan,
+                                  const ExperimentOptions& options);
+
+}  // namespace numastream::simrt

@@ -1,0 +1,260 @@
+#include "simrt/pipeline.h"
+
+#include "common/assert.h"
+
+namespace numastream::simrt {
+
+std::vector<StreamPipeline::Worker> StreamPipeline::pinned_workers(
+    const std::vector<int>& cores) {
+  std::vector<Worker> workers;
+  workers.reserve(cores.size());
+  for (const int core : cores) {
+    workers.push_back(Worker{.core = core, .pinned = true});
+  }
+  return workers;
+}
+
+StreamPipeline::StreamPipeline(sim::Simulation& sim, const Calibration& calib,
+                               Spec spec)
+    : sim_(sim), calib_(calib), spec_(std::move(spec)) {
+  NS_CHECK(spec_.sender_host != nullptr && spec_.receiver_host != nullptr &&
+               spec_.link != nullptr,
+           "pipeline needs sender, receiver and link");
+  NS_CHECK(spec_.sender_nic >= 0 && spec_.receiver_nic >= 0,
+           "pipeline needs NIC resources");
+  NS_CHECK(!spec_.send_workers.empty(), "pipeline needs at least one send worker");
+  NS_CHECK(spec_.send_workers.size() == spec_.receive_workers.size(),
+           "the paper's pipeline is symmetric: one receive thread per send thread");
+  if (spec_.compress) {
+    NS_CHECK(!spec_.compress_workers.empty(), "compression enabled but no workers");
+    NS_CHECK(!spec_.decompress_workers.empty(), "decompression enabled but no workers");
+  }
+
+  source_remaining_ = spec_.chunks;
+  send_queue_ = std::make_unique<sim::SimQueue<SimChunk>>(sim_, spec_.queue_capacity);
+  decompress_queue_ =
+      std::make_unique<sim::SimQueue<SimChunk>>(sim_, spec_.queue_capacity);
+  for (std::size_t i = 0; i < spec_.send_workers.size(); ++i) {
+    connection_queues_.push_back(std::make_unique<sim::SimQueue<SimChunk>>(
+        sim_, spec_.connection_window_chunks));
+  }
+}
+
+std::optional<SimChunk> StreamPipeline::draw_source_chunk() {
+  if (source_remaining_ == 0) {
+    return std::nullopt;
+  }
+  --source_remaining_;
+  // Fixed-rate generation: the chunk becomes available once the instrument
+  // has produced it. The drawing worker waits out the difference.
+  if (spec_.source_bytes_per_sec < 1e17) {
+    const double start = std::max(sim_.now(), source_ready_time_);
+    source_ready_time_ = start + calib_.chunk_bytes / spec_.source_bytes_per_sec;
+  }
+  SimChunk chunk;
+  chunk.raw_bytes = calib_.chunk_bytes;
+  chunk.wire_bytes = spec_.compress ? calib_.chunk_bytes / calib_.compression_ratio
+                                    : calib_.chunk_bytes;
+  chunk.data_domain = spec_.source_data_domain;
+  return chunk;
+}
+
+void StreamPipeline::launch() {
+  if (spec_.compress) {
+    live_compressors_ = static_cast<int>(spec_.compress_workers.size());
+    for (const Worker& worker : spec_.compress_workers) {
+      sim_.spawn(compressor_worker(worker));
+    }
+  }
+  live_receivers_ = static_cast<int>(spec_.receive_workers.size());
+  for (std::size_t i = 0; i < spec_.send_workers.size(); ++i) {
+    sim_.spawn(sender_worker(i, spec_.send_workers[i]));
+    sim_.spawn(receiver_worker(i, spec_.receive_workers[i]));
+  }
+  if (spec_.compress) {
+    for (const Worker& worker : spec_.decompress_workers) {
+      sim_.spawn(decompressor_worker(worker));
+    }
+  }
+}
+
+sim::SimProc StreamPipeline::compressor_worker(Worker worker) {
+  const int core = worker.core;
+  SimHost& host = *spec_.sender_host;
+  while (true) {
+    auto chunk = draw_source_chunk();
+    if (!chunk.has_value()) {
+      break;
+    }
+    if (source_ready_time_ > sim_.now()) {
+      co_await sim_.delay(source_ready_time_ - sim_.now());
+    }
+    // Compress: read raw from the dataset's domain, write the compressed
+    // buffer into the worker's own domain (first touch).
+    SimHost::StepSpec step;
+    step.core = core;
+    step.work_bytes = chunk->raw_bytes;
+    step.cpu_seconds_per_byte = 1.0 / calib_.compress_bytes_per_sec;
+    step.pinned = worker.pinned;
+    step.accesses = {
+        {.data_domain = chunk->data_domain,
+         .bytes_per_work = calib_.compress_mem_read_per_raw_byte},
+        {.data_domain = host.domain_of_core(core),
+         .bytes_per_work = calib_.compress_mem_write_per_raw_byte},
+    };
+    sim::JobSpec job = host.step_job(step);
+    const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
+    co_await sim_.job(std::move(job));
+    stage_busy_.compress += cpu_cost;
+
+    chunk->data_domain = host.domain_of_core(core);
+    const bool accepted = co_await send_queue_->push(*chunk);
+    if (!accepted) {
+      break;
+    }
+  }
+  if (--live_compressors_ == 0) {
+    send_queue_->close();
+  }
+}
+
+sim::SimProc StreamPipeline::sender_worker(std::size_t connection, Worker worker) {
+  const int core = worker.core;
+  SimHost& sender = *spec_.sender_host;
+  SimHost& receiver = *spec_.receiver_host;
+  sim::SimQueue<SimChunk>& out = *connection_queues_[connection];
+  while (true) {
+    std::optional<SimChunk> chunk;
+    if (spec_.compress) {
+      chunk = co_await send_queue_->pop();
+    } else {
+      chunk = draw_source_chunk();
+      if (chunk.has_value() && source_ready_time_ > sim_.now()) {
+        co_await sim_.delay(source_ready_time_ - sim_.now());
+      }
+    }
+    if (!chunk.has_value()) {
+      break;
+    }
+
+    // One combined job for protocol work + wire transfer: the real stack
+    // overlaps send() processing with transmission, so the step and the
+    // transfer share a demand vector rather than running back to back.
+    SimHost::StepSpec step;
+    step.core = core;
+    step.work_bytes = chunk->wire_bytes;
+    step.cpu_seconds_per_byte = 1.0 / calib_.send_cpu_bytes_per_sec;
+    step.pinned = worker.pinned;
+    step.accesses = {
+        {.data_domain = chunk->data_domain,
+         .bytes_per_work = calib_.send_mem_read_per_wire_byte},
+    };
+    sim::JobSpec job = sender.step_job(step);
+    const sim::JobSpec wire = spec_.link->transfer_job(
+        receiver, spec_.sender_nic, spec_.receiver_nic, spec_.receiver_nic_domain,
+        chunk->wire_bytes, spec_.per_connection_cap);
+    for (const auto& demand : wire.demands.demands) {
+      job.demands.demands.push_back(demand);
+    }
+    job.demands.rate_cap = std::min(job.demands.rate_cap, wire.demands.rate_cap);
+    const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
+    co_await sim_.job(std::move(job));
+    stage_busy_.send += cpu_cost;
+
+    // DMA landed the bytes in the receiver's NIC domain (§2.2).
+    chunk->data_domain = spec_.receiver_nic_domain;
+    const bool accepted = co_await out.push(*chunk);
+    if (!accepted) {
+      break;
+    }
+  }
+  out.close();
+}
+
+sim::SimProc StreamPipeline::receiver_worker(std::size_t connection, Worker worker) {
+  const int core = worker.core;
+  SimHost& host = *spec_.receiver_host;
+  sim::SimQueue<SimChunk>& in = *connection_queues_[connection];
+  while (true) {
+    auto chunk = co_await in.pop();
+    if (!chunk.has_value()) {
+      break;
+    }
+    // Packet processing: read the DMA'd packets (remote if this core is not
+    // in the NIC domain - the crux of Observation 1), reassemble into a
+    // buffer in the worker's own domain.
+    const bool local_packets = chunk->data_domain == host.domain_of_core(core);
+    SimHost::StepSpec step;
+    step.core = core;
+    step.work_bytes = chunk->wire_bytes;
+    step.cpu_seconds_per_byte = 1.0 / calib_.receive_cpu_bytes_per_sec;
+    step.pinned = worker.pinned;
+    step.latency_sensitive = true;  // packet processing chases fresh DMA data
+    step.accesses = {
+        {.data_domain = chunk->data_domain,
+         .bytes_per_work = local_packets ? calib_.receive_local_read_per_wire_byte
+                                         : calib_.receive_remote_read_per_wire_byte},
+        {.data_domain = host.domain_of_core(core),
+         .bytes_per_work = calib_.receive_mem_write_per_wire_byte},
+    };
+    sim::JobSpec job = host.step_job(step);
+    const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
+    co_await sim_.job(std::move(job));
+    stage_busy_.receive += cpu_cost;
+
+    wire_bytes_received_ += chunk->wire_bytes;
+    finished_at_ = sim_.now();
+    chunk->data_domain = host.domain_of_core(core);
+
+    if (spec_.compress) {
+      const bool accepted = co_await decompress_queue_->push(*chunk);
+      if (!accepted) {
+        break;
+      }
+    } else {
+      raw_bytes_delivered_ += chunk->raw_bytes;
+      ++chunks_delivered_;
+      if (spec_.e2e_timeline != nullptr) {
+        spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
+      }
+    }
+  }
+  if (--live_receivers_ == 0) {
+    decompress_queue_->close();
+  }
+}
+
+sim::SimProc StreamPipeline::decompressor_worker(Worker worker) {
+  const int core = worker.core;
+  SimHost& host = *spec_.receiver_host;
+  while (true) {
+    auto chunk = co_await decompress_queue_->pop();
+    if (!chunk.has_value()) {
+      break;
+    }
+    SimHost::StepSpec step;
+    step.core = core;
+    step.work_bytes = chunk->raw_bytes;
+    step.cpu_seconds_per_byte = 1.0 / calib_.decompress_bytes_per_sec;
+    step.pinned = worker.pinned;
+    step.accesses = {
+        {.data_domain = chunk->data_domain,
+         .bytes_per_work = calib_.decompress_mem_read_per_raw_byte},
+        {.data_domain = host.domain_of_core(core),
+         .bytes_per_work = calib_.decompress_mem_write_per_raw_byte},
+    };
+    sim::JobSpec job = host.step_job(step);
+    const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
+    co_await sim_.job(std::move(job));
+    stage_busy_.decompress += cpu_cost;
+
+    raw_bytes_delivered_ += chunk->raw_bytes;
+    ++chunks_delivered_;
+    finished_at_ = sim_.now();
+    if (spec_.e2e_timeline != nullptr) {
+      spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
+    }
+  }
+}
+
+}  // namespace numastream::simrt

@@ -1,0 +1,151 @@
+// StreamPipeline: the simulated counterpart of core/pipeline.h.
+//
+// One StreamPipeline is one data stream of Fig. 2: compression workers on
+// the sender host, symmetric send/receive workers forming one TCP connection
+// each, and decompression workers on the receiver host, coupled by bounded
+// queues exactly like the real runtime. Worker-to-core assignments are
+// explicit core lists (produced by assign_pinned / OsScheduler, or written
+// directly by a figure bench that sweeps placements).
+//
+// The simulated stages and their costs come from simrt/calibration.h; the
+// hardware they contend on comes from simhw. Turning `compress` off gives
+// the network-only pipeline of §3.4 (Figs. 5 and 11).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/queue.h"
+#include "simhw/machine.h"
+#include "simhw/network.h"
+#include "metrics/timeline.h"
+#include "simrt/calibration.h"
+
+namespace numastream::simrt {
+
+/// A chunk in flight: only its sizes and current memory home matter to the
+/// performance model.
+struct SimChunk {
+  double raw_bytes = 0;
+  double wire_bytes = 0;
+  int data_domain = 0;  ///< domain whose DRAM holds the (current) payload
+};
+
+class StreamPipeline {
+ public:
+  /// One worker thread: the core it runs on and whether the runtime pinned
+  /// it there (unpinned workers pay the OS-migration overhead).
+  struct Worker {
+    int core = 0;
+    bool pinned = true;
+  };
+
+  /// Convenience: wraps plain core ids as pinned workers.
+  static std::vector<Worker> pinned_workers(const std::vector<int>& cores);
+
+  struct Spec {
+    std::uint32_t stream_id = 0;
+    std::uint64_t chunks = 0;
+
+    bool compress = true;  ///< false = network-only (§3.4)
+
+    SimHost* sender_host = nullptr;
+    SimHost* receiver_host = nullptr;
+    SimLink* link = nullptr;
+    int sender_nic = -1;           ///< SimHost::nic_resource on the sender
+    int receiver_nic = -1;         ///< SimHost::nic_resource on the receiver
+    int receiver_nic_domain = 0;   ///< domain the receiver NIC DMAs into
+
+    /// Source dataset home on the sender (Table 1's "Memory Domain").
+    int source_data_domain = 0;
+
+    std::vector<Worker> compress_workers;    ///< sender host
+    std::vector<Worker> send_workers;        ///< sender host, one per connection
+    std::vector<Worker> receive_workers;     ///< receiver host, one per connection
+    std::vector<Worker> decompress_workers;  ///< receiver host
+
+    /// Per-connection TCP throughput ceiling (bytes/sec); 1e18 = none.
+    double per_connection_cap = 1e18;
+
+    /// Aggregate rate at which the instrument/dataset yields raw bytes
+    /// (the paper's "senders exclusively generate data chunks at a fixed
+    /// rate"). 1e18 = source never limits.
+    double source_bytes_per_sec = 1e18;
+
+    std::size_t queue_capacity = 8;
+    std::size_t connection_window_chunks = 4;  ///< socket-buffer depth
+
+    /// Optional: record delivered raw bytes into this timeline (owned by the
+    /// caller; must outlive the simulation run).
+    RateTimeline* e2e_timeline = nullptr;
+  };
+
+  /// Validates the spec and prepares queues; launch() spawns the workers.
+  StreamPipeline(sim::Simulation& sim, const Calibration& calib, Spec spec);
+
+  StreamPipeline(const StreamPipeline&) = delete;
+  StreamPipeline& operator=(const StreamPipeline&) = delete;
+
+  /// Spawns all worker coroutines on the simulation. Call once.
+  void launch();
+
+  // ---- results (valid after sim.run() completes) ----
+  [[nodiscard]] std::uint64_t chunks_delivered() const noexcept {
+    return chunks_delivered_;
+  }
+  [[nodiscard]] double wire_bytes_received() const noexcept {
+    return wire_bytes_received_;
+  }
+  [[nodiscard]] double raw_bytes_delivered() const noexcept {
+    return raw_bytes_delivered_;
+  }
+  /// Virtual time of the last delivery. Streams run a fixed chunk count, so
+  /// a fast stream finishes early; its rate must be computed over its own
+  /// active window, not the whole simulation.
+  [[nodiscard]] double finished_at() const noexcept { return finished_at_; }
+
+  /// Per-stage CPU accounting for the adaptive advisor (core/advisor.h):
+  /// total busy seconds burned by all workers of one stage.
+  struct StageBusy {
+    double compress = 0;
+    double send = 0;
+    double receive = 0;
+    double decompress = 0;
+  };
+  [[nodiscard]] const StageBusy& stage_busy() const noexcept { return stage_busy_; }
+  [[nodiscard]] const Spec& spec() const noexcept { return spec_; }
+
+ private:
+  sim::SimProc compressor_worker(Worker worker);
+  sim::SimProc sender_worker(std::size_t connection, Worker worker);
+  sim::SimProc receiver_worker(std::size_t connection, Worker worker);
+  sim::SimProc decompressor_worker(Worker worker);
+
+  /// Takes the next chunk off the synthetic dataset; nullopt when done.
+  std::optional<SimChunk> draw_source_chunk();
+
+  sim::Simulation& sim_;
+  Calibration calib_;
+  Spec spec_;
+
+  std::uint64_t source_remaining_ = 0;
+  double source_ready_time_ = 0;  ///< virtual time the next chunk is generated
+  int live_compressors_ = 0;
+  int live_receivers_ = 0;
+
+  // compressors -> senders (or drawn directly when !compress)
+  std::unique_ptr<sim::SimQueue<SimChunk>> send_queue_;
+  // one per connection: sender i -> receiver i (models the socket buffer)
+  std::vector<std::unique_ptr<sim::SimQueue<SimChunk>>> connection_queues_;
+  // receivers -> decompressors
+  std::unique_ptr<sim::SimQueue<SimChunk>> decompress_queue_;
+
+  std::uint64_t chunks_delivered_ = 0;
+  double wire_bytes_received_ = 0;
+  double raw_bytes_delivered_ = 0;
+  double finished_at_ = 0;
+  StageBusy stage_busy_;
+};
+
+}  // namespace numastream::simrt

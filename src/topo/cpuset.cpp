@@ -1,0 +1,203 @@
+#include "topo/cpuset.h"
+
+#include <bit>
+#include <charconv>
+
+#include "common/assert.h"
+
+namespace numastream {
+namespace {
+
+// Parses a non-negative integer from [pos, text.size()), advancing pos.
+Result<int> parse_int(std::string_view text, std::size_t& pos) {
+  int value = 0;
+  const char* begin = text.data() + pos;
+  const char* end = text.data() + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin || value < 0) {
+    return invalid_argument_error("cpulist: expected a non-negative integer at offset " +
+                                  std::to_string(pos) + " in '" + std::string(text) + "'");
+  }
+  pos += static_cast<std::size_t>(ptr - begin);
+  return value;
+}
+
+}  // namespace
+
+CpuSet CpuSet::single(int cpu) {
+  CpuSet s;
+  s.add(cpu);
+  return s;
+}
+
+CpuSet CpuSet::range(int first, int last) {
+  NS_CHECK(first <= last, "CpuSet::range requires first <= last");
+  CpuSet s;
+  for (int cpu = first; cpu <= last; ++cpu) {
+    s.add(cpu);
+  }
+  return s;
+}
+
+Result<CpuSet> CpuSet::parse_cpulist(std::string_view text) {
+  // Trim surrounding whitespace (sysfs files end with '\n').
+  while (!text.empty() && (text.back() == '\n' || text.back() == ' ')) {
+    text.remove_suffix(1);
+  }
+  while (!text.empty() && text.front() == ' ') {
+    text.remove_prefix(1);
+  }
+  CpuSet set;
+  if (text.empty()) {
+    return set;
+  }
+  std::size_t pos = 0;
+  while (true) {
+    auto first = parse_int(text, pos);
+    if (!first.ok()) {
+      return first.status();
+    }
+    int last = first.value();
+    if (pos < text.size() && text[pos] == '-') {
+      ++pos;
+      auto hi = parse_int(text, pos);
+      if (!hi.ok()) {
+        return hi.status();
+      }
+      last = hi.value();
+      if (last < first.value()) {
+        return invalid_argument_error("cpulist: descending range in '" +
+                                      std::string(text) + "'");
+      }
+    }
+    for (int cpu = first.value(); cpu <= last; ++cpu) {
+      set.add(cpu);
+    }
+    if (pos == text.size()) {
+      break;
+    }
+    if (text[pos] != ',') {
+      return invalid_argument_error("cpulist: unexpected character '" +
+                                    std::string(1, text[pos]) + "'");
+    }
+    ++pos;
+  }
+  return set;
+}
+
+void CpuSet::ensure_word(std::size_t word_index) {
+  if (words_.size() <= word_index) {
+    words_.resize(word_index + 1, 0);
+  }
+}
+
+void CpuSet::add(int cpu) {
+  NS_CHECK(cpu >= 0, "CPU ids are non-negative");
+  const auto w = static_cast<std::size_t>(cpu) / 64;
+  ensure_word(w);
+  words_[w] |= std::uint64_t{1} << (static_cast<std::size_t>(cpu) % 64);
+}
+
+void CpuSet::remove(int cpu) {
+  if (cpu < 0) {
+    return;
+  }
+  const auto w = static_cast<std::size_t>(cpu) / 64;
+  if (w < words_.size()) {
+    words_[w] &= ~(std::uint64_t{1} << (static_cast<std::size_t>(cpu) % 64));
+  }
+}
+
+bool CpuSet::contains(int cpu) const noexcept {
+  if (cpu < 0) {
+    return false;
+  }
+  const auto w = static_cast<std::size_t>(cpu) / 64;
+  if (w >= words_.size()) {
+    return false;
+  }
+  return (words_[w] >> (static_cast<std::size_t>(cpu) % 64)) & 1;
+}
+
+std::size_t CpuSet::count() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint64_t word : words_) {
+    total += static_cast<std::size_t>(std::popcount(word));
+  }
+  return total;
+}
+
+CpuSet CpuSet::union_with(const CpuSet& other) const {
+  CpuSet out = *this;
+  out.ensure_word(other.words_.empty() ? 0 : other.words_.size() - 1);
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    out.words_[i] |= other.words_[i];
+  }
+  return out;
+}
+
+CpuSet CpuSet::intersect(const CpuSet& other) const {
+  CpuSet out;
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  out.words_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.words_[i] = words_[i] & other.words_[i];
+  }
+  return out;
+}
+
+CpuSet CpuSet::subtract(const CpuSet& other) const {
+  CpuSet out = *this;
+  const std::size_t n = std::min(words_.size(), other.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.words_[i] &= ~other.words_[i];
+  }
+  return out;
+}
+
+std::vector<int> CpuSet::to_vector() const {
+  std::vector<int> out;
+  out.reserve(count());
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = std::countr_zero(word);
+      out.push_back(static_cast<int>(w * 64) + bit);
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+int CpuSet::first() const noexcept {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w] != 0) {
+      return static_cast<int>(w * 64) + std::countr_zero(words_[w]);
+    }
+  }
+  return -1;
+}
+
+std::string CpuSet::to_cpulist() const {
+  const std::vector<int> cpus = to_vector();
+  std::string out;
+  std::size_t i = 0;
+  while (i < cpus.size()) {
+    std::size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) {
+      ++j;
+    }
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(cpus[i]);
+    if (j > i) {
+      out += '-';
+      out += std::to_string(cpus[j]);
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace numastream

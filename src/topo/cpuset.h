@@ -1,0 +1,69 @@
+// A set of logical CPU ids, the currency of every placement decision in
+// numastream. Supports the Linux cpulist text format ("0-15,32-47") used by
+// /sys/devices/system/node/node*/cpulist, which is how real topologies are
+// discovered.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace numastream {
+
+class CpuSet {
+ public:
+  CpuSet() = default;
+
+  /// Set of a single CPU.
+  static CpuSet single(int cpu);
+  /// Contiguous range [first, last] inclusive.
+  static CpuSet range(int first, int last);
+  /// Parses the Linux cpulist format: comma-separated ids and inclusive
+  /// ranges, e.g. "0-3,8,12-15". Empty string parses to the empty set.
+  static Result<CpuSet> parse_cpulist(std::string_view text);
+
+  void add(int cpu);
+  void remove(int cpu);
+  [[nodiscard]] bool contains(int cpu) const noexcept;
+  [[nodiscard]] std::size_t count() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return count() == 0; }
+
+  /// Union / intersection / difference; operands are not modified.
+  [[nodiscard]] CpuSet union_with(const CpuSet& other) const;
+  [[nodiscard]] CpuSet intersect(const CpuSet& other) const;
+  [[nodiscard]] CpuSet subtract(const CpuSet& other) const;
+
+  /// All member CPU ids in increasing order.
+  [[nodiscard]] std::vector<int> to_vector() const;
+
+  /// Lowest member id, or -1 if empty.
+  [[nodiscard]] int first() const noexcept;
+
+  /// Canonical cpulist rendering ("0-3,8"); inverse of parse_cpulist.
+  [[nodiscard]] std::string to_cpulist() const;
+
+  friend bool operator==(const CpuSet& a, const CpuSet& b) noexcept {
+    // Trailing zero words are insignificant; compare the normalized prefix.
+    const auto& wa = a.words_;
+    const auto& wb = b.words_;
+    const std::size_t n = std::max(wa.size(), wb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t x = i < wa.size() ? wa[i] : 0;
+      const std::uint64_t y = i < wb.size() ? wb[i] : 0;
+      if (x != y) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void ensure_word(std::size_t word_index);
+
+  std::vector<std::uint64_t> words_;  // bit i of word w = CPU (w*64 + i)
+};
+
+}  // namespace numastream

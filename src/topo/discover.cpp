@@ -1,0 +1,155 @@
+#include "topo/discover.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace numastream {
+namespace {
+
+namespace fs = std::filesystem;
+
+Result<std::string> read_text_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return unavailable_error("cannot read " + path.string());
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extracts "MemTotal: <kB>" from a node meminfo file; 0 if absent.
+std::uint64_t parse_node_memtotal(const std::string& meminfo) {
+  std::istringstream in(meminfo);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto pos = line.find("MemTotal:");
+    if (pos == std::string::npos) {
+      continue;
+    }
+    std::istringstream fields(line.substr(pos + 9));
+    std::uint64_t kb = 0;
+    if (fields >> kb) {
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
+
+std::string local_hostname() {
+  char buf[256] = {};
+  if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') {
+    return buf;
+  }
+  return "localhost";
+}
+
+std::vector<NicInfo> discover_nics(const fs::path& sysfs,
+                                   const MachineTopology& partial) {
+  std::vector<NicInfo> nics;
+  const fs::path net = sysfs / "class" / "net";
+  std::error_code ec;
+  if (!fs::is_directory(net, ec)) {
+    return nics;
+  }
+  for (const auto& entry : fs::directory_iterator(net, ec)) {
+    if (ec) {
+      break;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name == "lo") {
+      continue;
+    }
+    NicInfo nic{.name = name, .numa_domain = -1, .line_rate_gbps = 0.0};
+    if (auto text = read_text_file(entry.path() / "device" / "numa_node"); text.ok()) {
+      const int node = std::atoi(text.value().c_str());
+      // A node of -1 means the kernel does not know the attachment (common in
+      // VMs); keep -1 so placement knows the fact is unavailable.
+      if (node >= 0 && partial.domain(node).ok()) {
+        nic.numa_domain = node;
+      }
+    }
+    if (auto text = read_text_file(entry.path() / "speed"); text.ok()) {
+      const long mbps = std::atol(text.value().c_str());
+      if (mbps > 0) {
+        nic.line_rate_gbps = static_cast<double>(mbps) / 1000.0;
+      }
+    }
+    nics.push_back(std::move(nic));
+  }
+  return nics;
+}
+
+}  // namespace
+
+Result<MachineTopology> discover_topology(const DiscoverOptions& options) {
+  const fs::path sysfs(options.sysfs_root);
+  const std::string hostname =
+      options.hostname.empty() ? local_hostname() : options.hostname;
+
+  std::vector<NumaDomain> domains;
+  const fs::path node_dir = sysfs / "devices" / "system" / "node";
+  std::error_code ec;
+  if (fs::is_directory(node_dir, ec)) {
+    for (int id = 0;; ++id) {
+      const fs::path node = node_dir / ("node" + std::to_string(id));
+      if (!fs::is_directory(node, ec)) {
+        break;
+      }
+      auto cpulist_text = read_text_file(node / "cpulist");
+      if (!cpulist_text.ok()) {
+        break;
+      }
+      auto cpus = CpuSet::parse_cpulist(cpulist_text.value());
+      if (!cpus.ok()) {
+        return cpus.status();
+      }
+      // Memory-only nodes (no CPUs) exist on CXL-style systems; the streaming
+      // runtime only places threads, so fold them out of the model.
+      if (cpus.value().empty()) {
+        continue;
+      }
+      std::uint64_t mem = 0;
+      if (auto meminfo = read_text_file(node / "meminfo"); meminfo.ok()) {
+        mem = parse_node_memtotal(meminfo.value());
+      }
+      domains.push_back(
+          NumaDomain{.id = id, .cpus = std::move(cpus).value(), .memory_bytes = mem});
+    }
+  }
+
+  if (domains.empty()) {
+    // Fallback: one domain spanning all online CPUs.
+    CpuSet all;
+    const fs::path online = sysfs / "devices" / "system" / "cpu" / "online";
+    if (auto text = read_text_file(online); text.ok()) {
+      auto parsed = CpuSet::parse_cpulist(text.value());
+      if (parsed.ok()) {
+        all = std::move(parsed).value();
+      }
+    }
+    if (all.empty()) {
+      const long n = sysconf(_SC_NPROCESSORS_ONLN);
+      if (n <= 0) {
+        return unavailable_error("cannot determine the online CPU set");
+      }
+      all = CpuSet::range(0, static_cast<int>(n) - 1);
+    }
+    domains.push_back(NumaDomain{.id = 0, .cpus = std::move(all), .memory_bytes = 0});
+  }
+
+  MachineTopology partial(hostname, std::move(domains), {});
+  std::vector<NicInfo> nics = discover_nics(sysfs, partial);
+  MachineTopology topo(partial.hostname(),
+                       {partial.domains().begin(), partial.domains().end()},
+                       std::move(nics));
+  NS_RETURN_IF_ERROR(topo.validate());
+  return topo;
+}
+
+}  // namespace numastream

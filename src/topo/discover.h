@@ -1,0 +1,30 @@
+// Live topology discovery from Linux sysfs.
+//
+// Reads /sys/devices/system/node/node<N>/{cpulist,meminfo} and, for NICs,
+// /sys/class/net/<if>/device/numa_node + speed. The sysfs root is a parameter
+// so tests can point discovery at a synthetic tree; production callers use
+// the default.
+//
+// Hosts without NUMA information (containers, single-socket boxes) are
+// reported as a single domain covering all online CPUs — the runtime then
+// degrades to plain (non-NUMA-aware) placement rather than failing.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "topo/topology.h"
+
+namespace numastream {
+
+struct DiscoverOptions {
+  std::string sysfs_root = "/sys";
+  std::string hostname;  ///< empty = use gethostname()
+};
+
+/// Discovers the running host's topology. Never fails on a healthy Linux
+/// system; returns an error only if even the single-domain fallback cannot
+/// determine the online CPU set.
+Result<MachineTopology> discover_topology(const DiscoverOptions& options = {});
+
+}  // namespace numastream

@@ -1,0 +1,179 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace numastream {
+
+MachineTopology::MachineTopology(std::string hostname, std::vector<NumaDomain> domains,
+                                 std::vector<NicInfo> nics)
+    : hostname_(std::move(hostname)),
+      domains_(std::move(domains)),
+      nics_(std::move(nics)) {}
+
+std::size_t MachineTopology::cpu_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& d : domains_) {
+    total += d.cpus.count();
+  }
+  return total;
+}
+
+CpuSet MachineTopology::all_cpus() const {
+  CpuSet all;
+  for (const auto& d : domains_) {
+    all = all.union_with(d.cpus);
+  }
+  return all;
+}
+
+Result<NumaDomain> MachineTopology::domain(int id) const {
+  for (const auto& d : domains_) {
+    if (d.id == id) {
+      return d;
+    }
+  }
+  return out_of_range_error("no NUMA domain with id " + std::to_string(id) + " on " +
+                            hostname_);
+}
+
+Result<int> MachineTopology::domain_of_cpu(int cpu) const {
+  for (const auto& d : domains_) {
+    if (d.cpus.contains(cpu)) {
+      return d.id;
+    }
+  }
+  return out_of_range_error("CPU " + std::to_string(cpu) + " is not in any domain of " +
+                            hostname_);
+}
+
+std::optional<NicInfo> MachineTopology::find_nic(const std::string& name) const {
+  for (const auto& nic : nics_) {
+    if (nic.name == name) {
+      return nic;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NicInfo> MachineTopology::preferred_nic() const {
+  std::optional<NicInfo> best;
+  for (const auto& nic : nics_) {
+    if (nic.numa_domain < 0) {
+      continue;
+    }
+    if (!best || nic.line_rate_gbps > best->line_rate_gbps) {
+      best = nic;
+    }
+  }
+  return best;
+}
+
+std::string MachineTopology::describe() const {
+  std::string out = "host " + hostname_ + ": " + std::to_string(domains_.size()) +
+                    " NUMA domain(s), " + std::to_string(cpu_count()) + " CPU(s)\n";
+  for (const auto& d : domains_) {
+    out += "  node " + std::to_string(d.id) + ": cpus [" + d.cpus.to_cpulist() +
+           "], mem " + format_bytes(d.memory_bytes) + "\n";
+  }
+  for (const auto& nic : nics_) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "  nic %s: %.0f Gbps, attached to node %d\n",
+                  nic.name.c_str(), nic.line_rate_gbps, nic.numa_domain);
+    out += line;
+  }
+  return out;
+}
+
+Status MachineTopology::validate() const {
+  if (domains_.empty()) {
+    return invalid_argument_error("topology has no NUMA domains");
+  }
+  CpuSet seen;
+  for (const auto& d : domains_) {
+    if (d.cpus.empty()) {
+      return invalid_argument_error("domain " + std::to_string(d.id) + " has no CPUs");
+    }
+    if (!seen.intersect(d.cpus).empty()) {
+      return invalid_argument_error("domain " + std::to_string(d.id) +
+                                    " overlaps another domain's CPUs");
+    }
+    seen = seen.union_with(d.cpus);
+  }
+  for (const auto& nic : nics_) {
+    if (nic.numa_domain >= 0 && !domain(nic.numa_domain).ok()) {
+      return invalid_argument_error("nic " + nic.name + " attached to unknown domain " +
+                                    std::to_string(nic.numa_domain));
+    }
+  }
+  return Status::ok();
+}
+
+namespace {
+
+constexpr std::uint64_t k512GiB = 512ULL * kGiB;
+
+}  // namespace
+
+MachineTopology lynxdtn_topology() {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 15), .memory_bytes = k512GiB},
+      {.id = 1, .cpus = CpuSet::range(16, 31), .memory_bytes = k512GiB},
+  };
+  std::vector<NicInfo> nics = {
+      // The NUMA-0 ConnectX-6 serves the LUSTRE network; the paper excludes
+      // it from the streaming study, so it is listed with the lower rate the
+      // runtime will never prefer.
+      {.name = "mlx5_lustre", .numa_domain = 0, .line_rate_gbps = 100.0},
+      {.name = "mlx5_stream", .numa_domain = 1, .line_rate_gbps = 200.0},
+  };
+  return MachineTopology("lynxdtn", std::move(domains), std::move(nics));
+}
+
+MachineTopology updraft_topology(const std::string& hostname) {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 15), .memory_bytes = k512GiB},
+      {.id = 1, .cpus = CpuSet::range(16, 31), .memory_bytes = k512GiB},
+  };
+  std::vector<NicInfo> nics = {
+      {.name = "mlx5_stream", .numa_domain = 1, .line_rate_gbps = 100.0},
+  };
+  return MachineTopology(hostname, std::move(domains), std::move(nics));
+}
+
+MachineTopology polaris_topology(const std::string& hostname) {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 31), .memory_bytes = k512GiB},
+  };
+  std::vector<NicInfo> nics = {
+      {.name = "hsn0", .numa_domain = 0, .line_rate_gbps = 100.0},
+  };
+  return MachineTopology(hostname, std::move(domains), std::move(nics));
+}
+
+MachineTopology dual_nic_gateway_topology() {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 15), .memory_bytes = k512GiB},
+      {.id = 1, .cpus = CpuSet::range(16, 31), .memory_bytes = k512GiB},
+  };
+  std::vector<NicInfo> nics = {
+      {.name = "mlx5_a", .numa_domain = 0, .line_rate_gbps = 100.0},
+      {.name = "mlx5_b", .numa_domain = 1, .line_rate_gbps = 100.0},
+  };
+  return MachineTopology("dualgw", std::move(domains), std::move(nics));
+}
+
+MachineTopology toy_topology() {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 1), .memory_bytes = 4 * kGiB},
+      {.id = 1, .cpus = CpuSet::range(2, 3), .memory_bytes = 4 * kGiB},
+  };
+  std::vector<NicInfo> nics = {
+      {.name = "sim0", .numa_domain = 1, .line_rate_gbps = 10.0},
+  };
+  return MachineTopology("toybox", std::move(domains), std::move(nics));
+}
+
+}  // namespace numastream

@@ -1,0 +1,110 @@
+// Machine topology model: NUMA domains, their CPUs and memory, and which
+// domain each NIC hangs off. This is the "knowledge base of the underlying
+// hardware" the paper's runtime consults when generating configurations.
+//
+// Topologies come from three sources:
+//   * discover_topology() - reads /sys on a real Linux host (see discover.h),
+//   * presets             - the paper's evaluation machines (lynxdtn, updraft,
+//                           polaris), used by the simulator and the benches,
+//   * hand construction   - tests build small synthetic machines directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "topo/cpuset.h"
+
+namespace numastream {
+
+/// One NUMA domain (socket): its logical CPUs and local memory.
+struct NumaDomain {
+  int id = 0;
+  CpuSet cpus;
+  std::uint64_t memory_bytes = 0;
+};
+
+/// A network interface and the NUMA domain its PCIe slot is attached to —
+/// the single most consequential fact for receiver placement (Observation 1).
+struct NicInfo {
+  std::string name;          ///< e.g. "mlx5_0" / "eth1"
+  int numa_domain = 0;       ///< attachment domain; -1 if unknown
+  double line_rate_gbps = 0; ///< advertised line rate
+};
+
+/// Full host description.
+class MachineTopology {
+ public:
+  MachineTopology() = default;
+  MachineTopology(std::string hostname, std::vector<NumaDomain> domains,
+                  std::vector<NicInfo> nics);
+
+  [[nodiscard]] const std::string& hostname() const noexcept { return hostname_; }
+  [[nodiscard]] const std::vector<NumaDomain>& domains() const noexcept {
+    return domains_;
+  }
+  [[nodiscard]] const std::vector<NicInfo>& nics() const noexcept { return nics_; }
+
+  [[nodiscard]] std::size_t domain_count() const noexcept { return domains_.size(); }
+
+  /// Total logical CPUs across all domains.
+  [[nodiscard]] std::size_t cpu_count() const noexcept;
+
+  /// Union of all domain CPU sets.
+  [[nodiscard]] CpuSet all_cpus() const;
+
+  /// Domain by id; error if the id is unknown.
+  [[nodiscard]] Result<NumaDomain> domain(int id) const;
+
+  /// Domain owning a given CPU id, or error if no domain contains it.
+  [[nodiscard]] Result<int> domain_of_cpu(int cpu) const;
+
+  /// The NIC with the given name, if present.
+  [[nodiscard]] std::optional<NicInfo> find_nic(const std::string& name) const;
+
+  /// The highest-line-rate NIC whose attachment domain is known — the runtime
+  /// uses it as the default streaming NIC (the paper's "NIC on NUMA 1").
+  [[nodiscard]] std::optional<NicInfo> preferred_nic() const;
+
+  /// Human-readable multi-line summary (examples/topology_report prints this).
+  [[nodiscard]] std::string describe() const;
+
+  /// Validates internal consistency: non-empty domains, disjoint CPU sets,
+  /// NIC attachment domains exist. Presets and discovery both pass through it.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  std::string hostname_;
+  std::vector<NumaDomain> domains_;
+  std::vector<NicInfo> nics_;
+};
+
+// ---- Presets: the paper's evaluation machines (§3.1, §4.2) ----
+
+/// lynxdtn: the upstream gateway. 2 sockets x Xeon Gold 6346, 16 physical
+/// cores per socket (the paper runs one streaming thread per physical core,
+/// so the model exposes 16 CPUs per domain), 512 GB per socket, and a
+/// 200 Gbps ConnectX-6 on NUMA 1 (the NUMA-0 NIC serves LUSTRE and is
+/// excluded from the study, exactly as in the paper).
+MachineTopology lynxdtn_topology();
+
+/// updraft1/updraft2: sender hosts with the same socket/core organization as
+/// lynxdtn but a 100 Gbps streaming NIC.
+MachineTopology updraft_topology(const std::string& hostname = "updraft1");
+
+/// polaris1/polaris2: single-socket 32-core AMD EPYC Milan 7543P senders,
+/// 512 GB, 100 Gbps NIC.
+MachineTopology polaris_topology(const std::string& hostname = "polaris1");
+
+/// A tiny 2x2 machine used throughout the unit tests.
+MachineTopology toy_topology();
+
+/// A hypothetical dual-NIC gateway (the multi-NIC direction the paper's
+/// introduction motivates): the same lynxdtn socket layout with one 100 Gbps
+/// streaming NIC per NUMA domain, so streams can be spread across both NICs
+/// with every receive thread local to its own NIC.
+MachineTopology dual_nic_gateway_topology();
+
+}  // namespace numastream

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "core/advisor.h"
+
+namespace numastream {
+namespace {
+
+PipelineObservation base_observation() {
+  PipelineObservation obs;
+  obs.raw_throughput = 5e9;  // 40 Gbps raw
+  obs.compress = {.threads = 8, .utilization = 0.5};
+  obs.send = {.threads = 4, .utilization = 0.2};
+  obs.receive = {.threads = 4, .utilization = 0.3};
+  obs.decompress = {.threads = 4, .utilization = 0.4};
+  return obs;
+}
+
+TEST(AdvisorTest, NoSaturationMeansExternallyLimited) {
+  const BottleneckAdvisor advisor;
+  const AdvisorReport report = advisor.analyze(base_observation());
+  EXPECT_EQ(report.bottleneck, StageKind::kNone);
+  EXPECT_NE(report.rationale.find("externally limited"), std::string::npos);
+}
+
+TEST(AdvisorTest, SaturatedCompressIsTheBottleneck) {
+  PipelineObservation obs = base_observation();
+  obs.compress.utilization = 0.95;
+  const BottleneckAdvisor advisor;
+  const AdvisorReport report = advisor.analyze(obs);
+  EXPECT_EQ(report.bottleneck, StageKind::kCompress);
+  // per-thread = 5e9 / (8 * 0.95)
+  EXPECT_NEAR(report.bottleneck_per_thread, 5e9 / (8 * 0.95), 1e3);
+  EXPECT_GT(report.recommended_threads, 8);
+}
+
+TEST(AdvisorTest, MostSaturatedStageWins) {
+  PipelineObservation obs = base_observation();
+  obs.compress.utilization = 0.9;
+  obs.decompress.utilization = 0.97;
+  const BottleneckAdvisor advisor;
+  EXPECT_EQ(advisor.analyze(obs).bottleneck, StageKind::kDecompress);
+}
+
+TEST(AdvisorTest, RecommendationAlwaysMakesProgress) {
+  // Even when the arithmetic says "you already have enough threads", the
+  // advisor must recommend at least one more (otherwise the loop stalls on
+  // a saturated stage).
+  PipelineObservation obs = base_observation();
+  obs.compress.utilization = 0.99;  // 8 threads, almost perfectly efficient
+  const BottleneckAdvisor advisor(AdvisorOptions{.headroom = 1.0});
+  const AdvisorReport report = advisor.analyze(obs);
+  EXPECT_GE(report.recommended_threads, 9);
+}
+
+TEST(AdvisorTest, RecommendationIsCappedBySafetyRail) {
+  PipelineObservation obs = base_observation();
+  obs.compress = {.threads = 60, .utilization = 0.99};
+  const BottleneckAdvisor advisor(AdvisorOptions{.max_threads_per_stage = 64});
+  EXPECT_EQ(advisor.analyze(obs).recommended_threads, 64);
+}
+
+TEST(AdvisorTest, ZeroThreadStagesAreIgnored) {
+  PipelineObservation obs = base_observation();
+  obs.decompress = {.threads = 0, .utilization = 0.99};  // no codec stage
+  const BottleneckAdvisor advisor;
+  EXPECT_EQ(advisor.analyze(obs).bottleneck, StageKind::kNone);
+}
+
+TEST(AdvisorTest, RefineTouchesOnlyTheBottleneckStage) {
+  const BottleneckAdvisor advisor;
+  WorkloadSpec spec;
+  spec.compression_threads = 8;
+  spec.transfer_threads = 4;
+  spec.decompression_threads = 4;
+
+  AdvisorReport report;
+  report.bottleneck = StageKind::kDecompress;
+  report.recommended_threads = 6;
+  const WorkloadSpec refined = advisor.refine(spec, report);
+  EXPECT_EQ(refined.decompression_threads, 6);
+  EXPECT_EQ(refined.compression_threads, 8);
+  EXPECT_EQ(refined.transfer_threads, 4);
+}
+
+TEST(AdvisorTest, TransferStagesGrowSymmetrically) {
+  const BottleneckAdvisor advisor;
+  WorkloadSpec spec;
+  spec.transfer_threads = 2;
+  for (const StageKind side : {StageKind::kSend, StageKind::kReceive}) {
+    AdvisorReport report;
+    report.bottleneck = side;
+    report.recommended_threads = 5;
+    EXPECT_EQ(advisor.refine(spec, report).transfer_threads, 5)
+        << to_string(side);
+  }
+}
+
+TEST(AdvisorTest, RefineWithNoneIsIdentity) {
+  const BottleneckAdvisor advisor;
+  WorkloadSpec spec;
+  spec.compression_threads = 3;
+  const WorkloadSpec refined = advisor.refine(spec, AdvisorReport{});
+  EXPECT_EQ(refined.compression_threads, 3);
+}
+
+TEST(AdvisorTest, StageKindNames) {
+  EXPECT_EQ(to_string(StageKind::kCompress), "compress");
+  EXPECT_EQ(to_string(StageKind::kSend), "send");
+  EXPECT_EQ(to_string(StageKind::kReceive), "receive");
+  EXPECT_EQ(to_string(StageKind::kDecompress), "decompress");
+  EXPECT_EQ(to_string(StageKind::kNone), "none");
+}
+
+// Property: for any saturated observation, applying the recommendation and
+// assuming ideal scaling yields a configuration the advisor no longer flags
+// as the same bottleneck at the same throughput.
+class AdvisorConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdvisorConvergence, RecommendationRelievesTheStage) {
+  const int threads = GetParam();
+  PipelineObservation obs = base_observation();
+  obs.compress = {.threads = threads, .utilization = 0.95};
+  const BottleneckAdvisor advisor;
+  const AdvisorReport report = advisor.analyze(obs);
+  ASSERT_EQ(report.bottleneck, StageKind::kCompress);
+
+  // With the recommended threads at the same per-thread capacity, the stage
+  // would run below the saturation threshold at the same throughput.
+  const double new_utilization =
+      obs.raw_throughput /
+      (report.bottleneck_per_thread * report.recommended_threads);
+  EXPECT_LT(new_utilization, 0.81);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, AdvisorConvergence, ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace numastream

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "affinity/affinity.h"
+#include "affinity/binding.h"
+#include "concurrency/thread_pool.h"
+#include "topo/discover.h"
+#include "topo/topology.h"
+
+namespace numastream {
+namespace {
+
+TEST(AffinityTest, CurrentAffinityIsNonEmpty) {
+  auto mask = current_thread_affinity();
+  ASSERT_TRUE(mask.ok());
+  EXPECT_FALSE(mask.value().empty());
+}
+
+TEST(AffinityTest, PinToOwnMaskSucceeds) {
+  auto mask = current_thread_affinity();
+  ASSERT_TRUE(mask.ok());
+  auto applied = pin_current_thread(mask.value());
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value(), mask.value());
+}
+
+TEST(AffinityTest, PinToFirstOnlineCpu) {
+  auto mask = current_thread_affinity();
+  ASSERT_TRUE(mask.ok());
+  const int cpu = mask.value().first();
+  auto applied = pin_current_thread(CpuSet::single(cpu));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().count(), 1U);
+  EXPECT_EQ(current_cpu(), cpu);
+  // Restore for other tests in this process.
+  ASSERT_TRUE(pin_current_thread(mask.value()).ok());
+}
+
+TEST(AffinityTest, PinToOfflineCpusFails) {
+  // CPU ids far above anything this box has.
+  EXPECT_FALSE(pin_current_thread(CpuSet::range(4000, 4003)).ok());
+}
+
+TEST(AffinityTest, PinToEmptySetIsInvalid) {
+  const auto status = pin_current_thread(CpuSet()).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AffinityTest, MixedOnlineOfflineIntersects) {
+  auto mask = current_thread_affinity();
+  ASSERT_TRUE(mask.ok());
+  CpuSet request = mask.value();
+  request.add(4000);  // definitely offline
+  auto applied = pin_current_thread(request);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value(), mask.value());
+}
+
+// ---------------------------------------------------------------- binding
+
+TEST(BindingTest, ToString) {
+  EXPECT_EQ(NumaBinding{}.to_string(), "exec=OS mem=OS");
+  EXPECT_EQ((NumaBinding{.execution_domain = 1, .memory_domain = 0}).to_string(),
+            "exec=1 mem=0");
+}
+
+TEST(BindingTest, OsManagedAppliesNothingButRecords) {
+  const MachineTopology topo = toy_topology();
+  PlacementRecorder recorder;
+  ASSERT_TRUE(apply_binding(topo, NumaBinding{}, "os-task", &recorder).is_ok());
+  ASSERT_EQ(recorder.size(), 1U);
+  const auto records = recorder.snapshot();
+  EXPECT_EQ(records[0].task_name, "os-task");
+  EXPECT_TRUE(records[0].applied_cpus.empty());
+}
+
+TEST(BindingTest, UnknownDomainFails) {
+  const MachineTopology topo = toy_topology();
+  PlacementRecorder recorder;
+  const NumaBinding binding{.execution_domain = 9, .memory_domain = 9};
+  EXPECT_FALSE(apply_binding(topo, binding, "bad", &recorder).is_ok());
+  EXPECT_EQ(recorder.size(), 0U);
+}
+
+TEST(BindingTest, RealDomainPinsToIt) {
+  // Use the discovered topology of the machine running the tests so the
+  // requested CPUs actually exist.
+  auto topo = discover_topology();
+  ASSERT_TRUE(topo.ok());
+  const int domain = topo.value().domains().front().id;
+  PlacementRecorder recorder;
+  const NumaBinding binding{.execution_domain = domain, .memory_domain = domain};
+  auto saved = current_thread_affinity();
+  ASSERT_TRUE(saved.ok());
+  ASSERT_TRUE(apply_binding(topo.value(), binding, "real", &recorder).is_ok());
+  ASSERT_EQ(recorder.size(), 1U);
+  EXPECT_FALSE(recorder.snapshot()[0].applied_cpus.empty());
+  ASSERT_TRUE(pin_current_thread(saved.value()).ok());
+}
+
+// ---------------------------------------------------------------- group
+
+TEST(PinnedThreadGroupTest, RunsEveryWorkerWithItsIndex) {
+  auto topo = discover_topology();
+  ASSERT_TRUE(topo.ok());
+  std::atomic<int> sum{0};
+  std::atomic<int> count{0};
+  {
+    PinnedThreadGroup group(topo.value(), "worker", 4, {NumaBinding{}},
+                            [&](const PinnedThreadGroup::WorkerContext& ctx) {
+                              sum += ctx.worker_index;
+                              count += 1;
+                            });
+    EXPECT_EQ(group.size(), 4U);
+  }  // destructor joins
+  EXPECT_EQ(count.load(), 4);
+  EXPECT_EQ(sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(PinnedThreadGroupTest, BindingsAlternateAcrossWorkers) {
+  auto topo = discover_topology();
+  ASSERT_TRUE(topo.ok());
+  PlacementRecorder recorder;
+  const int domain = topo.value().domains().front().id;
+  const std::vector<NumaBinding> bindings = {
+      NumaBinding{.execution_domain = domain, .memory_domain = domain},
+      NumaBinding{},  // OS-managed
+  };
+  {
+    PinnedThreadGroup group(topo.value(), "alt", 4, bindings,
+                            [](const PinnedThreadGroup::WorkerContext& ctx) {
+                              EXPECT_TRUE(ctx.binding_status.is_ok());
+                            },
+                            &recorder);
+  }
+  ASSERT_EQ(recorder.size(), 4U);
+  int pinned = 0;
+  for (const auto& record : recorder.snapshot()) {
+    pinned += record.applied_cpus.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(pinned, 2);  // workers 0 and 2 got the pinned binding
+}
+
+TEST(PinnedThreadGroupTest, JoinIsIdempotent) {
+  auto topo = discover_topology();
+  ASSERT_TRUE(topo.ok());
+  PinnedThreadGroup group(topo.value(), "j", 2, {NumaBinding{}},
+                          [](const PinnedThreadGroup::WorkerContext&) {});
+  group.join();
+  group.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace numastream

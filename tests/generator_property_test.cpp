@@ -1,0 +1,244 @@
+// Property tests for the configuration generator: for every (receiver
+// topology, sender mix, stream count, strategy) combination, the generated
+// plan must satisfy the invariants the paper's observations demand.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/config_generator.h"
+#include "topo/topology.h"
+
+namespace numastream {
+namespace {
+
+struct Scenario {
+  std::string name;
+  MachineTopology receiver;
+  int num_streams;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  for (const int streams : {1, 2, 3, 4, 8, 16}) {
+    out.push_back({"lynxdtn_" + std::to_string(streams), lynxdtn_topology(), streams});
+  }
+  for (const int streams : {1, 2, 4}) {
+    out.push_back({"polaris_" + std::to_string(streams),
+                   polaris_topology("gateway"), streams});
+  }
+  return out;
+}
+
+std::vector<MachineTopology> mixed_senders(int count) {
+  std::vector<MachineTopology> senders;
+  for (int i = 0; i < count; ++i) {
+    senders.push_back(i % 2 == 0 ? updraft_topology("u" + std::to_string(i))
+                                 : polaris_topology("p" + std::to_string(i)));
+  }
+  return senders;
+}
+
+class GeneratorProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, PlacementStrategy>> {};
+
+TEST_P(GeneratorProperty, PlanSatisfiesTheObservations) {
+  const auto [scenario_index, strategy] = GetParam();
+  const Scenario scenario = scenarios()[scenario_index];
+  const auto senders = mixed_senders(scenario.num_streams);
+
+  ConfigGenerator generator(scenario.receiver, senders);
+  WorkloadSpec spec;
+  spec.num_streams = scenario.num_streams;
+  auto plan = generator.generate(spec, strategy);
+  ASSERT_TRUE(plan.ok()) << scenario.name << ": " << plan.status().to_string();
+
+  // Every emitted config validates against its topology.
+  EXPECT_TRUE(plan.value().receiver.validate(scenario.receiver).is_ok());
+  ASSERT_EQ(plan.value().senders.size(), senders.size());
+  for (std::size_t i = 0; i < senders.size(); ++i) {
+    EXPECT_TRUE(plan.value().senders[i].validate(senders[i]).is_ok());
+  }
+
+  const auto nic = scenario.receiver.preferred_nic();
+  ASSERT_TRUE(nic.has_value());
+  const int nic_cores = static_cast<int>(
+      scenario.receiver.domain(nic->numa_domain).value().cpus.count());
+
+  int total_receive_threads = 0;
+  for (int stream = 0; stream < scenario.num_streams; ++stream) {
+    const int receive =
+        plan.value().receiver.thread_count(TaskType::kReceive, stream);
+    const int send = plan.value()
+                         .senders[static_cast<std::size_t>(stream)]
+                         .thread_count(TaskType::kSend);
+    // Symmetry: x send threads = x receive threads (one TCP stream each).
+    EXPECT_EQ(send, receive) << scenario.name << " stream " << stream;
+    EXPECT_GE(receive, 1);
+    total_receive_threads += receive;
+
+    // Obs. 2: compression never exceeds the sender's core count.
+    const auto& sender_topo = senders[static_cast<std::size_t>(stream)];
+    EXPECT_LE(plan.value()
+                  .senders[static_cast<std::size_t>(stream)]
+                  .thread_count(TaskType::kCompress),
+              static_cast<int>(sender_topo.cpu_count()));
+    EXPECT_GE(plan.value().receiver.thread_count(TaskType::kDecompress, stream), 1);
+  }
+  // Obs. 1/4: the NIC domain is never oversubscribed by receive threads.
+  EXPECT_LE(total_receive_threads, nic_cores) << scenario.name;
+
+  for (const auto& group : plan.value().receiver.tasks) {
+    for (const auto& binding : group.bindings) {
+      if (strategy == PlacementStrategy::kOsManaged) {
+        EXPECT_TRUE(binding.os_managed()) << scenario.name;
+      } else {
+        ASSERT_FALSE(binding.os_managed()) << scenario.name;
+        if (group.type == TaskType::kReceive) {
+          // Obs. 1: receive threads live in the NIC domain.
+          EXPECT_EQ(binding.execution_domain, nic->numa_domain) << scenario.name;
+        } else if (scenario.receiver.domain_count() > 1) {
+          // Obs. 3: decompressors keep out of the NIC domain when possible.
+          EXPECT_NE(binding.execution_domain, nic->numa_domain) << scenario.name;
+        }
+      }
+    }
+  }
+
+  // The two strategies always agree on thread counts: the comparison in
+  // Fig. 14 isolates placement, not parallelism.
+  const auto other = generator.generate(
+      spec, strategy == PlacementStrategy::kNumaAware
+                ? PlacementStrategy::kOsManaged
+                : PlacementStrategy::kNumaAware);
+  ASSERT_TRUE(other.ok());
+  for (const TaskType type : {TaskType::kReceive, TaskType::kDecompress}) {
+    EXPECT_EQ(plan.value().receiver.thread_count(type),
+              other.value().receiver.thread_count(type))
+        << scenario.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenarios, GeneratorProperty,
+    ::testing::Combine(::testing::Range<std::size_t>(0, 9),
+                       ::testing::Values(PlacementStrategy::kNumaAware,
+                                         PlacementStrategy::kOsManaged)));
+
+TEST(GeneratorPropertyTest, SerializedPlansReparseIdentically) {
+  // The full plan survives a round trip through the text format — the
+  // property that makes shipping configs to remote nodes safe.
+  ConfigGenerator generator(lynxdtn_topology(), mixed_senders(4));
+  WorkloadSpec spec;
+  spec.num_streams = 4;
+  auto plan = generator.generate(spec, PlacementStrategy::kNumaAware);
+  ASSERT_TRUE(plan.ok());
+  for (const NodeConfig* config :
+       {&plan.value().receiver, &plan.value().senders[0], &plan.value().senders[3]}) {
+    auto reparsed = NodeConfig::parse(config->serialize());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+    EXPECT_EQ(reparsed.value().serialize(), config->serialize());
+    EXPECT_EQ(reparsed.value().tasks.size(), config->tasks.size());
+  }
+}
+
+}  // namespace
+}  // namespace numastream
+
+namespace numastream {
+namespace {
+
+// ------------------------------------------------------------- multi-NIC
+
+TEST(MultiNicGeneratorTest, StreamsSpreadAcrossBothNics) {
+  const MachineTopology gateway = dual_nic_gateway_topology();
+  ConfigGenerator generator(gateway, {updraft_topology("s0"), updraft_topology("s1"),
+                                      updraft_topology("s2"), updraft_topology("s3")});
+  WorkloadSpec spec;
+  spec.num_streams = 4;
+  spec.use_all_nics = true;
+  auto plan = generator.generate(spec, PlacementStrategy::kNumaAware);
+  ASSERT_TRUE(plan.ok()) << plan.status().to_string();
+
+  ASSERT_EQ(plan.value().stream_receiver_nics.size(), 4U);
+  int on_a = 0;
+  int on_b = 0;
+  for (const auto& nic : plan.value().stream_receiver_nics) {
+    if (nic == "mlx5_a") {
+      ++on_a;
+    } else if (nic == "mlx5_b") {
+      ++on_b;
+    }
+  }
+  EXPECT_EQ(on_a, 2);
+  EXPECT_EQ(on_b, 2);
+
+  // Each stream's receive threads sit in its own NIC's domain; its
+  // decompression threads in the other domain.
+  for (int stream = 0; stream < 4; ++stream) {
+    const int nic_domain = plan.value().stream_receiver_nics[
+                               static_cast<std::size_t>(stream)] == "mlx5_a"
+                               ? 0
+                               : 1;
+    for (const auto& group : plan.value().receiver.tasks) {
+      if (group.stream_id != stream) {
+        continue;
+      }
+      for (const auto& binding : group.bindings) {
+        if (group.type == TaskType::kReceive) {
+          EXPECT_EQ(binding.execution_domain, nic_domain);
+        } else {
+          EXPECT_EQ(binding.execution_domain, 1 - nic_domain);
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiNicGeneratorTest, SharedDomainsAreNeverOvercommitted) {
+  const MachineTopology gateway = dual_nic_gateway_topology();
+  for (const int streams : {2, 4, 8}) {
+    std::vector<MachineTopology> senders(static_cast<std::size_t>(streams),
+                                         updraft_topology());
+    ConfigGenerator generator(gateway, senders);
+    WorkloadSpec spec;
+    spec.num_streams = streams;
+    spec.use_all_nics = true;
+    auto plan = generator.generate(spec, PlacementStrategy::kNumaAware);
+    ASSERT_TRUE(plan.ok()) << streams << ": " << plan.status().to_string();
+
+    // Threads pinned per domain never exceed its core count (receive +
+    // decompression share each domain on a dual-NIC gateway).
+    std::map<int, int> threads_per_domain;
+    for (const auto& group : plan.value().receiver.tasks) {
+      for (int i = 0; i < group.count; ++i) {
+        const auto& binding = group.bindings[static_cast<std::size_t>(i) %
+                                             group.bindings.size()];
+        threads_per_domain[binding.execution_domain] += 1;
+      }
+    }
+    for (const auto& [domain, threads] : threads_per_domain) {
+      EXPECT_LE(threads,
+                static_cast<int>(gateway.domain(domain).value().cpus.count()))
+          << streams << " streams, domain " << domain;
+    }
+  }
+}
+
+TEST(MultiNicGeneratorTest, SingleNicDefaultIsUnchanged) {
+  // use_all_nics=false on lynxdtn keeps the paper's classic partition.
+  ConfigGenerator generator(lynxdtn_topology(),
+                            {updraft_topology("s0"), updraft_topology("s1"),
+                             updraft_topology("s2"), updraft_topology("s3")});
+  WorkloadSpec spec;
+  spec.num_streams = 4;
+  auto plan = generator.generate(spec, PlacementStrategy::kNumaAware);
+  ASSERT_TRUE(plan.ok());
+  for (const auto& nic : plan.value().stream_receiver_nics) {
+    EXPECT_EQ(nic, "mlx5_stream");
+  }
+  EXPECT_EQ(plan.value().receiver.thread_count(TaskType::kReceive), 16);
+  EXPECT_EQ(plan.value().receiver.thread_count(TaskType::kDecompress), 16);
+}
+
+}  // namespace
+}  // namespace numastream

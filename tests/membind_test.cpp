@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "affinity/membind.h"
+
+namespace numastream {
+namespace {
+
+// Memory binding is kernel/container dependent: all tests must pass both on
+// a real NUMA host (where mbind works) and in CI sandboxes (where it may
+// not). The support probe decides which assertions apply.
+
+TEST(MembindTest, SupportProbeIsStable) {
+  const bool first = memory_binding_supported();
+  const bool second = memory_binding_supported();
+  EXPECT_EQ(first, second);
+  std::printf("memory binding supported on this host: %s\n", first ? "yes" : "no");
+}
+
+TEST(MembindTest, BindRejectsSubPageRange) {
+  // A range that cannot contain a whole page must be rejected regardless of
+  // kernel support (it would re-policy neighbouring allocations).
+  alignas(64) char tiny[64];
+  const Status status = bind_memory_to_domain(tiny, sizeof(tiny), 0);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MembindTest, BindRejectsBadDomain) {
+  alignas(4096) static char buffer[2 * 4096];
+  EXPECT_EQ(bind_memory_to_domain(buffer, sizeof(buffer), -1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(bind_memory_to_domain(buffer, sizeof(buffer), 9999).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MembindTest, InterleaveRejectsEmptyDomainList) {
+  alignas(4096) static char buffer[2 * 4096];
+  EXPECT_EQ(interleave_memory(buffer, sizeof(buffer), {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(MembindTest, BindWorksWhenSupported) {
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  auto buffer = DomainBoundBuffer::allocate(4 * page, 0);
+  ASSERT_TRUE(buffer.ok()) << buffer.status().to_string();
+  if (memory_binding_supported()) {
+    EXPECT_TRUE(buffer.value().bound());
+  } else {
+    EXPECT_FALSE(buffer.value().bound());
+  }
+  // Either way the memory is usable.
+  std::memset(buffer.value().data(), 0x5A, buffer.value().size());
+  EXPECT_EQ(buffer.value().data()[buffer.value().size() - 1], 0x5A);
+}
+
+TEST(DomainBoundBufferTest, SizeRoundsUpToPages) {
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  auto buffer = DomainBoundBuffer::allocate(100, -1);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(buffer.value().size(), page);
+  EXPECT_EQ(buffer.value().domain(), -1);
+  EXPECT_FALSE(buffer.value().bound());  // no policy requested
+}
+
+TEST(DomainBoundBufferTest, ZeroSizeRejected) {
+  EXPECT_FALSE(DomainBoundBuffer::allocate(0, 0).ok());
+}
+
+TEST(DomainBoundBufferTest, MoveTransfersOwnership) {
+  auto buffer = DomainBoundBuffer::allocate(4096, -1);
+  ASSERT_TRUE(buffer.ok());
+  std::uint8_t* data = buffer.value().data();
+  DomainBoundBuffer moved = std::move(buffer).value();
+  EXPECT_EQ(moved.data(), data);
+  std::memset(moved.data(), 1, moved.size());
+
+  DomainBoundBuffer assigned = DomainBoundBuffer::allocate(4096, -1).value();
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.data(), data);
+}
+
+TEST(DomainBoundBufferTest, SpanCoversWholeBuffer) {
+  auto buffer = DomainBoundBuffer::allocate(8192, -1);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(buffer.value().span().size(), buffer.value().size());
+  EXPECT_EQ(buffer.value().span().data(), buffer.value().data());
+}
+
+}  // namespace
+}  // namespace numastream

@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "metrics/core_usage.h"
+#include "metrics/remote_access.h"
+#include "metrics/table.h"
+#include "metrics/throughput.h"
+#include "metrics/timeline.h"
+
+namespace numastream {
+namespace {
+
+TEST(ThroughputMeterTest, CountsBytesFromManyThreads) {
+  ThroughputMeter meter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        meter.add_bytes(10);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(meter.total_bytes(), 40000U);
+}
+
+TEST(ThroughputMeterTest, RateIsBytesOverElapsed) {
+  ThroughputMeter meter;
+  meter.start();
+  meter.add_bytes(1000000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const double rate = meter.bytes_per_second();
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LT(rate, 1000000.0 / 0.045);  // can't be faster than elapsed allows
+}
+
+TEST(SummaryStatsTest, Empty) {
+  const SummaryStats stats = SummaryStats::from({});
+  EXPECT_EQ(stats.count, 0U);
+  EXPECT_DOUBLE_EQ(stats.mean, 0);
+}
+
+TEST(SummaryStatsTest, SingleValue) {
+  const SummaryStats stats = SummaryStats::from({5.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 5.0);
+  EXPECT_DOUBLE_EQ(stats.max, 5.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+TEST(SummaryStatsTest, KnownValues) {
+  const SummaryStats stats = SummaryStats::from({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(stats.mean, 5.0);
+  EXPECT_DOUBLE_EQ(stats.min, 2.0);
+  EXPECT_DOUBLE_EQ(stats.max, 9.0);
+  // Sample stddev of this classic set is sqrt(32/7).
+  EXPECT_NEAR(stats.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+// ---------------------------------------------------------------- usage
+
+TEST(CoreUsageMatrixTest, UtilizationIsBusyOverElapsed) {
+  CoreUsageMatrix usage(4);
+  usage.add_busy_time(0, 5.0);
+  usage.add_busy_time(1, 10.0);
+  usage.set_elapsed(10.0);
+  EXPECT_DOUBLE_EQ(usage.utilization(0), 0.5);
+  EXPECT_DOUBLE_EQ(usage.utilization(1), 1.0);
+  EXPECT_DOUBLE_EQ(usage.utilization(2), 0.0);
+}
+
+TEST(CoreUsageMatrixTest, OversubscriptionClampsToOne) {
+  CoreUsageMatrix usage(1);
+  usage.add_busy_time(0, 25.0);
+  usage.set_elapsed(10.0);
+  EXPECT_DOUBLE_EQ(usage.utilization(0), 1.0);
+}
+
+TEST(CoreUsageMatrixTest, ZeroElapsedReadsZero) {
+  CoreUsageMatrix usage(2);
+  usage.add_busy_time(0, 1.0);
+  EXPECT_DOUBLE_EQ(usage.utilization(0), 0.0);
+}
+
+TEST(CoreUsageMatrixTest, RenderColumnShades) {
+  CoreUsageMatrix usage(4);
+  usage.add_busy_time(0, 0.0);
+  usage.add_busy_time(1, 5.0);
+  usage.add_busy_time(2, 10.0);
+  usage.set_elapsed(10.0);
+  const std::string column = usage.render_column();
+  ASSERT_EQ(column.size(), 4U);
+  EXPECT_EQ(column[0], ' ');   // idle
+  EXPECT_EQ(column[1], '5');   // 50%
+  EXPECT_EQ(column[2], '#');   // saturated
+  EXPECT_EQ(column[3], ' ');
+}
+
+TEST(CoreUsageMatrixTest, CsvHasOneRowPerCore) {
+  CoreUsageMatrix usage(3);
+  usage.add_busy_time(1, 1.0);
+  usage.set_elapsed(2.0);
+  const std::string csv = usage.to_csv("cfg");
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+  EXPECT_NE(csv.find("cfg,1,0.5000"), std::string::npos);
+}
+
+TEST(CoreUsageMatrixTest, HeatmapLaysOutColumns) {
+  CoreUsageMatrix a(2);
+  a.add_busy_time(0, 1.0);
+  a.set_elapsed(1.0);
+  CoreUsageMatrix b(2);
+  b.add_busy_time(1, 1.0);
+  b.set_elapsed(1.0);
+  const std::string map = render_usage_heatmap({"cfgA", "cfgB"}, {a, b});
+  EXPECT_NE(map.find("core  0"), std::string::npos);
+  EXPECT_NE(map.find("cfgA"), std::string::npos);
+  EXPECT_NE(map.find("cfgB"), std::string::npos);
+  EXPECT_NE(map.find('#'), std::string::npos);
+}
+
+// ---------------------------------------------------------------- remote
+
+TEST(RemoteAccessCounterTest, TracksLocalAndRemote) {
+  RemoteAccessCounter counter(4);
+  counter.add_local_bytes(0, 100);
+  counter.add_remote_bytes(0, 300);
+  counter.add_remote_bytes(1, 600);
+  EXPECT_EQ(counter.local_bytes(0), 100U);
+  EXPECT_EQ(counter.remote_bytes(0), 300U);
+  EXPECT_DOUBLE_EQ(counter.remote_fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(counter.remote_fraction(3), 0.0);  // idle core
+}
+
+TEST(RemoteAccessCounterTest, NormalizedAgainstPeakCore) {
+  RemoteAccessCounter counter(3);
+  counter.add_remote_bytes(0, 500);
+  counter.add_remote_bytes(2, 1000);
+  const auto normalized = counter.normalized_remote();
+  EXPECT_DOUBLE_EQ(normalized[0], 0.5);
+  EXPECT_DOUBLE_EQ(normalized[1], 0.0);
+  EXPECT_DOUBLE_EQ(normalized[2], 1.0);
+}
+
+TEST(RemoteAccessCounterTest, AllZeroWhenNoRemoteTraffic) {
+  RemoteAccessCounter counter(2);
+  counter.add_local_bytes(0, 100);
+  const auto normalized = counter.normalized_remote();
+  EXPECT_DOUBLE_EQ(normalized[0], 0.0);
+  EXPECT_DOUBLE_EQ(normalized[1], 0.0);
+}
+
+TEST(RemoteAccessCounterTest, Csv) {
+  RemoteAccessCounter counter(2);
+  counter.add_local_bytes(0, 10);
+  counter.add_remote_bytes(1, 20);
+  const std::string csv = counter.to_csv("run");
+  EXPECT_NE(csv.find("run,0,10,0,0.0000"), std::string::npos);
+  EXPECT_NE(csv.find("run,1,0,20,1.0000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- table
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table({"config", "paper", "ours"});
+  table.add_row({"A", "37.0", "36.5"});
+  table.add_row({"G-N1", "97.0", "96.1"});
+  const std::string text = table.render();
+  EXPECT_NE(text.find("config"), std::string::npos);
+  EXPECT_NE(text.find("G-N1"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, NumericRowHelper) {
+  TextTable table({"x", "a", "b"});
+  table.add_row("row", {1.234, 5.0}, 1);
+  EXPECT_NE(table.render().find("1.2"), std::string::npos);
+  EXPECT_NE(table.render().find("5.0"), std::string::npos);
+}
+
+TEST(TextTableTest, Csv) {
+  TextTable table({"h1", "h2"});
+  table.add_row({"a", "b"});
+  EXPECT_EQ(table.to_csv(), "h1,h2\na,b\n");
+}
+
+TEST(TextTableTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace numastream
+
+namespace numastream {
+namespace {
+
+// ---------------------------------------------------------------- timeline
+
+TEST(RateTimelineTest, BucketsAccumulateAndConvertToRates) {
+  RateTimeline timeline(0.5);
+  timeline.record(0.1, 100);
+  timeline.record(0.4, 100);
+  timeline.record(0.6, 300);
+  const auto rates = timeline.rates();
+  ASSERT_EQ(rates.size(), 2U);
+  EXPECT_DOUBLE_EQ(rates[0], 400.0);  // 200 bytes / 0.5 s
+  EXPECT_DOUBLE_EQ(rates[1], 600.0);
+  EXPECT_DOUBLE_EQ(timeline.peak_rate(), 600.0);
+}
+
+TEST(RateTimelineTest, GapsAreZeroBuckets) {
+  RateTimeline timeline(1.0);
+  timeline.record(0.5, 10);
+  timeline.record(3.5, 10);
+  const auto rates = timeline.rates();
+  ASSERT_EQ(rates.size(), 4U);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+  EXPECT_DOUBLE_EQ(rates[2], 0.0);
+}
+
+TEST(RateTimelineTest, MeanActiveRateIgnoresIdleBuckets) {
+  RateTimeline timeline(1.0);
+  timeline.record(0.0, 100);
+  timeline.record(5.0, 300);
+  EXPECT_DOUBLE_EQ(timeline.mean_active_rate(), 200.0);
+}
+
+TEST(RateTimelineTest, EmptyTimeline) {
+  RateTimeline timeline(1.0);
+  EXPECT_EQ(timeline.bucket_count(), 0U);
+  EXPECT_DOUBLE_EQ(timeline.peak_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(timeline.mean_active_rate(), 0.0);
+  EXPECT_TRUE(timeline.sparkline().empty());
+}
+
+TEST(RateTimelineTest, SparklineScalesToPeak) {
+  RateTimeline timeline(1.0);
+  timeline.record(0.0, 800);   // peak -> '@'
+  timeline.record(1.0, 100);   // 1/8 of peak -> lowest non-empty level
+  timeline.record(3.0, 400);   // half of peak
+  const std::string line = timeline.sparkline();
+  ASSERT_EQ(line.size(), 4U);
+  EXPECT_EQ(line[0], '@');
+  EXPECT_EQ(line[2], ' ');  // empty bucket
+  EXPECT_NE(line[1], ' ');
+  EXPECT_LT(line[1], line[3]);  // ramp characters are ordered by intensity
+}
+
+TEST(RateTimelineTest, CsvHasOneRowPerBucket) {
+  RateTimeline timeline(2.0);
+  timeline.record(0.0, 10);
+  timeline.record(2.5, 30);
+  const std::string csv = timeline.to_csv("run");
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+  EXPECT_NE(csv.find("run,0,5.0"), std::string::npos);
+  EXPECT_NE(csv.find("run,1,15.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace numastream

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.h"
+#include "msg/inproc.h"
+#include "msg/message.h"
+#include "msg/socket.h"
+#include "msg/tcp.h"
+
+namespace numastream {
+namespace {
+
+Bytes random_body(std::size_t size, std::uint64_t seed) {
+  Bytes body(size);
+  Rng rng(seed);
+  for (auto& b : body) {
+    b = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  return body;
+}
+
+// ---------------------------------------------------------------- framing
+
+TEST(MessageTest, EncodeDecodeRoundTrip) {
+  Message original;
+  original.stream_id = 3;
+  original.sequence = 42;
+  original.body = random_body(1000, 1);
+
+  MessageDecoder decoder;
+  decoder.feed(encode_message(original));
+  auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().stream_id, 3U);
+  EXPECT_EQ(decoded.value().sequence, 42U);
+  EXPECT_FALSE(decoded.value().end_of_stream);
+  EXPECT_EQ(decoded.value().body, original.body);
+  // No second message.
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(MessageTest, EndOfStreamMarker) {
+  const Message marker = Message::end_of_stream_marker(7, 99);
+  MessageDecoder decoder;
+  decoder.feed(encode_message(marker));
+  auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().end_of_stream);
+  EXPECT_EQ(decoded.value().stream_id, 7U);
+  EXPECT_TRUE(decoded.value().body.empty());
+}
+
+TEST(MessageTest, EmptyBody) {
+  Message m;
+  MessageDecoder decoder;
+  decoder.feed(encode_message(m));
+  ASSERT_TRUE(decoder.next().ok());
+}
+
+// Property: any byte-level chunking of a message sequence decodes to the
+// same messages.
+class MessageChunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MessageChunking, ArbitrarySplitsReassemble) {
+  const std::size_t chunk_size = GetParam();
+  Bytes wire;
+  std::vector<Message> sent;
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.stream_id = static_cast<std::uint32_t>(i);
+    m.sequence = static_cast<std::uint64_t>(i * 10);
+    m.body = random_body(static_cast<std::size_t>(i) * 97, i + 1);
+    const Bytes encoded = encode_message(m);
+    wire.insert(wire.end(), encoded.begin(), encoded.end());
+    sent.push_back(std::move(m));
+  }
+
+  MessageDecoder decoder;
+  std::vector<Message> received;
+  std::size_t pos = 0;
+  while (pos < wire.size()) {
+    const std::size_t n = std::min(chunk_size, wire.size() - pos);
+    decoder.feed(ByteSpan(wire.data() + pos, n));
+    pos += n;
+    while (true) {
+      auto m = decoder.next();
+      if (!m.ok()) {
+        ASSERT_EQ(m.status().code(), StatusCode::kUnavailable);
+        break;
+      }
+      received.push_back(std::move(m).value());
+    }
+  }
+  ASSERT_EQ(received.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(received[i].stream_id, sent[i].stream_id);
+    EXPECT_EQ(received[i].sequence, sent[i].sequence);
+    EXPECT_EQ(received[i].body, sent[i].body);
+  }
+  EXPECT_EQ(decoder.buffered(), 0U);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, MessageChunking,
+                         ::testing::Values(1, 7, 31, 32, 33, 100, 1000, 100000));
+
+TEST(MessageDecoderTest, BadMagicIsStickyCorruption) {
+  MessageDecoder decoder;
+  Bytes wire = encode_message(Message{});
+  wire[0] ^= 0xFF;
+  decoder.feed(wire);
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+  // Feeding a good message afterwards does not recover the stream.
+  decoder.feed(encode_message(Message{}));
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MessageDecoderTest, BodyCorruptionDetected) {
+  Message m;
+  m.body = random_body(100, 2);
+  Bytes wire = encode_message(m);
+  wire[kMessageHeaderSize + 50] ^= 1;
+  MessageDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MessageDecoderTest, AbsurdBodySizeRejectedBeforeAllocation) {
+  Bytes wire = encode_message(Message{});
+  store_le64(wire.data() + 20, 1ULL << 60);  // body size field
+  MessageDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(MessageDecoderTest, UnknownFlagsRejected) {
+  Bytes wire = encode_message(Message{});
+  store_le16(wire.data() + 16, 0x8000);
+  MessageDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------- inproc
+
+TEST(InprocTest, BytesFlowBothWays) {
+  InprocPair pair = make_inproc_pair();
+  const Bytes ping = random_body(100, 3);
+  ASSERT_TRUE(pair.first->write_all(ping).is_ok());
+  Bytes got(100);
+  ASSERT_TRUE(read_exact(*pair.second, got).is_ok());
+  EXPECT_EQ(got, ping);
+
+  const Bytes pong = random_body(50, 4);
+  ASSERT_TRUE(pair.second->write_all(pong).is_ok());
+  Bytes got2(50);
+  ASSERT_TRUE(read_exact(*pair.first, got2).is_ok());
+  EXPECT_EQ(got2, pong);
+}
+
+TEST(InprocTest, ShutdownWriteGivesCleanEof) {
+  InprocPair pair = make_inproc_pair();
+  ASSERT_TRUE(pair.first->write_all(Bytes{1, 2, 3}).is_ok());
+  pair.first->shutdown_write();
+  Bytes buf(10);
+  auto n = pair.second->read_some(buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3U);
+  n = pair.second->read_some(buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0U);  // EOF
+}
+
+TEST(InprocTest, SmallWindowExercisesBackpressure) {
+  InprocPair pair = make_inproc_pair(16);  // tiny window
+  const Bytes big = random_body(10000, 5);
+  std::thread writer([&] { ASSERT_TRUE(pair.first->write_all(big).is_ok()); });
+  Bytes got(big.size());
+  ASSERT_TRUE(read_exact(*pair.second, got).is_ok());
+  writer.join();
+  EXPECT_EQ(got, big);
+}
+
+TEST(InprocTest, DestroyedPeerFailsWrites) {
+  InprocPair pair = make_inproc_pair(16);
+  pair.second.reset();
+  const Bytes data = random_body(1000, 6);
+  EXPECT_EQ(pair.first->write_all(data).code(), StatusCode::kUnavailable);
+}
+
+TEST(InprocTest, ReadExactReportsMidMessageEof) {
+  InprocPair pair = make_inproc_pair();
+  ASSERT_TRUE(pair.first->write_all(Bytes{1, 2}).is_ok());
+  pair.first->shutdown_write();
+  Bytes buf(10);
+  EXPECT_EQ(read_exact(*pair.second, buf).code(), StatusCode::kDataLoss);
+}
+
+TEST(InprocListenerTest, ConnectAcceptPair) {
+  InprocListener listener;
+  auto client = listener.connect();
+  ASSERT_TRUE(client.ok());
+  auto server = listener.accept();
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(client.value()->write_all(Bytes{9}).is_ok());
+  Bytes got(1);
+  ASSERT_TRUE(read_exact(*server.value(), got).is_ok());
+  EXPECT_EQ(got[0], 9);
+}
+
+TEST(InprocListenerTest, CloseUnblocksAccept) {
+  InprocListener listener;
+  std::thread acceptor([&] {
+    auto stream = listener.accept();
+    EXPECT_FALSE(stream.ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.close();
+  acceptor.join();
+  EXPECT_FALSE(listener.connect().ok());
+}
+
+// ---------------------------------------------------------------- tcp
+
+TEST(TcpTest, LoopbackRoundTrip) {
+  auto listener = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  const std::uint16_t port = listener.value()->port();
+  ASSERT_NE(port, 0);
+
+  std::thread server([&] {
+    auto stream = listener.value()->accept();
+    ASSERT_TRUE(stream.ok());
+    Bytes buf(5);
+    ASSERT_TRUE(read_exact(*stream.value(), buf).is_ok());
+    ASSERT_TRUE(stream.value()->write_all(buf).is_ok());
+  });
+
+  auto client = tcp_connect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  ASSERT_TRUE(client.value()->write_all(Bytes{'h', 'e', 'l', 'l', 'o'}).is_ok());
+  Bytes echo(5);
+  ASSERT_TRUE(read_exact(*client.value(), echo).is_ok());
+  EXPECT_EQ(echo, (Bytes{'h', 'e', 'l', 'l', 'o'}));
+  server.join();
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  // Bind + immediately close to find a port that is (very likely) not
+  // listening anymore.
+  std::uint16_t port = 0;
+  {
+    auto listener = TcpListener::bind("127.0.0.1", 0);
+    ASSERT_TRUE(listener.ok());
+    port = listener.value()->port();
+  }
+  EXPECT_FALSE(tcp_connect("127.0.0.1", port).ok());
+}
+
+TEST(TcpTest, BadAddressRejected) {
+  EXPECT_EQ(tcp_connect("not-an-ip", 80).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(TcpListener::bind("999.1.1.1", 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TcpTest, CloseUnblocksAccept) {
+  auto listener = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  std::thread acceptor([&] { EXPECT_FALSE(listener.value()->accept().ok()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  listener.value()->close();
+  acceptor.join();
+}
+
+// ---------------------------------------------------------------- sockets
+
+TEST(PushPullTest, MessagesOverInproc) {
+  InprocPair pair = make_inproc_pair();
+  PushSocket push(std::move(pair.first));
+  PullSocket pull(std::move(pair.second));
+
+  std::thread producer([&] {
+    for (int i = 0; i < 10; ++i) {
+      Message m;
+      m.stream_id = 1;
+      m.sequence = static_cast<std::uint64_t>(i);
+      m.body = random_body(5000, i);
+      ASSERT_TRUE(push.send(m).is_ok());
+    }
+    ASSERT_TRUE(push.finish(1).is_ok());
+  });
+
+  int received = 0;
+  while (true) {
+    auto m = pull.recv();
+    ASSERT_TRUE(m.ok()) << m.status().to_string();
+    if (m.value().end_of_stream) {
+      break;
+    }
+    EXPECT_EQ(m.value().sequence, static_cast<std::uint64_t>(received));
+    EXPECT_EQ(m.value().body, random_body(5000, received));
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, 10);
+  EXPECT_EQ(pull.bytes_received(), push.bytes_sent());
+}
+
+TEST(PushPullTest, MessagesOverTcp) {
+  auto listener = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value()->port();
+
+  std::thread producer([&] {
+    auto stream = tcp_connect("127.0.0.1", port);
+    ASSERT_TRUE(stream.ok());
+    PushSocket push(std::move(stream).value());
+    Message m;
+    m.body = random_body(200000, 9);  // bigger than one socket buffer
+    ASSERT_TRUE(push.send(m).is_ok());
+    ASSERT_TRUE(push.finish(0).is_ok());
+  });
+
+  auto accepted = listener.value()->accept();
+  ASSERT_TRUE(accepted.ok());
+  PullSocket pull(std::move(accepted).value());
+  auto m = pull.recv();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().body, random_body(200000, 9));
+  auto eos = pull.recv();
+  ASSERT_TRUE(eos.ok());
+  EXPECT_TRUE(eos.value().end_of_stream);
+  producer.join();
+}
+
+TEST(PushPullTest, PeerDisconnectBetweenMessagesIsCleanEnd) {
+  InprocPair pair = make_inproc_pair();
+  {
+    PushSocket push(std::move(pair.first));
+    Message m;
+    m.body = random_body(10, 1);
+    ASSERT_TRUE(push.send(m).is_ok());
+    // PushSocket destroyed without finish(): stream closes.
+  }
+  PullSocket pull(std::move(pair.second));
+  ASSERT_TRUE(pull.recv().ok());  // the sent message
+  EXPECT_EQ(pull.recv().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(PushPullTest, MidMessageDisconnectIsDataLoss) {
+  InprocPair pair = make_inproc_pair();
+  Message m;
+  m.body = random_body(1000, 1);
+  Bytes wire = encode_message(m);
+  wire.resize(wire.size() / 2);  // cut mid-body
+  ASSERT_TRUE(pair.first->write_all(wire).is_ok());
+  pair.first->shutdown_write();
+  PullSocket pull(std::move(pair.second));
+  EXPECT_EQ(pull.recv().status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace numastream

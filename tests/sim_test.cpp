@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sim/allocator.h"
+#include "sim/engine.h"
+#include "sim/queue.h"
+
+namespace numastream::sim {
+namespace {
+
+// ---------------------------------------------------------------- allocator
+
+JobDemands job_on(int resource, double demand, double cap = 1e18) {
+  return JobDemands{.demands = {Demand{resource, demand}}, .rate_cap = cap};
+}
+
+TEST(AllocatorTest, SingleJobTakesFullCapacity) {
+  const auto rates = max_min_fair_rates({10.0}, {job_on(0, 1.0)});
+  ASSERT_EQ(rates.size(), 1U);
+  EXPECT_NEAR(rates[0], 10.0, 1e-9);
+}
+
+TEST(AllocatorTest, EqualJobsShareEqually) {
+  const auto rates = max_min_fair_rates({12.0}, {job_on(0, 1.0), job_on(0, 1.0),
+                                                 job_on(0, 1.0)});
+  for (const double r : rates) {
+    EXPECT_NEAR(r, 4.0, 1e-9);
+  }
+}
+
+TEST(AllocatorTest, HeavierDemandGetsLowerShareOfResource) {
+  // Job 1 needs 3 units/work: equal *rates* means job 1 uses 3x the resource.
+  const auto rates = max_min_fair_rates({8.0}, {job_on(0, 1.0), job_on(0, 3.0)});
+  EXPECT_NEAR(rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(rates[1], 2.0, 1e-9);
+  // Feasibility: 2*1 + 2*3 = 8 = capacity.
+}
+
+TEST(AllocatorTest, UnconstrainedJobRisesToSecondBottleneck) {
+  // Jobs 0,1 share resource 0 (cap 10); job 2 alone on resource 1 (cap 100).
+  const auto rates = max_min_fair_rates(
+      {10.0, 100.0}, {job_on(0, 1.0), job_on(0, 1.0), job_on(1, 1.0)});
+  EXPECT_NEAR(rates[0], 5.0, 1e-9);
+  EXPECT_NEAR(rates[1], 5.0, 1e-9);
+  EXPECT_NEAR(rates[2], 100.0, 1e-9);
+}
+
+TEST(AllocatorTest, MultiResourceJobBoundByTightest) {
+  // Job needs both resources; resource 1 is tighter (5/2 < 10/1).
+  const auto rates = max_min_fair_rates(
+      {10.0, 5.0}, {JobDemands{.demands = {Demand{0, 1.0}, Demand{1, 2.0}},
+                               .rate_cap = 1e18}});
+  EXPECT_NEAR(rates[0], 2.5, 1e-9);
+}
+
+TEST(AllocatorTest, FreedCapacityGoesToRemainingJobs) {
+  // Job 0 capped at 1; jobs 1,2 then split the remaining 9 of resource 0.
+  const auto rates = max_min_fair_rates(
+      {10.0}, {job_on(0, 1.0, 1.0), job_on(0, 1.0), job_on(0, 1.0)});
+  EXPECT_NEAR(rates[0], 1.0, 1e-9);
+  EXPECT_NEAR(rates[1], 4.5, 1e-9);
+  EXPECT_NEAR(rates[2], 4.5, 1e-9);
+}
+
+TEST(AllocatorTest, CascadedBottlenecks) {
+  // r0 cap 4 shared by jobs 0,1; r1 cap 10 shared by jobs 1,2.
+  // Round 1: level 2 saturates r0 -> freeze jobs 0,1.
+  // Round 2: job 2 continues: r1 remaining 10-2 = 8 -> rate 8.
+  const auto rates = max_min_fair_rates(
+      {4.0, 10.0}, {job_on(0, 1.0),
+                    JobDemands{.demands = {Demand{0, 1.0}, Demand{1, 1.0}},
+                               .rate_cap = 1e18},
+                    job_on(1, 1.0)});
+  EXPECT_NEAR(rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(rates[1], 2.0, 1e-9);
+  EXPECT_NEAR(rates[2], 8.0, 1e-9);
+}
+
+TEST(AllocatorTest, NoJobs) {
+  EXPECT_TRUE(max_min_fair_rates({1.0}, {}).empty());
+}
+
+TEST(AllocatorTest, JobWithNoDemandsClampsToCap) {
+  const auto rates = max_min_fair_rates({1.0}, {JobDemands{.demands = {},
+                                                           .rate_cap = 7.0}});
+  EXPECT_NEAR(rates[0], 7.0, 1e-9);
+}
+
+TEST(AllocatorTest, WeightsGiveProportionalRates) {
+  // Two jobs share a resource; job 1 has 3x the weight -> 3x the rate.
+  std::vector<JobDemands> jobs = {job_on(0, 1.0), job_on(0, 1.0)};
+  jobs[1].weight = 3.0;
+  const auto rates = max_min_fair_rates({8.0}, jobs);
+  EXPECT_NEAR(rates[0], 2.0, 1e-9);
+  EXPECT_NEAR(rates[1], 6.0, 1e-9);
+}
+
+TEST(AllocatorTest, WeightsModelEqualCpuTimeShares) {
+  // A compute job (1 sec/unit) and a light protocol job (0.1 sec/unit)
+  // co-located on one core. With weight = 1/demand each, the water level is
+  // a time share: both get half the core -> compute 0.5 units/s, protocol
+  // 5 units/s.
+  std::vector<JobDemands> jobs = {job_on(0, 1.0), job_on(0, 0.1)};
+  jobs[0].weight = 1.0;
+  jobs[1].weight = 10.0;
+  const auto rates = max_min_fair_rates({1.0}, jobs);
+  EXPECT_NEAR(rates[0], 0.5, 1e-9);
+  EXPECT_NEAR(rates[1], 5.0, 1e-9);
+}
+
+TEST(AllocatorTest, LightJobFrozenElsewhereReturnsItsTimeShare) {
+  // Same co-location, but the light job is capped (wire-limited) far below
+  // its time share: the compute job reclaims the leftover core time.
+  std::vector<JobDemands> jobs = {job_on(0, 1.0), job_on(0, 0.1, /*cap=*/1.0)};
+  jobs[0].weight = 1.0;
+  jobs[1].weight = 10.0;
+  const auto rates = max_min_fair_rates({1.0}, jobs);
+  EXPECT_NEAR(rates[1], 1.0, 1e-9);   // capped
+  EXPECT_NEAR(rates[0], 0.9, 1e-9);   // 1 - 0.1*1.0 of the core remains
+}
+
+// Property test: feasibility and max-min optimality on random instances.
+class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AllocatorProperty, FeasibleAndParetoBlocked) {
+  Rng rng(GetParam());
+  const int n_resources = 1 + static_cast<int>(rng.next_below(5));
+  const int n_jobs = 1 + static_cast<int>(rng.next_below(12));
+
+  std::vector<double> capacities;
+  for (int r = 0; r < n_resources; ++r) {
+    capacities.push_back(1.0 + rng.next_double() * 99.0);
+  }
+  std::vector<JobDemands> jobs;
+  for (int j = 0; j < n_jobs; ++j) {
+    JobDemands job;
+    const int touches = 1 + static_cast<int>(rng.next_below(
+                                static_cast<std::uint64_t>(n_resources)));
+    for (int k = 0; k < touches; ++k) {
+      job.demands.push_back(Demand{static_cast<int>(rng.next_below(
+                                       static_cast<std::uint64_t>(n_resources))),
+                                   0.1 + rng.next_double() * 3.0});
+    }
+    if (rng.next_below(4) == 0) {
+      job.rate_cap = rng.next_double() * 20.0 + 0.1;
+    }
+    if (rng.next_below(3) == 0) {
+      job.weight = 0.2 + rng.next_double() * 5.0;
+    }
+    jobs.push_back(std::move(job));
+  }
+
+  const auto rates = max_min_fair_rates(capacities, jobs);
+  ASSERT_EQ(rates.size(), jobs.size());
+
+  // Feasibility: no resource oversubscribed.
+  std::vector<double> used(capacities.size(), 0.0);
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    EXPECT_GE(rates[j], 0.0);
+    EXPECT_LE(rates[j], jobs[j].rate_cap * (1 + 1e-9));
+    for (const auto& d : jobs[j].demands) {
+      used[static_cast<std::size_t>(d.resource)] += d.units_per_work * rates[j];
+    }
+  }
+  for (std::size_t r = 0; r < capacities.size(); ++r) {
+    EXPECT_LE(used[r], capacities[r] * (1 + 1e-6)) << "resource " << r;
+  }
+
+  // Blocked: every job is at its cap or touches a saturated resource.
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    if (rates[j] >= jobs[j].rate_cap * (1 - 1e-9)) {
+      continue;
+    }
+    bool touches_saturated = false;
+    for (const auto& d : jobs[j].demands) {
+      if (d.units_per_work > 1e-12 &&
+          used[static_cast<std::size_t>(d.resource)] >=
+              capacities[static_cast<std::size_t>(d.resource)] * (1 - 1e-6)) {
+        touches_saturated = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(touches_saturated) << "job " << j << " could still grow";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+// ---------------------------------------------------------------- engine
+
+TEST(EngineTest, DelayAdvancesVirtualTime) {
+  Simulation sim;
+  double woke_at = -1;
+  sim.spawn([](Simulation& s, double& woke) -> SimProc {
+    co_await s.delay(2.5);
+    woke = s.now();
+  }(sim, woke_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(woke_at, 2.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(EngineTest, SingleJobTakesWorkOverCapacity) {
+  Simulation sim;
+  const int cpu = sim.add_resource("cpu", 4.0);  // 4 work units per second
+  double finished_at = -1;
+  sim.spawn([](Simulation& s, int r, double& t) -> SimProc {
+    JobSpec ns_spec{.work = 10.0, .demands = job_on(r, 1.0)};
+    co_await s.job(std::move(ns_spec));
+    t = s.now();
+  }(sim, cpu, finished_at));
+  sim.run();
+  EXPECT_NEAR(finished_at, 2.5, 1e-9);
+  EXPECT_NEAR(sim.consumed(cpu), 10.0, 1e-9);
+}
+
+TEST(EngineTest, TwoJobsShareACore) {
+  Simulation sim;
+  const int cpu = sim.add_resource("cpu", 1.0);
+  std::vector<double> finish;
+  auto worker = [](Simulation& s, int r, double work,
+                   std::vector<double>& out) -> SimProc {
+    JobSpec ns_spec{.work = work, .demands = job_on(r, 1.0)};
+    co_await s.job(std::move(ns_spec));
+    out.push_back(s.now());
+  };
+  sim.spawn(worker(sim, cpu, 1.0, finish));
+  sim.spawn(worker(sim, cpu, 1.0, finish));
+  sim.run();
+  // Both progress at rate 0.5 -> both finish at t=2.
+  ASSERT_EQ(finish.size(), 2U);
+  EXPECT_NEAR(finish[0], 2.0, 1e-9);
+  EXPECT_NEAR(finish[1], 2.0, 1e-9);
+}
+
+TEST(EngineTest, ShortJobFreesCapacityForLongJob) {
+  Simulation sim;
+  const int cpu = sim.add_resource("cpu", 1.0);
+  std::vector<std::pair<int, double>> finish;
+  auto worker = [](Simulation& s, int r, int id, double work,
+                   std::vector<std::pair<int, double>>& out) -> SimProc {
+    JobSpec ns_spec{.work = work, .demands = job_on(r, 1.0)};
+    co_await s.job(std::move(ns_spec));
+    out.emplace_back(id, s.now());
+  };
+  sim.spawn(worker(sim, cpu, 0, 1.0, finish));
+  sim.spawn(worker(sim, cpu, 1, 2.0, finish));
+  sim.run();
+  // Shared until t=2 (each did 1 unit); job 0 done; job 1 has 1 left at full
+  // rate -> t=3.
+  ASSERT_EQ(finish.size(), 2U);
+  EXPECT_EQ(finish[0].first, 0);
+  EXPECT_NEAR(finish[0].second, 2.0, 1e-9);
+  EXPECT_EQ(finish[1].first, 1);
+  EXPECT_NEAR(finish[1].second, 3.0, 1e-9);
+}
+
+TEST(EngineTest, ContentionOverheadSlowsSharers) {
+  Simulation sim;
+  // 100% overhead per extra sharer: 2 jobs -> effective capacity 0.5.
+  const int cpu = sim.add_resource("cpu", 1.0, /*contention_overhead=*/1.0);
+  double finished_at = -1;
+  auto worker = [](Simulation& s, int r, double& t) -> SimProc {
+    JobSpec ns_spec{.work = 1.0, .demands = job_on(r, 1.0)};
+    co_await s.job(std::move(ns_spec));
+    t = s.now();
+  };
+  double ignored = -1;
+  sim.spawn(worker(sim, cpu, finished_at));
+  sim.spawn(worker(sim, cpu, ignored));
+  sim.run();
+  // Effective capacity 0.5 shared by 2 -> each at 0.25 -> 4 seconds.
+  EXPECT_NEAR(finished_at, 4.0, 1e-9);
+}
+
+TEST(EngineTest, ZeroWorkJobCompletesInstantly) {
+  Simulation sim;
+  double finished_at = -1;
+  sim.spawn([](Simulation& s, double& t) -> SimProc {
+    JobSpec ns_spec{.work = 0.0};
+    co_await s.job(std::move(ns_spec));
+    t = s.now();
+  }(sim, finished_at));
+  sim.run();
+  EXPECT_DOUBLE_EQ(finished_at, 0.0);
+}
+
+TEST(EngineTest, OnProgressReportsAllWork) {
+  Simulation sim;
+  const int cpu = sim.add_resource("cpu", 2.0);
+  double reported = 0;
+  sim.spawn([](Simulation& s, int r, double& total) -> SimProc {
+    JobSpec spec{.work = 5.0, .demands = job_on(r, 1.0)};
+    spec.on_progress = [&total](double done, double) { total += done; };
+    co_await s.job(std::move(spec));
+  }(sim, cpu, reported));
+  sim.run();
+  EXPECT_NEAR(reported, 5.0, 1e-9);
+}
+
+TEST(EngineTest, RunLimitStopsEarly) {
+  Simulation sim;
+  const int cpu = sim.add_resource("cpu", 1.0);
+  bool finished = false;
+  sim.spawn([](Simulation& s, int r, bool& done) -> SimProc {
+    JobSpec ns_spec{.work = 100.0, .demands = job_on(r, 1.0)};
+    co_await s.job(std::move(ns_spec));
+    done = true;
+  }(sim, cpu, finished));
+  sim.run(/*limit=*/10.0);
+  EXPECT_FALSE(finished);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+  EXPECT_NEAR(sim.consumed(cpu), 10.0, 1e-9);  // partial progress counted
+}
+
+TEST(EngineTest, ManyJobsConservation) {
+  // Random jobs on random resources: total consumption of each resource
+  // equals the sum of demands * work of the jobs that used it.
+  Simulation sim;
+  Rng rng(7);
+  std::vector<int> resources;
+  for (int r = 0; r < 4; ++r) {
+    resources.push_back(sim.add_resource("r" + std::to_string(r),
+                                         1.0 + rng.next_double() * 10));
+  }
+  std::vector<double> expected(4, 0.0);
+  for (int j = 0; j < 30; ++j) {
+    const int r = static_cast<int>(rng.next_below(4));
+    const double work = 0.5 + rng.next_double() * 5.0;
+    const double demand = 0.2 + rng.next_double();
+    expected[static_cast<std::size_t>(r)] += work * demand;
+    sim.spawn([](Simulation& s, int res, double w, double d) -> SimProc {
+      co_await s.delay(0.1 * d);  // stagger arrivals
+      JobSpec ns_spec{.work = w, .demands = job_on(res, d)};
+      co_await s.job(std::move(ns_spec));
+    }(sim, resources[static_cast<std::size_t>(r)], work, demand));
+  }
+  sim.run();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(sim.consumed(resources[static_cast<std::size_t>(r)]),
+                expected[static_cast<std::size_t>(r)], 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------- queue
+
+TEST(SimQueueTest, PipelineThroughputEqualsBottleneck) {
+  // Producer does 1s of work per item; consumer 2s. 10 items through a
+  // queue of depth 2: makespan ~ 1 + 10*2 = 21 (pipeline startup + consumer-
+  // bound steady state).
+  Simulation sim;
+  const int pcpu = sim.add_resource("producer_cpu", 1.0);
+  const int ccpu = sim.add_resource("consumer_cpu", 1.0);
+  SimQueue<int> queue(sim, 2);
+  int consumed_items = 0;
+
+  sim.spawn([](Simulation& s, SimQueue<int>& q, int cpu) -> SimProc {
+    for (int i = 0; i < 10; ++i) {
+      JobSpec ns_spec{.work = 1.0, .demands = job_on(cpu, 1.0)};
+      co_await s.job(std::move(ns_spec));
+      co_await q.push(i);
+    }
+    q.close();
+  }(sim, queue, pcpu));
+
+  sim.spawn([](Simulation& s, SimQueue<int>& q, int cpu, int& count) -> SimProc {
+    while (auto item = co_await q.pop()) {
+      JobSpec ns_spec{.work = 2.0, .demands = job_on(cpu, 1.0)};
+      co_await s.job(std::move(ns_spec));
+      ++count;
+    }
+  }(sim, queue, ccpu, consumed_items));
+
+  sim.run();
+  EXPECT_EQ(consumed_items, 10);
+  EXPECT_NEAR(sim.now(), 21.0, 1e-6);
+}
+
+TEST(SimQueueTest, FifoOrderPreserved) {
+  Simulation sim;
+  SimQueue<int> queue(sim, 4);
+  std::vector<int> received;
+  sim.spawn([](Simulation& s, SimQueue<int>& q) -> SimProc {
+    for (int i = 0; i < 20; ++i) {
+      co_await q.push(i);
+      if (i % 3 == 0) {
+        co_await s.delay(0.01);
+      }
+    }
+    q.close();
+  }(sim, queue));
+  sim.spawn([](Simulation& s, SimQueue<int>& q, std::vector<int>& out) -> SimProc {
+    while (auto item = co_await q.pop()) {
+      out.push_back(*item);
+      if (*item % 4 == 0) {
+        co_await s.delay(0.02);
+      }
+    }
+  }(sim, queue, received));
+  sim.run();
+  ASSERT_EQ(received.size(), 20U);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimQueueTest, CloseFailsWaitingPushers) {
+  Simulation sim;
+  SimQueue<int> queue(sim, 1);
+  bool second_accepted = true;
+  sim.spawn([](Simulation& s, SimQueue<int>& q, bool& accepted) -> SimProc {
+    co_await q.push(1);                // fills the queue
+    accepted = co_await q.push(2);     // blocks; failed by close
+    (void)s;
+  }(sim, queue, second_accepted));
+  sim.spawn([](Simulation& s, SimQueue<int>& q) -> SimProc {
+    co_await s.delay(1.0);
+    q.close();
+  }(sim, queue));
+  sim.run();
+  EXPECT_FALSE(second_accepted);
+}
+
+TEST(SimQueueTest, CloseWakesWaitingPopper) {
+  Simulation sim;
+  SimQueue<int> queue(sim, 1);
+  bool got_end = false;
+  sim.spawn([](Simulation&, SimQueue<int>& q, bool& end) -> SimProc {
+    const auto item = co_await q.pop();
+    end = !item.has_value();
+  }(sim, queue, got_end));
+  sim.spawn([](Simulation& s, SimQueue<int>& q) -> SimProc {
+    co_await s.delay(0.5);
+    q.close();
+  }(sim, queue));
+  sim.run();
+  EXPECT_TRUE(got_end);
+}
+
+TEST(SimQueueTest, MultipleProducersConsumersDeliverExactlyOnce) {
+  Simulation sim;
+  SimQueue<int> queue(sim, 3);
+  int produced = 0;
+  int consumed_items = 0;
+  int live_producers = 3;
+  for (int p = 0; p < 3; ++p) {
+    sim.spawn([](Simulation& s, SimQueue<int>& q, int id, int& count,
+                 int& live) -> SimProc {
+      for (int i = 0; i < 7; ++i) {
+        co_await s.delay(0.01 * (id + 1));
+        co_await q.push(id * 100 + i);
+        ++count;
+      }
+      if (--live == 0) {
+        q.close();
+      }
+    }(sim, queue, p, produced, live_producers));
+  }
+  for (int c = 0; c < 2; ++c) {
+    sim.spawn([](Simulation& s, SimQueue<int>& q, int& count) -> SimProc {
+      while (co_await q.pop()) {
+        co_await s.delay(0.005);
+        ++count;
+      }
+    }(sim, queue, consumed_items));
+  }
+  sim.run();
+  EXPECT_EQ(produced, 21);
+  EXPECT_EQ(consumed_items, 21);
+}
+
+TEST(SimQueueTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Simulation sim;
+    const int cpu = sim.add_resource("cpu", 3.0);
+    SimQueue<int> queue(sim, 2);
+    sim.spawn([](Simulation& s, SimQueue<int>& q, int r) -> SimProc {
+      for (int i = 0; i < 50; ++i) {
+        JobSpec ns_spec{.work = 0.7, .demands = job_on(r, 1.0)};
+        co_await s.job(std::move(ns_spec));
+        co_await q.push(i);
+      }
+      q.close();
+    }(sim, queue, cpu));
+    sim.spawn([](Simulation& s, SimQueue<int>& q, int r) -> SimProc {
+      while (co_await q.pop()) {
+        JobSpec ns_spec{.work = 1.1, .demands = job_on(r, 1.0)};
+        co_await s.job(std::move(ns_spec));
+      }
+    }(sim, queue, cpu));
+    sim.run();
+    return sim.now();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace numastream::sim

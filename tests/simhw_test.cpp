@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "simhw/machine.h"
+#include "simhw/network.h"
+#include "simhw/scheduler.h"
+
+namespace numastream::simrt {
+namespace {
+
+HostParams test_params() {
+  return HostParams{.memory_bandwidth = 50e9,
+                    .interconnect_bandwidth = 20e9,
+                    .remote_access_cpu_penalty = 0.2,
+                    .core_oversubscription_overhead = 0.1,
+                    .unpinned_cpu_overhead = 0.25};
+}
+
+TEST(SimHostTest, RegistersAllResources) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  // 32 cores + 2 MCs + 1 UPI + 2 NICs.
+  EXPECT_EQ(sim.resource_count(), 37U);
+  EXPECT_DOUBLE_EQ(sim.resource_capacity(host.core_resource(0)), 1.0);
+  EXPECT_DOUBLE_EQ(sim.resource_capacity(host.memory_resource(1)), 50e9);
+  EXPECT_DOUBLE_EQ(sim.resource_capacity(host.interconnect_resource()), 20e9);
+  auto nic = host.nic_resource("mlx5_stream");
+  ASSERT_TRUE(nic.ok());
+  EXPECT_DOUBLE_EQ(sim.resource_capacity(nic.value()),
+                   gbps_to_bytes_per_sec(200.0));
+  EXPECT_FALSE(host.nic_resource("eth99").ok());
+}
+
+TEST(SimHostTest, DomainOfCore) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  EXPECT_EQ(host.domain_of_core(0), 0);
+  EXPECT_EQ(host.domain_of_core(31), 1);
+}
+
+TEST(SimHostTest, LocalStepHasNoInterconnectDemand) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  SimHost::StepSpec step;
+  step.core = 20;  // domain 1
+  step.work_bytes = 100;
+  step.cpu_seconds_per_byte = 1e-9;
+  step.accesses = {{.data_domain = 1, .bytes_per_work = 1.0}};
+  const sim::JobSpec job = host.step_job(step);
+  for (const auto& demand : job.demands.demands) {
+    EXPECT_NE(demand.resource, host.interconnect_resource());
+  }
+  // CPU demand unpenalized: local access.
+  EXPECT_DOUBLE_EQ(job.demands.demands[0].units_per_work, 1e-9);
+  EXPECT_DOUBLE_EQ(job.demands.weight, 1e9);
+}
+
+TEST(SimHostTest, RemoteStepCrossesInterconnect) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  SimHost::StepSpec step;
+  step.core = 0;  // domain 0
+  step.work_bytes = 100;
+  step.cpu_seconds_per_byte = 1e-9;
+  step.accesses = {{.data_domain = 1, .bytes_per_work = 0.5}};
+  const sim::JobSpec job = host.step_job(step);
+  bool upi = false;
+  for (const auto& demand : job.demands.demands) {
+    if (demand.resource == host.interconnect_resource()) {
+      upi = true;
+      EXPECT_DOUBLE_EQ(demand.units_per_work, 0.5);
+    }
+  }
+  EXPECT_TRUE(upi);
+}
+
+TEST(SimHostTest, RemotePenaltyOnlyForLatencySensitiveSteps) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  SimHost::StepSpec step;
+  step.core = 0;
+  step.work_bytes = 100;
+  step.cpu_seconds_per_byte = 1e-9;
+  step.accesses = {{.data_domain = 1, .bytes_per_work = 1.0}};
+
+  // Streaming compute (prefetch hides remote latency): no penalty.
+  const sim::JobSpec compute = host.step_job(step);
+  EXPECT_DOUBLE_EQ(compute.demands.demands[0].units_per_work, 1e-9);
+
+  // Packet processing: the paper's ~15% penalty applies.
+  step.latency_sensitive = true;
+  const sim::JobSpec packet = host.step_job(step);
+  EXPECT_DOUBLE_EQ(packet.demands.demands[0].units_per_work, 1e-9 * 1.2);
+}
+
+TEST(SimHostTest, UnpinnedStepsPayMigrationOverhead) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  SimHost::StepSpec step;
+  step.core = 0;
+  step.work_bytes = 100;
+  step.cpu_seconds_per_byte = 1e-9;
+  step.pinned = false;
+  const sim::JobSpec job = host.step_job(step);
+  EXPECT_DOUBLE_EQ(job.demands.demands[0].units_per_work, 1e-9 * 1.25);
+}
+
+TEST(SimHostTest, MetricsAttribution) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost host(sim, topo, test_params());
+  // One remote step executed to completion.
+  sim.spawn([](sim::Simulation& s, SimHost& h) -> sim::SimProc {
+    SimHost::StepSpec step;
+    step.core = 0;
+    step.work_bytes = 1000;
+    step.cpu_seconds_per_byte = 1e-3;
+    step.accesses = {{.data_domain = 1, .bytes_per_work = 1.0},
+                     {.data_domain = 0, .bytes_per_work = 2.0}};
+    sim::JobSpec job = h.step_job(step);
+    co_await s.job(std::move(job));
+  }(sim, host));
+  sim.run();
+  host.usage().set_elapsed(sim.now());
+  EXPECT_NEAR(host.usage().utilization(0), 1.0, 1e-6);  // fully busy
+  EXPECT_EQ(host.remote_access().remote_bytes(0), 1000U);
+  EXPECT_EQ(host.remote_access().local_bytes(0), 2000U);
+  // Interconnect consumed exactly the remote bytes.
+  EXPECT_NEAR(sim.consumed(host.interconnect_resource()), 1000.0, 1e-6);
+}
+
+// ---------------------------------------------------------------- link
+
+TEST(SimLinkTest, TransferDemandsCoverEveryHop) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost receiver(sim, topo, test_params());
+  SimLink link(sim, "path", LinkParams{.bandwidth_gbps = 200, .efficiency = 0.97});
+  const int rx_nic = receiver.nic_resource("mlx5_stream").value();
+  const sim::JobSpec job = link.transfer_job(receiver, /*sender_nic=*/rx_nic, rx_nic,
+                                             /*nic_domain=*/1, 1000.0);
+  ASSERT_EQ(job.demands.demands.size(), 4U);
+  // Protocol overhead inflates line-rate hops; DMA hits DRAM at 1:1.
+  EXPECT_NEAR(job.demands.demands[0].units_per_work, 1.0 / 0.97, 1e-12);
+  EXPECT_DOUBLE_EQ(job.demands.demands[3].units_per_work, 1.0);
+  EXPECT_EQ(job.demands.demands[3].resource, receiver.memory_resource(1));
+}
+
+TEST(SimLinkTest, PerConnectionCapIsCarried) {
+  sim::Simulation sim;
+  const MachineTopology topo = lynxdtn_topology();
+  SimHost receiver(sim, topo, test_params());
+  SimLink link(sim, "path", LinkParams{});
+  const int nic = receiver.nic_resource("mlx5_stream").value();
+  const sim::JobSpec job = link.transfer_job(receiver, nic, nic, 1, 1000.0, 5e9);
+  EXPECT_DOUBLE_EQ(job.demands.rate_cap, 5e9);
+}
+
+// ---------------------------------------------------------------- scheduler
+
+TEST(AssignPinnedTest, SingleDomainRoundRobin) {
+  const MachineTopology topo = lynxdtn_topology();
+  const std::vector<NumaBinding> bindings = {
+      NumaBinding{.execution_domain = 1, .memory_domain = 1}};
+  const auto cores = assign_pinned(topo, bindings, 20);
+  ASSERT_EQ(cores.size(), 20U);
+  EXPECT_EQ(cores[0], 16);
+  EXPECT_EQ(cores[15], 31);
+  EXPECT_EQ(cores[16], 16);  // wraps: oversubscription beyond 16 threads
+}
+
+TEST(AssignPinnedTest, SplitAlternatesDomains) {
+  const MachineTopology topo = lynxdtn_topology();
+  const std::vector<NumaBinding> bindings = {
+      NumaBinding{.execution_domain = 0, .memory_domain = 0},
+      NumaBinding{.execution_domain = 1, .memory_domain = 1}};
+  const auto cores = assign_pinned(topo, bindings, 6);
+  EXPECT_EQ(cores, (std::vector<int>{0, 16, 1, 17, 2, 18}));
+}
+
+TEST(OsSchedulerTest, LeastLoadedSpreadsEvenly) {
+  const MachineTopology topo = lynxdtn_topology();
+  OsScheduler os(topo, OsScheduler::Mode::kLeastLoaded, 1);
+  const auto cores = os.place_threads(32);
+  std::vector<int> counts(32, 0);
+  for (const int core : cores) {
+    counts[static_cast<std::size_t>(core)]++;
+  }
+  for (const int count : counts) {
+    EXPECT_EQ(count, 1);  // perfectly balanced: one thread per core
+  }
+}
+
+TEST(OsSchedulerTest, RandomIsDeterministicPerSeed) {
+  const MachineTopology topo = lynxdtn_topology();
+  OsScheduler a(topo, OsScheduler::Mode::kRandom, 7);
+  OsScheduler b(topo, OsScheduler::Mode::kRandom, 7);
+  EXPECT_EQ(a.place_threads(16), b.place_threads(16));
+  OsScheduler c(topo, OsScheduler::Mode::kRandom, 8);
+  EXPECT_NE(a.place_threads(16), c.place_threads(16));
+}
+
+TEST(OsSchedulerTest, RandomProducesCollisions) {
+  // The property the OS baseline depends on: blind placement of 32 threads
+  // on 32 cores leaves some cores doubly loaded and others idle.
+  const MachineTopology topo = lynxdtn_topology();
+  OsScheduler os(topo, OsScheduler::Mode::kRandom, 3);
+  const auto cores = os.place_threads(32);
+  std::vector<int> counts(32, 0);
+  for (const int core : cores) {
+    counts[static_cast<std::size_t>(core)]++;
+  }
+  int collisions = 0;
+  for (const int count : counts) {
+    collisions += count > 1 ? 1 : 0;
+  }
+  EXPECT_GT(collisions, 0);
+}
+
+}  // namespace
+}  // namespace numastream::simrt

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "topo/cpuset.h"
+#include "topo/discover.h"
+#include "topo/topology.h"
+
+namespace numastream {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- CpuSet
+
+TEST(CpuSetTest, EmptyByDefault) {
+  CpuSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.first(), -1);
+  EXPECT_EQ(s.to_cpulist(), "");
+}
+
+TEST(CpuSetTest, AddRemoveContains) {
+  CpuSet s;
+  s.add(0);
+  s.add(65);  // crosses the word boundary
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(65));
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_EQ(s.count(), 2U);
+  s.remove(0);
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_EQ(s.first(), 65);
+}
+
+TEST(CpuSetTest, RangeFactory) {
+  const CpuSet s = CpuSet::range(4, 7);
+  EXPECT_EQ(s.count(), 4U);
+  EXPECT_EQ(s.to_vector(), (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(CpuSetTest, SetAlgebra) {
+  const CpuSet a = CpuSet::range(0, 5);
+  const CpuSet b = CpuSet::range(4, 9);
+  EXPECT_EQ(a.union_with(b), CpuSet::range(0, 9));
+  EXPECT_EQ(a.intersect(b), CpuSet::range(4, 5));
+  EXPECT_EQ(a.subtract(b), CpuSet::range(0, 3));
+  // Operands untouched.
+  EXPECT_EQ(a, CpuSet::range(0, 5));
+}
+
+TEST(CpuSetTest, EqualityIgnoresTrailingZeroWords) {
+  CpuSet a;
+  a.add(100);
+  a.remove(100);
+  EXPECT_EQ(a, CpuSet());
+}
+
+TEST(CpuSetTest, ParseSimpleList) {
+  auto r = CpuSet::parse_cpulist("0,2,4");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().to_vector(), (std::vector<int>{0, 2, 4}));
+}
+
+TEST(CpuSetTest, ParseRangesAndWhitespace) {
+  auto r = CpuSet::parse_cpulist(" 0-3,8,12-13\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().to_cpulist(), "0-3,8,12-13");
+}
+
+TEST(CpuSetTest, ParseEmptyIsEmptySet) {
+  auto r = CpuSet::parse_cpulist("\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST(CpuSetTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(CpuSet::parse_cpulist("abc").ok());
+  EXPECT_FALSE(CpuSet::parse_cpulist("3-1").ok());
+  EXPECT_FALSE(CpuSet::parse_cpulist("1,,2").ok());
+  EXPECT_FALSE(CpuSet::parse_cpulist("1;2").ok());
+  EXPECT_FALSE(CpuSet::parse_cpulist("-3").ok());
+}
+
+// Property: to_cpulist() and parse_cpulist() are inverses on random sets.
+class CpuSetRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CpuSetRoundTrip, FormatParseIdentity) {
+  Rng rng(GetParam());
+  CpuSet original;
+  const int n = static_cast<int>(rng.next_below(64));
+  for (int i = 0; i < n; ++i) {
+    original.add(static_cast<int>(rng.next_below(256)));
+  }
+  auto parsed = CpuSet::parse_cpulist(original.to_cpulist());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), original);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CpuSetRoundTrip,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+// ---------------------------------------------------------------- presets
+
+TEST(TopologyTest, LynxdtnMatchesThePaper) {
+  const MachineTopology topo = lynxdtn_topology();
+  EXPECT_TRUE(topo.validate().is_ok());
+  EXPECT_EQ(topo.domain_count(), 2U);
+  EXPECT_EQ(topo.cpu_count(), 32U);
+  // The streaming NIC is the 200 Gbps one on NUMA 1 (Observation 1 depends
+  // on this attachment).
+  const auto nic = topo.preferred_nic();
+  ASSERT_TRUE(nic.has_value());
+  EXPECT_EQ(nic->numa_domain, 1);
+  EXPECT_DOUBLE_EQ(nic->line_rate_gbps, 200.0);
+}
+
+TEST(TopologyTest, UpdraftHasHundredGigNic) {
+  const MachineTopology topo = updraft_topology("updraft2");
+  EXPECT_TRUE(topo.validate().is_ok());
+  EXPECT_EQ(topo.hostname(), "updraft2");
+  EXPECT_EQ(topo.cpu_count(), 32U);
+  ASSERT_TRUE(topo.preferred_nic().has_value());
+  EXPECT_DOUBLE_EQ(topo.preferred_nic()->line_rate_gbps, 100.0);
+}
+
+TEST(TopologyTest, PolarisIsSingleSocket) {
+  const MachineTopology topo = polaris_topology();
+  EXPECT_EQ(topo.domain_count(), 1U);
+  EXPECT_EQ(topo.cpu_count(), 32U);
+}
+
+TEST(TopologyTest, DomainLookup) {
+  const MachineTopology topo = lynxdtn_topology();
+  auto d1 = topo.domain(1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1.value().cpus.first(), 16);
+  EXPECT_FALSE(topo.domain(5).ok());
+}
+
+TEST(TopologyTest, DomainOfCpu) {
+  const MachineTopology topo = lynxdtn_topology();
+  EXPECT_EQ(topo.domain_of_cpu(3).value(), 0);
+  EXPECT_EQ(topo.domain_of_cpu(20).value(), 1);
+  EXPECT_FALSE(topo.domain_of_cpu(99).ok());
+}
+
+TEST(TopologyTest, ValidateRejectsOverlap) {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 3), .memory_bytes = 0},
+      {.id = 1, .cpus = CpuSet::range(3, 7), .memory_bytes = 0},
+  };
+  const MachineTopology topo("bad", std::move(domains), {});
+  EXPECT_FALSE(topo.validate().is_ok());
+}
+
+TEST(TopologyTest, ValidateRejectsNicOnUnknownDomain) {
+  std::vector<NumaDomain> domains = {
+      {.id = 0, .cpus = CpuSet::range(0, 3), .memory_bytes = 0},
+  };
+  std::vector<NicInfo> nics = {{.name = "x", .numa_domain = 7, .line_rate_gbps = 10}};
+  const MachineTopology topo("bad", std::move(domains), std::move(nics));
+  EXPECT_FALSE(topo.validate().is_ok());
+}
+
+TEST(TopologyTest, DescribeMentionsEveryPart) {
+  const std::string text = lynxdtn_topology().describe();
+  EXPECT_NE(text.find("lynxdtn"), std::string::npos);
+  EXPECT_NE(text.find("node 0"), std::string::npos);
+  EXPECT_NE(text.find("node 1"), std::string::npos);
+  EXPECT_NE(text.find("mlx5_stream"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- discover
+
+class DiscoverTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("ns_discover_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write_file(const fs::path& rel, const std::string& content) {
+    const fs::path full = root_ / rel;
+    fs::create_directories(full.parent_path());
+    std::ofstream(full) << content;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(DiscoverTest, ParsesTwoNodeMachine) {
+  write_file("devices/system/node/node0/cpulist", "0-15\n");
+  write_file("devices/system/node/node0/meminfo", "Node 0 MemTotal: 536870912 kB\n");
+  write_file("devices/system/node/node1/cpulist", "16-31\n");
+  write_file("devices/system/node/node1/meminfo", "Node 1 MemTotal: 536870912 kB\n");
+  write_file("class/net/eth1/device/numa_node", "1\n");
+  write_file("class/net/eth1/speed", "200000\n");
+  write_file("class/net/lo/speed", "0\n");
+
+  auto topo = discover_topology({.sysfs_root = root_.string(), .hostname = "testhost"});
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().hostname(), "testhost");
+  EXPECT_EQ(topo.value().domain_count(), 2U);
+  EXPECT_EQ(topo.value().domain(0).value().cpus.count(), 16U);
+  EXPECT_EQ(topo.value().domain(1).value().memory_bytes, 512ULL * kGiB);
+  const auto nic = topo.value().find_nic("eth1");
+  ASSERT_TRUE(nic.has_value());
+  EXPECT_EQ(nic->numa_domain, 1);
+  EXPECT_DOUBLE_EQ(nic->line_rate_gbps, 200.0);
+  // "lo" is excluded.
+  EXPECT_FALSE(topo.value().find_nic("lo").has_value());
+}
+
+TEST_F(DiscoverTest, FallsBackToSingleDomain) {
+  write_file("devices/system/cpu/online", "0-7\n");
+  auto topo = discover_topology({.sysfs_root = root_.string(), .hostname = "nonuma"});
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().domain_count(), 1U);
+  EXPECT_EQ(topo.value().cpu_count(), 8U);
+}
+
+TEST_F(DiscoverTest, SkipsMemoryOnlyNodes) {
+  write_file("devices/system/node/node0/cpulist", "0-3\n");
+  write_file("devices/system/node/node0/meminfo", "Node 0 MemTotal: 1024 kB\n");
+  write_file("devices/system/node/node1/cpulist", "\n");  // CXL-style, no CPUs
+  write_file("devices/system/node/node1/meminfo", "Node 1 MemTotal: 1024 kB\n");
+  auto topo = discover_topology({.sysfs_root = root_.string(), .hostname = "cxl"});
+  ASSERT_TRUE(topo.ok());
+  EXPECT_EQ(topo.value().domain_count(), 1U);
+}
+
+TEST_F(DiscoverTest, NicWithUnknownNumaNodeKeepsMinusOne) {
+  write_file("devices/system/node/node0/cpulist", "0-3\n");
+  write_file("class/net/eth0/device/numa_node", "-1\n");
+  write_file("class/net/eth0/speed", "10000\n");
+  auto topo = discover_topology({.sysfs_root = root_.string(), .hostname = "vm"});
+  ASSERT_TRUE(topo.ok());
+  const auto nic = topo.value().find_nic("eth0");
+  ASSERT_TRUE(nic.has_value());
+  EXPECT_EQ(nic->numa_domain, -1);
+  // A NIC with unknown attachment is never "preferred": the runtime cannot
+  // make a NUMA decision about it.
+  EXPECT_FALSE(topo.value().preferred_nic().has_value());
+}
+
+TEST_F(DiscoverTest, RealHostDiscoveryWorks) {
+  // Smoke test against the live /sys of whatever machine runs the suite.
+  auto topo = discover_topology();
+  ASSERT_TRUE(topo.ok());
+  EXPECT_GE(topo.value().domain_count(), 1U);
+  EXPECT_GE(topo.value().cpu_count(), 1U);
+  EXPECT_TRUE(topo.value().validate().is_ok());
+}
+
+}  // namespace
+}  // namespace numastream

@@ -1,0 +1,323 @@
+// numastream — the command-line front end of the library.
+//
+//   numastream topology
+//       Describe this host's NUMA/NIC layout as the runtime sees it.
+//
+//   numastream plan [--streams N] [--codec NAME] [--strategy numa|os]
+//                   [--receiver lynxdtn|polaris|self] [--out DIR]
+//       Run the configuration generator for a gateway deployment; print the
+//       rationale and per-node configuration files (optionally writing them
+//       to DIR as <node>.conf, ready to ship to each host).
+//
+//   numastream simulate [--streams N] [--strategy numa|os] [--link GBPS]
+//                       [--source GBPS] [--chunks N]
+//       Evaluate a generated plan on the simulated testbed and print the
+//       per-stream and cumulative throughputs.
+//
+//   numastream codec [--codec NAME] [--mib N]
+//       Round-trip a synthetic tomographic buffer through a codec on this
+//       machine and report real compression ratio and speeds.
+//
+// Every command uses only the public library API; this binary is the thin
+// operational wrapper a facility would script against.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "core/config_generator.h"
+#include "data/tomo.h"
+#include "simrt/driver.h"
+#include "topo/discover.h"
+
+using namespace numastream;
+
+namespace {
+
+/// Minimal --key value / --flag parser: everything after the command.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
+        ok_ = false;
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";
+      }
+    }
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] long get_long(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: numastream <command> [options]\n"
+               "  topology                         describe this host\n"
+               "  plan     [--streams N] [--codec NAME] [--strategy numa|os]\n"
+               "           [--receiver lynxdtn|polaris|self|dualgw] [--all-nics]\n"
+               "           [--out DIR]\n"
+               "  simulate [--streams N] [--strategy numa|os] [--link GBPS]\n"
+               "           [--source GBPS] [--chunks N]\n"
+               "  codec    [--codec NAME] [--mib N]\n");
+  return 2;
+}
+
+Result<MachineTopology> receiver_topology(const std::string& name) {
+  if (name == "lynxdtn") {
+    return lynxdtn_topology();
+  }
+  if (name == "polaris") {
+    return polaris_topology("gateway");
+  }
+  if (name == "self") {
+    return discover_topology();
+  }
+  if (name == "dualgw") {
+    return dual_nic_gateway_topology();
+  }
+  return invalid_argument_error("unknown receiver '" + name +
+                                "' (use lynxdtn, polaris, dualgw or self)");
+}
+
+std::vector<MachineTopology> default_senders(int streams) {
+  std::vector<MachineTopology> senders;
+  for (int i = 0; i < streams; ++i) {
+    senders.push_back(i % 2 == 0
+                          ? updraft_topology("updraft" + std::to_string(i / 2 + 1))
+                          : polaris_topology("polaris" + std::to_string(i / 2 + 1)));
+  }
+  return senders;
+}
+
+Result<StreamingPlan> make_plan(const Args& args, const MachineTopology& receiver,
+                                const std::vector<MachineTopology>& senders) {
+  WorkloadSpec spec;
+  spec.num_streams = static_cast<int>(args.get_long("streams", 4));
+  spec.codec = args.get("codec", "lz4");
+  spec.use_all_nics = !args.get("all-nics", "absent").compare("") ||
+                      args.get("all-nics", "absent") == "true";
+  const std::string strategy = args.get("strategy", "numa");
+  if (strategy != "numa" && strategy != "os") {
+    return invalid_argument_error("unknown strategy '" + strategy + "'");
+  }
+  ConfigGenerator generator(receiver, senders);
+  return generator.generate(spec, strategy == "numa"
+                                      ? PlacementStrategy::kNumaAware
+                                      : PlacementStrategy::kOsManaged);
+}
+
+int cmd_topology() {
+  auto topo = discover_topology();
+  if (!topo.ok()) {
+    std::fprintf(stderr, "discovery failed: %s\n", topo.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("%s", topo.value().describe().c_str());
+  const auto nic = topo.value().preferred_nic();
+  if (nic.has_value()) {
+    std::printf("preferred streaming NIC: %s on NUMA %d\n", nic->name.c_str(),
+                nic->numa_domain);
+  } else {
+    std::printf("no NIC with a known NUMA attachment; NUMA-aware receive "
+                "placement is unavailable here\n");
+  }
+  return 0;
+}
+
+int cmd_plan(const Args& args) {
+  auto receiver = receiver_topology(args.get("receiver", "lynxdtn"));
+  if (!receiver.ok()) {
+    std::fprintf(stderr, "%s\n", receiver.status().to_string().c_str());
+    return 1;
+  }
+  const int streams = static_cast<int>(args.get_long("streams", 4));
+  auto plan = make_plan(args, receiver.value(), default_senders(streams));
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("---- rationale ----\n%s\n", plan.value().rationale.c_str());
+
+  const std::string out_dir = args.get("out", "");
+  const auto emit = [&](const NodeConfig& config) -> bool {
+    if (out_dir.empty()) {
+      std::printf("---- %s ----\n%s\n", config.node_name.c_str(),
+                  config.serialize().c_str());
+      return true;
+    }
+    std::filesystem::create_directories(out_dir);
+    const std::string path = out_dir + "/" + config.node_name + ".conf";
+    std::ofstream file(path);
+    file << config.serialize();
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  };
+  if (!emit(plan.value().receiver)) {
+    return 1;
+  }
+  for (const auto& sender : plan.value().senders) {
+    if (!emit(sender)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+int cmd_simulate(const Args& args) {
+  auto receiver = receiver_topology(args.get("receiver", "lynxdtn"));
+  if (!receiver.ok()) {
+    std::fprintf(stderr, "%s\n", receiver.status().to_string().c_str());
+    return 1;
+  }
+  const int streams = static_cast<int>(args.get_long("streams", 4));
+  const std::vector<MachineTopology> senders = default_senders(streams);
+  auto plan = make_plan(args, receiver.value(), senders);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "planning failed: %s\n", plan.status().to_string().c_str());
+    return 1;
+  }
+
+  simrt::ExperimentOptions options;
+  options.link.bandwidth_gbps = args.get_double("link", 200.0);
+  options.source_gbps = args.get_double("source", 100.0);
+  options.chunks_per_stream =
+      static_cast<std::uint64_t>(args.get_long("chunks", 300));
+
+  auto result = simrt::run_plan(senders, receiver.value(), plan.value(), options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "simulation failed: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("cumulative: %.2f Gbps network, %.2f Gbps end-to-end "
+              "(%.3f s simulated)\n",
+              result.value().network_gbps, result.value().e2e_gbps,
+              result.value().elapsed_seconds);
+  for (std::size_t i = 0; i < result.value().streams.size(); ++i) {
+    const auto& stream = result.value().streams[i];
+    std::printf("  stream-%zu: %.1f Gbps network, %.1f Gbps end-to-end\n", i + 1,
+                stream.network_gbps, stream.e2e_gbps);
+  }
+  return 0;
+}
+
+int cmd_codec(const Args& args) {
+  const std::string name = args.get("codec", "lz4");
+  const Codec* codec = codec_by_name(name);
+  if (codec == nullptr) {
+    std::fprintf(stderr, "unknown codec '%s' (have:", name.c_str());
+    for (const Codec* c : all_codecs()) {
+      std::fprintf(stderr, " %s", std::string(c->name()).c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 1;
+  }
+  const long mib = args.get_long("mib", 8);
+
+  // Enough synthetic projections to cover the requested volume.
+  TomoConfig tomo;
+  tomo.rows = 512;
+  tomo.cols = 1350;
+  const TomoGenerator generator(tomo);
+  Bytes input;
+  for (std::uint64_t i = 0; input.size() < static_cast<std::size_t>(mib) * kMiB; ++i) {
+    const Bytes projection = generator.projection(i);
+    input.insert(input.end(), projection.begin(), projection.end());
+  }
+
+  Bytes compressed(codec->max_compressed_size(input.size()));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto written = codec->compress(input, compressed);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!written.ok()) {
+    std::fprintf(stderr, "compress failed: %s\n",
+                 written.status().to_string().c_str());
+    return 1;
+  }
+  compressed.resize(written.value());
+
+  Bytes output(input.size());
+  const auto t2 = std::chrono::steady_clock::now();
+  auto produced = codec->decompress(compressed, output);
+  const auto t3 = std::chrono::steady_clock::now();
+  if (!produced.ok() || output != input) {
+    std::fprintf(stderr, "decompress failed or round trip mismatch\n");
+    return 1;
+  }
+
+  const double compress_s = std::chrono::duration<double>(t1 - t0).count();
+  const double decompress_s = std::chrono::duration<double>(t3 - t2).count();
+  std::printf("codec %s on %s of synthetic tomographic data:\n", name.c_str(),
+              format_bytes(input.size()).c_str());
+  std::printf("  ratio      : %.3f:1 (%s on the wire)\n",
+              static_cast<double>(input.size()) / compressed.size(),
+              format_bytes(compressed.size()).c_str());
+  std::printf("  compress   : %.1f MB/s\n",
+              static_cast<double>(input.size()) / compress_s / 1e6);
+  std::printf("  decompress : %.1f MB/s\n",
+              static_cast<double>(input.size()) / decompress_s / 1e6);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.ok()) {
+    return usage();
+  }
+  if (command == "topology") {
+    return cmd_topology();
+  }
+  if (command == "plan") {
+    return cmd_plan(args);
+  }
+  if (command == "simulate") {
+    return cmd_simulate(args);
+  }
+  if (command == "codec") {
+    return cmd_codec(args);
+  }
+  return usage();
+}
