@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compression_ratio.dir/ablation_compression_ratio.cpp.o"
+  "CMakeFiles/ablation_compression_ratio.dir/ablation_compression_ratio.cpp.o.d"
+  "ablation_compression_ratio"
+  "ablation_compression_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compression_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multinic.dir/ablation_multinic.cpp.o"
+  "CMakeFiles/ablation_multinic.dir/ablation_multinic.cpp.o.d"
+  "ablation_multinic"
+  "ablation_multinic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multinic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_core_usage.dir/fig06_core_usage.cpp.o"
+  "CMakeFiles/fig06_core_usage.dir/fig06_core_usage.cpp.o.d"
+  "fig06_core_usage"
+  "fig06_core_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_core_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_core_usage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_remote_access.dir/fig07_remote_access.cpp.o"
+  "CMakeFiles/fig07_remote_access.dir/fig07_remote_access.cpp.o.d"
+  "fig07_remote_access"
+  "fig07_remote_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_remote_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig08_compress_scaling.cpp" "bench/CMakeFiles/fig08_compress_scaling.dir/fig08_compress_scaling.cpp.o" "gcc" "bench/CMakeFiles/fig08_compress_scaling.dir/fig08_compress_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simrt/CMakeFiles/ns_simrt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ns_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ns_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/concurrency/CMakeFiles/ns_concurrency.dir/DependInfo.cmake"
+  "/root/repo/build/src/affinity/CMakeFiles/ns_affinity.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ns_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/ns_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ns_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/simhw/CMakeFiles/ns_simhw.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ns_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

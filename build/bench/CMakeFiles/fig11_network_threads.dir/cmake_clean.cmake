@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_network_threads.dir/fig11_network_threads.cpp.o"
+  "CMakeFiles/fig11_network_threads.dir/fig11_network_threads.cpp.o.d"
+  "fig11_network_threads"
+  "fig11_network_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_network_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_multistream_gateway.dir/fig14_multistream_gateway.cpp.o"
+  "CMakeFiles/fig14_multistream_gateway.dir/fig14_multistream_gateway.cpp.o.d"
+  "fig14_multistream_gateway"
+  "fig14_multistream_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_multistream_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

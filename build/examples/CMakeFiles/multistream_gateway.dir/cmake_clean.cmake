@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistream_gateway.dir/multistream_gateway.cpp.o"
+  "CMakeFiles/multistream_gateway.dir/multistream_gateway.cpp.o.d"
+  "multistream_gateway"
+  "multistream_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistream_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

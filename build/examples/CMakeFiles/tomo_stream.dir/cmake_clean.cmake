@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tomo_stream.dir/tomo_stream.cpp.o"
+  "CMakeFiles/tomo_stream.dir/tomo_stream.cpp.o.d"
+  "tomo_stream"
+  "tomo_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tomo_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("topo")
+subdirs("affinity")
+subdirs("concurrency")
+subdirs("codec")
+subdirs("data")
+subdirs("metrics")
+subdirs("msg")
+subdirs("core")
+subdirs("sim")
+subdirs("simhw")
+subdirs("simrt")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/affinity/affinity.cpp" "src/affinity/CMakeFiles/ns_affinity.dir/affinity.cpp.o" "gcc" "src/affinity/CMakeFiles/ns_affinity.dir/affinity.cpp.o.d"
+  "/root/repo/src/affinity/binding.cpp" "src/affinity/CMakeFiles/ns_affinity.dir/binding.cpp.o" "gcc" "src/affinity/CMakeFiles/ns_affinity.dir/binding.cpp.o.d"
+  "/root/repo/src/affinity/membind.cpp" "src/affinity/CMakeFiles/ns_affinity.dir/membind.cpp.o" "gcc" "src/affinity/CMakeFiles/ns_affinity.dir/membind.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ns_topo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

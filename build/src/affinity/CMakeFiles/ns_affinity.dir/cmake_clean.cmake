@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_affinity.dir/affinity.cpp.o"
+  "CMakeFiles/ns_affinity.dir/affinity.cpp.o.d"
+  "CMakeFiles/ns_affinity.dir/binding.cpp.o"
+  "CMakeFiles/ns_affinity.dir/binding.cpp.o.d"
+  "CMakeFiles/ns_affinity.dir/membind.cpp.o"
+  "CMakeFiles/ns_affinity.dir/membind.cpp.o.d"
+  "libns_affinity.a"
+  "libns_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

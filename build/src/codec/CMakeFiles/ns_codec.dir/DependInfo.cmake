@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/codec.cpp" "src/codec/CMakeFiles/ns_codec.dir/codec.cpp.o" "gcc" "src/codec/CMakeFiles/ns_codec.dir/codec.cpp.o.d"
+  "/root/repo/src/codec/delta_rle.cpp" "src/codec/CMakeFiles/ns_codec.dir/delta_rle.cpp.o" "gcc" "src/codec/CMakeFiles/ns_codec.dir/delta_rle.cpp.o.d"
+  "/root/repo/src/codec/frame.cpp" "src/codec/CMakeFiles/ns_codec.dir/frame.cpp.o" "gcc" "src/codec/CMakeFiles/ns_codec.dir/frame.cpp.o.d"
+  "/root/repo/src/codec/lz4.cpp" "src/codec/CMakeFiles/ns_codec.dir/lz4.cpp.o" "gcc" "src/codec/CMakeFiles/ns_codec.dir/lz4.cpp.o.d"
+  "/root/repo/src/codec/xxhash.cpp" "src/codec/CMakeFiles/ns_codec.dir/xxhash.cpp.o" "gcc" "src/codec/CMakeFiles/ns_codec.dir/xxhash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

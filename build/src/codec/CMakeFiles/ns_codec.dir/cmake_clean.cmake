@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_codec.dir/codec.cpp.o"
+  "CMakeFiles/ns_codec.dir/codec.cpp.o.d"
+  "CMakeFiles/ns_codec.dir/delta_rle.cpp.o"
+  "CMakeFiles/ns_codec.dir/delta_rle.cpp.o.d"
+  "CMakeFiles/ns_codec.dir/frame.cpp.o"
+  "CMakeFiles/ns_codec.dir/frame.cpp.o.d"
+  "CMakeFiles/ns_codec.dir/lz4.cpp.o"
+  "CMakeFiles/ns_codec.dir/lz4.cpp.o.d"
+  "CMakeFiles/ns_codec.dir/xxhash.cpp.o"
+  "CMakeFiles/ns_codec.dir/xxhash.cpp.o.d"
+  "libns_codec.a"
+  "libns_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

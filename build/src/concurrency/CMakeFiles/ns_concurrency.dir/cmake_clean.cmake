@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_concurrency.dir/thread_pool.cpp.o"
+  "CMakeFiles/ns_concurrency.dir/thread_pool.cpp.o.d"
+  "libns_concurrency.a"
+  "libns_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

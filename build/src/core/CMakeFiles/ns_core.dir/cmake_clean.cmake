@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_core.dir/advisor.cpp.o"
+  "CMakeFiles/ns_core.dir/advisor.cpp.o.d"
+  "CMakeFiles/ns_core.dir/config.cpp.o"
+  "CMakeFiles/ns_core.dir/config.cpp.o.d"
+  "CMakeFiles/ns_core.dir/config_generator.cpp.o"
+  "CMakeFiles/ns_core.dir/config_generator.cpp.o.d"
+  "CMakeFiles/ns_core.dir/pipeline.cpp.o"
+  "CMakeFiles/ns_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ns_core.dir/placement.cpp.o"
+  "CMakeFiles/ns_core.dir/placement.cpp.o.d"
+  "libns_core.a"
+  "libns_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/chunk.cpp" "src/data/CMakeFiles/ns_data.dir/chunk.cpp.o" "gcc" "src/data/CMakeFiles/ns_data.dir/chunk.cpp.o.d"
+  "/root/repo/src/data/sdf.cpp" "src/data/CMakeFiles/ns_data.dir/sdf.cpp.o" "gcc" "src/data/CMakeFiles/ns_data.dir/sdf.cpp.o.d"
+  "/root/repo/src/data/tomo.cpp" "src/data/CMakeFiles/ns_data.dir/tomo.cpp.o" "gcc" "src/data/CMakeFiles/ns_data.dir/tomo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ns_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_data.dir/chunk.cpp.o"
+  "CMakeFiles/ns_data.dir/chunk.cpp.o.d"
+  "CMakeFiles/ns_data.dir/sdf.cpp.o"
+  "CMakeFiles/ns_data.dir/sdf.cpp.o.d"
+  "CMakeFiles/ns_data.dir/tomo.cpp.o"
+  "CMakeFiles/ns_data.dir/tomo.cpp.o.d"
+  "libns_data.a"
+  "libns_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/core_usage.cpp" "src/metrics/CMakeFiles/ns_metrics.dir/core_usage.cpp.o" "gcc" "src/metrics/CMakeFiles/ns_metrics.dir/core_usage.cpp.o.d"
+  "/root/repo/src/metrics/remote_access.cpp" "src/metrics/CMakeFiles/ns_metrics.dir/remote_access.cpp.o" "gcc" "src/metrics/CMakeFiles/ns_metrics.dir/remote_access.cpp.o.d"
+  "/root/repo/src/metrics/table.cpp" "src/metrics/CMakeFiles/ns_metrics.dir/table.cpp.o" "gcc" "src/metrics/CMakeFiles/ns_metrics.dir/table.cpp.o.d"
+  "/root/repo/src/metrics/throughput.cpp" "src/metrics/CMakeFiles/ns_metrics.dir/throughput.cpp.o" "gcc" "src/metrics/CMakeFiles/ns_metrics.dir/throughput.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/metrics/CMakeFiles/ns_metrics.dir/timeline.cpp.o" "gcc" "src/metrics/CMakeFiles/ns_metrics.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

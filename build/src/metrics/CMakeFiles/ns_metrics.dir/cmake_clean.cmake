@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_metrics.dir/core_usage.cpp.o"
+  "CMakeFiles/ns_metrics.dir/core_usage.cpp.o.d"
+  "CMakeFiles/ns_metrics.dir/remote_access.cpp.o"
+  "CMakeFiles/ns_metrics.dir/remote_access.cpp.o.d"
+  "CMakeFiles/ns_metrics.dir/table.cpp.o"
+  "CMakeFiles/ns_metrics.dir/table.cpp.o.d"
+  "CMakeFiles/ns_metrics.dir/throughput.cpp.o"
+  "CMakeFiles/ns_metrics.dir/throughput.cpp.o.d"
+  "CMakeFiles/ns_metrics.dir/timeline.cpp.o"
+  "CMakeFiles/ns_metrics.dir/timeline.cpp.o.d"
+  "libns_metrics.a"
+  "libns_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

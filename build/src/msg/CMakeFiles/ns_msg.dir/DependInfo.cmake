@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/inproc.cpp" "src/msg/CMakeFiles/ns_msg.dir/inproc.cpp.o" "gcc" "src/msg/CMakeFiles/ns_msg.dir/inproc.cpp.o.d"
+  "/root/repo/src/msg/message.cpp" "src/msg/CMakeFiles/ns_msg.dir/message.cpp.o" "gcc" "src/msg/CMakeFiles/ns_msg.dir/message.cpp.o.d"
+  "/root/repo/src/msg/socket.cpp" "src/msg/CMakeFiles/ns_msg.dir/socket.cpp.o" "gcc" "src/msg/CMakeFiles/ns_msg.dir/socket.cpp.o.d"
+  "/root/repo/src/msg/tcp.cpp" "src/msg/CMakeFiles/ns_msg.dir/tcp.cpp.o" "gcc" "src/msg/CMakeFiles/ns_msg.dir/tcp.cpp.o.d"
+  "/root/repo/src/msg/transport.cpp" "src/msg/CMakeFiles/ns_msg.dir/transport.cpp.o" "gcc" "src/msg/CMakeFiles/ns_msg.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/ns_codec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

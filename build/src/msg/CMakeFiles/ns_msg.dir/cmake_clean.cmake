@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_msg.dir/inproc.cpp.o"
+  "CMakeFiles/ns_msg.dir/inproc.cpp.o.d"
+  "CMakeFiles/ns_msg.dir/message.cpp.o"
+  "CMakeFiles/ns_msg.dir/message.cpp.o.d"
+  "CMakeFiles/ns_msg.dir/socket.cpp.o"
+  "CMakeFiles/ns_msg.dir/socket.cpp.o.d"
+  "CMakeFiles/ns_msg.dir/tcp.cpp.o"
+  "CMakeFiles/ns_msg.dir/tcp.cpp.o.d"
+  "CMakeFiles/ns_msg.dir/transport.cpp.o"
+  "CMakeFiles/ns_msg.dir/transport.cpp.o.d"
+  "libns_msg.a"
+  "libns_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

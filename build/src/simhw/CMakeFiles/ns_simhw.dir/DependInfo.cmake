@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simhw/machine.cpp" "src/simhw/CMakeFiles/ns_simhw.dir/machine.cpp.o" "gcc" "src/simhw/CMakeFiles/ns_simhw.dir/machine.cpp.o.d"
+  "/root/repo/src/simhw/network.cpp" "src/simhw/CMakeFiles/ns_simhw.dir/network.cpp.o" "gcc" "src/simhw/CMakeFiles/ns_simhw.dir/network.cpp.o.d"
+  "/root/repo/src/simhw/scheduler.cpp" "src/simhw/CMakeFiles/ns_simhw.dir/scheduler.cpp.o" "gcc" "src/simhw/CMakeFiles/ns_simhw.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ns_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/ns_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ns_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ns_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_simhw.dir/machine.cpp.o"
+  "CMakeFiles/ns_simhw.dir/machine.cpp.o.d"
+  "CMakeFiles/ns_simhw.dir/network.cpp.o"
+  "CMakeFiles/ns_simhw.dir/network.cpp.o.d"
+  "CMakeFiles/ns_simhw.dir/scheduler.cpp.o"
+  "CMakeFiles/ns_simhw.dir/scheduler.cpp.o.d"
+  "libns_simhw.a"
+  "libns_simhw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_simhw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_simrt.dir/driver.cpp.o"
+  "CMakeFiles/ns_simrt.dir/driver.cpp.o.d"
+  "CMakeFiles/ns_simrt.dir/pipeline.cpp.o"
+  "CMakeFiles/ns_simrt.dir/pipeline.cpp.o.d"
+  "libns_simrt.a"
+  "libns_simrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_simrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

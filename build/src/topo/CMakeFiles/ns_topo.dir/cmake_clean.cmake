@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ns_topo.dir/cpuset.cpp.o"
+  "CMakeFiles/ns_topo.dir/cpuset.cpp.o.d"
+  "CMakeFiles/ns_topo.dir/discover.cpp.o"
+  "CMakeFiles/ns_topo.dir/discover.cpp.o.d"
+  "CMakeFiles/ns_topo.dir/topology.cpp.o"
+  "CMakeFiles/ns_topo.dir/topology.cpp.o.d"
+  "libns_topo.a"
+  "libns_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ns_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

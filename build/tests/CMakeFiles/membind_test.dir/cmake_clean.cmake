@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membind_test.dir/membind_test.cpp.o"
+  "CMakeFiles/membind_test.dir/membind_test.cpp.o.d"
+  "membind_test"
+  "membind_test.pdb"
+  "membind_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membind_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrt_test.dir/simrt_test.cpp.o"
+  "CMakeFiles/simrt_test.dir/simrt_test.cpp.o.d"
+  "simrt_test"
+  "simrt_test.pdb"
+  "simrt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numastream.dir/numastream_cli.cpp.o"
+  "CMakeFiles/numastream.dir/numastream_cli.cpp.o.d"
+  "numastream"
+  "numastream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numastream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
