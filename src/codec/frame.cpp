@@ -1,5 +1,7 @@
 #include "codec/frame.h"
 
+#include <cstring>
+
 #include "codec/xxhash.h"
 #include "common/assert.h"
 
@@ -102,6 +104,42 @@ Result<Bytes> decode_frame_content(ByteSpan frame) {
     return data_loss_error("frame: content checksum mismatch after decompression");
   }
   return raw;
+}
+
+std::optional<std::size_t> find_frame_magic(ByteSpan data, std::size_t from) {
+  std::uint8_t magic[4];
+  store_le32(magic, kFrameMagic);
+  for (std::size_t pos = from; pos + 4 <= data.size(); ++pos) {
+    if (std::memcmp(data.data() + pos, magic, 4) == 0) {
+      return pos;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<Bytes> decode_frame_content_resync(ByteSpan frame, bool* resynced) {
+  if (resynced != nullptr) {
+    *resynced = false;
+  }
+  auto first = decode_frame_content(frame);
+  if (first.ok()) {
+    return first;
+  }
+  // The frame at offset 0 is bad; a later magic may still head a valid frame
+  // (the checksums make a false positive decoding successfully vanishingly
+  // unlikely, so the first decodable candidate is the recovered frame).
+  std::size_t search_from = 1;
+  while (auto pos = find_frame_magic(frame, search_from)) {
+    auto recovered = decode_frame_content(frame.subspan(*pos));
+    if (recovered.ok()) {
+      if (resynced != nullptr) {
+        *resynced = true;
+      }
+      return recovered;
+    }
+    search_from = *pos + 1;
+  }
+  return first.status();
 }
 
 }  // namespace numastream

@@ -19,6 +19,8 @@
 //   32     ...   payload
 #pragma once
 
+#include <optional>
+
 #include "codec/codec.h"
 #include "common/bytes.h"
 #include "common/status.h"
@@ -48,5 +50,18 @@ Result<FrameView> decode_frame(ByteSpan frame);
 
 /// Fully decodes a frame: parse, decompress, verify the content checksum.
 Result<Bytes> decode_frame_content(ByteSpan frame);
+
+/// Offset of the next "NSF1" magic at or after `from`, or nullopt. Receiver
+/// hardening uses this to resync inside a corrupted message body: a frame
+/// that fails to decode may still carry a valid frame after garbage (e.g. a
+/// corrupted prefix), and scanning for the magic recovers it instead of
+/// dropping the whole chunk.
+std::optional<std::size_t> find_frame_magic(ByteSpan data, std::size_t from);
+
+/// decode_frame_content with resync: tries the frame at offset 0 and, on
+/// failure, at every subsequent magic position. `resynced`, when supplied, is
+/// set to true if the successful decode required skipping garbage. Fails with
+/// the original offset-0 error when no embedded frame decodes.
+Result<Bytes> decode_frame_content_resync(ByteSpan frame, bool* resynced = nullptr);
 
 }  // namespace numastream

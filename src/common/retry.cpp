@@ -1,0 +1,63 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace numastream {
+
+Status RetryPolicy::validate() const {
+  if (max_attempts < 1) {
+    return invalid_argument_error("retry: max_attempts must be >= 1");
+  }
+  if (multiplier < 1.0) {
+    return invalid_argument_error("retry: multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter > 1.0) {
+    return invalid_argument_error("retry: jitter must be in [0, 1]");
+  }
+  if (max_backoff_us < initial_backoff_us) {
+    return invalid_argument_error("retry: max_backoff below initial_backoff");
+  }
+  return Status::ok();
+}
+
+Backoff::Backoff(const RetryPolicy& policy, std::uint64_t seed)
+    : policy_(policy),
+      rng_(seed),
+      base_us_(static_cast<double>(policy.initial_backoff_us)) {}
+
+std::optional<std::chrono::microseconds> Backoff::next_delay() {
+  if (retries_ + 1 >= policy_.max_attempts) {
+    return std::nullopt;
+  }
+  ++retries_;
+  const double capped =
+      std::min(base_us_, static_cast<double>(policy_.max_backoff_us));
+  base_us_ = capped * policy_.multiplier;
+  // Uniform in [capped * (1 - jitter), capped]: jitter only ever shortens the
+  // wait, so the policy's max_backoff stays a hard ceiling.
+  const double jittered = capped - capped * policy_.jitter * rng_.next_double();
+  return std::chrono::microseconds(static_cast<std::int64_t>(jittered));
+}
+
+void Backoff::reset() {
+  retries_ = 0;
+  base_us_ = static_cast<double>(policy_.initial_backoff_us);
+}
+
+bool interruptible_sleep(std::chrono::microseconds delay,
+                         const std::atomic<bool>* cancel) {
+  constexpr auto kSlice = std::chrono::milliseconds(10);
+  auto remaining = delay;
+  while (remaining.count() > 0) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    const auto nap = std::min<std::chrono::microseconds>(remaining, kSlice);
+    std::this_thread::sleep_for(nap);
+    remaining -= nap;
+  }
+  return cancel == nullptr || !cancel->load(std::memory_order_relaxed);
+}
+
+}  // namespace numastream

@@ -1,0 +1,106 @@
+// Retry with exponential backoff and deterministic jitter.
+//
+// Long-lived streams between facilities survive link flaps and peer restarts
+// only if every transient failure is retried with bounded, jittered backoff.
+// RetryPolicy describes the schedule; Backoff walks it; with_retry() wraps any
+// Result-returning operation. Jitter comes from the repo's deterministic RNG
+// (common/rng.h) seeded by the caller, so a fault-injection run replays the
+// exact same retry timeline on every execution — the property the
+// fault-tolerance tests assert.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace numastream {
+
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries).
+  int max_attempts = 5;
+  /// Delay before the first retry.
+  std::uint64_t initial_backoff_us = 1000;
+  /// Ceiling for the exponential growth.
+  std::uint64_t max_backoff_us = 250000;
+  /// Backoff growth factor between consecutive retries.
+  double multiplier = 2.0;
+  /// Fraction of each delay that is randomized: the delay is drawn uniformly
+  /// from [base*(1-jitter), base]. 0 disables jitter.
+  double jitter = 0.5;
+
+  [[nodiscard]] Status validate() const;
+
+  friend bool operator==(const RetryPolicy&, const RetryPolicy&) = default;
+};
+
+/// Walks a RetryPolicy's schedule. Not thread-safe; one per retry loop.
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, std::uint64_t seed);
+
+  /// Delay to sleep before the next retry, or nullopt once the policy's
+  /// attempts are exhausted. Advances the schedule.
+  std::optional<std::chrono::microseconds> next_delay();
+
+  /// Retries handed out so far.
+  [[nodiscard]] int retries() const noexcept { return retries_; }
+
+  /// Restarts the schedule (e.g. after a successful operation, so the next
+  /// failure backs off from the beginning again).
+  void reset();
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  int retries_ = 0;
+  double base_us_ = 0;
+};
+
+/// Interruptible sleep: dozes in short slices so a watchdog-driven `cancel`
+/// flag cuts a long backoff short. Returns false when canceled.
+bool interruptible_sleep(std::chrono::microseconds delay,
+                         const std::atomic<bool>* cancel = nullptr);
+
+/// Whether a failure is worth retrying at all: only transient conditions
+/// (peer not reachable yet / connection reset) qualify; corrupt data or
+/// caller bugs never do.
+[[nodiscard]] inline bool is_retryable(const Status& status) noexcept {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+/// Runs `fn` (returning Result<T>) until it succeeds, fails with a
+/// non-retryable code, the policy's attempts run out, or `cancel` is raised.
+/// Returns the last failure when giving up. `retries`, when supplied, is
+/// incremented once per retry performed (for FaultCounters accounting).
+template <typename Fn>
+auto with_retry(const RetryPolicy& policy, std::uint64_t seed, Fn&& fn,
+                std::atomic<std::uint64_t>* retries = nullptr,
+                const std::atomic<bool>* cancel = nullptr) -> decltype(fn()) {
+  Backoff backoff(policy, seed);
+  while (true) {
+    auto result = fn();
+    if (result.ok() || !is_retryable(result.status())) {
+      return result;
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return result;
+    }
+    const auto delay = backoff.next_delay();
+    if (!delay.has_value()) {
+      return result;
+    }
+    if (retries != nullptr) {
+      retries->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!interruptible_sleep(*delay, cancel)) {
+      return result;
+    }
+  }
+}
+
+}  // namespace numastream

@@ -20,6 +20,8 @@ std::string_view status_code_name(StatusCode code) noexcept {
       return "INTERNAL";
     case StatusCode::kUnimplemented:
       return "UNIMPLEMENTED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -54,6 +56,9 @@ Status internal_error(std::string message) {
 }
 Status unimplemented_error(std::string message) {
   return {StatusCode::kUnimplemented, std::move(message)};
+}
+Status deadline_exceeded_error(std::string message) {
+  return {StatusCode::kDeadlineExceeded, std::move(message)};
 }
 
 }  // namespace numastream

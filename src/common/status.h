@@ -26,6 +26,7 @@ enum class StatusCode {
   kResourceExhausted, ///< buffer/queue capacity exceeded
   kInternal,          ///< invariant violation that was recoverable
   kUnimplemented,     ///< feature not supported on this platform/build
+  kDeadlineExceeded,  ///< watchdog/timeout: operation made no progress in time
 };
 
 /// Human-readable name of a StatusCode (stable, for logs and tests).
@@ -69,6 +70,7 @@ Status unavailable_error(std::string message);
 Status resource_exhausted_error(std::string message);
 Status internal_error(std::string message);
 Status unimplemented_error(std::string message);
+Status deadline_exceeded_error(std::string message);
 
 /// A value or an error. `value()` aborts if called on an error Result, so
 /// callers must test `ok()` (or use `value_or`).

@@ -5,6 +5,9 @@
 //   codec <codec-name>
 //   chunk_bytes <n>
 //   queue_capacity <n>
+//   recovery [reconnect=on|off] [max_attempts=<n>] [backoff_us=<n>]
+//            [max_backoff_us=<n>] [multiplier=<f>] [jitter=<f>]
+//            [corrupt_limit=<n>] [degrade_watermark=<n>] [watchdog_ms=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
@@ -108,6 +111,19 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
   if (queue_capacity == 0) {
     return invalid_argument_error("config: zero queue capacity");
   }
+  {
+    const Status retry_ok = recovery.retry.validate();
+    if (!retry_ok.is_ok()) {
+      return retry_ok;
+    }
+  }
+  if (recovery.max_consecutive_corrupt <= 0) {
+    return invalid_argument_error("config: corrupt_limit must be positive");
+  }
+  if (recovery.degrade_watermark > queue_capacity) {
+    return invalid_argument_error(
+        "config: degrade_watermark exceeds queue_capacity");
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -145,6 +161,19 @@ std::string NodeConfig::serialize() const {
   out << "codec " << codec_name << "\n";
   out << "chunk_bytes " << chunk_bytes << "\n";
   out << "queue_capacity " << queue_capacity << "\n";
+  if (!recovery.is_default()) {
+    // Emit only when any knob moved, so pre-recovery configs round-trip
+    // byte-identically. All knobs are written to keep the line self-contained.
+    out << "recovery reconnect=" << (recovery.reconnect ? "on" : "off")
+        << " max_attempts=" << recovery.retry.max_attempts
+        << " backoff_us=" << recovery.retry.initial_backoff_us
+        << " max_backoff_us=" << recovery.retry.max_backoff_us
+        << " multiplier=" << recovery.retry.multiplier
+        << " jitter=" << recovery.retry.jitter
+        << " corrupt_limit=" << recovery.max_consecutive_corrupt
+        << " degrade_watermark=" << recovery.degrade_watermark
+        << " watchdog_ms=" << recovery.watchdog_ms << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -211,6 +240,47 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
     } else if (directive == "queue_capacity") {
       if (!(fields >> config.queue_capacity)) {
         return fail("bad queue_capacity");
+      }
+    } else if (directive == "recovery") {
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "reconnect") {
+            if (value == "on") {
+              config.recovery.reconnect = true;
+            } else if (value == "off") {
+              config.recovery.reconnect = false;
+            } else {
+              return fail("bad reconnect '" + value + "' (want on|off)");
+            }
+          } else if (key == "max_attempts") {
+            config.recovery.retry.max_attempts = std::stoi(value);
+          } else if (key == "backoff_us") {
+            config.recovery.retry.initial_backoff_us = std::stoull(value);
+          } else if (key == "max_backoff_us") {
+            config.recovery.retry.max_backoff_us = std::stoull(value);
+          } else if (key == "multiplier") {
+            config.recovery.retry.multiplier = std::stod(value);
+          } else if (key == "jitter") {
+            config.recovery.retry.jitter = std::stod(value);
+          } else if (key == "corrupt_limit") {
+            config.recovery.max_consecutive_corrupt = std::stoi(value);
+          } else if (key == "degrade_watermark") {
+            config.recovery.degrade_watermark = std::stoull(value);
+          } else if (key == "watchdog_ms") {
+            config.recovery.watchdog_ms = std::stoull(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
       }
     } else if (directive == "task") {
       TaskGroupConfig group;

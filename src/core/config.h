@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "affinity/binding.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/units.h"
 #include "topo/topology.h"
@@ -39,12 +40,39 @@ struct TaskGroupConfig {
   int stream_id = -1;
 };
 
+/// Fault-recovery policy for one node's pipeline. Everything defaults to
+/// off/strict, matching the pre-recovery behavior: a peer disconnect is
+/// fatal, a corrupt frame is fatal, chunks are never degraded, and hangs are
+/// the operator's problem. Production deployments turn the knobs on.
+struct RecoveryConfig {
+  /// Senders: re-dial on UNAVAILABLE and re-send the in-flight message.
+  /// Receivers: recycle broken connections (re-accept) and resync the
+  /// message decoder past garbage instead of failing.
+  bool reconnect = false;
+  /// Dial/backoff schedule used when `reconnect` is on.
+  RetryPolicy retry;
+  /// Receivers: abort after this many *consecutive* corrupt frames on one
+  /// decompress worker (isolated corruption is dropped and counted).
+  int max_consecutive_corrupt = 8;
+  /// Senders: when the compress->send queue reaches this depth, compress
+  /// workers switch to the passthrough codec until it drains to half the
+  /// watermark. 0 disables degradation.
+  std::size_t degrade_watermark = 0;
+  /// Trip a watchdog when no pipeline stage makes progress for this many
+  /// milliseconds, converting hangs into DEADLINE_EXCEEDED. 0 disables.
+  std::uint64_t watchdog_ms = 0;
+
+  [[nodiscard]] bool is_default() const { return *this == RecoveryConfig{}; }
+  friend bool operator==(const RecoveryConfig&, const RecoveryConfig&) = default;
+};
+
 struct NodeConfig {
   std::string node_name;
   NodeRole role = NodeRole::kSender;
   std::string codec_name = "lz4";
   std::uint64_t chunk_bytes = kProjectionChunkBytes;
   std::size_t queue_capacity = 8;
+  RecoveryConfig recovery;
   std::vector<TaskGroupConfig> tasks;
 
   /// Total threads of one task type across all groups (optionally filtered

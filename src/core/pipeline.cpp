@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <ctime>
+#include <memory>
 #include <mutex>
+#include <set>
+#include <utility>
 
+#include "codec/codec.h"
 #include "codec/frame.h"
-#include "core/advisor.h"
 #include "common/assert.h"
+#include "common/retry.h"
 #include "concurrency/bounded_queue.h"
 #include "concurrency/thread_pool.h"
+#include "core/advisor.h"
+#include "core/watchdog.h"
 #include "metrics/throughput.h"
 
 namespace numastream {
@@ -134,10 +140,13 @@ StreamSender::StreamSender(const MachineTopology& topo, NodeConfig config)
 }
 
 Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& connect,
-                                      PlacementRecorder* recorder) {
+                                      PlacementRecorder* recorder,
+                                      FaultCounters* faults) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
   const Codec* codec = codec_by_name(config_.codec_name);
   NS_CHECK(codec != nullptr, "validate() checked the codec");
+  const Codec* passthrough = codec_by_id(CodecId::kNull);
+  NS_CHECK(passthrough != nullptr, "null codec is always registered");
 
   const GroupSpec compress = collect_group(config_, TaskType::kCompress);
   const GroupSpec send = collect_group(config_, TaskType::kSend);
@@ -145,12 +154,27 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
     return invalid_argument_error("sender config needs compress and send tasks");
   }
 
+  const RecoveryConfig& recovery = config_.recovery;
+  FaultCounters scratch_counters;  // keeps the worker code null-free
+  FaultCounters& fc = faults != nullptr ? *faults : scratch_counters;
+  StreamRegistry registry;
+  std::atomic<std::uint64_t> dial_seq{0};
+  const auto dial = [&]() -> Result<std::unique_ptr<ByteStream>> {
+    if (!recovery.reconnect) {
+      return connect();
+    }
+    const std::uint64_t seed =
+        0x5EEDD1A1ULL + dial_seq.fetch_add(1, std::memory_order_relaxed);
+    return with_retry(recovery.retry, seed, connect, &fc.dial_retries,
+                      registry.cancel_flag());
+  };
+
   // Establish every connection before starting the clock, mirroring the
   // paper's measurement of steady-state streaming (not connection setup).
   std::vector<std::unique_ptr<ByteStream>> streams;
   streams.reserve(static_cast<std::size_t>(send.count));
   for (int i = 0; i < send.count; ++i) {
-    auto stream = connect();
+    auto stream = dial();
     if (!stream.ok()) {
       return stream.status();
     }
@@ -163,40 +187,125 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   std::atomic<std::uint64_t> raw_bytes{0};
   std::atomic<std::uint64_t> wire_bytes{0};
   std::atomic<int> live_compressors{compress.count};
+  std::atomic<bool> degraded{false};
+  std::atomic<std::uint64_t> sent_messages{0};
+
+  // The watchdog trips only when both stages stall for the full deadline;
+  // its teardown closes the queue and cancels every registered stream, so
+  // workers blocked in push/pop/write_all all wake with clean errors.
+  std::unique_ptr<Watchdog> watchdog;
+  if (recovery.watchdog_ms > 0) {
+    watchdog = std::make_unique<Watchdog>(
+        std::chrono::milliseconds(recovery.watchdog_ms), &registry, [&] {
+          fc.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+          queue.close();
+        });
+    watchdog->watch("compress", &chunks);
+    watchdog->watch("send", &sent_messages);
+    watchdog->start();
+  }
 
   ThroughputMeter meter;
   meter.start();
 
-  // Sending threads: drain the queue into their private connection.
+  // Sending threads: drain the queue into their private connection. With
+  // recovery on, a failed send re-dials and re-sends the in-flight message.
   BusyCounter send_busy;
   PinnedThreadGroup senders(
       topo_, "send", static_cast<std::size_t>(send.count), send.bindings,
       [&](const PinnedThreadGroup::WorkerContext& ctx) {
-        PushSocket socket(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
+        std::unique_ptr<PushSocket> socket;
+        ByteStream* raw = nullptr;  // registry handle; owned by `socket`
+        const auto adopt = [&](std::unique_ptr<ByteStream> stream) {
+          raw = stream.get();
+          socket = std::make_unique<PushSocket>(std::move(stream));
+          registry.add(raw);
+        };
+        const auto retire = [&] {
+          if (socket != nullptr) {
+            wire_bytes.fetch_add(socket->bytes_sent(), std::memory_order_relaxed);
+            registry.remove(raw);
+            socket.reset();
+            raw = nullptr;
+          }
+        };
+        const auto redial = [&]() -> Status {
+          retire();
+          auto fresh = dial();
+          if (!fresh.ok()) {
+            return fresh.status();
+          }
+          adopt(std::move(fresh).value());
+          fc.reconnects.fetch_add(1, std::memory_order_relaxed);
+          return Status::ok();
+        };
+        // Sends one message, reconnecting and re-sending on UNAVAILABLE.
+        const auto send_message = [&](const Message& message) -> Status {
+          while (true) {
+            const Status status = socket->send(message);
+            if (status.is_ok() || !recovery.reconnect ||
+                status.code() != StatusCode::kUnavailable ||
+                registry.cancelled()) {
+              return status;
+            }
+            NS_RETURN_IF_ERROR(redial());
+          }
+        };
+        adopt(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
         while (auto message = queue.pop()) {
-          const Status status = socket.send(*message);
+          const Status status = send_message(*message);
           if (!status.is_ok()) {
             errors.record(status);
             queue.close();  // unblock the rest of the pipeline
             break;
           }
+          sent_messages.fetch_add(1, std::memory_order_relaxed);
         }
-        errors.record(socket.finish(0));
-        wire_bytes.fetch_add(socket.bytes_sent(), std::memory_order_relaxed);
+        // The end-of-stream marker matters: without it the receiver never
+        // learns this peer is done. Re-send it on fresh connections until it
+        // lands (bounded by the retry policy, since a fresh connection can
+        // itself be faulted).
+        Status finish = socket->finish(0);
+        for (int attempt = 0;
+             !finish.is_ok() && recovery.reconnect &&
+             finish.code() == StatusCode::kUnavailable &&
+             !registry.cancelled() && attempt < recovery.retry.max_attempts;
+             ++attempt) {
+          const Status redialed = redial();
+          finish = redialed.is_ok() ? socket->finish(0) : redialed;
+        }
+        errors.record(finish);
+        retire();
         send_busy.add_seconds(thread_cpu_seconds());
       },
       recorder);
 
-  // Compression threads: pull chunks, frame them, enqueue for sending.
+  // Compression threads: pull chunks, frame them, enqueue for sending. Under
+  // backlog (send stage slower than compress), degrade to the passthrough
+  // codec until the queue drains to half the watermark — shipping bigger
+  // frames beats stalling the source when the bottleneck is compression.
   BusyCounter compress_busy;
   PinnedThreadGroup compressors(
       topo_, "comp", static_cast<std::size_t>(compress.count), compress.bindings,
       [&](const PinnedThreadGroup::WorkerContext&) {
         while (auto chunk = source.next()) {
+          const Codec* active = codec;
+          if (recovery.degrade_watermark > 0) {
+            const std::size_t depth = queue.size();
+            if (depth >= recovery.degrade_watermark) {
+              degraded.store(true, std::memory_order_relaxed);
+            } else if (depth <= recovery.degrade_watermark / 2) {
+              degraded.store(false, std::memory_order_relaxed);
+            }
+            if (degraded.load(std::memory_order_relaxed)) {
+              active = passthrough;
+              fc.degraded_chunks.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
           Message message;
           message.stream_id = chunk->stream_id;
           message.sequence = chunk->sequence;
-          message.body = encode_frame(*codec, chunk->payload);
+          message.body = encode_frame(*active, chunk->payload);
           raw_bytes.fetch_add(chunk->size(), std::memory_order_relaxed);
           chunks.fetch_add(1, std::memory_order_relaxed);
           if (!queue.push(std::move(message)).is_ok()) {
@@ -212,6 +321,13 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
 
   compressors.join();
   senders.join();
+  if (watchdog != nullptr) {
+    watchdog->stop();
+    if (watchdog->tripped()) {
+      // The trip explains every downstream failure; report it, not them.
+      return watchdog->trip_status();
+    }
+  }
 
   const Status first_error = errors.first();
   if (!first_error.is_ok()) {
@@ -235,7 +351,8 @@ StreamReceiver::StreamReceiver(const MachineTopology& topo, NodeConfig config)
 }
 
 Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
-                                          PlacementRecorder* recorder) {
+                                          PlacementRecorder* recorder,
+                                          FaultCounters* faults) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
 
   const GroupSpec receive = collect_group(config_, TaskType::kReceive);
@@ -243,6 +360,11 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   if (receive.count <= 0 || decompress.count <= 0) {
     return invalid_argument_error("receiver config needs receive and decompress tasks");
   }
+
+  const RecoveryConfig& recovery = config_.recovery;
+  FaultCounters scratch_counters;
+  FaultCounters& fc = faults != nullptr ? *faults : scratch_counters;
+  StreamRegistry registry;
 
   // One accepted connection per receiving thread, before the clock starts.
   std::vector<std::unique_ptr<ByteStream>> streams;
@@ -262,33 +384,140 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   std::atomic<std::uint64_t> wire_bytes{0};
   std::atomic<std::uint64_t> corrupt_frames{0};
   std::atomic<int> live_receivers{receive.count};
+  std::atomic<std::uint64_t> received_messages{0};
+
+  // Reconnect-mode shared state. Every peer ends its stream with one
+  // end-of-stream marker; the pipeline is complete when one marker per
+  // pre-established connection has arrived — whichever worker collects the
+  // last one closes the listener so workers parked in accept() exit too.
+  const int expected_eos = receive.count;
+  std::atomic<int> eos_seen{0};
+  std::atomic<bool> done{false};
+  // A re-sent in-flight message may duplicate one that did arrive (e.g. the
+  // break was reported after delivery); (stream, sequence) filters those.
+  std::mutex dedup_mu;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> delivered;
+
+  std::unique_ptr<Watchdog> watchdog;
+  if (recovery.watchdog_ms > 0) {
+    watchdog = std::make_unique<Watchdog>(
+        std::chrono::milliseconds(recovery.watchdog_ms), &registry, [&] {
+          fc.watchdog_trips.fetch_add(1, std::memory_order_relaxed);
+          done.store(true, std::memory_order_release);
+          listener.close();
+          queue.close();
+        });
+    watchdog->watch("receive", &received_messages);
+    watchdog->watch("decompress", &chunks);
+    watchdog->start();
+  }
 
   ThroughputMeter meter;
   meter.start();
 
   BusyCounter receive_busy;
   BusyCounter decompress_busy;
+  const auto on_corruption = recovery.reconnect
+                                 ? MessageDecoder::OnCorruption::kResync
+                                 : MessageDecoder::OnCorruption::kFail;
   PinnedThreadGroup receivers(
       topo_, "recv", static_cast<std::size_t>(receive.count), receive.bindings,
       [&](const PinnedThreadGroup::WorkerContext& ctx) {
-        PullSocket socket(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
-        while (true) {
-          auto message = socket.recv();
-          if (!message.ok()) {
-            // Clean end of stream is the normal exit; anything else is real.
-            if (message.status().code() != StatusCode::kUnavailable) {
-              errors.record(message.status());
+        std::unique_ptr<PullSocket> socket;
+        ByteStream* raw = nullptr;  // registry handle; owned by `socket`
+        const auto adopt = [&](std::unique_ptr<ByteStream> stream) {
+          raw = stream.get();
+          socket = std::make_unique<PullSocket>(std::move(stream), 256 * 1024,
+                                                on_corruption);
+          registry.add(raw);
+        };
+        const auto retire = [&] {
+          if (socket != nullptr) {
+            wire_bytes.fetch_add(socket->bytes_received(),
+                                 std::memory_order_relaxed);
+            fc.message_resyncs.fetch_add(socket->resyncs(),
+                                         std::memory_order_relaxed);
+            registry.remove(raw);
+            socket.reset();
+            raw = nullptr;
+          }
+        };
+        adopt(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
+        bool running = true;
+        while (running) {
+          // Drain the current connection to its end.
+          bool got_eos = false;
+          while (socket != nullptr) {
+            auto message = socket->recv();
+            if (!message.ok()) {
+              const StatusCode code = message.status().code();
+              if (recovery.reconnect &&
+                  (code == StatusCode::kUnavailable ||
+                   code == StatusCode::kDataLoss) &&
+                  !registry.cancelled()) {
+                break;  // broken connection: recycle it below
+              }
+              if (code != StatusCode::kUnavailable) {
+                errors.record(message.status());
+              }
+              running = false;
+              break;
             }
+            received_messages.fetch_add(1, std::memory_order_relaxed);
+            if (message.value().end_of_stream) {
+              got_eos = true;
+              break;
+            }
+            if (recovery.reconnect) {
+              const std::lock_guard<std::mutex> lock(dedup_mu);
+              if (!delivered
+                       .emplace(message.value().stream_id,
+                                message.value().sequence)
+                       .second) {
+                fc.duplicate_frames.fetch_add(1, std::memory_order_relaxed);
+                continue;
+              }
+            }
+            if (!queue.push(std::move(message).value()).is_ok()) {
+              running = false;
+              break;  // pipeline shutting down
+            }
+          }
+          retire();
+          if (!recovery.reconnect || done.load(std::memory_order_acquire) ||
+              registry.cancelled()) {
             break;
           }
-          if (message.value().end_of_stream) {
+          if (got_eos &&
+              eos_seen.fetch_add(1, std::memory_order_acq_rel) + 1 >=
+                  expected_eos) {
+            done.store(true, std::memory_order_release);
+            listener.close();  // wake workers parked in accept()
             break;
           }
-          if (!queue.push(std::move(message).value()).is_ok()) {
-            break;  // pipeline shutting down
+          if (!running) {
+            break;
+          }
+          // Recycle: serve the next connection (a peer's re-dial, or a later
+          // peer's stream after this one's EOS). Injected accept failures
+          // are transient — retry until the listener closes.
+          while (true) {
+            auto next = listener.accept();
+            if (next.ok()) {
+              adopt(std::move(next).value());
+              if (!got_eos) {
+                fc.connections_recycled.fetch_add(1, std::memory_order_relaxed);
+              }
+              break;
+            }
+            if (done.load(std::memory_order_acquire) || registry.cancelled() ||
+                next.status().code() != StatusCode::kUnavailable) {
+              running = false;
+              break;
+            }
           }
         }
-        wire_bytes.fetch_add(socket.bytes_received(), std::memory_order_relaxed);
+        retire();
         if (live_receivers.fetch_sub(1) == 1) {
           queue.close();
         }
@@ -299,11 +528,31 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   PinnedThreadGroup decompressors(
       topo_, "decomp", static_cast<std::size_t>(decompress.count), decompress.bindings,
       [&](const PinnedThreadGroup::WorkerContext&) {
+        int consecutive_corrupt = 0;
         while (auto message = queue.pop()) {
-          auto content = decode_frame_content(message->body);
+          bool resynced = false;
+          auto content =
+              recovery.reconnect
+                  ? decode_frame_content_resync(message->body, &resynced)
+                  : decode_frame_content(message->body);
           if (!content.ok()) {
             corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+            fc.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
+            fc.dropped_frames.fetch_add(1, std::memory_order_relaxed);
+            // Isolated corruption is dropped and counted; a run of it means
+            // the stream itself is bad — give up with the real error.
+            if (++consecutive_corrupt >= recovery.max_consecutive_corrupt) {
+              errors.record(data_loss_error(
+                  std::to_string(consecutive_corrupt) +
+                  " consecutive corrupt frames: " + content.status().message()));
+              queue.close();
+              break;
+            }
             continue;  // drop the frame; keep the stream alive
+          }
+          consecutive_corrupt = 0;
+          if (resynced) {
+            fc.frame_resyncs.fetch_add(1, std::memory_order_relaxed);
           }
           Chunk chunk;
           chunk.stream_id = message->stream_id;
@@ -319,6 +568,12 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
 
   receivers.join();
   decompressors.join();
+  if (watchdog != nullptr) {
+    watchdog->stop();
+    if (watchdog->tripped()) {
+      return watchdog->trip_status();
+    }
+  }
 
   const Status first_error = errors.first();
   if (!first_error.is_ok()) {

@@ -21,6 +21,7 @@
 #include "core/config.h"
 #include "data/chunk.h"
 #include "data/tomo.h"
+#include "metrics/fault_counters.h"
 #include "msg/socket.h"
 #include "msg/transport.h"
 
@@ -145,9 +146,15 @@ class StreamSender {
   StreamSender(const MachineTopology& topo, NodeConfig config);
 
   /// Drains `source` through the pipeline; blocks until every thread
-  /// finishes. `connect` is invoked once per sending thread.
+  /// finishes. `connect` is invoked once per sending thread — and again on
+  /// every reconnect when `config.recovery.reconnect` is on, in which case
+  /// transient dial failures are retried per `config.recovery.retry` and the
+  /// in-flight message is re-sent on the fresh connection. `faults`, when
+  /// supplied, accumulates recovery accounting (reconnects, retries,
+  /// degraded chunks, watchdog trips).
   Result<SenderStats> run(ChunkSource& source, const ConnectFn& connect,
-                          PlacementRecorder* recorder = nullptr);
+                          PlacementRecorder* recorder = nullptr,
+                          FaultCounters* faults = nullptr);
 
  private:
   const MachineTopology& topo_;
@@ -160,9 +167,16 @@ class StreamReceiver {
   StreamReceiver(const MachineTopology& topo, NodeConfig config);
 
   /// Accepts one connection per receiving thread from `listener`, then
-  /// drains them all into `sink`; blocks until every peer finishes.
+  /// drains them all into `sink`; blocks until every peer finishes. With
+  /// `config.recovery.reconnect` on, a worker whose connection breaks
+  /// returns to accept() and keeps serving re-dialed peers; the message
+  /// decoder resyncs past garbage instead of failing, and resent messages
+  /// are deduplicated by (stream, sequence). The pipeline ends once every
+  /// expected end-of-stream marker (one per receiving thread's peer) has
+  /// arrived. `faults` accumulates recovery accounting when supplied.
   Result<ReceiverStats> run(Listener& listener, ChunkSink& sink,
-                            PlacementRecorder* recorder = nullptr);
+                            PlacementRecorder* recorder = nullptr,
+                            FaultCounters* faults = nullptr);
 
  private:
   const MachineTopology& topo_;

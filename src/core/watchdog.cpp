@@ -1,0 +1,141 @@
+#include "core/watchdog.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+void StreamRegistry::add(ByteStream* stream) {
+  NS_CHECK(stream != nullptr, "StreamRegistry::add needs a stream");
+  bool already_cancelled = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) {
+      already_cancelled = true;
+    } else {
+      streams_.insert(stream);
+    }
+  }
+  if (already_cancelled) {
+    stream->cancel();
+  }
+}
+
+void StreamRegistry::remove(ByteStream* stream) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  streams_.erase(stream);
+}
+
+void StreamRegistry::cancel_all() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cancelled_.store(true, std::memory_order_release);
+  for (ByteStream* stream : streams_) {
+    stream->cancel();
+  }
+}
+
+bool StreamRegistry::cancelled() const {
+  return cancelled_.load(std::memory_order_acquire);
+}
+
+Watchdog::Watchdog(std::chrono::milliseconds deadline, StreamRegistry* registry,
+                   std::function<void()> on_trip)
+    : deadline_(deadline), registry_(registry), on_trip_(std::move(on_trip)) {
+  NS_CHECK(deadline.count() > 0, "watchdog deadline must be positive");
+}
+
+Watchdog::~Watchdog() { stop(); }
+
+void Watchdog::watch(std::string stage,
+                     const std::atomic<std::uint64_t>* progress) {
+  NS_CHECK(!thread_.joinable(), "Watchdog::watch after start");
+  NS_CHECK(progress != nullptr, "Watchdog::watch needs a counter");
+  stages_.push_back(Stage{std::move(stage), progress, 0, {}});
+}
+
+void Watchdog::start() {
+  NS_CHECK(!thread_.joinable(), "Watchdog started twice");
+  const auto now = std::chrono::steady_clock::now();
+  for (Stage& stage : stages_) {
+    stage.last_value = stage.progress->load(std::memory_order_relaxed);
+    stage.last_change = now;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+void Watchdog::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+Status Watchdog::trip_status() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return trip_status_;
+}
+
+void Watchdog::run() {
+  // Sample often enough that a trip fires within ~1.25x the deadline even
+  // when progress stopped right after a sample.
+  const auto poll = std::min<std::chrono::milliseconds>(
+      deadline_ / 4 + std::chrono::milliseconds(1),
+      std::chrono::milliseconds(250));
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (wake_.wait_for(lock, poll, [this] { return stopping_; })) {
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    bool any_advanced = false;
+    for (Stage& stage : stages_) {
+      const std::uint64_t value =
+          stage.progress->load(std::memory_order_relaxed);
+      if (value != stage.last_value) {
+        stage.last_value = value;
+        stage.last_change = now;
+        any_advanced = true;
+      }
+    }
+    if (any_advanced) {
+      continue;
+    }
+    // Trip only when *every* stage is stalled: a pipeline drains front to
+    // back, so an idle upstream stage with a busy downstream one is normal.
+    bool all_stalled = !stages_.empty();
+    std::string stalled;
+    for (const Stage& stage : stages_) {
+      if (now - stage.last_change < deadline_) {
+        all_stalled = false;
+        break;
+      }
+      if (!stalled.empty()) {
+        stalled += ", ";
+      }
+      stalled += stage.name;
+    }
+    if (!all_stalled) {
+      continue;
+    }
+    trip_status_ = deadline_exceeded_error(
+        "watchdog: no progress for " + std::to_string(deadline_.count()) +
+        "ms in stage(s): " + stalled);
+    tripped_.store(true, std::memory_order_release);
+    lock.unlock();
+    if (registry_ != nullptr) {
+      registry_->cancel_all();
+    }
+    if (on_trip_) {
+      on_trip_();
+    }
+    return;
+  }
+}
+
+}  // namespace numastream

@@ -1,0 +1,112 @@
+// Pipeline watchdog + cancellable stream registry.
+//
+// A pipeline stage blocked on a dead peer hangs forever: the sender's
+// write_all never returns, the receiver's accept never fires, and join()
+// waits on both. The watchdog turns that hang into a clean, descriptive
+// error: each stage exposes a monotonically-increasing progress counter; a
+// background thread samples them, and when no watched stage advances for a
+// full deadline it "trips" — records a DEADLINE_EXCEEDED status naming the
+// stalled stages, cancels every registered stream (unblocking the workers),
+// and runs the pipeline's teardown callback (close queues/listener).
+//
+// StreamRegistry solves the attendant lifetime problem: worker threads own
+// their streams and replace them on reconnect, while the watchdog must be
+// able to cancel them from outside. Workers add/remove raw pointers under
+// the registry lock and only destroy a stream after removing it, so
+// cancel_all() never races a destruction.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "msg/transport.h"
+
+namespace numastream {
+
+class StreamRegistry {
+ public:
+  /// Registers a live stream. If the registry was already cancelled (the
+  /// watchdog tripped while this worker was reconnecting), the stream is
+  /// cancelled immediately so the worker fails fast instead of re-hanging.
+  void add(ByteStream* stream);
+
+  /// Deregisters; the caller may destroy the stream afterwards.
+  void remove(ByteStream* stream);
+
+  /// Cancels every registered stream and latches the cancelled state.
+  void cancel_all();
+
+  [[nodiscard]] bool cancelled() const;
+
+  /// The latch as an atomic flag, for interruptible_sleep / with_retry.
+  [[nodiscard]] const std::atomic<bool>* cancel_flag() const noexcept {
+    return &cancelled_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::set<ByteStream*> streams_;
+  std::atomic<bool> cancelled_{false};
+};
+
+class Watchdog {
+ public:
+  /// `on_trip` runs once, from the watchdog thread, after the registered
+  /// streams are cancelled. Keep it cheap and non-blocking (close queues,
+  /// close a listener).
+  Watchdog(std::chrono::milliseconds deadline, StreamRegistry* registry,
+           std::function<void()> on_trip);
+
+  /// Joins the monitor thread (without tripping).
+  ~Watchdog();
+
+  /// Registers a stage's progress counter. Call before start(); the counter
+  /// must outlive the watchdog. Any monotonic "work done" figure works —
+  /// chunks, messages, bytes.
+  void watch(std::string stage, const std::atomic<std::uint64_t>* progress);
+
+  void start();
+
+  /// Stops monitoring (normal pipeline completion). Idempotent.
+  void stop();
+
+  [[nodiscard]] bool tripped() const noexcept {
+    return tripped_.load(std::memory_order_acquire);
+  }
+
+  /// The DEADLINE_EXCEEDED status naming the stalled stages (OK if the
+  /// watchdog never tripped).
+  [[nodiscard]] Status trip_status() const;
+
+ private:
+  struct Stage {
+    std::string name;
+    const std::atomic<std::uint64_t>* progress;
+    std::uint64_t last_value = 0;
+    std::chrono::steady_clock::time_point last_change;
+  };
+
+  void run();
+
+  const std::chrono::milliseconds deadline_;
+  StreamRegistry* registry_;
+  std::function<void()> on_trip_;
+  std::vector<Stage> stages_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  std::atomic<bool> tripped_{false};
+  Status trip_status_;
+  std::thread thread_;
+};
+
+}  // namespace numastream

@@ -1,0 +1,85 @@
+#include "metrics/fault_counters.h"
+
+namespace numastream {
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  std::uint64_t FaultCountersSnapshot::*field;
+};
+
+// One row per counter, in ledger order: injected faults first, then the
+// recovery actions they provoked.
+constexpr NamedCounter kCounters[] = {
+    {"injected_disconnects", &FaultCountersSnapshot::injected_disconnects},
+    {"injected_torn_writes", &FaultCountersSnapshot::injected_torn_writes},
+    {"injected_bitflips", &FaultCountersSnapshot::injected_bitflips},
+    {"injected_short_writes", &FaultCountersSnapshot::injected_short_writes},
+    {"injected_stalls", &FaultCountersSnapshot::injected_stalls},
+    {"injected_accept_failures", &FaultCountersSnapshot::injected_accept_failures},
+    {"reconnects", &FaultCountersSnapshot::reconnects},
+    {"dial_retries", &FaultCountersSnapshot::dial_retries},
+    {"connections_recycled", &FaultCountersSnapshot::connections_recycled},
+    {"message_resyncs", &FaultCountersSnapshot::message_resyncs},
+    {"frame_resyncs", &FaultCountersSnapshot::frame_resyncs},
+    {"corrupt_frames", &FaultCountersSnapshot::corrupt_frames},
+    {"dropped_frames", &FaultCountersSnapshot::dropped_frames},
+    {"duplicate_frames", &FaultCountersSnapshot::duplicate_frames},
+    {"degraded_chunks", &FaultCountersSnapshot::degraded_chunks},
+    {"watchdog_trips", &FaultCountersSnapshot::watchdog_trips},
+};
+
+}  // namespace
+
+std::string FaultCountersSnapshot::to_string() const {
+  std::string out;
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = this->*(counter.field);
+    if (value == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += counter.name;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out.empty() ? "clean" : out;
+}
+
+FaultCountersSnapshot FaultCounters::snapshot() const {
+  FaultCountersSnapshot s;
+  s.injected_disconnects = injected_disconnects.load(std::memory_order_relaxed);
+  s.injected_torn_writes = injected_torn_writes.load(std::memory_order_relaxed);
+  s.injected_bitflips = injected_bitflips.load(std::memory_order_relaxed);
+  s.injected_short_writes = injected_short_writes.load(std::memory_order_relaxed);
+  s.injected_stalls = injected_stalls.load(std::memory_order_relaxed);
+  s.injected_accept_failures =
+      injected_accept_failures.load(std::memory_order_relaxed);
+  s.reconnects = reconnects.load(std::memory_order_relaxed);
+  s.dial_retries = dial_retries.load(std::memory_order_relaxed);
+  s.connections_recycled = connections_recycled.load(std::memory_order_relaxed);
+  s.message_resyncs = message_resyncs.load(std::memory_order_relaxed);
+  s.frame_resyncs = frame_resyncs.load(std::memory_order_relaxed);
+  s.corrupt_frames = corrupt_frames.load(std::memory_order_relaxed);
+  s.dropped_frames = dropped_frames.load(std::memory_order_relaxed);
+  s.duplicate_frames = duplicate_frames.load(std::memory_order_relaxed);
+  s.degraded_chunks = degraded_chunks.load(std::memory_order_relaxed);
+  s.watchdog_trips = watchdog_trips.load(std::memory_order_relaxed);
+  return s;
+}
+
+TextTable fault_table(const FaultCountersSnapshot& snapshot, bool nonzero_only) {
+  TextTable table({"counter", "count"});
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = snapshot.*(counter.field);
+    if (nonzero_only && value == 0) {
+      continue;
+    }
+    table.add_row({counter.name, std::to_string(value)});
+  }
+  return table;
+}
+
+}  // namespace numastream

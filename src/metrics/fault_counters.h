@@ -1,0 +1,82 @@
+// FaultCounters: one pipeline's fault-injection and recovery ledger.
+//
+// Every fault the chaos layer injects (msg/faulty.h) and every recovery
+// action the pipeline takes (core/pipeline.cpp) increments exactly one
+// counter here, so a fault-tolerance run is fully accountable: chunks are
+// either delivered, or their loss shows up in a counter — never silent.
+// Counters are plain relaxed atomics (hot paths touch them at chunk
+// granularity, ~11 MiB apart); snapshot() yields a comparable plain struct,
+// and fault_table() renders one through the shared TextTable formatter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of FaultCounters, comparable and printable. Two runs of
+/// the same seeded FaultPlan must produce equal snapshots — the determinism
+/// property tests/fault_test.cpp asserts.
+struct FaultCountersSnapshot {
+  // Faults injected by the chaos transport layer.
+  std::uint64_t injected_disconnects = 0;   ///< writes failed, nothing delivered
+  std::uint64_t injected_torn_writes = 0;   ///< corrupted prefix delivered, then failed
+  std::uint64_t injected_bitflips = 0;      ///< silent single-bit payload corruption
+  std::uint64_t injected_short_writes = 0;  ///< write delivered in fragments
+  std::uint64_t injected_stalls = 0;        ///< write delayed by the injector
+  std::uint64_t injected_accept_failures = 0;
+
+  // Recovery actions taken by the pipeline.
+  std::uint64_t reconnects = 0;             ///< sender re-dialed a dead connection
+  std::uint64_t dial_retries = 0;           ///< backoff retries inside dials
+  std::uint64_t connections_recycled = 0;   ///< receiver replaced a dead connection
+  std::uint64_t message_resyncs = 0;        ///< decoder re-locked onto NSM1 magic
+  std::uint64_t frame_resyncs = 0;          ///< frame recovered at a later NSF1 magic
+  std::uint64_t corrupt_frames = 0;         ///< frames failing checksum/decode
+  std::uint64_t dropped_frames = 0;         ///< corrupt frames not recovered by resync
+  std::uint64_t duplicate_frames = 0;       ///< resent frames deduplicated by sequence
+  std::uint64_t degraded_chunks = 0;        ///< chunks sent passthrough under backlog
+  std::uint64_t watchdog_trips = 0;         ///< stalled stages forcibly cancelled
+
+  friend bool operator==(const FaultCountersSnapshot&,
+                         const FaultCountersSnapshot&) = default;
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by a pipeline's workers and its fault
+/// injectors. All increments are relaxed: counters are statistics, not
+/// synchronization.
+class FaultCounters {
+ public:
+  std::atomic<std::uint64_t> injected_disconnects{0};
+  std::atomic<std::uint64_t> injected_torn_writes{0};
+  std::atomic<std::uint64_t> injected_bitflips{0};
+  std::atomic<std::uint64_t> injected_short_writes{0};
+  std::atomic<std::uint64_t> injected_stalls{0};
+  std::atomic<std::uint64_t> injected_accept_failures{0};
+
+  std::atomic<std::uint64_t> reconnects{0};
+  std::atomic<std::uint64_t> dial_retries{0};
+  std::atomic<std::uint64_t> connections_recycled{0};
+  std::atomic<std::uint64_t> message_resyncs{0};
+  std::atomic<std::uint64_t> frame_resyncs{0};
+  std::atomic<std::uint64_t> corrupt_frames{0};
+  std::atomic<std::uint64_t> dropped_frames{0};
+  std::atomic<std::uint64_t> duplicate_frames{0};
+  std::atomic<std::uint64_t> degraded_chunks{0};
+  std::atomic<std::uint64_t> watchdog_trips{0};
+
+  [[nodiscard]] FaultCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so healthy runs print short.
+TextTable fault_table(const FaultCountersSnapshot& snapshot,
+                      bool nonzero_only = false);
+
+}  // namespace numastream

@@ -1,0 +1,245 @@
+#include "msg/faulty.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace numastream {
+namespace {
+
+void stall_for(std::uint64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace
+
+Status FaultPlan::validate() const {
+  const double probabilities[] = {disconnect_per_write, torn_write_per_write,
+                                  bitflip_per_write,    short_write_per_write,
+                                  stall_per_write,      accept_failure};
+  for (const double p : probabilities) {
+    if (p < 0.0 || p > 1.0) {
+      return invalid_argument_error("fault plan: probability outside [0, 1]");
+    }
+  }
+  const double write_sum = disconnect_per_write + torn_write_per_write +
+                           bitflip_per_write + short_write_per_write +
+                           stall_per_write;
+  if (write_sum > 1.0) {
+    return invalid_argument_error("fault plan: per-write probabilities sum to " +
+                                  std::to_string(write_sum) + " > 1");
+  }
+  return Status::ok();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, FaultCounters* counters)
+    : plan_(plan),
+      counters_(counters),
+      accept_rng_(plan.seed ^ 0xACCE57ACCE57ULL) {
+  NS_CHECK(plan.validate().is_ok(), "invalid FaultPlan");
+}
+
+std::unique_ptr<ByteStream> FaultInjector::wrap(std::unique_ptr<ByteStream> stream) {
+  NS_CHECK(stream != nullptr, "FaultInjector::wrap needs a stream");
+  const std::uint64_t index =
+      next_stream_index_.fetch_add(1, std::memory_order_relaxed);
+  return std::make_unique<FaultyByteStream>(std::move(stream), *this, index);
+}
+
+bool FaultInjector::roll_accept_failure() {
+  if (plan_.accept_failure <= 0.0) {
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(accept_mu_);
+  if (accept_rng_.next_double() >= plan_.accept_failure) {
+    return false;
+  }
+  if (!take_fault_budget()) {
+    return false;
+  }
+  if (counters_ != nullptr) {
+    counters_->injected_accept_failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return true;
+}
+
+bool FaultInjector::take_fault_budget() {
+  // Optimistic increment with rollback keeps the hot path a single RMW.
+  const std::uint64_t taken =
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+  if (taken >= plan_.max_faults) {
+    faults_injected_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+FaultyByteStream::FaultyByteStream(std::unique_ptr<ByteStream> inner,
+                                   FaultInjector& injector,
+                                   std::uint64_t stream_index)
+    : inner_(std::move(inner)),
+      injector_(injector),
+      // Per-connection seed: connection k misbehaves the same way in every
+      // run, independent of which thread or dial attempt produced it.
+      rng_(injector.plan().seed ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1))) {
+  NS_CHECK(inner_ != nullptr, "FaultyByteStream needs a stream");
+}
+
+Status FaultyByteStream::write_all(ByteSpan data) {
+  if (broken_) {
+    return unavailable_error("fault: connection broken by injected fault");
+  }
+  const FaultPlan& plan = injector_.plan();
+  FaultKind fault = FaultKind::kNone;
+  if (written_ >= plan.fault_free_prefix_bytes && !data.empty()) {
+    fault = roll();
+    if (fault != FaultKind::kNone && !injector_.take_fault_budget()) {
+      fault = FaultKind::kNone;
+    }
+  }
+  written_ += data.size();
+  FaultCounters* counters = injector_.counters();
+  switch (fault) {
+    case FaultKind::kNone:
+      return inner_->write_all(data);
+
+    case FaultKind::kDisconnect:
+      if (counters != nullptr) {
+        counters->injected_disconnects.fetch_add(1, std::memory_order_relaxed);
+      }
+      return break_connection();
+
+    case FaultKind::kTornWrite: {
+      if (counters != nullptr) {
+        counters->injected_torn_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Deliver a corrupted prefix — what a peer actually observes when a
+      // connection resets mid-message — then break.
+      const std::size_t prefix_len = rng_.next_below(data.size());
+      if (prefix_len > 0) {
+        Bytes prefix(data.begin(),
+                     data.begin() + static_cast<std::ptrdiff_t>(prefix_len));
+        flip_random_bit(prefix);
+        (void)inner_->write_all(prefix);
+      }
+      return break_connection();
+    }
+
+    case FaultKind::kBitFlip: {
+      if (counters != nullptr) {
+        counters->injected_bitflips.fetch_add(1, std::memory_order_relaxed);
+      }
+      Bytes corrupted(data.begin(), data.end());
+      flip_random_bit(corrupted);
+      return inner_->write_all(corrupted);
+    }
+
+    case FaultKind::kShortWrite: {
+      if (counters != nullptr) {
+        counters->injected_short_writes.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::size_t cut = 1 + rng_.next_below(data.size());
+      NS_RETURN_IF_ERROR(inner_->write_all(data.subspan(0, cut)));
+      stall_for(plan.stall_micros);
+      if (cut < data.size()) {
+        return inner_->write_all(data.subspan(cut));
+      }
+      return Status::ok();
+    }
+
+    case FaultKind::kStall:
+      if (counters != nullptr) {
+        counters->injected_stalls.fetch_add(1, std::memory_order_relaxed);
+      }
+      stall_for(plan.stall_micros);
+      return inner_->write_all(data);
+  }
+  return internal_error("unreachable fault kind");
+}
+
+Result<std::size_t> FaultyByteStream::read_some(MutableByteSpan out) {
+  return inner_->read_some(out);
+}
+
+void FaultyByteStream::shutdown_write() {
+  if (!broken_) {
+    inner_->shutdown_write();
+  }
+}
+
+void FaultyByteStream::cancel() noexcept { inner_->cancel(); }
+
+/// One roll decides the write's fate: cumulative probability bands keep it
+/// to a single RNG draw and guarantee at most one fault per write.
+FaultyByteStream::FaultKind FaultyByteStream::roll() {
+  const FaultPlan& plan = injector_.plan();
+  const double r = rng_.next_double();
+  double acc = plan.disconnect_per_write;
+  if (r < acc) {
+    return FaultKind::kDisconnect;
+  }
+  acc += plan.torn_write_per_write;
+  if (r < acc) {
+    return FaultKind::kTornWrite;
+  }
+  acc += plan.bitflip_per_write;
+  if (r < acc) {
+    return FaultKind::kBitFlip;
+  }
+  acc += plan.short_write_per_write;
+  if (r < acc) {
+    return FaultKind::kShortWrite;
+  }
+  acc += plan.stall_per_write;
+  if (r < acc) {
+    return FaultKind::kStall;
+  }
+  return FaultKind::kNone;
+}
+
+void FaultyByteStream::flip_random_bit(Bytes& bytes) {
+  if (bytes.empty()) {
+    return;
+  }
+  const std::uint64_t bit = rng_.next_below(bytes.size() * 8);
+  bytes[bit / 8] ^= static_cast<std::uint8_t>(1U << (bit % 8));
+}
+
+Status FaultyByteStream::break_connection() {
+  broken_ = true;
+  // EOF the peer so its reader observes the break instead of blocking.
+  inner_->shutdown_write();
+  return unavailable_error("fault: injected disconnect");
+}
+
+FaultyListener::FaultyListener(Listener& inner, FaultInjector& injector)
+    : inner_(inner), injector_(injector) {}
+
+Result<std::unique_ptr<ByteStream>> FaultyListener::accept() {
+  if (injector_.roll_accept_failure()) {
+    return unavailable_error("fault: injected accept failure");
+  }
+  auto stream = inner_.accept();
+  if (!stream.ok()) {
+    return stream.status();
+  }
+  return injector_.wrap(std::move(stream).value());
+}
+
+void FaultyListener::close() { inner_.close(); }
+
+DialFn faulty_dialer(DialFn inner, FaultInjector& injector) {
+  return [inner = std::move(inner), &injector]() -> Result<std::unique_ptr<ByteStream>> {
+    auto stream = inner();
+    if (!stream.ok()) {
+      return stream.status();
+    }
+    return injector.wrap(std::move(stream).value());
+  };
+}
+
+}  // namespace numastream

@@ -1,0 +1,155 @@
+// Fault-injection transport decorators.
+//
+// Production streams between facilities see link flaps, peer restarts and
+// corrupted frames routinely; nothing in a clean CI box produces those
+// conditions. FaultyByteStream / FaultyListener wrap any ByteStream /
+// Listener and inject faults according to a seeded FaultPlan, so the exact
+// same chaos runs over InprocTransport in tests and TcpTransport in the
+// examples — and, because every random decision comes from a per-connection
+// deterministic RNG (common/rng.h), the same seed replays the identical
+// fault sequence on every run.
+//
+// Fault model (decided independently per write_all call, in this order):
+//   disconnect  - the connection breaks cleanly: nothing is delivered, the
+//                 write and all later ones fail UNAVAILABLE, the peer sees
+//                 EOF. Models a reset between messages.
+//   torn write  - a corrupted, truncated prefix is delivered, then the
+//                 connection breaks as above. Models a reset mid-message:
+//                 the peer receives garbage it must resync past.
+//   bit flip    - one random bit of the write is inverted and the write
+//                 "succeeds". Models silent corruption below the transport's
+//                 own checksums; only the NSM1/NSF1 checksums catch it.
+//   short write - the write is delivered in two fragments with a stall
+//                 between them. Exercises partial-read reassembly paths.
+//   stall       - the write is delayed by `stall_micros` before delivery.
+//
+// Reads are passed through untouched: injecting on exactly one side keeps a
+// fault attributable, and a wrapped peer covers the read direction.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/rng.h"
+#include "metrics/fault_counters.h"
+#include "msg/transport.h"
+
+namespace numastream {
+
+/// What to inject and how often. All probabilities are per-write (or
+/// per-accept) in [0, 1]; they are evaluated in the order documented above,
+/// at most one fault fires per call.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  double disconnect_per_write = 0;
+  double torn_write_per_write = 0;
+  double bitflip_per_write = 0;
+  double short_write_per_write = 0;
+  double stall_per_write = 0;
+  /// Delay injected by stalls and between short-write fragments.
+  std::uint64_t stall_micros = 1000;
+
+  /// FaultyListener: probability an accept() fails once with UNAVAILABLE
+  /// (the connection attempt is consumed, as with a dropped SYN).
+  double accept_failure = 0;
+
+  /// Never fault the first N bytes written on each connection, so a
+  /// connection always makes some progress before breaking (a plan that
+  /// kills every connection instantly tests the dialer, not the pipeline).
+  std::uint64_t fault_free_prefix_bytes = 0;
+
+  /// Hard cap on faults injected across all streams sharing one injector
+  /// (~0ULL = unlimited). Lets a test script a bounded burst of chaos.
+  std::uint64_t max_faults = ~std::uint64_t{0};
+
+  [[nodiscard]] Status validate() const;
+};
+
+/// Shared state for one chaos domain: hands out per-connection RNG seeds and
+/// enforces the plan-wide fault budget. Connection indices are assigned in
+/// wrap() call order, so for reproducible runs use one injector per side
+/// (dialer vs listener, with distinct seeds): a shared injector's indices
+/// depend on how dials interleave with accepts across threads.
+class FaultInjector {
+ public:
+  /// `counters` may be null (faults are then injected but not accounted).
+  FaultInjector(FaultPlan plan, FaultCounters* counters);
+
+  /// Wraps a stream; the wrapper owns it. Each call binds the next
+  /// connection index, so connection k misbehaves identically across runs
+  /// as long as connections are established in a deterministic order.
+  std::unique_ptr<ByteStream> wrap(std::unique_ptr<ByteStream> stream);
+
+  /// Decides an accept-failure roll (used by FaultyListener).
+  bool roll_accept_failure();
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] FaultCounters* counters() const noexcept { return counters_; }
+
+  /// True while the plan's fault budget has room; consumes one unit.
+  bool take_fault_budget();
+
+ private:
+  FaultPlan plan_;
+  FaultCounters* counters_;
+  std::atomic<std::uint64_t> next_stream_index_{0};
+  std::atomic<std::uint64_t> faults_injected_{0};
+  Rng accept_rng_;
+  std::mutex accept_mu_;
+};
+
+/// The write-side stream decorator (fault model documented at the top of
+/// this header). Normally created through FaultInjector::wrap(), which
+/// assigns consecutive connection indices; construct directly to pin a
+/// specific index in a unit test. One stream belongs to one thread — the
+/// fault RNG is unsynchronized by design.
+class FaultyByteStream final : public ByteStream {
+ public:
+  FaultyByteStream(std::unique_ptr<ByteStream> inner, FaultInjector& injector,
+                   std::uint64_t stream_index);
+
+  Status write_all(ByteSpan data) override;
+  Result<std::size_t> read_some(MutableByteSpan out) override;
+  void shutdown_write() override;
+  void cancel() noexcept override;
+
+ private:
+  enum class FaultKind { kNone, kDisconnect, kTornWrite, kBitFlip, kShortWrite, kStall };
+
+  FaultKind roll();
+  void flip_random_bit(Bytes& bytes);
+  Status break_connection();
+
+  std::unique_ptr<ByteStream> inner_;
+  FaultInjector& injector_;
+  Rng rng_;
+  std::uint64_t written_ = 0;
+  bool broken_ = false;
+};
+
+/// Listener decorator: optionally fails accepts, and wraps every accepted
+/// stream in the injector's FaultyByteStream. The inner listener is borrowed
+/// and must outlive this object.
+class FaultyListener final : public Listener {
+ public:
+  FaultyListener(Listener& inner, FaultInjector& injector);
+
+  Result<std::unique_ptr<ByteStream>> accept() override;
+  void close() override;
+
+ private:
+  Listener& inner_;
+  FaultInjector& injector_;
+};
+
+/// Decorates a dial function so every connection it establishes is
+/// fault-injected. The injector is borrowed and must outlive the returned
+/// function and every stream it produces.
+using DialFn = std::function<Result<std::unique_ptr<ByteStream>>()>;
+DialFn faulty_dialer(DialFn inner, FaultInjector& injector);
+
+}  // namespace numastream

@@ -18,14 +18,18 @@ struct Channel {
   const std::size_t capacity;
   bool write_closed = false;  // writer called shutdown_write (clean EOF)
   bool reader_gone = false;   // reading endpoint destroyed (writes fail)
+  bool aborted = false;       // cancel(): both directions fail promptly
 
   Status write_all(ByteSpan data) {
     std::size_t sent = 0;
     std::unique_lock<std::mutex> lock(mu);
     while (sent < data.size()) {
       writable.wait(lock, [&] {
-        return reader_gone || write_closed || bytes.size() < capacity;
+        return aborted || reader_gone || write_closed || bytes.size() < capacity;
       });
+      if (aborted) {
+        return unavailable_error("inproc: stream canceled");
+      }
       if (reader_gone) {
         return unavailable_error("inproc: peer endpoint destroyed");
       }
@@ -44,7 +48,10 @@ struct Channel {
 
   Result<std::size_t> read_some(MutableByteSpan out) {
     std::unique_lock<std::mutex> lock(mu);
-    readable.wait(lock, [&] { return write_closed || !bytes.empty(); });
+    readable.wait(lock, [&] { return aborted || write_closed || !bytes.empty(); });
+    if (aborted) {
+      return unavailable_error("inproc: stream canceled");
+    }
     if (bytes.empty()) {
       return std::size_t{0};  // clean EOF
     }
@@ -69,6 +76,13 @@ struct Channel {
     reader_gone = true;
     writable.notify_all();
   }
+
+  void abort() {
+    const std::lock_guard<std::mutex> lock(mu);
+    aborted = true;
+    readable.notify_all();
+    writable.notify_all();
+  }
 };
 
 // An endpoint writes to `tx` and reads from `rx`.
@@ -87,6 +101,10 @@ class InprocStream final : public ByteStream {
     return rx_->read_some(out);
   }
   void shutdown_write() override { tx_->shutdown_write(); }
+  void cancel() noexcept override {
+    tx_->abort();
+    rx_->abort();
+  }
 
  private:
   std::shared_ptr<Channel> tx_;

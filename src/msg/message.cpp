@@ -1,6 +1,8 @@
 #include "msg/message.h"
 
+#include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "codec/xxhash.h"
 
@@ -33,48 +35,94 @@ void MessageDecoder::feed(ByteSpan data) {
 }
 
 Result<Message> MessageDecoder::next() {
-  if (corrupt_) {
-    return data_loss_error("message stream previously corrupt");
-  }
-  const std::size_t available = buffer_.size() - consumed_;
-  if (available < kMessageHeaderSize) {
-    return unavailable_error("need more bytes for header");
-  }
-  const std::uint8_t* header = buffer_.data() + consumed_;
-  const std::uint32_t magic = load_le32(header);
-  if (magic != kMessageMagic) {
-    corrupt_ = true;
-    return data_loss_error("message: bad magic " +
-                           hex_preview(ByteSpan(header, 4)));
-  }
-  const std::uint16_t flags = load_le16(header + 16);
-  const std::uint16_t reserved = load_le16(header + 18);
-  const std::uint64_t body_size = load_le64(header + 20);
-  if ((flags & ~kMessageFlagEndOfStream) != 0 || reserved != 0) {
-    corrupt_ = true;
-    return data_loss_error("message: unknown flags");
-  }
-  if (body_size > kMaxMessageBody) {
-    corrupt_ = true;
-    return data_loss_error("message: body size " + std::to_string(body_size) +
-                           " exceeds limit");
-  }
-  if (available < kMessageHeaderSize + body_size) {
-    return unavailable_error("need more bytes for body");
-  }
+  while (true) {
+    if (corrupt_) {
+      return data_loss_error("message stream previously corrupt");
+    }
+    const std::size_t available = buffer_.size() - consumed_;
+    if (available < kMessageHeaderSize) {
+      return unavailable_error("need more bytes for header");
+    }
+    const std::uint8_t* header = buffer_.data() + consumed_;
 
-  Message message;
-  message.stream_id = load_le32(header + 4);
-  message.sequence = load_le64(header + 8);
-  message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
-  message.body.assign(header + kMessageHeaderSize,
-                      header + kMessageHeaderSize + body_size);
-  if (xxhash32(message.body) != load_le32(header + 28)) {
-    corrupt_ = true;
-    return data_loss_error("message: body checksum mismatch");
+    // On any violation: sticky failure (kFail) or skip to the next magic and
+    // try again (kResync).
+    const auto corruption = [&](std::string why) -> std::optional<Status> {
+      if (on_corruption_ == OnCorruption::kFail) {
+        corrupt_ = true;
+        return data_loss_error(std::move(why));
+      }
+      if (!resync()) {
+        return unavailable_error("resyncing: need more bytes");
+      }
+      return std::nullopt;  // re-locked; caller retries the parse
+    };
+
+    const std::uint32_t magic = load_le32(header);
+    if (magic != kMessageMagic) {
+      if (auto st = corruption("message: bad magic " +
+                               hex_preview(ByteSpan(header, 4)))) {
+        return *st;
+      }
+      continue;
+    }
+    const std::uint16_t flags = load_le16(header + 16);
+    const std::uint16_t reserved = load_le16(header + 18);
+    const std::uint64_t body_size = load_le64(header + 20);
+    if ((flags & ~kMessageFlagEndOfStream) != 0 || reserved != 0) {
+      if (auto st = corruption("message: unknown flags")) {
+        return *st;
+      }
+      continue;
+    }
+    if (body_size > kMaxMessageBody) {
+      if (auto st = corruption("message: body size " + std::to_string(body_size) +
+                               " exceeds limit")) {
+        return *st;
+      }
+      continue;
+    }
+    if (available < kMessageHeaderSize + body_size) {
+      return unavailable_error("need more bytes for body");
+    }
+
+    Message message;
+    message.stream_id = load_le32(header + 4);
+    message.sequence = load_le64(header + 8);
+    message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
+    message.body.assign(header + kMessageHeaderSize,
+                        header + kMessageHeaderSize + body_size);
+    if (xxhash32(message.body) != load_le32(header + 28)) {
+      if (auto st = corruption("message: body checksum mismatch")) {
+        return *st;
+      }
+      continue;
+    }
+    consumed_ += kMessageHeaderSize + body_size;
+    return message;
   }
-  consumed_ += kMessageHeaderSize + body_size;
-  return message;
+}
+
+bool MessageDecoder::resync() {
+  // Hunt for the next "NSM1" magic strictly past the corrupt header byte.
+  std::uint8_t magic_bytes[4];
+  store_le32(magic_bytes, kMessageMagic);
+  for (std::size_t pos = consumed_ + 1; pos + 4 <= buffer_.size(); ++pos) {
+    if (std::memcmp(buffer_.data() + pos, magic_bytes, 4) == 0) {
+      skipped_bytes_ += pos - consumed_;
+      consumed_ = pos;
+      ++resyncs_;
+      return true;
+    }
+  }
+  // No magic in the buffer: discard everything except a tail short enough to
+  // be a magic prefix still awaiting its remaining bytes.
+  const std::size_t keep_from =
+      buffer_.size() >= 3 ? buffer_.size() - 3 : buffer_.size();
+  const std::size_t new_consumed = std::max(consumed_ + 1, keep_from);
+  skipped_bytes_ += std::min(new_consumed, buffer_.size()) - consumed_;
+  consumed_ = std::min(new_consumed, buffer_.size());
+  return false;
 }
 
 }  // namespace numastream

@@ -53,25 +53,50 @@ struct Message {
 Bytes encode_message(const Message& message);
 
 /// Incremental decoder: feed() arbitrary byte slices as they arrive from a
-/// stream; next() yields complete, checksum-verified messages. Any framing
-/// violation is sticky — the connection is unusable after DATA_LOSS.
+/// stream; next() yields complete, checksum-verified messages.
+///
+/// Corruption handling is a policy choice:
+///   kFail   - any framing violation is sticky; the connection is unusable
+///             after DATA_LOSS (the strict default — a corrupt peer is cut).
+///   kResync - the decoder skips forward to the next "NSM1" magic and
+///             re-locks, so a single flipped bit costs one message, not the
+///             connection. Skipped bytes and re-locks are counted for the
+///             pipeline's FaultCounters.
 class MessageDecoder {
  public:
+  enum class OnCorruption { kFail, kResync };
+
+  explicit MessageDecoder(OnCorruption on_corruption = OnCorruption::kFail)
+      : on_corruption_(on_corruption) {}
+
   /// Appends received bytes to the internal reassembly buffer.
   void feed(ByteSpan data);
 
   /// Returns the next complete message, or:
   ///   UNAVAILABLE - need more bytes (not an error; keep feeding),
-  ///   DATA_LOSS   - stream corrupt (sticky).
+  ///   DATA_LOSS   - stream corrupt (sticky; kFail mode only).
   Result<Message> next();
 
   /// Bytes currently buffered awaiting completion.
   [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
 
+  /// Times the decoder re-locked onto a magic after corruption (kResync).
+  [[nodiscard]] std::uint64_t resyncs() const noexcept { return resyncs_; }
+
+  /// Bytes discarded while hunting for the next magic (kResync).
+  [[nodiscard]] std::uint64_t skipped_bytes() const noexcept { return skipped_bytes_; }
+
  private:
+  /// Advances past corrupt bytes to the next plausible header; returns false
+  /// when no magic remains in the buffer (more input needed).
+  bool resync();
+
   Bytes buffer_;
   std::size_t consumed_ = 0;
   bool corrupt_ = false;
+  OnCorruption on_corruption_ = OnCorruption::kFail;
+  std::uint64_t resyncs_ = 0;
+  std::uint64_t skipped_bytes_ = 0;
 };
 
 }  // namespace numastream

@@ -26,8 +26,9 @@ Status PushSocket::finish(std::uint32_t stream_id) {
   return status;
 }
 
-PullSocket::PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer)
-    : stream_(std::move(stream)), read_buffer_(read_buffer) {
+PullSocket::PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer,
+                       MessageDecoder::OnCorruption on_corruption)
+    : stream_(std::move(stream)), decoder_(on_corruption), read_buffer_(read_buffer) {
   NS_CHECK(stream_ != nullptr, "PullSocket needs a stream");
   NS_CHECK(read_buffer > 0, "read buffer must be non-empty");
 }

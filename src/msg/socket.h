@@ -33,7 +33,13 @@ class PushSocket {
 
 class PullSocket {
  public:
-  explicit PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer = 256 * 1024);
+  /// `on_corruption` selects the decoder's corruption policy: the strict
+  /// default cuts the connection on any framing violation; kResync re-locks
+  /// onto the next message magic so a hardened receiver survives bit-flips
+  /// at the cost of the corrupted message (see msg/message.h).
+  explicit PullSocket(
+      std::unique_ptr<ByteStream> stream, std::size_t read_buffer = 256 * 1024,
+      MessageDecoder::OnCorruption on_corruption = MessageDecoder::OnCorruption::kFail);
 
   /// Receives the next message (blocking).
   ///   UNAVAILABLE - clean end of stream (peer finished or disconnected
@@ -45,6 +51,14 @@ class PullSocket {
 
   /// Bytes pulled so far, including headers.
   [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }
+
+  /// Decoder re-locks after corruption (nonzero only in kResync mode).
+  [[nodiscard]] std::uint64_t resyncs() const noexcept { return decoder_.resyncs(); }
+
+  /// Bytes discarded while resyncing.
+  [[nodiscard]] std::uint64_t skipped_bytes() const noexcept {
+    return decoder_.skipped_bytes();
+  }
 
  private:
   std::unique_ptr<ByteStream> stream_;

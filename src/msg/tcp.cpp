@@ -59,6 +59,10 @@ class TcpStream final : public ByteStream {
 
   void shutdown_write() override { ::shutdown(fd_, SHUT_WR); }
 
+  // shutdown(2) on both directions unblocks threads parked in send/recv on
+  // this fd; the fd itself is released by the destructor as usual.
+  void cancel() noexcept override { ::shutdown(fd_, SHUT_RDWR); }
+
  private:
   int fd_;
 };

@@ -30,6 +30,12 @@ class ByteStream {
   /// Closes the write direction; the peer's read_some eventually returns 0.
   /// Reading may continue. Idempotent.
   virtual void shutdown_write() = 0;
+
+  /// Aborts the stream from any thread: blocked and future reads/writes
+  /// return promptly (UNAVAILABLE or EOF). The watchdog uses this to turn a
+  /// pipeline stuck on a dead peer into a clean timed-out error. Idempotent;
+  /// default is a no-op for transports without remote cancellation.
+  virtual void cancel() noexcept {}
 };
 
 /// Blocking helper: fills `out` completely, or reports why it could not.

@@ -1,0 +1,767 @@
+// Fault-tolerance tests: the retry/backoff engine, the fault-injection
+// transport decorators, decoder/frame resynchronization, and the hardened
+// pipeline end to end — chaos over inproc with reconnect, degradation under
+// backlog, and the watchdog converting hangs into clean timed-out errors.
+//
+// Everything here is deterministic: every fault comes from a seeded
+// FaultPlan, so a failing run replays bit-identically under a debugger.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "codec/frame.h"
+#include "codec/xxhash.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/watchdog.h"
+#include "metrics/fault_counters.h"
+#include "msg/faulty.h"
+#include "msg/inproc.h"
+#include "msg/socket.h"
+#include "topo/discover.h"
+
+namespace numastream {
+namespace {
+
+MachineTopology host_topology() {
+  auto topo = discover_topology();
+  NS_CHECK(topo.ok(), "fault tests need a discoverable host");
+  return std::move(topo).value();
+}
+
+Bytes pattern_payload(std::uint64_t sequence, std::size_t size) {
+  Bytes payload(size);
+  Rng rng(sequence * 0x9E3779B97F4A7C15ULL + 1);
+  for (auto& b : payload) {
+    b = static_cast<std::uint8_t>(rng.next_u64());
+  }
+  return payload;
+}
+
+/// Serves `count` deterministic chunks whose contents depend only on the
+/// sequence number, so any receiver can verify payloads independently.
+class PatternSource final : public ChunkSource {
+ public:
+  PatternSource(std::uint32_t stream_id, std::uint64_t count, std::size_t size)
+      : stream_id_(stream_id), count_(count), size_(size) {}
+
+  std::optional<Chunk> next() override {
+    const std::uint64_t index = issued_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= count_) {
+      return std::nullopt;
+    }
+    Chunk chunk;
+    chunk.stream_id = stream_id_;
+    chunk.sequence = index;
+    chunk.payload = pattern_payload(index, size_);
+    return chunk;
+  }
+
+ private:
+  std::uint32_t stream_id_;
+  std::uint64_t count_;
+  std::size_t size_;
+  std::atomic<std::uint64_t> issued_{0};
+};
+
+/// Records a content hash per (stream, sequence) and counts re-deliveries.
+class VerifySink final : public ChunkSink {
+ public:
+  void deliver(Chunk chunk) override {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, fresh] = hashes_.emplace(
+        std::make_pair(chunk.stream_id, chunk.sequence), xxhash32(chunk.payload));
+    (void)it;
+    if (!fresh) {
+      ++duplicates_;
+    }
+  }
+
+  [[nodiscard]] std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t>
+  hashes() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return hashes_;
+  }
+
+  [[nodiscard]] std::uint64_t duplicates() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return duplicates_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> hashes_;
+  std::uint64_t duplicates_ = 0;
+};
+
+NodeConfig sender_config(int compress, int send) {
+  NodeConfig config;
+  config.node_name = "ftest-sender";
+  config.role = NodeRole::kSender;
+  config.tasks = {
+      TaskGroupConfig{.type = TaskType::kCompress, .count = compress},
+      TaskGroupConfig{.type = TaskType::kSend, .count = send},
+  };
+  return config;
+}
+
+NodeConfig receiver_config(int receive, int decompress) {
+  NodeConfig config;
+  config.node_name = "ftest-receiver";
+  config.role = NodeRole::kReceiver;
+  config.tasks = {
+      TaskGroupConfig{.type = TaskType::kReceive, .count = receive},
+      TaskGroupConfig{.type = TaskType::kDecompress, .count = decompress},
+  };
+  return config;
+}
+
+RetryPolicy fast_retry() {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_us = 100;
+  policy.max_backoff_us = 5000;
+  return policy;
+}
+
+// ------------------------------------------------------------ retry/backoff
+
+TEST(BackoffTest, ScheduleGrowsCapsAndExhausts) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_us = 100;
+  policy.max_backoff_us = 1000;
+  policy.multiplier = 10.0;
+  policy.jitter = 0.0;
+  Backoff backoff(policy, 1);
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(100));
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(1000));  // capped
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(1000));
+  EXPECT_FALSE(backoff.next_delay().has_value());  // 4 attempts = 3 retries
+  EXPECT_EQ(backoff.retries(), 3);
+  backoff.reset();
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(100));
+}
+
+TEST(BackoffTest, JitterOnlyShortensTheWait) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_us = 1000;
+  policy.max_backoff_us = 1000;
+  policy.multiplier = 1.0;
+  policy.jitter = 0.5;
+  Backoff backoff(policy, 7);
+  for (int i = 0; i < 50; ++i) {
+    const auto delay = backoff.next_delay();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_LE(delay->count(), 1000);
+    EXPECT_GE(delay->count(), 500);  // jitter fraction 0.5
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  const RetryPolicy policy;  // defaults include jitter
+  Backoff a(policy, 99);
+  Backoff b(policy, 99);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.next_delay(), b.next_delay());
+  }
+}
+
+TEST(RetryPolicyTest, ValidateRejectsBadValues) {
+  RetryPolicy policy;
+  EXPECT_TRUE(policy.validate().is_ok());
+  policy.max_attempts = 0;
+  EXPECT_FALSE(policy.validate().is_ok());
+  policy = RetryPolicy{};
+  policy.multiplier = 0.5;
+  EXPECT_FALSE(policy.validate().is_ok());
+  policy = RetryPolicy{};
+  policy.jitter = 1.5;
+  EXPECT_FALSE(policy.validate().is_ok());
+  policy = RetryPolicy{};
+  policy.max_backoff_us = policy.initial_backoff_us - 1;
+  EXPECT_FALSE(policy.validate().is_ok());
+}
+
+TEST(WithRetryTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy = fast_retry();
+  int calls = 0;
+  std::atomic<std::uint64_t> retries{0};
+  auto result = with_retry(
+      policy, 1,
+      [&]() -> Result<int> {
+        if (++calls < 3) {
+          return unavailable_error("flap");
+        }
+        return 7;
+      },
+      &retries);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 7);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries.load(), 2U);
+}
+
+TEST(WithRetryTest, NonRetryableFailsImmediately) {
+  int calls = 0;
+  auto result = with_retry(fast_retry(), 1, [&]() -> Result<int> {
+    ++calls;
+    return data_loss_error("corrupt");
+  });
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(WithRetryTest, ExhaustsAttempts) {
+  RetryPolicy policy = fast_retry();
+  policy.max_attempts = 3;
+  int calls = 0;
+  auto result = with_retry(policy, 1, [&]() -> Result<int> {
+    ++calls;
+    return unavailable_error("down");
+  });
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(WithRetryTest, CancelStopsRetrying) {
+  std::atomic<bool> cancel{true};
+  int calls = 0;
+  auto result = with_retry(
+      fast_retry(), 1,
+      [&]() -> Result<int> {
+        ++calls;
+        return unavailable_error("down");
+      },
+      nullptr, &cancel);
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+}
+
+// ------------------------------------------------------------ fault plan
+
+TEST(FaultPlanTest, ValidateRejectsBadProbabilities) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.validate().is_ok());
+  plan.bitflip_per_write = 1.5;
+  EXPECT_FALSE(plan.validate().is_ok());
+  plan = FaultPlan{};
+  plan.disconnect_per_write = 0.6;
+  plan.torn_write_per_write = 0.6;  // sum > 1
+  EXPECT_FALSE(plan.validate().is_ok());
+}
+
+// ------------------------------------------------------------ faulty stream
+
+TEST(FaultyStreamTest, SameSeedReplaysIdenticalFaults) {
+  const auto run_once = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.disconnect_per_write = 0.05;
+    plan.bitflip_per_write = 0.15;
+    FaultCounters counters;
+    FaultInjector injector(plan, &counters);
+    InprocPair pair = make_inproc_pair();
+    auto stream = injector.wrap(std::move(pair.first));
+
+    std::vector<StatusCode> codes;
+    for (int i = 0; i < 40; ++i) {
+      codes.push_back(stream->write_all(pattern_payload(i, 64)).code());
+    }
+    stream->shutdown_write();
+    Bytes seen;
+    Bytes buf(256);
+    while (true) {
+      auto n = pair.second->read_some(buf);
+      if (!n.ok() || n.value() == 0) {
+        break;
+      }
+      seen.insert(seen.end(), buf.begin(),
+                  buf.begin() + static_cast<std::ptrdiff_t>(n.value()));
+    }
+    return std::make_tuple(codes, seen, counters.snapshot());
+  };
+  const auto first = run_once(42);
+  const auto second = run_once(42);
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+  EXPECT_EQ(std::get<1>(first), std::get<1>(second));
+  EXPECT_EQ(std::get<2>(first), std::get<2>(second));
+  // The plan above must actually misbehave, or the test proves nothing.
+  const FaultCountersSnapshot& counters = std::get<2>(first);
+  EXPECT_GT(counters.injected_disconnects + counters.injected_bitflips, 0U);
+}
+
+TEST(FaultyStreamTest, DisconnectIsStickyAndPeerSeesEof) {
+  FaultPlan plan;
+  plan.disconnect_per_write = 1.0;
+  FaultCounters counters;
+  FaultInjector injector(plan, &counters);
+  InprocPair pair = make_inproc_pair();
+  auto stream = injector.wrap(std::move(pair.first));
+  EXPECT_EQ(stream->write_all(Bytes(10, 1)).code(), StatusCode::kUnavailable);
+  EXPECT_EQ(stream->write_all(Bytes(10, 2)).code(), StatusCode::kUnavailable);
+  Bytes buf(16);
+  auto n = pair.second->read_some(buf);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 0U);  // nothing delivered, clean EOF
+  EXPECT_EQ(counters.snapshot().injected_disconnects, 1U);  // sticky, not re-rolled
+}
+
+TEST(FaultyStreamTest, BitFlipCorruptsExactlyOneBit) {
+  FaultPlan plan;
+  plan.bitflip_per_write = 1.0;
+  FaultInjector injector(plan, nullptr);
+  InprocPair pair = make_inproc_pair();
+  auto stream = injector.wrap(std::move(pair.first));
+  const Bytes original = pattern_payload(3, 100);
+  ASSERT_TRUE(stream->write_all(original).is_ok());
+  Bytes delivered(original.size());
+  ASSERT_TRUE(read_exact(*pair.second, delivered).is_ok());
+  int flipped_bits = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    flipped_bits += __builtin_popcount(original[i] ^ delivered[i]);
+  }
+  EXPECT_EQ(flipped_bits, 1);
+}
+
+TEST(FaultyStreamTest, FaultFreePrefixProtectsEarlyBytes) {
+  FaultPlan plan;
+  plan.disconnect_per_write = 1.0;
+  plan.fault_free_prefix_bytes = 1000;
+  FaultInjector injector(plan, nullptr);
+  InprocPair pair = make_inproc_pair();
+  auto stream = injector.wrap(std::move(pair.first));
+  EXPECT_TRUE(stream->write_all(Bytes(500, 1)).is_ok());
+  EXPECT_TRUE(stream->write_all(Bytes(499, 2)).is_ok());   // still under 1000
+  EXPECT_TRUE(stream->write_all(Bytes(200, 3)).is_ok());   // crosses at start
+  EXPECT_EQ(stream->write_all(Bytes(1, 4)).code(), StatusCode::kUnavailable);
+}
+
+TEST(FaultyStreamTest, MaxFaultsBoundsTheChaos) {
+  FaultPlan plan;
+  plan.bitflip_per_write = 1.0;
+  plan.max_faults = 2;
+  FaultCounters counters;
+  FaultInjector injector(plan, &counters);
+  InprocPair pair = make_inproc_pair();
+  auto stream = injector.wrap(std::move(pair.first));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(stream->write_all(Bytes(8, 0)).is_ok());
+  }
+  EXPECT_EQ(counters.snapshot().injected_bitflips, 2U);
+}
+
+TEST(FaultyListenerTest, AcceptFailureIsTransient) {
+  FaultPlan plan;
+  plan.accept_failure = 1.0;
+  plan.max_faults = 1;
+  FaultCounters counters;
+  FaultInjector injector(plan, &counters);
+  InprocListener inner;
+  FaultyListener listener(inner, injector);
+  auto client = inner.connect();
+  ASSERT_TRUE(client.ok());
+  EXPECT_EQ(listener.accept().status().code(), StatusCode::kUnavailable);
+  auto accepted = listener.accept();  // budget exhausted: goes through
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(counters.snapshot().injected_accept_failures, 1U);
+}
+
+// ------------------------------------------------------------ decoder resync
+
+TEST(DecoderResyncTest, RelocksAfterCorruptMagic) {
+  Message first;
+  first.sequence = 1;
+  first.body = pattern_payload(1, 200);
+  Message second;
+  second.sequence = 2;
+  second.body = pattern_payload(2, 100);
+
+  Bytes wire = encode_message(first);
+  wire[0] ^= 0xFF;  // destroy the first message's magic
+  const Bytes good = encode_message(second);
+  wire.insert(wire.end(), good.begin(), good.end());
+
+  MessageDecoder decoder(MessageDecoder::OnCorruption::kResync);
+  decoder.feed(wire);
+  auto message = decoder.next();
+  ASSERT_TRUE(message.ok()) << message.status().to_string();
+  EXPECT_EQ(message.value().sequence, 2U);
+  EXPECT_EQ(message.value().body, second.body);
+  EXPECT_EQ(decoder.resyncs(), 1U);
+  EXPECT_GT(decoder.skipped_bytes(), 0U);
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kUnavailable);
+}
+
+TEST(DecoderResyncTest, SkipsMessageWithCorruptBody) {
+  Message first;
+  first.sequence = 1;
+  first.body = pattern_payload(1, 300);
+  Message second;
+  second.sequence = 2;
+  second.body = pattern_payload(2, 50);
+
+  Bytes wire = encode_message(first);
+  wire[kMessageHeaderSize + 10] ^= 0x01;  // body checksum will fail
+  const Bytes good = encode_message(second);
+  wire.insert(wire.end(), good.begin(), good.end());
+
+  MessageDecoder decoder(MessageDecoder::OnCorruption::kResync);
+  decoder.feed(wire);
+  auto message = decoder.next();
+  ASSERT_TRUE(message.ok()) << message.status().to_string();
+  EXPECT_EQ(message.value().sequence, 2U);
+  EXPECT_GE(decoder.resyncs(), 1U);
+}
+
+// ------------------------------------------------------------ frame resync
+
+TEST(FrameResyncTest, GarbagePrefixRecovered) {
+  const Bytes payload = pattern_payload(9, 5000);
+  const Bytes frame = encode_frame(*codec_by_id(CodecId::kLz4), payload);
+  Bytes wire = pattern_payload(1, 37);  // garbage prefix, no frame magic
+  wire.insert(wire.end(), frame.begin(), frame.end());
+
+  EXPECT_FALSE(decode_frame_content(wire).ok());
+  bool resynced = false;
+  auto content = decode_frame_content_resync(wire, &resynced);
+  ASSERT_TRUE(content.ok()) << content.status().to_string();
+  EXPECT_EQ(content.value(), payload);
+  EXPECT_TRUE(resynced);
+}
+
+TEST(FrameResyncTest, CleanFrameDoesNotSetResyncFlag) {
+  const Bytes payload = pattern_payload(4, 1000);
+  const Bytes frame = encode_frame(*codec_by_id(CodecId::kNull), payload);
+  bool resynced = false;
+  auto content = decode_frame_content_resync(frame, &resynced);
+  ASSERT_TRUE(content.ok());
+  EXPECT_EQ(content.value(), payload);
+  EXPECT_FALSE(resynced);
+}
+
+TEST(FrameResyncTest, HopelessGarbageStillFails) {
+  const Bytes garbage = pattern_payload(8, 4096);
+  bool resynced = false;
+  EXPECT_FALSE(decode_frame_content_resync(garbage, &resynced).ok());
+  EXPECT_FALSE(resynced);
+}
+
+// ------------------------------------------------------------ fault counters
+
+TEST(FaultCountersTest, SnapshotAndTable) {
+  FaultCounters counters;
+  counters.reconnects.store(3);
+  counters.corrupt_frames.store(1);
+  const FaultCountersSnapshot snapshot = counters.snapshot();
+  EXPECT_EQ(snapshot.reconnects, 3U);
+  EXPECT_EQ(snapshot, counters.snapshot());
+  const std::string text = snapshot.to_string();
+  EXPECT_NE(text.find("reconnects"), std::string::npos);
+  const TextTable table = fault_table(snapshot, /*nonzero_only=*/true);
+  EXPECT_EQ(table.row_count(), 2U);  // only the two nonzero counters
+}
+
+// ------------------------------------------------------------ recovery config
+
+TEST(RecoveryConfigTest, DefaultConfigSerializesWithoutRecoveryLine) {
+  NodeConfig config = sender_config(1, 1);
+  EXPECT_EQ(config.serialize().find("recovery"), std::string::npos);
+}
+
+TEST(RecoveryConfigTest, SerializeParseRoundTrip) {
+  NodeConfig config = sender_config(2, 2);
+  config.recovery.reconnect = true;
+  config.recovery.retry.max_attempts = 3;
+  config.recovery.retry.initial_backoff_us = 500;
+  config.recovery.retry.max_backoff_us = 9000;
+  config.recovery.retry.multiplier = 1.5;
+  config.recovery.retry.jitter = 0.25;
+  config.recovery.max_consecutive_corrupt = 4;
+  config.recovery.degrade_watermark = 6;
+  config.recovery.watchdog_ms = 1500;
+
+  auto parsed = NodeConfig::parse(config.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().recovery, config.recovery);
+  EXPECT_EQ(parsed.value().serialize(), config.serialize());
+}
+
+TEST(RecoveryConfigTest, ValidateRejectsBadKnobs) {
+  const MachineTopology topo = host_topology();
+  NodeConfig config = sender_config(1, 1);
+  config.recovery.degrade_watermark = config.queue_capacity + 1;
+  EXPECT_FALSE(config.validate(topo).is_ok());
+  config = sender_config(1, 1);
+  config.recovery.max_consecutive_corrupt = 0;
+  EXPECT_FALSE(config.validate(topo).is_ok());
+  config = sender_config(1, 1);
+  config.recovery.retry.max_attempts = 0;
+  EXPECT_FALSE(config.validate(topo).is_ok());
+}
+
+// --------------------------------------------------------------- end to end
+
+struct ChaosRun {
+  FaultCountersSnapshot counters;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> delivered;
+  std::uint64_t duplicates = 0;
+};
+
+ChaosRun run_chaos_pipeline(const MachineTopology& topo, const FaultPlan& plan,
+                            NodeConfig sender_cfg, NodeConfig receiver_cfg,
+                            std::uint64_t chunk_count, std::size_t chunk_size) {
+  FaultCounters counters;
+  // One injector per side (see faulty.h): the dial side's connection indices
+  // are then assigned in dial order alone, keeping per-connection fault
+  // sequences reproducible even though dials race accepts across threads.
+  FaultInjector dial_injector(plan, &counters);
+  FaultPlan accept_plan = plan;
+  accept_plan.seed = plan.seed ^ 0xACCE97;
+  FaultInjector accept_injector(accept_plan, &counters);
+  InprocListener inner_listener;
+  FaultyListener listener(inner_listener, accept_injector);
+  const DialFn dial =
+      faulty_dialer([&] { return inner_listener.connect(); }, dial_injector);
+
+  PatternSource source(/*stream_id=*/1, chunk_count, chunk_size);
+  VerifySink sink;
+
+  std::thread sender_thread([&] {
+    StreamSender sender(topo, std::move(sender_cfg));
+    auto stats = sender.run(source, dial, nullptr, &counters);
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  });
+  StreamReceiver receiver(topo, std::move(receiver_cfg));
+  auto stats = receiver.run(listener, sink, nullptr, &counters);
+  sender_thread.join();
+  EXPECT_TRUE(stats.ok()) << stats.status().to_string();
+
+  ChaosRun run;
+  run.counters = counters.snapshot();
+  run.delivered = sink.hashes();
+  run.duplicates = sink.duplicates();
+  return run;
+}
+
+// Disconnects and torn writes (truncated, bit-corrupted prefixes) against a
+// reconnecting pipeline: every chunk must arrive exactly once, bit-exact.
+// Torn writes corrupt delivered bytes, so this also exercises the receiver's
+// resync path; because the sender re-sends the reported-failed message, no
+// chunk is ever silently lost.
+TEST(ChaosPipelineTest, AllChunksDeliveredThroughDisconnectsAndTornWrites) {
+  const MachineTopology topo = host_topology();
+  FaultPlan plan;
+  plan.seed = 2026;
+  plan.disconnect_per_write = 0.04;
+  plan.torn_write_per_write = 0.04;
+  plan.fault_free_prefix_bytes = 4096;  // every connection makes progress
+  plan.max_faults = 40;
+
+  NodeConfig sender_cfg = sender_config(1, 2);
+  sender_cfg.recovery.reconnect = true;
+  sender_cfg.recovery.retry = fast_retry();
+  NodeConfig receiver_cfg = receiver_config(2, 2);
+  receiver_cfg.recovery.reconnect = true;
+
+  const std::uint64_t kChunks = 60;
+  const std::size_t kChunkSize = 4096;
+  const ChaosRun run =
+      run_chaos_pipeline(topo, plan, sender_cfg, receiver_cfg, kChunks, kChunkSize);
+
+  // Chaos actually happened, and the pipeline healed from it.
+  EXPECT_GT(run.counters.injected_disconnects + run.counters.injected_torn_writes,
+            0U);
+  EXPECT_GT(run.counters.reconnects, 0U);
+
+  // Every chunk arrived exactly once with intact content.
+  EXPECT_EQ(run.duplicates, 0U);
+  ASSERT_EQ(run.delivered.size(), kChunks);
+  for (std::uint64_t seq = 0; seq < kChunks; ++seq) {
+    const auto it = run.delivered.find({1, seq});
+    ASSERT_NE(it, run.delivered.end()) << "chunk " << seq << " lost";
+    EXPECT_EQ(it->second, xxhash32(pattern_payload(seq, kChunkSize)))
+        << "chunk " << seq << " corrupted";
+  }
+}
+
+// Silent single-bit flips pass the transport (the write "succeeds") and are
+// caught only by the NSM1/NSF1 checksums: the hardened receiver drops the
+// corrupted messages, counts them, and keeps the stream alive. Delivered
+// chunks are always bit-exact; at most one chunk per injected flip is lost.
+TEST(ChaosPipelineTest, SilentBitFlipsAreCountedNotFatal) {
+  const MachineTopology topo = host_topology();
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.bitflip_per_write = 0.2;
+  plan.max_faults = 2;
+  plan.fault_free_prefix_bytes = 512;  // never flip a connection's first frames
+
+  NodeConfig sender_cfg = sender_config(1, 1);
+  sender_cfg.recovery.reconnect = true;
+  sender_cfg.recovery.retry = fast_retry();
+  NodeConfig receiver_cfg = receiver_config(1, 1);
+  receiver_cfg.recovery.reconnect = true;
+
+  const std::uint64_t kChunks = 50;
+  const std::size_t kChunkSize = 2048;
+  const ChaosRun run =
+      run_chaos_pipeline(topo, plan, sender_cfg, receiver_cfg, kChunks, kChunkSize);
+
+  EXPECT_GE(run.counters.injected_bitflips, 1U);
+  EXPECT_LE(run.counters.injected_bitflips, 2U);
+  EXPECT_EQ(run.duplicates, 0U);
+  // No silent loss: every missing chunk is accounted for by a counted
+  // corruption (decoder resync or dropped frame).
+  const std::uint64_t lost = kChunks - run.delivered.size();
+  EXPECT_LE(lost, run.counters.injected_bitflips);
+  EXPECT_LE(lost, run.counters.message_resyncs + run.counters.dropped_frames);
+  // Whatever did arrive (under its claimed identity) is bit-exact.
+  for (const auto& [key, hash] : run.delivered) {
+    if (key.first == 1 && key.second < kChunks) {
+      EXPECT_EQ(hash, xxhash32(pattern_payload(key.second, kChunkSize)));
+    }
+  }
+}
+
+// Satellite: same FaultPlan seed => identical fault counters, run to run.
+// Single-threaded stages keep the connection establishment order (and so the
+// per-connection fault sequences) deterministic.
+TEST(ChaosPipelineTest, SameSeedProducesIdenticalCounters) {
+  const MachineTopology topo = host_topology();
+  FaultPlan plan;
+  plan.seed = 31337;
+  plan.disconnect_per_write = 0.05;
+  plan.torn_write_per_write = 0.05;
+  plan.fault_free_prefix_bytes = 2048;
+  plan.max_faults = 10;
+
+  const auto run_once = [&] {
+    NodeConfig sender_cfg = sender_config(1, 1);
+    sender_cfg.recovery.reconnect = true;
+    sender_cfg.recovery.retry = fast_retry();
+    NodeConfig receiver_cfg = receiver_config(1, 1);
+    receiver_cfg.recovery.reconnect = true;
+    return run_chaos_pipeline(topo, plan, sender_cfg, receiver_cfg, 40, 2048);
+  };
+  const ChaosRun first = run_once();
+  const ChaosRun second = run_once();
+  EXPECT_EQ(first.counters, second.counters) << "first:\n"
+                                             << first.counters.to_string()
+                                             << "second:\n"
+                                             << second.counters.to_string();
+  EXPECT_EQ(first.delivered, second.delivered);
+  EXPECT_GT(first.counters.injected_disconnects +
+                first.counters.injected_torn_writes,
+            0U);
+}
+
+// ------------------------------------------------------------- degradation
+
+// A stalled send stage backs the compress->send queue up past the watermark;
+// compress workers must switch to the passthrough codec (shipping bigger but
+// cheaper frames) and every chunk must still arrive intact.
+TEST(DegradationTest, BacklogSwitchesToPassthroughCodec) {
+  const MachineTopology topo = host_topology();
+  FaultPlan plan;
+  plan.seed = 5;
+  plan.stall_per_write = 1.0;
+  plan.stall_micros = 2000;
+
+  NodeConfig sender_cfg = sender_config(2, 1);
+  sender_cfg.queue_capacity = 4;
+  sender_cfg.recovery.degrade_watermark = 4;
+  NodeConfig receiver_cfg = receiver_config(1, 1);
+
+  const std::uint64_t kChunks = 40;
+  const std::size_t kChunkSize = 8192;
+  const ChaosRun run =
+      run_chaos_pipeline(topo, plan, sender_cfg, receiver_cfg, kChunks, kChunkSize);
+
+  EXPECT_GT(run.counters.injected_stalls, 0U);
+  EXPECT_GT(run.counters.degraded_chunks, 0U);
+  EXPECT_LT(run.counters.degraded_chunks, kChunks);  // hysteresis recovered
+  EXPECT_EQ(run.delivered.size(), kChunks);
+  EXPECT_EQ(run.duplicates, 0U);
+}
+
+// --------------------------------------------------------------- watchdog
+
+TEST(WatchdogTest, ReceiverTripsOnSilentPeer) {
+  const MachineTopology topo = host_topology();
+  NodeConfig config = receiver_config(1, 1);
+  config.recovery.watchdog_ms = 200;
+
+  InprocListener listener;
+  auto client = listener.connect();  // connects, then never sends a byte
+  ASSERT_TRUE(client.ok());
+
+  FaultCounters counters;
+  CountingSink sink;
+  StreamReceiver receiver(topo, config);
+  auto stats = receiver.run(listener, sink, nullptr, &counters);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(stats.status().message().find("watchdog"), std::string::npos);
+  EXPECT_EQ(counters.snapshot().watchdog_trips, 1U);
+}
+
+TEST(WatchdogTest, SenderTripsWhenPeerNeverReads) {
+  const MachineTopology topo = host_topology();
+  NodeConfig config = sender_config(1, 1);
+  config.recovery.watchdog_ms = 200;
+
+  InprocListener listener(/*buffer_capacity=*/1024);  // tiny peer window
+  auto accepted = Result<std::unique_ptr<ByteStream>>(internal_error("unset"));
+  std::thread acceptor([&] { accepted = listener.accept(); });
+
+  FaultCounters counters;
+  PatternSource source(1, 10, 8192);  // 8 KiB chunks will jam a 1 KiB window
+  StreamSender sender(topo, config);
+  auto stats =
+      sender.run(source, [&] { return listener.connect(); }, nullptr, &counters);
+  acceptor.join();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(counters.snapshot().watchdog_trips, 1U);
+}
+
+TEST(WatchdogTest, HealthyPipelineNeverTrips) {
+  const MachineTopology topo = host_topology();
+  FaultPlan plan;  // no faults at all
+
+  NodeConfig sender_cfg = sender_config(1, 1);
+  sender_cfg.recovery.watchdog_ms = 5000;
+  NodeConfig receiver_cfg = receiver_config(1, 1);
+  receiver_cfg.recovery.watchdog_ms = 5000;
+
+  const ChaosRun run =
+      run_chaos_pipeline(topo, plan, sender_cfg, receiver_cfg, 10, 1024);
+  EXPECT_EQ(run.counters.watchdog_trips, 0U);
+  EXPECT_EQ(run.delivered.size(), 10U);
+}
+
+TEST(StreamRegistryTest, CancelAllLatchesAndCancelsLateAdds) {
+  InprocPair pair = make_inproc_pair();
+  StreamRegistry registry;
+  registry.add(pair.first.get());
+  EXPECT_FALSE(registry.cancelled());
+  registry.cancel_all();
+  EXPECT_TRUE(registry.cancelled());
+  Bytes buf(4);
+  EXPECT_FALSE(pair.first->read_some(buf).ok());  // canceled stream
+  // A stream registered after the trip is canceled immediately.
+  InprocPair late = make_inproc_pair();
+  registry.add(late.first.get());
+  EXPECT_FALSE(late.first->read_some(buf).ok());
+  registry.remove(pair.first.get());
+  registry.remove(late.first.get());
+}
+
+}  // namespace
+}  // namespace numastream

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "codec/frame.h"
 #include "common/rng.h"
 #include "msg/inproc.h"
 #include "msg/message.h"
@@ -194,6 +195,51 @@ TEST(InprocTest, ReadExactReportsMidMessageEof) {
   pair.first->shutdown_write();
   Bytes buf(10);
   EXPECT_EQ(read_exact(*pair.second, buf).code(), StatusCode::kDataLoss);
+}
+
+// The two EOF flavours must stay distinguishable: EOF before the first byte
+// is a clean end (UNAVAILABLE), EOF after some bytes is truncation
+// (DATA_LOSS). The pipeline's shutdown logic relies on the distinction.
+TEST(InprocTest, ReadExactCleanEofBeforeAnyByteIsUnavailable) {
+  InprocPair pair = make_inproc_pair();
+  pair.first->shutdown_write();  // peer closes without sending anything
+  Bytes buf(10);
+  EXPECT_EQ(read_exact(*pair.second, buf).code(), StatusCode::kUnavailable);
+}
+
+// A peer that dies mid-message-header must surface as DATA_LOSS from the
+// socket layer, not hang and not read uninitialized bytes.
+TEST(PushPullTest, TruncatedMessageHeaderIsDataLoss) {
+  InprocPair pair = make_inproc_pair();
+  Message m;
+  m.body = random_body(100, 11);
+  const Bytes wire = encode_message(m);
+  ASSERT_TRUE(
+      pair.first->write_all(ByteSpan(wire.data(), kMessageHeaderSize / 2)).is_ok());
+  pair.first->shutdown_write();
+  PullSocket pull(std::move(pair.second));
+  EXPECT_EQ(pull.recv().status().code(), StatusCode::kDataLoss);
+}
+
+// Same for a truncated frame inside a complete, checksummed message: the
+// frame decoder must reject a header cut short rather than read past it.
+TEST(PushPullTest, TruncatedFrameHeaderIsDataLoss) {
+  const Bytes frame =
+      encode_frame(*codec_by_id(CodecId::kLz4), random_body(1000, 12));
+  const ByteSpan truncated(frame.data(), kFrameHeaderSize - 4);
+  EXPECT_EQ(decode_frame_content(truncated).status().code(), StatusCode::kDataLoss);
+  // And a message whose body is the truncated frame fails at decode, not recv.
+  Message m;
+  m.body = Bytes(truncated.begin(), truncated.end());
+  InprocPair pair = make_inproc_pair();
+  PushSocket push(std::move(pair.first));
+  ASSERT_TRUE(push.send(m).is_ok());
+  ASSERT_TRUE(push.finish(0).is_ok());
+  PullSocket pull(std::move(pair.second));
+  auto received = pull.recv();
+  ASSERT_TRUE(received.ok());  // transport + message layer are intact
+  EXPECT_EQ(decode_frame_content(received.value().body).status().code(),
+            StatusCode::kDataLoss);
 }
 
 TEST(InprocListenerTest, ConnectAcceptPair) {
