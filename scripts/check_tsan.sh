@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer and runs the concurrency-heavy suites:
+# the bounded queue (blocking, cancel, eviction, MPMC stress), the memory
+# budget ledger (shared by sender and receiver threads), and the overload
+# pipelines where credit grants, shedding and drain deadlines all race real
+# worker threads. A clean exit means the credit/budget/drain machinery is
+# free of data races, not just functionally green.
+#
+#   $ scripts/check_tsan.sh [extra ctest args...]
+#
+# Uses a separate build-tsan/ tree so the regular build/ stays fast.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-tsan -G Ninja \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNUMASTREAM_SANITIZE="thread"
+cmake --build build-tsan
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+ctest --test-dir build-tsan --output-on-failure \
+  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest)' \
+  "$@"
+
+echo
+echo "sanitizer check passed (TSan)"

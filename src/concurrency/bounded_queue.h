@@ -17,8 +17,12 @@
 // fast paths; see spsc_ring.h.)
 #pragma once
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <iterator>
 #include <mutex>
 #include <optional>
 
@@ -40,9 +44,26 @@ class BoundedQueue {
   /// Blocks until space is available or the queue is closed.
   /// Returns kUnavailable if the queue was closed (the item is dropped; the
   /// pipeline is shutting down).
-  Status push(T item) {
+  ///
+  /// `cancel`, when supplied, bounds the wait: a raised flag (e.g.
+  /// StreamRegistry::cancel_flag() after a watchdog trip or a forced drain)
+  /// aborts the push with kUnavailable even if nobody ever closes the queue,
+  /// so pipeline teardown can never hang on a full queue. The flag has no
+  /// condition-variable hookup, so cancellable waits poll in short slices.
+  Status push(T item, const std::atomic<bool>* cancel = nullptr) {
+    return push_until(std::move(item), kNoDeadline, cancel);
+  }
+
+  /// push() with a deadline: returns kDeadlineExceeded if neither space nor
+  /// closure materialized in time (the item is dropped).
+  Status push_until(T item, std::chrono::steady_clock::time_point deadline,
+                    const std::atomic<bool>* cancel = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (!wait_on(not_full_, lock, deadline, cancel,
+                 [&] { return closed_ || items_.size() < capacity_; })) {
+      return cancelled(cancel) ? unavailable_error("queue push cancelled")
+                               : deadline_exceeded_error("queue push timed out");
+    }
     if (closed_) {
       return unavailable_error("queue closed");
     }
@@ -70,9 +91,25 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed AND drained.
   /// nullopt means end-of-stream: no item will ever arrive again.
-  std::optional<T> pop() {
+  ///
+  /// A raised `cancel` flag also yields nullopt — for a pipeline worker,
+  /// cancellation and end-of-stream demand the same reaction (stop), and the
+  /// caller holding the flag can distinguish the cases if it must.
+  std::optional<T> pop(const std::atomic<bool>* cancel = nullptr) {
+    return pop_until(kNoDeadline, cancel);
+  }
+
+  /// pop() with a deadline: nullopt when the deadline passes (or on cancel /
+  /// end-of-stream). Callers distinguish a drained queue from a timeout via
+  /// closed()/size() — the drain path only cares that it never blocks past
+  /// its budget.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline,
+                             const std::atomic<bool>* cancel = nullptr) {
     std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (!wait_on(not_empty_, lock, deadline, cancel,
+                 [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;  // cancelled or timed out
+    }
     if (items_.empty()) {
       return std::nullopt;  // closed and drained
     }
@@ -81,6 +118,60 @@ class BoundedQueue {
     lock.unlock();
     not_full_.notify_one();
     return item;
+  }
+
+  /// Removes and returns the queued item that ranks lowest under `better`
+  /// (better(a, b) == true when `a` outranks `b`), or nullopt when empty.
+  /// This is the priority-evict shed primitive: under overload a producer
+  /// evicts the least valuable queued item to make room for a more valuable
+  /// incoming one (see core/pipeline.cpp).
+  template <typename Better>
+  std::optional<T> try_evict_worst(Better better) {
+    std::optional<T> worst;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      auto worst_it = items_.begin();
+      for (auto it = std::next(items_.begin()); it != items_.end(); ++it) {
+        if (better(*worst_it, *it)) {
+          worst_it = it;
+        }
+      }
+      worst = std::move(*worst_it);
+      items_.erase(worst_it);
+    }
+    not_full_.notify_one();
+    return worst;
+  }
+
+  /// try_evict_worst, but only when `incoming` outranks the worst queued
+  /// item: the conditional form of priority eviction. Returns the evicted
+  /// item, or nullopt when the queue is empty or every queued item ranks at
+  /// least as high as `incoming` (the caller then sheds `incoming` itself).
+  template <typename Better>
+  std::optional<T> try_evict_if_worse(const T& incoming, Better better) {
+    std::optional<T> worst;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      auto worst_it = items_.begin();
+      for (auto it = std::next(items_.begin()); it != items_.end(); ++it) {
+        if (better(*worst_it, *it)) {
+          worst_it = it;
+        }
+      }
+      if (!better(incoming, *worst_it)) {
+        return std::nullopt;
+      }
+      worst = std::move(*worst_it);
+      items_.erase(worst_it);
+    }
+    not_full_.notify_one();
+    return worst;
   }
 
   /// Non-blocking pop; nullopt when currently empty (not necessarily closed).
@@ -122,6 +213,41 @@ class BoundedQueue {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
  private:
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  static bool cancelled(const std::atomic<bool>* cancel) {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Waits for `ready` on `cv` under `lock`; false when the cancel flag or
+  /// deadline cut the wait short. The uncancellable, undeadlined wait (the
+  /// hot path) blocks on the condition variable exactly as before; only
+  /// waits that can be cut short poll in 1 ms slices, because the cancel
+  /// flag is a plain atomic with no notification channel.
+  template <typename Ready>
+  bool wait_on(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+               std::chrono::steady_clock::time_point deadline,
+               const std::atomic<bool>* cancel, Ready ready) {
+    if (cancel == nullptr && deadline == kNoDeadline) {
+      cv.wait(lock, ready);
+      return true;
+    }
+    while (!ready()) {
+      if (cancelled(cancel)) {
+        return false;
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        return false;
+      }
+      const auto slice = std::min<std::chrono::steady_clock::duration>(
+          std::chrono::milliseconds(1), deadline - now);
+      cv.wait_for(lock, slice);
+    }
+    return true;
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;

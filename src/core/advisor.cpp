@@ -85,6 +85,15 @@ AdvisorReport BottleneckAdvisor::analyze(const PipelineObservation& observation)
       << stage->threads << " thread(s), ~"
       << static_cast<long long>(report.bottleneck_per_thread / 1e6)
       << " MB/s each); grow to " << report.recommended_threads << " thread(s)";
+  if (observation.overload.any()) {
+    // Overload protections engaged during the window: more threads may just
+    // shed faster. Flag it so the operator raises budgets/credit alongside.
+    why << "; note: overload protection engaged (" << observation.overload.shed_chunks
+        << " shed, " << observation.overload.credit_stalls << " credit stall(s), "
+        << observation.overload.budget_stalls
+        << " budget stall(s)) - consider raising the memory budget or credit "
+           "window before adding threads";
+  }
   report.rationale = why.str();
   return report;
 }

@@ -12,6 +12,7 @@
 // `ablation_adaptive` demonstrates exactly that on the simulated gateway.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -27,6 +28,22 @@ struct StageObservation {
   double utilization = 0;
 };
 
+/// Overload pressure observed over a window (metrics/overload_counters.h
+/// condensed to what the advisor can reason about). All-zero means the run
+/// never hit its overload protections.
+struct OverloadObservation {
+  std::uint64_t shed_chunks = 0;        ///< frames dropped by any shed policy
+  std::uint64_t credit_stalls = 0;      ///< sender dry spells (flow control bit)
+  std::uint64_t budget_stalls = 0;      ///< admissions that had to wait
+  std::uint64_t evicted_chunks = 0;     ///< frames dropped for evicted streams
+  std::uint64_t peak_bytes_in_flight = 0;
+
+  [[nodiscard]] bool any() const noexcept {
+    return shed_chunks != 0 || credit_stalls != 0 || budget_stalls != 0 ||
+           evicted_chunks != 0;
+  }
+};
+
 /// A pipeline observation window. Throughputs are bytes/second of RAW data
 /// (the common currency across stages: compression input, decompression
 /// output), so stages are directly comparable.
@@ -36,6 +53,7 @@ struct PipelineObservation {
   StageObservation send;
   StageObservation receive;
   StageObservation decompress;
+  OverloadObservation overload;
 };
 
 enum class StageKind { kCompress, kSend, kReceive, kDecompress, kNone };

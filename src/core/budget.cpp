@@ -1,0 +1,110 @@
+#include "core/budget.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+MemoryBudget::MemoryBudget(std::uint64_t cap_bytes) : cap_(cap_bytes) {
+  NS_CHECK(cap_bytes > 0, "MemoryBudget cap must be positive");
+}
+
+Status MemoryBudget::try_acquire(std::uint32_t stream_id, std::uint64_t bytes) {
+  if (bytes > cap_) {
+    return invalid_argument_error("budget: single charge of " +
+                                  std::to_string(bytes) + " bytes exceeds cap " +
+                                  std::to_string(cap_));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (used_ + bytes > cap_) {
+    return resource_exhausted_error("budget: " + std::to_string(bytes) +
+                                    " bytes over cap (" + std::to_string(used_) +
+                                    "/" + std::to_string(cap_) + " held)");
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  by_stream_[stream_id] += bytes;
+  return Status::ok();
+}
+
+Status MemoryBudget::acquire(std::uint32_t stream_id, std::uint64_t bytes,
+                             const std::atomic<bool>* cancel,
+                             std::atomic<std::uint64_t>* stalled) {
+  if (bytes > cap_) {
+    return invalid_argument_error("budget: single charge of " +
+                                  std::to_string(bytes) + " bytes exceeds cap " +
+                                  std::to_string(cap_));
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  bool waited = false;
+  // The cancel flag is a plain atomic with no notification channel, so a
+  // cancellable wait polls in short slices (same pattern as BoundedQueue).
+  while (used_ + bytes > cap_) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return unavailable_error("budget: admission wait cancelled");
+    }
+    if (!waited) {
+      waited = true;
+      if (stalled != nullptr) {
+        stalled->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (cancel != nullptr) {
+      released_.wait_for(lock, std::chrono::milliseconds(1));
+    } else {
+      released_.wait(lock);
+    }
+  }
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+  by_stream_[stream_id] += bytes;
+  return Status::ok();
+}
+
+void MemoryBudget::release(std::uint32_t stream_id, std::uint64_t bytes) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    NS_DCHECK(bytes <= used_, "budget: releasing more than the ledger holds");
+    used_ -= std::min(bytes, used_);
+    const auto it = by_stream_.find(stream_id);
+    NS_DCHECK(it != by_stream_.end() && bytes <= it->second,
+              "budget: releasing more than the stream holds");
+    if (it != by_stream_.end()) {
+      it->second -= std::min(bytes, it->second);
+      if (it->second == 0) {
+        by_stream_.erase(it);
+      }
+    }
+  }
+  released_.notify_all();
+}
+
+std::uint64_t MemoryBudget::used() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+std::uint64_t MemoryBudget::peak() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::uint64_t MemoryBudget::stream_bytes(std::uint32_t stream_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_stream_.find(stream_id);
+  return it == by_stream_.end() ? 0 : it->second;
+}
+
+std::vector<MemoryBudget::StreamUsage> MemoryBudget::per_stream() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<StreamUsage> usage;
+  usage.reserve(by_stream_.size());
+  for (const auto& [stream_id, bytes] : by_stream_) {
+    usage.push_back(StreamUsage{.stream_id = stream_id, .bytes = bytes});
+  }
+  return usage;
+}
+
+}  // namespace numastream

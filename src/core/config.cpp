@@ -8,6 +8,11 @@
 //   recovery [reconnect=on|off] [max_attempts=<n>] [backoff_us=<n>]
 //            [max_backoff_us=<n>] [multiplier=<f>] [jitter=<f>]
 //            [corrupt_limit=<n>] [degrade_watermark=<n>] [watchdog_ms=<n>]
+//   overload [budget_bytes=<n>] [credit_window=<n>]
+//            [shed=block|drop_newest|drop_oldest|priority_evict]
+//            [high_watermark=<n>] [low_watermark=<n>] [drain_deadline_ms=<n>]
+//            [slow_floor=<n>] [slow_grace_ms=<n>] [default_priority=<n>]
+//   priority stream=<id> value=<n>
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
@@ -87,6 +92,47 @@ Result<TaskType> task_type_from_string(const std::string& text) {
   return invalid_argument_error("config: unknown task type '" + text + "'");
 }
 
+std::string to_string(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kBlock:
+      return "block";
+    case ShedPolicy::kDropNewest:
+      return "drop_newest";
+    case ShedPolicy::kDropOldest:
+      return "drop_oldest";
+    case ShedPolicy::kPriorityEvict:
+      return "priority_evict";
+  }
+  return "?";
+}
+
+Result<ShedPolicy> shed_policy_from_string(const std::string& text) {
+  if (text == "block") {
+    return ShedPolicy::kBlock;
+  }
+  if (text == "drop_newest") {
+    return ShedPolicy::kDropNewest;
+  }
+  if (text == "drop_oldest") {
+    return ShedPolicy::kDropOldest;
+  }
+  if (text == "priority_evict") {
+    return ShedPolicy::kPriorityEvict;
+  }
+  return invalid_argument_error(
+      "config: unknown shed policy '" + text +
+      "' (want block|drop_newest|drop_oldest|priority_evict)");
+}
+
+int OverloadConfig::priority_of(std::uint32_t stream_id) const {
+  for (const auto& entry : priorities) {
+    if (entry.stream_id == stream_id) {
+      return entry.priority;
+    }
+  }
+  return default_priority;
+}
+
 int NodeConfig::thread_count(TaskType type, int stream_id) const {
   int total = 0;
   for (const auto& group : tasks) {
@@ -123,6 +169,44 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
   if (recovery.degrade_watermark > queue_capacity) {
     return invalid_argument_error(
         "config: degrade_watermark exceeds queue_capacity");
+  }
+  if (overload.credit_window == 1) {
+    return invalid_argument_error(
+        "config: credit_window must be 0 (off) or >= 2 so replenishment "
+        "grants are never empty");
+  }
+  if (overload.high_watermark > queue_capacity) {
+    return invalid_argument_error(
+        "config: high_watermark exceeds queue_capacity");
+  }
+  if (overload.low_watermark > overload.high_watermark) {
+    return invalid_argument_error(
+        "config: low_watermark exceeds high_watermark (hysteresis band "
+        "must be low <= high)");
+  }
+  if (overload.shed_policy != ShedPolicy::kBlock &&
+      overload.high_watermark == 0) {
+    return invalid_argument_error(
+        "config: shed policy '" + to_string(overload.shed_policy) +
+        "' needs high_watermark > 0 to ever engage");
+  }
+  if (overload.slow_stream_floor > 0 && overload.slow_grace_ms == 0) {
+    return invalid_argument_error(
+        "config: slow_floor needs slow_grace_ms > 0 (the sampling window)");
+  }
+  if (overload.budget_bytes > 0 && overload.budget_bytes < chunk_bytes) {
+    return invalid_argument_error(
+        "config: budget_bytes smaller than one chunk would deadlock "
+        "admission");
+  }
+  for (std::size_t i = 0; i < overload.priorities.size(); ++i) {
+    for (std::size_t j = i + 1; j < overload.priorities.size(); ++j) {
+      if (overload.priorities[i].stream_id == overload.priorities[j].stream_id) {
+        return invalid_argument_error(
+            "config: duplicate priority for stream " +
+            std::to_string(overload.priorities[i].stream_id));
+      }
+    }
   }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
@@ -173,6 +257,23 @@ std::string NodeConfig::serialize() const {
         << " corrupt_limit=" << recovery.max_consecutive_corrupt
         << " degrade_watermark=" << recovery.degrade_watermark
         << " watchdog_ms=" << recovery.watchdog_ms << "\n";
+  }
+  if (!overload.is_default()) {
+    // Same convention as `recovery`: the directive appears only when some
+    // knob moved, so pre-overload configs round-trip byte-identically.
+    out << "overload budget_bytes=" << overload.budget_bytes
+        << " credit_window=" << overload.credit_window
+        << " shed=" << to_string(overload.shed_policy)
+        << " high_watermark=" << overload.high_watermark
+        << " low_watermark=" << overload.low_watermark
+        << " drain_deadline_ms=" << overload.drain_deadline_ms
+        << " slow_floor=" << overload.slow_stream_floor
+        << " slow_grace_ms=" << overload.slow_grace_ms
+        << " default_priority=" << overload.default_priority << "\n";
+    for (const auto& entry : overload.priorities) {
+      out << "priority stream=" << entry.stream_id << " value=" << entry.priority
+          << "\n";
+    }
   }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
@@ -282,6 +383,79 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
           return fail("bad value for " + key + ": '" + value + "'");
         }
       }
+    } else if (directive == "overload") {
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "budget_bytes") {
+            config.overload.budget_bytes = std::stoull(value);
+          } else if (key == "credit_window") {
+            config.overload.credit_window = std::stoull(value);
+          } else if (key == "shed") {
+            auto policy = shed_policy_from_string(value);
+            if (!policy.ok()) {
+              return fail(policy.status().message());
+            }
+            config.overload.shed_policy = policy.value();
+          } else if (key == "high_watermark") {
+            config.overload.high_watermark = std::stoull(value);
+          } else if (key == "low_watermark") {
+            config.overload.low_watermark = std::stoull(value);
+          } else if (key == "drain_deadline_ms") {
+            config.overload.drain_deadline_ms = std::stoull(value);
+          } else if (key == "slow_floor") {
+            config.overload.slow_stream_floor = std::stoull(value);
+          } else if (key == "slow_grace_ms") {
+            config.overload.slow_grace_ms = std::stoull(value);
+          } else if (key == "default_priority") {
+            config.overload.default_priority = std::stoi(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "priority") {
+      StreamPriority entry;
+      bool saw_stream = false;
+      bool saw_value = false;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "stream") {
+            const long long id = std::stoll(value);
+            if (id < 0) {
+              return fail("priority stream id must be non-negative");
+            }
+            entry.stream_id = static_cast<std::uint32_t>(id);
+            saw_stream = true;
+          } else if (key == "value") {
+            entry.priority = std::stoi(value);
+            saw_value = true;
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+      if (!saw_stream || !saw_value) {
+        return fail("priority needs stream= and value=");
+      }
+      config.overload.priorities.push_back(entry);
     } else if (directive == "task") {
       TaskGroupConfig group;
       std::string type_token;

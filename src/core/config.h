@@ -66,6 +66,75 @@ struct RecoveryConfig {
   friend bool operator==(const RecoveryConfig&, const RecoveryConfig&) = default;
 };
 
+/// What to do with a frame when the pipeline is over its watermarks.
+enum class ShedPolicy {
+  kBlock,         ///< no shedding: producers wait (classic backpressure)
+  kDropNewest,    ///< drop the incoming frame
+  kDropOldest,    ///< drop the oldest queued frame, admit the incoming one
+  kPriorityEvict, ///< evict the lowest-priority queued frame if the incoming
+                  ///< one outranks it, else drop the incoming frame
+};
+
+std::string to_string(ShedPolicy policy);
+Result<ShedPolicy> shed_policy_from_string(const std::string& text);
+
+/// Relative importance of one stream for priority-aware shedding/eviction.
+/// Higher wins; streams without an entry get OverloadConfig::default_priority.
+struct StreamPriority {
+  std::uint32_t stream_id = 0;
+  int priority = 0;
+  friend bool operator==(const StreamPriority&, const StreamPriority&) = default;
+};
+
+/// Overload-protection policy for one node's pipeline. Everything defaults
+/// to off, matching pre-overload behavior byte for byte: no budget, no
+/// credit frames on the wire, blocking backpressure only, unbounded drain.
+/// Production gateways turn the knobs on — see DESIGN.md §8.
+struct OverloadConfig {
+  /// Hard cap on bytes concurrently in flight through this pipeline
+  /// (charged per frame against a MemoryBudget ledger). 0 disables.
+  std::uint64_t budget_bytes = 0;
+  /// Credit-based flow control: the receiver grants this many messages of
+  /// credit per connection and replenishes as it consumes; the sender stalls
+  /// (or sheds) when out of credit. 0 disables — and both ends of a
+  /// connection must agree, since credit frames are a wire-protocol
+  /// extension (msg/message.h). Must be >= 2 so replenishment grants
+  /// (window/2) are never zero.
+  std::size_t credit_window = 0;
+  /// Shed policy applied between the watermarks below.
+  ShedPolicy shed_policy = ShedPolicy::kBlock;
+  /// Queue depth at which shedding engages; 0 disables shedding entirely.
+  std::size_t high_watermark = 0;
+  /// Depth at which shedding disengages (hysteresis; must be <= high).
+  std::size_t low_watermark = 0;
+  /// Deadline for the graceful drain: once the pipeline stops ingesting
+  /// (source exhausted, or DrainController::request()), in-flight frames
+  /// must flush within this budget or the flush is forced (counted as a
+  /// drain timeout). 0 = unbounded flush (legacy behavior).
+  std::uint64_t drain_deadline_ms = 0;
+  /// Slow-consumer floor: a stream with backlog that delivers fewer than
+  /// this many chunks per grace window is evicted (its frames dropped)
+  /// instead of starving the rest. 0 disables.
+  std::uint64_t slow_stream_floor = 0;
+  /// Sampling window for the slow-consumer monitor.
+  std::uint64_t slow_grace_ms = 0;
+  /// Priority assumed for streams not listed in `priorities`.
+  int default_priority = 0;
+  /// Per-stream priorities (serialized as `priority` directives).
+  std::vector<StreamPriority> priorities;
+
+  /// Priority of `stream_id` under this config.
+  [[nodiscard]] int priority_of(std::uint32_t stream_id) const;
+
+  [[nodiscard]] bool is_default() const { return *this == OverloadConfig{}; }
+
+  /// Overload protection is on iff any knob moved; the absent directive
+  /// keeps the pipeline bit-identical to the pre-overload runtime.
+  [[nodiscard]] bool enabled() const { return !is_default(); }
+
+  friend bool operator==(const OverloadConfig&, const OverloadConfig&) = default;
+};
+
 struct NodeConfig {
   std::string node_name;
   NodeRole role = NodeRole::kSender;
@@ -73,6 +142,7 @@ struct NodeConfig {
   std::uint64_t chunk_bytes = kProjectionChunkBytes;
   std::size_t queue_capacity = 8;
   RecoveryConfig recovery;
+  OverloadConfig overload;
   std::vector<TaskGroupConfig> tasks;
 
   /// Total threads of one task type across all groups (optionally filtered

@@ -1,0 +1,59 @@
+#include "core/drain.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+DrainDeadline::DrainDeadline(std::chrono::milliseconds grace,
+                             std::function<void()> on_expire)
+    : grace_(grace), on_expire_(std::move(on_expire)) {
+  NS_CHECK(grace_.count() > 0, "DrainDeadline needs a positive grace window");
+  NS_CHECK(on_expire_ != nullptr, "DrainDeadline needs an expiry action");
+  thread_ = std::thread([this] { run(); });
+}
+
+DrainDeadline::~DrainDeadline() {
+  complete();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void DrainDeadline::arm() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (armed_ || stopping_) {
+      return;  // first arm wins; arming after completion is a no-op
+    }
+    armed_ = true;
+    fire_at_ = std::chrono::steady_clock::now() + grace_;
+  }
+  wake_.notify_all();
+}
+
+void DrainDeadline::complete() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+}
+
+void DrainDeadline::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  wake_.wait(lock, [&] { return armed_ || stopping_; });
+  if (stopping_) {
+    return;
+  }
+  // Armed: sleep until the deadline or completion, whichever first.
+  if (wake_.wait_until(lock, fire_at_, [&] { return stopping_; })) {
+    return;  // flush completed inside the grace window
+  }
+  expired_.store(true, std::memory_order_release);
+  lock.unlock();
+  on_expire_();
+}
+
+}  // namespace numastream

@@ -1,0 +1,91 @@
+// Graceful drain: the coordinated, deadline-bounded counterpart of the
+// watchdog's hard cancel.
+//
+// The watchdog (core/watchdog.h) answers "nothing is moving": it cancels
+// every stream and reports DEADLINE_EXCEEDED. Drain answers the opposite
+// situation — the operator (or the source running dry) wants the pipeline to
+// *stop ingesting and flush what it holds*. Ingest stops immediately, but
+// the in-flight frames are given a bounded grace window to reach the sink;
+// only if the window expires does the drain fall back to the watchdog's
+// hard teardown (close queues, cancel streams) and count a drain timeout.
+//
+// Two pieces:
+//  * DrainController — the operator-facing latch. Share one controller with
+//    a running pipeline via OverloadHooks (core/pipeline.h) and call
+//    request() from any thread; the pipeline's ingest stages observe the
+//    flag and stop pulling new work.
+//  * DrainDeadline — the one-shot flush timer the pipeline arms when ingest
+//    ends (naturally or by request). If the flush completes first, the
+//    timer is disarmed; otherwise `on_expire` runs exactly once from the
+//    timer thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace numastream {
+
+/// Cross-thread latch asking a pipeline to stop ingesting and flush.
+/// Idempotent and irreversible for one pipeline run.
+class DrainController {
+ public:
+  void request() noexcept { requested_.store(true, std::memory_order_release); }
+
+  [[nodiscard]] bool requested() const noexcept {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  /// The latch as an atomic flag, for wait loops that take one.
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept {
+    return &requested_;
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+};
+
+/// One-shot flush timer. Construct with the grace window and the forced
+/// teardown; arm() starts the countdown (first arm wins — the pipeline may
+/// have several workers racing to report "ingest done"); complete() disarms
+/// it. `on_expire` runs at most once, from the timer thread, and must be
+/// cheap and non-blocking (close a queue, cancel a registry) — the same
+/// contract as Watchdog's on_trip.
+class DrainDeadline {
+ public:
+  DrainDeadline(std::chrono::milliseconds grace, std::function<void()> on_expire);
+
+  /// Joins the timer thread (without firing).
+  ~DrainDeadline();
+
+  /// Starts the countdown. Idempotent; only the first call arms.
+  void arm();
+
+  /// Flush finished: disarm and stop the timer. Idempotent; a completion
+  /// after expiry keeps the expired verdict.
+  void complete();
+
+  /// True once on_expire has run (latched).
+  [[nodiscard]] bool expired() const noexcept {
+    return expired_.load(std::memory_order_acquire);
+  }
+
+ private:
+  void run();
+
+  const std::chrono::milliseconds grace_;
+  std::function<void()> on_expire_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool armed_ = false;
+  bool stopping_ = false;
+  std::chrono::steady_clock::time_point fire_at_{};
+  std::atomic<bool> expired_{false};
+  std::thread thread_;
+};
+
+}  // namespace numastream

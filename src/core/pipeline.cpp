@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <ctime>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <thread>
 #include <utility>
 
 #include "codec/codec.h"
@@ -95,6 +97,68 @@ GroupSpec collect_group(const NodeConfig& config, TaskType type) {
   return spec;
 }
 
+/// Resolves a run's overload collaborators against its config: the caller's
+/// shared ledger/counters when supplied, otherwise run-local scratch. With
+/// the overload directive absent, budget() is null and every mechanism stays
+/// off, keeping the run identical to the pre-overload pipeline.
+class OverloadRun {
+ public:
+  OverloadRun(const OverloadConfig& config, const OverloadHooks& hooks)
+      : config_(config), hooks_(hooks) {
+    if (config_.enabled()) {
+      budget_ = hooks_.budget;
+      if (budget_ == nullptr && config_.budget_bytes > 0) {
+        owned_budget_ = std::make_unique<MemoryBudget>(config_.budget_bytes);
+        budget_ = owned_budget_.get();
+      }
+    }
+  }
+
+  [[nodiscard]] bool on() const noexcept { return config_.enabled(); }
+  [[nodiscard]] MemoryBudget* budget() const noexcept { return budget_; }
+  [[nodiscard]] OverloadCounters& counters() const noexcept {
+    return hooks_.counters != nullptr ? *hooks_.counters : scratch_;
+  }
+  [[nodiscard]] bool credit_on() const noexcept {
+    return on() && config_.credit_window > 0;
+  }
+  [[nodiscard]] bool drain_requested() const noexcept {
+    return hooks_.drain != nullptr && hooks_.drain->requested();
+  }
+
+  /// Counts the first observation of an operator-requested drain.
+  void note_drain_request() {
+    if (!drain_noted_.exchange(true, std::memory_order_acq_rel)) {
+      counters().drain_requests.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Copies the ledger's high-water mark into the counters (end of run).
+  void record_budget_peak() {
+    if (budget_ != nullptr) {
+      counters().record_peak(budget_->peak());
+    }
+  }
+
+  /// Discards frames abandoned in `queue` at teardown and releases their
+  /// charges, so a shared ledger is not leaked dry by an aborted run.
+  void settle_abandoned(BoundedQueue<Message>& queue) {
+    while (auto leftover = queue.try_pop()) {
+      if (budget_ != nullptr) {
+        budget_->release(leftover->stream_id, leftover->body.size());
+      }
+    }
+  }
+
+ private:
+  const OverloadConfig& config_;
+  OverloadHooks hooks_;
+  std::unique_ptr<MemoryBudget> owned_budget_;
+  MemoryBudget* budget_ = nullptr;
+  mutable OverloadCounters scratch_;
+  std::atomic<bool> drain_noted_{false};
+};
+
 }  // namespace
 
 TomoChunkSource::TomoChunkSource(TomoConfig config, std::uint32_t stream_id,
@@ -141,7 +205,8 @@ StreamSender::StreamSender(const MachineTopology& topo, NodeConfig config)
 
 Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& connect,
                                       PlacementRecorder* recorder,
-                                      FaultCounters* faults) {
+                                      FaultCounters* faults,
+                                      OverloadHooks overload) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
   const Codec* codec = codec_by_name(config_.codec_name);
   NS_CHECK(codec != nullptr, "validate() checked the codec");
@@ -157,7 +222,14 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   const RecoveryConfig& recovery = config_.recovery;
   FaultCounters scratch_counters;  // keeps the worker code null-free
   FaultCounters& fc = faults != nullptr ? *faults : scratch_counters;
+  const OverloadConfig& ov = config_.overload;
+  OverloadRun ovr(ov, overload);
+  OverloadCounters& oc = ovr.counters();
+  MemoryBudget* budget = ovr.budget();
   StreamRegistry registry;
+  // Queue waits become cancellable only under overload protection; the
+  // default config keeps the pure blocking wait of the original pipeline.
+  const std::atomic<bool>* qcancel = ovr.on() ? registry.cancel_flag() : nullptr;
   std::atomic<std::uint64_t> dial_seq{0};
   const auto dial = [&]() -> Result<std::unique_ptr<ByteStream>> {
     if (!recovery.reconnect) {
@@ -188,7 +260,25 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   std::atomic<std::uint64_t> wire_bytes{0};
   std::atomic<int> live_compressors{compress.count};
   std::atomic<bool> degraded{false};
+  std::atomic<bool> shedding{false};
   std::atomic<std::uint64_t> sent_messages{0};
+
+  // The flush timer of the graceful drain: armed when the last compressor
+  // stops ingesting (source exhausted or drain requested); if the queued
+  // frames don't reach the wire inside the grace window, force the teardown
+  // the watchdog would have applied — but report it as a drain timeout.
+  std::unique_ptr<DrainDeadline> drain_deadline;
+  if (ovr.on() && ov.drain_deadline_ms > 0) {
+    drain_deadline = std::make_unique<DrainDeadline>(
+        std::chrono::milliseconds(ov.drain_deadline_ms), [&] {
+          oc.drain_timeouts.fetch_add(1, std::memory_order_relaxed);
+          registry.cancel_all();
+          queue.close();
+          // A raised cancel flag only aborts *waits* — frames already queued
+          // would still trickle out. A forced drain means dropping them.
+          ovr.settle_abandoned(queue);
+        });
+  }
 
   // The watchdog trips only when both stages stall for the full deadline;
   // its teardown closes the queue and cancels every registered stream, so
@@ -216,10 +306,16 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
       [&](const PinnedThreadGroup::WorkerContext& ctx) {
         std::unique_ptr<PushSocket> socket;
         ByteStream* raw = nullptr;  // registry handle; owned by `socket`
+        // Messages of credit remaining on the current connection. Every
+        // connection starts at zero: the receiver grants the initial window
+        // on accept, so a sender that dials a pre-credit receiver simply
+        // blocks — the mismatch is visible, not silently unprotected.
+        std::uint64_t credit = 0;
         const auto adopt = [&](std::unique_ptr<ByteStream> stream) {
           raw = stream.get();
           socket = std::make_unique<PushSocket>(std::move(stream));
           registry.add(raw);
+          credit = 0;
         };
         const auto retire = [&] {
           if (socket != nullptr) {
@@ -239,11 +335,47 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           fc.reconnects.fetch_add(1, std::memory_order_relaxed);
           return Status::ok();
         };
+        // Blocks until the current connection has credit. The stall *is*
+        // the flow control: an out-of-credit sender parks in recv_credit()
+        // until the receiver's consumption frees window. Broken connections
+        // recycle exactly like send failures.
+        const auto wait_for_credit = [&]() -> Status {
+          if (credit > 0) {
+            return Status::ok();
+          }
+          oc.credit_stalls.fetch_add(1, std::memory_order_relaxed);
+          while (credit == 0) {
+            auto grant = socket->recv_credit();
+            if (!grant.ok()) {
+              if (recovery.reconnect &&
+                  grant.status().code() == StatusCode::kUnavailable &&
+                  !registry.cancelled()) {
+                NS_RETURN_IF_ERROR(redial());
+                continue;
+              }
+              return grant.status();
+            }
+            credit += grant.value();
+          }
+          return Status::ok();
+        };
         // Sends one message, reconnecting and re-sending on UNAVAILABLE.
+        // With credit flow control on, each attempt first waits for window
+        // on whatever connection is current (a redial resets credit, and
+        // the fresh receiver worker grants a fresh window).
         const auto send_message = [&](const Message& message) -> Status {
           while (true) {
+            if (ovr.credit_on()) {
+              NS_RETURN_IF_ERROR(wait_for_credit());
+            }
             const Status status = socket->send(message);
-            if (status.is_ok() || !recovery.reconnect ||
+            if (status.is_ok()) {
+              if (ovr.credit_on()) {
+                --credit;
+              }
+              return status;
+            }
+            if (!recovery.reconnect ||
                 status.code() != StatusCode::kUnavailable ||
                 registry.cancelled()) {
               return status;
@@ -252,8 +384,13 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           }
         };
         adopt(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
-        while (auto message = queue.pop()) {
+        while (auto message = queue.pop(qcancel)) {
+          const std::uint64_t charge = message->body.size();
+          const std::uint32_t charged_stream = message->stream_id;
           const Status status = send_message(*message);
+          if (budget != nullptr) {
+            budget->release(charged_stream, charge);  // frame left the queue
+          }
           if (!status.is_ok()) {
             errors.record(status);
             queue.close();  // unblock the rest of the pipeline
@@ -288,7 +425,26 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   PinnedThreadGroup compressors(
       topo_, "comp", static_cast<std::size_t>(compress.count), compress.bindings,
       [&](const PinnedThreadGroup::WorkerContext&) {
-        while (auto chunk = source.next()) {
+        // Keep frames newer (higher sequence) over older, and — for the
+        // priority policy — higher-priority streams over lower, newer over
+        // older within a priority class.
+        const auto newer = [](const Message& a, const Message& b) {
+          return a.sequence > b.sequence;
+        };
+        const auto outranks = [&](const Message& a, const Message& b) {
+          const int pa = ov.priority_of(a.stream_id);
+          const int pb = ov.priority_of(b.stream_id);
+          return pa != pb ? pa > pb : a.sequence > b.sequence;
+        };
+        while (true) {
+          if (ovr.drain_requested()) {
+            ovr.note_drain_request();
+            break;  // stop ingesting; queued frames flush under the deadline
+          }
+          auto chunk = source.next();
+          if (!chunk) {
+            break;
+          }
           const Codec* active = codec;
           if (recovery.degrade_watermark > 0) {
             const std::size_t depth = queue.size();
@@ -308,12 +464,78 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           message.body = encode_frame(*active, chunk->payload);
           raw_bytes.fetch_add(chunk->size(), std::memory_order_relaxed);
           chunks.fetch_add(1, std::memory_order_relaxed);
-          if (!queue.push(std::move(message)).is_ok()) {
+
+          // Load shedding: between the watermarks (hysteresis latch, like
+          // `degraded` above) the configured policy decides which frame
+          // pays for the overload — the incoming one, the oldest queued
+          // one, or the lowest-priority queued one.
+          if (ovr.on() && ov.high_watermark > 0 &&
+              ov.shed_policy != ShedPolicy::kBlock) {
+            const std::size_t depth = queue.size();
+            if (depth >= ov.high_watermark) {
+              shedding.store(true, std::memory_order_relaxed);
+            } else if (depth <= ov.low_watermark) {
+              shedding.store(false, std::memory_order_relaxed);
+            }
+            if (shedding.load(std::memory_order_relaxed)) {
+              if (ov.shed_policy == ShedPolicy::kDropNewest) {
+                oc.shed_newest.fetch_add(1, std::memory_order_relaxed);
+                continue;  // the incoming frame is the casualty
+              }
+              if (ov.shed_policy == ShedPolicy::kDropOldest) {
+                if (auto evicted = queue.try_evict_worst(newer)) {
+                  oc.shed_oldest.fetch_add(1, std::memory_order_relaxed);
+                  if (budget != nullptr) {
+                    budget->release(evicted->stream_id, evicted->body.size());
+                  }
+                }
+                // fall through: admit the incoming frame
+              } else {  // kPriorityEvict
+                if (auto evicted = queue.try_evict_if_worse(message, outranks)) {
+                  oc.priority_evictions.fetch_add(1, std::memory_order_relaxed);
+                  if (budget != nullptr) {
+                    budget->release(evicted->stream_id, evicted->body.size());
+                  }
+                } else {
+                  // The incoming frame is the least valuable — shed it.
+                  oc.shed_newest.fetch_add(1, std::memory_order_relaxed);
+                  continue;
+                }
+              }
+            }
+          }
+
+          // Budget admission: the charge is the encoded body, released when
+          // the frame leaves through the send stage. Blocking policies wait
+          // for releases (backpressure); shedding policies convert a full
+          // ledger into a shed instead of a stall.
+          const std::uint64_t charge = message.body.size();
+          if (budget != nullptr) {
+            if (ov.shed_policy == ShedPolicy::kBlock) {
+              if (!budget
+                       ->acquire(message.stream_id, charge,
+                                 registry.cancel_flag(), &oc.budget_stalls)
+                       .is_ok()) {
+                break;  // cancelled mid-admission: pipeline is tearing down
+              }
+            } else if (!budget->try_acquire(message.stream_id, charge).is_ok()) {
+              oc.budget_rejections.fetch_add(1, std::memory_order_relaxed);
+              oc.shed_newest.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+          }
+          if (!queue.push(std::move(message), qcancel).is_ok()) {
+            if (budget != nullptr) {
+              budget->release(chunk->stream_id, charge);
+            }
             break;  // pipeline shutting down (peer failure)
           }
         }
         if (live_compressors.fetch_sub(1) == 1) {
           queue.close();  // last compressor ends the stream
+          if (drain_deadline != nullptr) {
+            drain_deadline->arm();  // the flush clock starts now
+          }
         }
         compress_busy.add_seconds(thread_cpu_seconds());
       },
@@ -321,11 +543,23 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
 
   compressors.join();
   senders.join();
+  ovr.settle_abandoned(queue);
+  ovr.record_budget_peak();
   if (watchdog != nullptr) {
     watchdog->stop();
     if (watchdog->tripped()) {
       // The trip explains every downstream failure; report it, not them.
       return watchdog->trip_status();
+    }
+  }
+  if (drain_deadline != nullptr) {
+    drain_deadline->complete();
+    if (drain_deadline->expired()) {
+      // Like a watchdog trip, the forced drain explains the downstream
+      // errors it provoked; report the drain, not them.
+      return deadline_exceeded_error(
+          "graceful drain exceeded its " + std::to_string(ov.drain_deadline_ms) +
+          "ms deadline; in-flight frames were forcibly dropped");
     }
   }
 
@@ -352,7 +586,8 @@ StreamReceiver::StreamReceiver(const MachineTopology& topo, NodeConfig config)
 
 Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
                                           PlacementRecorder* recorder,
-                                          FaultCounters* faults) {
+                                          FaultCounters* faults,
+                                          OverloadHooks overload) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
 
   const GroupSpec receive = collect_group(config_, TaskType::kReceive);
@@ -364,7 +599,12 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   const RecoveryConfig& recovery = config_.recovery;
   FaultCounters scratch_counters;
   FaultCounters& fc = faults != nullptr ? *faults : scratch_counters;
+  const OverloadConfig& ov = config_.overload;
+  OverloadRun ovr(ov, overload);
+  OverloadCounters& oc = ovr.counters();
+  MemoryBudget* budget = ovr.budget();
   StreamRegistry registry;
+  const std::atomic<bool>* qcancel = ovr.on() ? registry.cancel_flag() : nullptr;
 
   // One accepted connection per receiving thread, before the clock starts.
   std::vector<std::unique_ptr<ByteStream>> streams;
@@ -398,6 +638,54 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   std::mutex dedup_mu;
   std::set<std::pair<std::uint32_t, std::uint64_t>> delivered;
 
+  // Slow-consumer protection: per-stream progress sampled by a monitor
+  // thread. A stream with a standing backlog that delivers fewer than
+  // slow_stream_floor chunks per grace window is evicted — its frames are
+  // dropped (and counted) so one stalled sink cannot hoard the queue and
+  // budget that every other stream needs.
+  struct StreamProgress {
+    std::uint64_t received = 0;
+    std::uint64_t delivered_chunks = 0;
+  };
+  const bool slow_monitor_on = ovr.on() && ov.slow_stream_floor > 0;
+  std::mutex progress_mu;
+  std::map<std::uint32_t, StreamProgress> progress;
+  std::set<std::uint32_t> evicted_streams;
+  const auto note_received = [&](std::uint32_t stream_id) {
+    if (slow_monitor_on) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      ++progress[stream_id].received;
+    }
+  };
+  const auto note_delivered = [&](std::uint32_t stream_id) {
+    if (slow_monitor_on) {
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      ++progress[stream_id].delivered_chunks;
+    }
+  };
+  const auto stream_evicted = [&](std::uint32_t stream_id) {
+    if (!slow_monitor_on) {
+      return false;
+    }
+    const std::lock_guard<std::mutex> lock(progress_mu);
+    return evicted_streams.count(stream_id) > 0;
+  };
+
+  std::unique_ptr<DrainDeadline> drain_deadline;
+  if (ovr.on() && ov.drain_deadline_ms > 0) {
+    drain_deadline = std::make_unique<DrainDeadline>(
+        std::chrono::milliseconds(ov.drain_deadline_ms), [&] {
+          oc.drain_timeouts.fetch_add(1, std::memory_order_relaxed);
+          done.store(true, std::memory_order_release);
+          listener.close();
+          registry.cancel_all();
+          queue.close();
+          // A raised cancel flag only aborts *waits* — frames already queued
+          // would still trickle out. A forced drain means dropping them.
+          ovr.settle_abandoned(queue);
+        });
+  }
+
   std::unique_ptr<Watchdog> watchdog;
   if (recovery.watchdog_ms > 0) {
     watchdog = std::make_unique<Watchdog>(
@@ -410,6 +698,37 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
     watchdog->watch("receive", &received_messages);
     watchdog->watch("decompress", &chunks);
     watchdog->start();
+  }
+
+  std::atomic<bool> monitor_stop{false};
+  std::mutex monitor_mu;
+  std::condition_variable monitor_wake;
+  std::thread slow_monitor;
+  if (slow_monitor_on) {
+    slow_monitor = std::thread([&] {
+      std::map<std::uint32_t, std::uint64_t> last_delivered;
+      std::unique_lock<std::mutex> lock(monitor_mu);
+      while (!monitor_stop.load(std::memory_order_acquire)) {
+        monitor_wake.wait_for(lock,
+                              std::chrono::milliseconds(ov.slow_grace_ms));
+        if (monitor_stop.load(std::memory_order_acquire)) {
+          return;
+        }
+        const std::lock_guard<std::mutex> plock(progress_mu);
+        for (const auto& [stream_id, p] : progress) {
+          if (evicted_streams.count(stream_id) > 0) {
+            continue;
+          }
+          const std::uint64_t delta = p.delivered_chunks - last_delivered[stream_id];
+          last_delivered[stream_id] = p.delivered_chunks;
+          const bool backlog = p.received > p.delivered_chunks;
+          if (backlog && delta < ov.slow_stream_floor) {
+            evicted_streams.insert(stream_id);
+            oc.slow_streams_evicted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
   }
 
   ThroughputMeter meter;
@@ -425,11 +744,41 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
       [&](const PinnedThreadGroup::WorkerContext& ctx) {
         std::unique_ptr<PullSocket> socket;
         ByteStream* raw = nullptr;  // registry handle; owned by `socket`
+        // Data frames consumed off the current connection since the last
+        // credit grant; replenished in batches of half the window so grant
+        // frames stay rare relative to data frames.
+        std::uint64_t consumed = 0;
         const auto adopt = [&](std::unique_ptr<ByteStream> stream) {
           raw = stream.get();
           socket = std::make_unique<PullSocket>(std::move(stream), 256 * 1024,
                                                 on_corruption);
           registry.add(raw);
+          consumed = 0;
+          if (ovr.credit_on() &&
+              socket->send_credit(ov.credit_window).is_ok()) {
+            // The initial window: the peer sender starts at zero credit and
+            // blocks until this grant lands.
+            oc.credit_grants.fetch_add(1, std::memory_order_relaxed);
+          }
+        };
+        // Counts one consumed data frame and replenishes the peer's window
+        // once half of it has been drained. Every consumed frame counts —
+        // including duplicates and evicted-stream drops — because the peer
+        // spent credit to send it; skipping any would leak window and
+        // eventually wedge the connection.
+        const auto consume_credit = [&] {
+          if (!ovr.credit_on() || socket == nullptr) {
+            return;
+          }
+          ++consumed;
+          const std::uint64_t batch =
+              std::max<std::uint64_t>(1, ov.credit_window / 2);
+          if (consumed >= batch) {
+            if (socket->send_credit(consumed).is_ok()) {
+              oc.credit_grants.fetch_add(1, std::memory_order_relaxed);
+            }
+            consumed = 0;
+          }
         };
         const auto retire = [&] {
           if (socket != nullptr) {
@@ -448,6 +797,11 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
           // Drain the current connection to its end.
           bool got_eos = false;
           while (socket != nullptr) {
+            if (ovr.drain_requested()) {
+              ovr.note_drain_request();
+              running = false;
+              break;  // stop ingesting; queued frames flush under the deadline
+            }
             auto message = socket->recv();
             if (!message.ok()) {
               const StatusCode code = message.status().code();
@@ -475,13 +829,37 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
                                 message.value().sequence)
                        .second) {
                 fc.duplicate_frames.fetch_add(1, std::memory_order_relaxed);
+                consume_credit();
                 continue;
               }
             }
-            if (!queue.push(std::move(message).value()).is_ok()) {
+            if (stream_evicted(message.value().stream_id)) {
+              oc.evicted_chunks.fetch_add(1, std::memory_order_relaxed);
+              consume_credit();
+              continue;  // the stream was cut for falling behind
+            }
+            note_received(message.value().stream_id);
+            // Charge the frame to the in-flight ledger before it occupies
+            // queue memory; released when the decompress stage disposes of
+            // it (delivery, corruption drop, or eviction).
+            const std::uint64_t charge = message.value().body.size();
+            const std::uint32_t charged_stream = message.value().stream_id;
+            if (budget != nullptr &&
+                !budget
+                     ->acquire(charged_stream, charge, registry.cancel_flag(),
+                               &oc.budget_stalls)
+                     .is_ok()) {
+              running = false;
+              break;  // cancelled mid-admission: pipeline is tearing down
+            }
+            if (!queue.push(std::move(message).value(), qcancel).is_ok()) {
+              if (budget != nullptr) {
+                budget->release(charged_stream, charge);
+              }
               running = false;
               break;  // pipeline shutting down
             }
+            consume_credit();
           }
           retire();
           if (!recovery.reconnect || done.load(std::memory_order_acquire) ||
@@ -520,6 +898,9 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
         retire();
         if (live_receivers.fetch_sub(1) == 1) {
           queue.close();
+          if (drain_deadline != nullptr) {
+            drain_deadline->arm();  // the flush clock starts now
+          }
         }
         receive_busy.add_seconds(thread_cpu_seconds());
       },
@@ -529,7 +910,21 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
       topo_, "decomp", static_cast<std::size_t>(decompress.count), decompress.bindings,
       [&](const PinnedThreadGroup::WorkerContext&) {
         int consecutive_corrupt = 0;
-        while (auto message = queue.pop()) {
+        while (auto message = queue.pop(qcancel)) {
+          // Whatever happens to this frame below — delivery, corruption
+          // drop, or eviction — its ledger charge is returned exactly once.
+          const std::uint64_t charge = message->body.size();
+          const std::uint32_t charged_stream = message->stream_id;
+          const auto settle = [&] {
+            if (budget != nullptr) {
+              budget->release(charged_stream, charge);
+            }
+          };
+          if (stream_evicted(charged_stream)) {
+            oc.evicted_chunks.fetch_add(1, std::memory_order_relaxed);
+            settle();
+            continue;  // the stream was cut for falling behind
+          }
           bool resynced = false;
           auto content =
               recovery.reconnect
@@ -539,6 +934,7 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
             corrupt_frames.fetch_add(1, std::memory_order_relaxed);
             fc.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
             fc.dropped_frames.fetch_add(1, std::memory_order_relaxed);
+            settle();
             // Isolated corruption is dropped and counted; a run of it means
             // the stream itself is bad — give up with the real error.
             if (++consecutive_corrupt >= recovery.max_consecutive_corrupt) {
@@ -561,6 +957,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
           raw_bytes.fetch_add(chunk.size(), std::memory_order_relaxed);
           chunks.fetch_add(1, std::memory_order_relaxed);
           sink.deliver(std::move(chunk));
+          note_delivered(charged_stream);
+          settle();
         }
         decompress_busy.add_seconds(thread_cpu_seconds());
       },
@@ -568,10 +966,25 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
 
   receivers.join();
   decompressors.join();
+  if (slow_monitor.joinable()) {
+    monitor_stop.store(true, std::memory_order_release);
+    monitor_wake.notify_all();
+    slow_monitor.join();
+  }
+  ovr.settle_abandoned(queue);
+  ovr.record_budget_peak();
   if (watchdog != nullptr) {
     watchdog->stop();
     if (watchdog->tripped()) {
       return watchdog->trip_status();
+    }
+  }
+  if (drain_deadline != nullptr) {
+    drain_deadline->complete();
+    if (drain_deadline->expired()) {
+      return deadline_exceeded_error(
+          "graceful drain exceeded its " + std::to_string(ov.drain_deadline_ms) +
+          "ms deadline; in-flight frames were forcibly dropped");
     }
   }
 
@@ -593,7 +1006,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
 }
 
 PipelineObservation make_observation(const SenderStats& sender,
-                                     const ReceiverStats& receiver) {
+                                     const ReceiverStats& receiver,
+                                     const OverloadCountersSnapshot* overload) {
   const auto stage = [](double busy, int threads, double elapsed) {
     StageObservation observation;
     observation.threads = threads;
@@ -614,6 +1028,13 @@ PipelineObservation make_observation(const SenderStats& sender,
   observation.decompress =
       stage(receiver.decompress_busy_seconds, receiver.decompress_threads,
             receiver.elapsed_seconds);
+  if (overload != nullptr) {
+    observation.overload.shed_chunks = overload->total_shed();
+    observation.overload.credit_stalls = overload->credit_stalls;
+    observation.overload.budget_stalls = overload->budget_stalls;
+    observation.overload.evicted_chunks = overload->evicted_chunks;
+    observation.overload.peak_bytes_in_flight = overload->peak_bytes_in_flight;
+  }
   return observation;
 }
 

@@ -18,14 +18,34 @@
 #include <map>
 #include <optional>
 
+#include "core/budget.h"
 #include "core/config.h"
+#include "core/drain.h"
 #include "data/chunk.h"
 #include "data/tomo.h"
 #include "metrics/fault_counters.h"
+#include "metrics/overload_counters.h"
 #include "msg/socket.h"
 #include "msg/transport.h"
 
 namespace numastream {
+
+/// Optional overload-protection collaborators for one pipeline run. All
+/// pointers are borrowed and may be null; the pipeline consults them only
+/// when `config.overload` enables the corresponding mechanism, so a
+/// default-constructed OverloadHooks with a default OverloadConfig is
+/// exactly the pre-overload pipeline.
+struct OverloadHooks {
+  /// Shared in-flight byte ledger. When null but config.overload sets
+  /// budget_bytes, the pipeline creates a private ledger for the run; pass
+  /// one MemoryBudget here to enforce a process-wide cap across pipelines.
+  MemoryBudget* budget = nullptr;
+  /// Accumulates shed/stall/evict/drain accounting when supplied.
+  OverloadCounters* counters = nullptr;
+  /// Operator-initiated graceful drain: when supplied, ingest stages watch
+  /// the controller and stop pulling new work once it is requested.
+  DrainController* drain = nullptr;
+};
 
 /// Produces the chunks a sender streams. Implementations must be
 /// thread-safe: every compression thread pulls from the same source.
@@ -151,10 +171,14 @@ class StreamSender {
   /// transient dial failures are retried per `config.recovery.retry` and the
   /// in-flight message is re-sent on the fresh connection. `faults`, when
   /// supplied, accumulates recovery accounting (reconnects, retries,
-  /// degraded chunks, watchdog trips).
+  /// degraded chunks, watchdog trips). `overload` supplies the optional
+  /// budget/counters/drain collaborators used when `config.overload` turns
+  /// on overload protection (admission, shedding, credit flow control,
+  /// bounded drain).
   Result<SenderStats> run(ChunkSource& source, const ConnectFn& connect,
                           PlacementRecorder* recorder = nullptr,
-                          FaultCounters* faults = nullptr);
+                          FaultCounters* faults = nullptr,
+                          OverloadHooks overload = {});
 
  private:
   const MachineTopology& topo_;
@@ -173,10 +197,14 @@ class StreamReceiver {
   /// decoder resyncs past garbage instead of failing, and resent messages
   /// are deduplicated by (stream, sequence). The pipeline ends once every
   /// expected end-of-stream marker (one per receiving thread's peer) has
-  /// arrived. `faults` accumulates recovery accounting when supplied.
+  /// arrived. `faults` accumulates recovery accounting when supplied;
+  /// `overload` supplies the optional budget/counters/drain collaborators
+  /// for overload protection (credit grants, slow-consumer eviction,
+  /// bounded drain).
   Result<ReceiverStats> run(Listener& listener, ChunkSink& sink,
                             PlacementRecorder* recorder = nullptr,
-                            FaultCounters* faults = nullptr);
+                            FaultCounters* faults = nullptr,
+                            OverloadHooks overload = {});
 
  private:
   const MachineTopology& topo_;
@@ -186,9 +214,12 @@ class StreamReceiver {
 /// Combines one run's sender and receiver stats into the advisor's
 /// observation format (core/advisor.h), enabling the observe-analyze-refine
 /// loop on the real pipeline exactly as on the simulated one. Utilization is
-/// active processing time over (elapsed x threads).
+/// active processing time over (elapsed x threads). `overload`, when
+/// supplied, folds the run's overload counters into the observation so the
+/// advisor can tell a compute bottleneck from an overload-protection one.
 struct PipelineObservation;  // forward declared in core/advisor.h
-PipelineObservation make_observation(const SenderStats& sender,
-                                     const ReceiverStats& receiver);
+PipelineObservation make_observation(
+    const SenderStats& sender, const ReceiverStats& receiver,
+    const OverloadCountersSnapshot* overload = nullptr);
 
 }  // namespace numastream

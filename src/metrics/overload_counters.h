@@ -1,0 +1,95 @@
+// OverloadCounters: one pipeline's overload-protection ledger.
+//
+// The complement of FaultCounters: where that ledger accounts for injected
+// transport faults and the recovery they provoked, this one accounts for
+// *pressure* — admission decisions the budget made, frames the shed policies
+// dropped, credit stalls the flow-control window imposed, streams evicted
+// for falling behind, and how the graceful drain ended. Same accountability
+// rule: a chunk that entered an overloaded pipeline is either delivered or
+// shows up in exactly one counter here — never silently gone.
+//
+// Counters are relaxed atomics (touched at chunk granularity); snapshot()
+// yields a comparable plain struct and overload_table() renders one through
+// the shared TextTable formatter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of OverloadCounters, comparable and printable.
+struct OverloadCountersSnapshot {
+  // Load shedding (core/pipeline.cpp shed policies).
+  std::uint64_t shed_newest = 0;        ///< incoming frames dropped at admission
+  std::uint64_t shed_oldest = 0;        ///< queued frames dropped to admit newer ones
+  std::uint64_t priority_evictions = 0; ///< queued frames evicted for higher priority
+
+  // Credit-based flow control (msg/socket.h credit frames).
+  std::uint64_t credit_stalls = 0;      ///< times a sender ran dry and had to wait
+  std::uint64_t credit_grants = 0;      ///< credit frames issued by the receiver
+
+  // Memory budget admission (core/budget.h).
+  std::uint64_t budget_stalls = 0;      ///< admissions that had to wait for releases
+  std::uint64_t budget_rejections = 0;  ///< admissions denied outright (shed instead)
+
+  // Slow-consumer protection.
+  std::uint64_t slow_streams_evicted = 0;  ///< streams cut for missing the floor
+  std::uint64_t evicted_chunks = 0;        ///< frames dropped for evicted streams
+
+  // Graceful drain (core/drain.h).
+  std::uint64_t drain_requests = 0;     ///< coordinated flushes started
+  std::uint64_t drain_timeouts = 0;     ///< flushes that hit the deadline and forced
+
+  // High-water mark of bytes concurrently charged to the memory budget.
+  std::uint64_t peak_bytes_in_flight = 0;
+
+  friend bool operator==(const OverloadCountersSnapshot&,
+                         const OverloadCountersSnapshot&) = default;
+
+  /// Every frame dropped by a shed policy, whatever the policy was.
+  [[nodiscard]] std::uint64_t total_shed() const noexcept {
+    return shed_newest + shed_oldest + priority_evictions;
+  }
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by a pipeline's workers. All increments
+/// are relaxed: counters are statistics, not synchronization.
+class OverloadCounters {
+ public:
+  std::atomic<std::uint64_t> shed_newest{0};
+  std::atomic<std::uint64_t> shed_oldest{0};
+  std::atomic<std::uint64_t> priority_evictions{0};
+
+  std::atomic<std::uint64_t> credit_stalls{0};
+  std::atomic<std::uint64_t> credit_grants{0};
+
+  std::atomic<std::uint64_t> budget_stalls{0};
+  std::atomic<std::uint64_t> budget_rejections{0};
+
+  std::atomic<std::uint64_t> slow_streams_evicted{0};
+  std::atomic<std::uint64_t> evicted_chunks{0};
+
+  std::atomic<std::uint64_t> drain_requests{0};
+  std::atomic<std::uint64_t> drain_timeouts{0};
+
+  std::atomic<std::uint64_t> peak_bytes_in_flight{0};
+
+  /// Raises peak_bytes_in_flight to at least `bytes` (monotonic gauge).
+  void record_peak(std::uint64_t bytes);
+
+  [[nodiscard]] OverloadCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so unstressed runs print short.
+TextTable overload_table(const OverloadCountersSnapshot& snapshot,
+                         bool nonzero_only = false);
+
+}  // namespace numastream

@@ -15,7 +15,9 @@ Bytes encode_message(const Message& message) {
   w.u32(kMessageMagic);
   w.u32(message.stream_id);
   w.u64(message.sequence);
-  w.u16(message.end_of_stream ? kMessageFlagEndOfStream : 0);
+  w.u16(static_cast<std::uint16_t>(
+      (message.end_of_stream ? kMessageFlagEndOfStream : 0) |
+      (message.credit ? kMessageFlagCredit : 0)));
   w.u16(0);
   w.u64(message.body.size());
   w.u32(xxhash32(message.body));
@@ -69,8 +71,14 @@ Result<Message> MessageDecoder::next() {
     const std::uint16_t flags = load_le16(header + 16);
     const std::uint16_t reserved = load_le16(header + 18);
     const std::uint64_t body_size = load_le64(header + 20);
-    if ((flags & ~kMessageFlagEndOfStream) != 0 || reserved != 0) {
+    if ((flags & ~kMessageKnownFlags) != 0 || reserved != 0) {
       if (auto st = corruption("message: unknown flags")) {
+        return *st;
+      }
+      continue;
+    }
+    if ((flags & kMessageFlagCredit) != 0 && body_size != 0) {
+      if (auto st = corruption("message: credit frame with a body")) {
         return *st;
       }
       continue;
@@ -90,6 +98,7 @@ Result<Message> MessageDecoder::next() {
     message.stream_id = load_le32(header + 4);
     message.sequence = load_le64(header + 8);
     message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
+    message.credit = (flags & kMessageFlagCredit) != 0;
     message.body.assign(header + kMessageHeaderSize,
                         header + kMessageHeaderSize + body_size);
     if (xxhash32(message.body) != load_le32(header + 28)) {

@@ -11,11 +11,20 @@
 //   0   4  magic "NSM1"
 //   4   4  stream id
 //   8   8  sequence number
-//   16  2  flags (bit 0: end-of-stream)
+//   16  2  flags (bit 0: end-of-stream, bit 1: credit grant)
 //   18  2  reserved (0)
 //   20  8  body size
 //   28  4  xxhash32(body)
 //   32  .. body
+//
+// Protocol versioning: the "NSM1" magic names wire version 1. Bit 1 of the
+// flags word is the v1.1 extension — a body-less *credit grant* control
+// frame that flows from receiver to sender on the same connection, carrying
+// the grant count in the sequence field. A v1.0 decoder treats the unknown
+// flag as corruption, which is safe because credit frames are only ever
+// emitted when the operator enables credit flow control in the overload
+// directive on both ends (core/config.h); absent that directive the wire is
+// bit-identical to v1.0.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +37,9 @@ namespace numastream {
 inline constexpr std::uint32_t kMessageMagic = 0x314D534EU;  // "NSM1"
 inline constexpr std::size_t kMessageHeaderSize = 32;
 inline constexpr std::uint16_t kMessageFlagEndOfStream = 1;
+inline constexpr std::uint16_t kMessageFlagCredit = 2;
+inline constexpr std::uint16_t kMessageKnownFlags =
+    kMessageFlagEndOfStream | kMessageFlagCredit;
 
 /// Refuse absurd body sizes before allocating: protects a receiver from a
 /// corrupt or hostile length prefix. Generous relative to the 11 MiB chunks.
@@ -37,6 +49,10 @@ struct Message {
   std::uint32_t stream_id = 0;
   std::uint64_t sequence = 0;
   bool end_of_stream = false;
+  /// Control frame: receiver->sender permission to send `sequence` more
+  /// data messages on this connection (credit-based flow control). Always
+  /// body-less.
+  bool credit = false;
   Bytes body;
 
   [[nodiscard]] static Message end_of_stream_marker(std::uint32_t stream_id,
@@ -45,6 +61,14 @@ struct Message {
     m.stream_id = stream_id;
     m.sequence = sequence;
     m.end_of_stream = true;
+    return m;
+  }
+
+  /// Credit grant for `grant` more messages (see msg/socket.h).
+  [[nodiscard]] static Message credit_grant(std::uint64_t grant) {
+    Message m;
+    m.sequence = grant;
+    m.credit = true;
     return m;
   }
 };

@@ -26,6 +26,32 @@ Status PushSocket::finish(std::uint32_t stream_id) {
   return status;
 }
 
+Result<std::uint64_t> PushSocket::recv_credit() {
+  if (credit_buffer_.empty()) {
+    credit_buffer_.resize(4096);  // credit frames are 32-byte headers
+  }
+  while (true) {
+    auto message = credit_decoder_.next();
+    if (message.ok()) {
+      if (!message.value().credit) {
+        return data_loss_error("credit channel carried a data message");
+      }
+      return message.value().sequence;
+    }
+    if (message.status().code() == StatusCode::kDataLoss) {
+      return message.status();
+    }
+    auto n = stream_->read_some(credit_buffer_);
+    if (!n.ok()) {
+      return n.status();
+    }
+    if (n.value() == 0) {
+      return unavailable_error("peer closed before granting credit");
+    }
+    credit_decoder_.feed(ByteSpan(credit_buffer_.data(), n.value()));
+  }
+}
+
 PullSocket::PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer,
                        MessageDecoder::OnCorruption on_corruption)
     : stream_(std::move(stream)), decoder_(on_corruption), read_buffer_(read_buffer) {
@@ -56,6 +82,10 @@ Result<Message> PullSocket::recv() {
     bytes_received_ += n.value();
     decoder_.feed(ByteSpan(read_buffer_.data(), n.value()));
   }
+}
+
+Status PullSocket::send_credit(std::uint64_t grant) {
+  return stream_->write_all(encode_message(Message::credit_grant(grant)));
 }
 
 }  // namespace numastream

@@ -22,11 +22,22 @@ class PushSocket {
   /// Sends the end-of-stream marker and closes the write side. Idempotent.
   Status finish(std::uint32_t stream_id);
 
+  /// Blocks until the peer's next credit grant arrives on the reverse
+  /// direction of this connection and returns the granted message count.
+  /// Credit frames (msg/message.h, flag bit 1) are the only traffic a
+  /// receiver ever sends back, so a sender only reads when it is out of
+  /// credit — there is no select() loop, and the stall is the flow control.
+  ///   UNAVAILABLE - peer closed without granting (shutdown),
+  ///   DATA_LOSS   - the reverse channel carried a non-credit message.
+  Result<std::uint64_t> recv_credit();
+
   /// Bytes pushed so far, including headers (for throughput accounting).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 
  private:
   std::unique_ptr<ByteStream> stream_;
+  MessageDecoder credit_decoder_;
+  Bytes credit_buffer_;
   std::uint64_t bytes_sent_ = 0;
   bool finished_ = false;
 };
@@ -48,6 +59,11 @@ class PullSocket {
   /// An end-of-stream marker message is delivered like any other; callers
   /// check Message::end_of_stream.
   Result<Message> recv();
+
+  /// Writes a credit grant for `grant` messages on the reverse direction of
+  /// this connection (credit-based flow control; the paired PushSocket reads
+  /// it via recv_credit). Call from the thread that owns this socket.
+  Status send_credit(std::uint64_t grant);
 
   /// Bytes pulled so far, including headers.
   [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }

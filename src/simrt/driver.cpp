@@ -1,5 +1,6 @@
 #include "simrt/driver.h"
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
@@ -228,6 +229,10 @@ Result<ExperimentResult> run_experiment(
     spec.decompress_workers = std::move(decompress_workers).value();
     spec.per_connection_cap = options.per_connection_cap;
     spec.queue_capacity = options.queue_capacity;
+    spec.credit_window_chunks = options.credit_window_chunks;
+    spec.memory_budget_bytes = options.memory_budget_bytes;
+    spec.shed_high_watermark = options.shed_high_watermark;
+    spec.shed_low_watermark = options.shed_low_watermark;
     if (options.source_gbps > 0) {
       spec.source_bytes_per_sec = gbps_to_bytes_per_sec(options.source_gbps);
     }
@@ -260,8 +265,18 @@ Result<ExperimentResult> run_experiment(
     stream.e2e_gbps =
         bytes_per_sec_to_gbps(pipeline->raw_bytes_delivered() / window);
     stream.chunks = pipeline->chunks_delivered();
+    stream.shed_chunks = pipeline->shed_chunks();
+    stream.credit_stalls = pipeline->credit_stalls();
+    stream.budget_stalls = pipeline->budget_stalls();
+    stream.peak_bytes_in_flight = pipeline->peak_bytes_in_flight();
     result.network_gbps += stream.network_gbps;
     result.e2e_gbps += stream.e2e_gbps;
+    result.observation.overload.shed_chunks += stream.shed_chunks;
+    result.observation.overload.credit_stalls += stream.credit_stalls;
+    result.observation.overload.budget_stalls += stream.budget_stalls;
+    result.observation.overload.peak_bytes_in_flight =
+        std::max(result.observation.overload.peak_bytes_in_flight,
+                 static_cast<std::uint64_t>(stream.peak_bytes_in_flight));
     result.streams.push_back(stream);
   }
   receiver.usage().set_elapsed(result.elapsed_seconds);

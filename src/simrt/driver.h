@@ -41,6 +41,13 @@ struct ExperimentOptions {
   double per_connection_cap = 1e18;
   std::size_t queue_capacity = 8;
 
+  /// Overload protection, applied to every stream's pipeline (mirrors
+  /// StreamPipeline::Spec; 0 = off, the default).
+  std::size_t credit_window_chunks = 0;
+  double memory_budget_bytes = 0;  ///< per-stream in-flight wire-byte cap
+  std::size_t shed_high_watermark = 0;
+  std::size_t shed_low_watermark = 0;
+
   /// Per-sender instrument/dataset generation rate in Gbps of raw data
   /// ("senders exclusively generate data chunks at a fixed rate", §3.1).
   /// 0 = unlimited (the source never throttles the pipeline).
@@ -60,6 +67,11 @@ struct StreamResult {
   double network_gbps = 0;  ///< wire goodput delivered to the receiver
   double e2e_gbps = 0;      ///< decompressed bytes delivered
   std::uint64_t chunks = 0;
+  // Overload accounting (all zero when the protections are off).
+  std::uint64_t shed_chunks = 0;
+  std::uint64_t credit_stalls = 0;
+  std::uint64_t budget_stalls = 0;
+  double peak_bytes_in_flight = 0;
 };
 
 struct ExperimentResult {

@@ -1,5 +1,7 @@
 #include "simrt/pipeline.h"
 
+#include <algorithm>
+
 #include "common/assert.h"
 
 namespace numastream::simrt {
@@ -30,6 +32,16 @@ StreamPipeline::StreamPipeline(sim::Simulation& sim, const Calibration& calib,
     NS_CHECK(!spec_.decompress_workers.empty(), "decompression enabled but no workers");
   }
 
+  NS_CHECK(spec_.shed_low_watermark <= spec_.shed_high_watermark,
+           "shed hysteresis band must be low <= high");
+  NS_CHECK(spec_.shed_high_watermark <= spec_.queue_capacity,
+           "shed high watermark exceeds queue capacity");
+  NS_CHECK(spec_.shed_high_watermark == 0 || spec_.compress,
+           "shedding guards the compress->send queue; enable compress");
+  NS_CHECK(spec_.memory_budget_bytes == 0 ||
+               spec_.memory_budget_bytes >= wire_chunk_bytes(),
+           "a budget smaller than one wire chunk would deadlock admission");
+
   source_remaining_ = spec_.chunks;
   send_queue_ = std::make_unique<sim::SimQueue<SimChunk>>(sim_, spec_.queue_capacity);
   decompress_queue_ =
@@ -37,6 +49,27 @@ StreamPipeline::StreamPipeline(sim::Simulation& sim, const Calibration& calib,
   for (std::size_t i = 0; i < spec_.send_workers.size(); ++i) {
     connection_queues_.push_back(std::make_unique<sim::SimQueue<SimChunk>>(
         sim_, spec_.connection_window_chunks));
+  }
+  if (spec_.credit_window_chunks > 0) {
+    for (std::size_t i = 0; i < spec_.send_workers.size(); ++i) {
+      credit_tokens_.push_back(std::make_unique<sim::SimQueue<int>>(
+          sim_, spec_.credit_window_chunks));
+    }
+  }
+  if (spec_.memory_budget_bytes > 0) {
+    budget_chunk_cap_ = static_cast<std::size_t>(spec_.memory_budget_bytes /
+                                                 wire_chunk_bytes());
+    budget_tokens_ =
+        std::make_unique<sim::SimQueue<int>>(sim_, budget_chunk_cap_);
+  }
+}
+
+sim::SimProc StreamPipeline::token_filler(sim::SimQueue<int>& tokens,
+                                          std::size_t count) {
+  // The queue's capacity equals `count`, so seeding never suspends; this is
+  // a coroutine only because SimQueue::push is an awaitable.
+  for (std::size_t i = 0; i < count; ++i) {
+    co_await tokens.push(1);
   }
 }
 
@@ -60,6 +93,14 @@ std::optional<SimChunk> StreamPipeline::draw_source_chunk() {
 }
 
 void StreamPipeline::launch() {
+  // Seed the overload token pools first so the initial credit grant and the
+  // full budget are in place before any worker runs.
+  for (auto& tokens : credit_tokens_) {
+    sim_.spawn(token_filler(*tokens, spec_.credit_window_chunks));
+  }
+  if (budget_tokens_ != nullptr) {
+    sim_.spawn(token_filler(*budget_tokens_, budget_chunk_cap_));
+  }
   if (spec_.compress) {
     live_compressors_ = static_cast<int>(spec_.compress_workers.size());
     for (const Worker& worker : spec_.compress_workers) {
@@ -108,6 +149,33 @@ sim::SimProc StreamPipeline::compressor_worker(Worker worker) {
     stage_busy_.compress += cpu_cost;
 
     chunk->data_domain = host.domain_of_core(core);
+
+    // Load shedding (drop-newest with the real pipeline's hysteresis latch):
+    // between the watermarks the freshly compressed chunk is the casualty.
+    if (spec_.shed_high_watermark > 0) {
+      const std::size_t depth = send_queue_->size();
+      if (depth >= spec_.shed_high_watermark) {
+        shedding_ = true;
+      } else if (depth <= spec_.shed_low_watermark) {
+        shedding_ = false;
+      }
+      if (shedding_) {
+        ++shed_chunks_;
+        continue;
+      }
+    }
+    // Budget admission: one token per in-flight chunk, returned at delivery.
+    if (budget_tokens_ != nullptr) {
+      if (budget_tokens_->size() == 0) {
+        ++budget_stalls_;
+      }
+      const auto token = co_await budget_tokens_->pop();
+      if (!token.has_value()) {
+        break;
+      }
+      ++inflight_chunks_;
+      peak_inflight_chunks_ = std::max(peak_inflight_chunks_, inflight_chunks_);
+    }
     const bool accepted = co_await send_queue_->push(*chunk);
     if (!accepted) {
       break;
@@ -135,6 +203,33 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection, Worker worker
     }
     if (!chunk.has_value()) {
       break;
+    }
+
+    // Budget admission for the network-only pipeline (with compression on,
+    // the compressor already charged this chunk).
+    if (!spec_.compress && budget_tokens_ != nullptr) {
+      if (budget_tokens_->size() == 0) {
+        ++budget_stalls_;
+      }
+      const auto token = co_await budget_tokens_->pop();
+      if (!token.has_value()) {
+        break;
+      }
+      ++inflight_chunks_;
+      peak_inflight_chunks_ = std::max(peak_inflight_chunks_, inflight_chunks_);
+    }
+    // Credit flow control: one token per chunk on the wire; the receiver
+    // returns tokens as it consumes, so an empty pool is the sender stalled
+    // on its peer — exactly the real pipeline's recv_credit() wait.
+    if (!credit_tokens_.empty()) {
+      auto& tokens = *credit_tokens_[connection];
+      if (tokens.size() == 0) {
+        ++credit_stalls_;
+      }
+      const auto token = co_await tokens.pop();
+      if (!token.has_value()) {
+        break;
+      }
     }
 
     // One combined job for protocol work + wire transfer: the real stack
@@ -214,10 +309,23 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection, Worker work
     } else {
       raw_bytes_delivered_ += chunk->raw_bytes;
       ++chunks_delivered_;
+      if (budget_tokens_ != nullptr) {
+        --inflight_chunks_;
+        co_await budget_tokens_->push(1);
+      }
       if (spec_.e2e_timeline != nullptr) {
         spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
       }
     }
+    // Consumption replenishes the sender's window: the chunk has left the
+    // connection, so its credit goes back. With the decompress queue full
+    // this line is never reached, and the sender starves — by design.
+    if (!credit_tokens_.empty()) {
+      co_await credit_tokens_[connection]->push(1);
+    }
+  }
+  if (!credit_tokens_.empty()) {
+    credit_tokens_[connection]->close();  // unblock a sender mid-wait
   }
   if (--live_receivers_ == 0) {
     decompress_queue_->close();
@@ -251,6 +359,10 @@ sim::SimProc StreamPipeline::decompressor_worker(Worker worker) {
     raw_bytes_delivered_ += chunk->raw_bytes;
     ++chunks_delivered_;
     finished_at_ = sim_.now();
+    if (budget_tokens_ != nullptr) {
+      --inflight_chunks_;
+      co_await budget_tokens_->push(1);
+    }
     if (spec_.e2e_timeline != nullptr) {
       spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
     }

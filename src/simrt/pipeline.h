@@ -76,6 +76,26 @@ class StreamPipeline {
     std::size_t queue_capacity = 8;
     std::size_t connection_window_chunks = 4;  ///< socket-buffer depth
 
+    // ---- overload protection (mirrors core/pipeline.cpp; 0 = off) ----
+
+    /// Credit-based flow control: each connection starts with this many
+    /// chunks of credit; the receiver returns credit as it consumes, so a
+    /// stalled receiver stops its sender after exactly this many chunks in
+    /// flight on the wire. Modeled as a token queue per connection.
+    std::size_t credit_window_chunks = 0;
+
+    /// In-flight wire-byte budget across the whole pipeline (charged at
+    /// chunk granularity: the budget holds floor(budget / wire_chunk_bytes)
+    /// chunk tokens, acquired when a chunk enters the pipeline and released
+    /// at delivery). Acquisition blocks, mirroring ShedPolicy::kBlock.
+    double memory_budget_bytes = 0;
+
+    /// Drop-newest load shedding at the compress->send queue: sheds while
+    /// depth >= high until depth <= low (the real pipeline's hysteresis
+    /// latch). Requires `compress`; 0 disables.
+    std::size_t shed_high_watermark = 0;
+    std::size_t shed_low_watermark = 0;
+
     /// Optional: record delivered raw bytes into this timeline (owned by the
     /// caller; must outlive the simulation run).
     RateTimeline* e2e_timeline = nullptr;
@@ -116,11 +136,32 @@ class StreamPipeline {
   [[nodiscard]] const StageBusy& stage_busy() const noexcept { return stage_busy_; }
   [[nodiscard]] const Spec& spec() const noexcept { return spec_; }
 
+  // ---- overload accounting (mirrors metrics/overload_counters.h) ----
+  [[nodiscard]] std::uint64_t shed_chunks() const noexcept { return shed_chunks_; }
+  [[nodiscard]] std::uint64_t credit_stalls() const noexcept {
+    return credit_stalls_;
+  }
+  [[nodiscard]] std::uint64_t budget_stalls() const noexcept {
+    return budget_stalls_;
+  }
+  /// High-water mark of wire bytes concurrently charged to the budget
+  /// (0 when no budget is configured). Invariant: <= memory_budget_bytes.
+  [[nodiscard]] double peak_bytes_in_flight() const noexcept {
+    return static_cast<double>(peak_inflight_chunks_) * wire_chunk_bytes();
+  }
+
  private:
   sim::SimProc compressor_worker(Worker worker);
   sim::SimProc sender_worker(std::size_t connection, Worker worker);
   sim::SimProc receiver_worker(std::size_t connection, Worker worker);
   sim::SimProc decompressor_worker(Worker worker);
+  /// Seeds a token queue with its initial tokens at t=0.
+  sim::SimProc token_filler(sim::SimQueue<int>& tokens, std::size_t count);
+
+  [[nodiscard]] double wire_chunk_bytes() const noexcept {
+    return spec_.compress ? calib_.chunk_bytes / calib_.compression_ratio
+                          : calib_.chunk_bytes;
+  }
 
   /// Takes the next chunk off the synthetic dataset; nullopt when done.
   std::optional<SimChunk> draw_source_chunk();
@@ -140,6 +181,21 @@ class StreamPipeline {
   std::vector<std::unique_ptr<sim::SimQueue<SimChunk>>> connection_queues_;
   // receivers -> decompressors
   std::unique_ptr<sim::SimQueue<SimChunk>> decompress_queue_;
+
+  // Overload mirrors: token queues model the credit window (one per
+  // connection, seeded with the initial grant) and the chunk-granular
+  // memory budget (seeded with the whole cap); a pop is an acquire, a push
+  // a release, and waiting in pop is the stall.
+  std::vector<std::unique_ptr<sim::SimQueue<int>>> credit_tokens_;
+  std::unique_ptr<sim::SimQueue<int>> budget_tokens_;
+  std::size_t budget_chunk_cap_ = 0;
+
+  std::uint64_t shed_chunks_ = 0;
+  std::uint64_t credit_stalls_ = 0;
+  std::uint64_t budget_stalls_ = 0;
+  std::uint64_t inflight_chunks_ = 0;
+  std::uint64_t peak_inflight_chunks_ = 0;
+  bool shedding_ = false;
 
   std::uint64_t chunks_delivered_ = 0;
   double wire_bytes_received_ = 0;

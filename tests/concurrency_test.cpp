@@ -91,6 +91,126 @@ TEST(BoundedQueueTest, BackpressureBlocksProducerUntilPop) {
   EXPECT_EQ(q.pop().value(), 2);
 }
 
+// ---- cancel / deadline variants (used by the overload drain paths) ----
+
+TEST(BoundedQueueTest, CancelFlagAbortsBlockedPush) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1).is_ok());
+  std::atomic<bool> cancel{false};
+  std::thread producer([&] {
+    EXPECT_EQ(q.push(2, &cancel).code(), StatusCode::kUnavailable);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cancel = true;
+  producer.join();
+  // The cancelled item was dropped, not enqueued.
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(BoundedQueueTest, CancelFlagAbortsBlockedPop) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> cancel{false};
+  std::thread consumer([&] { EXPECT_FALSE(q.pop(&cancel).has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cancel = true;
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, PreRaisedCancelStillDeliversAvailableItems) {
+  // A raised flag aborts *waits*; ready items and free slots are still used,
+  // which is what lets the drain path flush whatever is already queued.
+  BoundedQueue<int> q(2);
+  std::atomic<bool> cancel{true};
+  ASSERT_TRUE(q.push(1, &cancel).is_ok());
+  EXPECT_EQ(q.pop(&cancel).value(), 1);
+  EXPECT_FALSE(q.pop(&cancel).has_value());
+}
+
+TEST(BoundedQueueTest, PushUntilTimesOutOnFullQueue) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1).is_ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  EXPECT_EQ(q.push_until(2, deadline).code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(BoundedQueueTest, PopUntilTimesOutOnEmptyQueue) {
+  BoundedQueue<int> q(1);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  EXPECT_FALSE(q.pop_until(deadline).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+  EXPECT_FALSE(q.closed());  // timeout, not end-of-stream
+}
+
+TEST(BoundedQueueTest, PushUntilSucceedsWhenSpaceOpensBeforeDeadline) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1).is_ok());
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_EQ(q.pop().value(), 1);
+  });
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  EXPECT_TRUE(q.push_until(2, deadline).is_ok());
+  consumer.join();
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+// ---- eviction primitives (the shed-policy hooks) ----
+
+TEST(BoundedQueueTest, TryEvictWorstRemovesLowestRanked) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(3).is_ok());
+  ASSERT_TRUE(q.push(9).is_ok());
+  ASSERT_TRUE(q.push(5).is_ok());
+  // better(a, b): smaller outranks larger -> 9 is the worst.
+  auto evicted = q.try_evict_worst([](int a, int b) { return a < b; });
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 9);
+  // FIFO order of the survivors is preserved.
+  EXPECT_EQ(q.pop().value(), 3);
+  EXPECT_EQ(q.pop().value(), 5);
+}
+
+TEST(BoundedQueueTest, TryEvictWorstOnEmptyReturnsNullopt) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.try_evict_worst([](int a, int b) { return a < b; }).has_value());
+}
+
+TEST(BoundedQueueTest, TryEvictIfWorseOnlyEvictsWhenIncomingOutranks) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(3).is_ok());
+  ASSERT_TRUE(q.push(7).is_ok());
+  const auto better = [](int a, int b) { return a < b; };
+  // Incoming 9 ranks below everything queued: no eviction, caller sheds it.
+  EXPECT_FALSE(q.try_evict_if_worse(9, better).has_value());
+  EXPECT_EQ(q.size(), 2U);
+  // Incoming 5 outranks the queued 7: 7 is evicted to make room.
+  auto evicted = q.try_evict_if_worse(5, better);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 7);
+  EXPECT_EQ(q.size(), 1U);
+}
+
+TEST(BoundedQueueTest, EvictionWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1).is_ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(2).is_ok());
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  auto evicted = q.try_evict_worst([](int a, int b) { return a < b; });
+  ASSERT_TRUE(evicted.has_value());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
 // Property: with multiple producers and consumers, every pushed item is
 // popped exactly once, and items from one producer arrive in that producer's
 // order (FIFO-per-producer).

@@ -176,6 +176,107 @@ TEST(StreamPipelineTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(run(), run());
 }
 
+// ----------------------------------------------------- overload protection
+
+// Shared shape for the overload tests: a receiver whose decompress stage
+// runs at ~10% of the senders' pace, so upstream pressure is guaranteed.
+StreamPipeline::Spec throttled_spec(Rig& rig, std::uint64_t chunks) {
+  rig.calib.decompress_bytes_per_sec /= 10.0;
+  auto spec = rig.base_spec(chunks);
+  spec.compress_workers = StreamPipeline::pinned_workers({0, 1, 2, 3});
+  spec.send_workers = {{.core = 16}, {.core = 17}};
+  spec.receive_workers = {{.core = 16}, {.core = 17}};
+  spec.decompress_workers = StreamPipeline::pinned_workers({0});
+  return spec;
+}
+
+TEST(StreamPipelineTest, CreditWindowStallsSenderBehindSlowReceiver) {
+  Rig rig;
+  auto spec = throttled_spec(rig, 40);
+  spec.credit_window_chunks = 2;
+  StreamPipeline pipeline(rig.sim, rig.calib, spec);
+  pipeline.launch();
+  rig.sim.run();
+  // Flow control is lossless: everything still arrives, the sender just waits.
+  EXPECT_EQ(pipeline.chunks_delivered(), 40U);
+  EXPECT_GT(pipeline.credit_stalls(), 0U);
+  EXPECT_EQ(pipeline.shed_chunks(), 0U);
+}
+
+TEST(StreamPipelineTest, MemoryBudgetCapsPeakInFlightBytes) {
+  Rig rig;
+  auto spec = throttled_spec(rig, 40);
+  const double wire_chunk = rig.calib.chunk_bytes / rig.calib.compression_ratio;
+  spec.memory_budget_bytes = 3 * wire_chunk;
+  StreamPipeline pipeline(rig.sim, rig.calib, spec);
+  pipeline.launch();
+  rig.sim.run();
+  EXPECT_EQ(pipeline.chunks_delivered(), 40U);
+  EXPECT_GT(pipeline.budget_stalls(), 0U);
+  // The acceptance invariant: the high-water mark never exceeds the cap.
+  EXPECT_GT(pipeline.peak_bytes_in_flight(), 0.0);
+  EXPECT_LE(pipeline.peak_bytes_in_flight(), spec.memory_budget_bytes);
+}
+
+TEST(StreamPipelineTest, ShedWatermarksDropButConserveAccounting) {
+  Rig rig;
+  auto spec = throttled_spec(rig, 60);
+  spec.shed_high_watermark = 4;
+  spec.shed_low_watermark = 1;
+  StreamPipeline pipeline(rig.sim, rig.calib, spec);
+  pipeline.launch();
+  rig.sim.run();
+  EXPECT_GT(pipeline.shed_chunks(), 0U);
+  // Every chunk is either delivered or counted shed — never silently gone.
+  EXPECT_EQ(pipeline.chunks_delivered() + pipeline.shed_chunks(), 60U);
+}
+
+TEST(StreamPipelineTest, OverloadCountersAreDeterministic) {
+  struct Counters {
+    std::uint64_t delivered, shed, credit, budget, peak;
+    bool operator==(const Counters&) const = default;
+  };
+  auto run = [] {
+    Rig rig;
+    auto spec = throttled_spec(rig, 50);
+    spec.credit_window_chunks = 2;
+    spec.memory_budget_bytes =
+        4 * rig.calib.chunk_bytes / rig.calib.compression_ratio;
+    spec.shed_high_watermark = 5;
+    spec.shed_low_watermark = 2;
+    StreamPipeline pipeline(rig.sim, rig.calib, spec);
+    pipeline.launch();
+    rig.sim.run();
+    return Counters{pipeline.chunks_delivered(), pipeline.shed_chunks(),
+                    pipeline.credit_stalls(), pipeline.budget_stalls(),
+                    static_cast<std::uint64_t>(pipeline.peak_bytes_in_flight())};
+  };
+  EXPECT_TRUE(run() == run());
+}
+
+TEST(DriverTest, OverloadOptionsFlowThroughToStreamResults) {
+  const MachineTopology lynx = lynxdtn_topology();
+  const std::vector<MachineTopology> senders = {updraft_topology()};
+  ConfigGenerator generator(lynx, senders);
+  WorkloadSpec workload;
+  workload.num_streams = 1;
+  workload.compression_threads = 16;
+  workload.transfer_threads = 2;
+  workload.decompression_threads = 2;
+  auto plan = generator.generate(workload, PlacementStrategy::kNumaAware);
+  ASSERT_TRUE(plan.ok());
+
+  ExperimentOptions options;
+  options.chunks_per_stream = 40;
+  options.calib.decompress_bytes_per_sec /= 20.0;
+  options.credit_window_chunks = 2;
+  auto result = run_plan(senders, lynx, plan.value(), options);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().streams.size(), 1U);
+  EXPECT_GT(result.value().streams[0].credit_stalls, 0U);
+  EXPECT_GT(result.value().observation.overload.credit_stalls, 0U);
+}
+
 // ---------------------------------------------------------------- driver
 
 ExperimentOptions fast_options() {
