@@ -1,0 +1,180 @@
+// Ablation: NIC failure mid-run — degradation injection, health detection,
+// live re-placement (DESIGN.md §9).
+//
+// A dual-NIC gateway receives two streams, one per NIC (the multi-NIC
+// direction the paper's introduction motivates). At a fixed virtual time the
+// seeded degradation schedule droops one NIC to 2% of its line rate — a
+// failing transceiver. Two runs of the identical scenario:
+//
+//   heal off - the victim stream limps through the drooped NIC for the rest
+//              of the run: delivered, eventually, but at a fraction of its
+//              pre-fault rate.
+//   heal on  - the health monitor watches per-NIC delivered bytes per
+//              window, classifies the drooped NIC failed after its breach
+//              streak, re-plans the receiver placement against the health
+//              mask (BottleneckAdvisor::replan — Observation 1 in reverse)
+//              and live-migrates the victim stream: receive workers move to
+//              the surviving NIC's domain and the connection re-routes
+//              through the surviving NIC. The recovery curve climbs back to
+//              >= 90% of the pre-fault rate, with zero chunk loss.
+//
+// Everything — fault time, detection window, migration instant, every
+// counter — is driven by virtual time and a fixed seed, so an identical
+// rerun must reproduce the run bit-for-bit; checked below.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/config_generator.h"
+#include "simrt/driver.h"
+
+using namespace numastream;
+using namespace numastream::bench;
+using namespace numastream::simrt;
+
+namespace {
+
+constexpr double kFaultSeconds = 0.3;
+constexpr double kBucketSeconds = 0.05;
+constexpr double kDroopScale = 0.02;
+
+Result<ExperimentResult> run_scenario(const std::vector<MachineTopology>& senders,
+                                      const MachineTopology& gateway,
+                                      const StreamingPlan& plan,
+                                      const std::string& victim_nic, bool heal) {
+  ExperimentOptions options;
+  options.link.bandwidth_gbps = 400;
+  options.source_gbps = 40;  // per sender; both fit one 100G NIC post-failover
+  options.chunks_per_stream = 400;
+  options.timeline_bucket_seconds = kBucketSeconds;
+  options.degradation = DegradationSchedule(7);
+  options.degradation.droop_nic(kFaultSeconds, victim_nic, kDroopScale);
+  if (heal) {
+    options.health.window_ms = 20;
+    options.health.breach_windows = 2;
+  }
+  return run_plan(senders, gateway, plan, options);
+}
+
+/// Mean rate over buckets [first, last] of a timeline (0 when empty).
+double mean_rate(const RateTimeline& timeline, std::size_t first, std::size_t last) {
+  const std::vector<double> rates = timeline.rates();
+  double sum = 0;
+  std::size_t n = 0;
+  for (std::size_t i = first; i <= last && i < rates.size(); ++i) {
+    sum += rates[i];
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation - NIC failure mid-run: detect, re-plan, migrate",
+               "(robustness: self-healing placement recovers >= 90% of the "
+               "pre-fault rate with zero chunk loss)");
+
+  const MachineTopology gateway = dual_nic_gateway_topology();
+  const std::vector<MachineTopology> senders = {updraft_topology("updraft1"),
+                                                updraft_topology("updraft2")};
+  ConfigGenerator generator(gateway, senders);
+  WorkloadSpec spec;
+  spec.num_streams = 2;
+  spec.use_all_nics = true;
+  spec.compression_threads = 16;
+  spec.transfer_threads = 2;
+  spec.decompression_threads = 4;
+  auto plan = generator.generate(spec, PlacementStrategy::kNumaAware);
+  NS_CHECK(plan.ok(), "plan generation failed");
+  NS_CHECK(plan.value().stream_receiver_nics.size() == 2, "two streams expected");
+  shape_check("the plan spreads the streams across both NICs",
+              plan.value().stream_receiver_nics[0] !=
+                  plan.value().stream_receiver_nics[1]);
+  const std::string victim_nic = plan.value().stream_receiver_nics[0];
+  const std::size_t victim = 0;  // stream riding the NIC that will fail
+
+  auto degraded = run_scenario(senders, gateway, plan.value(), victim_nic, false);
+  auto healed = run_scenario(senders, gateway, plan.value(), victim_nic, true);
+  NS_CHECK(degraded.ok() && healed.ok(), "scenario run failed");
+  const ExperimentResult& off = degraded.value();
+  const ExperimentResult& on = healed.value();
+
+  TextTable table({"mode", "victim e2e (Gbps)", "delivered", "failures seen",
+                   "re-plans", "migrations", "degraded (ms)"});
+  for (const auto* run : {&off, &on}) {
+    std::uint64_t delivered = 0;
+    for (const auto& stream : run->streams) {
+      delivered += stream.chunks;
+    }
+    table.add_row({run == &off ? "heal off" : "heal on",
+                   fmt_double(run->streams[victim].e2e_gbps, 1),
+                   std::to_string(delivered),
+                   std::to_string(run->health.failure_detections),
+                   std::to_string(run->health.replans),
+                   std::to_string(run->health.migrations),
+                   std::to_string(run->health.time_in_degraded_ms)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("  victim stream delivered rate, %.0f ms buckets:\n",
+              kBucketSeconds * 1000);
+  std::printf("  heal off |%s|\n",
+              off.stream_timelines[victim].sparkline().c_str());
+  std::printf("  heal on  |%s|\n\n",
+              on.stream_timelines[victim].sparkline().c_str());
+
+  // Zero chunk loss in both modes: the fault slows chunks, never drops them.
+  std::uint64_t on_delivered = 0;
+  for (const auto& stream : on.streams) {
+    on_delivered += stream.chunks + stream.shed_chunks;
+  }
+  shape_check("healed run accounts for every produced chunk",
+              on_delivered == 2 * 400);
+
+  // The self-healing loop actually ran: detection, one re-plan, and one
+  // migration per receive worker of the victim stream.
+  shape_check("the drooped NIC is detected as failed",
+              on.health.failure_detections >= 1);
+  shape_check("failure triggers a re-plan and live migrations",
+              on.health.replans >= 1 &&
+                  on.health.migrations >= static_cast<std::uint64_t>(
+                                              spec.transfer_threads));
+  shape_check("health counters stay zero with healing off",
+              off.health == HealthCountersSnapshot{});
+
+  // Recovery curve: rate after fail-over climbs back to >= 90% of the
+  // pre-fault rate. Pre-fault window skips ramp-up; the post window starts
+  // past detection + migration and stops before the drain bucket.
+  const RateTimeline& curve = on.stream_timelines[victim];
+  const std::vector<double> rates = curve.rates();
+  std::size_t last_active = 0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (rates[i] > 0) {
+      last_active = i;
+    }
+  }
+  const std::size_t fault_bucket =
+      static_cast<std::size_t>(kFaultSeconds / kBucketSeconds);
+  const double pre = mean_rate(curve, 2, fault_bucket - 1);
+  const double post = mean_rate(curve, fault_bucket + 3,
+                                last_active > 0 ? last_active - 1 : 0);
+  shape_check("victim recovers to >= 90% of its pre-fault rate",
+              pre > 0 && post >= 0.9 * pre);
+  shape_check("without healing the victim stays degraded",
+              off.streams[victim].e2e_gbps < 0.5 * on.streams[victim].e2e_gbps);
+
+  // Determinism: an identical rerun reproduces the scenario bit-for-bit.
+  auto rerun = run_scenario(senders, gateway, plan.value(), victim_nic, true);
+  NS_CHECK(rerun.ok(), "rerun failed");
+  const ExperimentResult& again = rerun.value();
+  bool identical = again.health == on.health &&
+                   again.elapsed_seconds == on.elapsed_seconds;
+  for (std::size_t i = 0; i < on.streams.size(); ++i) {
+    identical = identical && again.streams[i].chunks == on.streams[i].chunks;
+  }
+  identical = identical && again.stream_timelines[victim].rates() == rates;
+  shape_check("same seed reproduces counters and curve bit-identically",
+              identical);
+  return finish();
+}

@@ -120,4 +120,73 @@ WorkloadSpec BottleneckAdvisor::refine(const WorkloadSpec& spec,
   return refined;
 }
 
+Result<NodeConfig> BottleneckAdvisor::replan(const NodeConfig& config,
+                                             const MachineTopology& topo,
+                                             const ResourceHealthMask& mask) const {
+  if (mask.empty()) {
+    return config;
+  }
+
+  // The NIC the re-plan should route traffic through: the fastest one whose
+  // name and attachment domain both survive the mask.
+  std::optional<NicInfo> survivor;
+  for (const NicInfo& nic : topo.nics()) {
+    if (nic.numa_domain < 0 || !mask.nic_ok(nic.name) ||
+        !mask.domain_ok(nic.numa_domain)) {
+      continue;
+    }
+    if (!survivor || nic.line_rate_gbps > survivor->line_rate_gbps) {
+      survivor = nic;
+    }
+  }
+  const bool nic_failed = !mask.failed_nics.empty();
+  if (nic_failed && !survivor) {
+    return invalid_argument_error(
+        "replan: no usable NIC survives the health mask");
+  }
+
+  NodeConfig out = config;
+  for (TaskGroupConfig& group : out.tasks) {
+    if (nic_failed && group.type == TaskType::kReceive) {
+      // Observation 1 in reverse: receive threads follow the surviving NIC
+      // to its attachment domain, capped at that domain's core count.
+      const Result<NumaDomain> domain = topo.domain(survivor->numa_domain);
+      NS_CHECK(domain.ok(), "surviving NIC names an unknown domain");
+      group.bindings = {NumaBinding{.execution_domain = survivor->numa_domain,
+                                    .memory_domain = survivor->numa_domain}};
+      group.count = std::min(group.count,
+                             static_cast<int>(domain.value().cpus.count()));
+      continue;
+    }
+    if (nic_failed && group.type == TaskType::kDecompress) {
+      // Decompression is placement-insensitive (Observation 3) — keep it off
+      // the new receive domain when any other domain survives, so it does
+      // not contend with the packet-processing threads that just moved in.
+      std::vector<NumaBinding> away;
+      for (const NumaDomain& domain : topo.domains()) {
+        if (domain.id == survivor->numa_domain || !mask.domain_ok(domain.id)) {
+          continue;
+        }
+        away.push_back(NumaBinding{.execution_domain = domain.id,
+                                   .memory_domain = domain.id});
+      }
+      if (away.empty()) {
+        away.push_back(NumaBinding{.execution_domain = survivor->numa_domain,
+                                   .memory_domain = survivor->numa_domain});
+      }
+      group.bindings = std::move(away);
+      continue;
+    }
+    std::vector<NumaBinding> rebound =
+        rebind_excluding(topo, group.bindings, mask);
+    if (rebound.empty()) {
+      return invalid_argument_error(
+          "replan: every NUMA domain usable by task " + to_string(group.type) +
+          " is failed");
+    }
+    group.bindings = std::move(rebound);
+  }
+  return out;
+}
+
 }  // namespace numastream

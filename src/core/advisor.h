@@ -17,6 +17,8 @@
 
 #include "common/status.h"
 #include "core/config_generator.h"
+#include "core/health.h"
+#include "core/placement.h"
 
 namespace numastream {
 
@@ -96,6 +98,19 @@ class BottleneckAdvisor {
   /// (idempotent when report.bottleneck == kNone).
   [[nodiscard]] WorkloadSpec refine(const WorkloadSpec& spec,
                                     const AdvisorReport& report) const;
+
+  /// Recomputes a node's placement against a resource-health mask: every
+  /// task group's bindings are rewritten off the failed domains
+  /// (rebind_excluding), and — the paper's Observation 1 run in reverse —
+  /// when the mask fails a NIC, receive groups are re-pinned to the
+  /// surviving NIC's attachment domain with their thread counts clamped to
+  /// that domain's cores, while decompress groups prefer the remaining
+  /// domains so they do not contend with packet processing. Returns the
+  /// config unchanged for an empty mask; FAILED (as kFailedPrecondition-like
+  /// invalid_argument) when no usable NIC or domain survives.
+  [[nodiscard]] Result<NodeConfig> replan(const NodeConfig& config,
+                                          const MachineTopology& topo,
+                                          const ResourceHealthMask& mask) const;
 
  private:
   AdvisorOptions options_;

@@ -13,7 +13,13 @@
 //            [high_watermark=<n>] [low_watermark=<n>] [drain_deadline_ms=<n>]
 //            [slow_floor=<n>] [slow_grace_ms=<n>] [default_priority=<n>]
 //   priority stream=<id> value=<n>
+//   health [window_ms=<n>] [ewma_alpha=<f>] [degraded_ratio=<f>]
+//          [failed_ratio=<f>] [breach_windows=<n>] [recover_windows=<n>]
+//          [baseline_windows=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
+//
+// `recovery`, `overload` and `health` may each appear at most once; a
+// duplicate is a parse error (silent last-wins hid config merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -208,6 +214,26 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
       }
     }
   }
+  if (health.enabled()) {
+    if (health.window_ms == 0) {
+      return invalid_argument_error(
+          "config: health needs window_ms > 0 (the observation window)");
+    }
+    if (health.ewma_alpha <= 0 || health.ewma_alpha > 1) {
+      return invalid_argument_error("config: ewma_alpha must be in (0, 1]");
+    }
+    if (health.failed_ratio <= 0 || health.failed_ratio >= health.degraded_ratio ||
+        health.degraded_ratio >= 1) {
+      return invalid_argument_error(
+          "config: health ratios must satisfy 0 < failed_ratio < "
+          "degraded_ratio < 1");
+    }
+    if (health.breach_windows <= 0 || health.recover_windows <= 0 ||
+        health.baseline_windows <= 0) {
+      return invalid_argument_error(
+          "config: health window counts must be positive");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -275,6 +301,17 @@ std::string NodeConfig::serialize() const {
           << "\n";
     }
   }
+  if (!health.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so pre-health configs round-trip byte-identically.
+    out << "health window_ms=" << health.window_ms
+        << " ewma_alpha=" << health.ewma_alpha
+        << " degraded_ratio=" << health.degraded_ratio
+        << " failed_ratio=" << health.failed_ratio
+        << " breach_windows=" << health.breach_windows
+        << " recover_windows=" << health.recover_windows
+        << " baseline_windows=" << health.baseline_windows << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -293,6 +330,9 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   NodeConfig config;
   config.tasks.clear();
   bool saw_node = false;
+  bool saw_recovery = false;
+  bool saw_overload = false;
+  bool saw_health = false;
 
   std::istringstream in(text);
   std::string line;
@@ -343,6 +383,11 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
         return fail("bad queue_capacity");
       }
     } else if (directive == "recovery") {
+      if (saw_recovery) {
+        return fail("duplicate 'recovery' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_recovery = true;
       std::string attr;
       while (fields >> attr) {
         const auto eq = attr.find('=');
@@ -384,6 +429,11 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
         }
       }
     } else if (directive == "overload") {
+      if (saw_overload) {
+        return fail("duplicate 'overload' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_overload = true;
       std::string attr;
       while (fields >> attr) {
         const auto eq = attr.find('=');
@@ -456,6 +506,42 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
         return fail("priority needs stream= and value=");
       }
       config.overload.priorities.push_back(entry);
+    } else if (directive == "health") {
+      if (saw_health) {
+        return fail("duplicate 'health' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_health = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "window_ms") {
+            config.health.window_ms = std::stoull(value);
+          } else if (key == "ewma_alpha") {
+            config.health.ewma_alpha = std::stod(value);
+          } else if (key == "degraded_ratio") {
+            config.health.degraded_ratio = std::stod(value);
+          } else if (key == "failed_ratio") {
+            config.health.failed_ratio = std::stod(value);
+          } else if (key == "breach_windows") {
+            config.health.breach_windows = std::stoi(value);
+          } else if (key == "recover_windows") {
+            config.health.recover_windows = std::stoi(value);
+          } else if (key == "baseline_windows") {
+            config.health.baseline_windows = std::stoi(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
     } else if (directive == "task") {
       TaskGroupConfig group;
       std::string type_token;

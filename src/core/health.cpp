@@ -1,0 +1,138 @@
+#include "core/health.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace numastream {
+
+std::string to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+bool ResourceHealthMask::domain_ok(int domain) const {
+  return std::find(failed_domains.begin(), failed_domains.end(), domain) ==
+         failed_domains.end();
+}
+
+bool ResourceHealthMask::nic_ok(const std::string& name) const {
+  return std::find(failed_nics.begin(), failed_nics.end(), name) ==
+         failed_nics.end();
+}
+
+HealthMonitor::HealthMonitor(const HealthConfig& config) : config_(config) {
+  NS_CHECK(config.enabled(), "HealthMonitor requires an enabled HealthConfig");
+  NS_CHECK(config.ewma_alpha > 0 && config.ewma_alpha <= 1,
+           "ewma_alpha must be in (0, 1]");
+  NS_CHECK(config.failed_ratio > 0 && config.failed_ratio < config.degraded_ratio &&
+               config.degraded_ratio < 1,
+           "need 0 < failed_ratio < degraded_ratio < 1");
+  NS_CHECK(config.breach_windows > 0 && config.recover_windows > 0 &&
+               config.baseline_windows > 0,
+           "hysteresis window counts must be positive");
+}
+
+int HealthMonitor::track(std::string name) {
+  Tracked tracked;
+  tracked.name = std::move(name);
+  tracked.warmup_left = config_.baseline_windows;
+  tracked_.push_back(std::move(tracked));
+  return static_cast<int>(tracked_.size()) - 1;
+}
+
+const HealthMonitor::Tracked& HealthMonitor::at(int id) const {
+  NS_CHECK(id >= 0 && static_cast<std::size_t>(id) < tracked_.size(),
+           "unknown tracked resource");
+  return tracked_[static_cast<std::size_t>(id)];
+}
+
+HealthMonitor::Tracked& HealthMonitor::at(int id) {
+  NS_CHECK(id >= 0 && static_cast<std::size_t>(id) < tracked_.size(),
+           "unknown tracked resource");
+  return tracked_[static_cast<std::size_t>(id)];
+}
+
+HealthState HealthMonitor::observe(int id, double value) {
+  Tracked& t = at(id);
+
+  // Warmup: seed the baseline as a running mean of the first windows.
+  if (t.warmup_left > 0) {
+    const int seen = config_.baseline_windows - t.warmup_left;
+    t.baseline = (t.baseline * seen + value) / (seen + 1);
+    --t.warmup_left;
+    return t.state;
+  }
+
+  const double ratio = t.baseline > 0 ? value / t.baseline : 1.0;
+  const bool clean = ratio >= config_.degraded_ratio;
+  if (clean) {
+    t.breach_streak = 0;
+    t.breach_hit_failed = false;
+    // Only healthy windows move the baseline: a degraded resource is judged
+    // against what it delivered when it was well, not against its slump.
+    t.baseline = config_.ewma_alpha * value + (1 - config_.ewma_alpha) * t.baseline;
+    if (t.state != HealthState::kHealthy) {
+      if (++t.recover_streak >= config_.recover_windows) {
+        t.state = HealthState::kHealthy;
+        t.recover_streak = 0;
+      }
+    }
+  } else {
+    t.recover_streak = 0;
+    t.breach_hit_failed |= ratio < config_.failed_ratio;
+    if (++t.breach_streak >= config_.breach_windows) {
+      const HealthState verdict =
+          t.breach_hit_failed ? HealthState::kFailed : HealthState::kDegraded;
+      // Demotions only ever deepen: degraded never masks an earlier failed.
+      if (static_cast<int>(verdict) > static_cast<int>(t.state)) {
+        t.state = verdict;
+      }
+    }
+  }
+  if (t.state != HealthState::kHealthy) {
+    ++t.unhealthy_windows;
+  }
+  return t.state;
+}
+
+HealthState HealthMonitor::state(int id) const { return at(id).state; }
+
+double HealthMonitor::baseline(int id) const { return at(id).baseline; }
+
+const std::string& HealthMonitor::name(int id) const { return at(id).name; }
+
+std::uint64_t HealthMonitor::unhealthy_windows(int id) const {
+  return at(id).unhealthy_windows;
+}
+
+void MigrationCoordinator::request(TaskType type, const NumaBinding& target) {
+  Slot& slot = slots_[static_cast<std::size_t>(type)];
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    slot.target = target;
+    slot.epoch.fetch_add(1, std::memory_order_release);
+  }
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<NumaBinding> MigrationCoordinator::poll(
+    TaskType type, std::uint64_t* last_seen) const {
+  const Slot& slot = slots_[static_cast<std::size_t>(type)];
+  const std::uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+  if (epoch == *last_seen) {
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(slot.mu);
+  *last_seen = slot.epoch.load(std::memory_order_relaxed);
+  return slot.target;
+}
+
+}  // namespace numastream

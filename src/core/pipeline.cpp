@@ -159,6 +159,53 @@ class OverloadRun {
   std::atomic<bool> drain_noted_{false};
 };
 
+/// Chunk-boundary live-migration poll, one instance per worker thread (the
+/// epoch cursor is the worker's private state). Disabled — a single branch —
+/// unless the config's health directive is on and a MigrationCoordinator was
+/// supplied; enabled, the fast path is one atomic load per chunk. When a
+/// request arrives the worker re-pins *itself* through the affinity layer:
+/// the chunk in hand finished first, so migration never drops or reorders
+/// work, and every queue/credit/budget invariant is untouched.
+class MigrationPoller {
+ public:
+  MigrationPoller(const MachineTopology& topo, const HealthHooks& hooks,
+                  bool enabled, TaskType type, std::string task_name,
+                  PlacementRecorder* recorder)
+      : topo_(topo),
+        hooks_(hooks),
+        on_(enabled && hooks.migrations != nullptr),
+        type_(type),
+        task_name_(std::move(task_name)),
+        recorder_(recorder) {}
+
+  void poll() {
+    if (!on_) {
+      return;
+    }
+    const std::optional<NumaBinding> target =
+        hooks_.migrations->poll(type_, &last_seen_);
+    if (!target) {
+      return;
+    }
+    // The pin itself is best-effort (the recorder logs the outcome): the
+    // migration is counted when the request is consumed, so same-scenario
+    // counter snapshots do not depend on the machine the test runs on.
+    (void)apply_binding(topo_, *target, task_name_, recorder_);
+    if (hooks_.counters != nullptr) {
+      hooks_.counters->migrations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  const MachineTopology& topo_;
+  HealthHooks hooks_;
+  bool on_;
+  TaskType type_;
+  std::string task_name_;
+  PlacementRecorder* recorder_;
+  std::uint64_t last_seen_ = 0;
+};
+
 }  // namespace
 
 TomoChunkSource::TomoChunkSource(TomoConfig config, std::uint32_t stream_id,
@@ -206,7 +253,8 @@ StreamSender::StreamSender(const MachineTopology& topo, NodeConfig config)
 Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& connect,
                                       PlacementRecorder* recorder,
                                       FaultCounters* faults,
-                                      OverloadHooks overload) {
+                                      OverloadHooks overload,
+                                      HealthHooks health) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
   const Codec* codec = codec_by_name(config_.codec_name);
   NS_CHECK(codec != nullptr, "validate() checked the codec");
@@ -226,6 +274,7 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   OverloadRun ovr(ov, overload);
   OverloadCounters& oc = ovr.counters();
   MemoryBudget* budget = ovr.budget();
+  const bool health_on = config_.health.enabled();
   StreamRegistry registry;
   // Queue waits become cancellable only under overload protection; the
   // default config keeps the pure blocking wait of the original pipeline.
@@ -384,7 +433,11 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           }
         };
         adopt(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
+        MigrationPoller migrate(
+            topo_, health, health_on, TaskType::kSend,
+            "send-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
         while (auto message = queue.pop(qcancel)) {
+          migrate.poll();
           const std::uint64_t charge = message->body.size();
           const std::uint32_t charged_stream = message->stream_id;
           const Status status = send_message(*message);
@@ -424,7 +477,10 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   BusyCounter compress_busy;
   PinnedThreadGroup compressors(
       topo_, "comp", static_cast<std::size_t>(compress.count), compress.bindings,
-      [&](const PinnedThreadGroup::WorkerContext&) {
+      [&](const PinnedThreadGroup::WorkerContext& ctx) {
+        MigrationPoller migrate(
+            topo_, health, health_on, TaskType::kCompress,
+            "comp-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
         // Keep frames newer (higher sequence) over older, and — for the
         // priority policy — higher-priority streams over lower, newer over
         // older within a priority class.
@@ -437,6 +493,7 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           return pa != pb ? pa > pb : a.sequence > b.sequence;
         };
         while (true) {
+          migrate.poll();
           if (ovr.drain_requested()) {
             ovr.note_drain_request();
             break;  // stop ingesting; queued frames flush under the deadline
@@ -587,7 +644,8 @@ StreamReceiver::StreamReceiver(const MachineTopology& topo, NodeConfig config)
 Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
                                           PlacementRecorder* recorder,
                                           FaultCounters* faults,
-                                          OverloadHooks overload) {
+                                          OverloadHooks overload,
+                                          HealthHooks health) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
 
   const GroupSpec receive = collect_group(config_, TaskType::kReceive);
@@ -603,6 +661,7 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   OverloadRun ovr(ov, overload);
   OverloadCounters& oc = ovr.counters();
   MemoryBudget* budget = ovr.budget();
+  const bool health_on = config_.health.enabled();
   StreamRegistry registry;
   const std::atomic<bool>* qcancel = ovr.on() ? registry.cancel_flag() : nullptr;
 
@@ -792,11 +851,15 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
           }
         };
         adopt(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
+        MigrationPoller migrate(
+            topo_, health, health_on, TaskType::kReceive,
+            "recv-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
         bool running = true;
         while (running) {
           // Drain the current connection to its end.
           bool got_eos = false;
           while (socket != nullptr) {
+            migrate.poll();
             if (ovr.drain_requested()) {
               ovr.note_drain_request();
               running = false;
@@ -908,9 +971,13 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
 
   PinnedThreadGroup decompressors(
       topo_, "decomp", static_cast<std::size_t>(decompress.count), decompress.bindings,
-      [&](const PinnedThreadGroup::WorkerContext&) {
+      [&](const PinnedThreadGroup::WorkerContext& ctx) {
+        MigrationPoller migrate(
+            topo_, health, health_on, TaskType::kDecompress,
+            "decomp-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
         int consecutive_corrupt = 0;
         while (auto message = queue.pop(qcancel)) {
+          migrate.poll();
           // Whatever happens to this frame below — delivery, corruption
           // drop, or eviction — its ledger charge is returned exactly once.
           const std::uint64_t charge = message->body.size();

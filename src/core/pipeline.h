@@ -21,9 +21,11 @@
 #include "core/budget.h"
 #include "core/config.h"
 #include "core/drain.h"
+#include "core/health.h"
 #include "data/chunk.h"
 #include "data/tomo.h"
 #include "metrics/fault_counters.h"
+#include "metrics/health_counters.h"
 #include "metrics/overload_counters.h"
 #include "msg/socket.h"
 #include "msg/transport.h"
@@ -45,6 +47,19 @@ struct OverloadHooks {
   /// Operator-initiated graceful drain: when supplied, ingest stages watch
   /// the controller and stop pulling new work once it is requested.
   DrainController* drain = nullptr;
+};
+
+/// Optional self-healing collaborators for one pipeline run (DESIGN.md §9).
+/// Borrowed, may be null; consulted only when `config.health` is enabled, so
+/// default hooks with a default HealthConfig are exactly the pre-health
+/// pipeline.
+struct HealthHooks {
+  /// Accumulates detection/migration accounting when supplied.
+  HealthCounters* counters = nullptr;
+  /// Live-migration handshake: workers poll it at chunk boundaries and
+  /// re-pin themselves (via apply_binding) when a request arrives for their
+  /// task type. Typically driven by a HealthMonitor loop outside the run.
+  MigrationCoordinator* migrations = nullptr;
 };
 
 /// Produces the chunks a sender streams. Implementations must be
@@ -178,7 +193,8 @@ class StreamSender {
   Result<SenderStats> run(ChunkSource& source, const ConnectFn& connect,
                           PlacementRecorder* recorder = nullptr,
                           FaultCounters* faults = nullptr,
-                          OverloadHooks overload = {});
+                          OverloadHooks overload = {},
+                          HealthHooks health = {});
 
  private:
   const MachineTopology& topo_;
@@ -204,7 +220,8 @@ class StreamReceiver {
   Result<ReceiverStats> run(Listener& listener, ChunkSink& sink,
                             PlacementRecorder* recorder = nullptr,
                             FaultCounters* faults = nullptr,
-                            OverloadHooks overload = {});
+                            OverloadHooks overload = {},
+                            HealthHooks health = {});
 
  private:
   const MachineTopology& topo_;

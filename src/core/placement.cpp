@@ -1,5 +1,7 @@
 #include "core/placement.h"
 
+#include <algorithm>
+
 namespace numastream {
 
 std::string to_string(ExecutionDomainPolicy policy) {
@@ -31,6 +33,46 @@ std::vector<NumaBinding> bindings_for_policy(ExecutionDomainPolicy policy,
                           .memory_domain = memory_domain}};
   }
   return {NumaBinding{}};
+}
+
+std::vector<NumaBinding> rebind_excluding(const MachineTopology& topo,
+                                          const std::vector<NumaBinding>& bindings,
+                                          const ResourceHealthMask& mask) {
+  if (mask.failed_domains.empty()) {
+    return bindings;
+  }
+  // Survivors in two tiers: healthy first, degraded as a last resort.
+  std::vector<int> healthy;
+  std::vector<int> degraded;
+  for (const NumaDomain& domain : topo.domains()) {
+    if (!mask.domain_ok(domain.id)) {
+      continue;
+    }
+    const bool is_degraded =
+        std::find(mask.degraded_domains.begin(), mask.degraded_domains.end(),
+                  domain.id) != mask.degraded_domains.end();
+    (is_degraded ? degraded : healthy).push_back(domain.id);
+  }
+  const std::vector<int>& survivors = healthy.empty() ? degraded : healthy;
+  if (survivors.empty()) {
+    return {};
+  }
+  std::vector<NumaBinding> out;
+  out.reserve(bindings.size());
+  std::size_t next = 0;
+  for (const NumaBinding& binding : bindings) {
+    if (binding.os_managed() || mask.domain_ok(binding.execution_domain)) {
+      out.push_back(binding);
+      continue;
+    }
+    NumaBinding moved = binding;
+    moved.execution_domain = survivors[next++ % survivors.size()];
+    if (moved.memory_domain == binding.execution_domain) {
+      moved.memory_domain = moved.execution_domain;
+    }
+    out.push_back(moved);
+  }
+  return out;
 }
 
 const std::vector<ComputePlacementConfig>& table1_configs() {

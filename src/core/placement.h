@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "affinity/binding.h"
+#include "core/health.h"
+#include "topo/topology.h"
 
 namespace numastream {
 
@@ -33,6 +35,19 @@ std::string to_string(ExecutionDomainPolicy policy);
 /// task's source data lives (Table 1's "Memory Domain" column).
 std::vector<NumaBinding> bindings_for_policy(ExecutionDomainPolicy policy,
                                              int memory_domain);
+
+/// Rewrites a binding list so no binding executes on a failed domain:
+/// bindings whose execution domain is in `mask.failed_domains` are remapped
+/// round-robin over the surviving domains of `topo` (degraded domains are
+/// used only when nothing healthy survives). Memory domains follow the new
+/// execution domain when they pointed at the failed one — the data a worker
+/// allocates next should be local to where it now runs. OS-managed bindings
+/// pass through untouched. Returns the input unchanged when the mask names
+/// no failed domain, and an empty vector when every domain failed (the
+/// caller must treat that as unplaceable).
+std::vector<NumaBinding> rebind_excluding(const MachineTopology& topo,
+                                          const std::vector<NumaBinding>& bindings,
+                                          const ResourceHealthMask& mask);
 
 // ---- Table 1: compression / decompression placement configs A-H ----
 

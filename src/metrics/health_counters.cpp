@@ -1,0 +1,65 @@
+#include "metrics/health_counters.h"
+
+namespace numastream {
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  std::uint64_t HealthCountersSnapshot::*field;
+};
+
+// One row per counter, in incident order: what was detected, then what the
+// runtime did, then how long the incident lasted.
+constexpr NamedCounter kCounters[] = {
+    {"degraded_detections", &HealthCountersSnapshot::degraded_detections},
+    {"failure_detections", &HealthCountersSnapshot::failure_detections},
+    {"recoveries", &HealthCountersSnapshot::recoveries},
+    {"replans", &HealthCountersSnapshot::replans},
+    {"migrations", &HealthCountersSnapshot::migrations},
+    {"time_in_degraded_ms", &HealthCountersSnapshot::time_in_degraded_ms},
+};
+
+}  // namespace
+
+std::string HealthCountersSnapshot::to_string() const {
+  std::string out;
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = this->*(counter.field);
+    if (value == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += counter.name;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out.empty() ? "clean" : out;
+}
+
+HealthCountersSnapshot HealthCounters::snapshot() const {
+  HealthCountersSnapshot s;
+  s.degraded_detections = degraded_detections.load(std::memory_order_relaxed);
+  s.failure_detections = failure_detections.load(std::memory_order_relaxed);
+  s.recoveries = recoveries.load(std::memory_order_relaxed);
+  s.replans = replans.load(std::memory_order_relaxed);
+  s.migrations = migrations.load(std::memory_order_relaxed);
+  s.time_in_degraded_ms = time_in_degraded_ms.load(std::memory_order_relaxed);
+  return s;
+}
+
+TextTable health_table(const HealthCountersSnapshot& snapshot,
+                       bool nonzero_only) {
+  TextTable table({"counter", "count"});
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = snapshot.*(counter.field);
+    if (nonzero_only && value == 0) {
+      continue;
+    }
+    table.add_row({counter.name, std::to_string(value)});
+  }
+  return table;
+}
+
+}  // namespace numastream

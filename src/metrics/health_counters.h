@@ -1,0 +1,67 @@
+// HealthCounters: one pipeline's self-healing ledger.
+//
+// The third ledger next to FaultCounters (injected transport faults) and
+// OverloadCounters (pressure): this one accounts for what the health
+// monitor saw and what the runtime did about it — degradations detected,
+// resources declared failed, recoveries observed, placements recomputed and
+// workers live-migrated, plus how long the pipeline spent below its
+// baseline. The self-healing path is deterministic in simulation, so these
+// counters double as the bit-identity fingerprint of a recovery scenario:
+// same seed, same snapshot.
+//
+// Counters are relaxed atomics; snapshot() yields a comparable plain struct
+// and health_table() renders one through the shared TextTable formatter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of HealthCounters, comparable and printable.
+struct HealthCountersSnapshot {
+  // State-machine transitions (core/health.h HealthMonitor).
+  std::uint64_t degraded_detections = 0;  ///< healthy -> degraded transitions
+  std::uint64_t failure_detections = 0;   ///< degraded -> failed transitions
+  std::uint64_t recoveries = 0;           ///< returns to healthy after a demotion
+
+  // What the runtime did about it.
+  std::uint64_t replans = 0;     ///< placements recomputed against a health mask
+  std::uint64_t migrations = 0;  ///< workers re-pinned at a chunk boundary
+
+  // Total virtual/wall milliseconds any tracked resource spent not-healthy.
+  std::uint64_t time_in_degraded_ms = 0;
+
+  friend bool operator==(const HealthCountersSnapshot&,
+                         const HealthCountersSnapshot&) = default;
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by a pipeline's workers and its health
+/// monitor. All increments are relaxed: counters are statistics, not
+/// synchronization.
+class HealthCounters {
+ public:
+  std::atomic<std::uint64_t> degraded_detections{0};
+  std::atomic<std::uint64_t> failure_detections{0};
+  std::atomic<std::uint64_t> recoveries{0};
+
+  std::atomic<std::uint64_t> replans{0};
+  std::atomic<std::uint64_t> migrations{0};
+
+  std::atomic<std::uint64_t> time_in_degraded_ms{0};
+
+  [[nodiscard]] HealthCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so healthy runs print short.
+TextTable health_table(const HealthCountersSnapshot& snapshot,
+                       bool nonzero_only = false);
+
+}  // namespace numastream

@@ -1,5 +1,6 @@
 #include "msg/faulty.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -20,7 +21,8 @@ void stall_for(std::uint64_t micros) {
 Status FaultPlan::validate() const {
   const double probabilities[] = {disconnect_per_write, torn_write_per_write,
                                   bitflip_per_write,    short_write_per_write,
-                                  stall_per_write,      accept_failure};
+                                  stall_per_write,      throttle_per_write,
+                                  accept_failure};
   for (const double p : probabilities) {
     if (p < 0.0 || p > 1.0) {
       return invalid_argument_error("fault plan: probability outside [0, 1]");
@@ -28,10 +30,14 @@ Status FaultPlan::validate() const {
   }
   const double write_sum = disconnect_per_write + torn_write_per_write +
                            bitflip_per_write + short_write_per_write +
-                           stall_per_write;
+                           stall_per_write + throttle_per_write;
   if (write_sum > 1.0) {
     return invalid_argument_error("fault plan: per-write probabilities sum to " +
                                   std::to_string(write_sum) + " > 1");
+  }
+  if (throttle_per_write > 0 && throttle_bytes_per_sec == 0) {
+    return invalid_argument_error(
+        "fault plan: throttle_per_write needs throttle_bytes_per_sec > 0");
   }
   return Status::ok();
 }
@@ -157,6 +163,34 @@ Status FaultyByteStream::write_all(ByteSpan data) {
       }
       stall_for(plan.stall_micros);
       return inner_->write_all(data);
+
+    case FaultKind::kThrottle: {
+      if (counters != nullptr) {
+        counters->injected_throttles.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Slow drip: small slices, each followed by the stall that holds the
+      // configured byte rate. Every byte is delivered intact and in order —
+      // the peer sees a healthy-but-crawling connection.
+      const std::size_t slice = std::max<std::size_t>(1, data.size() / 8);
+      std::uint64_t budget_micros = plan.throttle_max_micros > 0
+                                        ? plan.throttle_max_micros
+                                        : ~std::uint64_t{0};
+      std::size_t offset = 0;
+      while (offset < data.size()) {
+        const std::size_t n = std::min(slice, data.size() - offset);
+        NS_RETURN_IF_ERROR(inner_->write_all(data.subspan(offset, n)));
+        offset += n;
+        if (offset < data.size()) {
+          const std::uint64_t wait = std::min<std::uint64_t>(
+              static_cast<std::uint64_t>(n) * 1'000'000 /
+                  plan.throttle_bytes_per_sec,
+              budget_micros);
+          budget_micros -= wait;
+          stall_for(wait);
+        }
+      }
+      return Status::ok();
+    }
   }
   return internal_error("unreachable fault kind");
 }
@@ -197,6 +231,10 @@ FaultyByteStream::FaultKind FaultyByteStream::roll() {
   acc += plan.stall_per_write;
   if (r < acc) {
     return FaultKind::kStall;
+  }
+  acc += plan.throttle_per_write;
+  if (r < acc) {
+    return FaultKind::kThrottle;
   }
   return FaultKind::kNone;
 }

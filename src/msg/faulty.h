@@ -22,6 +22,11 @@
 //   short write - the write is delivered in two fragments with a stall
 //                 between them. Exercises partial-read reassembly paths.
 //   stall       - the write is delayed by `stall_micros` before delivery.
+//   throttle    - the write is delivered as a slow drip of small slices at
+//                 `throttle_bytes_per_sec`. Models a degraded-but-alive path
+//                 (drooping transceiver, overloaded peer): progress never
+//                 stops, it just crawls — the case health monitoring exists
+//                 to catch, since no error status ever surfaces.
 //
 // Reads are passed through untouched: injecting on exactly one side keeps a
 // fault attributable, and a wrapped peer covers the read direction.
@@ -50,8 +55,15 @@ struct FaultPlan {
   double bitflip_per_write = 0;
   double short_write_per_write = 0;
   double stall_per_write = 0;
+  double throttle_per_write = 0;
   /// Delay injected by stalls and between short-write fragments.
   std::uint64_t stall_micros = 1000;
+
+  /// Drip rate for throttled writes; must be > 0 when throttle_per_write is.
+  std::uint64_t throttle_bytes_per_sec = 0;
+  /// Cap on the total delay one throttled write may accumulate, so chaos
+  /// plans stay test-sized even with large frames (0 = uncapped).
+  std::uint64_t throttle_max_micros = 100'000;
 
   /// FaultyListener: probability an accept() fails once with UNAVAILABLE
   /// (the connection attempt is consumed, as with a dropped SYN).
@@ -118,7 +130,9 @@ class FaultyByteStream final : public ByteStream {
   void cancel() noexcept override;
 
  private:
-  enum class FaultKind { kNone, kDisconnect, kTornWrite, kBitFlip, kShortWrite, kStall };
+  enum class FaultKind {
+    kNone, kDisconnect, kTornWrite, kBitFlip, kShortWrite, kStall, kThrottle
+  };
 
   FaultKind roll();
   void flip_random_bit(Bytes& bytes);

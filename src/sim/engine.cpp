@@ -39,6 +39,14 @@ double Simulation::resource_capacity(int id) const {
   return resources_[static_cast<std::size_t>(id)].capacity;
 }
 
+void Simulation::set_resource_capacity(int id, double capacity) {
+  NS_CHECK(id >= 0 && static_cast<std::size_t>(id) < resources_.size(),
+           "unknown resource");
+  NS_CHECK(capacity > 0, "resource capacity must be positive");
+  resources_[static_cast<std::size_t>(id)].capacity = capacity;
+  rates_dirty_ = true;
+}
+
 double Simulation::consumed(int id) const {
   NS_CHECK(id >= 0 && static_cast<std::size_t>(id) < resources_.size(),
            "unknown resource");

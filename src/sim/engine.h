@@ -111,6 +111,13 @@ class Simulation {
   [[nodiscard]] const std::string& resource_name(int id) const;
   [[nodiscard]] double resource_capacity(int id) const;
 
+  /// Changes a resource's capacity mid-run (hardware degradation / recovery).
+  /// Takes effect at the current virtual time: in-flight jobs keep the work
+  /// already done and progress at the new fair-share rate from `now()` on.
+  /// Capacity must stay positive — model an outage as a droop to a tiny
+  /// fraction so in-flight work still completes (slowly) instead of hanging.
+  void set_resource_capacity(int id, double capacity);
+
   /// Cumulative units consumed from a resource since the start.
   [[nodiscard]] double consumed(int id) const;
 

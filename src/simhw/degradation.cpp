@@ -1,0 +1,244 @@
+#include "simhw/degradation.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace numastream::simrt {
+
+std::string_view degradation_kind_name(DegradationKind kind) noexcept {
+  switch (kind) {
+    case DegradationKind::kCoreOffline:
+      return "core_offline";
+    case DegradationKind::kCoreOnline:
+      return "core_online";
+    case DegradationKind::kNicDroop:
+      return "nic_droop";
+    case DegradationKind::kNicRestore:
+      return "nic_restore";
+    case DegradationKind::kMemoryThrottle:
+      return "memory_throttle";
+    case DegradationKind::kMemoryRestore:
+      return "memory_restore";
+    case DegradationKind::kInterconnectCongest:
+      return "interconnect_congest";
+    case DegradationKind::kInterconnectRestore:
+      return "interconnect_restore";
+  }
+  return "unknown";
+}
+
+DegradationSchedule& DegradationSchedule::push(DegradationEvent event) {
+  events_.push_back(std::move(event));
+  sorted_valid_ = false;
+  return *this;
+}
+
+DegradationSchedule& DegradationSchedule::offline_core(double at_seconds, int cpu) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kCoreOffline,
+               .target = cpu});
+}
+
+DegradationSchedule& DegradationSchedule::online_core(double at_seconds, int cpu) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kCoreOnline,
+               .target = cpu});
+}
+
+DegradationSchedule& DegradationSchedule::droop_nic(double at_seconds,
+                                                    std::string nic, double scale) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kNicDroop,
+               .nic = std::move(nic),
+               .scale = scale});
+}
+
+DegradationSchedule& DegradationSchedule::restore_nic(double at_seconds,
+                                                      std::string nic) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kNicRestore,
+               .nic = std::move(nic)});
+}
+
+DegradationSchedule& DegradationSchedule::throttle_memory(double at_seconds,
+                                                          int domain, double scale) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kMemoryThrottle,
+               .target = domain,
+               .scale = scale});
+}
+
+DegradationSchedule& DegradationSchedule::restore_memory(double at_seconds,
+                                                         int domain) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kMemoryRestore,
+               .target = domain});
+}
+
+DegradationSchedule& DegradationSchedule::congest_interconnect(double at_seconds,
+                                                               double scale) {
+  return push({.at_seconds = at_seconds,
+               .kind = DegradationKind::kInterconnectCongest,
+               .scale = scale});
+}
+
+DegradationSchedule& DegradationSchedule::restore_interconnect(double at_seconds) {
+  return push(
+      {.at_seconds = at_seconds, .kind = DegradationKind::kInterconnectRestore});
+}
+
+DegradationSchedule& DegradationSchedule::flap_nic(double start_seconds,
+                                                   double period_seconds,
+                                                   int flaps, std::string nic,
+                                                   double scale) {
+  NS_CHECK(period_seconds > 0, "flap period must be positive");
+  NS_CHECK(flaps > 0, "flap count must be positive");
+  // Derive the jitter stream from both the seed and the NIC name so two
+  // flapping NICs in one schedule do not move in lockstep.
+  std::uint64_t mix = seed_;
+  for (const char c : nic) {
+    mix = mix * 1099511628211ULL + static_cast<unsigned char>(c);
+  }
+  Rng rng(mix);
+  double edge = start_seconds;
+  for (int i = 0; i < flaps; ++i) {
+    const double jitter = (rng.next_double() - 0.5) * 0.5 * period_seconds;
+    const double down = std::max(0.0, edge + jitter);
+    droop_nic(down, nic, scale);
+    restore_nic(down + period_seconds / 2, nic);
+    edge += period_seconds;
+  }
+  return *this;
+}
+
+const std::vector<DegradationEvent>& DegradationSchedule::events() const {
+  if (!sorted_valid_) {
+    sorted_ = events_;
+    std::stable_sort(sorted_.begin(), sorted_.end(),
+                     [](const DegradationEvent& a, const DegradationEvent& b) {
+                       return a.at_seconds < b.at_seconds;
+                     });
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+Status DegradationSchedule::validate() const {
+  for (const DegradationEvent& event : events_) {
+    if (event.at_seconds < 0) {
+      return invalid_argument_error("degradation event time must be >= 0");
+    }
+    switch (event.kind) {
+      case DegradationKind::kCoreOffline:
+      case DegradationKind::kCoreOnline:
+        if (event.target < 0) {
+          return invalid_argument_error("core event needs a cpu id");
+        }
+        break;
+      case DegradationKind::kMemoryThrottle:
+      case DegradationKind::kMemoryRestore:
+        if (event.target < 0) {
+          return invalid_argument_error("memory event needs a domain id");
+        }
+        break;
+      case DegradationKind::kNicDroop:
+      case DegradationKind::kNicRestore:
+        if (event.nic.empty()) {
+          return invalid_argument_error("nic event needs a nic name");
+        }
+        break;
+      case DegradationKind::kInterconnectCongest:
+      case DegradationKind::kInterconnectRestore:
+        break;
+    }
+    const bool scaled = event.kind == DegradationKind::kNicDroop ||
+                        event.kind == DegradationKind::kMemoryThrottle ||
+                        event.kind == DegradationKind::kInterconnectCongest;
+    if (scaled && (event.scale <= 0 || event.scale > 1)) {
+      return invalid_argument_error("degradation scale must be in (0, 1]");
+    }
+  }
+  return Status::ok();
+}
+
+DegradationInjector::DegradationInjector(sim::Simulation& sim, SimHost& host,
+                                         DegradationSchedule schedule)
+    : sim_(sim), host_(host), schedule_(std::move(schedule)) {}
+
+int DegradationInjector::resource_for(const DegradationEvent& event) const {
+  switch (event.kind) {
+    case DegradationKind::kCoreOffline:
+    case DegradationKind::kCoreOnline:
+      return host_.core_resource(event.target);
+    case DegradationKind::kMemoryThrottle:
+    case DegradationKind::kMemoryRestore:
+      return host_.memory_resource(event.target);
+    case DegradationKind::kInterconnectCongest:
+    case DegradationKind::kInterconnectRestore:
+      return host_.interconnect_resource();
+    case DegradationKind::kNicDroop:
+    case DegradationKind::kNicRestore: {
+      const Result<int> id = host_.nic_resource(event.nic);
+      NS_CHECK(id.ok(), "degradation event names an unknown NIC");
+      return id.value();
+    }
+  }
+  NS_UNREACHABLE("unhandled degradation kind");
+}
+
+double DegradationInjector::scale_for(const DegradationEvent& event) const noexcept {
+  switch (event.kind) {
+    case DegradationKind::kCoreOffline:
+      return kOfflineScale;
+    case DegradationKind::kNicDroop:
+    case DegradationKind::kMemoryThrottle:
+    case DegradationKind::kInterconnectCongest:
+      // Clamp so a droop never goes below the offline floor: capacities must
+      // stay positive for the allocator.
+      return std::max(event.scale, kOfflineScale);
+    case DegradationKind::kCoreOnline:
+    case DegradationKind::kNicRestore:
+    case DegradationKind::kMemoryRestore:
+    case DegradationKind::kInterconnectRestore:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+void DegradationInjector::launch() {
+  NS_CHECK(!launched_, "DegradationInjector launched twice");
+  launched_ = true;
+  const Status status = schedule_.validate();
+  NS_CHECK(status.is_ok(), "invalid degradation schedule");
+  if (schedule_.empty()) {
+    return;
+  }
+  sim_.spawn(run());
+}
+
+sim::SimProc DegradationInjector::run() {
+  for (const DegradationEvent& event : schedule_.events()) {
+    const double wait = event.at_seconds - sim_.now();
+    if (wait > 0) {
+      co_await sim_.delay(wait);
+    }
+    const int resource = resource_for(event);
+    double nominal = -1;
+    for (const auto& [id, capacity] : nominal_) {
+      if (id == resource) {
+        nominal = capacity;
+        break;
+      }
+    }
+    if (nominal < 0) {
+      nominal = sim_.resource_capacity(resource);
+      nominal_.emplace_back(resource, nominal);
+    }
+    sim_.set_resource_capacity(resource, nominal * scale_for(event));
+    ++applied_;
+  }
+}
+
+}  // namespace numastream::simrt

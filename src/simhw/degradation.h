@@ -1,0 +1,134 @@
+// Seeded hardware-degradation injection for the simulated machine.
+//
+// The placement work in this repo assumes the substrate it was placed on
+// keeps its nominal shape: every core delivers one cpu-second per second,
+// the NIC holds its line rate, the memory controllers and the interconnect
+// keep their calibrated bandwidth. Real gateway nodes break that assumption
+// mid-run — a core gets offlined for RAS reasons, a transceiver droops or
+// flaps, a co-tenant saturates a memory controller. This header models
+// those failures as *capacity changes on engine resources*, scheduled on
+// virtual time, so a degradation scenario is exactly as deterministic and
+// replayable as the healthy run it perturbs.
+//
+// Two pieces:
+//   * DegradationSchedule — a seeded, validated list of timed events built
+//     through fluent helpers (offline_core, droop_nic, flap_nic, ...).
+//     The seed only matters for helpers that generate jittered sequences
+//     (flap_nic); single events are placed exactly where the caller says.
+//   * DegradationInjector — spawns one SimProc that sleeps to each event
+//     time and rescales the target resource via
+//     Simulation::set_resource_capacity(). Nominal capacities are captured
+//     from the engine at apply time, so restore events return a resource to
+//     exactly what SimHost registered, and repeated droops do not compound.
+//
+// Capacities never reach zero: "offline" droops to kOfflineScale of nominal
+// so in-flight jobs still complete (slowly) instead of deadlocking the
+// engine — which is also what live migration needs: the chunk that was on
+// the failed resource limps home while new work routes around it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "simhw/machine.h"
+
+namespace numastream::simrt {
+
+enum class DegradationKind {
+  kCoreOffline,          ///< core capacity -> kOfflineScale * nominal
+  kCoreOnline,           ///< core capacity -> nominal
+  kNicDroop,             ///< NIC line rate -> scale * nominal
+  kNicRestore,           ///< NIC line rate -> nominal
+  kMemoryThrottle,       ///< domain memory bandwidth -> scale * nominal
+  kMemoryRestore,        ///< domain memory bandwidth -> nominal
+  kInterconnectCongest,  ///< interconnect bandwidth -> scale * nominal
+  kInterconnectRestore,  ///< interconnect bandwidth -> nominal
+};
+
+[[nodiscard]] std::string_view degradation_kind_name(DegradationKind kind) noexcept;
+
+/// One timed capacity change. `target` is a global cpu id (core events) or a
+/// NUMA domain id (memory events); NIC events name the NIC instead.
+struct DegradationEvent {
+  double at_seconds = 0;
+  DegradationKind kind = DegradationKind::kNicDroop;
+  int target = -1;
+  std::string nic;
+  double scale = 1.0;  ///< fraction of nominal, used by droop/throttle/congest
+};
+
+/// Floor capacity scale for "offline" resources. Positive so the engine's
+/// allocator invariants hold and in-flight work drains instead of hanging.
+inline constexpr double kOfflineScale = 1e-3;
+
+/// A seeded, sorted schedule of degradation events.
+class DegradationSchedule {
+ public:
+  explicit DegradationSchedule(std::uint64_t seed = 0) noexcept : seed_(seed) {}
+
+  DegradationSchedule& offline_core(double at_seconds, int cpu);
+  DegradationSchedule& online_core(double at_seconds, int cpu);
+  DegradationSchedule& droop_nic(double at_seconds, std::string nic, double scale);
+  DegradationSchedule& restore_nic(double at_seconds, std::string nic);
+  DegradationSchedule& throttle_memory(double at_seconds, int domain, double scale);
+  DegradationSchedule& restore_memory(double at_seconds, int domain);
+  DegradationSchedule& congest_interconnect(double at_seconds, double scale);
+  DegradationSchedule& restore_interconnect(double at_seconds);
+
+  /// A flapping NIC: `flaps` droop/restore pairs starting at `start_seconds`,
+  /// nominally `period_seconds` apart, each edge jittered by up to ±25% of
+  /// the period using this schedule's seed. Same seed, same flap train.
+  DegradationSchedule& flap_nic(double start_seconds, double period_seconds,
+                                int flaps, std::string nic, double scale);
+
+  /// Events sorted by time (ties keep insertion order).
+  [[nodiscard]] const std::vector<DegradationEvent>& events() const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+
+  /// Checks times are non-negative, scales are in (0, 1], core/memory events
+  /// carry a target and NIC events carry a name.
+  [[nodiscard]] Status validate() const;
+
+ private:
+  DegradationSchedule& push(DegradationEvent event);
+
+  std::uint64_t seed_;
+  std::vector<DegradationEvent> events_;
+  mutable std::vector<DegradationEvent> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+/// Applies a DegradationSchedule to a SimHost's engine resources.
+class DegradationInjector {
+ public:
+  /// `host` must outlive the injector; the schedule is copied.
+  DegradationInjector(sim::Simulation& sim, SimHost& host,
+                      DegradationSchedule schedule);
+
+  /// Spawns the injector process. Call once, before sim.run(). Aborts (via
+  /// NS_CHECK) if the schedule fails validate() or names unknown resources.
+  void launch();
+
+  /// Events applied so far (== schedule size once the run passes the last
+  /// event time). Deterministic across reruns of the same scenario.
+  [[nodiscard]] std::size_t events_applied() const noexcept { return applied_; }
+
+ private:
+  [[nodiscard]] int resource_for(const DegradationEvent& event) const;
+  [[nodiscard]] double scale_for(const DegradationEvent& event) const noexcept;
+  sim::SimProc run();
+
+  sim::Simulation& sim_;
+  SimHost& host_;
+  DegradationSchedule schedule_;
+  /// resource id -> nominal capacity, captured on first touch.
+  std::vector<std::pair<int, double>> nominal_;
+  std::size_t applied_ = 0;
+  bool launched_ = false;
+};
+
+}  // namespace numastream::simrt

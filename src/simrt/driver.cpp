@@ -97,6 +97,164 @@ class CoreAllocator {
   std::map<const TaskGroupConfig*, std::size_t> group_rounds_;
 };
 
+
+/// The self-healing loop on the simulated gateway (DESIGN.md §9): one
+/// coroutine that wakes every health window of virtual time, attributes the
+/// window's delivered wire bytes to the receiver NIC each stream rides,
+/// feeds the per-NIC totals to a HealthMonitor, and — when a NIC is
+/// classified failed — re-plans the receiver placement against the health
+/// mask and live-migrates the affected streams: their receive workers move
+/// to the surviving NIC's attachment domain (the paper's Observation 1 run
+/// in reverse) and their connections re-route through the surviving NIC.
+/// Everything is driven by virtual time and deterministic inputs, so the
+/// detection window, the migration instant and every counter are
+/// bit-identical across reruns of the same scenario.
+class RecoveryMonitor {
+ public:
+  RecoveryMonitor(sim::Simulation& sim, SimHost& receiver_host,
+                  const MachineTopology& topo, const NodeConfig& receiver_config,
+                  const HealthConfig& config)
+      : sim_(sim),
+        host_(receiver_host),
+        topo_(topo),
+        receiver_config_(receiver_config),
+        config_(config),
+        monitor_(config) {}
+
+  void add_stream(StreamPipeline* pipeline, std::string nic) {
+    streams_.push_back(Stream{.pipeline = pipeline, .nic = std::move(nic)});
+  }
+
+  /// Spawns the monitor process. Call once, before sim.run().
+  void launch() { sim_.spawn(run()); }
+
+  [[nodiscard]] HealthCountersSnapshot counters() const {
+    return counters_.snapshot();
+  }
+
+ private:
+  struct Stream {
+    StreamPipeline* pipeline = nullptr;
+    std::string nic;            ///< receiver NIC currently carrying the stream
+    double sampled_bytes = 0;   ///< wire bytes seen as of the last window
+  };
+
+  [[nodiscard]] bool all_accounted() const {
+    return std::all_of(streams_.begin(), streams_.end(), [](const Stream& s) {
+      return s.pipeline->all_chunks_accounted();
+    });
+  }
+
+  sim::SimProc run() {
+    // Track every receiver NIC with a known attachment (topology order, so
+    // ids — and therefore counter evolution — are deterministic).
+    std::vector<std::pair<std::string, int>> nics;
+    for (const NicInfo& nic : topo_.nics()) {
+      if (nic.numa_domain < 0) {
+        continue;
+      }
+      nics.emplace_back(nic.name, monitor_.track(nic.name));
+    }
+    const double window = static_cast<double>(config_.window_ms) / 1000.0;
+    while (!all_accounted()) {
+      co_await sim_.delay(window);
+      for (auto& [name, id] : nics) {
+        double delta = 0;
+        bool active = false;
+        for (Stream& stream : streams_) {
+          if (stream.nic != name) {
+            continue;
+          }
+          const double total = stream.pipeline->wire_bytes_received();
+          delta += total - stream.sampled_bytes;
+          stream.sampled_bytes = total;
+          active = active || !stream.pipeline->all_chunks_accounted();
+        }
+        if (!active) {
+          // No in-flight stream rides this NIC: a zero window says nothing
+          // about its health (finished streams would read as failures).
+          continue;
+        }
+        const HealthState before = monitor_.state(id);
+        const HealthState after = monitor_.observe(id, delta);
+        if (after != HealthState::kHealthy) {
+          counters_.time_in_degraded_ms.fetch_add(config_.window_ms,
+                                                  std::memory_order_relaxed);
+        }
+        if (after == before) {
+          continue;
+        }
+        if (after == HealthState::kHealthy) {
+          counters_.recoveries.fetch_add(1, std::memory_order_relaxed);
+        } else if (after == HealthState::kDegraded) {
+          counters_.degraded_detections.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          counters_.failure_detections.fetch_add(1, std::memory_order_relaxed);
+          fail_over(name);
+        }
+      }
+    }
+  }
+
+  /// Re-plans around every currently-failed NIC and migrates the streams
+  /// riding `victim` to the surviving NIC and its domain's cores.
+  void fail_over(const std::string& victim) {
+    ResourceHealthMask mask;
+    for (std::size_t id = 0; id < monitor_.tracked_count(); ++id) {
+      if (monitor_.state(static_cast<int>(id)) == HealthState::kFailed) {
+        mask.failed_nics.push_back(monitor_.name(static_cast<int>(id)));
+      }
+    }
+    const BottleneckAdvisor advisor;
+    const Result<NodeConfig> plan = advisor.replan(receiver_config_, topo_, mask);
+    if (!plan.ok()) {
+      return;  // nothing survives the mask; ride out the degradation in place
+    }
+    counters_.replans.fetch_add(1, std::memory_order_relaxed);
+
+    // The survivor replan routed receive threads to: fastest NIC off the mask.
+    std::optional<NicInfo> survivor;
+    for (const NicInfo& nic : topo_.nics()) {
+      if (nic.numa_domain < 0 || !mask.nic_ok(nic.name)) {
+        continue;
+      }
+      if (!survivor || nic.line_rate_gbps > survivor->line_rate_gbps) {
+        survivor = nic;
+      }
+    }
+    NS_CHECK(survivor.has_value(), "replan succeeded without a surviving NIC");
+    const auto resource = host_.nic_resource(survivor->name);
+    const auto domain = topo_.domain(survivor->numa_domain);
+    NS_CHECK(resource.ok() && domain.ok(), "surviving NIC must be simulated");
+    const std::vector<int> cores = domain.value().cpus.to_vector();
+    for (Stream& stream : streams_) {
+      if (stream.nic != victim) {
+        continue;
+      }
+      stream.pipeline->retarget_receiver_nic(resource.value(),
+                                             survivor->numa_domain);
+      const std::size_t workers =
+          stream.pipeline->spec().receive_workers.size();
+      for (std::size_t i = 0; i < workers; ++i) {
+        stream.pipeline->migrate_receive_worker(
+            i, cores[rotation_++ % cores.size()]);
+        counters_.migrations.fetch_add(1, std::memory_order_relaxed);
+      }
+      stream.nic = survivor->name;
+    }
+  }
+
+  sim::Simulation& sim_;
+  SimHost& host_;
+  const MachineTopology& topo_;
+  const NodeConfig& receiver_config_;
+  HealthConfig config_;
+  HealthMonitor monitor_;
+  HealthCounters counters_;
+  std::vector<Stream> streams_;
+  std::size_t rotation_ = 0;
+};
+
 }  // namespace
 
 Result<ExperimentResult> run_experiment(
@@ -159,6 +317,7 @@ Result<ExperimentResult> run_experiment(
 
   std::vector<std::unique_ptr<RateTimeline>> timelines;
   std::vector<std::unique_ptr<StreamPipeline>> pipelines;
+  std::vector<std::string> stream_nics;
   for (std::size_t stream = 0; stream < sender_configs.size(); ++stream) {
     const NodeConfig& sender_config = sender_configs[stream];
     const MachineTopology& sender_topo = sender_topos[stream];
@@ -186,6 +345,7 @@ Result<ExperimentResult> run_experiment(
     if (!receiver_nic.ok()) {
       return receiver_nic.status();
     }
+    stream_nics.push_back(stream_nic_info.value().name);
 
     const int stream_id = static_cast<int>(stream);
     auto compress_workers =
@@ -244,8 +404,26 @@ Result<ExperimentResult> run_experiment(
     pipelines.push_back(std::make_unique<StreamPipeline>(sim, options.calib, spec));
   }
 
+  std::optional<DegradationInjector> injector;
+  if (!options.degradation.empty()) {
+    injector.emplace(sim, receiver, options.degradation);
+  }
+  std::optional<RecoveryMonitor> healer;
+  if (options.health.enabled()) {
+    healer.emplace(sim, receiver, receiver_topo, receiver_config, options.health);
+    for (std::size_t stream = 0; stream < pipelines.size(); ++stream) {
+      healer->add_stream(pipelines[stream].get(), stream_nics[stream]);
+    }
+  }
+
   for (auto& pipeline : pipelines) {
     pipeline->launch();
+  }
+  if (injector.has_value()) {
+    injector->launch();
+  }
+  if (healer.has_value()) {
+    healer->launch();
   }
   sim.run();
 
@@ -317,6 +495,9 @@ Result<ExperimentResult> run_experiment(
       stage_observation(total_busy.decompress, threads_decompress);
   for (auto& timeline : timelines) {
     result.stream_timelines.push_back(std::move(*timeline));
+  }
+  if (healer.has_value()) {
+    result.health = healer->counters();
   }
   return result;
 }

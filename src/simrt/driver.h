@@ -11,9 +11,11 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "metrics/health_counters.h"
 #include "metrics/timeline.h"
 #include "core/config.h"
 #include "core/config_generator.h"
+#include "simhw/degradation.h"
 #include "simhw/network.h"
 #include "simhw/scheduler.h"
 #include "simrt/calibration.h"
@@ -61,6 +63,17 @@ struct ExperimentOptions {
   /// When > 0, record per-stream delivered-rate timelines with this bucket
   /// width (virtual seconds); see ExperimentResult::stream_timelines.
   double timeline_bucket_seconds = 0;
+
+  /// Seeded hardware-degradation events injected on the receiver host's
+  /// resources (simhw/degradation.h). Empty = pristine hardware.
+  DegradationSchedule degradation;
+
+  /// Self-healing (DESIGN.md §9): when enabled, a monitor process samples
+  /// per-NIC delivered bytes every window_ms of virtual time, classifies
+  /// each NIC through a HealthMonitor, and on NIC failure re-plans the
+  /// receiver placement and live-migrates the affected streams' receive
+  /// workers to the surviving NIC's domain. Default off.
+  HealthConfig health;
 };
 
 struct StreamResult {
@@ -89,6 +102,9 @@ struct ExperimentResult {
   /// Per-stream delivered-rate timelines (empty unless
   /// ExperimentOptions::timeline_bucket_seconds > 0).
   std::vector<RateTimeline> stream_timelines;
+  /// Self-healing accounting (all zero unless ExperimentOptions::health is
+  /// enabled). Deterministic across same-seed reruns of a scenario.
+  HealthCountersSnapshot health;
 };
 
 /// Runs one experiment: stream i flows from sender_configs[i] (on

@@ -103,26 +103,44 @@ void StreamPipeline::launch() {
   }
   if (spec_.compress) {
     live_compressors_ = static_cast<int>(spec_.compress_workers.size());
-    for (const Worker& worker : spec_.compress_workers) {
-      sim_.spawn(compressor_worker(worker));
+    for (std::size_t i = 0; i < spec_.compress_workers.size(); ++i) {
+      sim_.spawn(compressor_worker(i));
     }
   }
   live_receivers_ = static_cast<int>(spec_.receive_workers.size());
   for (std::size_t i = 0; i < spec_.send_workers.size(); ++i) {
-    sim_.spawn(sender_worker(i, spec_.send_workers[i]));
-    sim_.spawn(receiver_worker(i, spec_.receive_workers[i]));
+    sim_.spawn(sender_worker(i));
+    sim_.spawn(receiver_worker(i));
   }
   if (spec_.compress) {
-    for (const Worker& worker : spec_.decompress_workers) {
-      sim_.spawn(decompressor_worker(worker));
+    for (std::size_t i = 0; i < spec_.decompress_workers.size(); ++i) {
+      sim_.spawn(decompressor_worker(i));
     }
   }
 }
 
-sim::SimProc StreamPipeline::compressor_worker(Worker worker) {
-  const int core = worker.core;
+void StreamPipeline::migrate_receive_worker(std::size_t connection, int core) {
+  NS_CHECK(connection < spec_.receive_workers.size(), "no such receive worker");
+  spec_.receive_workers[connection] = Worker{.core = core, .pinned = true};
+}
+
+void StreamPipeline::migrate_decompress_worker(std::size_t index, int core) {
+  NS_CHECK(index < spec_.decompress_workers.size(), "no such decompress worker");
+  spec_.decompress_workers[index] = Worker{.core = core, .pinned = true};
+}
+
+void StreamPipeline::retarget_receiver_nic(int nic_resource, int nic_domain) {
+  NS_CHECK(nic_resource >= 0, "NIC resource must be valid");
+  spec_.receiver_nic = nic_resource;
+  spec_.receiver_nic_domain = nic_domain;
+}
+
+sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
   SimHost& host = *spec_.sender_host;
   while (true) {
+    // Re-read the placement every chunk: a live migration lands here.
+    const Worker worker = spec_.compress_workers[index];
+    const int core = worker.core;
     auto chunk = draw_source_chunk();
     if (!chunk.has_value()) {
       break;
@@ -186,12 +204,13 @@ sim::SimProc StreamPipeline::compressor_worker(Worker worker) {
   }
 }
 
-sim::SimProc StreamPipeline::sender_worker(std::size_t connection, Worker worker) {
-  const int core = worker.core;
+sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
   SimHost& sender = *spec_.sender_host;
   SimHost& receiver = *spec_.receiver_host;
   sim::SimQueue<SimChunk>& out = *connection_queues_[connection];
   while (true) {
+    const Worker worker = spec_.send_workers[connection];
+    const int core = worker.core;
     std::optional<SimChunk> chunk;
     if (spec_.compress) {
       chunk = co_await send_queue_->pop();
@@ -266,8 +285,7 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection, Worker worker
   out.close();
 }
 
-sim::SimProc StreamPipeline::receiver_worker(std::size_t connection, Worker worker) {
-  const int core = worker.core;
+sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
   SimHost& host = *spec_.receiver_host;
   sim::SimQueue<SimChunk>& in = *connection_queues_[connection];
   while (true) {
@@ -275,6 +293,8 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection, Worker work
     if (!chunk.has_value()) {
       break;
     }
+    const Worker worker = spec_.receive_workers[connection];
+    const int core = worker.core;
     // Packet processing: read the DMA'd packets (remote if this core is not
     // in the NIC domain - the crux of Observation 1), reassemble into a
     // buffer in the worker's own domain.
@@ -332,14 +352,15 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection, Worker work
   }
 }
 
-sim::SimProc StreamPipeline::decompressor_worker(Worker worker) {
-  const int core = worker.core;
+sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
   SimHost& host = *spec_.receiver_host;
   while (true) {
     auto chunk = co_await decompress_queue_->pop();
     if (!chunk.has_value()) {
       break;
     }
+    const Worker worker = spec_.decompress_workers[index];
+    const int core = worker.core;
     SimHost::StepSpec step;
     step.core = core;
     step.work_bytes = chunk->raw_bytes;

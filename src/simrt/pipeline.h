@@ -110,6 +110,31 @@ class StreamPipeline {
   /// Spawns all worker coroutines on the simulation. Call once.
   void launch();
 
+  // ---- live re-placement (DESIGN.md §9) ----
+  //
+  // Workers re-read their placement from the spec at every chunk boundary,
+  // so a monitor coroutine (simrt/driver.cpp) can call these mid-run: the
+  // chunk in hand finishes on the old core/NIC, the next one uses the new
+  // placement. Single-threaded simulation — no synchronization needed.
+
+  /// Moves one receive worker to `core` (stays pinned). The simulated
+  /// equivalent of MigrationCoordinator + apply_binding on the real pipeline.
+  void migrate_receive_worker(std::size_t connection, int core);
+
+  /// Moves one decompress worker to `core` (stays pinned).
+  void migrate_decompress_worker(std::size_t index, int core);
+
+  /// Re-routes the stream through a different receiver NIC: subsequent
+  /// chunks transfer over `nic_resource` and DMA into `nic_domain`. The
+  /// NIC-failover half of a re-plan.
+  void retarget_receiver_nic(int nic_resource, int nic_domain);
+
+  /// True once every produced chunk is accounted for: delivered or shed.
+  /// The zero-chunk-loss invariant a recovery scenario asserts.
+  [[nodiscard]] bool all_chunks_accounted() const noexcept {
+    return chunks_delivered_ + shed_chunks_ == spec_.chunks;
+  }
+
   // ---- results (valid after sim.run() completes) ----
   [[nodiscard]] std::uint64_t chunks_delivered() const noexcept {
     return chunks_delivered_;
@@ -151,10 +176,10 @@ class StreamPipeline {
   }
 
  private:
-  sim::SimProc compressor_worker(Worker worker);
-  sim::SimProc sender_worker(std::size_t connection, Worker worker);
-  sim::SimProc receiver_worker(std::size_t connection, Worker worker);
-  sim::SimProc decompressor_worker(Worker worker);
+  sim::SimProc compressor_worker(std::size_t index);
+  sim::SimProc sender_worker(std::size_t connection);
+  sim::SimProc receiver_worker(std::size_t connection);
+  sim::SimProc decompressor_worker(std::size_t index);
   /// Seeds a token queue with its initial tokens at t=0.
   sim::SimProc token_filler(sim::SimQueue<int>& tokens, std::size_t count);
 

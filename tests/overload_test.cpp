@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <thread>
@@ -34,6 +35,16 @@ MachineTopology host_topology() {
   auto topo = discover_topology();
   NS_CHECK(topo.ok(), "overload tests need a discoverable host");
   return std::move(topo).value();
+}
+
+/// Chaos suites read NUMASTREAM_CHAOS_SEED so the nightly job can randomize
+/// them; unset (the tier-1 default) they stay fully deterministic.
+std::uint64_t chaos_seed(std::uint64_t fallback) {
+  const char* env = std::getenv("NUMASTREAM_CHAOS_SEED");
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  return std::strtoull(env, nullptr, 10);
 }
 
 Bytes pattern_payload(std::uint64_t sequence, std::size_t size) {
@@ -699,7 +710,7 @@ ChaosOverloadRun run_chaos_overload(const MachineTopology& topo,
 TEST(ChaosOverloadTest, CreditAndBudgetSurviveChaosDeterministically) {
   const MachineTopology topo = host_topology();
   FaultPlan plan;
-  plan.seed = 20260806;
+  plan.seed = chaos_seed(20260806);
   plan.disconnect_per_write = 0.05;
   plan.torn_write_per_write = 0.05;
   plan.fault_free_prefix_bytes = 2048;
@@ -752,7 +763,7 @@ TEST(ChaosOverloadTest, CreditAndBudgetSurviveChaosDeterministically) {
 TEST(ChaosOverloadTest, SheddingAndRecoveryKeepExactlyOnceDelivery) {
   const MachineTopology topo = host_topology();
   FaultPlan plan;
-  plan.seed = 99;
+  plan.seed = chaos_seed(99);
   plan.disconnect_per_write = 0.04;
   plan.torn_write_per_write = 0.04;
   plan.fault_free_prefix_bytes = 2048;
