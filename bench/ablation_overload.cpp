@@ -53,6 +53,9 @@ Result<ExperimentResult> run_mode(const std::vector<MachineTopology>& senders,
   options.memory_budget_bytes = mode.budget_bytes;
   options.shed_high_watermark = mode.shed_high;
   options.shed_low_watermark = mode.shed_low;
+  // Per-stage latency histograms ride along: under overload, the tail shows
+  // where chunks wait, which the throughput columns alone cannot.
+  options.observe.latency = true;
   return run_plan(senders, lynx, plan, options);
 }
 
@@ -86,6 +89,9 @@ int main() {
 
   TextTable table({"mode", "e2e (Gbps)", "delivered", "shed", "credit stalls",
                    "budget stalls", "peak in flight"});
+  TextTable latency({"mode", "stage", "p50 (us)", "p99 (us)"});
+  bool latency_complete = true;
+  bool percentiles_monotone = true;
   std::uint64_t block_delivered = 0;
   std::uint64_t shed_delivered = 0;
   std::uint64_t shed_dropped = 0;
@@ -111,6 +117,19 @@ int main() {
                    std::to_string(shed), std::to_string(credit_stalls),
                    std::to_string(budget_stalls),
                    format_bytes(static_cast<std::uint64_t>(peak))});
+    const auto add_latency = [&](const char* stage,
+                                 const obs::LatencySnapshot& snap) {
+      latency.add_row({mode.name, stage, fmt_double(snap.p50_ns / 1000.0, 1),
+                       fmt_double(snap.p99_ns / 1000.0, 1)});
+      latency_complete = latency_complete && snap.count > 0;
+      percentiles_monotone = percentiles_monotone &&
+                             snap.p50_ns <= snap.p99_ns &&
+                             snap.p99_ns <= snap.p999_ns;
+    };
+    add_latency("compress", r.observation.latency.compress);
+    add_latency("send", r.observation.latency.send);
+    add_latency("receive", r.observation.latency.receive);
+    add_latency("decompress", r.observation.latency.decompress);
     if (std::string(mode.name) == "block") {
       block_delivered = delivered;
     } else if (std::string(mode.name) == "shed") {
@@ -138,7 +157,12 @@ int main() {
                     stalls2 == credit_stalls + budget_stalls);
   }
   std::printf("%s\n", table.render().c_str());
+  std::printf("per-stage latency under overload:\n%s\n", latency.render().c_str());
 
+  shape_check("latency histograms cover every stage in every mode",
+              latency_complete);
+  shape_check("latency percentiles are monotone (p50 <= p99 <= p999)",
+              percentiles_monotone);
   shape_check("blocking backpressure delivers everything",
               block_delivered == 4 * 120);
   shape_check("credit flow control forces sender stalls under a slow receiver",

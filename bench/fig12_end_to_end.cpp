@@ -50,14 +50,16 @@ NodeConfig receiver_config(int recv_threads, int decompression_threads,
   return config;
 }
 
-double run_one(const ThreadCountConfig& table_config, int transfer_threads,
-               int receiver_domain) {
+ExperimentResult run_one(const ThreadCountConfig& table_config,
+                         int transfer_threads, int receiver_domain,
+                         bool observe_latency = false) {
   const MachineTopology updraft = updraft_topology("updraft1");
   const MachineTopology lynx = lynxdtn_topology();
   ExperimentOptions options;
   options.link.bandwidth_gbps = 100;
   options.chunks_per_stream = 300;
   options.source_gbps = 100;  // the instrument feeds the sender at line rate
+  options.observe.latency = observe_latency;
   auto result = run_experiment(
       {updraft},
       {sender_config(table_config.compression_threads, transfer_threads)}, lynx,
@@ -65,7 +67,7 @@ double run_one(const ThreadCountConfig& table_config, int transfer_threads,
                       receiver_domain),
       options);
   NS_CHECK(result.ok(), "fig12 run failed");
-  return result.value().e2e_gbps;
+  return std::move(result).value();
 }
 
 }  // namespace
@@ -90,8 +92,8 @@ int main() {
   std::vector<std::vector<std::array<double, 2>>> series(table3_configs().size());
   for (std::size_t c = 0; c < table3_configs().size(); ++c) {
     for (const int threads : sr_threads) {
-      const double n0 = run_one(table3_configs()[c], threads, 0);
-      const double n1 = run_one(table3_configs()[c], threads, 1);
+      const double n0 = run_one(table3_configs()[c], threads, 0).e2e_gbps;
+      const double n1 = run_one(table3_configs()[c], threads, 1).e2e_gbps;
       series[c].push_back({n0, n1});
       results.add_row({std::string(1, table3_configs()[c].label),
                        std::to_string(threads), fmt_double(n0, 1), fmt_double(n1, 1)});
@@ -126,5 +128,36 @@ int main() {
               "binds (F and G at 1 S/R thread, ~15%)",
               at('F', 1, 1) > at('F', 1, 0) * 1.08 &&
                   at('G', 1, 1) > at('G', 1, 0) * 1.08);
+
+  // Per-stage tail latency for config G at 1 S/R thread — the regime where
+  // the receive path binds, so the NUMA-placement effect shows up in p99.
+  const std::size_t g = table3_configs().size() - 1;
+  const auto lat0 =
+      run_one(table3_configs()[g], 1, 0, /*observe_latency=*/true)
+          .observation.latency;
+  const auto lat1 =
+      run_one(table3_configs()[g], 1, 1, /*observe_latency=*/true)
+          .observation.latency;
+  const auto us = [](std::uint64_t ns) { return fmt_double(ns / 1000.0, 1); };
+  TextTable latency({"stage", "NUMA0 p50 (us)", "NUMA0 p99 (us)",
+                     "NUMA1 p50 (us)", "NUMA1 p99 (us)"});
+  const auto add_stage = [&](const char* name, const obs::LatencySnapshot& a,
+                             const obs::LatencySnapshot& b) {
+    latency.add_row(
+        {name, us(a.p50_ns), us(a.p99_ns), us(b.p50_ns), us(b.p99_ns)});
+  };
+  add_stage("compress", lat0.compress, lat1.compress);
+  add_stage("send", lat0.send, lat1.send);
+  add_stage("receive", lat0.receive, lat1.receive);
+  add_stage("decompress", lat0.decompress, lat1.decompress);
+  std::printf("per-stage latency, config G, 1 S/R, by receiver domain:\n%s",
+              latency.render().c_str());
+
+  shape_check("latency histograms cover all four stages",
+              lat1.compress.count > 0 && lat1.send.count > 0 &&
+                  lat1.receive.count > 0 && lat1.decompress.count > 0);
+  shape_check("receive p99 is no better with NUMA 0 receivers (remote packet "
+              "reads lengthen the tail)",
+              lat0.receive.p99_ns >= lat1.receive.p99_ns);
   return finish();
 }

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Builds the tree with ThreadSanitizer and runs the concurrency-heavy suites:
 # the bounded queue (blocking, cancel, eviction, MPMC stress), the memory
-# budget ledger (shared by sender and receiver threads), and the overload
+# budget ledger (shared by sender and receiver threads), the overload
 # pipelines where credit grants, shedding and drain deadlines all race real
-# worker threads. A clean exit means the credit/budget/drain machinery is
-# free of data races, not just functionally green.
+# worker threads, and the observability layer (span rings written by worker
+# threads while the registry's sampler thread reads gauges). A clean exit
+# means the credit/budget/drain/observe machinery is free of data races, not
+# just functionally green.
 #
 #   $ scripts/check_tsan.sh [extra ctest args...]
 #
@@ -20,7 +22,7 @@ cmake --build build-tsan
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest)' \
+  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest)' \
   "$@"
 
 echo

@@ -19,6 +19,7 @@
 #include "core/config_generator.h"
 #include "core/health.h"
 #include "core/placement.h"
+#include "obs/histogram.h"
 
 namespace numastream {
 
@@ -46,6 +47,22 @@ struct OverloadObservation {
   }
 };
 
+/// Per-stage latency distributions observed over a window (obs/histogram.h
+/// condensed to the four pipeline stages). All-zero counts mean the run did
+/// not record latency (the observe directive was off) — utilization alone
+/// then drives the advisor, exactly as before the observability subsystem.
+struct LatencyObservation {
+  obs::LatencySnapshot compress;
+  obs::LatencySnapshot send;
+  obs::LatencySnapshot receive;
+  obs::LatencySnapshot decompress;
+
+  [[nodiscard]] bool any() const noexcept {
+    return compress.count != 0 || send.count != 0 || receive.count != 0 ||
+           decompress.count != 0;
+  }
+};
+
 /// A pipeline observation window. Throughputs are bytes/second of RAW data
 /// (the common currency across stages: compression input, decompression
 /// output), so stages are directly comparable.
@@ -56,6 +73,7 @@ struct PipelineObservation {
   StageObservation receive;
   StageObservation decompress;
   OverloadObservation overload;
+  LatencyObservation latency;
 };
 
 enum class StageKind { kCompress, kSend, kReceive, kDecompress, kNone };

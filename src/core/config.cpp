@@ -16,10 +16,12 @@
 //   health [window_ms=<n>] [ewma_alpha=<f>] [degraded_ratio=<f>]
 //          [failed_ratio=<f>] [breach_windows=<n>] [recover_windows=<n>]
 //          [baseline_windows=<n>]
+//   observe [trace=on|off] [ring_capacity=<n>] [latency=on|off] [sample_ms=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
-// `recovery`, `overload` and `health` may each appear at most once; a
-// duplicate is a parse error (silent last-wins hid config merge mistakes).
+// `recovery`, `overload`, `health` and `observe` may each appear at most
+// once; a duplicate is a parse error (silent last-wins hid config merge
+// mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -234,6 +236,10 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
           "config: health window counts must be positive");
     }
   }
+  if (observe.ring_capacity == 0) {
+    return invalid_argument_error(
+        "config: observe ring_capacity must be positive");
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -312,6 +318,14 @@ std::string NodeConfig::serialize() const {
         << " recover_windows=" << health.recover_windows
         << " baseline_windows=" << health.baseline_windows << "\n";
   }
+  if (!observe.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so pre-observability configs round-trip byte-identically.
+    out << "observe trace=" << (observe.trace ? "on" : "off")
+        << " ring_capacity=" << observe.ring_capacity
+        << " latency=" << (observe.latency ? "on" : "off")
+        << " sample_ms=" << observe.sample_ms << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -333,6 +347,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_recovery = false;
   bool saw_overload = false;
   bool saw_health = false;
+  bool saw_observe = false;
 
   std::istringstream in(text);
   std::string line;
@@ -535,6 +550,48 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             config.health.recover_windows = std::stoi(value);
           } else if (key == "baseline_windows") {
             config.health.baseline_windows = std::stoi(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "observe") {
+      if (saw_observe) {
+        return fail("duplicate 'observe' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_observe = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "trace") {
+            if (value == "on") {
+              config.observe.trace = true;
+            } else if (value == "off") {
+              config.observe.trace = false;
+            } else {
+              return fail("bad trace '" + value + "' (want on|off)");
+            }
+          } else if (key == "ring_capacity") {
+            config.observe.ring_capacity = std::stoull(value);
+          } else if (key == "latency") {
+            if (value == "on") {
+              config.observe.latency = true;
+            } else if (value == "off") {
+              config.observe.latency = false;
+            } else {
+              return fail("bad latency '" + value + "' (want on|off)");
+            }
+          } else if (key == "sample_ms") {
+            config.observe.sample_ms = std::stoull(value);
           } else {
             return fail("unknown attribute '" + key + "'");
           }

@@ -168,6 +168,30 @@ struct HealthConfig {
   friend bool operator==(const HealthConfig&, const HealthConfig&) = default;
 };
 
+/// Observability policy for one node's pipeline (DESIGN.md §10). Everything
+/// defaults to off, matching pre-observability behavior byte for byte: no
+/// spans recorded, no histograms, no sampler thread. The knobs are
+/// measurement-only — turning them on never changes what the pipeline does
+/// to a chunk, only what it remembers about it.
+struct ObserveConfig {
+  /// Record per-chunk lifecycle spans into per-worker rings.
+  bool trace = false;
+  /// Spans buffered per worker before drop-oldest eviction kicks in.
+  std::size_t ring_capacity = 1024;
+  /// Record per-stage latency histograms (p50/p99/p999 per NUMA domain).
+  bool latency = false;
+  /// Periodic MetricsRegistry snapshot interval; 0 disables the sampler.
+  std::uint64_t sample_ms = 0;
+
+  [[nodiscard]] bool is_default() const { return *this == ObserveConfig{}; }
+
+  /// Observability is on iff any knob moved; the absent directive keeps the
+  /// pipeline bit-identical to the pre-observability runtime.
+  [[nodiscard]] bool enabled() const { return !is_default(); }
+
+  friend bool operator==(const ObserveConfig&, const ObserveConfig&) = default;
+};
+
 struct NodeConfig {
   std::string node_name;
   NodeRole role = NodeRole::kSender;
@@ -177,6 +201,7 @@ struct NodeConfig {
   RecoveryConfig recovery;
   OverloadConfig overload;
   HealthConfig health;
+  ObserveConfig observe;
   std::vector<TaskGroupConfig> tasks;
 
   /// Total threads of one task type across all groups (optionally filtered

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <ctime>
 #include <map>
 #include <memory>
@@ -18,6 +19,8 @@
 #include "core/advisor.h"
 #include "core/watchdog.h"
 #include "metrics/throughput.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace numastream {
 namespace {
@@ -206,6 +209,83 @@ class MigrationPoller {
   std::uint64_t last_seen_ = 0;
 };
 
+/// Resolves a run's observability collaborators against its config
+/// (DESIGN.md §10). With the observe directive absent (or the hooks null)
+/// every query below is a cached false and workers take no timestamps — the
+/// run is bit-identical to the pre-observability pipeline. Gauges registered
+/// through this object are unregistered in the destructor, which runs before
+/// the queue and counters they read are torn down (declaration order).
+class ObsRun {
+ public:
+  ObsRun(const ObserveConfig& config, const ObsHooks& hooks)
+      : trace_on_(config.trace && hooks.tracer != nullptr),
+        latency_on_(config.latency && hooks.latencies != nullptr),
+        registry_on_(config.enabled() && hooks.registry != nullptr),
+        hooks_(hooks),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+  ~ObsRun() {
+    for (const auto& name : gauges_) {
+      hooks_.registry->unregister(name);
+    }
+  }
+  ObsRun(const ObsRun&) = delete;
+  ObsRun& operator=(const ObsRun&) = delete;
+
+  /// True when any per-chunk measurement is on; workers gate every
+  /// timestamp on this so the disabled path costs one branch.
+  [[nodiscard]] bool observing() const noexcept { return trace_on_ || latency_on_; }
+
+  /// Wall nanoseconds since this run's epoch.
+  [[nodiscard]] std::uint64_t now_ns() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Records one stage's handling of one chunk into whichever sinks are on.
+  void note(obs::Stage stage, std::uint32_t stream, std::uint64_t sequence,
+            std::uint32_t worker, int domain, std::uint64_t start_ns,
+            std::uint64_t end_ns) const noexcept {
+    if (trace_on_) {
+      obs::Span span;
+      span.stream_id = stream;
+      span.sequence = sequence;
+      span.stage = stage;
+      span.worker = worker;
+      span.domain = domain;
+      span.start_ns = start_ns;
+      span.end_ns = end_ns;
+      hooks_.tracer->record(span);
+    }
+    if (latency_on_) {
+      hooks_.latencies->record(stage, domain,
+                               end_ns >= start_ns ? end_ns - start_ns : 0);
+    }
+  }
+
+  /// Registers a gauge for the run's duration (no-op when the registry hook
+  /// is off; a name collision loses quietly — observability never fails a
+  /// run).
+  void gauge(const std::string& name, std::function<double()> read) {
+    if (!registry_on_) {
+      return;
+    }
+    if (hooks_.registry->register_gauge(name, std::move(read)).is_ok()) {
+      gauges_.push_back(name);
+    }
+  }
+
+ private:
+  bool trace_on_;
+  bool latency_on_;
+  bool registry_on_;
+  ObsHooks hooks_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::string> gauges_;
+};
+
 }  // namespace
 
 TomoChunkSource::TomoChunkSource(TomoConfig config, std::uint32_t stream_id,
@@ -254,7 +334,8 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
                                       PlacementRecorder* recorder,
                                       FaultCounters* faults,
                                       OverloadHooks overload,
-                                      HealthHooks health) {
+                                      HealthHooks health,
+                                      ObsHooks obs_hooks) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
   const Codec* codec = codec_by_name(config_.codec_name);
   NS_CHECK(codec != nullptr, "validate() checked the codec");
@@ -311,6 +392,22 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   std::atomic<bool> degraded{false};
   std::atomic<bool> shedding{false};
   std::atomic<std::uint64_t> sent_messages{0};
+  // Messages of credit currently held across all send workers; maintained
+  // only under credit flow control, read by the credit-occupancy gauge.
+  std::atomic<std::int64_t> credit_held{0};
+
+  ObsRun obr(config_.observe, obs_hooks);
+  obr.gauge("sender.queue_depth",
+            [&queue] { return static_cast<double>(queue.size()); });
+  if (ovr.credit_on()) {
+    obr.gauge("sender.credit_available", [&credit_held] {
+      return static_cast<double>(credit_held.load(std::memory_order_relaxed));
+    });
+  }
+  if (budget != nullptr) {
+    obr.gauge("sender.budget_bytes_in_flight",
+              [budget] { return static_cast<double>(budget->used()); });
+  }
 
   // The flush timer of the graceful drain: armed when the last compressor
   // stops ingesting (source exhausted or drain requested); if the queued
@@ -364,6 +461,10 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           raw = stream.get();
           socket = std::make_unique<PushSocket>(std::move(stream));
           registry.add(raw);
+          // Credit never survives a connection; return what this worker
+          // still held to the occupancy gauge before zeroing it.
+          credit_held.fetch_sub(static_cast<std::int64_t>(credit),
+                                std::memory_order_relaxed);
           credit = 0;
         };
         const auto retire = [&] {
@@ -405,6 +506,8 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
               return grant.status();
             }
             credit += grant.value();
+            credit_held.fetch_add(static_cast<std::int64_t>(grant.value()),
+                                  std::memory_order_relaxed);
           }
           return Status::ok();
         };
@@ -421,6 +524,7 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
             if (status.is_ok()) {
               if (ovr.credit_on()) {
                 --credit;
+                credit_held.fetch_sub(1, std::memory_order_relaxed);
               }
               return status;
             }
@@ -436,11 +540,21 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
         MigrationPoller migrate(
             topo_, health, health_on, TaskType::kSend,
             "send-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
+        // Send workers come after the compress workers in the trace's
+        // worker-id space (see ObsHooks::tracer).
+        const auto trace_worker =
+            static_cast<std::uint32_t>(compress.count + ctx.worker_index);
+        const int obs_domain = ctx.binding.execution_domain;
         while (auto message = queue.pop(qcancel)) {
           migrate.poll();
           const std::uint64_t charge = message->body.size();
           const std::uint32_t charged_stream = message->stream_id;
+          const std::uint64_t send_t0 = obr.observing() ? obr.now_ns() : 0;
           const Status status = send_message(*message);
+          if (obr.observing()) {
+            obr.note(obs::Stage::kSend, message->stream_id, message->sequence,
+                     trace_worker, obs_domain, send_t0, obr.now_ns());
+          }
           if (budget != nullptr) {
             budget->release(charged_stream, charge);  // frame left the queue
           }
@@ -481,6 +595,8 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
         MigrationPoller migrate(
             topo_, health, health_on, TaskType::kCompress,
             "comp-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
+        const auto trace_worker = static_cast<std::uint32_t>(ctx.worker_index);
+        const int obs_domain = ctx.binding.execution_domain;
         // Keep frames newer (higher sequence) over older, and — for the
         // priority policy — higher-priority streams over lower, newer over
         // older within a priority class.
@@ -498,9 +614,14 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
             ovr.note_drain_request();
             break;  // stop ingesting; queued frames flush under the deadline
           }
+          const std::uint64_t generate_t0 = obr.observing() ? obr.now_ns() : 0;
           auto chunk = source.next();
           if (!chunk) {
             break;
+          }
+          if (obr.observing()) {
+            obr.note(obs::Stage::kGenerate, chunk->stream_id, chunk->sequence,
+                     trace_worker, obs_domain, generate_t0, obr.now_ns());
           }
           const Codec* active = codec;
           if (recovery.degrade_watermark > 0) {
@@ -518,7 +639,12 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           Message message;
           message.stream_id = chunk->stream_id;
           message.sequence = chunk->sequence;
+          const std::uint64_t compress_t0 = obr.observing() ? obr.now_ns() : 0;
           message.body = encode_frame(*active, chunk->payload);
+          if (obr.observing()) {
+            obr.note(obs::Stage::kCompress, chunk->stream_id, chunk->sequence,
+                     trace_worker, obs_domain, compress_t0, obr.now_ns());
+          }
           raw_bytes.fetch_add(chunk->size(), std::memory_order_relaxed);
           chunks.fetch_add(1, std::memory_order_relaxed);
 
@@ -581,11 +707,18 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
               continue;
             }
           }
+          const std::uint64_t enqueue_t0 = obr.observing() ? obr.now_ns() : 0;
           if (!queue.push(std::move(message), qcancel).is_ok()) {
             if (budget != nullptr) {
               budget->release(chunk->stream_id, charge);
             }
             break;  // pipeline shutting down (peer failure)
+          }
+          if (obr.observing()) {
+            // The enqueue span's duration is pure backpressure: how long the
+            // frame waited for space in the compress->send queue.
+            obr.note(obs::Stage::kEnqueue, chunk->stream_id, chunk->sequence,
+                     trace_worker, obs_domain, enqueue_t0, obr.now_ns());
           }
         }
         if (live_compressors.fetch_sub(1) == 1) {
@@ -645,7 +778,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
                                           PlacementRecorder* recorder,
                                           FaultCounters* faults,
                                           OverloadHooks overload,
-                                          HealthHooks health) {
+                                          HealthHooks health,
+                                          ObsHooks obs_hooks) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
 
   const GroupSpec receive = collect_group(config_, TaskType::kReceive);
@@ -684,6 +818,14 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   std::atomic<std::uint64_t> corrupt_frames{0};
   std::atomic<int> live_receivers{receive.count};
   std::atomic<std::uint64_t> received_messages{0};
+
+  ObsRun obr(config_.observe, obs_hooks);
+  obr.gauge("receiver.queue_depth",
+            [&queue] { return static_cast<double>(queue.size()); });
+  if (budget != nullptr) {
+    obr.gauge("receiver.budget_bytes_in_flight",
+              [budget] { return static_cast<double>(budget->used()); });
+  }
 
   // Reconnect-mode shared state. Every peer ends its stream with one
   // end-of-stream marker; the pipeline is complete when one marker per
@@ -854,6 +996,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
         MigrationPoller migrate(
             topo_, health, health_on, TaskType::kReceive,
             "recv-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
+        const auto trace_worker = static_cast<std::uint32_t>(ctx.worker_index);
+        const int obs_domain = ctx.binding.execution_domain;
         bool running = true;
         while (running) {
           // Drain the current connection to its end.
@@ -865,6 +1009,7 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
               running = false;
               break;  // stop ingesting; queued frames flush under the deadline
             }
+            const std::uint64_t receive_t0 = obr.observing() ? obr.now_ns() : 0;
             auto message = socket->recv();
             if (!message.ok()) {
               const StatusCode code = message.status().code();
@@ -884,6 +1029,11 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
             if (message.value().end_of_stream) {
               got_eos = true;
               break;
+            }
+            if (obr.observing()) {
+              obr.note(obs::Stage::kReceive, message.value().stream_id,
+                       message.value().sequence, trace_worker, obs_domain,
+                       receive_t0, obr.now_ns());
             }
             if (recovery.reconnect) {
               const std::lock_guard<std::mutex> lock(dedup_mu);
@@ -907,6 +1057,7 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
             // it (delivery, corruption drop, or eviction).
             const std::uint64_t charge = message.value().body.size();
             const std::uint32_t charged_stream = message.value().stream_id;
+            const std::uint64_t charged_sequence = message.value().sequence;
             if (budget != nullptr &&
                 !budget
                      ->acquire(charged_stream, charge, registry.cancel_flag(),
@@ -915,12 +1066,18 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
               running = false;
               break;  // cancelled mid-admission: pipeline is tearing down
             }
+            const std::uint64_t enqueue_t0 = obr.observing() ? obr.now_ns() : 0;
             if (!queue.push(std::move(message).value(), qcancel).is_ok()) {
               if (budget != nullptr) {
                 budget->release(charged_stream, charge);
               }
               running = false;
               break;  // pipeline shutting down
+            }
+            if (obr.observing()) {
+              // Pure backpressure: the wait for receive->decompress space.
+              obr.note(obs::Stage::kEnqueue, charged_stream, charged_sequence,
+                       trace_worker, obs_domain, enqueue_t0, obr.now_ns());
             }
             consume_credit();
           }
@@ -975,6 +1132,11 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
         MigrationPoller migrate(
             topo_, health, health_on, TaskType::kDecompress,
             "decomp-" + std::to_string(ctx.worker_index) + "-migrate", recorder);
+        // Decompress workers come after the receive workers in the trace's
+        // worker-id space (see ObsHooks::tracer).
+        const auto trace_worker =
+            static_cast<std::uint32_t>(receive.count + ctx.worker_index);
+        const int obs_domain = ctx.binding.execution_domain;
         int consecutive_corrupt = 0;
         while (auto message = queue.pop(qcancel)) {
           migrate.poll();
@@ -993,10 +1155,16 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
             continue;  // the stream was cut for falling behind
           }
           bool resynced = false;
+          const std::uint64_t decompress_t0 = obr.observing() ? obr.now_ns() : 0;
           auto content =
               recovery.reconnect
                   ? decode_frame_content_resync(message->body, &resynced)
                   : decode_frame_content(message->body);
+          if (obr.observing() && content.ok()) {
+            obr.note(obs::Stage::kDecompress, message->stream_id,
+                     message->sequence, trace_worker, obs_domain, decompress_t0,
+                     obr.now_ns());
+          }
           if (!content.ok()) {
             corrupt_frames.fetch_add(1, std::memory_order_relaxed);
             fc.corrupt_frames.fetch_add(1, std::memory_order_relaxed);
@@ -1023,7 +1191,12 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
           chunk.payload = std::move(content).value();
           raw_bytes.fetch_add(chunk.size(), std::memory_order_relaxed);
           chunks.fetch_add(1, std::memory_order_relaxed);
+          const std::uint64_t sink_t0 = obr.observing() ? obr.now_ns() : 0;
           sink.deliver(std::move(chunk));
+          if (obr.observing()) {
+            obr.note(obs::Stage::kSink, message->stream_id, message->sequence,
+                     trace_worker, obs_domain, sink_t0, obr.now_ns());
+          }
           note_delivered(charged_stream);
           settle();
         }
@@ -1074,7 +1247,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
 
 PipelineObservation make_observation(const SenderStats& sender,
                                      const ReceiverStats& receiver,
-                                     const OverloadCountersSnapshot* overload) {
+                                     const OverloadCountersSnapshot* overload,
+                                     const obs::StageLatencies* latencies) {
   const auto stage = [](double busy, int threads, double elapsed) {
     StageObservation observation;
     observation.threads = threads;
@@ -1101,6 +1275,13 @@ PipelineObservation make_observation(const SenderStats& sender,
     observation.overload.budget_stalls = overload->budget_stalls;
     observation.overload.evicted_chunks = overload->evicted_chunks;
     observation.overload.peak_bytes_in_flight = overload->peak_bytes_in_flight;
+  }
+  if (latencies != nullptr) {
+    observation.latency.compress = latencies->stage_snapshot(obs::Stage::kCompress);
+    observation.latency.send = latencies->stage_snapshot(obs::Stage::kSend);
+    observation.latency.receive = latencies->stage_snapshot(obs::Stage::kReceive);
+    observation.latency.decompress =
+        latencies->stage_snapshot(obs::Stage::kDecompress);
   }
   return observation;
 }

@@ -30,6 +30,12 @@
 #include "msg/socket.h"
 #include "msg/transport.h"
 
+namespace numastream::obs {
+class Tracer;
+class StageLatencies;
+class MetricsRegistry;
+}  // namespace numastream::obs
+
 namespace numastream {
 
 /// Optional overload-protection collaborators for one pipeline run. All
@@ -60,6 +66,27 @@ struct HealthHooks {
   /// re-pin themselves (via apply_binding) when a request arrives for their
   /// task type. Typically driven by a HealthMonitor loop outside the run.
   MigrationCoordinator* migrations = nullptr;
+};
+
+/// Optional observability collaborators for one pipeline run (DESIGN.md
+/// §10). Borrowed, may be null; consulted only when `config.observe` turns
+/// the matching knob on, so default hooks with a default ObserveConfig are
+/// exactly the pre-observability pipeline — workers take no timestamps and
+/// touch no rings. Observability is measurement-only: none of these hooks
+/// ever changes what happens to a chunk.
+struct ObsHooks {
+  /// Per-chunk lifecycle spans, used when `config.observe.trace` is on.
+  /// Size its rings for the node's worker-id layout: sender spans use ids
+  /// [0, compress_threads) for compress and [compress_threads,
+  /// compress_threads + send_threads) for send; receivers analogously with
+  /// receive before decompress. Out-of-range ids count as dropped spans.
+  obs::Tracer* tracer = nullptr;
+  /// Per-stage latency histograms, used when `config.observe.latency` is on.
+  obs::StageLatencies* latencies = nullptr;
+  /// Queue-depth / credit-occupancy / budget gauges are registered here for
+  /// the duration of the run when `config.observe` is enabled (and
+  /// unregistered on exit, whatever knob enabled it).
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Produces the chunks a sender streams. Implementations must be
@@ -194,7 +221,8 @@ class StreamSender {
                           PlacementRecorder* recorder = nullptr,
                           FaultCounters* faults = nullptr,
                           OverloadHooks overload = {},
-                          HealthHooks health = {});
+                          HealthHooks health = {},
+                          ObsHooks obs_hooks = {});
 
  private:
   const MachineTopology& topo_;
@@ -221,7 +249,8 @@ class StreamReceiver {
                             PlacementRecorder* recorder = nullptr,
                             FaultCounters* faults = nullptr,
                             OverloadHooks overload = {},
-                            HealthHooks health = {});
+                            HealthHooks health = {},
+                            ObsHooks obs_hooks = {});
 
  private:
   const MachineTopology& topo_;
@@ -234,9 +263,13 @@ class StreamReceiver {
 /// active processing time over (elapsed x threads). `overload`, when
 /// supplied, folds the run's overload counters into the observation so the
 /// advisor can tell a compute bottleneck from an overload-protection one.
+/// `latencies`, when supplied, folds the run's per-stage latency snapshots
+/// into the observation (observation.latency), giving the advisor tail
+/// latency next to utilization.
 struct PipelineObservation;  // forward declared in core/advisor.h
 PipelineObservation make_observation(
     const SenderStats& sender, const ReceiverStats& receiver,
-    const OverloadCountersSnapshot* overload = nullptr);
+    const OverloadCountersSnapshot* overload = nullptr,
+    const obs::StageLatencies* latencies = nullptr);
 
 }  // namespace numastream

@@ -9,8 +9,84 @@ namespace numastream {
 
 std::string fmt_double(double value, int precision) {
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-  return buf;
+  const int needed = std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  if (needed < 0) {
+    return "";
+  }
+  if (static_cast<std::size_t>(needed) < sizeof(buf)) {
+    return std::string(buf, static_cast<std::size_t>(needed));
+  }
+  // Large value/precision combinations (e.g. 1e300 at precision 30) need
+  // more than the stack buffer; size the result from snprintf's count
+  // instead of silently truncating.
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::snprintf(out.data(), out.size() + 1, "%.*f", precision, value);
+  return out;
+}
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) {
+    return cell;
+  }
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (const char c : cell) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool quoted = false;
+  bool cell_started = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;  // doubled quote inside a quoted field
+        } else {
+          quoted = false;
+        }
+      } else {
+        cell += c;
+      }
+      continue;
+    }
+    if (c == '"' && cell.empty() && !cell_started) {
+      quoted = true;
+      cell_started = true;
+    } else if (c == ',') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      cell_started = false;
+    } else if (c == '\n') {
+      row.push_back(std::move(cell));
+      cell.clear();
+      cell_started = false;
+      rows.push_back(std::move(row));
+      row.clear();
+    } else if (c == '\r') {
+      // swallow the CR of a CRLF line ending
+    } else {
+      cell += c;
+      cell_started = true;
+    }
+  }
+  if (cell_started || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
@@ -82,7 +158,7 @@ std::string TextTable::to_csv() const {
       if (c != 0) {
         line += ',';
       }
-      line += cells[c];
+      line += csv_escape(cells[c]);
     }
     line += '\n';
     return line;

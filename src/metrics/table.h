@@ -37,4 +37,15 @@ class TextTable {
 /// Formats a double with fixed precision (bench helpers).
 std::string fmt_double(double value, int precision = 2);
 
+/// RFC-4180 field quoting: cells containing a comma, double quote, CR or LF
+/// are wrapped in double quotes with embedded quotes doubled; everything
+/// else passes through unchanged. Every CSV emitter in metrics/ uses this,
+/// so a label like "2 NICs, pinned" can never shift downstream columns.
+std::string csv_escape(const std::string& cell);
+
+/// RFC-4180 parser for the CSV these emitters produce: returns one row per
+/// record, honoring quoted fields (embedded commas, doubled quotes, embedded
+/// newlines). The round-trip property: parse_csv(to_csv()) == cells.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
 }  // namespace numastream

@@ -26,8 +26,20 @@ class ThroughputMeter {
     return bytes_.load(std::memory_order_relaxed);
   }
 
-  /// Marks the start of the measurement window (call once, before traffic).
-  void start() noexcept { start_time_ = Clock::now(); }
+  /// Marks the start of the measurement window. Bytes recorded before this
+  /// call (connection setup, credit warm-up — the pipeline establishes every
+  /// connection *before* starting the clock) are snapshotted as a baseline
+  /// and excluded from the window, so they can never inflate the rate.
+  void start() noexcept {
+    baseline_.store(bytes_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    start_time_ = Clock::now();
+  }
+
+  /// Bytes recorded since start() (total minus the start() baseline).
+  [[nodiscard]] std::uint64_t window_bytes() const noexcept {
+    return total_bytes() - baseline_.load(std::memory_order_relaxed);
+  }
 
   /// Seconds since start().
   [[nodiscard]] double elapsed_seconds() const noexcept {
@@ -35,14 +47,16 @@ class ThroughputMeter {
   }
 
   /// Mean rate in bytes/second since start(); 0 before any time has passed.
+  /// Only bytes recorded inside the window count.
   [[nodiscard]] double bytes_per_second() const noexcept {
     const double seconds = elapsed_seconds();
-    return seconds > 0 ? static_cast<double>(total_bytes()) / seconds : 0.0;
+    return seconds > 0 ? static_cast<double>(window_bytes()) / seconds : 0.0;
   }
 
  private:
   using Clock = std::chrono::steady_clock;
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> baseline_{0};
   Clock::time_point start_time_ = Clock::now();
 };
 

@@ -1,9 +1,11 @@
 #include "metrics/timeline.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/assert.h"
+#include "metrics/table.h"
 
 namespace numastream {
 
@@ -11,13 +13,29 @@ RateTimeline::RateTimeline(double bucket_seconds) : bucket_seconds_(bucket_secon
   NS_CHECK(bucket_seconds > 0, "timeline bucket must be positive");
 }
 
-void RateTimeline::record(double time_seconds, double bytes) {
-  NS_CHECK(time_seconds >= 0, "timeline time cannot be negative");
-  const auto bucket = static_cast<std::size_t>(time_seconds / bucket_seconds_);
+Status RateTimeline::record(double time_seconds, double bytes) {
+  if (!std::isfinite(time_seconds)) {
+    return invalid_argument_error("timeline: non-finite timestamp");
+  }
+  if (time_seconds < 0) {
+    if (time_seconds < -kNegativeSlop) {
+      return invalid_argument_error("timeline: negative timestamp " +
+                                    std::to_string(time_seconds));
+    }
+    time_seconds = 0;  // float rounding of "now - start" near zero
+  }
+  const double bucket_f = time_seconds / bucket_seconds_;
+  if (bucket_f >= static_cast<double>(kMaxBuckets)) {
+    return out_of_range_error("timeline: timestamp " +
+                              std::to_string(time_seconds) +
+                              " s is beyond the bucket cap");
+  }
+  const auto bucket = static_cast<std::size_t>(bucket_f);
   if (buckets_.size() <= bucket) {
     buckets_.resize(bucket + 1, 0.0);
   }
   buckets_[bucket] += bytes;
+  return Status::ok();
 }
 
 std::vector<double> RateTimeline::rates() const {
@@ -68,12 +86,15 @@ std::string RateTimeline::sparkline(double max_rate) const {
 }
 
 std::string RateTimeline::to_csv(const std::string& label) const {
+  const std::string safe_label = csv_escape(label);
   std::string out;
-  char line[96];
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    std::snprintf(line, sizeof(line), "%s,%zu,%.1f\n", label.c_str(), i,
-                  buckets_[i] / bucket_seconds_);
-    out += line;
+    out += safe_label;
+    out += ',';
+    out += std::to_string(i);
+    out += ',';
+    out += fmt_double(buckets_[i] / bucket_seconds_, 1);
+    out += '\n';
   }
   return out;
 }

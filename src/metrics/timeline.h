@@ -10,16 +10,29 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
+
 namespace numastream {
 
 class RateTimeline {
  public:
+  /// Timestamps past this many buckets are rejected instead of allocated:
+  /// one bogus 1e12 s sample must not attempt a terabyte resize().
+  static constexpr std::size_t kMaxBuckets = 1 << 20;
+
+  /// Slightly-negative times (float rounding of "now - start") are clamped
+  /// to 0; anything below -kNegativeSlop seconds is a caller bug.
+  static constexpr double kNegativeSlop = 1e-6;
+
   /// `bucket_seconds` is the aggregation window; all rates are per-bucket
   /// byte totals divided by it.
   explicit RateTimeline(double bucket_seconds);
 
-  /// Records `bytes` delivered at absolute time `time_seconds` (>= 0).
-  void record(double time_seconds, double bytes);
+  /// Records `bytes` delivered at absolute time `time_seconds`. Times in
+  /// [-kNegativeSlop, 0) are clamped to 0; non-finite or more negative
+  /// times return INVALID_ARGUMENT, and times past kMaxBuckets buckets
+  /// return OUT_OF_RANGE — both without touching the series.
+  Status record(double time_seconds, double bytes);
 
   [[nodiscard]] double bucket_seconds() const noexcept { return bucket_seconds_; }
   [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }

@@ -1,0 +1,149 @@
+#include "obs/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+#include "metrics/table.h"
+
+namespace numastream::obs {
+
+int LatencyHistogram::bucket_index(std::uint64_t duration_ns) noexcept {
+  return duration_ns == 0 ? 0 : std::bit_width(duration_ns);
+}
+
+std::uint64_t LatencyHistogram::bucket_upper_ns(int index) noexcept {
+  if (index <= 0) {
+    return 0;
+  }
+  if (index >= kBuckets) {
+    return ~std::uint64_t{0};
+  }
+  return (std::uint64_t{1} << index) - 1;
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t LatencyHistogram::percentile_ns(double q) const noexcept {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  // Rank of the quantile sample, 1-based; q=1 is the max.
+  const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total)));
+  const std::uint64_t target = rank == 0 ? 1 : rank;
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= target) {
+      return bucket_upper_ns(i);
+    }
+  }
+  return bucket_upper_ns(kBuckets - 1);
+}
+
+LatencySnapshot LatencyHistogram::snapshot() const noexcept {
+  LatencySnapshot snap;
+  snap.count = count();
+  if (snap.count == 0) {
+    return snap;
+  }
+  snap.p50_ns = percentile_ns(0.50);
+  snap.p99_ns = percentile_ns(0.99);
+  snap.p999_ns = percentile_ns(0.999);
+  for (int i = kBuckets - 1; i >= 0; --i) {
+    if (buckets_[i].load(std::memory_order_relaxed) > 0) {
+      snap.max_ns = bucket_upper_ns(i);
+      break;
+    }
+  }
+  return snap;
+}
+
+StageLatencies::StageLatencies(int domain_count)
+    : domain_count_(domain_count < 0 ? 0 : domain_count),
+      per_domain_(static_cast<std::size_t>(kStageCount) *
+                  static_cast<std::size_t>(domain_count_ + 1)) {}
+
+void StageLatencies::record(Stage stage, int domain, std::uint64_t duration_ns) noexcept {
+  const auto s = static_cast<std::size_t>(stage);
+  if (s >= static_cast<std::size_t>(kStageCount)) {
+    return;
+  }
+  overall_[s].record(duration_ns);
+  if (domain >= -1 && domain < domain_count_) {
+    per_domain_[s * static_cast<std::size_t>(domain_count_ + 1) +
+                static_cast<std::size_t>(domain + 1)]
+        .record(duration_ns);
+  }
+}
+
+const LatencyHistogram* StageLatencies::domain_histogram(Stage stage, int domain) const noexcept {
+  const auto s = static_cast<std::size_t>(stage);
+  if (s >= static_cast<std::size_t>(kStageCount) || domain < -1 || domain >= domain_count_) {
+    return nullptr;
+  }
+  return &per_domain_[s * static_cast<std::size_t>(domain_count_ + 1) +
+                      static_cast<std::size_t>(domain + 1)];
+}
+
+LatencySnapshot StageLatencies::stage_snapshot(Stage stage) const noexcept {
+  const auto s = static_cast<std::size_t>(stage);
+  return s < static_cast<std::size_t>(kStageCount) ? overall_[s].snapshot() : LatencySnapshot{};
+}
+
+LatencySnapshot StageLatencies::domain_snapshot(Stage stage, int domain) const noexcept {
+  const LatencyHistogram* hist = domain_histogram(stage, domain);
+  return hist != nullptr ? hist->snapshot() : LatencySnapshot{};
+}
+
+namespace {
+
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+void add_snapshot_row(TextTable& table, const std::string& label,
+                      const LatencySnapshot& snap) {
+  table.add_row({label, std::to_string(snap.count), fmt_double(to_us(snap.p50_ns), 1),
+                 fmt_double(to_us(snap.p99_ns), 1), fmt_double(to_us(snap.p999_ns), 1),
+                 fmt_double(to_us(snap.max_ns), 1)});
+}
+
+}  // namespace
+
+TextTable StageLatencies::table() const {
+  TextTable table({"stage", "count", "p50_us", "p99_us", "p999_us", "max_us"});
+  for (int s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    const LatencySnapshot snap = stage_snapshot(stage);
+    if (snap.count == 0) {
+      continue;
+    }
+    add_snapshot_row(table, std::string(to_string(stage)), snap);
+  }
+  return table;
+}
+
+TextTable StageLatencies::domain_table() const {
+  TextTable table({"stage", "domain", "count", "p50_us", "p99_us", "p999_us", "max_us"});
+  for (int s = 0; s < kStageCount; ++s) {
+    const auto stage = static_cast<Stage>(s);
+    for (int d = -1; d < domain_count_; ++d) {
+      const LatencySnapshot snap = domain_snapshot(stage, d);
+      if (snap.count == 0) {
+        continue;
+      }
+      table.add_row({std::string(to_string(stage)), std::to_string(d),
+                     std::to_string(snap.count), fmt_double(to_us(snap.p50_ns), 1),
+                     fmt_double(to_us(snap.p99_ns), 1), fmt_double(to_us(snap.p999_ns), 1),
+                     fmt_double(to_us(snap.max_ns), 1)});
+    }
+  }
+  return table;
+}
+
+}  // namespace numastream::obs

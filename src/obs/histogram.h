@@ -1,0 +1,97 @@
+// Fixed-bucket log2 latency histograms.
+//
+// The throughput tables say *how much* moved; the paper's placement argument
+// is really about *tail latency* — a cross-domain hop shows up first at p99,
+// not in the mean. These histograms make that visible cheaply: recording is
+// one bit_width() and one relaxed atomic increment into one of 64 buckets,
+// so every chunk of every stage can be measured without a perceptible tax.
+//
+// Bucketing: bucket 0 holds exactly 0 ns; bucket b >= 1 holds durations in
+// [2^(b-1), 2^b - 1] ns. Percentiles report the bucket's inclusive upper
+// bound, so quantiles are conservative (never under-reported) and integral,
+// which keeps every downstream export deterministic.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.h"
+
+namespace numastream {
+class TextTable;
+}  // namespace numastream
+
+namespace numastream::obs {
+
+/// Plain comparable view of one histogram; what exporters and tests consume.
+struct LatencySnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t p50_ns = 0;
+  std::uint64_t p99_ns = 0;
+  std::uint64_t p999_ns = 0;
+  std::uint64_t max_ns = 0;  ///< upper bound of the highest occupied bucket
+
+  friend bool operator==(const LatencySnapshot&, const LatencySnapshot&) = default;
+};
+
+/// 64 log2 buckets of relaxed atomics; safe to record from any thread.
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t duration_ns) noexcept {
+    buckets_[bucket_index(duration_ns)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  /// Inclusive upper bound of the bucket holding quantile `q` in (0, 1];
+  /// 0 when the histogram is empty.
+  [[nodiscard]] std::uint64_t percentile_ns(double q) const noexcept;
+
+  [[nodiscard]] LatencySnapshot snapshot() const noexcept;
+
+  /// log2 bucket for a duration: 0 -> 0, else bit_width(ns).
+  static int bucket_index(std::uint64_t duration_ns) noexcept;
+
+  /// Inclusive upper bound of bucket `index` (0 for bucket 0, else 2^i - 1).
+  static std::uint64_t bucket_upper_ns(int index) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Per-stage latency, split by the NUMA domain of the recording worker.
+/// Sized once before the run (histograms hold atomics and cannot move);
+/// domain -1 (OS-managed placement) gets its own row.
+class StageLatencies {
+ public:
+  /// Tracks domains [-1, domain_count); records outside that range fold
+  /// into the stage's overall histogram only.
+  explicit StageLatencies(int domain_count);
+
+  void record(Stage stage, int domain, std::uint64_t duration_ns) noexcept;
+
+  [[nodiscard]] int domain_count() const noexcept { return domain_count_; }
+  [[nodiscard]] LatencySnapshot stage_snapshot(Stage stage) const noexcept;
+  [[nodiscard]] LatencySnapshot domain_snapshot(Stage stage, int domain) const noexcept;
+
+  /// One row per stage that saw traffic: count, p50, p99, p999, max (µs).
+  [[nodiscard]] TextTable table() const;
+
+  /// Stage rows expanded per NUMA domain that saw traffic.
+  [[nodiscard]] TextTable domain_table() const;
+
+ private:
+  [[nodiscard]] const LatencyHistogram* domain_histogram(Stage stage, int domain) const noexcept;
+
+  int domain_count_;
+  std::array<LatencyHistogram, kStageCount> overall_{};
+  // [stage * (domain_count_ + 1) + (domain + 1)]; flat so nothing reallocates.
+  std::vector<LatencyHistogram> per_domain_;
+};
+
+}  // namespace numastream::obs

@@ -1,0 +1,264 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+
+#include "metrics/fault_counters.h"
+#include "metrics/health_counters.h"
+#include "metrics/overload_counters.h"
+#include "metrics/table.h"
+
+namespace numastream::obs {
+
+double MetricsSnapshot::value(const std::string& name) const noexcept {
+  for (const auto& sample : samples) {
+    if (sample.name == name) {
+      return sample.value;
+    }
+  }
+  return 0;
+}
+
+bool MetricsSnapshot::has(const std::string& name) const noexcept {
+  return std::any_of(samples.begin(), samples.end(),
+                     [&](const MetricSample& s) { return s.name == name; });
+}
+
+Status MetricsRegistry::register_locked(std::string name, std::function<double()> read) {
+  if (name.empty()) {
+    return invalid_argument_error("registry: metric name must not be empty");
+  }
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, const std::string& n) { return e.name < n; });
+  if (pos != entries_.end() && pos->name == name) {
+    return invalid_argument_error("registry: metric '" + name + "' already registered");
+  }
+  entries_.insert(pos, Entry{std::move(name), std::move(read)});
+  return Status::ok();
+}
+
+Status MetricsRegistry::register_counter(const std::string& name,
+                                         const std::atomic<std::uint64_t>* counter) {
+  if (counter == nullptr) {
+    return invalid_argument_error("registry: counter '" + name + "' is null");
+  }
+  std::lock_guard lock(mutex_);
+  return register_locked(name, [counter] {
+    return static_cast<double>(counter->load(std::memory_order_relaxed));
+  });
+}
+
+Status MetricsRegistry::register_gauge(const std::string& name,
+                                       std::function<double()> gauge) {
+  if (!gauge) {
+    return invalid_argument_error("registry: gauge '" + name + "' has no reader");
+  }
+  std::lock_guard lock(mutex_);
+  return register_locked(name, std::move(gauge));
+}
+
+void MetricsRegistry::unregister(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), name,
+      [](const Entry& e, const std::string& n) { return e.name < n; });
+  if (pos != entries_.end() && pos->name == name) {
+    entries_.erase(pos);
+  }
+}
+
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  const std::atomic<std::uint64_t>* counter;
+};
+
+}  // namespace
+
+// The three ledger helpers share one shape: build the (name, counter) list,
+// register all-or-nothing so a half-registered ledger can't linger.
+#define NS_REGISTER_LEDGER(pairs)                                        \
+  do {                                                                   \
+    std::vector<std::string> registered;                                 \
+    for (const NamedCounter& nc : (pairs)) {                             \
+      Status status = register_counter(prefix + "." + nc.name, nc.counter); \
+      if (!status.is_ok()) {                                             \
+        for (const auto& name : registered) {                            \
+          unregister(name);                                              \
+        }                                                                \
+        return status;                                                   \
+      }                                                                  \
+      registered.push_back(prefix + "." + nc.name);                      \
+    }                                                                    \
+    return Status::ok();                                                 \
+  } while (false)
+
+Status MetricsRegistry::register_fault_counters(const std::string& prefix,
+                                                const FaultCounters& counters) {
+  const NamedCounter pairs[] = {
+      {"injected_disconnects", &counters.injected_disconnects},
+      {"injected_torn_writes", &counters.injected_torn_writes},
+      {"injected_bitflips", &counters.injected_bitflips},
+      {"injected_short_writes", &counters.injected_short_writes},
+      {"injected_stalls", &counters.injected_stalls},
+      {"injected_throttles", &counters.injected_throttles},
+      {"injected_accept_failures", &counters.injected_accept_failures},
+      {"reconnects", &counters.reconnects},
+      {"dial_retries", &counters.dial_retries},
+      {"connections_recycled", &counters.connections_recycled},
+      {"message_resyncs", &counters.message_resyncs},
+      {"frame_resyncs", &counters.frame_resyncs},
+      {"corrupt_frames", &counters.corrupt_frames},
+      {"dropped_frames", &counters.dropped_frames},
+      {"duplicate_frames", &counters.duplicate_frames},
+      {"degraded_chunks", &counters.degraded_chunks},
+      {"watchdog_trips", &counters.watchdog_trips},
+  };
+  NS_REGISTER_LEDGER(pairs);
+}
+
+Status MetricsRegistry::register_overload_counters(const std::string& prefix,
+                                                   const OverloadCounters& counters) {
+  const NamedCounter pairs[] = {
+      {"shed_newest", &counters.shed_newest},
+      {"shed_oldest", &counters.shed_oldest},
+      {"priority_evictions", &counters.priority_evictions},
+      {"credit_stalls", &counters.credit_stalls},
+      {"credit_grants", &counters.credit_grants},
+      {"budget_stalls", &counters.budget_stalls},
+      {"budget_rejections", &counters.budget_rejections},
+      {"slow_streams_evicted", &counters.slow_streams_evicted},
+      {"evicted_chunks", &counters.evicted_chunks},
+      {"drain_requests", &counters.drain_requests},
+      {"drain_timeouts", &counters.drain_timeouts},
+      {"peak_bytes_in_flight", &counters.peak_bytes_in_flight},
+  };
+  NS_REGISTER_LEDGER(pairs);
+}
+
+Status MetricsRegistry::register_health_counters(const std::string& prefix,
+                                                 const HealthCounters& counters) {
+  const NamedCounter pairs[] = {
+      {"degraded_detections", &counters.degraded_detections},
+      {"failure_detections", &counters.failure_detections},
+      {"recoveries", &counters.recoveries},
+      {"replans", &counters.replans},
+      {"migrations", &counters.migrations},
+      {"time_in_degraded_ms", &counters.time_in_degraded_ms},
+  };
+  NS_REGISTER_LEDGER(pairs);
+}
+
+#undef NS_REGISTER_LEDGER
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(double time_seconds) const {
+  MetricsSnapshot snap;
+  snap.time_seconds = time_seconds;
+  std::lock_guard lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    snap.samples.push_back({entry.name, entry.read()});
+  }
+  return snap;
+}
+
+void SnapshotSeries::append(MetricsSnapshot snapshot) {
+  snapshots_.push_back(std::move(snapshot));
+}
+
+std::string SnapshotSeries::to_csv() const {
+  std::string out = "time_seconds,metric,value\n";
+  for (const auto& snap : snapshots_) {
+    const std::string time = fmt_double(snap.time_seconds, 3);
+    for (const auto& sample : snap.samples) {
+      out += time;
+      out += ',';
+      out += csv_escape(sample.name);
+      out += ',';
+      out += fmt_double(sample.value, 3);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string SnapshotSeries::to_jsonl() const {
+  std::string out;
+  for (const auto& snap : snapshots_) {
+    out += "{\"time_s\":";
+    out += fmt_double(snap.time_seconds, 3);
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto& sample : snap.samples) {
+      if (!first) {
+        out += ',';
+      }
+      first = false;
+      out += '"';
+      out += sample.name;  // dotted identifiers; nothing to JSON-escape
+      out += "\":";
+      out += fmt_double(sample.value, 3);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+TextTable SnapshotSeries::latest_table() const {
+  TextTable table({"metric", "value"});
+  if (snapshots_.empty()) {
+    return table;
+  }
+  for (const auto& sample : snapshots_.back().samples) {
+    table.add_row({sample.name, fmt_double(sample.value, 3)});
+  }
+  return table;
+}
+
+SnapshotSampler::SnapshotSampler(MetricsRegistry* registry, std::uint64_t interval_ms)
+    : registry_(registry), interval_ms_(interval_ms == 0 ? 1 : interval_ms) {}
+
+SnapshotSampler::~SnapshotSampler() { stop(); }
+
+void SnapshotSampler::start() {
+  if (thread_.joinable()) {
+    return;
+  }
+  stop_.store(false, std::memory_order_relaxed);
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+void SnapshotSampler::stop() {
+  if (!thread_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  series_.append(registry_->snapshot(elapsed_seconds()));
+}
+
+double SnapshotSampler::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void SnapshotSampler::run() {
+  const auto interval = std::chrono::milliseconds(interval_ms_);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (std::chrono::steady_clock::now() >= next) {
+      series_.append(registry_->snapshot(elapsed_seconds()));
+      next += interval;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace numastream::obs

@@ -1,0 +1,53 @@
+// Chunk-lifecycle spans: the unit of record of the tracing subsystem.
+//
+// A Span is one stage's handling of one chunk — generate, compress, enqueue,
+// send, receive, decompress, sink — with integer-nanosecond start/end times.
+// The real pipeline stamps spans with wall-clock nanoseconds relative to the
+// run's start; the simulated runtime stamps them with *virtual* time, so two
+// same-seed simulation runs produce byte-identical traces. Everything in a
+// Span is an integer on purpose: exporters never format floating point, so
+// trace bytes are reproducible across compilers and libm versions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace numastream::obs {
+
+/// The chunk lifecycle of Fig. 2, end to end. kEnqueue is the hand-off wait
+/// into the compress->send (or receive->decompress) queue: its duration is
+/// pure backpressure, which is exactly what a placement-induced stall looks
+/// like on a timeline.
+enum class Stage : std::uint8_t {
+  kGenerate = 0,
+  kCompress,
+  kEnqueue,
+  kSend,
+  kReceive,
+  kDecompress,
+  kSink,
+};
+
+inline constexpr int kStageCount = 7;
+
+std::string_view to_string(Stage stage) noexcept;
+
+/// One stage's handling of one chunk. POD; 40 bytes; trivially copyable so
+/// the SPSC rings move it without touching the heap.
+struct Span {
+  std::uint32_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  Stage stage = Stage::kGenerate;
+  std::uint32_t worker = 0;   ///< global worker id (see Tracer)
+  std::int32_t domain = -1;   ///< NUMA domain of the worker; -1 = OS-managed
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+
+  [[nodiscard]] std::uint64_t duration_ns() const noexcept {
+    return end_ns >= start_ns ? end_ns - start_ns : 0;
+  }
+
+  friend bool operator==(const Span&, const Span&) = default;
+};
+
+}  // namespace numastream::obs

@@ -1,0 +1,134 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace numastream::obs {
+
+std::string_view to_string(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::kGenerate:
+      return "generate";
+    case Stage::kCompress:
+      return "compress";
+    case Stage::kEnqueue:
+      return "enqueue";
+    case Stage::kSend:
+      return "send";
+    case Stage::kReceive:
+      return "receive";
+    case Stage::kDecompress:
+      return "decompress";
+    case Stage::kSink:
+      return "sink";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t workers, std::size_t ring_capacity) {
+  rings_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    rings_.push_back(std::make_unique<SpanRing>(ring_capacity));
+  }
+}
+
+void Tracer::record(const Span& span) noexcept {
+  if (span.worker >= rings_.size()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rings_[span.worker]->record(span);
+}
+
+std::vector<Span> Tracer::drain_sorted() {
+  std::vector<Span> all;
+  for (auto& ring : rings_) {
+    auto spans = ring->drain();
+    all.insert(all.end(), spans.begin(), spans.end());
+  }
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    if (a.worker != b.worker) return a.worker < b.worker;
+    if (a.stage != b.stage) return a.stage < b.stage;
+    if (a.stream_id != b.stream_id) return a.stream_id < b.stream_id;
+    return a.sequence < b.sequence;
+  });
+  return all;
+}
+
+std::uint64_t Tracer::dropped_spans() const noexcept {
+  std::uint64_t total = rejected_.load(std::memory_order_relaxed);
+  for (const auto& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+namespace {
+
+/// Chrome-trace ts/dur are microseconds; emit "<us>.<ns-remainder>" with
+/// pure integer arithmetic so no float formatting can vary by platform.
+void append_us(std::string& out, std::uint64_t ns) {
+  out += std::to_string(ns / 1000);
+  out += '.';
+  const std::uint64_t rem = ns % 1000;
+  if (rem < 100) out += '0';
+  if (rem < 10) out += '0';
+  out += std::to_string(rem);
+}
+
+}  // namespace
+
+std::string spans_to_jsonl(const std::vector<Span>& spans) {
+  std::string out;
+  out.reserve(spans.size() * 96);
+  for (const Span& s : spans) {
+    out += "{\"stream\":";
+    out += std::to_string(s.stream_id);
+    out += ",\"seq\":";
+    out += std::to_string(s.sequence);
+    out += ",\"stage\":\"";
+    out += to_string(s.stage);
+    out += "\",\"worker\":";
+    out += std::to_string(s.worker);
+    out += ",\"domain\":";
+    out += std::to_string(s.domain);
+    out += ",\"start_ns\":";
+    out += std::to_string(s.start_ns);
+    out += ",\"end_ns\":";
+    out += std::to_string(s.end_ns);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string spans_to_chrome_json(const std::vector<Span>& spans) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "\n{\"name\":\"";
+    out += to_string(s.stage);
+    out += "\",\"cat\":\"chunk\",\"ph\":\"X\",\"pid\":";
+    // pid buckets the timeline by NUMA domain; -1 (unbound) maps to pid 0,
+    // domain d to pid d+1, so Perfetto groups rows the way Fig. 2 does.
+    out += std::to_string(s.domain + 1);
+    out += ",\"tid\":";
+    out += std::to_string(s.worker);
+    out += ",\"ts\":";
+    append_us(out, s.start_ns);
+    out += ",\"dur\":";
+    append_us(out, s.duration_ns());
+    out += ",\"args\":{\"stream\":";
+    out += std::to_string(s.stream_id);
+    out += ",\"seq\":";
+    out += std::to_string(s.sequence);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace numastream::obs

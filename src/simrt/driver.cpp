@@ -6,6 +6,8 @@
 #include <optional>
 
 #include "common/assert.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 
 namespace numastream::simrt {
 namespace {
@@ -316,8 +318,12 @@ Result<ExperimentResult> run_experiment(
   }
 
   std::vector<std::unique_ptr<RateTimeline>> timelines;
+  std::vector<StreamPipeline::Spec> specs;
   std::vector<std::unique_ptr<StreamPipeline>> pipelines;
   std::vector<std::string> stream_nics;
+  // Observability: worker ids are stage-major per stream, streams packed in
+  // launch order; the running total sizes the tracer's ring set.
+  std::uint32_t trace_workers_total = 0;
   for (std::size_t stream = 0; stream < sender_configs.size(); ++stream) {
     const NodeConfig& sender_config = sender_configs[stream];
     const MachineTopology& sender_topo = sender_topos[stream];
@@ -401,7 +407,35 @@ Result<ExperimentResult> run_experiment(
           std::make_unique<RateTimeline>(options.timeline_bucket_seconds));
       spec.e2e_timeline = timelines.back().get();
     }
-    pipelines.push_back(std::make_unique<StreamPipeline>(sim, options.calib, spec));
+    spec.trace_worker_base = trace_workers_total;
+    // Codec workers only run (and only get worker ids) when compression is on.
+    trace_workers_total += static_cast<std::uint32_t>(
+        (options.compress ? spec.compress_workers.size() +
+                                spec.decompress_workers.size()
+                          : 0) +
+        spec.send_workers.size() + spec.receive_workers.size());
+    specs.push_back(std::move(spec));
+  }
+
+  // Observability collaborators outlive the pipelines that borrow them.
+  std::unique_ptr<obs::Tracer> tracer;
+  if (options.observe.trace) {
+    tracer = std::make_unique<obs::Tracer>(trace_workers_total,
+                                           options.observe.ring_capacity);
+  }
+  std::optional<obs::StageLatencies> latencies;
+  if (options.observe.latency) {
+    int domain_count = static_cast<int>(receiver_topo.domain_count());
+    for (const auto& topo : sender_topos) {
+      domain_count = std::max(domain_count, static_cast<int>(topo.domain_count()));
+    }
+    latencies.emplace(domain_count);
+  }
+  for (auto& spec : specs) {
+    spec.tracer = tracer.get();
+    spec.latencies = latencies.has_value() ? &*latencies : nullptr;
+    pipelines.push_back(
+        std::make_unique<StreamPipeline>(sim, options.calib, std::move(spec)));
   }
 
   std::optional<DegradationInjector> injector;
@@ -498,6 +532,20 @@ Result<ExperimentResult> run_experiment(
   }
   if (healer.has_value()) {
     result.health = healer->counters();
+  }
+  if (tracer != nullptr) {
+    result.spans = tracer->drain_sorted();
+    result.dropped_spans = tracer->dropped_spans();
+  }
+  if (latencies.has_value()) {
+    result.observation.latency.compress =
+        latencies->stage_snapshot(obs::Stage::kCompress);
+    result.observation.latency.send =
+        latencies->stage_snapshot(obs::Stage::kSend);
+    result.observation.latency.receive =
+        latencies->stage_snapshot(obs::Stage::kReceive);
+    result.observation.latency.decompress =
+        latencies->stage_snapshot(obs::Stage::kDecompress);
   }
   return result;
 }

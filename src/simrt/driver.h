@@ -15,6 +15,7 @@
 #include "metrics/timeline.h"
 #include "core/config.h"
 #include "core/config_generator.h"
+#include "obs/span.h"
 #include "simhw/degradation.h"
 #include "simhw/network.h"
 #include "simhw/scheduler.h"
@@ -74,6 +75,13 @@ struct ExperimentOptions {
   /// receiver placement and live-migrates the affected streams' receive
   /// workers to the surviving NIC's domain. Default off.
   HealthConfig health;
+
+  /// Observability (DESIGN.md §10): `observe.trace` collects per-chunk
+  /// lifecycle spans on *virtual* time into ExperimentResult::spans (so two
+  /// same-seed runs emit byte-identical traces); `observe.latency` fills
+  /// ExperimentResult::observation.latency with per-stage percentiles.
+  /// Default off — a default ObserveConfig leaves the run untouched.
+  ObserveConfig observe;
 };
 
 struct StreamResult {
@@ -105,6 +113,12 @@ struct ExperimentResult {
   /// Self-healing accounting (all zero unless ExperimentOptions::health is
   /// enabled). Deterministic across same-seed reruns of a scenario.
   HealthCountersSnapshot health;
+  /// Chunk-lifecycle spans in canonical deterministic order (empty unless
+  /// ExperimentOptions::observe.trace). Worker ids are stage-major per
+  /// stream: compress, send, receive, decompress, streams packed in order.
+  std::vector<obs::Span> spans;
+  /// Spans lost to full rings (ring_capacity too small for the run).
+  std::uint64_t dropped_spans = 0;
 };
 
 /// Runs one experiment: stream i flows from sender_configs[i] (on

@@ -1,10 +1,20 @@
 #include "simrt/pipeline.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.h"
 
 namespace numastream::simrt {
+namespace {
+
+/// Virtual seconds -> integer nanoseconds. llround (not a cast) so the trace
+/// bytes do not depend on how a compiler truncates 1e9 * t.
+std::uint64_t to_ns(double seconds) {
+  return seconds <= 0 ? 0 : static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+}
+
+}  // namespace
 
 std::vector<StreamPipeline::Worker> StreamPipeline::pinned_workers(
     const std::vector<int>& cores) {
@@ -89,7 +99,31 @@ std::optional<SimChunk> StreamPipeline::draw_source_chunk() {
   chunk.wire_bytes = spec_.compress ? calib_.chunk_bytes / calib_.compression_ratio
                                     : calib_.chunk_bytes;
   chunk.data_domain = spec_.source_data_domain;
+  chunk.sequence = next_sequence_++;
   return chunk;
+}
+
+void StreamPipeline::observe(obs::Stage stage, std::size_t worker_offset,
+                             int domain, double start_seconds,
+                             double end_seconds, std::uint64_t sequence) {
+  const std::uint64_t start_ns = to_ns(start_seconds);
+  const std::uint64_t end_ns = to_ns(end_seconds);
+  if (spec_.tracer != nullptr) {
+    obs::Span span;
+    span.stream_id = spec_.stream_id;
+    span.sequence = sequence;
+    span.stage = stage;
+    span.worker =
+        spec_.trace_worker_base + static_cast<std::uint32_t>(worker_offset);
+    span.domain = domain;
+    span.start_ns = start_ns;
+    span.end_ns = end_ns;
+    spec_.tracer->record(span);
+  }
+  if (spec_.latencies != nullptr) {
+    spec_.latencies->record(stage, domain,
+                            end_ns >= start_ns ? end_ns - start_ns : 0);
+  }
 }
 
 void StreamPipeline::launch() {
@@ -141,12 +175,19 @@ sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
     // Re-read the placement every chunk: a live migration lands here.
     const Worker worker = spec_.compress_workers[index];
     const int core = worker.core;
+    const double generate_t0 = sim_.now();
     auto chunk = draw_source_chunk();
     if (!chunk.has_value()) {
       break;
     }
     if (source_ready_time_ > sim_.now()) {
       co_await sim_.delay(source_ready_time_ - sim_.now());
+    }
+    if (observing()) {
+      // The generate span is the wait for the instrument to produce the
+      // chunk (virtual time, so same-seed traces are byte-identical).
+      observe(obs::Stage::kGenerate, index, host.domain_of_core(core),
+              generate_t0, sim_.now(), chunk->sequence);
     }
     // Compress: read raw from the dataset's domain, write the compressed
     // buffer into the worker's own domain (first touch).
@@ -163,8 +204,13 @@ sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
     };
     sim::JobSpec job = host.step_job(step);
     const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
+    const double compress_t0 = sim_.now();
     co_await sim_.job(std::move(job));
     stage_busy_.compress += cpu_cost;
+    if (observing()) {
+      observe(obs::Stage::kCompress, index, host.domain_of_core(core),
+              compress_t0, sim_.now(), chunk->sequence);
+    }
 
     chunk->data_domain = host.domain_of_core(core);
 
@@ -194,9 +240,15 @@ sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
       ++inflight_chunks_;
       peak_inflight_chunks_ = std::max(peak_inflight_chunks_, inflight_chunks_);
     }
+    const double enqueue_t0 = sim_.now();
     const bool accepted = co_await send_queue_->push(*chunk);
     if (!accepted) {
       break;
+    }
+    if (observing()) {
+      // Pure backpressure: the wait for compress->send queue space.
+      observe(obs::Stage::kEnqueue, index, host.domain_of_core(core),
+              enqueue_t0, sim_.now(), chunk->sequence);
     }
   }
   if (--live_compressors_ == 0) {
@@ -208,6 +260,9 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
   SimHost& sender = *spec_.sender_host;
   SimHost& receiver = *spec_.receiver_host;
   sim::SimQueue<SimChunk>& out = *connection_queues_[connection];
+  // Stage-major worker id: send workers follow the compress workers.
+  const std::size_t trace_offset =
+      (spec_.compress ? spec_.compress_workers.size() : 0) + connection;
   while (true) {
     const Worker worker = spec_.send_workers[connection];
     const int core = worker.core;
@@ -215,9 +270,15 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
     if (spec_.compress) {
       chunk = co_await send_queue_->pop();
     } else {
+      const double generate_t0 = sim_.now();
       chunk = draw_source_chunk();
       if (chunk.has_value() && source_ready_time_ > sim_.now()) {
         co_await sim_.delay(source_ready_time_ - sim_.now());
+      }
+      if (chunk.has_value() && observing()) {
+        observe(obs::Stage::kGenerate, trace_offset,
+                sender.domain_of_core(core), generate_t0, sim_.now(),
+                chunk->sequence);
       }
     }
     if (!chunk.has_value()) {
@@ -237,6 +298,9 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
       ++inflight_chunks_;
       peak_inflight_chunks_ = std::max(peak_inflight_chunks_, inflight_chunks_);
     }
+    // The send span mirrors the real pipeline's send_message: it covers the
+    // credit wait plus protocol work and wire transfer.
+    const double send_t0 = sim_.now();
     // Credit flow control: one token per chunk on the wire; the receiver
     // returns tokens as it consumes, so an empty pool is the sender stalled
     // on its peer — exactly the real pipeline's recv_credit() wait.
@@ -274,6 +338,10 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
     const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
     co_await sim_.job(std::move(job));
     stage_busy_.send += cpu_cost;
+    if (observing()) {
+      observe(obs::Stage::kSend, trace_offset, sender.domain_of_core(core),
+              send_t0, sim_.now(), chunk->sequence);
+    }
 
     // DMA landed the bytes in the receiver's NIC domain (§2.2).
     chunk->data_domain = spec_.receiver_nic_domain;
@@ -288,7 +356,14 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
 sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
   SimHost& host = *spec_.receiver_host;
   sim::SimQueue<SimChunk>& in = *connection_queues_[connection];
+  // Stage-major worker id: receive workers follow compress + send.
+  const std::size_t trace_offset =
+      (spec_.compress ? spec_.compress_workers.size() : 0) +
+      spec_.send_workers.size() + connection;
   while (true) {
+    // The receive span includes the wait for bytes, mirroring the real
+    // worker blocked inside socket->recv().
+    const double receive_t0 = sim_.now();
     auto chunk = co_await in.pop();
     if (!chunk.has_value()) {
       break;
@@ -316,19 +391,34 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
     const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
     co_await sim_.job(std::move(job));
     stage_busy_.receive += cpu_cost;
+    if (observing()) {
+      observe(obs::Stage::kReceive, trace_offset, host.domain_of_core(core),
+              receive_t0, sim_.now(), chunk->sequence);
+    }
 
     wire_bytes_received_ += chunk->wire_bytes;
     finished_at_ = sim_.now();
     chunk->data_domain = host.domain_of_core(core);
 
     if (spec_.compress) {
+      const double enqueue_t0 = sim_.now();
       const bool accepted = co_await decompress_queue_->push(*chunk);
       if (!accepted) {
         break;
       }
+      if (observing()) {
+        observe(obs::Stage::kEnqueue, trace_offset, host.domain_of_core(core),
+                enqueue_t0, sim_.now(), chunk->sequence);
+      }
     } else {
       raw_bytes_delivered_ += chunk->raw_bytes;
       ++chunks_delivered_;
+      if (observing()) {
+        // Network-only: delivery happens here; a zero-length sink span marks
+        // the chunk leaving the pipeline.
+        observe(obs::Stage::kSink, trace_offset, host.domain_of_core(core),
+                sim_.now(), sim_.now(), chunk->sequence);
+      }
       if (budget_tokens_ != nullptr) {
         --inflight_chunks_;
         co_await budget_tokens_->push(1);
@@ -354,6 +444,11 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
 
 sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
   SimHost& host = *spec_.receiver_host;
+  // Stage-major worker id: decompress workers come last (only spawned when
+  // compression is on, so all three predecessor stages exist).
+  const std::size_t trace_offset = spec_.compress_workers.size() +
+                                   spec_.send_workers.size() +
+                                   spec_.receive_workers.size() + index;
   while (true) {
     auto chunk = co_await decompress_queue_->pop();
     if (!chunk.has_value()) {
@@ -374,8 +469,16 @@ sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
     };
     sim::JobSpec job = host.step_job(step);
     const double cpu_cost = job.demands.demands[0].units_per_work * step.work_bytes;
+    const double decompress_t0 = sim_.now();
     co_await sim_.job(std::move(job));
     stage_busy_.decompress += cpu_cost;
+    if (observing()) {
+      observe(obs::Stage::kDecompress, trace_offset, host.domain_of_core(core),
+              decompress_t0, sim_.now(), chunk->sequence);
+      // Zero-length sink span: the chunk leaves the pipeline here.
+      observe(obs::Stage::kSink, trace_offset, host.domain_of_core(core),
+              sim_.now(), sim_.now(), chunk->sequence);
+    }
 
     raw_bytes_delivered_ += chunk->raw_bytes;
     ++chunks_delivered_;

@@ -15,11 +15,13 @@
 #include <memory>
 #include <vector>
 
+#include "metrics/timeline.h"
+#include "obs/histogram.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/queue.h"
 #include "simhw/machine.h"
 #include "simhw/network.h"
-#include "metrics/timeline.h"
 #include "simrt/calibration.h"
 
 namespace numastream::simrt {
@@ -30,6 +32,7 @@ struct SimChunk {
   double raw_bytes = 0;
   double wire_bytes = 0;
   int data_domain = 0;  ///< domain whose DRAM holds the (current) payload
+  std::uint64_t sequence = 0;  ///< source order, for lifecycle spans
 };
 
 class StreamPipeline {
@@ -99,6 +102,19 @@ class StreamPipeline {
     /// Optional: record delivered raw bytes into this timeline (owned by the
     /// caller; must outlive the simulation run).
     RateTimeline* e2e_timeline = nullptr;
+
+    // ---- observability (DESIGN.md §10; null = off) ----
+
+    /// Per-chunk lifecycle spans stamped with *virtual* time, so two
+    /// same-seed runs emit byte-identical traces. Borrowed; must outlive the
+    /// run. Worker ids are trace_worker_base + the stream's stage-major
+    /// worker offset (compress, then send, receive, decompress).
+    obs::Tracer* tracer = nullptr;
+    /// Per-stage latency histograms on virtual durations. Borrowed.
+    obs::StageLatencies* latencies = nullptr;
+    /// First worker id this stream's spans use; a multi-stream driver packs
+    /// streams consecutively so their ids stay disjoint.
+    std::uint32_t trace_worker_base = 0;
   };
 
   /// Validates the spec and prepares queues; launch() spawns the workers.
@@ -183,6 +199,14 @@ class StreamPipeline {
   /// Seeds a token queue with its initial tokens at t=0.
   sim::SimProc token_filler(sim::SimQueue<int>& tokens, std::size_t count);
 
+  [[nodiscard]] bool observing() const noexcept {
+    return spec_.tracer != nullptr || spec_.latencies != nullptr;
+  }
+  /// Records one stage's handling of one chunk on virtual time.
+  /// `worker_offset` is the stream-local stage-major worker index.
+  void observe(obs::Stage stage, std::size_t worker_offset, int domain,
+               double start_seconds, double end_seconds, std::uint64_t sequence);
+
   [[nodiscard]] double wire_chunk_bytes() const noexcept {
     return spec_.compress ? calib_.chunk_bytes / calib_.compression_ratio
                           : calib_.chunk_bytes;
@@ -196,6 +220,7 @@ class StreamPipeline {
   Spec spec_;
 
   std::uint64_t source_remaining_ = 0;
+  std::uint64_t next_sequence_ = 0;  ///< source order stamped on SimChunks
   double source_ready_time_ = 0;  ///< virtual time the next chunk is generated
   int live_compressors_ = 0;
   int live_receivers_ = 0;

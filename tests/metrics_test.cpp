@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "metrics/core_usage.h"
@@ -37,6 +38,33 @@ TEST(ThroughputMeterTest, RateIsBytesOverElapsed) {
   const double rate = meter.bytes_per_second();
   EXPECT_GT(rate, 0.0);
   EXPECT_LT(rate, 1000000.0 / 0.045);  // can't be faster than elapsed allows
+}
+
+// Regression: bytes recorded before start() (connection warm-up) used to be
+// counted in the measurement window, inflating every reported rate. start()
+// must snapshot a baseline that excludes them.
+TEST(ThroughputMeterTest, StartExcludesBytesRecordedBeforeIt) {
+  ThroughputMeter meter;
+  meter.add_bytes(1'000'000'000);  // warm-up traffic before the clock starts
+  meter.start();
+  EXPECT_EQ(meter.window_bytes(), 0U);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // With an empty window the rate must be exactly 0 — the old code divided
+  // the warm-up gigabyte by 20ms and reported ~400 Gbps here.
+  EXPECT_DOUBLE_EQ(meter.bytes_per_second(), 0.0);
+  meter.add_bytes(500);
+  EXPECT_EQ(meter.window_bytes(), 500U);
+  EXPECT_EQ(meter.total_bytes(), 1'000'000'500U);
+}
+
+TEST(ThroughputMeterTest, RestartResetsTheWindow) {
+  ThroughputMeter meter;
+  meter.start();
+  meter.add_bytes(100);
+  meter.start();  // second window
+  EXPECT_EQ(meter.window_bytes(), 0U);
+  meter.add_bytes(7);
+  EXPECT_EQ(meter.window_bytes(), 7U);
 }
 
 TEST(SummaryStatsTest, Empty) {
@@ -194,6 +222,38 @@ TEST(TextTableTest, FmtDouble) {
   EXPECT_EQ(fmt_double(2.0, 0), "2");
 }
 
+// Regression: fmt_double used a fixed 32-byte buffer, truncating wide values;
+// it now sizes the string from the snprintf return value.
+TEST(TextTableTest, FmtDoubleNeverTruncatesWideValues) {
+  const std::string wide = fmt_double(1e300, 6);
+  EXPECT_GT(wide.size(), 300U);
+  EXPECT_EQ(wide.find('e'), std::string::npos);  // %f, not scientific
+  EXPECT_EQ(wide.substr(0, 2), "10");
+  EXPECT_EQ(wide.substr(wide.size() - 7), ".000000");
+}
+
+TEST(CsvEscapeTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+// Regression: labels containing commas used to shift every downstream CSV
+// column. The round-trip property pins the fix: parse_csv(to_csv()) must
+// reproduce the cells exactly.
+TEST(TextTableTest, CsvRoundTripsHostileCells) {
+  TextTable table({"config", "note"});
+  table.add_row({"2 NICs, pinned", "say \"hi\""});
+  table.add_row({"plain", "multi\nline"});
+  const auto rows = parse_csv(table.to_csv());
+  ASSERT_EQ(rows.size(), 3U);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"config", "note"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"2 NICs, pinned", "say \"hi\""}));
+  EXPECT_EQ(rows[2], (std::vector<std::string>{"plain", "multi\nline"}));
+}
+
 }  // namespace
 }  // namespace numastream
 
@@ -260,6 +320,47 @@ TEST(RateTimelineTest, CsvHasOneRowPerBucket) {
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
   EXPECT_NE(csv.find("run,0,5.0"), std::string::npos);
   EXPECT_NE(csv.find("run,1,15.0"), std::string::npos);
+}
+
+TEST(RateTimelineTest, CsvEscapesHostileLabels) {
+  RateTimeline timeline(1.0);
+  timeline.record(0.0, 10);
+  const auto rows = parse_csv(timeline.to_csv("2 NICs, pinned"));
+  ASSERT_EQ(rows.size(), 1U);
+  ASSERT_EQ(rows[0].size(), 3U);
+  EXPECT_EQ(rows[0][0], "2 NICs, pinned");
+  EXPECT_EQ(rows[0][1], "0");
+}
+
+// Regression: record() used to funnel hostile timestamps straight into a
+// vector resize — a NaN or a 1e12 s sample could throw bad_alloc mid-run.
+TEST(RateTimelineTest, RecordRejectsHostileTimestamps) {
+  RateTimeline timeline(1.0);
+  EXPECT_EQ(timeline.record(std::nan(""), 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(timeline.record(std::numeric_limits<double>::infinity(), 10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(timeline.record(-1.0, 10).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(timeline.record(1e12, 10).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(timeline.bucket_count(), 0U);  // rejected samples leave no trace
+}
+
+TEST(RateTimelineTest, TinyNegativeTimesClampToZero) {
+  RateTimeline timeline(1.0);
+  // Float rounding of "now - start" can land a hair below zero; that is a
+  // bucket-0 sample, not an error.
+  EXPECT_TRUE(timeline.record(-1e-9, 42).is_ok());
+  ASSERT_EQ(timeline.bucket_count(), 1U);
+  EXPECT_DOUBLE_EQ(timeline.rates()[0], 42.0);
+}
+
+TEST(RateTimelineTest, AllZeroBucketsSparklineIsBlank) {
+  RateTimeline timeline(1.0);
+  EXPECT_TRUE(timeline.record(0.5, 0).is_ok());
+  EXPECT_TRUE(timeline.record(2.5, 0).is_ok());
+  const std::string line = timeline.sparkline();
+  ASSERT_EQ(line.size(), 3U);
+  EXPECT_EQ(line, "   ");  // zero peak must not divide by zero
 }
 
 }  // namespace
