@@ -4,7 +4,9 @@
 # budget ledger (shared by sender and receiver threads), the overload
 # pipelines where credit grants, shedding and drain deadlines all race real
 # worker threads, and the observability layer (span rings written by worker
-# threads while the registry's sampler thread reads gauges). A clean exit
+# threads while the registry's sampler thread reads gauges), plus the
+# crash-resumption pipelines where journal appends and watermark reads race
+# send/receive workers across endpoint restarts. A clean exit
 # means the credit/budget/drain/observe machinery is free of data races, not
 # just functionally green.
 #
@@ -22,7 +24,7 @@ cmake --build build-tsan
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest)' \
+  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest|ResumePipelineTest|ChaosResumeTest)' \
   "$@"
 
 echo

@@ -30,6 +30,9 @@ std::optional<std::chrono::microseconds> Backoff::next_delay() {
   if (retries_ + 1 >= policy_.max_attempts) {
     return std::nullopt;
   }
+  if (policy_.max_elapsed_us > 0 && elapsed_us_ >= policy_.max_elapsed_us) {
+    return std::nullopt;
+  }
   ++retries_;
   const double capped =
       std::min(base_us_, static_cast<double>(policy_.max_backoff_us));
@@ -37,12 +40,22 @@ std::optional<std::chrono::microseconds> Backoff::next_delay() {
   // Uniform in [capped * (1 - jitter), capped]: jitter only ever shortens the
   // wait, so the policy's max_backoff stays a hard ceiling.
   const double jittered = capped - capped * policy_.jitter * rng_.next_double();
-  return std::chrono::microseconds(static_cast<std::int64_t>(jittered));
+  auto delay = std::chrono::microseconds(static_cast<std::int64_t>(jittered));
+  if (policy_.max_elapsed_us > 0) {
+    // Clip the final delay to the budget remainder so the loop never sleeps
+    // past its time cap.
+    const std::uint64_t remaining = policy_.max_elapsed_us - elapsed_us_;
+    delay = std::min(delay, std::chrono::microseconds(
+                                static_cast<std::int64_t>(remaining)));
+  }
+  elapsed_us_ += static_cast<std::uint64_t>(delay.count());
+  return delay;
 }
 
 void Backoff::reset() {
   retries_ = 0;
   base_us_ = static_cast<double>(policy_.initial_backoff_us);
+  elapsed_us_ = 0;
 }
 
 bool interruptible_sleep(std::chrono::microseconds delay,

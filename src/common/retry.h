@@ -32,6 +32,13 @@ struct RetryPolicy {
   /// Fraction of each delay that is randomized: the delay is drawn uniformly
   /// from [base*(1-jitter), base]. 0 disables jitter.
   double jitter = 0.5;
+  /// Elapsed-time budget across the whole retry loop: once the cumulative
+  /// backoff handed out reaches this many microseconds, next_delay() gives
+  /// up even with attempts left — a dead peer fails fast instead of burning
+  /// the full attempt budget. 0 = no time cap. Counted deterministically
+  /// from the delays themselves (not a wall clock), so seeded replays keep
+  /// their exact retry timeline.
+  std::uint64_t max_elapsed_us = 0;
 
   [[nodiscard]] Status validate() const;
 
@@ -44,11 +51,16 @@ class Backoff {
   Backoff(const RetryPolicy& policy, std::uint64_t seed);
 
   /// Delay to sleep before the next retry, or nullopt once the policy's
-  /// attempts are exhausted. Advances the schedule.
+  /// attempts — or its elapsed-time budget — are exhausted. Advances the
+  /// schedule.
   std::optional<std::chrono::microseconds> next_delay();
 
   /// Retries handed out so far.
   [[nodiscard]] int retries() const noexcept { return retries_; }
+
+  /// Cumulative backoff handed out so far (the deterministic clock the
+  /// elapsed budget is charged against).
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept { return elapsed_us_; }
 
   /// Restarts the schedule (e.g. after a successful operation, so the next
   /// failure backs off from the beginning again).
@@ -59,6 +71,7 @@ class Backoff {
   Rng rng_;
   int retries_ = 0;
   double base_us_ = 0;
+  std::uint64_t elapsed_us_ = 0;
 };
 
 /// Interruptible sleep: dozes in short slices so a watchdog-driven `cancel`

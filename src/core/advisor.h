@@ -63,6 +63,23 @@ struct LatencyObservation {
   }
 };
 
+/// Crash-recovery activity observed over a window (metrics/resume_counters.h
+/// condensed). All-zero means no endpoint restarted — or resume was off.
+/// The advisor treats rework as externally-imposed load, not a bottleneck:
+/// a window dominated by replays is reported, never "fixed" with threads.
+struct ResumeObservation {
+  std::uint64_t resume_handshakes = 0;  ///< RESUME frames exchanged
+  std::uint64_t duplicates_suppressed = 0;   ///< sender-side replay skips
+  std::uint64_t duplicate_deliveries_suppressed = 0;  ///< receiver ledger hits
+  std::uint64_t replayed_chunks = 0;    ///< chunks re-sent after a restart
+  std::uint64_t rework_bytes = 0;       ///< wire bytes of those replays
+
+  [[nodiscard]] bool any() const noexcept {
+    return resume_handshakes != 0 || duplicates_suppressed != 0 ||
+           duplicate_deliveries_suppressed != 0 || replayed_chunks != 0;
+  }
+};
+
 /// A pipeline observation window. Throughputs are bytes/second of RAW data
 /// (the common currency across stages: compression input, decompression
 /// output), so stages are directly comparable.
@@ -74,6 +91,7 @@ struct PipelineObservation {
   StageObservation decompress;
   OverloadObservation overload;
   LatencyObservation latency;
+  ResumeObservation resume;
 };
 
 enum class StageKind { kCompress, kSend, kReceive, kDecompress, kNone };

@@ -7,6 +7,7 @@
 //   queue_capacity <n>
 //   recovery [reconnect=on|off] [max_attempts=<n>] [backoff_us=<n>]
 //            [max_backoff_us=<n>] [multiplier=<f>] [jitter=<f>]
+//            [retry_budget_us=<n>]
 //            [corrupt_limit=<n>] [degrade_watermark=<n>] [watchdog_ms=<n>]
 //   overload [budget_bytes=<n>] [credit_window=<n>]
 //            [shed=block|drop_newest|drop_oldest|priority_evict]
@@ -17,11 +18,12 @@
 //          [failed_ratio=<f>] [breach_windows=<n>] [recover_windows=<n>]
 //          [baseline_windows=<n>]
 //   observe [trace=on|off] [ring_capacity=<n>] [latency=on|off] [sample_ms=<n>]
+//   resume session=<n> [ack_interval=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
-// `recovery`, `overload`, `health` and `observe` may each appear at most
-// once; a duplicate is a parse error (silent last-wins hid config merge
-// mistakes).
+// `recovery`, `overload`, `health`, `observe` and `resume` may each appear
+// at most once; a duplicate is a parse error (silent last-wins hid config
+// merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -240,6 +242,17 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
     return invalid_argument_error(
         "config: observe ring_capacity must be positive");
   }
+  if (resume.enabled()) {
+    if (resume.session == 0) {
+      return invalid_argument_error(
+          "config: resume needs session > 0 (the durable session identity)");
+    }
+    if (!recovery.reconnect) {
+      return invalid_argument_error(
+          "config: resume requires recovery reconnect=on (a restarted peer "
+          "comes back through the redial path)");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -286,6 +299,7 @@ std::string NodeConfig::serialize() const {
         << " max_backoff_us=" << recovery.retry.max_backoff_us
         << " multiplier=" << recovery.retry.multiplier
         << " jitter=" << recovery.retry.jitter
+        << " retry_budget_us=" << recovery.retry.max_elapsed_us
         << " corrupt_limit=" << recovery.max_consecutive_corrupt
         << " degrade_watermark=" << recovery.degrade_watermark
         << " watchdog_ms=" << recovery.watchdog_ms << "\n";
@@ -326,6 +340,12 @@ std::string NodeConfig::serialize() const {
         << " latency=" << (observe.latency ? "on" : "off")
         << " sample_ms=" << observe.sample_ms << "\n";
   }
+  if (!resume.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so pre-resume configs round-trip byte-identically.
+    out << "resume session=" << resume.session
+        << " ack_interval=" << resume.ack_interval << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -348,6 +368,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_overload = false;
   bool saw_health = false;
   bool saw_observe = false;
+  bool saw_resume = false;
 
   std::istringstream in(text);
   std::string line;
@@ -430,6 +451,8 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             config.recovery.retry.multiplier = std::stod(value);
           } else if (key == "jitter") {
             config.recovery.retry.jitter = std::stod(value);
+          } else if (key == "retry_budget_us") {
+            config.recovery.retry.max_elapsed_us = std::stoull(value);
           } else if (key == "corrupt_limit") {
             config.recovery.max_consecutive_corrupt = std::stoi(value);
           } else if (key == "degrade_watermark") {
@@ -592,6 +615,32 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             }
           } else if (key == "sample_ms") {
             config.observe.sample_ms = std::stoull(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "resume") {
+      if (saw_resume) {
+        return fail("duplicate 'resume' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_resume = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "session") {
+            config.resume.session = std::stoull(value);
+          } else if (key == "ack_interval") {
+            config.resume.ack_interval = std::stoull(value);
           } else {
             return fail("unknown attribute '" + key + "'");
           }

@@ -192,6 +192,32 @@ struct ObserveConfig {
   friend bool operator==(const ObserveConfig&, const ObserveConfig&) = default;
 };
 
+/// Crash-recovery policy for one node's pipeline (DESIGN.md §11).
+/// Everything defaults to off, matching pre-resume behavior byte for byte:
+/// no journal, no RESUME frames on the wire, a process death loses the
+/// session. Turning it on means naming the session — both endpoints of a
+/// stream must agree on the id, since the RESUME handshake is a
+/// wire-protocol extension (msg/message.h) and the journals refuse to
+/// resume across sessions.
+struct ResumeConfig {
+  /// Durable session identity: journals and RESUME frames carry it, and a
+  /// mismatch is DATA_LOSS, not a silent resume. 0 disables the subsystem.
+  std::uint64_t session = 0;
+  /// Receivers: piggyback a fresh watermark RESUME frame on every
+  /// `ack_interval`-th delivered chunk per connection, so the sender's
+  /// journal prunes mid-run instead of only at reconnect. 0 = handshake-only
+  /// (watermarks travel only when a connection is (re)adopted).
+  std::uint64_t ack_interval = 0;
+
+  [[nodiscard]] bool is_default() const { return *this == ResumeConfig{}; }
+
+  /// Crash resumption is on iff a session is named; the absent directive
+  /// keeps the wire and the pipeline bit-identical to the pre-resume runtime.
+  [[nodiscard]] bool enabled() const { return !is_default(); }
+
+  friend bool operator==(const ResumeConfig&, const ResumeConfig&) = default;
+};
+
 struct NodeConfig {
   std::string node_name;
   NodeRole role = NodeRole::kSender;
@@ -202,6 +228,7 @@ struct NodeConfig {
   OverloadConfig overload;
   HealthConfig health;
   ObserveConfig observe;
+  ResumeConfig resume;
   std::vector<TaskGroupConfig> tasks;
 
   /// Total threads of one task type across all groups (optionally filtered

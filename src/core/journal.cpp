@@ -1,0 +1,425 @@
+#include "core/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "codec/xxhash.h"
+#include "common/assert.h"
+#include "metrics/resume_counters.h"
+
+namespace numastream {
+namespace {
+
+constexpr std::size_t kChecksumOffset = kJournalRecordSize - 4;
+
+[[nodiscard]] bool valid_record_type(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(JournalRecordType::kSession) &&
+         type <= static_cast<std::uint8_t>(JournalRecordType::kDelivered);
+}
+
+void count(std::atomic<std::uint64_t> ResumeCounters::*field,
+           ResumeCounters* counters, std::uint64_t amount = 1) {
+  if (counters != nullptr && amount != 0) {
+    (counters->*field).fetch_add(amount, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+Bytes encode_journal_record(const JournalRecord& record) {
+  Bytes out;
+  out.reserve(kJournalRecordSize);
+  ByteWriter w(out);
+  w.u32(kJournalMagic);
+  out.push_back(static_cast<std::uint8_t>(record.type));
+  w.u32(record.stream_id);
+  w.u64(record.sequence);
+  w.u64(record.offset);
+  w.u32(record.body_hash);
+  w.u32(record.body_size);
+  w.u32(xxhash32(ByteSpan(out.data(), kChecksumOffset)));
+  return out;
+}
+
+JournalScan scan_journal(ByteSpan data) {
+  JournalScan scan;
+  std::size_t pos = 0;
+  while (pos + kJournalRecordSize <= data.size()) {
+    const std::uint8_t* rec = data.data() + pos;
+    if (load_le32(rec) != kJournalMagic || !valid_record_type(rec[4]) ||
+        load_le32(rec + kChecksumOffset) !=
+            xxhash32(ByteSpan(rec, kChecksumOffset))) {
+      break;
+    }
+    JournalRecord record;
+    record.type = static_cast<JournalRecordType>(rec[4]);
+    record.stream_id = load_le32(rec + 5);
+    record.sequence = load_le64(rec + 9);
+    record.offset = load_le64(rec + 17);
+    record.body_hash = load_le32(rec + 25);
+    record.body_size = load_le32(rec + 29);
+    scan.records.push_back(record);
+    pos += kJournalRecordSize;
+  }
+  scan.trusted_bytes = pos;
+  if (pos < data.size()) {
+    // Anything past the first bad record is untrusted; count whole and
+    // partial trailing records alike.
+    scan.torn_records = (data.size() - pos + kJournalRecordSize - 1) /
+                        kJournalRecordSize;
+  }
+  return scan;
+}
+
+// ---- MemoryJournalMedia ----------------------------------------------------
+
+Status MemoryJournalMedia::append(ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.insert(pending_.end(), data.begin(), data.end());
+  return Status();
+}
+
+Status MemoryJournalMedia::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  durable_.insert(durable_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  return Status();
+}
+
+Result<Bytes> MemoryJournalMedia::read_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_;
+}
+
+void MemoryJournalMedia::crash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pending_.clear();
+}
+
+void MemoryJournalMedia::crash_torn(std::size_t keep_pending) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (keep_pending < pending_.size()) {
+    pending_.resize(keep_pending);
+  }
+  durable_.insert(durable_.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+}
+
+std::size_t MemoryJournalMedia::durable_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return durable_.size();
+}
+
+// ---- FileJournalMedia ------------------------------------------------------
+
+FileJournalMedia::FileJournalMedia(std::string path) : path_(std::move(path)) {}
+
+FileJournalMedia::~FileJournalMedia() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Status FileJournalMedia::append(ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+      return unavailable_error("journal: open '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::write(fd_, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return data_loss_error("journal: write '" + path_ +
+                             "': " + std::strerror(errno));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Status FileJournalMedia::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ >= 0 && ::fsync(fd_) != 0) {
+    return data_loss_error("journal: fsync '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  return Status();
+}
+
+Result<Bytes> FileJournalMedia::read_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Bytes();  // no journal yet: a fresh session
+    }
+    return unavailable_error("journal: open '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+  Bytes out;
+  std::uint8_t buffer[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = data_loss_error("journal: read '" + path_ +
+                                            "': " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      break;
+    }
+    out.insert(out.end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return out;
+}
+
+// ---- SenderJournal ---------------------------------------------------------
+
+SenderJournal::SenderJournal(JournalMedia& media, std::uint64_t session_id,
+                             ResumeCounters* counters)
+    : media_(media), session_id_(session_id), counters_(counters) {}
+
+Status SenderJournal::append_record(const JournalRecord& record) {
+  const Bytes encoded = encode_journal_record(record);
+  NS_RETURN_IF_ERROR(media_.append(encoded));
+  NS_RETURN_IF_ERROR(media_.flush());
+  count(&ResumeCounters::journal_records_written, counters_);
+  return Status();
+}
+
+Status SenderJournal::recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto data = media_.read_all();
+  if (!data.ok()) {
+    return data.status();
+  }
+  const JournalScan scan = scan_journal(data.value());
+  count(&ResumeCounters::torn_records_truncated, counters_, scan.torn_records);
+  if (scan.records.empty()) {
+    recovered_ = true;
+    return append_record(JournalRecord{.type = JournalRecordType::kSession,
+                                       .sequence = session_id_});
+  }
+  const JournalRecord& head = scan.records.front();
+  if (head.type != JournalRecordType::kSession || head.sequence != session_id_) {
+    return data_loss_error(
+        "journal: session mismatch (journal holds session " +
+        std::to_string(head.type == JournalRecordType::kSession ? head.sequence
+                                                                : 0) +
+        ", this endpoint is session " + std::to_string(session_id_) + ")");
+  }
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const JournalRecord& record = scan.records[i];
+    switch (record.type) {
+      case JournalRecordType::kSent:
+        if (record.sequence >= acked_watermark_unlocked(record.stream_id)) {
+          unacked_[{record.stream_id, record.sequence}] = record.body_size;
+        }
+        break;
+      case JournalRecordType::kAcked: {
+        std::uint64_t& mark = watermarks_[record.stream_id];
+        mark = std::max(mark, record.sequence);
+        auto it = unacked_.lower_bound({record.stream_id, 0});
+        while (it != unacked_.end() && it->first.first == record.stream_id &&
+               it->first.second < mark) {
+          it = unacked_.erase(it);
+        }
+        break;
+      }
+      case JournalRecordType::kSession:
+      case JournalRecordType::kDelivered:
+        break;  // foreign record types are ignored, not fatal
+    }
+  }
+  count(&ResumeCounters::journal_records_replayed, counters_,
+        scan.records.size());
+  recovered_ = true;
+  return Status();
+}
+
+std::uint64_t SenderJournal::acked_watermark_unlocked(
+    std::uint32_t stream_id) const {
+  const auto it = watermarks_.find(stream_id);
+  return it == watermarks_.end() ? 0 : it->second;
+}
+
+Status SenderJournal::record_sent(std::uint32_t stream_id,
+                                  std::uint64_t sequence, std::uint64_t offset,
+                                  std::uint32_t body_hash,
+                                  std::uint32_t body_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NS_CHECK(recovered_, "SenderJournal::recover() must run first");
+  NS_RETURN_IF_ERROR(append_record(JournalRecord{.type = JournalRecordType::kSent,
+                                                 .stream_id = stream_id,
+                                                 .sequence = sequence,
+                                                 .offset = offset,
+                                                 .body_hash = body_hash,
+                                                 .body_size = body_size}));
+  unacked_[{stream_id, sequence}] = body_size;
+  return Status();
+}
+
+Status SenderJournal::record_acked(std::uint32_t stream_id,
+                                   std::uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NS_CHECK(recovered_, "SenderJournal::recover() must run first");
+  std::uint64_t& mark = watermarks_[stream_id];
+  if (watermark <= mark) {
+    return Status();  // stale or repeated ack: the watermark is monotone
+  }
+  NS_RETURN_IF_ERROR(
+      append_record(JournalRecord{.type = JournalRecordType::kAcked,
+                                  .stream_id = stream_id,
+                                  .sequence = watermark}));
+  mark = watermark;
+  auto it = unacked_.lower_bound({stream_id, 0});
+  while (it != unacked_.end() && it->first.first == stream_id &&
+         it->first.second < watermark) {
+    it = unacked_.erase(it);
+  }
+  return Status();
+}
+
+std::uint64_t SenderJournal::acked_watermark(std::uint32_t stream_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return acked_watermark_unlocked(stream_id);
+}
+
+bool SenderJournal::sent_unacked(std::uint32_t stream_id,
+                                 std::uint64_t sequence) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unacked_.count({stream_id, sequence}) != 0;
+}
+
+std::uint64_t SenderJournal::unacked_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unacked_.size();
+}
+
+std::uint64_t SenderJournal::unacked_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [key, size] : unacked_) {
+    total += size;
+  }
+  return total;
+}
+
+// ---- ReceiverJournal -------------------------------------------------------
+
+ReceiverJournal::ReceiverJournal(JournalMedia& media, std::uint64_t session_id,
+                                 ResumeCounters* counters)
+    : media_(media), session_id_(session_id), counters_(counters) {}
+
+Status ReceiverJournal::append_record(const JournalRecord& record) {
+  const Bytes encoded = encode_journal_record(record);
+  NS_RETURN_IF_ERROR(media_.append(encoded));
+  NS_RETURN_IF_ERROR(media_.flush());
+  count(&ResumeCounters::journal_records_written, counters_);
+  return Status();
+}
+
+void ReceiverJournal::commit_locked(std::uint32_t stream_id,
+                                    std::uint64_t sequence) {
+  StreamState& state = streams_[stream_id];
+  if (sequence < state.watermark) {
+    return;
+  }
+  state.above.insert(sequence);
+  while (!state.above.empty() && *state.above.begin() == state.watermark) {
+    state.above.erase(state.above.begin());
+    ++state.watermark;
+  }
+}
+
+Status ReceiverJournal::recover() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto data = media_.read_all();
+  if (!data.ok()) {
+    return data.status();
+  }
+  const JournalScan scan = scan_journal(data.value());
+  count(&ResumeCounters::torn_records_truncated, counters_, scan.torn_records);
+  if (scan.records.empty()) {
+    recovered_ = true;
+    return append_record(JournalRecord{.type = JournalRecordType::kSession,
+                                       .sequence = session_id_});
+  }
+  const JournalRecord& head = scan.records.front();
+  if (head.type != JournalRecordType::kSession || head.sequence != session_id_) {
+    return data_loss_error(
+        "journal: session mismatch (journal holds session " +
+        std::to_string(head.type == JournalRecordType::kSession ? head.sequence
+                                                                : 0) +
+        ", this endpoint is session " + std::to_string(session_id_) + ")");
+  }
+  for (std::size_t i = 1; i < scan.records.size(); ++i) {
+    const JournalRecord& record = scan.records[i];
+    if (record.type == JournalRecordType::kDelivered) {
+      commit_locked(record.stream_id, record.sequence);
+    }
+  }
+  count(&ResumeCounters::journal_records_replayed, counters_,
+        scan.records.size());
+  recovered_ = true;
+  return Status();
+}
+
+bool ReceiverJournal::seen(std::uint32_t stream_id,
+                           std::uint64_t sequence) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream_id);
+  if (it == streams_.end()) {
+    return false;
+  }
+  return sequence < it->second.watermark ||
+         it->second.above.count(sequence) != 0;
+}
+
+Status ReceiverJournal::record_delivered(std::uint32_t stream_id,
+                                         std::uint64_t sequence) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NS_CHECK(recovered_, "ReceiverJournal::recover() must run first");
+  NS_RETURN_IF_ERROR(
+      append_record(JournalRecord{.type = JournalRecordType::kDelivered,
+                                  .stream_id = stream_id,
+                                  .sequence = sequence}));
+  commit_locked(stream_id, sequence);
+  return Status();
+}
+
+std::uint64_t ReceiverJournal::watermark(std::uint32_t stream_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = streams_.find(stream_id);
+  return it == streams_.end() ? 0 : it->second.watermark;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> ReceiverJournal::watermarks()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> out;
+  out.reserve(streams_.size());
+  for (const auto& [stream, state] : streams_) {
+    out.emplace_back(stream, state.watermark);
+  }
+  return out;
+}
+
+}  // namespace numastream

@@ -1,0 +1,241 @@
+// Crash-consistent write-ahead session journal (DESIGN.md §11).
+//
+// PR 1's recovery layer survives *connection* faults: the sender re-dials and
+// re-sends from memory, the receiver resyncs and dedups within one process
+// lifetime. This file survives *process* faults. Each endpoint appends
+// fixed-size records to a journal before the action they describe becomes
+// externally visible (sender: before the chunk hits the wire; receiver:
+// after the chunk reaches the sink), so a kill -9 at any instant loses at
+// most the unflushed tail — never a committed delivery.
+//
+// Record layout (37 bytes, little-endian):
+//
+//   off  len  field
+//   0    4    magic 0x314A534E ("NSJ1")
+//   4    1    type (kSession / kSent / kAcked / kDelivered)
+//   5    4    stream id
+//   9    8    sequence (session id for kSession; watermark for kAcked)
+//   17   8    byte offset of the chunk in its stream (0 when n/a)
+//   25   4    xxhash32 of the chunk body (0 when n/a)
+//   29   4    body size in bytes (0 when n/a)
+//   33   4    xxhash32 of bytes [0, 33) — the torn-write detector
+//
+// Recovery scans from the start and truncates at the first record whose
+// magic or checksum fails (or that is short): a crash mid-append tears at
+// most the final record, and everything before it is trusted. The first
+// record of a journal is always kSession; recovering against a journal
+// written by a different session id is an error, not a silent resume.
+//
+// Watermark convention: a stream's watermark is the lowest sequence NOT yet
+// committed — every sequence below it has been delivered to the sink. New
+// streams start at 0, so no sentinel is needed and the watermark is monotone.
+//
+// JournalMedia abstracts the byte sink so tests crash without processes
+// dying: MemoryJournalMedia keeps a durable prefix and a pending tail that a
+// simulated crash drops (exactly what the page cache loses on kill -9), and
+// FileJournalMedia appends + fsyncs a real file for the demo binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace numastream {
+
+class ResumeCounters;
+
+inline constexpr std::uint32_t kJournalMagic = 0x314A534EU;  // "NSJ1"
+inline constexpr std::size_t kJournalRecordSize = 37;
+
+enum class JournalRecordType : std::uint8_t {
+  kSession = 1,    ///< first record; sequence = session id
+  kSent = 2,       ///< sender: chunk handed to the wire
+  kAcked = 3,      ///< sender: peer committed everything below `sequence`
+  kDelivered = 4,  ///< receiver: chunk reached the sink
+};
+
+/// One decoded journal record.
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::kSession;
+  std::uint32_t stream_id = 0;
+  std::uint64_t sequence = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t body_hash = 0;
+  std::uint32_t body_size = 0;
+
+  friend bool operator==(const JournalRecord&, const JournalRecord&) = default;
+};
+
+/// Encodes one record, checksum included.
+[[nodiscard]] Bytes encode_journal_record(const JournalRecord& record);
+
+/// Result of a recovery scan: the trusted records and how much tail was cut.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  std::uint64_t torn_records = 0;   ///< records dropped by the truncation
+  std::uint64_t trusted_bytes = 0;  ///< prefix length that passed validation
+};
+
+/// Scans raw journal bytes, truncating at the first short, mis-magicked or
+/// checksum-failing record. Never fails: a fully corrupt journal is simply
+/// empty with a nonzero torn count.
+[[nodiscard]] JournalScan scan_journal(ByteSpan data);
+
+/// Durable byte sink for a journal. append() buffers; flush() makes the
+/// buffered bytes crash-durable. Implementations are thread-safe.
+class JournalMedia {
+ public:
+  virtual ~JournalMedia() = default;
+  virtual Status append(ByteSpan data) = 0;
+  virtual Status flush() = 0;
+  /// Everything a restarted process would read back: durable bytes only.
+  virtual Result<Bytes> read_all() = 0;
+};
+
+/// In-memory media with an explicit durability line, for crash tests: bytes
+/// move from pending to durable on flush(), and crash() discards pending —
+/// the in-process equivalent of kill -9 eating the page cache.
+class MemoryJournalMedia : public JournalMedia {
+ public:
+  Status append(ByteSpan data) override;
+  Status flush() override;
+  Result<Bytes> read_all() override;
+
+  /// Simulates process death: unflushed bytes are gone.
+  void crash();
+  /// Simulates a torn append: keeps only `keep_pending` bytes of the pending
+  /// tail as if the crash landed mid-write, then makes them durable.
+  void crash_torn(std::size_t keep_pending);
+
+  [[nodiscard]] std::size_t durable_size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Bytes durable_;
+  Bytes pending_;
+};
+
+/// Append + fsync against a real file. Created lazily on first append;
+/// read_all() opens the path fresh, as a restarted process would.
+class FileJournalMedia : public JournalMedia {
+ public:
+  explicit FileJournalMedia(std::string path);
+  ~FileJournalMedia() override;
+
+  Status append(ByteSpan data) override;
+  Status flush() override;
+  Result<Bytes> read_all() override;
+
+ private:
+  std::mutex mutex_;
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Sender-side write-ahead journal: one record per chunk *before* it is
+/// handed to the transport, pruned as the peer's RESUME watermarks arrive.
+/// After a restart, acked_watermark() tells the send path which sequences to
+/// suppress, and the unacked set bounds the re-work a crash can cost.
+class SenderJournal {
+ public:
+  /// Borrows `media` and (optionally) `counters`; both must outlive it.
+  SenderJournal(JournalMedia& media, std::uint64_t session_id,
+                ResumeCounters* counters = nullptr);
+
+  /// Replays the durable journal: validates the session record (writing one
+  /// into an empty journal), rebuilds watermarks and the unacked set.
+  /// DATA_LOSS when the journal belongs to a different session.
+  Status recover();
+
+  /// Write-ahead: journal the chunk, durably, before the wire sees it.
+  Status record_sent(std::uint32_t stream_id, std::uint64_t sequence,
+                     std::uint64_t offset, std::uint32_t body_hash,
+                     std::uint32_t body_size);
+
+  /// The peer committed every sequence below `watermark` on this stream.
+  Status record_acked(std::uint32_t stream_id, std::uint64_t watermark);
+
+  /// Lowest sequence not known committed on `stream_id` (0 for new streams).
+  [[nodiscard]] std::uint64_t acked_watermark(std::uint32_t stream_id) const;
+
+  /// True when (stream, sequence) was journaled as sent but never acked —
+  /// i.e. re-sending it now is crash re-work, not first-time work.
+  [[nodiscard]] bool sent_unacked(std::uint32_t stream_id,
+                                  std::uint64_t sequence) const;
+
+  /// Journaled-but-unacked chunks — the crash re-work bound.
+  [[nodiscard]] std::uint64_t unacked_count() const;
+  [[nodiscard]] std::uint64_t unacked_bytes() const;
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept { return session_id_; }
+
+ private:
+  Status append_record(const JournalRecord& record);
+  [[nodiscard]] std::uint64_t acked_watermark_unlocked(
+      std::uint32_t stream_id) const;
+
+  JournalMedia& media_;
+  const std::uint64_t session_id_;
+  ResumeCounters* counters_;
+
+  mutable std::mutex mutex_;
+  bool recovered_ = false;
+  std::map<std::uint32_t, std::uint64_t> watermarks_;
+  /// (stream, sequence) -> body size, for the unacked-bytes bound.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint32_t> unacked_;
+};
+
+/// Receiver-side committed-delivery ledger: one record per chunk *after* it
+/// reaches the sink. seen() is the durable half of exactly-once — it
+/// recognizes replays from a sender that crashed after sending but before
+/// learning the delivery was committed.
+class ReceiverJournal {
+ public:
+  ReceiverJournal(JournalMedia& media, std::uint64_t session_id,
+                  ResumeCounters* counters = nullptr);
+
+  /// Replays the durable ledger and rebuilds per-stream watermarks.
+  Status recover();
+
+  /// True when (stream, sequence) was already committed to the sink.
+  [[nodiscard]] bool seen(std::uint32_t stream_id, std::uint64_t sequence) const;
+
+  /// Journals the committed delivery and advances the contiguous watermark.
+  Status record_delivered(std::uint32_t stream_id, std::uint64_t sequence);
+
+  /// Lowest sequence not yet committed on `stream_id` (0 for new streams).
+  [[nodiscard]] std::uint64_t watermark(std::uint32_t stream_id) const;
+
+  /// Every stream's watermark, sorted by stream id — the RESUME payload.
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint64_t>> watermarks()
+      const;
+
+  [[nodiscard]] std::uint64_t session_id() const noexcept { return session_id_; }
+
+ private:
+  struct StreamState {
+    std::uint64_t watermark = 0;          ///< all sequences below: committed
+    std::set<std::uint64_t> above;        ///< committed out-of-order deliveries
+  };
+
+  Status append_record(const JournalRecord& record);
+  void commit_locked(std::uint32_t stream_id, std::uint64_t sequence);
+
+  JournalMedia& media_;
+  const std::uint64_t session_id_;
+  ResumeCounters* counters_;
+
+  mutable std::mutex mutex_;
+  bool recovered_ = false;
+  std::map<std::uint32_t, StreamState> streams_;
+};
+
+}  // namespace numastream

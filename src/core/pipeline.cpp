@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <ctime>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -12,12 +13,15 @@
 
 #include "codec/codec.h"
 #include "codec/frame.h"
+#include "codec/xxhash.h"
 #include "common/assert.h"
 #include "common/retry.h"
 #include "concurrency/bounded_queue.h"
 #include "concurrency/thread_pool.h"
 #include "core/advisor.h"
+#include "core/journal.h"
 #include "core/watchdog.h"
+#include "metrics/resume_counters.h"
 #include "metrics/throughput.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -335,7 +339,8 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
                                       FaultCounters* faults,
                                       OverloadHooks overload,
                                       HealthHooks health,
-                                      ObsHooks obs_hooks) {
+                                      ObsHooks obs_hooks,
+                                      ResumeHooks resume) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
   const Codec* codec = codec_by_name(config_.codec_name);
   NS_CHECK(codec != nullptr, "validate() checked the codec");
@@ -356,6 +361,21 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   OverloadCounters& oc = ovr.counters();
   MemoryBudget* budget = ovr.budget();
   const bool health_on = config_.health.enabled();
+  // Crash resumption (DESIGN.md §11): with the resume directive on, every
+  // chunk is journaled before it reaches the wire, and each fresh connection
+  // starts with the receiver's RESUME handshake telling this sender which
+  // sequences the peer already committed — those are suppressed, bounding a
+  // restart's re-work to the unacked window.
+  const ResumeConfig& rs = config_.resume;
+  SenderJournal* journal = resume.sender_journal;
+  if (rs.enabled() && journal == nullptr) {
+    return invalid_argument_error(
+        "resume config needs a recovered SenderJournal in ResumeHooks");
+  }
+  const bool resume_on = rs.enabled();
+  ResumeCounters resume_scratch;
+  ResumeCounters& rc =
+      resume.counters != nullptr ? *resume.counters : resume_scratch;
   StreamRegistry registry;
   // Queue waits become cancellable only under overload protection; the
   // default config keeps the pure blocking wait of the original pipeline.
@@ -407,6 +427,14 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
   if (budget != nullptr) {
     obr.gauge("sender.budget_bytes_in_flight",
               [budget] { return static_cast<double>(budget->used()); });
+  }
+  if (resume_on) {
+    obr.gauge("sender.journal_unacked_chunks", [journal] {
+      return static_cast<double>(journal->unacked_count());
+    });
+    obr.gauge("sender.journal_unacked_bytes", [journal] {
+      return static_cast<double>(journal->unacked_bytes());
+    });
   }
 
   // The flush timer of the graceful drain: armed when the last compressor
@@ -475,6 +503,84 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
             raw = nullptr;
           }
         };
+        // Retransmission window: payload copies of every journaled-but-unacked
+        // frame this worker has put on the wire. The journal records only
+        // hashes, so when a receiver restart discards frames that reached its
+        // memory but never its sink, the bytes must come from here. Memory is
+        // bounded by the unacked window — the receiver's ack cadence prunes it
+        // through merge_resume — which is exactly the re-work bound the resume
+        // contract quotes.
+        std::deque<Message> retained;
+        // Raised by a reconnect handshake whose watermarks left retained
+        // frames unacked: the peer never committed them, so they must be
+        // re-sent before any new work touches the fresh connection's window.
+        bool replay_pending = false;
+        // Folds the peer's RESUME watermarks into the journal: every point is
+        // a monotone ack, so stale or repeated handshakes are harmless no-ops.
+        const auto merge_resume = [&](const Message& frame) -> Status {
+          auto info =
+              parse_resume_body(ByteSpan(frame.body.data(), frame.body.size()));
+          if (!info.ok()) {
+            return info.status();
+          }
+          if (info.value().session_id != journal->session_id()) {
+            return data_loss_error(
+                "resume: peer session " +
+                std::to_string(info.value().session_id) +
+                " does not match local session " +
+                std::to_string(journal->session_id()));
+          }
+          for (const ResumePoint& point : info.value().points) {
+            NS_RETURN_IF_ERROR(
+                journal->record_acked(point.stream_id, point.watermark));
+          }
+          // Every ack releases retransmission memory: frames under the
+          // peer's watermark are committed and will never be asked for.
+          std::erase_if(retained, [&](const Message& kept) {
+            return kept.sequence < journal->acked_watermark(kept.stream_id);
+          });
+          rc.resume_handshakes.fetch_add(1, std::memory_order_relaxed);
+          return Status::ok();
+        };
+        // Dispatches one reverse-channel message: credit into the window,
+        // RESUME into the journal. Without resume, a RESUME frame means the
+        // peer has the directive on and this sender does not — a config
+        // mismatch worth failing loudly on.
+        const auto absorb_control = [&](const Message& ctrl) -> Status {
+          if (ctrl.credit) {
+            credit += ctrl.sequence;
+            credit_held.fetch_add(static_cast<std::int64_t>(ctrl.sequence),
+                                  std::memory_order_relaxed);
+            return Status::ok();
+          }
+          if (!resume_on) {
+            return data_loss_error(
+                "resume frame from peer, but this sender has no resume "
+                "directive");
+          }
+          return merge_resume(ctrl);
+        };
+        // Blocks until the current connection's RESUME handshake has been
+        // merged (credit grants arriving first are banked, not lost). A
+        // no-op without resume: the receiver then never sends one.
+        const auto handshake = [&]() -> Status {
+          if (!resume_on) {
+            return Status::ok();
+          }
+          while (true) {
+            auto ctrl = socket->recv_control();
+            if (!ctrl.ok()) {
+              return ctrl.status();
+            }
+            NS_RETURN_IF_ERROR(absorb_control(ctrl.value()));
+            if (ctrl.value().resume) {
+              // Whatever the merge did not prune, the peer lost: schedule
+              // the survivors for retransmission on this connection.
+              replay_pending = !retained.empty();
+              return Status::ok();
+            }
+          }
+        };
         const auto redial = [&]() -> Status {
           retire();
           auto fresh = dial();
@@ -483,31 +589,29 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
           }
           adopt(std::move(fresh).value());
           fc.reconnects.fetch_add(1, std::memory_order_relaxed);
-          return Status::ok();
+          return handshake();
         };
         // Blocks until the current connection has credit. The stall *is*
-        // the flow control: an out-of-credit sender parks in recv_credit()
-        // until the receiver's consumption frees window. Broken connections
-        // recycle exactly like send failures.
+        // the flow control: an out-of-credit sender parks on the reverse
+        // channel until the receiver's consumption frees window. Broken
+        // connections recycle exactly like send failures.
         const auto wait_for_credit = [&]() -> Status {
           if (credit > 0) {
             return Status::ok();
           }
           oc.credit_stalls.fetch_add(1, std::memory_order_relaxed);
           while (credit == 0) {
-            auto grant = socket->recv_credit();
-            if (!grant.ok()) {
+            auto ctrl = socket->recv_control();
+            if (!ctrl.ok()) {
               if (recovery.reconnect &&
-                  grant.status().code() == StatusCode::kUnavailable &&
+                  ctrl.status().code() == StatusCode::kUnavailable &&
                   !registry.cancelled()) {
                 NS_RETURN_IF_ERROR(redial());
                 continue;
               }
-              return grant.status();
+              return ctrl.status();
             }
-            credit += grant.value();
-            credit_held.fetch_add(static_cast<std::int64_t>(grant.value()),
-                                  std::memory_order_relaxed);
+            NS_RETURN_IF_ERROR(absorb_control(ctrl.value()));
           }
           return Status::ok();
         };
@@ -536,6 +640,33 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
             NS_RETURN_IF_ERROR(redial());
           }
         };
+        // Re-sends every retained frame the latest reconnect handshake left
+        // unacked. A send in here can itself redial — the nested handshake
+        // prunes `retained` and re-raises `replay_pending`, so each scan
+        // restarts from the front whenever that happens; re-sending a frame
+        // twice is harmless (the receiver's delivery ledger dedups).
+        const auto flush_replays = [&]() -> Status {
+          while (replay_pending) {
+            replay_pending = false;
+            for (std::size_t i = 0; i < retained.size() && !replay_pending;) {
+              if (retained[i].sequence <
+                  journal->acked_watermark(retained[i].stream_id)) {
+                retained.erase(retained.begin() +
+                               static_cast<std::ptrdiff_t>(i));
+                continue;
+              }
+              // A redial inside send_message prunes `retained` under us;
+              // send a copy so the frame outlives any mid-send erase.
+              const Message frame = retained[i];
+              rc.replayed_chunks.fetch_add(1, std::memory_order_relaxed);
+              rc.rework_bytes.fetch_add(frame.body.size(),
+                                        std::memory_order_relaxed);
+              NS_RETURN_IF_ERROR(send_message(frame));
+              ++i;
+            }
+          }
+          return Status::ok();
+        };
         adopt(std::move(streams[static_cast<std::size_t>(ctx.worker_index)]));
         MigrationPoller migrate(
             topo_, health, health_on, TaskType::kSend,
@@ -545,10 +676,76 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
         const auto trace_worker =
             static_cast<std::uint32_t>(compress.count + ctx.worker_index);
         const int obs_domain = ctx.binding.execution_domain;
-        while (auto message = queue.pop(qcancel)) {
+        // The resume handshake must land before the first frame; a peer that
+        // dies mid-handshake recycles through the same redial path as a
+        // failed send.
+        Status ready = handshake();
+        while (!ready.is_ok() && recovery.reconnect &&
+               ready.code() == StatusCode::kUnavailable &&
+               !registry.cancelled()) {
+          ready = redial();
+        }
+        if (!ready.is_ok()) {
+          errors.record(ready);
+          queue.close();  // unblock the rest of the pipeline
+        }
+        while (ready.is_ok()) {
+          auto message = queue.pop(qcancel);
+          if (!message) {
+            break;
+          }
           migrate.poll();
           const std::uint64_t charge = message->body.size();
           const std::uint32_t charged_stream = message->stream_id;
+          if (resume_on && replay_pending) {
+            // A reconnect handshake left retained frames unacked; flush the
+            // gap before new work so the peer's missing window refills.
+            const Status replay = flush_replays();
+            if (!replay.is_ok()) {
+              errors.record(replay);
+              if (budget != nullptr) {
+                budget->release(charged_stream, charge);
+              }
+              queue.close();
+              break;
+            }
+          }
+          if (resume_on) {
+            // Replay suppression: the peer already committed everything
+            // below its watermark, so a replayed chunk under it never
+            // touches the wire — its charge settles and it counts as
+            // progress, but spends no credit.
+            if (message->sequence <
+                journal->acked_watermark(message->stream_id)) {
+              rc.duplicates_suppressed.fetch_add(1, std::memory_order_relaxed);
+              if (budget != nullptr) {
+                budget->release(charged_stream, charge);
+              }
+              sent_messages.fetch_add(1, std::memory_order_relaxed);
+              continue;
+            }
+            // Write-ahead: the journal must know the chunk before the wire
+            // does, else a crash between the two loses it untracked. A
+            // chunk already journaled-but-unacked is crash re-work.
+            const bool rework =
+                journal->sent_unacked(message->stream_id, message->sequence);
+            const Status wal = journal->record_sent(
+                message->stream_id, message->sequence, 0,
+                xxhash32(message->body),
+                static_cast<std::uint32_t>(message->body.size()));
+            if (!wal.is_ok()) {
+              errors.record(wal);
+              if (budget != nullptr) {
+                budget->release(charged_stream, charge);
+              }
+              queue.close();
+              break;
+            }
+            if (rework) {
+              rc.replayed_chunks.fetch_add(1, std::memory_order_relaxed);
+              rc.rework_bytes.fetch_add(charge, std::memory_order_relaxed);
+            }
+          }
           const std::uint64_t send_t0 = obr.observing() ? obr.now_ns() : 0;
           const Status status = send_message(*message);
           if (obr.observing()) {
@@ -563,22 +760,43 @@ Result<SenderStats> StreamSender::run(ChunkSource& source, const ConnectFn& conn
             queue.close();  // unblock the rest of the pipeline
             break;
           }
+          if (resume_on) {
+            // Keep the payload until the peer's watermark passes it: the
+            // journal holds only the hash, and a receiver restart will ask
+            // for the bytes again.
+            retained.push_back(std::move(*message));
+          }
           sent_messages.fetch_add(1, std::memory_order_relaxed);
         }
-        // The end-of-stream marker matters: without it the receiver never
-        // learns this peer is done. Re-send it on fresh connections until it
-        // lands (bounded by the retry policy, since a fresh connection can
-        // itself be faulted).
-        Status finish = socket->finish(0);
-        for (int attempt = 0;
-             !finish.is_ok() && recovery.reconnect &&
-             finish.code() == StatusCode::kUnavailable &&
-             !registry.cancelled() && attempt < recovery.retry.max_attempts;
-             ++attempt) {
-          const Status redialed = redial();
-          finish = redialed.is_ok() ? socket->finish(0) : redialed;
+        if (ready.is_ok()) {
+          // The end-of-stream marker matters: without it the receiver never
+          // learns this peer is done. Re-send it on fresh connections until
+          // it lands (bounded by the retry policy, since a fresh connection
+          // can itself be faulted). Retained frames a reconnect handshake
+          // reported missing flush ahead of the marker — EOS after a gap
+          // would let the receiver finish with chunks permanently lost.
+          // A failed redial leaves no socket at all; report UNAVAILABLE so
+          // the retry loop below dials a fresh one instead of crashing.
+          const auto finish_eos = [&]() -> Status {
+            if (socket == nullptr) {
+              return unavailable_error("send: no connection for end-of-stream");
+            }
+            return socket->finish(0);
+          };
+          Status finish = replay_pending ? flush_replays() : Status::ok();
+          finish = finish.is_ok() ? finish_eos() : finish;
+          for (int attempt = 0;
+               !finish.is_ok() && recovery.reconnect &&
+               finish.code() == StatusCode::kUnavailable &&
+               !registry.cancelled() && attempt < recovery.retry.max_attempts;
+               ++attempt) {
+            const Status redialed = redial();
+            finish = redialed.is_ok() && replay_pending ? flush_replays()
+                                                        : redialed;
+            finish = finish.is_ok() ? finish_eos() : finish;
+          }
+          errors.record(finish);
         }
-        errors.record(finish);
         retire();
         send_busy.add_seconds(thread_cpu_seconds());
       },
@@ -779,7 +997,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
                                           FaultCounters* faults,
                                           OverloadHooks overload,
                                           HealthHooks health,
-                                          ObsHooks obs_hooks) {
+                                          ObsHooks obs_hooks,
+                                          ResumeHooks resume) {
   NS_RETURN_IF_ERROR(config_.validate(topo_));
 
   const GroupSpec receive = collect_group(config_, TaskType::kReceive);
@@ -796,6 +1015,21 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   OverloadCounters& oc = ovr.counters();
   MemoryBudget* budget = ovr.budget();
   const bool health_on = config_.health.enabled();
+  // Crash resumption (DESIGN.md §11): with the resume directive on, every
+  // accepted connection opens with a RESUME handshake carrying this
+  // receiver's committed watermarks, the durable ledger backs the in-memory
+  // dedup set across restarts, and each delivery is journaled after the sink
+  // commits it.
+  const ResumeConfig& rs = config_.resume;
+  ReceiverJournal* journal = resume.receiver_journal;
+  if (rs.enabled() && journal == nullptr) {
+    return invalid_argument_error(
+        "resume config needs a recovered ReceiverJournal in ResumeHooks");
+  }
+  const bool resume_on = rs.enabled();
+  ResumeCounters resume_scratch;
+  ResumeCounters& rc =
+      resume.counters != nullptr ? *resume.counters : resume_scratch;
   StreamRegistry registry;
   const std::atomic<bool>* qcancel = ovr.on() ? registry.cancel_flag() : nullptr;
 
@@ -825,6 +1059,11 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
   if (budget != nullptr) {
     obr.gauge("receiver.budget_bytes_in_flight",
               [budget] { return static_cast<double>(budget->used()); });
+  }
+  if (resume_on) {
+    obr.gauge("receiver.journal_streams", [journal] {
+      return static_cast<double>(journal->watermarks().size());
+    });
   }
 
   // Reconnect-mode shared state. Every peer ends its stream with one
@@ -949,12 +1188,30 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
         // credit grant; replenished in batches of half the window so grant
         // frames stay rare relative to data frames.
         std::uint64_t consumed = 0;
+        // Data frames since the last watermark RESUME piggyback.
+        std::uint64_t resume_tick = 0;
+        // The current committed watermarks as a RESUME payload.
+        const auto resume_points = [&] {
+          std::vector<ResumePoint> points;
+          for (const auto& [stream_id, mark] : journal->watermarks()) {
+            points.push_back(ResumePoint{stream_id, mark});
+          }
+          return points;
+        };
         const auto adopt = [&](std::unique_ptr<ByteStream> stream) {
           raw = stream.get();
           socket = std::make_unique<PullSocket>(std::move(stream), 256 * 1024,
                                                 on_corruption);
           registry.add(raw);
           consumed = 0;
+          resume_tick = 0;
+          if (resume_on &&
+              socket->send_resume(journal->session_id(), resume_points())
+                  .is_ok()) {
+            // The handshake goes first: the peer sender blocks on it before
+            // its first frame, so the resume point always precedes data.
+            rc.resume_handshakes.fetch_add(1, std::memory_order_relaxed);
+          }
           if (ovr.credit_on() &&
               socket->send_credit(ov.credit_window).is_ok()) {
             // The initial window: the peer sender starts at zero credit and
@@ -962,23 +1219,31 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
             oc.credit_grants.fetch_add(1, std::memory_order_relaxed);
           }
         };
-        // Counts one consumed data frame and replenishes the peer's window
-        // once half of it has been drained. Every consumed frame counts —
-        // including duplicates and evicted-stream drops — because the peer
-        // spent credit to send it; skipping any would leak window and
-        // eventually wedge the connection.
+        // Counts one consumed data frame, replenishes the peer's window once
+        // half of it has been drained, and piggybacks a watermark RESUME
+        // every ack_interval frames so the peer's journal can prune. Every
+        // consumed frame counts — including duplicates and evicted-stream
+        // drops — because the peer spent credit to send it; skipping any
+        // would leak window and eventually wedge the connection.
         const auto consume_credit = [&] {
-          if (!ovr.credit_on() || socket == nullptr) {
+          if (socket == nullptr) {
             return;
           }
-          ++consumed;
-          const std::uint64_t batch =
-              std::max<std::uint64_t>(1, ov.credit_window / 2);
-          if (consumed >= batch) {
-            if (socket->send_credit(consumed).is_ok()) {
-              oc.credit_grants.fetch_add(1, std::memory_order_relaxed);
+          if (ovr.credit_on()) {
+            ++consumed;
+            const std::uint64_t batch =
+                std::max<std::uint64_t>(1, ov.credit_window / 2);
+            if (consumed >= batch) {
+              if (socket->send_credit(consumed).is_ok()) {
+                oc.credit_grants.fetch_add(1, std::memory_order_relaxed);
+              }
+              consumed = 0;
             }
-            consumed = 0;
+          }
+          if (resume_on && rs.ack_interval > 0 &&
+              ++resume_tick >= rs.ack_interval) {
+            resume_tick = 0;
+            (void)socket->send_resume(journal->session_id(), resume_points());
           }
         };
         const auto retire = [&] {
@@ -1045,6 +1310,16 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
                 consume_credit();
                 continue;
               }
+            }
+            // The durable half of exactly-once: a replay of a chunk this
+            // receiver committed in a *previous* process lifetime is invisible
+            // to the in-memory set but recorded in the delivery ledger.
+            if (resume_on && journal->seen(message.value().stream_id,
+                                           message.value().sequence)) {
+              rc.duplicate_deliveries_suppressed.fetch_add(
+                  1, std::memory_order_relaxed);
+              consume_credit();
+              continue;
             }
             if (stream_evicted(message.value().stream_id)) {
               oc.evicted_chunks.fetch_add(1, std::memory_order_relaxed);
@@ -1197,6 +1472,20 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
             obr.note(obs::Stage::kSink, message->stream_id, message->sequence,
                      trace_worker, obs_domain, sink_t0, obr.now_ns());
           }
+          // Deliver-then-journal: under the chunk-atomic crash model a death
+          // between the two re-delivers this chunk on resume rather than
+          // losing it — the sink sees at-least-once, the ledger converts it
+          // to exactly-once for every chunk it managed to record.
+          if (resume_on) {
+            const Status committed =
+                journal->record_delivered(message->stream_id, message->sequence);
+            if (!committed.is_ok()) {
+              errors.record(committed);
+              settle();
+              queue.close();
+              break;
+            }
+          }
           note_delivered(charged_stream);
           settle();
         }
@@ -1248,7 +1537,8 @@ Result<ReceiverStats> StreamReceiver::run(Listener& listener, ChunkSink& sink,
 PipelineObservation make_observation(const SenderStats& sender,
                                      const ReceiverStats& receiver,
                                      const OverloadCountersSnapshot* overload,
-                                     const obs::StageLatencies* latencies) {
+                                     const obs::StageLatencies* latencies,
+                                     const ResumeCountersSnapshot* resume) {
   const auto stage = [](double busy, int threads, double elapsed) {
     StageObservation observation;
     observation.threads = threads;
@@ -1282,6 +1572,14 @@ PipelineObservation make_observation(const SenderStats& sender,
     observation.latency.receive = latencies->stage_snapshot(obs::Stage::kReceive);
     observation.latency.decompress =
         latencies->stage_snapshot(obs::Stage::kDecompress);
+  }
+  if (resume != nullptr) {
+    observation.resume.resume_handshakes = resume->resume_handshakes;
+    observation.resume.duplicates_suppressed = resume->duplicates_suppressed;
+    observation.resume.duplicate_deliveries_suppressed =
+        resume->duplicate_deliveries_suppressed;
+    observation.resume.replayed_chunks = resume->replayed_chunks;
+    observation.resume.rework_bytes = resume->rework_bytes;
   }
   return observation;
 }

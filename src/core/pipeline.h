@@ -38,6 +38,11 @@ class MetricsRegistry;
 
 namespace numastream {
 
+class SenderJournal;
+class ReceiverJournal;
+class ResumeCounters;
+struct ResumeCountersSnapshot;
+
 /// Optional overload-protection collaborators for one pipeline run. All
 /// pointers are borrowed and may be null; the pipeline consults them only
 /// when `config.overload` enables the corresponding mechanism, so a
@@ -87,6 +92,24 @@ struct ObsHooks {
   /// the duration of the run when `config.observe` is enabled (and
   /// unregistered on exit, whatever knob enabled it).
   obs::MetricsRegistry* registry = nullptr;
+};
+
+/// Optional crash-resumption collaborators for one pipeline run (DESIGN.md
+/// §11). Borrowed, may be null; consulted only when `config.resume` is
+/// enabled, so default hooks with a default ResumeConfig are exactly the
+/// pre-resume pipeline — no journal writes, no RESUME frames on the wire.
+///
+/// The journals carry the durable state across restarts: construct them over
+/// the same JournalMedia before every run of the same session, call
+/// recover(), then pass them here. A sender run requires `sender_journal`, a
+/// receiver run `receiver_journal`; the other pointer is ignored.
+struct ResumeHooks {
+  /// Sender-side write-ahead journal (recovered before the run).
+  SenderJournal* sender_journal = nullptr;
+  /// Receiver-side committed-delivery ledger (recovered before the run).
+  ReceiverJournal* receiver_journal = nullptr;
+  /// Accumulates handshake/suppression/re-work accounting when supplied.
+  ResumeCounters* counters = nullptr;
 };
 
 /// Produces the chunks a sender streams. Implementations must be
@@ -222,7 +245,8 @@ class StreamSender {
                           FaultCounters* faults = nullptr,
                           OverloadHooks overload = {},
                           HealthHooks health = {},
-                          ObsHooks obs_hooks = {});
+                          ObsHooks obs_hooks = {},
+                          ResumeHooks resume = {});
 
  private:
   const MachineTopology& topo_;
@@ -250,7 +274,8 @@ class StreamReceiver {
                             FaultCounters* faults = nullptr,
                             OverloadHooks overload = {},
                             HealthHooks health = {},
-                            ObsHooks obs_hooks = {});
+                            ObsHooks obs_hooks = {},
+                            ResumeHooks resume = {});
 
  private:
   const MachineTopology& topo_;
@@ -265,11 +290,14 @@ class StreamReceiver {
 /// advisor can tell a compute bottleneck from an overload-protection one.
 /// `latencies`, when supplied, folds the run's per-stage latency snapshots
 /// into the observation (observation.latency), giving the advisor tail
-/// latency next to utilization.
+/// latency next to utilization. `resume`, when supplied, folds the run's
+/// crash-recovery counters in (observation.resume) so the advisor can tell
+/// replay re-work from genuine new load.
 struct PipelineObservation;  // forward declared in core/advisor.h
 PipelineObservation make_observation(
     const SenderStats& sender, const ReceiverStats& receiver,
     const OverloadCountersSnapshot* overload = nullptr,
-    const obs::StageLatencies* latencies = nullptr);
+    const obs::StageLatencies* latencies = nullptr,
+    const ResumeCountersSnapshot* resume = nullptr);
 
 }  // namespace numastream

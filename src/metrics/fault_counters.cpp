@@ -17,6 +17,7 @@ constexpr NamedCounter kCounters[] = {
     {"injected_short_writes", &FaultCountersSnapshot::injected_short_writes},
     {"injected_stalls", &FaultCountersSnapshot::injected_stalls},
     {"injected_throttles", &FaultCountersSnapshot::injected_throttles},
+    {"injected_crashes", &FaultCountersSnapshot::injected_crashes},
     {"injected_accept_failures", &FaultCountersSnapshot::injected_accept_failures},
     {"reconnects", &FaultCountersSnapshot::reconnects},
     {"dial_retries", &FaultCountersSnapshot::dial_retries},
@@ -57,6 +58,7 @@ FaultCountersSnapshot FaultCounters::snapshot() const {
   s.injected_short_writes = injected_short_writes.load(std::memory_order_relaxed);
   s.injected_stalls = injected_stalls.load(std::memory_order_relaxed);
   s.injected_throttles = injected_throttles.load(std::memory_order_relaxed);
+  s.injected_crashes = injected_crashes.load(std::memory_order_relaxed);
   s.injected_accept_failures =
       injected_accept_failures.load(std::memory_order_relaxed);
   s.reconnects = reconnects.load(std::memory_order_relaxed);

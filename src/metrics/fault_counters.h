@@ -28,6 +28,7 @@ struct FaultCountersSnapshot {
   std::uint64_t injected_short_writes = 0;  ///< write delivered in fragments
   std::uint64_t injected_stalls = 0;        ///< write delayed by the injector
   std::uint64_t injected_throttles = 0;     ///< write slow-dripped at a byte rate
+  std::uint64_t injected_crashes = 0;       ///< whole-endpoint deaths (kill -9)
   std::uint64_t injected_accept_failures = 0;
 
   // Recovery actions taken by the pipeline.
@@ -60,6 +61,7 @@ class FaultCounters {
   std::atomic<std::uint64_t> injected_short_writes{0};
   std::atomic<std::uint64_t> injected_stalls{0};
   std::atomic<std::uint64_t> injected_throttles{0};
+  std::atomic<std::uint64_t> injected_crashes{0};
   std::atomic<std::uint64_t> injected_accept_failures{0};
 
   std::atomic<std::uint64_t> reconnects{0};

@@ -1,0 +1,79 @@
+#include "metrics/resume_counters.h"
+
+namespace numastream {
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  std::uint64_t ResumeCountersSnapshot::*field;
+};
+
+// One row per counter, in incident order: the crash, the journal's part in
+// recovering from it, the duplicates the ledgers caught, and what it cost.
+constexpr NamedCounter kCounters[] = {
+    {"crashes_observed", &ResumeCountersSnapshot::crashes_observed},
+    {"resume_handshakes", &ResumeCountersSnapshot::resume_handshakes},
+    {"journal_records_written", &ResumeCountersSnapshot::journal_records_written},
+    {"journal_records_replayed",
+     &ResumeCountersSnapshot::journal_records_replayed},
+    {"torn_records_truncated", &ResumeCountersSnapshot::torn_records_truncated},
+    {"duplicates_suppressed", &ResumeCountersSnapshot::duplicates_suppressed},
+    {"duplicate_deliveries_suppressed",
+     &ResumeCountersSnapshot::duplicate_deliveries_suppressed},
+    {"replayed_chunks", &ResumeCountersSnapshot::replayed_chunks},
+    {"rework_bytes", &ResumeCountersSnapshot::rework_bytes},
+    {"recovery_wall_ms", &ResumeCountersSnapshot::recovery_wall_ms},
+};
+
+}  // namespace
+
+std::string ResumeCountersSnapshot::to_string() const {
+  std::string out;
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = this->*(counter.field);
+    if (value == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += counter.name;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out.empty() ? "clean" : out;
+}
+
+ResumeCountersSnapshot ResumeCounters::snapshot() const {
+  ResumeCountersSnapshot s;
+  s.crashes_observed = crashes_observed.load(std::memory_order_relaxed);
+  s.resume_handshakes = resume_handshakes.load(std::memory_order_relaxed);
+  s.journal_records_written =
+      journal_records_written.load(std::memory_order_relaxed);
+  s.journal_records_replayed =
+      journal_records_replayed.load(std::memory_order_relaxed);
+  s.torn_records_truncated =
+      torn_records_truncated.load(std::memory_order_relaxed);
+  s.duplicates_suppressed = duplicates_suppressed.load(std::memory_order_relaxed);
+  s.duplicate_deliveries_suppressed =
+      duplicate_deliveries_suppressed.load(std::memory_order_relaxed);
+  s.replayed_chunks = replayed_chunks.load(std::memory_order_relaxed);
+  s.rework_bytes = rework_bytes.load(std::memory_order_relaxed);
+  s.recovery_wall_ms = recovery_wall_ms.load(std::memory_order_relaxed);
+  return s;
+}
+
+TextTable resume_table(const ResumeCountersSnapshot& snapshot,
+                       bool nonzero_only) {
+  TextTable table({"counter", "count"});
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = snapshot.*(counter.field);
+    if (nonzero_only && value == 0) {
+      continue;
+    }
+    table.add_row({counter.name, std::to_string(value)});
+  }
+  return table;
+}
+
+}  // namespace numastream

@@ -1,0 +1,78 @@
+// ResumeCounters: one pipeline's crash-recovery ledger.
+//
+// The fourth ledger next to FaultCounters (injected transport faults),
+// OverloadCounters (pressure) and HealthCounters (self-healing): this one
+// accounts for what the durability layer did across endpoint restarts —
+// crashes observed, journal records written and replayed on recovery, torn
+// records truncated by the recovery scan, RESUME handshakes exchanged,
+// duplicate chunks suppressed on both sides of the wire, and the re-work the
+// crash actually cost. Crash points and restart delays are seeded, so in
+// simulation these counters double as the bit-identity fingerprint of a
+// recovery run: same seed, same snapshot.
+//
+// Counters are relaxed atomics; snapshot() yields a comparable plain struct
+// and resume_table() renders one through the shared TextTable formatter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of ResumeCounters, comparable and printable.
+struct ResumeCountersSnapshot {
+  // Crash lifecycle.
+  std::uint64_t crashes_observed = 0;   ///< endpoint deaths seen (either side)
+  std::uint64_t resume_handshakes = 0;  ///< RESUME frames accepted by a sender
+
+  // Journal activity.
+  std::uint64_t journal_records_written = 0;   ///< appended + flushed records
+  std::uint64_t journal_records_replayed = 0;  ///< records read back on recovery
+  std::uint64_t torn_records_truncated = 0;    ///< corrupt tail records dropped
+
+  // Exactly-once enforcement.
+  std::uint64_t duplicates_suppressed = 0;  ///< sender skipped <= watermark
+  std::uint64_t duplicate_deliveries_suppressed = 0;  ///< receiver ledger hits
+
+  // What the crash cost.
+  std::uint64_t replayed_chunks = 0;    ///< chunks re-sent after a restart
+  std::uint64_t rework_bytes = 0;       ///< wire bytes of those replays
+  std::uint64_t recovery_wall_ms = 0;   ///< crash-to-first-resumed-send time
+
+  friend bool operator==(const ResumeCountersSnapshot&,
+                         const ResumeCountersSnapshot&) = default;
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by a pipeline's workers and the journal.
+/// All increments are relaxed: counters are statistics, not synchronization.
+class ResumeCounters {
+ public:
+  std::atomic<std::uint64_t> crashes_observed{0};
+  std::atomic<std::uint64_t> resume_handshakes{0};
+
+  std::atomic<std::uint64_t> journal_records_written{0};
+  std::atomic<std::uint64_t> journal_records_replayed{0};
+  std::atomic<std::uint64_t> torn_records_truncated{0};
+
+  std::atomic<std::uint64_t> duplicates_suppressed{0};
+  std::atomic<std::uint64_t> duplicate_deliveries_suppressed{0};
+
+  std::atomic<std::uint64_t> replayed_chunks{0};
+  std::atomic<std::uint64_t> rework_bytes{0};
+  std::atomic<std::uint64_t> recovery_wall_ms{0};
+
+  [[nodiscard]] ResumeCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so crash-free runs print short.
+TextTable resume_table(const ResumeCountersSnapshot& snapshot,
+                       bool nonzero_only = false);
+
+}  // namespace numastream

@@ -22,7 +22,7 @@ Status FaultPlan::validate() const {
   const double probabilities[] = {disconnect_per_write, torn_write_per_write,
                                   bitflip_per_write,    short_write_per_write,
                                   stall_per_write,      throttle_per_write,
-                                  accept_failure};
+                                  crash_per_write,      accept_failure};
   for (const double p : probabilities) {
     if (p < 0.0 || p > 1.0) {
       return invalid_argument_error("fault plan: probability outside [0, 1]");
@@ -30,7 +30,8 @@ Status FaultPlan::validate() const {
   }
   const double write_sum = disconnect_per_write + torn_write_per_write +
                            bitflip_per_write + short_write_per_write +
-                           stall_per_write + throttle_per_write;
+                           stall_per_write + throttle_per_write +
+                           crash_per_write;
   if (write_sum > 1.0) {
     return invalid_argument_error("fault plan: per-write probabilities sum to " +
                                   std::to_string(write_sum) + " > 1");
@@ -38,6 +39,10 @@ Status FaultPlan::validate() const {
   if (throttle_per_write > 0 && throttle_bytes_per_sec == 0) {
     return invalid_argument_error(
         "fault plan: throttle_per_write needs throttle_bytes_per_sec > 0");
+  }
+  if (crash_per_write > 0 && crash_restart_micros == 0) {
+    return invalid_argument_error(
+        "fault plan: crash_per_write needs crash_restart_micros > 0");
   }
   return Status::ok();
 }
@@ -84,6 +89,40 @@ bool FaultInjector::take_fault_budget() {
   return true;
 }
 
+void FaultInjector::set_crash_hook(std::function<void()> hook) {
+  const std::lock_guard<std::mutex> lock(crash_hook_mu_);
+  crash_hook_ = std::move(hook);
+}
+
+void FaultInjector::trigger_crash(std::uint64_t restart_delay_micros) {
+  // Hook first: unflushed state must be gone before any connection observes
+  // the death, or a racing worker could "flush" bytes the crash should eat.
+  {
+    const std::lock_guard<std::mutex> lock(crash_hook_mu_);
+    if (crash_hook_) {
+      crash_hook_();
+    }
+  }
+  const auto now = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  const std::int64_t until =
+      now + static_cast<std::int64_t>(restart_delay_micros);
+  // Extend, never shorten, so overlapping crashes keep the longest blackout.
+  std::int64_t current = blackout_until_micros_.load(std::memory_order_relaxed);
+  while (until > current && !blackout_until_micros_.compare_exchange_weak(
+                                current, until, std::memory_order_relaxed)) {
+  }
+  crash_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+bool FaultInjector::in_blackout() const {
+  const auto now = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  return now < blackout_until_micros_.load(std::memory_order_relaxed);
+}
+
 FaultyByteStream::FaultyByteStream(std::unique_ptr<ByteStream> inner,
                                    FaultInjector& injector,
                                    std::uint64_t stream_index)
@@ -91,11 +130,18 @@ FaultyByteStream::FaultyByteStream(std::unique_ptr<ByteStream> inner,
       injector_(injector),
       // Per-connection seed: connection k misbehaves the same way in every
       // run, independent of which thread or dial attempt produced it.
-      rng_(injector.plan().seed ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1))) {
+      rng_(injector.plan().seed ^ (0x9E3779B97F4A7C15ULL * (stream_index + 1))),
+      birth_epoch_(injector.crash_epoch()) {
   NS_CHECK(inner_ != nullptr, "FaultyByteStream needs a stream");
 }
 
 Status FaultyByteStream::write_all(ByteSpan data) {
+  if (!broken_ && endpoint_crashed()) {
+    // The endpoint this connection belonged to died; it never comes back on
+    // this socket even after the restart.
+    broken_ = true;
+    inner_->shutdown_write();
+  }
   if (broken_) {
     return unavailable_error("fault: connection broken by injected fault");
   }
@@ -164,6 +210,19 @@ Status FaultyByteStream::write_all(ByteSpan data) {
       stall_for(plan.stall_micros);
       return inner_->write_all(data);
 
+    case FaultKind::kCrash: {
+      if (counters != nullptr) {
+        counters->injected_crashes.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Abrupt endpoint death: nothing of this write is delivered, every
+      // sibling connection breaks, unflushed state dies with the process,
+      // and the endpoint stays dark for a seeded restart delay.
+      const std::uint64_t restart =
+          1 + rng_.next_below(plan.crash_restart_micros);
+      injector_.trigger_crash(restart);
+      return break_connection();
+    }
+
     case FaultKind::kThrottle: {
       if (counters != nullptr) {
         counters->injected_throttles.fetch_add(1, std::memory_order_relaxed);
@@ -196,6 +255,12 @@ Status FaultyByteStream::write_all(ByteSpan data) {
 }
 
 Result<std::size_t> FaultyByteStream::read_some(MutableByteSpan out) {
+  if (endpoint_crashed()) {
+    // A dead process's sockets EOF their peers; so does this one. (Other
+    // injected faults leave the read side alone — only a crash kills both
+    // directions.)
+    return std::size_t{0};
+  }
   return inner_->read_some(out);
 }
 
@@ -236,6 +301,10 @@ FaultyByteStream::FaultKind FaultyByteStream::roll() {
   if (r < acc) {
     return FaultKind::kThrottle;
   }
+  acc += plan.crash_per_write;
+  if (r < acc) {
+    return FaultKind::kCrash;
+  }
   return FaultKind::kNone;
 }
 
@@ -258,6 +327,9 @@ FaultyListener::FaultyListener(Listener& inner, FaultInjector& injector)
     : inner_(inner), injector_(injector) {}
 
 Result<std::unique_ptr<ByteStream>> FaultyListener::accept() {
+  if (injector_.in_blackout()) {
+    return unavailable_error("fault: endpoint restarting after crash");
+  }
   if (injector_.roll_accept_failure()) {
     return unavailable_error("fault: injected accept failure");
   }
@@ -272,6 +344,9 @@ void FaultyListener::close() { inner_.close(); }
 
 DialFn faulty_dialer(DialFn inner, FaultInjector& injector) {
   return [inner = std::move(inner), &injector]() -> Result<std::unique_ptr<ByteStream>> {
+    if (injector.in_blackout()) {
+      return unavailable_error("fault: endpoint restarting after crash");
+    }
     auto stream = inner();
     if (!stream.ok()) {
       return stream.status();

@@ -27,9 +27,17 @@
 //                 (drooping transceiver, overloaded peer): progress never
 //                 stops, it just crawls — the case health monitoring exists
 //                 to catch, since no error status ever surfaces.
+//   crash       - the whole *endpoint* dies abruptly (kill -9): nothing is
+//                 delivered, every connection sharing this injector breaks
+//                 (crash-epoch check), unflushed application state is dropped
+//                 through the injector's crash hook, and dials/accepts fail
+//                 UNAVAILABLE until a seeded restart delay elapses. The
+//                 fault the crash-recovery journal (core/journal.h) exists
+//                 to survive.
 //
-// Reads are passed through untouched: injecting on exactly one side keeps a
-// fault attributable, and a wrapped peer covers the read direction.
+// Reads are passed through untouched (except across a crash, where they EOF
+// like the dead process's sockets would): injecting on exactly one side
+// keeps a fault attributable, and a wrapped peer covers the read direction.
 #pragma once
 
 #include <atomic>
@@ -64,6 +72,15 @@ struct FaultPlan {
   /// Cap on the total delay one throttled write may accumulate, so chaos
   /// plans stay test-sized even with large frames (0 = uncapped).
   std::uint64_t throttle_max_micros = 100'000;
+
+  /// Endpoint death: probability one write takes the whole endpoint down
+  /// (see the crash entry in the fault model above). Rolled in the same
+  /// cumulative band as the per-write faults.
+  double crash_per_write = 0;
+  /// Upper bound on the seeded restart delay after a crash: the endpoint
+  /// stays dark for 1..crash_restart_micros microseconds (drawn from the
+  /// crashing connection's RNG) before dials/accepts succeed again.
+  std::uint64_t crash_restart_micros = 5000;
 
   /// FaultyListener: probability an accept() fails once with UNAVAILABLE
   /// (the connection attempt is consumed, as with a dropped SYN).
@@ -105,6 +122,28 @@ class FaultInjector {
   /// True while the plan's fault budget has room; consumes one unit.
   bool take_fault_budget();
 
+  // ---- endpoint crashes (DESIGN.md §11) ----
+
+  /// Called at the instant of each crash, before any connection observes it.
+  /// Tests hook MemoryJournalMedia::crash() here so unflushed journal bytes
+  /// die with the process. The hook must be thread-safe.
+  void set_crash_hook(std::function<void()> hook);
+
+  /// Kills the endpoint now: bumps the crash epoch (breaking every live
+  /// connection of this injector), runs the crash hook, and keeps dials and
+  /// accepts failing for `restart_delay_micros`. Normally triggered by a
+  /// seeded kCrash roll; public so tests can script an exact crash point.
+  void trigger_crash(std::uint64_t restart_delay_micros);
+
+  /// Crash generation: a stream born under an older epoch is dead.
+  [[nodiscard]] std::uint64_t crash_epoch() const noexcept {
+    return crash_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// True while the endpoint is between death and restart; dials and
+  /// accepts must fail UNAVAILABLE.
+  [[nodiscard]] bool in_blackout() const;
+
  private:
   FaultPlan plan_;
   FaultCounters* counters_;
@@ -112,6 +151,11 @@ class FaultInjector {
   std::atomic<std::uint64_t> faults_injected_{0};
   Rng accept_rng_;
   std::mutex accept_mu_;
+  std::atomic<std::uint64_t> crash_epoch_{0};
+  /// steady_clock microseconds until which the endpoint stays dark.
+  std::atomic<std::int64_t> blackout_until_micros_{0};
+  std::mutex crash_hook_mu_;
+  std::function<void()> crash_hook_;
 };
 
 /// The write-side stream decorator (fault model documented at the top of
@@ -131,18 +175,24 @@ class FaultyByteStream final : public ByteStream {
 
  private:
   enum class FaultKind {
-    kNone, kDisconnect, kTornWrite, kBitFlip, kShortWrite, kStall, kThrottle
+    kNone, kDisconnect, kTornWrite, kBitFlip, kShortWrite, kStall, kThrottle,
+    kCrash
   };
 
   FaultKind roll();
   void flip_random_bit(Bytes& bytes);
   Status break_connection();
+  /// True when the endpoint died after this connection was established.
+  [[nodiscard]] bool endpoint_crashed() const noexcept {
+    return injector_.crash_epoch() > birth_epoch_;
+  }
 
   std::unique_ptr<ByteStream> inner_;
   FaultInjector& injector_;
   Rng rng_;
   std::uint64_t written_ = 0;
   bool broken_ = false;
+  const std::uint64_t birth_epoch_;
 };
 
 /// Listener decorator: optionally fails accepts, and wraps every accepted

@@ -17,12 +17,49 @@ Bytes encode_message(const Message& message) {
   w.u64(message.sequence);
   w.u16(static_cast<std::uint16_t>(
       (message.end_of_stream ? kMessageFlagEndOfStream : 0) |
-      (message.credit ? kMessageFlagCredit : 0)));
+      (message.credit ? kMessageFlagCredit : 0) |
+      (message.resume ? kMessageFlagResume : 0)));
   w.u16(0);
   w.u64(message.body.size());
   w.u32(xxhash32(message.body));
   w.raw(message.body);
   return out;
+}
+
+Message Message::resume_frame(std::uint64_t session_id,
+                              const std::vector<ResumePoint>& points) {
+  Message m;
+  m.resume = true;
+  m.body.reserve(kResumeBodyPrefix + points.size() * kResumePointSize);
+  ByteWriter w(m.body);
+  w.u64(session_id);
+  w.u32(static_cast<std::uint32_t>(points.size()));
+  for (const ResumePoint& point : points) {
+    w.u32(point.stream_id);
+    w.u64(point.watermark);
+  }
+  return m;
+}
+
+Result<ResumeInfo> parse_resume_body(ByteSpan body) {
+  ByteReader r(body);
+  ResumeInfo info;
+  std::uint32_t count = 0;
+  if (!r.u64(info.session_id).is_ok() || !r.u32(count).is_ok()) {
+    return invalid_argument_error("resume frame: body shorter than prefix");
+  }
+  if (body.size() != kResumeBodyPrefix + std::size_t{count} * kResumePointSize) {
+    return invalid_argument_error(
+        "resume frame: stream count disagrees with body length");
+  }
+  info.points.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ResumePoint point;
+    NS_RETURN_IF_ERROR(r.u32(point.stream_id));
+    NS_RETURN_IF_ERROR(r.u64(point.watermark));
+    info.points.push_back(point);
+  }
+  return info;
 }
 
 void MessageDecoder::feed(ByteSpan data) {
@@ -83,6 +120,20 @@ Result<Message> MessageDecoder::next() {
       }
       continue;
     }
+    if ((flags & kMessageFlagResume) != 0) {
+      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream)) != 0) {
+        if (auto st = corruption("message: resume frame with conflicting flags")) {
+          return *st;
+        }
+        continue;
+      }
+      if (body_size < kResumeBodyPrefix) {
+        if (auto st = corruption("message: resume frame body too short")) {
+          return *st;
+        }
+        continue;
+      }
+    }
     if (body_size > kMaxMessageBody) {
       if (auto st = corruption("message: body size " + std::to_string(body_size) +
                                " exceeds limit")) {
@@ -99,6 +150,7 @@ Result<Message> MessageDecoder::next() {
     message.sequence = load_le64(header + 8);
     message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
     message.credit = (flags & kMessageFlagCredit) != 0;
+    message.resume = (flags & kMessageFlagResume) != 0;
     message.body.assign(header + kMessageHeaderSize,
                         header + kMessageHeaderSize + body_size);
     if (xxhash32(message.body) != load_le32(header + 28)) {

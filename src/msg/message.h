@@ -25,9 +25,25 @@
 // emitted when the operator enables credit flow control in the overload
 // directive on both ends (core/config.h); absent that directive the wire is
 // bit-identical to v1.0.
+//
+// Bit 2 is the v1.2 extension — a *RESUME* control frame that flows from
+// receiver to sender on the reverse channel during crash recovery
+// (DESIGN.md §11). Its body carries the receiver's durable session id and
+// per-stream committed-delivery watermarks:
+//
+//   0   8  session id
+//   8   4  stream count N
+//   12  .. N x (u32 stream id, u64 watermark)
+//
+// so a restarted endpoint handshakes back to the exact resume point and the
+// peer replays only the gap. Like credits, RESUME frames are only emitted
+// when the `resume` directive is configured on both ends; absent that
+// directive the wire stays bit-identical to v1.1.
 #pragma once
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/status.h"
@@ -38,12 +54,35 @@ inline constexpr std::uint32_t kMessageMagic = 0x314D534EU;  // "NSM1"
 inline constexpr std::size_t kMessageHeaderSize = 32;
 inline constexpr std::uint16_t kMessageFlagEndOfStream = 1;
 inline constexpr std::uint16_t kMessageFlagCredit = 2;
+inline constexpr std::uint16_t kMessageFlagResume = 4;
 inline constexpr std::uint16_t kMessageKnownFlags =
-    kMessageFlagEndOfStream | kMessageFlagCredit;
+    kMessageFlagEndOfStream | kMessageFlagCredit | kMessageFlagResume;
+
+/// Fixed prefix of a RESUME body: session id + stream count.
+inline constexpr std::size_t kResumeBodyPrefix = 12;
+/// Bytes per (stream id, watermark) pair in a RESUME body.
+inline constexpr std::size_t kResumePointSize = 12;
 
 /// Refuse absurd body sizes before allocating: protects a receiver from a
 /// corrupt or hostile length prefix. Generous relative to the 11 MiB chunks.
 inline constexpr std::uint64_t kMaxMessageBody = 1ULL << 30;
+
+/// One stream's resume point: every sequence below `watermark` is committed
+/// at the receiver, so a sender replays from `watermark` up.
+struct ResumePoint {
+  std::uint32_t stream_id = 0;
+  std::uint64_t watermark = 0;
+
+  friend bool operator==(const ResumePoint&, const ResumePoint&) = default;
+};
+
+/// Decoded payload of a RESUME control frame.
+struct ResumeInfo {
+  std::uint64_t session_id = 0;
+  std::vector<ResumePoint> points;
+
+  friend bool operator==(const ResumeInfo&, const ResumeInfo&) = default;
+};
 
 struct Message {
   std::uint32_t stream_id = 0;
@@ -53,6 +92,9 @@ struct Message {
   /// data messages on this connection (credit-based flow control). Always
   /// body-less.
   bool credit = false;
+  /// Control frame: receiver->sender resume handshake; the body carries a
+  /// ResumeInfo (session id + committed watermarks, see parse_resume_body).
+  bool resume = false;
   Bytes body;
 
   [[nodiscard]] static Message end_of_stream_marker(std::uint32_t stream_id,
@@ -71,7 +113,15 @@ struct Message {
     m.credit = true;
     return m;
   }
+
+  /// Resume handshake carrying the receiver's committed watermarks.
+  [[nodiscard]] static Message resume_frame(std::uint64_t session_id,
+                                            const std::vector<ResumePoint>& points);
 };
+
+/// Parses a RESUME frame body. INVALID_ARGUMENT when the declared stream
+/// count disagrees with the body length.
+Result<ResumeInfo> parse_resume_body(ByteSpan body);
 
 /// Serializes a message (header + body) into a fresh buffer.
 Bytes encode_message(const Message& message);

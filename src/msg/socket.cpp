@@ -27,16 +27,27 @@ Status PushSocket::finish(std::uint32_t stream_id) {
 }
 
 Result<std::uint64_t> PushSocket::recv_credit() {
+  auto message = recv_control();
+  if (!message.ok()) {
+    return message.status();
+  }
+  if (!message.value().credit) {
+    return data_loss_error("credit channel carried a data message");
+  }
+  return message.value().sequence;
+}
+
+Result<Message> PushSocket::recv_control() {
   if (credit_buffer_.empty()) {
-    credit_buffer_.resize(4096);  // credit frames are 32-byte headers
+    credit_buffer_.resize(4096);  // control frames are small
   }
   while (true) {
     auto message = credit_decoder_.next();
     if (message.ok()) {
-      if (!message.value().credit) {
-        return data_loss_error("credit channel carried a data message");
+      if (!message.value().credit && !message.value().resume) {
+        return data_loss_error("control channel carried a data message");
       }
-      return message.value().sequence;
+      return message;
     }
     if (message.status().code() == StatusCode::kDataLoss) {
       return message.status();
@@ -46,7 +57,7 @@ Result<std::uint64_t> PushSocket::recv_credit() {
       return n.status();
     }
     if (n.value() == 0) {
-      return unavailable_error("peer closed before granting credit");
+      return unavailable_error("peer closed the control channel");
     }
     credit_decoder_.feed(ByteSpan(credit_buffer_.data(), n.value()));
   }
@@ -86,6 +97,12 @@ Result<Message> PullSocket::recv() {
 
 Status PullSocket::send_credit(std::uint64_t grant) {
   return stream_->write_all(encode_message(Message::credit_grant(grant)));
+}
+
+Status PullSocket::send_resume(std::uint64_t session_id,
+                               const std::vector<ResumePoint>& points) {
+  return stream_->write_all(
+      encode_message(Message::resume_frame(session_id, points)));
 }
 
 }  // namespace numastream

@@ -31,6 +31,14 @@ class PushSocket {
   ///   DATA_LOSS   - the reverse channel carried a non-credit message.
   Result<std::uint64_t> recv_credit();
 
+  /// Blocks until the peer's next *control* message arrives on the reverse
+  /// direction — a credit grant or a RESUME handshake (crash recovery,
+  /// DESIGN.md §11). The generalization of recv_credit for resume-enabled
+  /// sessions, where the receiver interleaves both frame kinds.
+  ///   UNAVAILABLE - peer closed the reverse channel,
+  ///   DATA_LOSS   - the reverse channel carried a data message.
+  Result<Message> recv_control();
+
   /// Bytes pushed so far, including headers (for throughput accounting).
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 
@@ -64,6 +72,12 @@ class PullSocket {
   /// this connection (credit-based flow control; the paired PushSocket reads
   /// it via recv_credit). Call from the thread that owns this socket.
   Status send_credit(std::uint64_t grant);
+
+  /// Writes a RESUME handshake on the reverse direction of this connection:
+  /// the receiver's session id and committed watermarks (the paired
+  /// PushSocket reads it via recv_control). Call from the owning thread.
+  Status send_resume(std::uint64_t session_id,
+                     const std::vector<ResumePoint>& points);
 
   /// Bytes pulled so far, including headers.
   [[nodiscard]] std::uint64_t bytes_received() const noexcept { return bytes_received_; }

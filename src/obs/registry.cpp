@@ -5,6 +5,7 @@
 #include "metrics/fault_counters.h"
 #include "metrics/health_counters.h"
 #include "metrics/overload_counters.h"
+#include "metrics/resume_counters.h"
 #include "metrics/table.h"
 
 namespace numastream::obs {
@@ -103,6 +104,7 @@ Status MetricsRegistry::register_fault_counters(const std::string& prefix,
       {"injected_short_writes", &counters.injected_short_writes},
       {"injected_stalls", &counters.injected_stalls},
       {"injected_throttles", &counters.injected_throttles},
+      {"injected_crashes", &counters.injected_crashes},
       {"injected_accept_failures", &counters.injected_accept_failures},
       {"reconnects", &counters.reconnects},
       {"dial_retries", &counters.dial_retries},
@@ -146,6 +148,24 @@ Status MetricsRegistry::register_health_counters(const std::string& prefix,
       {"replans", &counters.replans},
       {"migrations", &counters.migrations},
       {"time_in_degraded_ms", &counters.time_in_degraded_ms},
+  };
+  NS_REGISTER_LEDGER(pairs);
+}
+
+Status MetricsRegistry::register_resume_counters(const std::string& prefix,
+                                                 const ResumeCounters& counters) {
+  const NamedCounter pairs[] = {
+      {"crashes_observed", &counters.crashes_observed},
+      {"resume_handshakes", &counters.resume_handshakes},
+      {"journal_records_written", &counters.journal_records_written},
+      {"journal_records_replayed", &counters.journal_records_replayed},
+      {"torn_records_truncated", &counters.torn_records_truncated},
+      {"duplicates_suppressed", &counters.duplicates_suppressed},
+      {"duplicate_deliveries_suppressed",
+       &counters.duplicate_deliveries_suppressed},
+      {"replayed_chunks", &counters.replayed_chunks},
+      {"rework_bytes", &counters.rework_bytes},
+      {"recovery_wall_ms", &counters.recovery_wall_ms},
   };
   NS_REGISTER_LEDGER(pairs);
 }

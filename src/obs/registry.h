@@ -33,6 +33,7 @@ class TextTable;
 class FaultCounters;
 class OverloadCounters;
 class HealthCounters;
+class ResumeCounters;
 }  // namespace numastream
 
 namespace numastream::obs {
@@ -76,6 +77,7 @@ class MetricsRegistry {
   Status register_overload_counters(const std::string& prefix,
                                     const OverloadCounters& counters);
   Status register_health_counters(const std::string& prefix, const HealthCounters& counters);
+  Status register_resume_counters(const std::string& prefix, const ResumeCounters& counters);
 
   [[nodiscard]] std::size_t size() const;
 

@@ -257,6 +257,38 @@ class RecoveryMonitor {
   std::size_t rotation_ = 0;
 };
 
+/// Seeded endpoint kill-and-restart events on virtual time (DESIGN.md §11):
+/// each event fires once, crashing one stream's endpoint. The pipeline's
+/// journal mirror replays the sent-but-unacked window after the restart
+/// blackout and suppresses every duplicate, so the events compose with
+/// credits, budgets and shedding without breaking exactly-once accounting.
+/// Events run on virtual time against ordered state — two runs of the same
+/// schedule produce bit-identical resume counters.
+class CrashInjector {
+ public:
+  CrashInjector(sim::Simulation& sim, std::vector<StreamPipeline*> pipelines,
+                std::vector<ExperimentOptions::CrashEvent> events)
+      : sim_(sim), pipelines_(std::move(pipelines)), events_(std::move(events)) {}
+
+  /// Spawns one process per event. Call once, before sim.run().
+  void launch() {
+    for (const auto& event : events_) {
+      sim_.spawn(fire(event));
+    }
+  }
+
+ private:
+  sim::SimProc fire(ExperimentOptions::CrashEvent event) {
+    co_await sim_.delay(event.at_seconds);
+    pipelines_[event.stream]->crash_endpoint(event.sender,
+                                             event.restart_seconds);
+  }
+
+  sim::Simulation& sim_;
+  std::vector<StreamPipeline*> pipelines_;
+  std::vector<ExperimentOptions::CrashEvent> events_;
+};
+
 }  // namespace
 
 Result<ExperimentResult> run_experiment(
@@ -399,6 +431,7 @@ Result<ExperimentResult> run_experiment(
     spec.memory_budget_bytes = options.memory_budget_bytes;
     spec.shed_high_watermark = options.shed_high_watermark;
     spec.shed_low_watermark = options.shed_low_watermark;
+    spec.resume_enabled = options.resume;
     if (options.source_gbps > 0) {
       spec.source_bytes_per_sec = gbps_to_bytes_per_sec(options.source_gbps);
     }
@@ -449,6 +482,27 @@ Result<ExperimentResult> run_experiment(
       healer->add_stream(pipelines[stream].get(), stream_nics[stream]);
     }
   }
+  std::optional<CrashInjector> crasher;
+  if (!options.crashes.empty()) {
+    if (!options.resume) {
+      return invalid_argument_error(
+          "driver: crash events require options.resume (the journal mirror)");
+    }
+    std::vector<StreamPipeline*> targets;
+    targets.reserve(pipelines.size());
+    for (auto& pipeline : pipelines) {
+      targets.push_back(pipeline.get());
+    }
+    for (const auto& event : options.crashes) {
+      if (event.stream >= targets.size() || event.at_seconds < 0 ||
+          event.restart_seconds < 0) {
+        return invalid_argument_error(
+            "driver: crash event references an unknown stream or a negative "
+            "time");
+      }
+    }
+    crasher.emplace(sim, std::move(targets), options.crashes);
+  }
 
   for (auto& pipeline : pipelines) {
     pipeline->launch();
@@ -458,6 +512,9 @@ Result<ExperimentResult> run_experiment(
   }
   if (healer.has_value()) {
     healer->launch();
+  }
+  if (crasher.has_value()) {
+    crasher->launch();
   }
   sim.run();
 
@@ -490,6 +547,31 @@ Result<ExperimentResult> run_experiment(
         std::max(result.observation.overload.peak_bytes_in_flight,
                  static_cast<std::uint64_t>(stream.peak_bytes_in_flight));
     result.streams.push_back(stream);
+  }
+  if (options.resume) {
+    for (const auto& pipeline : pipelines) {
+      const ResumeCountersSnapshot snap = pipeline->resume_snapshot();
+      result.resume.crashes_observed += snap.crashes_observed;
+      result.resume.resume_handshakes += snap.resume_handshakes;
+      result.resume.journal_records_written += snap.journal_records_written;
+      result.resume.journal_records_replayed += snap.journal_records_replayed;
+      result.resume.torn_records_truncated += snap.torn_records_truncated;
+      result.resume.duplicates_suppressed += snap.duplicates_suppressed;
+      result.resume.duplicate_deliveries_suppressed +=
+          snap.duplicate_deliveries_suppressed;
+      result.resume.replayed_chunks += snap.replayed_chunks;
+      result.resume.rework_bytes += snap.rework_bytes;
+      result.resume.recovery_wall_ms += snap.recovery_wall_ms;
+      result.rework_restart_from_zero_bytes +=
+          pipeline->restart_from_zero_bytes();
+    }
+    result.observation.resume.resume_handshakes = result.resume.resume_handshakes;
+    result.observation.resume.duplicates_suppressed =
+        result.resume.duplicates_suppressed;
+    result.observation.resume.duplicate_deliveries_suppressed =
+        result.resume.duplicate_deliveries_suppressed;
+    result.observation.resume.replayed_chunks = result.resume.replayed_chunks;
+    result.observation.resume.rework_bytes = result.resume.rework_bytes;
   }
   receiver.usage().set_elapsed(result.elapsed_seconds);
   result.receiver_core_utilization = receiver.usage().utilizations();

@@ -69,6 +69,22 @@ struct ExperimentOptions {
   /// resources (simhw/degradation.h). Empty = pristine hardware.
   DegradationSchedule degradation;
 
+  /// Crash resumption (DESIGN.md §11): mirrors the durable-journal machinery
+  /// on every stream (sender WAL, receiver delivery ledger, duplicate
+  /// suppression). Required when `crashes` is non-empty. Default off.
+  bool resume = false;
+
+  /// One endpoint kill-and-restart on virtual time. A caller derives the
+  /// schedule from a seed; the simulation itself is deterministic, so two
+  /// same-seed schedules produce bit-identical resume counters.
+  struct CrashEvent {
+    std::size_t stream = 0;      ///< launch-order stream index
+    bool sender = false;         ///< true = sender endpoint, false = receiver
+    double at_seconds = 0;       ///< virtual time of the kill
+    double restart_seconds = 0;  ///< blackout before the endpoint resumes
+  };
+  std::vector<CrashEvent> crashes;
+
   /// Self-healing (DESIGN.md §9): when enabled, a monitor process samples
   /// per-NIC delivered bytes every window_ms of virtual time, classifies
   /// each NIC through a HealthMonitor, and on NIC failure re-plans the
@@ -119,6 +135,13 @@ struct ExperimentResult {
   std::vector<obs::Span> spans;
   /// Spans lost to full rings (ring_capacity too small for the run).
   std::uint64_t dropped_spans = 0;
+  /// Resume ledger summed across streams (all zero unless
+  /// ExperimentOptions::resume). The bit-identity fingerprint of a seeded
+  /// recovery run: same schedule, same snapshot.
+  ResumeCountersSnapshot resume;
+  /// Wire bytes a journal-less restart-from-zero would have re-sent across
+  /// all crashes (the ablation baseline next to resume.rework_bytes).
+  double rework_restart_from_zero_bytes = 0;
 };
 
 /// Runs one experiment: stream i flows from sender_configs[i] (on

@@ -84,6 +84,19 @@ sim::SimProc StreamPipeline::token_filler(sim::SimQueue<int>& tokens,
 }
 
 std::optional<SimChunk> StreamPipeline::draw_source_chunk() {
+  // Journal-driven replays first: the chunk is re-read from the sender's
+  // spool, not regenerated, so it spends no instrument time — but it does
+  // respect the post-crash blackout via source_ready_time_.
+  if (!replays_.empty()) {
+    SimChunk chunk;
+    chunk.raw_bytes = calib_.chunk_bytes;
+    chunk.wire_bytes = wire_chunk_bytes();
+    chunk.data_domain = spec_.source_data_domain;
+    chunk.sequence = *replays_.begin();
+    chunk.replay = true;
+    replays_.erase(replays_.begin());
+    return chunk;
+  }
   if (source_remaining_ == 0) {
     return std::nullopt;
   }
@@ -127,6 +140,11 @@ void StreamPipeline::observe(obs::Stage stage, std::size_t worker_offset,
 }
 
 void StreamPipeline::launch() {
+  if (spec_.resume_enabled) {
+    // Each endpoint's journal opens with a session record (core/journal.h:
+    // kSession is always the first record of a recoverable journal).
+    journal_records_written_ += 2;
+  }
   // Seed the overload token pools first so the initial credit grant and the
   // full budget are in place before any worker runs.
   for (auto& tokens : credit_tokens_) {
@@ -167,6 +185,30 @@ void StreamPipeline::retarget_receiver_nic(int nic_resource, int nic_domain) {
   NS_CHECK(nic_resource >= 0, "NIC resource must be valid");
   spec_.receiver_nic = nic_resource;
   spec_.receiver_nic_domain = nic_domain;
+}
+
+void StreamPipeline::crash_endpoint(bool sender_side, double restart_seconds) {
+  NS_CHECK(spec_.resume_enabled,
+           "crash events need Spec::resume_enabled (the journal mirror)");
+  ++crashes_observed_;
+  ++resume_handshakes_;
+  // The restarted side scans its journal back: the session record plus every
+  // record it had written before the death.
+  journal_records_replayed_ +=
+      1 + (sender_side ? sent_records_ : delivered_records_);
+  recovery_wall_ms_ +=
+      static_cast<std::uint64_t>(std::llround(restart_seconds * 1e3));
+  // Without a journal the whole transfer restarts: everything sent so far —
+  // delivered or not — crosses the wire again. Charged here so the ablation
+  // bench can compare it against the journal's bounded replay window.
+  restart_from_zero_bytes_ +=
+      static_cast<double>(delivered_set_.size() + unacked_.size()) *
+      wire_chunk_bytes();
+  // Journal-driven recovery replays exactly the sent-but-unacked window.
+  replays_.insert(unacked_.begin(), unacked_.end());
+  // Blackout: nothing leaves the source until the restart completes.
+  source_ready_time_ =
+      std::max(source_ready_time_, sim_.now() + restart_seconds);
 }
 
 sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
@@ -216,7 +258,10 @@ sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
 
     // Load shedding (drop-newest with the real pipeline's hysteresis latch):
     // between the watermarks the freshly compressed chunk is the casualty.
-    if (spec_.shed_high_watermark > 0) {
+    // Replays are exempt: they are recovery traffic whose originals are
+    // already counted in flight, so shedding one would double-charge the
+    // loss ledger and break all_chunks_accounted().
+    if (spec_.shed_high_watermark > 0 && !chunk->replay) {
       const std::size_t depth = send_queue_->size();
       if (depth >= spec_.shed_high_watermark) {
         shedding_ = true;
@@ -297,6 +342,27 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
       }
       ++inflight_chunks_;
       peak_inflight_chunks_ = std::max(peak_inflight_chunks_, inflight_chunks_);
+    }
+    // Resume mirror (core/pipeline.cpp's sender): a replay the handshake
+    // already reported delivered is suppressed before it spends credit or
+    // wire time; everything else is WAL'd as sent, and replayed chunks are
+    // charged to the re-work ledger.
+    if (spec_.resume_enabled) {
+      if (chunk->replay && delivered_set_.count(chunk->sequence) != 0) {
+        ++duplicates_suppressed_;
+        if (budget_tokens_ != nullptr) {
+          --inflight_chunks_;
+          co_await budget_tokens_->push(1);
+        }
+        continue;
+      }
+      ++journal_records_written_;  // kSent
+      ++sent_records_;
+      unacked_.insert(chunk->sequence);
+      if (chunk->replay) {
+        ++replayed_chunks_;
+        rework_bytes_ += chunk->wire_bytes;
+      }
     }
     // The send span mirrors the real pipeline's send_message: it covers the
     // credit wait plus protocol work and wire transfer.
@@ -411,20 +477,34 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
                 enqueue_t0, sim_.now(), chunk->sequence);
       }
     } else {
-      raw_bytes_delivered_ += chunk->raw_bytes;
-      ++chunks_delivered_;
-      if (observing()) {
-        // Network-only: delivery happens here; a zero-length sink span marks
-        // the chunk leaving the pipeline.
-        observe(obs::Stage::kSink, trace_offset, host.domain_of_core(core),
-                sim_.now(), sim_.now(), chunk->sequence);
+      // Resume mirror: the committed-delivery ledger converts the crash
+      // model's at-least-once arrivals into exactly-once deliveries.
+      const bool duplicate =
+          spec_.resume_enabled && delivered_set_.count(chunk->sequence) != 0;
+      if (duplicate) {
+        ++duplicate_deliveries_suppressed_;
+      } else {
+        if (spec_.resume_enabled) {
+          delivered_set_.insert(chunk->sequence);
+          unacked_.erase(chunk->sequence);
+          ++journal_records_written_;  // kDelivered
+          ++delivered_records_;
+        }
+        raw_bytes_delivered_ += chunk->raw_bytes;
+        ++chunks_delivered_;
+        if (observing()) {
+          // Network-only: delivery happens here; a zero-length sink span
+          // marks the chunk leaving the pipeline.
+          observe(obs::Stage::kSink, trace_offset, host.domain_of_core(core),
+                  sim_.now(), sim_.now(), chunk->sequence);
+        }
+        if (spec_.e2e_timeline != nullptr) {
+          spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
+        }
       }
       if (budget_tokens_ != nullptr) {
         --inflight_chunks_;
         co_await budget_tokens_->push(1);
-      }
-      if (spec_.e2e_timeline != nullptr) {
-        spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
       }
     }
     // Consumption replenishes the sender's window: the chunk has left the
@@ -475,22 +555,56 @@ sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
     if (observing()) {
       observe(obs::Stage::kDecompress, trace_offset, host.domain_of_core(core),
               decompress_t0, sim_.now(), chunk->sequence);
-      // Zero-length sink span: the chunk leaves the pipeline here.
-      observe(obs::Stage::kSink, trace_offset, host.domain_of_core(core),
-              sim_.now(), sim_.now(), chunk->sequence);
     }
 
-    raw_bytes_delivered_ += chunk->raw_bytes;
-    ++chunks_delivered_;
-    finished_at_ = sim_.now();
+    // Resume mirror: the committed-delivery ledger converts the crash
+    // model's at-least-once arrivals into exactly-once deliveries. A
+    // duplicate still paid the decompress cost above — the real pipeline
+    // dedups earlier, so this models the conservative bound.
+    const bool duplicate =
+        spec_.resume_enabled && delivered_set_.count(chunk->sequence) != 0;
+    if (duplicate) {
+      ++duplicate_deliveries_suppressed_;
+    } else {
+      if (spec_.resume_enabled) {
+        delivered_set_.insert(chunk->sequence);
+        unacked_.erase(chunk->sequence);
+        ++journal_records_written_;  // kDelivered
+        ++delivered_records_;
+      }
+      if (observing()) {
+        // Zero-length sink span: the chunk leaves the pipeline here.
+        observe(obs::Stage::kSink, trace_offset, host.domain_of_core(core),
+                sim_.now(), sim_.now(), chunk->sequence);
+      }
+      raw_bytes_delivered_ += chunk->raw_bytes;
+      ++chunks_delivered_;
+      finished_at_ = sim_.now();
+      if (spec_.e2e_timeline != nullptr) {
+        spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
+      }
+    }
     if (budget_tokens_ != nullptr) {
       --inflight_chunks_;
       co_await budget_tokens_->push(1);
     }
-    if (spec_.e2e_timeline != nullptr) {
-      spec_.e2e_timeline->record(sim_.now(), chunk->raw_bytes);
-    }
   }
+}
+
+ResumeCountersSnapshot StreamPipeline::resume_snapshot() const {
+  ResumeCountersSnapshot snapshot;
+  snapshot.crashes_observed = crashes_observed_;
+  snapshot.resume_handshakes = resume_handshakes_;
+  snapshot.journal_records_written = journal_records_written_;
+  snapshot.journal_records_replayed = journal_records_replayed_;
+  snapshot.torn_records_truncated = 0;  // the sim's crash model is chunk-atomic
+  snapshot.duplicates_suppressed = duplicates_suppressed_;
+  snapshot.duplicate_deliveries_suppressed = duplicate_deliveries_suppressed_;
+  snapshot.replayed_chunks = replayed_chunks_;
+  snapshot.rework_bytes =
+      static_cast<std::uint64_t>(std::llround(rework_bytes_));
+  snapshot.recovery_wall_ms = recovery_wall_ms_;
+  return snapshot;
 }
 
 }  // namespace numastream::simrt

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "metrics/resume_counters.h"
 #include "metrics/timeline.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
@@ -33,6 +35,7 @@ struct SimChunk {
   double wire_bytes = 0;
   int data_domain = 0;  ///< domain whose DRAM holds the (current) payload
   std::uint64_t sequence = 0;  ///< source order, for lifecycle spans
+  bool replay = false;  ///< journal-driven re-send after an endpoint crash
 };
 
 class StreamPipeline {
@@ -99,6 +102,15 @@ class StreamPipeline {
     std::size_t shed_high_watermark = 0;
     std::size_t shed_low_watermark = 0;
 
+    // ---- crash resumption (mirrors core/journal.h; DESIGN.md §11) ----
+
+    /// Mirrors the durable-journal machinery on virtual time: a sender WAL
+    /// of sent-but-unacked sequences, a receiver committed-delivery ledger,
+    /// and duplicate suppression on both sides. Required by crash_endpoint().
+    /// All mirror state lives in ordered containers driven by virtual time,
+    /// so two same-seed runs produce bit-identical resume counters.
+    bool resume_enabled = false;
+
     /// Optional: record delivered raw bytes into this timeline (owned by the
     /// caller; must outlive the simulation run).
     RateTimeline* e2e_timeline = nullptr;
@@ -145,6 +157,18 @@ class StreamPipeline {
   /// NIC-failover half of a re-plan.
   void retarget_receiver_nic(int nic_resource, int nic_domain);
 
+  /// Kills and restarts one endpoint mid-run (DESIGN.md §11). Requires
+  /// Spec::resume_enabled. The chunk-atomic crash model: durable journal
+  /// state (the WAL and the delivery ledger) survives; the restarted side
+  /// replays its journal, re-handshakes, and the sender re-sends exactly the
+  /// sent-but-unacked window after `restart_seconds` of blackout. Chunks
+  /// whose delivery committed before the death are never re-delivered — the
+  /// receiver ledger suppresses their replays — so exactly-once holds and
+  /// re-work is bounded by the unacked window. A crash monitor coroutine
+  /// (simrt/driver.cpp) calls this on virtual time; single-threaded
+  /// simulation, so no synchronization needed.
+  void crash_endpoint(bool sender_side, double restart_seconds);
+
   /// True once every produced chunk is accounted for: delivered or shed.
   /// The zero-chunk-loss invariant a recovery scenario asserts.
   [[nodiscard]] bool all_chunks_accounted() const noexcept {
@@ -189,6 +213,20 @@ class StreamPipeline {
   /// (0 when no budget is configured). Invariant: <= memory_budget_bytes.
   [[nodiscard]] double peak_bytes_in_flight() const noexcept {
     return static_cast<double>(peak_inflight_chunks_) * wire_chunk_bytes();
+  }
+
+  // ---- resume accounting (mirrors metrics/resume_counters.h) ----
+
+  /// The stream's resume ledger. In simulation this is the bit-identity
+  /// fingerprint of a recovery run: same seed, same snapshot.
+  [[nodiscard]] ResumeCountersSnapshot resume_snapshot() const;
+
+  /// Wire bytes a journal-less restart would have re-sent: on every crash,
+  /// everything sent so far (delivered or not) is charged, because without
+  /// the WAL the transfer restarts from sequence zero. The ablation bench
+  /// compares this against the journal's bounded rework_bytes.
+  [[nodiscard]] double restart_from_zero_bytes() const noexcept {
+    return restart_from_zero_bytes_;
   }
 
  private:
@@ -252,6 +290,24 @@ class StreamPipeline {
   double raw_bytes_delivered_ = 0;
   double finished_at_ = 0;
   StageBusy stage_busy_;
+
+  // Resume mirror (spec_.resume_enabled): ordered containers so iteration —
+  // and therefore every counter — is deterministic across same-seed runs.
+  std::set<std::uint64_t> unacked_;        ///< sender WAL: sent, not delivered
+  std::set<std::uint64_t> delivered_set_;  ///< receiver ledger: committed
+  std::set<std::uint64_t> replays_;        ///< sequences awaiting re-send
+  std::uint64_t sent_records_ = 0;         ///< kSent records in the sender WAL
+  std::uint64_t delivered_records_ = 0;    ///< kDelivered records in the ledger
+  std::uint64_t crashes_observed_ = 0;
+  std::uint64_t resume_handshakes_ = 0;
+  std::uint64_t journal_records_written_ = 0;
+  std::uint64_t journal_records_replayed_ = 0;
+  std::uint64_t duplicates_suppressed_ = 0;
+  std::uint64_t duplicate_deliveries_suppressed_ = 0;
+  std::uint64_t replayed_chunks_ = 0;
+  double rework_bytes_ = 0;
+  std::uint64_t recovery_wall_ms_ = 0;
+  double restart_from_zero_bytes_ = 0;
 };
 
 }  // namespace numastream::simrt

@@ -184,6 +184,65 @@ TEST(BackoffTest, SameSeedSameSchedule) {
   }
 }
 
+TEST(BackoffTest, ElapsedBudgetStopsTheScheduleEarly) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;  // attempts would allow far more
+  policy.initial_backoff_us = 1000;
+  policy.max_backoff_us = 1000;
+  policy.multiplier = 1.0;
+  policy.jitter = 0.0;
+  policy.max_elapsed_us = 3500;
+  Backoff backoff(policy, 1);
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(1000));
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(1000));
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(1000));
+  // The final delay is clipped to the budget remainder, never past it.
+  EXPECT_EQ(backoff.next_delay(), std::chrono::microseconds(500));
+  EXPECT_FALSE(backoff.next_delay().has_value());  // budget spent
+  EXPECT_EQ(backoff.elapsed_us(), 3500U);
+  EXPECT_EQ(backoff.retries(), 4);
+  backoff.reset();  // the budget resets with the schedule
+  EXPECT_EQ(backoff.elapsed_us(), 0U);
+  EXPECT_TRUE(backoff.next_delay().has_value());
+}
+
+TEST(BackoffTest, ElapsedBudgetIsDeterministicUnderJitter) {
+  RetryPolicy policy;
+  policy.max_attempts = 1000;
+  policy.initial_backoff_us = 500;
+  policy.max_backoff_us = 4000;
+  policy.jitter = 0.5;
+  policy.max_elapsed_us = 20000;
+  Backoff a(policy, 77);
+  Backoff b(policy, 77);
+  std::uint64_t handed_out = 0;
+  while (true) {
+    const auto da = a.next_delay();
+    const auto db = b.next_delay();
+    EXPECT_EQ(da, db);  // seeded jitter: bit-identical retry timelines
+    if (!da.has_value()) {
+      break;
+    }
+    handed_out += static_cast<std::uint64_t>(da->count());
+    EXPECT_LE(a.elapsed_us(), policy.max_elapsed_us);
+  }
+  // The budget is counted from the delays themselves, not a wall clock.
+  EXPECT_EQ(a.elapsed_us(), handed_out);
+  EXPECT_LE(handed_out, policy.max_elapsed_us);
+}
+
+TEST(BackoffTest, ZeroBudgetMeansAttemptsOnly) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_us = 100;
+  policy.jitter = 0.0;
+  Backoff backoff(policy, 1);  // max_elapsed_us stays 0: no time cap
+  EXPECT_TRUE(backoff.next_delay().has_value());
+  EXPECT_TRUE(backoff.next_delay().has_value());
+  EXPECT_FALSE(backoff.next_delay().has_value());  // attempts, not time
+  EXPECT_EQ(backoff.elapsed_us(), 300U);
+}
+
 TEST(RetryPolicyTest, ValidateRejectsBadValues) {
   RetryPolicy policy;
   EXPECT_TRUE(policy.validate().is_ok());
@@ -239,6 +298,23 @@ TEST(WithRetryTest, ExhaustsAttempts) {
   });
   EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   EXPECT_EQ(calls, 3);
+}
+
+TEST(WithRetryTest, GivesUpWhenTimeBudgetSpent) {
+  RetryPolicy policy;
+  policy.max_attempts = 10000;  // attempts alone would retry for ages
+  policy.initial_backoff_us = 500;
+  policy.max_backoff_us = 500;
+  policy.multiplier = 1.0;
+  policy.jitter = 0.0;
+  policy.max_elapsed_us = 2000;  // 4 delays of 500us, then stop
+  int calls = 0;
+  auto result = with_retry(policy, 1, [&]() -> Result<int> {
+    ++calls;
+    return unavailable_error("dead peer");
+  });
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 5);  // initial attempt + the 4 the budget affords
 }
 
 TEST(WithRetryTest, CancelStopsRetrying) {
@@ -557,6 +633,7 @@ TEST(RecoveryConfigTest, SerializeParseRoundTrip) {
   config.recovery.retry.max_backoff_us = 9000;
   config.recovery.retry.multiplier = 1.5;
   config.recovery.retry.jitter = 0.25;
+  config.recovery.retry.max_elapsed_us = 750000;
   config.recovery.max_consecutive_corrupt = 4;
   config.recovery.degrade_watermark = 6;
   config.recovery.watchdog_ms = 1500;
