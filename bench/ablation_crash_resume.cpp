@@ -127,5 +127,24 @@ int main() {
               rerun.value().resume == resume &&
                   rerun.value().rework_restart_from_zero_bytes ==
                       run.rework_restart_from_zero_bytes);
+
+  // Machine-readable artifact for CI and sweep tooling.
+  JsonWriter json;
+  json.field("bench", "ablation_crash_resume");
+  json.field("chunks_per_stream", kChunks);
+  json.field("elapsed_seconds", run.elapsed_seconds);
+  json.field("rework_bytes", resume.rework_bytes);
+  json.field("rework_restart_from_zero_bytes",
+             run.rework_restart_from_zero_bytes);
+  json.begin_object("resume");
+  json.field("crashes_observed", resume.crashes_observed);
+  json.field("resume_handshakes", resume.resume_handshakes);
+  json.field("replayed_chunks", resume.replayed_chunks);
+  json.field("journal_records_replayed", resume.journal_records_replayed);
+  json.field("recovery_wall_ms", resume.recovery_wall_ms);
+  json.end_object();
+  json.field("bit_identical_rerun", rerun.value().resume == resume);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_ablation_crash_resume.json")));
   return finish();
 }

@@ -8,7 +8,9 @@
 // reproduction regression suite.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -46,6 +48,109 @@ inline int finish() {
   }
   std::printf("\nall shape checks passed\n");
   return 0;
+}
+
+// ---------------------------------------------------------------- JSON
+
+/// Minimal machine-readable artifact emitter, so CI (and ablation sweeps)
+/// can diff bench results without scraping the human tables. Opt-in per
+/// bench: build an object field by field, then write(json_artifact_path(
+/// "BENCH_<name>.json")). Keys are emitted in insertion order; one level of
+/// nesting via begin_object()/end_object() covers the counter ledgers.
+class JsonWriter {
+ public:
+  JsonWriter() { out_ = "{"; }
+
+  void field(const std::string& key, const std::string& value) {
+    raw(key, "\"" + escape(value) + "\"");
+  }
+  void field(const std::string& key, const char* value) {
+    field(key, std::string(value));
+  }
+  void field(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+    raw(key, buffer);
+  }
+  void field(const std::string& key, std::uint64_t value) {
+    raw(key, std::to_string(value));
+  }
+  void field(const std::string& key, bool value) {
+    raw(key, value ? "true" : "false");
+  }
+
+  void begin_object(const std::string& key) {
+    raw(key, "{");
+    first_ = true;
+  }
+  void end_object() {
+    out_ += "}";
+    first_ = false;
+  }
+
+  /// Closes the root object and returns the document.
+  [[nodiscard]] std::string render() {
+    return out_ + "}\n";
+  }
+
+  /// Renders to `path`; false (with a message on stdout) when the write
+  /// fails — benches treat that as a failed shape check, not a crash.
+  bool write(const std::string& path) {
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::printf("  json artifact: cannot open %s\n", path.c_str());
+      return false;
+    }
+    const std::string document = render();
+    const bool ok =
+        std::fwrite(document.data(), 1, document.size(), file) ==
+        document.size();
+    std::fclose(file);
+    if (ok) {
+      std::printf("  json artifact: %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  static std::string escape(const std::string& text) {
+    std::string escaped;
+    for (const char c : text) {
+      if (c == '"' || c == '\\') {
+        escaped += '\\';
+        escaped += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buffer[8];
+        std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                      static_cast<unsigned>(c));
+        escaped += buffer;
+      } else {
+        escaped += c;
+      }
+    }
+    return escaped;
+  }
+
+  void raw(const std::string& key, const std::string& value) {
+    if (!first_) {
+      out_ += ",";
+    }
+    first_ = false;
+    out_ += "\"" + escape(key) + "\":" + value;
+  }
+
+  std::string out_;
+  bool first_ = true;
+};
+
+/// Where a bench drops its JSON artifact: the file name as given, or under
+/// $NUMASTREAM_BENCH_JSON_DIR when CI points artifacts somewhere stable.
+inline std::string json_artifact_path(const std::string& file_name) {
+  const char* dir = std::getenv("NUMASTREAM_BENCH_JSON_DIR");
+  if (dir == nullptr || *dir == '\0') {
+    return file_name;
+  }
+  return std::string(dir) + "/" + file_name;
 }
 
 }  // namespace numastream::bench

@@ -6,7 +6,9 @@
 # worker threads, and the observability layer (span rings written by worker
 # threads while the registry's sampler thread reads gauges), plus the
 # crash-resumption pipelines where journal appends and watermark reads race
-# send/receive workers across endpoint restarts. A clean exit
+# send/receive workers across endpoint restarts, and the federation layer
+# where the replication tee, the standby's apply/promote race and a live
+# gateway takeover all share the journal with pipeline workers. A clean exit
 # means the credit/budget/drain/observe machinery is free of data races, not
 # just functionally green.
 #
@@ -24,7 +26,7 @@ cmake --build build-tsan
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest|ResumePipelineTest|ChaosResumeTest)' \
+  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest|ResumePipelineTest|ChaosResumeTest|ReplicationTest|EpochFenceTest|GatewayFailoverTest)' \
   "$@"
 
 echo

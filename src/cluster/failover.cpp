@@ -1,0 +1,114 @@
+#include "cluster/failover.h"
+
+#include <utility>
+
+#include "common/assert.h"
+
+namespace numastream {
+namespace cluster {
+namespace {
+
+// The detector reuses HealthMonitor wholesale; this maps the cluster knobs
+// onto its config. One baseline window suffices — the healthy heartbeat
+// rate is known the moment the first window completes — and breach =
+// recover = miss_windows gives symmetric hysteresis.
+HealthConfig detector_config(const ClusterConfig& cluster) {
+  HealthConfig config;
+  config.window_ms = cluster.heartbeat_ms;
+  config.breach_windows = cluster.miss_windows;
+  config.recover_windows = cluster.miss_windows;
+  config.baseline_windows = 1;
+  return config;
+}
+
+}  // namespace
+
+PeerFailureDetector::PeerFailureDetector(const ClusterConfig& config,
+                                         FederationCounters* counters)
+    : monitor_(detector_config(config)), counters_(counters) {
+  NS_CHECK(config.enabled(), "PeerFailureDetector needs cluster enabled");
+}
+
+int PeerFailureDetector::track(std::string name) {
+  const int id = monitor_.track(std::move(name));
+  was_dead_.push_back(false);
+  return id;
+}
+
+bool PeerFailureDetector::observe(int id, double heartbeats) {
+  const bool is_dead = monitor_.observe(id, heartbeats) == HealthState::kFailed;
+  if (is_dead && !was_dead_[static_cast<std::size_t>(id)] &&
+      counters_ != nullptr) {
+    counters_->peer_failures_detected.fetch_add(1, std::memory_order_relaxed);
+  }
+  was_dead_[static_cast<std::size_t>(id)] = is_dead;
+  return is_dead;
+}
+
+bool PeerFailureDetector::dead(int id) const {
+  return monitor_.state(id) == HealthState::kFailed;
+}
+
+FailoverCoordinator::FailoverCoordinator(GatewayRing ring, std::uint32_t self,
+                                         FederationCounters* counters)
+    : ring_(std::move(ring)),
+      self_(self),
+      live_(ring_.gateways(), true),
+      counters_(counters) {
+  NS_CHECK(self < ring_.gateways(), "self must be a ring member");
+  if (counters_ != nullptr) {
+    counters_->note_epoch(epoch_);
+  }
+}
+
+bool FailoverCoordinator::live(std::uint32_t gateway) const {
+  return gateway < live_.size() && live_[gateway];
+}
+
+void FailoverCoordinator::mark_dead(std::uint32_t gateway) {
+  if (gateway < live_.size()) {
+    live_[gateway] = false;
+  }
+}
+
+void FailoverCoordinator::mark_live(std::uint32_t gateway) {
+  if (gateway < live_.size()) {
+    live_[gateway] = true;
+  }
+}
+
+Result<std::uint32_t> FailoverCoordinator::resolve(
+    std::uint32_t stream_id) const {
+  return ring_.resolve(stream_id, live_);
+}
+
+std::vector<std::uint32_t> FailoverCoordinator::plan_takeover(
+    std::uint32_t victim, const std::vector<std::uint32_t>& streams) {
+  std::vector<std::uint32_t> adopted;
+  if (victim >= live_.size() || victim == self_) {
+    return adopted;
+  }
+  const std::vector<bool> before = live_;
+  mark_dead(victim);
+  for (const std::uint32_t stream : streams) {
+    auto was = ring_.resolve(stream, before);
+    auto now = ring_.resolve(stream, live_);
+    if (was.ok() && was.value() == victim && now.ok() &&
+        now.value() == self_) {
+      adopted.push_back(stream);
+    }
+  }
+  // Epoch bump even for an empty adoption: the death itself advances the
+  // cluster generation, fencing anything the victim still has in flight.
+  ++epoch_;
+  if (counters_ != nullptr) {
+    counters_->failovers.fetch_add(1, std::memory_order_relaxed);
+    counters_->streams_reresolved.fetch_add(adopted.size(),
+                                            std::memory_order_relaxed);
+    counters_->note_epoch(epoch_);
+  }
+  return adopted;
+}
+
+}  // namespace cluster
+}  // namespace numastream

@@ -1,0 +1,93 @@
+// Heartbeat-based failure detection and failover orchestration
+// (DESIGN.md §12).
+//
+// PeerFailureDetector turns raw heartbeat counts into a dead/alive verdict
+// using the same EWMA-baseline + hysteresis machinery the self-healing
+// layer uses for NICs and cores (core/health.h): callers feed one
+// observation per peer per heartbeat window (how many probes the peer
+// answered), the baseline learns the healthy rate, and a peer is declared
+// dead only after `miss_windows` consecutive starved windows — one delayed
+// probe never triggers a takeover. Like HealthMonitor, the detector is
+// clockless and deterministic: the simulated cluster drives it on virtual
+// time and gets bit-identical verdict sequences for the same seed.
+//
+// FailoverCoordinator owns the cluster view one gateway acts on: which
+// peers are live, what epoch we are at, and — via the consistent-hash ring
+// — which streams this gateway must adopt when a peer dies. plan_takeover()
+// is the single decision point: it bumps the epoch (fencing the dead
+// primary, see cluster/replication.h), re-resolves the victim's streams,
+// and returns the ones that now land here. The caller then promotes its
+// StandbySession, recovers the replica journal, and replays through the
+// RESUME machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/health.h"
+#include "metrics/federation_counters.h"
+
+namespace numastream {
+namespace cluster {
+
+/// Dead-or-alive classifier for ring peers, fed once per heartbeat window.
+class PeerFailureDetector {
+ public:
+  /// `config` must be enabled (cluster.enabled()); knobs are read once.
+  explicit PeerFailureDetector(const ClusterConfig& config,
+                               FederationCounters* counters = nullptr);
+
+  /// Registers a peer to watch; returns its id.
+  int track(std::string name);
+
+  /// Feeds one window: `heartbeats` probes were answered. Returns true when
+  /// the peer is (now) considered dead. The first detection of a death is
+  /// counted once in FederationCounters::peer_failures_detected.
+  bool observe(int id, double heartbeats);
+
+  [[nodiscard]] bool dead(int id) const;
+
+ private:
+  HealthMonitor monitor_;
+  std::vector<bool> was_dead_;
+  FederationCounters* counters_;
+};
+
+/// One gateway's view of the ring: liveness, epoch, and takeover planning.
+/// Not thread-safe; drive it from the monitor loop that owns the view.
+class FailoverCoordinator {
+ public:
+  FailoverCoordinator(GatewayRing ring, std::uint32_t self,
+                      FederationCounters* counters = nullptr);
+
+  [[nodiscard]] const GatewayRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] std::uint32_t self() const noexcept { return self_; }
+  [[nodiscard]] bool live(std::uint32_t gateway) const;
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  void mark_dead(std::uint32_t gateway);
+  void mark_live(std::uint32_t gateway);
+
+  /// Where `stream_id` is served under the current liveness view.
+  [[nodiscard]] Result<std::uint32_t> resolve(std::uint32_t stream_id) const;
+
+  /// Marks `victim` dead, bumps the fencing epoch, and returns the streams
+  /// out of `streams` whose resolution moved from the victim to this
+  /// gateway. Counted as one failover (plus one re-resolved stream each).
+  std::vector<std::uint32_t> plan_takeover(
+      std::uint32_t victim, const std::vector<std::uint32_t>& streams);
+
+ private:
+  GatewayRing ring_;
+  std::uint32_t self_;
+  std::vector<bool> live_;
+  std::uint64_t epoch_ = 1;
+  FederationCounters* counters_;
+};
+
+}  // namespace cluster
+}  // namespace numastream

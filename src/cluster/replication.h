@@ -1,0 +1,193 @@
+// Synchronous journal replication with epoch fencing (DESIGN.md §12).
+//
+// A gateway's crash-consistency journal (core/journal.h) survives a process
+// death but not a machine death: when the whole box goes, the journal goes
+// with it. The federation layer closes that hole by shipping every journal
+// record to the stream's buddy gateway *before* the write is acknowledged —
+// synchronous replication, carried by NSM1 REPL frames (msg/message.h).
+//
+// Roles and ordering invariant:
+//
+//   * PrimaryReplicator — the live gateway's side of the link. ship() sends
+//     one kAppend frame and blocks for the standby's kAck, so a record is
+//     never considered durable before the buddy holds it.
+//   * StandbySession — the buddy's side. Applies appended records to its
+//     replica media (append + flush before acking), so the invariant holds:
+//     the standby's durable journal is always >= the primary's durable
+//     journal. A failover therefore replays a superset of what the dead
+//     primary knew, and the RESUME machinery's dedup (watermarks + the
+//     delivery ledger) absorbs the overlap — exactly-once survives.
+//   * ReplicatedJournalMedia — the tee that makes all of this transparent
+//     to SenderJournal/ReceiverJournal: local JournalMedia semantics, with
+//     flush() extended to mean "durable here AND at the buddy".
+//
+// Epoch fencing: every frame carries the primary's epoch. When the standby
+// is promoted (promote()) it bumps its epoch past anything the old primary
+// ever used; a partitioned stale primary that comes back and keeps shipping
+// sees acks stamped with the higher epoch, and ship() turns that into
+// DATA_LOSS — the stale side can no longer report client writes as durable.
+// This is the split-brain guard: at most one side of a partition can make
+// progress.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "core/journal.h"
+#include "metrics/federation_counters.h"
+#include "msg/message.h"
+#include "msg/transport.h"
+
+namespace numastream {
+namespace cluster {
+
+static_assert(kReplRecordSize == kJournalRecordSize,
+              "REPL frame grammar and journal record format must agree");
+
+/// One synchronous request/reply exchange with the standby. Implementations
+/// are used under the replicator's lock, so they need not be thread-safe.
+class ReplicationTransport {
+ public:
+  virtual ~ReplicationTransport() = default;
+  /// Ships an encoded REPL frame and blocks for the peer's reply frame.
+  virtual Result<Message> exchange(const Message& frame) = 0;
+};
+
+/// The standby side of one replication link: applies REPL frames against
+/// the replica journal media and produces the ack the primary blocks on.
+/// Thread-safe; promote() may race handle() from the failover path.
+class StandbySession {
+ public:
+  /// Borrows `media` (the replica journal) and optional `counters`; both
+  /// must outlive the session.
+  StandbySession(JournalMedia& media, std::uint64_t session_id,
+                 FederationCounters* counters = nullptr);
+
+  /// Handles one decoded REPL frame and returns the reply to send back.
+  /// Appends carrying a stale epoch are *not* applied; the reply's higher
+  /// epoch tells the sender it has been fenced. Errors are protocol
+  /// violations (wrong session, malformed body) — the link should drop.
+  Result<Message> handle(const Message& frame);
+
+  /// Takes over: bumps the epoch past everything the old primary used, so
+  /// its in-flight and future appends are fenced. Returns the new epoch.
+  std::uint64_t promote();
+
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  /// Journal records applied to the replica so far.
+  [[nodiscard]] std::uint64_t records_applied() const;
+
+ private:
+  JournalMedia& media_;
+  const std::uint64_t session_id_;
+  FederationCounters* counters_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t records_applied_ = 0;
+};
+
+/// The primary side: epoch-stamped hello/append/heartbeat exchanges, each
+/// blocking on the standby's ack. Thread-safe.
+class PrimaryReplicator {
+ public:
+  PrimaryReplicator(ReplicationTransport& transport, std::uint64_t session_id,
+                    std::uint64_t epoch = 1,
+                    FederationCounters* counters = nullptr);
+
+  /// Opens the replication session: the standby adopts our epoch if it is
+  /// newer, we adopt its if we are behind a promotion (in which case the
+  /// hello itself reports the fence).
+  Status hello();
+
+  /// Ships `records` (a whole number of journal records) and blocks for a
+  /// durable ack. DATA_LOSS when the ack is stamped with a newer epoch:
+  /// this primary has been fenced and must stop acking client writes.
+  Status ship(ByteSpan records);
+
+  /// Liveness probe; same fencing rule as ship().
+  Status heartbeat();
+
+  [[nodiscard]] std::uint64_t epoch() const;
+
+ private:
+  Status exchange_checked(ReplKind kind, ByteSpan records);
+
+  ReplicationTransport& transport_;
+  const std::uint64_t session_id_;
+  FederationCounters* counters_;
+
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_;
+  std::uint64_t next_sequence_ = 1;
+};
+
+/// JournalMedia tee: local media semantics with flush() extended to mean
+/// "durable locally AND acked by the buddy". Records buffered by append()
+/// are shipped on flush() in journal order; the replica is flushed by the
+/// standby before the ack, preserving the standby-is-never-behind
+/// invariant. Thread-safe, like all JournalMedia.
+class ReplicatedJournalMedia final : public JournalMedia {
+ public:
+  /// Borrows both; they must outlive the media.
+  ReplicatedJournalMedia(JournalMedia& local, PrimaryReplicator& replicator);
+
+  Status append(ByteSpan data) override;
+  Status flush() override;
+  Result<Bytes> read_all() override;
+
+ private:
+  JournalMedia& local_;
+  PrimaryReplicator& replicator_;
+  std::mutex mutex_;
+  Bytes pending_;  ///< appended since the last successful ship
+};
+
+/// In-process replication link for tests and the simulated cluster: a
+/// direct call into the standby, with a partition switch for split-brain
+/// scenarios. Thread-safe.
+class InprocReplicationLink final : public ReplicationTransport {
+ public:
+  explicit InprocReplicationLink(StandbySession& standby)
+      : standby_(standby) {}
+
+  /// A partitioned link fails every exchange with UNAVAILABLE — the
+  /// network between the gateways, not either endpoint, is down.
+  void set_partitioned(bool partitioned) {
+    partitioned_.store(partitioned, std::memory_order_release);
+  }
+
+  Result<Message> exchange(const Message& frame) override;
+
+ private:
+  StandbySession& standby_;
+  std::atomic<bool> partitioned_{false};
+};
+
+/// Byte-stream replication link for real deployments (TCP loopback in
+/// examples/federated_gateway): one frame out, one reply back.
+class StreamReplicationTransport final : public ReplicationTransport {
+ public:
+  explicit StreamReplicationTransport(std::unique_ptr<ByteStream> stream)
+      : stream_(std::move(stream)) {}
+
+  Result<Message> exchange(const Message& frame) override;
+
+ private:
+  std::unique_ptr<ByteStream> stream_;
+  MessageDecoder decoder_;
+};
+
+/// Standby-side service loop: decodes REPL frames off `stream`, feeds them
+/// to `standby`, writes replies back. Returns OK on clean peer shutdown,
+/// the first error otherwise.
+Status serve_standby(ByteStream& stream, StandbySession& standby);
+
+}  // namespace cluster
+}  // namespace numastream

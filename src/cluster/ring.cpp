@@ -1,0 +1,100 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+#include <string>
+
+#include "codec/xxhash.h"
+#include "common/assert.h"
+
+namespace numastream {
+namespace cluster {
+namespace {
+
+// Distinct seeds keep gateway points and stream points from colliding by
+// construction when ids overlap numerically.
+constexpr std::uint32_t kVnodeSeed = 0x47574159U;   // "GWAY"
+constexpr std::uint32_t kStreamSeed = 0x53545233U;  // "STR3"
+
+std::uint32_t hash_pair(std::uint32_t a, std::uint32_t b, std::uint32_t seed) {
+  std::uint8_t bytes[8];
+  store_le32(bytes, a);
+  store_le32(bytes + 4, b);
+  return xxhash32(ByteSpan(bytes, sizeof(bytes)), seed);
+}
+
+std::uint32_t hash_stream(std::uint32_t stream_id) {
+  std::uint8_t bytes[4];
+  store_le32(bytes, stream_id);
+  return xxhash32(ByteSpan(bytes, sizeof(bytes)), kStreamSeed);
+}
+
+}  // namespace
+
+GatewayRing::GatewayRing(std::uint32_t gateways, std::uint32_t vnodes)
+    : gateways_(gateways) {
+  NS_CHECK(gateways >= 2, "a gateway ring needs at least two gateways");
+  NS_CHECK(vnodes >= 1, "a gateway ring needs at least one vnode per gateway");
+  points_.reserve(std::size_t{gateways} * vnodes);
+  for (std::uint32_t gw = 0; gw < gateways; ++gw) {
+    for (std::uint32_t vn = 0; vn < vnodes; ++vn) {
+      points_.emplace_back(hash_pair(gw, vn, kVnodeSeed), gw);
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::size_t GatewayRing::start_index(std::uint32_t stream_id) const {
+  const std::uint32_t point = hash_stream(stream_id);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(point, std::uint32_t{0}));
+  return it == points_.end() ? 0 : static_cast<std::size_t>(it - points_.begin());
+}
+
+std::uint32_t GatewayRing::primary(std::uint32_t stream_id) const {
+  return points_[start_index(stream_id)].second;
+}
+
+std::uint32_t GatewayRing::buddy(std::uint32_t stream_id) const {
+  const std::size_t start = start_index(stream_id);
+  const std::uint32_t first = points_[start].second;
+  for (std::size_t step = 1; step < points_.size(); ++step) {
+    const std::uint32_t gw = points_[(start + step) % points_.size()].second;
+    if (gw != first) {
+      return gw;
+    }
+  }
+  NS_CHECK(false, "ring with >= 2 gateways must have a distinct successor");
+  return first;
+}
+
+std::vector<std::uint32_t> GatewayRing::preference(
+    std::uint32_t stream_id) const {
+  std::vector<std::uint32_t> order;
+  order.reserve(gateways_);
+  std::vector<bool> seen(gateways_, false);
+  const std::size_t start = start_index(stream_id);
+  for (std::size_t step = 0;
+       step < points_.size() && order.size() < gateways_; ++step) {
+    const std::uint32_t gw = points_[(start + step) % points_.size()].second;
+    if (!seen[gw]) {
+      seen[gw] = true;
+      order.push_back(gw);
+    }
+  }
+  return order;
+}
+
+Result<std::uint32_t> GatewayRing::resolve(
+    std::uint32_t stream_id, const std::vector<bool>& live) const {
+  for (const std::uint32_t gw : preference(stream_id)) {
+    if (gw < live.size() && live[gw]) {
+      return gw;
+    }
+  }
+  return unavailable_error("gateway ring: no live gateway for stream " +
+                           std::to_string(stream_id));
+}
+
+}  // namespace cluster
+}  // namespace numastream

@@ -19,11 +19,13 @@
 //          [baseline_windows=<n>]
 //   observe [trace=on|off] [ring_capacity=<n>] [latency=on|off] [sample_ms=<n>]
 //   resume session=<n> [ack_interval=<n>]
+//   cluster gateways=<n> self=<i> [vnodes=<n>] [heartbeat_ms=<n>]
+//           [miss_windows=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
-// `recovery`, `overload`, `health`, `observe` and `resume` may each appear
-// at most once; a duplicate is a parse error (silent last-wins hid config
-// merge mistakes).
+// `recovery`, `overload`, `health`, `observe`, `resume` and `cluster` may
+// each appear at most once; a duplicate is a parse error (silent last-wins
+// hid config merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -253,6 +255,34 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
           "comes back through the redial path)");
     }
   }
+  if (cluster.enabled()) {
+    if (cluster.gateways < 2) {
+      return invalid_argument_error(
+          "config: cluster needs gateways >= 2 (a one-gateway ring has no "
+          "buddy to fail over to)");
+    }
+    if (cluster.self >= cluster.gateways) {
+      return invalid_argument_error(
+          "config: cluster self must be in [0, gateways)");
+    }
+    if (cluster.vnodes == 0) {
+      return invalid_argument_error(
+          "config: cluster vnodes must be positive");
+    }
+    if (cluster.heartbeat_ms == 0) {
+      return invalid_argument_error(
+          "config: cluster heartbeat_ms must be positive");
+    }
+    if (cluster.miss_windows <= 0) {
+      return invalid_argument_error(
+          "config: cluster miss_windows must be positive");
+    }
+    if (!resume.enabled()) {
+      return invalid_argument_error(
+          "config: cluster requires a resume session (the replicated "
+          "journals are the resume journals)");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -346,6 +376,14 @@ std::string NodeConfig::serialize() const {
     out << "resume session=" << resume.session
         << " ack_interval=" << resume.ack_interval << "\n";
   }
+  if (!cluster.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so single-gateway configs round-trip byte-identically.
+    out << "cluster gateways=" << cluster.gateways
+        << " self=" << cluster.self << " vnodes=" << cluster.vnodes
+        << " heartbeat_ms=" << cluster.heartbeat_ms
+        << " miss_windows=" << cluster.miss_windows << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -369,6 +407,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_health = false;
   bool saw_observe = false;
   bool saw_resume = false;
+  bool saw_cluster = false;
 
   std::istringstream in(text);
   std::string line;
@@ -641,6 +680,40 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             config.resume.session = std::stoull(value);
           } else if (key == "ack_interval") {
             config.resume.ack_interval = std::stoull(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "cluster") {
+      if (saw_cluster) {
+        return fail("duplicate 'cluster' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_cluster = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "gateways") {
+            config.cluster.gateways =
+                static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "self") {
+            config.cluster.self = static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "vnodes") {
+            config.cluster.vnodes =
+                static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "heartbeat_ms") {
+            config.cluster.heartbeat_ms = std::stoull(value);
+          } else if (key == "miss_windows") {
+            config.cluster.miss_windows = std::stoi(value);
           } else {
             return fail("unknown attribute '" + key + "'");
           }

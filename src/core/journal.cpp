@@ -127,6 +127,9 @@ FileJournalMedia::~FileJournalMedia() {
 
 Status FileJournalMedia::append(ByteSpan data) {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!sticky_.is_ok()) {
+    return sticky_;
+  }
   if (fd_ < 0) {
     fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
     if (fd_ < 0) {
@@ -141,8 +144,18 @@ Status FileJournalMedia::append(ByteSpan data) {
       if (errno == EINTR) {
         continue;
       }
-      return data_loss_error("journal: write '" + path_ +
-                             "': " + std::strerror(errno));
+      sticky_ = data_loss_error("journal: write '" + path_ +
+                                "': " + std::strerror(errno));
+      return sticky_;
+    }
+    if (n == 0) {
+      // A zero-length write would spin forever; surface it as the short
+      // write it is. The partial record it may leave behind is exactly
+      // what the recovery scan's torn-tail truncation handles.
+      sticky_ = data_loss_error("journal: short write '" + path_ + "' (wrote " +
+                                std::to_string(written) + " of " +
+                                std::to_string(data.size()) + " bytes)");
+      return sticky_;
     }
     written += static_cast<std::size_t>(n);
   }
@@ -151,9 +164,16 @@ Status FileJournalMedia::append(ByteSpan data) {
 
 Status FileJournalMedia::flush() {
   std::lock_guard<std::mutex> lock(mutex_);
+  if (!sticky_.is_ok()) {
+    return sticky_;
+  }
   if (fd_ >= 0 && ::fsync(fd_) != 0) {
-    return data_loss_error("journal: fsync '" + path_ +
-                           "': " + std::strerror(errno));
+    // fsync failure means the kernel dropped dirty journal pages; it also
+    // clears the fd's error state, so a retry would "succeed" over a hole.
+    // Latch instead: this incarnation's journal is no longer trustworthy.
+    sticky_ = data_loss_error("journal: fsync '" + path_ +
+                              "': " + std::strerror(errno));
+    return sticky_;
   }
   return Status();
 }

@@ -125,6 +125,16 @@ class MemoryJournalMedia : public JournalMedia {
 
 /// Append + fsync against a real file. Created lazily on first append;
 /// read_all() opens the path fresh, as a restarted process would.
+///
+/// Error contract: a failed or short write() and a failed fsync() surface
+/// as DATA_LOSS to the caller — and latch. After the first such failure
+/// every later append()/flush() returns the same status without touching
+/// the file, because a post-failure retry can falsely succeed (the kernel
+/// clears the per-fd error on fsync failure) while the journaled bytes are
+/// gone. A torn tail left by a partial write is handled by the recovery
+/// scan's truncation; the latch keeps this incarnation from writing past
+/// it. Open failures are UNAVAILABLE and not sticky (transient, retried on
+/// the next append).
 class FileJournalMedia : public JournalMedia {
  public:
   explicit FileJournalMedia(std::string path);
@@ -138,6 +148,7 @@ class FileJournalMedia : public JournalMedia {
   std::mutex mutex_;
   std::string path_;
   int fd_ = -1;
+  Status sticky_ = Status::ok();  ///< first write/fsync DATA_LOSS, latched
 };
 
 /// Sender-side write-ahead journal: one record per chunk *before* it is

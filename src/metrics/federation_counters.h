@@ -1,0 +1,87 @@
+// FederationCounters: one gateway cluster's replication-and-failover ledger.
+//
+// The fifth ledger next to FaultCounters, OverloadCounters, HealthCounters
+// and ResumeCounters: this one accounts for what the federation layer did —
+// journal records shipped to the buddy and acked back, heartbeats exchanged,
+// peer failures detected, whole-gateway failovers orchestrated, streams
+// re-resolved through the ring, and the epoch fence doing its job (stale
+// primaries whose appends were rejected after a takeover). Failure
+// detection and kill points are seeded, so in simulation these counters
+// double as the bit-identity fingerprint of a failover run: same seed,
+// same snapshot.
+//
+// Counters are relaxed atomics; snapshot() yields a comparable plain struct
+// and federation_table() renders one through the shared TextTable formatter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of FederationCounters, comparable and printable.
+struct FederationCountersSnapshot {
+  // Replication traffic (primary -> standby).
+  std::uint64_t repl_records_shipped = 0;  ///< journal records sent to buddy
+  std::uint64_t repl_appends_acked = 0;    ///< append frames acked durable
+  std::uint64_t repl_lag_records_max = 0;  ///< peak shipped-minus-acked depth
+
+  // Liveness.
+  std::uint64_t heartbeats_sent = 0;      ///< probes emitted toward peers
+  std::uint64_t peer_failures_detected = 0;  ///< detector breaches latched
+
+  // Failover orchestration.
+  std::uint64_t failovers = 0;            ///< whole-gateway takeovers
+  std::uint64_t streams_reresolved = 0;   ///< streams re-homed via the ring
+  std::uint64_t failover_wall_ms = 0;     ///< death-to-first-resumed-delivery
+  std::uint64_t epoch = 0;                ///< highest epoch reached (max, not sum)
+
+  // The fence.
+  std::uint64_t fenced_appends_rejected = 0;  ///< stale-epoch writes refused
+
+  friend bool operator==(const FederationCountersSnapshot&,
+                         const FederationCountersSnapshot&) = default;
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by the replication link, the failure
+/// detector, and the failover coordinator. All increments are relaxed:
+/// counters are statistics, not synchronization.
+class FederationCounters {
+ public:
+  std::atomic<std::uint64_t> repl_records_shipped{0};
+  std::atomic<std::uint64_t> repl_appends_acked{0};
+  std::atomic<std::uint64_t> repl_lag_records_max{0};
+
+  std::atomic<std::uint64_t> heartbeats_sent{0};
+  std::atomic<std::uint64_t> peer_failures_detected{0};
+
+  std::atomic<std::uint64_t> failovers{0};
+  std::atomic<std::uint64_t> streams_reresolved{0};
+  std::atomic<std::uint64_t> failover_wall_ms{0};
+  std::atomic<std::uint64_t> epoch{0};
+
+  std::atomic<std::uint64_t> fenced_appends_rejected{0};
+
+  /// Raises `repl_lag_records_max` to `lag` if it is higher than the
+  /// current peak (monotone max, not a sum).
+  void note_repl_lag(std::uint64_t lag);
+
+  /// Raises `epoch` to `value` if it is higher (monotone max).
+  void note_epoch(std::uint64_t value);
+
+  [[nodiscard]] FederationCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so failover-free runs print
+/// short.
+TextTable federation_table(const FederationCountersSnapshot& snapshot,
+                           bool nonzero_only = false);
+
+}  // namespace numastream

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "codec/xxhash.h"
+#include "common/assert.h"
 
 namespace numastream {
 
@@ -18,7 +19,8 @@ Bytes encode_message(const Message& message) {
   w.u16(static_cast<std::uint16_t>(
       (message.end_of_stream ? kMessageFlagEndOfStream : 0) |
       (message.credit ? kMessageFlagCredit : 0) |
-      (message.resume ? kMessageFlagResume : 0)));
+      (message.resume ? kMessageFlagResume : 0) |
+      (message.repl ? kMessageFlagRepl : 0)));
   w.u16(0);
   w.u64(message.body.size());
   w.u32(xxhash32(message.body));
@@ -41,6 +43,26 @@ Message Message::resume_frame(std::uint64_t session_id,
   return m;
 }
 
+Message Message::repl_frame(ReplKind kind, std::uint64_t session_id,
+                            std::uint64_t epoch, std::uint64_t repl_sequence,
+                            ByteSpan records) {
+  NS_CHECK(records.size() % kReplRecordSize == 0,
+           "repl frame records must be whole journal records");
+  NS_CHECK(kind == ReplKind::kAppend || records.empty(),
+           "only append frames carry records");
+  Message m;
+  m.repl = true;
+  m.sequence = repl_sequence;
+  m.body.reserve(kReplBodyPrefix + records.size());
+  ByteWriter w(m.body);
+  w.u32(static_cast<std::uint32_t>(kind));
+  w.u64(session_id);
+  w.u64(epoch);
+  w.u32(static_cast<std::uint32_t>(records.size() / kReplRecordSize));
+  w.raw(records);
+  return m;
+}
+
 Result<ResumeInfo> parse_resume_body(ByteSpan body) {
   ByteReader r(body);
   ResumeInfo info;
@@ -59,6 +81,32 @@ Result<ResumeInfo> parse_resume_body(ByteSpan body) {
     NS_RETURN_IF_ERROR(r.u64(point.watermark));
     info.points.push_back(point);
   }
+  return info;
+}
+
+Result<ReplInfo> parse_repl_body(ByteSpan body) {
+  ByteReader r(body);
+  ReplInfo info;
+  std::uint32_t kind = 0;
+  std::uint32_t count = 0;
+  if (!r.u32(kind).is_ok() || !r.u64(info.session_id).is_ok() ||
+      !r.u64(info.epoch).is_ok() || !r.u32(count).is_ok()) {
+    return invalid_argument_error("repl frame: body shorter than prefix");
+  }
+  if (kind < static_cast<std::uint32_t>(ReplKind::kHello) ||
+      kind > static_cast<std::uint32_t>(ReplKind::kHeartbeat)) {
+    return invalid_argument_error("repl frame: unknown kind " +
+                                  std::to_string(kind));
+  }
+  info.kind = static_cast<ReplKind>(kind);
+  if (body.size() != kReplBodyPrefix + std::size_t{count} * kReplRecordSize) {
+    return invalid_argument_error(
+        "repl frame: record count disagrees with body length");
+  }
+  if (count != 0 && info.kind != ReplKind::kAppend) {
+    return invalid_argument_error("repl frame: records on a non-append frame");
+  }
+  info.records.assign(body.begin() + kReplBodyPrefix, body.end());
   return info;
 }
 
@@ -121,7 +169,8 @@ Result<Message> MessageDecoder::next() {
       continue;
     }
     if ((flags & kMessageFlagResume) != 0) {
-      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream)) != 0) {
+      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
+                    kMessageFlagRepl)) != 0) {
         if (auto st = corruption("message: resume frame with conflicting flags")) {
           return *st;
         }
@@ -129,6 +178,20 @@ Result<Message> MessageDecoder::next() {
       }
       if (body_size < kResumeBodyPrefix) {
         if (auto st = corruption("message: resume frame body too short")) {
+          return *st;
+        }
+        continue;
+      }
+    }
+    if ((flags & kMessageFlagRepl) != 0) {
+      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream)) != 0) {
+        if (auto st = corruption("message: repl frame with conflicting flags")) {
+          return *st;
+        }
+        continue;
+      }
+      if (body_size < kReplBodyPrefix) {
+        if (auto st = corruption("message: repl frame body too short")) {
           return *st;
         }
         continue;
@@ -151,6 +214,7 @@ Result<Message> MessageDecoder::next() {
     message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
     message.credit = (flags & kMessageFlagCredit) != 0;
     message.resume = (flags & kMessageFlagResume) != 0;
+    message.repl = (flags & kMessageFlagRepl) != 0;
     message.body.assign(header + kMessageHeaderSize,
                         header + kMessageHeaderSize + body_size);
     if (xxhash32(message.body) != load_le32(header + 28)) {

@@ -39,6 +39,22 @@
 // peer replays only the gap. Like credits, RESUME frames are only emitted
 // when the `resume` directive is configured on both ends; absent that
 // directive the wire stays bit-identical to v1.1.
+//
+// Bit 3 is the v1.3 extension — a *REPL* control frame that carries journal
+// replication traffic between federated gateways (DESIGN.md §12). The
+// message's sequence field is the replication sequence number (monotone per
+// link, echoed back by acks) and the body is:
+//
+//   0   4  kind (1 hello, 2 append, 3 ack, 4 heartbeat)
+//   4   8  session id
+//   12  8  epoch
+//   20  4  record count N (append frames; 0 otherwise)
+//   24  .. N x 37-byte journal records (core/journal.h wire format)
+//
+// The epoch number fences a stale primary after failover: a standby that
+// has been promoted rejects appends stamped with an older epoch. REPL
+// frames only appear when the `cluster` directive is configured; absent
+// that directive the wire stays bit-identical to v1.2.
 #pragma once
 
 #include <cstdint>
@@ -55,13 +71,22 @@ inline constexpr std::size_t kMessageHeaderSize = 32;
 inline constexpr std::uint16_t kMessageFlagEndOfStream = 1;
 inline constexpr std::uint16_t kMessageFlagCredit = 2;
 inline constexpr std::uint16_t kMessageFlagResume = 4;
+inline constexpr std::uint16_t kMessageFlagRepl = 8;
 inline constexpr std::uint16_t kMessageKnownFlags =
-    kMessageFlagEndOfStream | kMessageFlagCredit | kMessageFlagResume;
+    kMessageFlagEndOfStream | kMessageFlagCredit | kMessageFlagResume |
+    kMessageFlagRepl;
 
 /// Fixed prefix of a RESUME body: session id + stream count.
 inline constexpr std::size_t kResumeBodyPrefix = 12;
 /// Bytes per (stream id, watermark) pair in a RESUME body.
 inline constexpr std::size_t kResumePointSize = 12;
+
+/// Fixed prefix of a REPL body: kind + session id + epoch + record count.
+inline constexpr std::size_t kReplBodyPrefix = 24;
+/// Bytes per replicated journal record in a REPL append body. Mirrors
+/// kJournalRecordSize (core/journal.h); cluster/replication static_asserts
+/// the two constants agree so the grammars cannot drift apart.
+inline constexpr std::size_t kReplRecordSize = 37;
 
 /// Refuse absurd body sizes before allocating: protects a receiver from a
 /// corrupt or hostile length prefix. Generous relative to the 11 MiB chunks.
@@ -84,6 +109,26 @@ struct ResumeInfo {
   friend bool operator==(const ResumeInfo&, const ResumeInfo&) = default;
 };
 
+/// REPL frame kinds: the replication sub-protocol between gateways.
+enum class ReplKind : std::uint32_t {
+  kHello = 1,      ///< primary -> standby: open a replication session
+  kAppend = 2,     ///< primary -> standby: journal records to mirror
+  kAck = 3,        ///< standby -> primary: durable through repl sequence
+  kHeartbeat = 4,  ///< either direction: liveness probe
+};
+
+/// Decoded payload of a REPL control frame.
+struct ReplInfo {
+  ReplKind kind = ReplKind::kHeartbeat;
+  std::uint64_t session_id = 0;
+  std::uint64_t epoch = 0;
+  /// kAppend only: concatenated 37-byte journal records, ready for
+  /// scan_journal (core/journal.h). Empty for the other kinds.
+  Bytes records;
+
+  friend bool operator==(const ReplInfo&, const ReplInfo&) = default;
+};
+
 struct Message {
   std::uint32_t stream_id = 0;
   std::uint64_t sequence = 0;
@@ -95,6 +140,10 @@ struct Message {
   /// Control frame: receiver->sender resume handshake; the body carries a
   /// ResumeInfo (session id + committed watermarks, see parse_resume_body).
   bool resume = false;
+  /// Control frame: gateway-to-gateway journal replication; the sequence
+  /// field is the replication sequence number and the body carries a
+  /// ReplInfo (see parse_repl_body).
+  bool repl = false;
   Bytes body;
 
   [[nodiscard]] static Message end_of_stream_marker(std::uint32_t stream_id,
@@ -117,11 +166,24 @@ struct Message {
   /// Resume handshake carrying the receiver's committed watermarks.
   [[nodiscard]] static Message resume_frame(std::uint64_t session_id,
                                             const std::vector<ResumePoint>& points);
+
+  /// Replication frame. `repl_sequence` lands in the message's sequence
+  /// field; `records` must be a whole number of 37-byte journal records
+  /// (kAppend) or empty (the other kinds).
+  [[nodiscard]] static Message repl_frame(ReplKind kind,
+                                          std::uint64_t session_id,
+                                          std::uint64_t epoch,
+                                          std::uint64_t repl_sequence,
+                                          ByteSpan records = ByteSpan());
 };
 
 /// Parses a RESUME frame body. INVALID_ARGUMENT when the declared stream
 /// count disagrees with the body length.
 Result<ResumeInfo> parse_resume_body(ByteSpan body);
+
+/// Parses a REPL frame body. INVALID_ARGUMENT when the kind is unknown or
+/// the declared record count disagrees with the body length.
+Result<ReplInfo> parse_repl_body(ByteSpan body);
 
 /// Serializes a message (header + body) into a fresh buffer.
 Bytes encode_message(const Message& message);

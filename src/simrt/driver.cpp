@@ -1,10 +1,13 @@
 #include "simrt/driver.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <optional>
 
+#include "cluster/failover.h"
+#include "cluster/ring.h"
 #include "common/assert.h"
 #include "obs/histogram.h"
 #include "obs/trace.h"
@@ -289,6 +292,284 @@ class CrashInjector {
   std::vector<ExperimentOptions::CrashEvent> events_;
 };
 
+/// The federated control plane on virtual time (DESIGN.md §12): one
+/// coroutine that wakes every heartbeat window, plays every gateway's role
+/// deterministically, and drives the whole kill-detect-takeover arc:
+///
+///   * Heartbeats: each live gateway probes its ring buddy once per window;
+///     a gateway named in a GatewayCrashEvent stops answering at its death
+///     time. Each surviving gateway feeds its buddy's answer count into a
+///     PeerFailureDetector (the same EWMA + hysteresis machinery as the
+///     self-healing loop), so a kill is declared after exactly
+///     `miss_windows` starved windows — bit-identical across reruns.
+///
+///   * Replication: every window, each stream's newly written journal
+///     records ship to the serving gateway's ring buddy (the synchronous
+///     REPL link of cluster/replication.h, modeled by its ledger effects:
+///     shipped/acked counts and the in-flight lag high-water mark).
+///
+///   * Takeover: on detection, every surviving gateway runs its own
+///     FailoverCoordinator::plan_takeover — exactly the per-gateway
+///     decision the real cluster makes — and the streams that re-resolve to
+///     it fail over: the pipeline re-targets to the adopter's host and NIC
+///     (fail_over_receiver replays the replicated journal through the
+///     RESUME machinery) and the receive/decompress workers migrate onto
+///     cores drawn from the adopter's allocator.
+class FederationMonitor {
+ public:
+  FederationMonitor(sim::Simulation& sim, const ClusterConfig& cluster,
+                    const MachineTopology& topo, const NodeConfig& receiver_config,
+                    std::vector<SimHost*> gateway_hosts,
+                    std::vector<CoreAllocator*> gateway_allocs,
+                    std::vector<ExperimentOptions::GatewayCrashEvent> events,
+                    bool compress)
+      : sim_(sim),
+        cluster_(cluster),
+        topo_(topo),
+        receiver_config_(receiver_config),
+        gateway_hosts_(std::move(gateway_hosts)),
+        gateway_allocs_(std::move(gateway_allocs)),
+        events_(std::move(events)),
+        compress_(compress),
+        ring_(cluster.gateways, cluster.vnodes),
+        detector_(cluster, &counters_) {
+    // One coordinator per gateway: each survivor makes its own takeover
+    // decision against the shared ring, exactly like the real cluster. The
+    // global ledger is kept by this monitor (one failover per death, not
+    // one per survivor), so the coordinators run counter-less.
+    for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
+      coordinators_.emplace_back(ring_, g, nullptr);
+    }
+    live_.assign(cluster_.gateways, true);
+    counters_.note_epoch(1);
+  }
+
+  void add_stream(StreamPipeline* pipeline, std::uint32_t gateway,
+                  std::string nic) {
+    streams_.push_back(Stream{.pipeline = pipeline,
+                              .gateway = gateway,
+                              .nic = std::move(nic)});
+  }
+
+  /// Spawns the monitor process. Call once, before sim.run().
+  void launch() { sim_.spawn(run()); }
+
+  [[nodiscard]] FederationCountersSnapshot counters() const {
+    return counters_.snapshot();
+  }
+
+  /// Gateway serving each stream (launch order) as of now / end of run.
+  [[nodiscard]] std::vector<std::uint32_t> stream_gateways() const {
+    std::vector<std::uint32_t> gateways;
+    gateways.reserve(streams_.size());
+    for (const Stream& stream : streams_) {
+      gateways.push_back(stream.gateway);
+    }
+    return gateways;
+  }
+
+ private:
+  struct Stream {
+    StreamPipeline* pipeline = nullptr;
+    std::uint32_t gateway = 0;  ///< ring member currently serving the stream
+    std::string nic;            ///< receiver NIC name (same on every gateway)
+    std::uint64_t sampled_records = 0;  ///< journal records already shipped
+  };
+
+  [[nodiscard]] bool all_accounted() const {
+    return std::all_of(streams_.begin(), streams_.end(), [](const Stream& s) {
+      return s.pipeline->all_chunks_accounted();
+    });
+  }
+
+  /// True once `gateway` has died per the event schedule (it stops
+  /// answering heartbeats from its death instant onward).
+  [[nodiscard]] bool silenced(std::uint32_t gateway, double now) const {
+    return std::any_of(events_.begin(), events_.end(),
+                       [&](const ExperimentOptions::GatewayCrashEvent& e) {
+                         return e.gateway == gateway && e.at_seconds <= now;
+                       });
+  }
+
+  [[nodiscard]] const ExperimentOptions::GatewayCrashEvent* event_for(
+      std::uint32_t gateway) const {
+    for (const auto& event : events_) {
+      if (event.gateway == gateway) {
+        return &event;
+      }
+    }
+    return nullptr;
+  }
+
+  sim::SimProc run() {
+    std::vector<int> ids;
+    ids.reserve(cluster_.gateways);
+    for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
+      ids.push_back(detector_.track("gateway" + std::to_string(g)));
+    }
+    const double window = static_cast<double>(cluster_.heartbeat_ms) / 1000.0;
+    while (!all_accounted()) {
+      co_await sim_.delay(window);
+      const double now = sim_.now();
+      // Heartbeats + synchronous replication for every live gateway.
+      for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
+        if (live_[g] && !silenced(g, now)) {
+          counters_.heartbeats_sent.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      for (Stream& stream : streams_) {
+        const auto snap = stream.pipeline->resume_snapshot();
+        const std::uint64_t total = snap.journal_records_written;
+        const std::uint64_t delta = total - stream.sampled_records;
+        stream.sampled_records = total;
+        if (delta == 0 || silenced(stream.gateway, now)) {
+          continue;
+        }
+        // Ship to the first live gateway after the serving one in the
+        // stream's ring preference (its current standby). None live = ride
+        // bare until one returns.
+        const std::uint32_t standby =
+            standby_for(stream.pipeline->spec().stream_id, stream.gateway, now);
+        if (standby == stream.gateway) {
+          continue;
+        }
+        counters_.repl_records_shipped.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+        counters_.repl_appends_acked.fetch_add(1, std::memory_order_relaxed);
+        counters_.note_repl_lag(delta);
+      }
+      // Failure detection: each window a silenced gateway answers zero of
+      // its buddy's probes; a live one answers all of them.
+      for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
+        if (!live_[g]) {
+          continue;  // already taken over
+        }
+        const bool dead =
+            detector_.observe(ids[g], silenced(g, now) ? 0.0 : 1.0);
+        if (dead) {
+          fail_over(g, now);
+        }
+      }
+    }
+  }
+
+  /// The gateway a stream served by `serving` replicates to: the first live,
+  /// still-heartbeating gateway after `serving` in the stream's preference
+  /// list. Returns `serving` itself when no standby is available.
+  [[nodiscard]] std::uint32_t standby_for(std::uint32_t stream_id,
+                                          std::uint32_t serving,
+                                          double now) const {
+    const std::vector<std::uint32_t> preference = ring_.preference(stream_id);
+    const auto at = std::find(preference.begin(), preference.end(), serving);
+    if (at == preference.end()) {
+      return serving;
+    }
+    for (std::size_t step = 1; step < preference.size(); ++step) {
+      const std::uint32_t candidate =
+          preference[(static_cast<std::size_t>(at - preference.begin()) + step) %
+                     preference.size()];
+      if (live_[candidate] && !silenced(candidate, now)) {
+        return candidate;
+      }
+    }
+    return serving;
+  }
+
+  void fail_over(std::uint32_t victim, double now) {
+    std::vector<std::uint32_t> stream_ids;
+    stream_ids.reserve(streams_.size());
+    for (const Stream& stream : streams_) {
+      stream_ids.push_back(stream.pipeline->spec().stream_id);
+    }
+    const ExperimentOptions::GatewayCrashEvent* event = event_for(victim);
+    const double failover_seconds =
+        event != nullptr ? event->failover_seconds : 0.0;
+    live_[victim] = false;
+    std::uint64_t moved = 0;
+    std::uint64_t epoch = 0;
+    for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
+      // Every surviving coordinator observes the death; the ones that
+      // adopt nothing still bump their epoch (the fence must advance
+      // everywhere, or a re-partitioned victim could still commit).
+      const std::vector<std::uint32_t> adopted =
+          coordinators_[g].plan_takeover(victim, stream_ids);
+      epoch = std::max(epoch, coordinators_[g].epoch());
+      if (g == victim) {
+        continue;
+      }
+      for (const std::uint32_t stream_id : adopted) {
+        for (Stream& stream : streams_) {
+          if (stream.pipeline->spec().stream_id != stream_id ||
+              stream.gateway != victim) {
+            continue;
+          }
+          adopt(stream, g, failover_seconds);
+          ++moved;
+        }
+      }
+    }
+    counters_.failovers.fetch_add(1, std::memory_order_relaxed);
+    counters_.streams_reresolved.fetch_add(moved, std::memory_order_relaxed);
+    counters_.note_epoch(epoch);
+    const double wall =
+        (event != nullptr ? now - event->at_seconds : 0.0) + failover_seconds;
+    counters_.failover_wall_ms.fetch_add(
+        static_cast<std::uint64_t>(std::llround(wall * 1e3)),
+        std::memory_order_relaxed);
+  }
+
+  /// Moves one stream onto `adopter`: re-target the pipeline (replica
+  /// replay + blackout) and migrate its workers onto adopter cores.
+  void adopt(Stream& stream, std::uint32_t adopter, double failover_seconds) {
+    SimHost* host = gateway_hosts_[adopter];
+    const auto resource = host->nic_resource(stream.nic);
+    const auto nic = topo_.find_nic(stream.nic);
+    NS_CHECK(resource.ok() && nic.has_value(),
+             "adopter gateway shares the receiver topology");
+    stream.pipeline->fail_over_receiver(host, resource.value(),
+                                        nic->numa_domain, failover_seconds);
+    const int stream_id = static_cast<int>(stream.pipeline->spec().stream_id);
+    auto receive = gateway_allocs_[adopter]->take_for(
+        receiver_config_, TaskType::kReceive, stream_id);
+    if (receive.ok()) {
+      const std::size_t count = std::min(
+          receive.value().size(), stream.pipeline->spec().receive_workers.size());
+      for (std::size_t i = 0; i < count; ++i) {
+        stream.pipeline->migrate_receive_worker(i, receive.value()[i].core);
+      }
+    }
+    if (compress_) {
+      auto decompress = gateway_allocs_[adopter]->take_for(
+          receiver_config_, TaskType::kDecompress, stream_id);
+      if (decompress.ok()) {
+        const std::size_t count =
+            std::min(decompress.value().size(),
+                     stream.pipeline->spec().decompress_workers.size());
+        for (std::size_t i = 0; i < count; ++i) {
+          stream.pipeline->migrate_decompress_worker(i,
+                                                     decompress.value()[i].core);
+        }
+      }
+    }
+    stream.gateway = adopter;
+  }
+
+  sim::Simulation& sim_;
+  ClusterConfig cluster_;
+  const MachineTopology& topo_;
+  const NodeConfig& receiver_config_;
+  std::vector<SimHost*> gateway_hosts_;
+  std::vector<CoreAllocator*> gateway_allocs_;
+  std::vector<ExperimentOptions::GatewayCrashEvent> events_;
+  bool compress_;
+  cluster::GatewayRing ring_;
+  cluster::PeerFailureDetector detector_;
+  std::vector<cluster::FailoverCoordinator> coordinators_;
+  std::vector<bool> live_;  ///< monitor's global view (coordinators' union)
+  FederationCounters counters_;
+  std::vector<Stream> streams_;
+};
+
 }  // namespace
 
 Result<ExperimentResult> run_experiment(
@@ -302,6 +583,32 @@ Result<ExperimentResult> run_experiment(
   NS_RETURN_IF_ERROR(receiver_config.validate(receiver_topo));
   for (std::size_t i = 0; i < sender_configs.size(); ++i) {
     NS_RETURN_IF_ERROR(sender_configs[i].validate(sender_topos[i]));
+  }
+  const bool clustered = options.cluster.enabled();
+  if (clustered) {
+    if (options.cluster.gateways < 2 || options.cluster.vnodes == 0 ||
+        options.cluster.heartbeat_ms == 0 || options.cluster.miss_windows <= 0) {
+      return invalid_argument_error(
+          "driver: cluster needs gateways >= 2 (a one-gateway ring has no "
+          "buddy), vnodes >= 1, heartbeat_ms >= 1 and miss_windows >= 1");
+    }
+    if (!options.resume) {
+      return invalid_argument_error(
+          "driver: cluster federation requires options.resume (the "
+          "replicated journals are the resume journals)");
+    }
+  }
+  if (!options.gateway_crashes.empty() && !clustered) {
+    return invalid_argument_error(
+        "driver: gateway crash events need options.cluster enabled");
+  }
+  for (const auto& event : options.gateway_crashes) {
+    if (event.gateway >= options.cluster.gateways || event.at_seconds < 0 ||
+        event.failover_seconds < 0) {
+      return invalid_argument_error(
+          "driver: gateway crash event references an unknown gateway or a "
+          "negative time");
+    }
   }
 
   const auto preferred_nic_info = receiver_topo.preferred_nic();
@@ -328,6 +635,19 @@ Result<ExperimentResult> run_experiment(
 
   sim::Simulation sim;
   SimHost receiver(sim, receiver_topo, options.host_params);
+  // Federation: gateway 0 is `receiver`; gateways 1..N-1 are identical
+  // hosts on the same topology. Streams shard across them via the ring.
+  std::vector<std::unique_ptr<SimHost>> extra_gateways;
+  std::vector<SimHost*> gateway_hosts{&receiver};
+  std::optional<cluster::GatewayRing> ring;
+  if (clustered) {
+    ring.emplace(options.cluster.gateways, options.cluster.vnodes);
+    for (std::uint32_t g = 1; g < options.cluster.gateways; ++g) {
+      extra_gateways.push_back(
+          std::make_unique<SimHost>(sim, receiver_topo, options.host_params));
+      gateway_hosts.push_back(extra_gateways.back().get());
+    }
+  }
   std::vector<std::unique_ptr<SimHost>> senders;
   senders.reserve(sender_topos.size());
   for (const auto& topo : sender_topos) {
@@ -340,6 +660,18 @@ Result<ExperimentResult> run_experiment(
   // (the kernel balances the whole machine, not one group at a time).
   OsScheduler receiver_os(receiver_topo, options.os_mode, options.os_seed);
   CoreAllocator receiver_alloc(receiver_topo, receiver_os);
+  // Each extra gateway schedules its own machine (seed offset 9000+g keeps
+  // the sequence disjoint from the sender schedulers' os_seed + 1 + i).
+  std::vector<std::unique_ptr<OsScheduler>> gateway_os;
+  std::vector<std::unique_ptr<CoreAllocator>> gateway_alloc_storage;
+  std::vector<CoreAllocator*> gateway_allocs{&receiver_alloc};
+  for (std::size_t g = 1; g < gateway_hosts.size(); ++g) {
+    gateway_os.push_back(std::make_unique<OsScheduler>(
+        receiver_topo, options.os_mode, options.os_seed + 9000 + g));
+    gateway_alloc_storage.push_back(
+        std::make_unique<CoreAllocator>(receiver_topo, *gateway_os.back()));
+    gateway_allocs.push_back(gateway_alloc_storage.back().get());
+  }
   std::vector<std::unique_ptr<OsScheduler>> sender_os;
   std::vector<std::unique_ptr<CoreAllocator>> sender_alloc;
   for (std::size_t i = 0; i < sender_topos.size(); ++i) {
@@ -353,6 +685,7 @@ Result<ExperimentResult> run_experiment(
   std::vector<StreamPipeline::Spec> specs;
   std::vector<std::unique_ptr<StreamPipeline>> pipelines;
   std::vector<std::string> stream_nics;
+  std::vector<std::uint32_t> stream_gateway;  ///< ring primary per stream
   // Observability: worker ids are stage-major per stream, streams packed in
   // launch order; the running total sizes the tracer's ring set.
   std::uint32_t trace_workers_total = 0;
@@ -379,7 +712,14 @@ Result<ExperimentResult> run_experiment(
     if (!stream_nic_info.ok()) {
       return stream_nic_info.status();
     }
-    auto receiver_nic = receiver.nic_resource(stream_nic_info.value().name);
+    // The ring decides which gateway serves this stream (gateway 0 when
+    // federation is off). Every gateway shares the receiver topology, so
+    // NIC names resolve on whichever host the stream lands on.
+    const std::uint32_t gateway =
+        clustered ? ring->primary(static_cast<std::uint32_t>(stream)) : 0;
+    SimHost& gateway_host = *gateway_hosts[gateway];
+    stream_gateway.push_back(gateway);
+    auto receiver_nic = gateway_host.nic_resource(stream_nic_info.value().name);
     if (!receiver_nic.ok()) {
       return receiver_nic.status();
     }
@@ -390,10 +730,10 @@ Result<ExperimentResult> run_experiment(
         sender_alloc[stream]->take_for(sender_config, TaskType::kCompress, stream_id);
     auto send_workers =
         sender_alloc[stream]->take_for(sender_config, TaskType::kSend, stream_id);
-    auto receive_workers =
-        receiver_alloc.take_for(receiver_config, TaskType::kReceive, stream_id);
-    auto decompress_workers =
-        receiver_alloc.take_for(receiver_config, TaskType::kDecompress, stream_id);
+    auto receive_workers = gateway_allocs[gateway]->take_for(
+        receiver_config, TaskType::kReceive, stream_id);
+    auto decompress_workers = gateway_allocs[gateway]->take_for(
+        receiver_config, TaskType::kDecompress, stream_id);
     for (const auto* result : {&compress_workers, &send_workers, &receive_workers,
                                &decompress_workers}) {
       if (!result->ok()) {
@@ -415,7 +755,7 @@ Result<ExperimentResult> run_experiment(
     spec.chunks = options.chunks_per_stream;
     spec.compress = options.compress;
     spec.sender_host = &sender;
-    spec.receiver_host = &receiver;
+    spec.receiver_host = &gateway_host;
     spec.link = &link;
     spec.sender_nic = sender_nic.value();
     spec.receiver_nic = receiver_nic.value();
@@ -479,7 +819,21 @@ Result<ExperimentResult> run_experiment(
   if (options.health.enabled()) {
     healer.emplace(sim, receiver, receiver_topo, receiver_config, options.health);
     for (std::size_t stream = 0; stream < pipelines.size(); ++stream) {
-      healer->add_stream(pipelines[stream].get(), stream_nics[stream]);
+      // The NIC healer watches gateway 0's hardware; under federation the
+      // other gateways' streams are out of its jurisdiction.
+      if (!clustered || stream_gateway[stream] == 0) {
+        healer->add_stream(pipelines[stream].get(), stream_nics[stream]);
+      }
+    }
+  }
+  std::optional<FederationMonitor> federation;
+  if (clustered) {
+    federation.emplace(sim, options.cluster, receiver_topo, receiver_config,
+                       gateway_hosts, gateway_allocs, options.gateway_crashes,
+                       options.compress);
+    for (std::size_t stream = 0; stream < pipelines.size(); ++stream) {
+      federation->add_stream(pipelines[stream].get(), stream_gateway[stream],
+                             stream_nics[stream]);
     }
   }
   std::optional<CrashInjector> crasher;
@@ -515,6 +869,9 @@ Result<ExperimentResult> run_experiment(
   }
   if (crasher.has_value()) {
     crasher->launch();
+  }
+  if (federation.has_value()) {
+    federation->launch();
   }
   sim.run();
 
@@ -614,6 +971,10 @@ Result<ExperimentResult> run_experiment(
   }
   if (healer.has_value()) {
     result.health = healer->counters();
+  }
+  if (federation.has_value()) {
+    result.federation = federation->counters();
+    result.stream_gateways = federation->stream_gateways();
   }
   if (tracer != nullptr) {
     result.spans = tracer->drain_sorted();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/advisor.h"
+#include "metrics/federation_counters.h"
 #include "metrics/health_counters.h"
 #include "metrics/timeline.h"
 #include "core/config.h"
@@ -85,6 +86,31 @@ struct ExperimentOptions {
   };
   std::vector<CrashEvent> crashes;
 
+  /// Gateway federation (DESIGN.md §12): when `cluster.enabled()`, the
+  /// driver instantiates `cluster.gateways` identical receiver gateways
+  /// (each a SimHost on the receiver topology), shards streams across them
+  /// with the consistent-hash ring, and runs a federation monitor on
+  /// virtual time: every `cluster.heartbeat_ms` each live gateway
+  /// heartbeats its ring buddy and ships that window's journal records over
+  /// the replication link. Requires `resume` (the replicated journals ARE
+  /// the resume journals). Default off — a default ClusterConfig runs the
+  /// single-gateway driver unchanged.
+  ClusterConfig cluster;
+
+  /// One whole-gateway kill on virtual time (needs cluster.enabled()). The
+  /// victim stops answering heartbeats at `at_seconds`; its buddy declares
+  /// it dead after `cluster.miss_windows` starved windows, bumps the
+  /// fencing epoch, adopts the victim's streams via the ring, and replays
+  /// each one's replicated journal through the RESUME machinery after
+  /// `failover_seconds` of per-stream blackout. Deterministic: same
+  /// schedule, bit-identical federation counters.
+  struct GatewayCrashEvent {
+    std::uint32_t gateway = 0;    ///< ring index of the victim
+    double at_seconds = 0;        ///< virtual time the gateway dies
+    double failover_seconds = 0;  ///< handshake + replica-scan blackout
+  };
+  std::vector<GatewayCrashEvent> gateway_crashes;
+
   /// Self-healing (DESIGN.md §9): when enabled, a monitor process samples
   /// per-NIC delivered bytes every window_ms of virtual time, classifies
   /// each NIC through a HealthMonitor, and on NIC failure re-plans the
@@ -142,6 +168,14 @@ struct ExperimentResult {
   /// Wire bytes a journal-less restart-from-zero would have re-sent across
   /// all crashes (the ablation baseline next to resume.rework_bytes).
   double rework_restart_from_zero_bytes = 0;
+  /// Federation ledger (all zero unless ExperimentOptions::cluster is
+  /// enabled). Part of the bit-identity fingerprint of a seeded gateway
+  /// failover run.
+  FederationCountersSnapshot federation;
+  /// Which gateway served each stream at the end of the run (empty unless
+  /// cluster is enabled). A failover scenario asserts the victim's streams
+  /// moved to their ring buddy.
+  std::vector<std::uint32_t> stream_gateways;
 };
 
 /// Runs one experiment: stream i flows from sender_configs[i] (on

@@ -211,6 +211,42 @@ void StreamPipeline::crash_endpoint(bool sender_side, double restart_seconds) {
       std::max(source_ready_time_, sim_.now() + restart_seconds);
 }
 
+void StreamPipeline::fail_over_receiver(SimHost* new_host, int nic_resource,
+                                        int nic_domain,
+                                        double failover_seconds) {
+  NS_CHECK(spec_.resume_enabled,
+           "gateway failover needs Spec::resume_enabled (the journal mirror)");
+  NS_CHECK(new_host != nullptr, "failover needs the buddy gateway host");
+  NS_CHECK(nic_resource >= 0, "failover needs a valid buddy NIC resource");
+  ++crashes_observed_;
+  ++resume_handshakes_;
+  // The buddy scans the *replicated* journal back: the session record plus
+  // every receiver-side record the dead gateway had shipped before dying
+  // (the replication ordering invariant guarantees the replica is a
+  // superset of what the primary had made durable).
+  journal_records_replayed_ += 1 + delivered_records_;
+  recovery_wall_ms_ +=
+      static_cast<std::uint64_t>(std::llround(failover_seconds * 1e3));
+  // Counterfactual: without replication the whole transfer restarts against
+  // a cold gateway — everything sent so far crosses the wire again.
+  restart_from_zero_bytes_ +=
+      static_cast<double>(delivered_set_.size() + unacked_.size()) *
+      wire_chunk_bytes();
+  // The replica ledger survives on the buddy, so the RESUME handshake
+  // replays only the sent-but-unacked window; the ledger suppresses any
+  // replay whose delivery had already committed.
+  replays_.insert(unacked_.begin(), unacked_.end());
+  // Blackout: failure detection + handshake + replica scan.
+  source_ready_time_ =
+      std::max(source_ready_time_, sim_.now() + failover_seconds);
+  // Re-target: workers re-read the spec every chunk, so the chunk in hand
+  // finishes against the dead gateway's model state and the next one lands
+  // on the buddy.
+  spec_.receiver_host = new_host;
+  spec_.receiver_nic = nic_resource;
+  spec_.receiver_nic_domain = nic_domain;
+}
+
 sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
   SimHost& host = *spec_.sender_host;
   while (true) {
@@ -303,7 +339,6 @@ sim::SimProc StreamPipeline::compressor_worker(std::size_t index) {
 
 sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
   SimHost& sender = *spec_.sender_host;
-  SimHost& receiver = *spec_.receiver_host;
   sim::SimQueue<SimChunk>& out = *connection_queues_[connection];
   // Stage-major worker id: send workers follow the compress workers.
   const std::size_t trace_offset =
@@ -311,6 +346,10 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
   while (true) {
     const Worker worker = spec_.send_workers[connection];
     const int core = worker.core;
+    // Re-read the receiver host every chunk: a gateway failover re-targets
+    // it mid-run (fail_over_receiver), and the wire job below must charge
+    // the *current* gateway's NIC and memory.
+    SimHost& receiver = *spec_.receiver_host;
     std::optional<SimChunk> chunk;
     if (spec_.compress) {
       chunk = co_await send_queue_->pop();
@@ -420,7 +459,6 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
 }
 
 sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
-  SimHost& host = *spec_.receiver_host;
   sim::SimQueue<SimChunk>& in = *connection_queues_[connection];
   // Stage-major worker id: receive workers follow compress + send.
   const std::size_t trace_offset =
@@ -436,6 +474,10 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
     }
     const Worker worker = spec_.receive_workers[connection];
     const int core = worker.core;
+    // Re-read the receiver host every chunk: a gateway failover re-targets
+    // it mid-run, and this chunk's packet processing runs on the gateway
+    // that actually received it.
+    SimHost& host = *spec_.receiver_host;
     // Packet processing: read the DMA'd packets (remote if this core is not
     // in the NIC domain - the crux of Observation 1), reassemble into a
     // buffer in the worker's own domain.
@@ -523,7 +565,6 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
 }
 
 sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
-  SimHost& host = *spec_.receiver_host;
   // Stage-major worker id: decompress workers come last (only spawned when
   // compression is on, so all three predecessor stages exist).
   const std::size_t trace_offset = spec_.compress_workers.size() +
@@ -536,6 +577,8 @@ sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
     }
     const Worker worker = spec_.decompress_workers[index];
     const int core = worker.core;
+    // Re-read the receiver host every chunk (gateway failover re-targets it).
+    SimHost& host = *spec_.receiver_host;
     SimHost::StepSpec step;
     step.core = core;
     step.work_bytes = chunk->raw_bytes;

@@ -169,6 +169,21 @@ class StreamPipeline {
   /// simulation, so no synchronization needed.
   void crash_endpoint(bool sender_side, double restart_seconds);
 
+  /// Whole-gateway failover (DESIGN.md §12). The receiver gateway hosting
+  /// this stream died; the consistent-hash ring re-resolved the stream to
+  /// `new_host` (the buddy), which holds a replicated copy of the receiver
+  /// journal. Requires Spec::resume_enabled. Semantically this is
+  /// crash_endpoint(receiver) plus a re-target: the buddy recovers the
+  /// replica ledger (so committed deliveries stay committed), the RESUME
+  /// handshake replays exactly the sent-but-unacked window after
+  /// `failover_seconds` of blackout, and every subsequent chunk rides the
+  /// buddy's NIC onto the buddy's cores. The caller migrates the receive
+  /// and decompress workers onto buddy cores separately
+  /// (migrate_receive_worker / migrate_decompress_worker), exactly like a
+  /// re-plan. Single-threaded simulation — no synchronization needed.
+  void fail_over_receiver(SimHost* new_host, int nic_resource, int nic_domain,
+                          double failover_seconds);
+
   /// True once every produced chunk is accounted for: delivered or shed.
   /// The zero-chunk-loss invariant a recovery scenario asserts.
   [[nodiscard]] bool all_chunks_accounted() const noexcept {

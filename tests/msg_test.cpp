@@ -423,8 +423,8 @@ std::uint64_t fuzz_seed(std::uint64_t fallback) {
 }
 
 // Property test for the NSM1 parser: take a valid multi-frame wire image
-// (every frame type, resume frames included), mutate it with seeded flips,
-// truncations, splices and garbage insertions, then feed it to the decoder
+// (every frame type, resume and REPL frames included), mutate it with seeded
+// flips, truncations, splices and garbage insertions, then feed it to the decoder
 // in random-sized slices. In every mode, next() must only ever yield a clean
 // Status or a message whose body checksum passed — never a crash, hang or UB
 // (the sanitizer job runs this same sweep under ASan + UBSan). The header
@@ -435,13 +435,13 @@ std::uint64_t fuzz_seed(std::uint64_t fallback) {
 TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
   Rng rng(fuzz_seed(0xF0229EEDULL));
   for (int round = 0; round < 300; ++round) {
-    // A valid conversation: data, credit, resume and EOS frames.
+    // A valid conversation: data, credit, resume, REPL and EOS frames.
     std::set<std::uint32_t> original_bodies;  // content hashes
     Bytes wire;
     const std::size_t frame_count = 3 + rng.next_u64() % 6;
     for (std::size_t i = 0; i < frame_count; ++i) {
       Message m;
-      switch (rng.next_u64() % 4) {
+      switch (rng.next_u64() % 5) {
         case 0:
           m.stream_id = static_cast<std::uint32_t>(rng.next_u64() % 4);
           m.sequence = i;
@@ -455,6 +455,19 @@ TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
               rng.next_u64(),
               {{static_cast<std::uint32_t>(rng.next_u64() % 4), rng.next_u64()}});
           break;
+        case 3: {
+          // Gateway replication traffic (cluster/replication): append frames
+          // carry whole journal records, the other kinds are body-less.
+          const auto kind = static_cast<ReplKind>(1 + rng.next_u64() % 4);
+          const Bytes records =
+              kind == ReplKind::kAppend
+                  ? random_body((rng.next_u64() % 4) * kReplRecordSize,
+                                rng.next_u64())
+                  : Bytes();
+          m = Message::repl_frame(kind, rng.next_u64(), 1 + rng.next_u64() % 8,
+                                  i, ByteSpan(records.data(), records.size()));
+          break;
+        }
         default:
           m = Message::end_of_stream_marker(
               static_cast<std::uint32_t>(rng.next_u64() % 4), i);

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -74,6 +75,42 @@ class PatternSource final : public ChunkSource {
   std::uint64_t count_;
   std::size_t size_;
   std::atomic<std::uint64_t> issued_{0};
+};
+
+/// PatternSource with a one-shot gate: yields `gate_at` chunks, then blocks
+/// inside next() until release(). Lets a test park the pipeline at an exact
+/// ingest point (compressors waiting mid-iteration) while it stages the
+/// next fault deterministically instead of racing the chunk flow.
+class GatedPatternSource final : public ChunkSource {
+ public:
+  GatedPatternSource(std::uint32_t stream_id, std::uint64_t count,
+                     std::size_t size, std::uint64_t gate_at)
+      : inner_(stream_id, count, size), gate_at_(gate_at) {}
+
+  std::optional<Chunk> next() override {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return issued_ < gate_at_ || released_; });
+      ++issued_;
+    }
+    return inner_.next();
+  }
+
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  PatternSource inner_;
+  const std::uint64_t gate_at_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t issued_ = 0;
+  bool released_ = false;
 };
 
 /// Records a content hash per (stream, sequence) and counts re-deliveries.
@@ -717,12 +754,14 @@ TEST(ChaosResumeTest, MidDrainSenderCrashSettlesBudgetExactlyOnce) {
 
   // Incarnation #1: budget-gated admission, credit-paced sends, and a
   // bounded drain deadline so the forced teardown cannot hang the test.
+  // The gated source parks ingest halfway so the drain/crash pair below
+  // lands at a deterministic point instead of racing the chunk flow.
+  GatedPatternSource source(1, kChunks, kChunkBytes, /*gate_at=*/kChunks / 2);
   Status sender1_status = Status::ok();
   std::thread sender1_thread([&] {
     SenderJournal journal(sender_media, kSession, &counters);
     const Status recovered = journal.recover();
     NS_CHECK(recovered.is_ok(), "fresh journal must recover");
-    PatternSource source(1, kChunks, kChunkBytes);
     NodeConfig config = resumable_sender();
     config.recovery.retry.max_attempts = 3;  // die fast once crashed
     config.chunk_bytes = kChunkBytes;  // admission sanity check vs the cap
@@ -738,18 +777,26 @@ TEST(ChaosResumeTest, MidDrainSenderCrashSettlesBudgetExactlyOnce) {
     sender1_status = stats.ok() ? Status::ok() : stats.status();
   });
 
+  // Let the gated half of the stream flush completely: once the sink holds
+  // every chunk the gate released, the compressors are parked inside
+  // next() and nothing is racing the fault staging below.
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(20);
-  while (sink.count() < kChunks / 3 &&
+  while (sink.count() < kChunks / 2 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  ASSERT_GE(sink.count(), kChunks / 3) << "transfer never got going";
-  // Mid-drain crash: ingest stops, the flush starts, and the process dies
-  // while queued frames are still in flight.
+  ASSERT_GE(sink.count(), kChunks / 2) << "transfer never got going";
+  // Mid-drain crash, made deterministic: latch the drain and cut the wire
+  // *before* reopening the source. Each woken compressor finishes at most
+  // one more ingest iteration, observes the latch at the top of the next
+  // (counted once via note_drain_request), and the flush of whatever it
+  // queued dies on the crashed connection — ingest stopped, flush started,
+  // process dead while frames are still in flight.
   drain.request();
   injector.trigger_crash(/*restart_delay_micros=*/3600000000ULL);  // no return
   counters.crashes_observed.fetch_add(1, std::memory_order_relaxed);
+  source.release();
   sender1_thread.join();
   EXPECT_FALSE(sender1_status.is_ok());  // drain cut short by the crash
 
