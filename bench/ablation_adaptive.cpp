@@ -19,6 +19,7 @@ using namespace numastream::bench;
 using namespace numastream::simrt;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - adaptive tuning loop (the paper's future work, §6)",
                "observe-analyze-refine converges from config A (~37 Gbps) to "
                "the best region (~90 Gbps) automatically");
@@ -79,5 +80,12 @@ int main() {
               near_factor(last, 90.0, 0.10));
   shape_check("overall gain matches the paper's 2.6x hand-tuned headline",
               near_factor(last / first, 2.6, 0.12));
+
+  JsonWriter json = bench_json("ablation_adaptive", bench_clock.seconds());
+  json.field("converged_gbps", last);
+  json.field("baseline_gbps", first);
+  json.field("gain", last / first);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_ablation_adaptive.json")));
   return finish();
 }

@@ -13,6 +13,7 @@ using namespace numastream::bench;
 using namespace numastream::simrt;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - chunk size vs gateway throughput",
                "(design-choice sensitivity; the paper fixes 11.0592 MB chunks)");
 
@@ -65,5 +66,12 @@ int main() {
   shape_check("4x larger chunks cost only a mild penalty (coarser pipelining "
               "with the same queue depths)",
               largest > reference * 0.85 && largest < reference);
+
+  JsonWriter json = bench_json("ablation_chunk_size", bench_clock.seconds());
+  json.field("reference_e2e_gbps", reference);
+  json.field("smallest_chunk_e2e_gbps", smallest);
+  json.field("largest_chunk_e2e_gbps", largest);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_ablation_chunk_size.json")));
   return finish();
 }

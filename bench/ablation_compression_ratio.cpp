@@ -13,6 +13,7 @@ using namespace numastream::bench;
 using namespace numastream::simrt;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - compression ratio vs gateway throughput",
                "(design-choice sensitivity; the paper's stream compresses 2:1)");
 
@@ -68,5 +69,14 @@ int main() {
   shape_check("higher ratios shift the bottleneck to decompression (e2e stops "
               "growing proportionally)",
               e2e_at_4 < e2e_at_2 * 1.5);
+
+  JsonWriter json =
+      bench_json("ablation_compression_ratio", bench_clock.seconds());
+  json.field("e2e_at_ratio2_gbps", e2e_at_2);
+  json.field("network_at_ratio2_gbps", net_at_2);
+  json.field("network_at_ratio1_gbps", net_at_1);
+  shape_check(
+      "json artifact written",
+      json.write(json_artifact_path("BENCH_ablation_compression_ratio.json")));
   return finish();
 }

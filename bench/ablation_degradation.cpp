@@ -72,6 +72,7 @@ double mean_rate(const RateTimeline& timeline, std::size_t first, std::size_t la
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - NIC failure mid-run: detect, re-plan, migrate",
                "(robustness: self-healing placement recovers >= 90% of the "
                "pre-fault rate with zero chunk loss)");
@@ -176,5 +177,13 @@ int main() {
   identical = identical && again.stream_timelines[victim].rates() == rates;
   shape_check("same seed reproduces counters and curve bit-identically",
               identical);
+
+  JsonWriter json = bench_json("ablation_degradation", bench_clock.seconds());
+  json.field("pre_fault_gbps", pre);
+  json.field("post_heal_gbps", post);
+  json.field("recovery_ratio", pre > 0 ? post / pre : 0.0);
+  json.field("bit_identical_rerun", identical);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_ablation_degradation.json")));
   return finish();
 }

@@ -52,6 +52,7 @@ double run_gateway(const MachineTopology& gateway, bool use_all_nics,
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Extension - multi-NIC gateway scale-out",
                "(the multi-NIC direction of §1; not a paper figure)");
 
@@ -78,5 +79,12 @@ int main() {
   shape_check("end-to-end keeps the 2:1 codec identity on both setups",
               near_factor(single_e2e / single_net, 2.0, 0.001) &&
                   near_factor(dual_e2e / dual_net, 2.0, 0.001));
+
+  JsonWriter json = bench_json("ablation_multinic", bench_clock.seconds());
+  json.field("single_nic_network_gbps", single_net);
+  json.field("dual_nic_network_gbps", dual_net);
+  json.field("dual_nic_e2e_gbps", dual_e2e);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_ablation_multinic.json")));
   return finish();
 }

@@ -46,6 +46,7 @@ double one_thread_gbps(double penalty, int recv_core) {
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - remote-access penalty vs interconnect ceiling",
                "(design-choice sensitivity; not a paper figure)");
 
@@ -79,5 +80,13 @@ int main() {
               near_factor(gap_at_paper, 1.176, 0.02));
   shape_check("the saturated gap persists regardless (interconnect ceiling)",
               n1_sat.receiver_gbps / n0_sat.receiver_gbps > 1.10);
+
+  JsonWriter json = bench_json("ablation_numa_penalty", bench_clock.seconds());
+  json.field("gap_at_paper_penalty", gap_at_paper);
+  json.field("saturated_n0_gbps", n0_sat.receiver_gbps);
+  json.field("saturated_n1_gbps", n1_sat.receiver_gbps);
+  shape_check(
+      "json artifact written",
+      json.write(json_artifact_path("BENCH_ablation_numa_penalty.json")));
   return finish();
 }

@@ -18,6 +18,7 @@ using namespace numastream::bench;
 using namespace numastream::simrt;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - decomposing the runtime-vs-OS gateway win",
                "(design analysis of Fig. 14's 1.48x)");
 
@@ -90,5 +91,13 @@ int main() {
   shape_check("the calibrated random baseline is the worst case (collisions "
               "plus migrations)",
               os_random <= os_balanced && os_random <= os_no_migration);
+
+  JsonWriter json = bench_json("ablation_os_scheduler", bench_clock.seconds());
+  json.field("runtime_e2e_gbps", runtime_e2e);
+  json.field("os_random_e2e_gbps", os_random);
+  json.field("runtime_advantage", runtime_e2e / os_random);
+  shape_check(
+      "json artifact written",
+      json.write(json_artifact_path("BENCH_ablation_os_scheduler.json")));
   return finish();
 }

@@ -62,6 +62,7 @@ Result<ExperimentResult> run_mode(const std::vector<MachineTopology>& senders,
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - overload protection under a throttled receiver",
                "(robustness: credit flow control, memory budget, load shedding)");
 
@@ -171,5 +172,12 @@ int main() {
               budget_peak > 0 && budget_peak <= budget + 1);
   shape_check("load shedding trades deliveries for source liveness",
               shed_dropped > 0 && shed_delivered + shed_dropped == 4 * 120);
+
+  JsonWriter json = bench_json("ablation_overload", bench_clock.seconds());
+  json.field("blocking_delivered_chunks", static_cast<double>(block_delivered));
+  json.field("credit_stalls", static_cast<double>(credit_stall_count));
+  json.field("budget_peak_bytes", static_cast<double>(budget_peak));
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_ablation_overload.json")));
   return finish();
 }

@@ -51,6 +51,7 @@ double compression_gbps(double overhead, int threads,
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Ablation - core oversubscription (context switch) overhead",
                "(design-choice sensitivity behind Observation 2)");
 
@@ -77,5 +78,13 @@ int main() {
   shape_check("calibrated overhead reproduces the paper's 'nearly halved' "
               "single-domain result at 32 threads",
               near_factor(paper_ratio, 0.5, 0.12));
+
+  JsonWriter json =
+      bench_json("ablation_oversubscription", bench_clock.seconds());
+  json.field("free_ratio", free_ratio);
+  json.field("paper_ratio", paper_ratio);
+  shape_check(
+      "json artifact written",
+      json.write(json_artifact_path("BENCH_ablation_oversubscription.json")));
   return finish();
 }

@@ -8,6 +8,7 @@
 // reproduction regression suite.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -151,6 +152,32 @@ inline std::string json_artifact_path(const std::string& file_name) {
     return file_name;
   }
   return std::string(dir) + "/" + file_name;
+}
+
+/// Wall clock for the whole bench process — the elapsed_seconds every
+/// artifact carries, so the CI perf-trajectory job can watch bench runtime
+/// drift alongside the simulated metrics.
+class BenchClock {
+ public:
+  BenchClock() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Starts the common artifact schema every bench shares: {bench,
+/// elapsed_seconds, <headline fields...>}. Callers append their headline
+/// metric(s) and write(json_artifact_path("BENCH_<name>.json")).
+inline JsonWriter bench_json(const std::string& name, double elapsed_seconds) {
+  JsonWriter json;
+  json.field("bench", name);
+  json.field("elapsed_seconds", elapsed_seconds);
+  return json;
 }
 
 }  // namespace numastream::bench

@@ -11,6 +11,7 @@ using namespace numastream;
 using namespace numastream::bench;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Figure 5 - streaming processes vs NUMA domain (200G NIC on NUMA 1)",
                "throughput rises with #p, saturates 190+ Gbps; N1 placement ~15% "
                "above N0");
@@ -53,5 +54,12 @@ int main() {
                   n1_saturated / n0_saturated >= 1.10);
   shape_check("split placement lands between N0 and N1 at saturation",
               split_saturated >= n0_saturated && split_saturated <= n1_saturated * 1.01);
+
+  JsonWriter json = bench_json("fig05_streams_vs_numa", bench_clock.seconds());
+  json.field("numa1_saturated_gbps", n1_saturated);
+  json.field("numa0_saturated_gbps", n0_saturated);
+  json.field("mean_low_p_gain", mean_gain);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_fig05_streams_vs_numa.json")));
   return finish();
 }

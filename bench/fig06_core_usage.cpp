@@ -22,6 +22,7 @@ struct FigConfig {
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Figure 6 - receiver core usage per configuration",
                "usage concentrates on exactly the cores the streaming processes "
                "are pinned to");
@@ -72,5 +73,12 @@ int main() {
   }
   shape_check("16P_16c_N1: activity lives on NUMA 1, none on NUMA 0",
               n1_busy > 4.0 && n0_busy < 0.1);
+
+  JsonWriter json = bench_json("fig06_core_usage", bench_clock.seconds());
+  json.field("numa1_busy_core_seconds", n1_busy);
+  json.field("numa0_busy_core_seconds", n0_busy);
+  json.field("pinned_core0_utilization", pinned_n0.core_utilization[0]);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_fig06_core_usage.json")));
   return finish();
 }

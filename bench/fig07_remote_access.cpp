@@ -12,6 +12,7 @@ using namespace numastream;
 using namespace numastream::bench;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Figure 7 - normalized remote memory access per core",
                "remote access concentrates on NUMA 0 receive cores; NUMA 1 "
                "placement shows none");
@@ -67,5 +68,12 @@ int main() {
               n1_config_remote_total < 0.01);
   shape_check("split placement: remote access only on the N0 half",
               split_remote_n0 > 6.0 && split_remote_n1 < 0.01);
+
+  JsonWriter json = bench_json("fig07_remote_access", bench_clock.seconds());
+  json.field("n0_remote_sum", n0_config_remote_on_n0_cores);
+  json.field("n1_remote_sum", n1_config_remote_total);
+  json.field("split_remote_n0_sum", split_remote_n0);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_fig07_remote_access.json")));
   return finish();
 }

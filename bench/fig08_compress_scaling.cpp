@@ -14,6 +14,7 @@ using namespace numastream;
 using namespace numastream::bench;
 
 int main() {
+  const BenchClock bench_clock;
   print_header(
       "Figure 8a / Table 1 - compression throughput vs threads (configs A-H)",
       "linear scaling up to the domain's core count; A-D stall at 16 cores "
@@ -91,5 +92,12 @@ int main() {
                   near_factor(at('D', 64) / at('H', 64), 0.5, 0.25));
   shape_check("OS-managed G tracks split E",
               near_factor(at('G', 32) / at('E', 32), 1.0, 0.05));
+
+  JsonWriter json = bench_json("fig08_compress_scaling", bench_clock.seconds());
+  json.field("split_e_32t_gbps", at('E', 32));
+  json.field("single_a_32t_gbps", at('A', 32));
+  json.field("a_8t_gbps", at('A', 8));
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_fig08_compress_scaling.json")));
   return finish();
 }

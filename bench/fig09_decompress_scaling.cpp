@@ -13,6 +13,7 @@ using namespace numastream;
 using namespace numastream::bench;
 
 int main() {
+  const BenchClock bench_clock;
   print_header(
       "Figure 9a - decompression throughput vs threads (configs A-H)",
       "~3x compression speed; E/F pull ahead at 16 threads via cross-domain "
@@ -79,5 +80,14 @@ int main() {
               at('E', 16) > at('A', 16) * 1.05 && at('F', 16) > at('D', 16) * 1.05);
   shape_check("memory domain alone does not matter (A vs C, 16 threads)",
               near_factor(at('A', 16) / at('C', 16), 1.0, 0.03));
+
+  JsonWriter json =
+      bench_json("fig09_decompress_scaling", bench_clock.seconds());
+  json.field("a_8t_gbps", at('A', 8));
+  json.field("split_e_16t_gbps", at('E', 16));
+  json.field("decompress_vs_compress_8t", at('A', 8) / compress_8);
+  shape_check(
+      "json artifact written",
+      json.write(json_artifact_path("BENCH_fig09_decompress_scaling.json")));
   return finish();
 }

@@ -47,6 +47,7 @@ NodeConfig receiver_config(ExecutionDomainPolicy receiver_policy, int threads) {
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Figure 11 / Table 2 - network throughput vs S/R threads",
                "B and D (receivers on NUMA 1) ~15% ahead at 1-3 threads; all "
                "configurations converge at 4+ threads near the 100G NIC limit");
@@ -110,5 +111,12 @@ int main() {
   shape_check("pinned configurations hold ~96 Gbps through 8 threads; the OS "
               "configuration stays within ~15% (placement collisions)",
               at('D', 8) > 90.0 && at('E', 8) > at('D', 8) * 0.85);
+
+  JsonWriter json = bench_json("fig11_network_threads", bench_clock.seconds());
+  json.field("saturated_d_4t_gbps", at('D', 4));
+  json.field("b_1t_gbps", at('B', 1));
+  json.field("numa1_1t_gain", at('B', 1) / at('A', 1));
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_fig11_network_threads.json")));
   return finish();
 }

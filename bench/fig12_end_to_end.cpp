@@ -73,6 +73,7 @@ ExperimentResult run_one(const ThreadCountConfig& table_config,
 }  // namespace
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Figure 12 / Table 3 - single-stream end-to-end throughput",
                "A/B flat ~37 Gbps (compression-bound); F/G with 8 S/R threads "
                "and NUMA 1 receivers reach ~97 Gbps = 2.6x baseline");
@@ -159,5 +160,13 @@ int main() {
   shape_check("receive p99 is no better with NUMA 0 receivers (remote packet "
               "reads lengthen the tail)",
               lat0.receive.p99_ns >= lat1.receive.p99_ns);
+
+  JsonWriter json = bench_json("fig12_end_to_end", bench_clock.seconds());
+  json.field("best_g_8t_gbps", at('G', 8, 1));
+  json.field("baseline_a_8t_gbps", at('A', 8, 1));
+  json.field("headline_gain", at('G', 8, 1) / at('A', 8, 1));
+  json.field("receive_p99_ns_numa1", lat1.receive.p99_ns);
+  shape_check("json artifact written",
+              json.write(json_artifact_path("BENCH_fig12_end_to_end.json")));
   return finish();
 }

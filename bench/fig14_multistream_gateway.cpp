@@ -16,6 +16,7 @@ using namespace numastream::bench;
 using namespace numastream::simrt;
 
 int main() {
+  const BenchClock bench_clock;
   print_header("Figure 14 - four-stream gateway: runtime vs OS placement",
                "runtime 105.41 net / 212.95 e2e Gbps vs OS 70.98 / 143.3 "
                "(1.48x); e2e = 2x network");
@@ -116,5 +117,14 @@ int main() {
       *std::max_element(runtime.per_stream_e2e.begin(), runtime.per_stream_e2e.end());
   shape_check("runtime shares the gateway evenly across the four streams",
               max_stream / min_stream < 1.05);
+
+  JsonWriter json =
+      bench_json("fig14_multistream_gateway", bench_clock.seconds());
+  json.field("runtime_e2e_gbps", runtime.e2e);
+  json.field("os_e2e_gbps", os.e2e);
+  json.field("improvement_factor", runtime.e2e / os.e2e);
+  shape_check(
+      "json artifact written",
+      json.write(json_artifact_path("BENCH_fig14_multistream_gateway.json")));
   return finish();
 }

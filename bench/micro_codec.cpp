@@ -4,6 +4,7 @@
 // the figure benches use the calibrated simulator instead.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "codec/codec.h"
 #include "codec/frame.h"
 #include "codec/lz4.h"
@@ -140,4 +141,22 @@ BENCHMARK(BM_FrameRoundTrip);
 }  // namespace
 }  // namespace numastream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const numastream::bench::BenchClock bench_clock;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  const std::size_t benchmarks_run = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  numastream::bench::JsonWriter json =
+      numastream::bench::bench_json("micro_codec", bench_clock.seconds());
+  json.field("benchmarks_run", static_cast<double>(benchmarks_run));
+  if (!json.write(numastream::bench::json_artifact_path(
+          "BENCH_micro_codec.json"))) {
+    std::fprintf(stderr, "failed to write BENCH_micro_codec.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "bench/bench_util.h"
 #include "concurrency/bounded_queue.h"
 #include "concurrency/spsc_ring.h"
 
@@ -69,4 +70,22 @@ BENCHMARK(BM_BoundedQueueCrossThread);
 }  // namespace
 }  // namespace numastream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const numastream::bench::BenchClock bench_clock;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  const std::size_t benchmarks_run = benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  numastream::bench::JsonWriter json =
+      numastream::bench::bench_json("micro_queue", bench_clock.seconds());
+  json.field("benchmarks_run", static_cast<double>(benchmarks_run));
+  if (!json.write(numastream::bench::json_artifact_path(
+          "BENCH_micro_queue.json"))) {
+    std::fprintf(stderr, "failed to write BENCH_micro_queue.json\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Warn-only diff of two directories of BENCH_<name>.json bench artifacts.
+
+    scripts/bench_diff.py <previous-dir> <current-dir> [--threshold PCT]
+
+Compares every numeric field of every BENCH_*.json present in either
+directory and prints a per-metric delta table. Metrics that moved by more
+than the threshold (default 10%) are flagged WARN; benches present on only
+one side are flagged NEW/GONE. The exit code is always 0: the bench numbers
+come from a calibrated simulator whose absolute values shift whenever the
+model is deliberately retuned, so this is a trajectory record for humans,
+not a merge gate.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def flatten(obj, prefix=""):
+    """Yield (dotted-key, value) for every numeric leaf of a JSON object."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from flatten(value, f"{prefix}{key}." if prefix else f"{key}.")
+    elif isinstance(obj, bool):
+        yield prefix.rstrip("."), float(obj)
+    elif isinstance(obj, (int, float)):
+        yield prefix.rstrip("."), float(obj)
+
+
+def load(directory):
+    artifacts = {}
+    for path in sorted(pathlib.Path(directory).glob("BENCH_*.json")):
+        try:
+            artifacts[path.stem] = dict(flatten(json.loads(path.read_text())))
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"WARN {path}: unreadable ({err})")
+    return artifacts
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="warn when a metric moves more than PCT percent")
+    args = parser.parse_args()
+
+    if not pathlib.Path(args.previous).is_dir():
+        print(f"no previous artifacts at {args.previous}; nothing to diff "
+              "(first run on this branch)")
+        return 0
+    prev = load(args.previous)
+    curr = load(args.current)
+
+    warnings = 0
+    for bench in sorted(set(prev) | set(curr)):
+        if bench not in prev:
+            print(f"NEW  {bench}")
+            continue
+        if bench not in curr:
+            print(f"GONE {bench}")
+            warnings += 1
+            continue
+        for metric in sorted(set(prev[bench]) | set(curr[bench])):
+            # elapsed_seconds is wall time of the run machine: too noisy to
+            # compare across CI hosts.
+            if metric in ("elapsed_seconds",):
+                continue
+            before = prev[bench].get(metric)
+            after = curr[bench].get(metric)
+            if before is None or after is None:
+                print(f"WARN {bench}.{metric}: "
+                      f"{'added' if before is None else 'removed'}")
+                warnings += 1
+                continue
+            if before == after:
+                continue
+            pct = 100.0 * (after - before) / abs(before) if before else float("inf")
+            line = f"{bench}.{metric}: {before:g} -> {after:g} ({pct:+.1f}%)"
+            if abs(pct) > args.threshold:
+                print(f"WARN {line}")
+                warnings += 1
+            else:
+                print(f"     {line}")
+
+    print(f"\n{warnings} warning(s); warn-only, exiting 0")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Runs the figure-12 end-to-end bench plus every ablation bench and collects
+# their machine-readable BENCH_<name>.json artifacts into one directory.
+#
+#   scripts/run_bench_suite.sh [build-dir] [out-dir]
+#
+# Each bench self-checks its shape assertions and exits non-zero on any red
+# check, so this script doubles as a correctness gate; the JSON artifacts are
+# the perf-trajectory record that CI diffs warn-only between runs
+# (scripts/bench_diff.py).
+set -euo pipefail
+
+build_dir=${1:-build}
+out_dir=${2:-bench-json}
+
+benches=(
+  fig12_end_to_end
+  ablation_adaptive
+  ablation_chunk_size
+  ablation_compression_ratio
+  ablation_crash_resume
+  ablation_degradation
+  ablation_gateway_failover
+  ablation_gateway_rebalance
+  ablation_multinic
+  ablation_numa_penalty
+  ablation_os_scheduler
+  ablation_overload
+  ablation_oversubscription
+)
+
+mkdir -p "$out_dir"
+for bench in "${benches[@]}"; do
+  echo "=== $bench ==="
+  NUMASTREAM_BENCH_JSON_DIR=$out_dir "$build_dir/bench/$bench"
+done
+
+missing=0
+for bench in "${benches[@]}"; do
+  if [[ ! -f "$out_dir/BENCH_$bench.json" ]]; then
+    echo "missing artifact: $out_dir/BENCH_$bench.json" >&2
+    missing=1
+  fi
+done
+exit $missing

@@ -23,31 +23,86 @@ HealthConfig detector_config(const ClusterConfig& cluster) {
 
 }  // namespace
 
+std::string to_string(PeerHealth health) {
+  switch (health) {
+    case PeerHealth::kHealthy:
+      return "healthy";
+    case PeerHealth::kDegraded:
+      return "degraded";
+    case PeerHealth::kDead:
+      return "dead";
+  }
+  return "?";
+}
+
 PeerFailureDetector::PeerFailureDetector(const ClusterConfig& config,
                                          FederationCounters* counters)
-    : monitor_(detector_config(config)), counters_(counters) {
+    : monitor_(detector_config(config)),
+      // The latency channel shares the liveness knobs: responsiveness is
+      // already normalized (1.0 = nominal), so the first window seeds the
+      // baseline and the degraded/failed ratios apply directly to the score.
+      latency_monitor_(detector_config(config)),
+      counters_(counters) {
   NS_CHECK(config.enabled(), "PeerFailureDetector needs cluster enabled");
 }
 
 int PeerFailureDetector::track(std::string name) {
-  const int id = monitor_.track(std::move(name));
+  const int id = monitor_.track(name);
+  const int latency_id = latency_monitor_.track(std::move(name));
+  NS_CHECK(id == latency_id, "liveness and latency channels must agree on ids");
   was_dead_.push_back(false);
+  was_degraded_.push_back(false);
   return id;
 }
 
 bool PeerFailureDetector::observe(int id, double heartbeats) {
-  const bool is_dead = monitor_.observe(id, heartbeats) == HealthState::kFailed;
-  if (is_dead && !was_dead_[static_cast<std::size_t>(id)] &&
-      counters_ != nullptr) {
-    counters_->peer_failures_detected.fetch_add(1, std::memory_order_relaxed);
+  return observe_window(id, heartbeats, 1.0) == PeerHealth::kDead;
+}
+
+PeerHealth PeerFailureDetector::observe_window(int id, double heartbeats,
+                                               double responsiveness) {
+  monitor_.observe(id, heartbeats);
+  latency_monitor_.observe(id, responsiveness);
+  const PeerHealth verdict = classify(id);
+  const auto slot = static_cast<std::size_t>(id);
+  const bool is_dead = verdict == PeerHealth::kDead;
+  const bool is_degraded = verdict == PeerHealth::kDegraded;
+  if (counters_ != nullptr) {
+    if (is_dead && !was_dead_[slot]) {
+      counters_->peer_failures_detected.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (is_degraded && !was_degraded_[slot]) {
+      counters_->degraded_peers_detected.fetch_add(1,
+                                                   std::memory_order_relaxed);
+    }
   }
-  was_dead_[static_cast<std::size_t>(id)] = is_dead;
-  return is_dead;
+  was_dead_[slot] = is_dead;
+  was_degraded_[slot] = is_degraded;
+  return verdict;
+}
+
+PeerHealth PeerFailureDetector::classify(int id) const {
+  // Dead wins: a peer whose heartbeats starved is gone no matter what the
+  // latency channel last saw. Degraded needs liveness intact — it is the
+  // "alive but slow" verdict, the one crash failover must NOT act on.
+  if (monitor_.state(id) == HealthState::kFailed) {
+    return PeerHealth::kDead;
+  }
+  if (latency_monitor_.state(id) != HealthState::kHealthy) {
+    return PeerHealth::kDegraded;
+  }
+  return PeerHealth::kHealthy;
 }
 
 bool PeerFailureDetector::dead(int id) const {
-  return monitor_.state(id) == HealthState::kFailed;
+  return classify(id) == PeerHealth::kDead;
 }
+
+bool PeerFailureDetector::degraded(int id) const {
+  return classify(id) == PeerHealth::kDegraded;
+}
+
+PeerHealth PeerFailureDetector::health(int id) const { return classify(id); }
 
 FailoverCoordinator::FailoverCoordinator(GatewayRing ring, std::uint32_t self,
                                          FederationCounters* counters)
@@ -79,7 +134,21 @@ void FailoverCoordinator::mark_live(std::uint32_t gateway) {
 
 Result<std::uint32_t> FailoverCoordinator::resolve(
     std::uint32_t stream_id) const {
-  return ring_.resolve(stream_id, live_);
+  return resolve_view(stream_id, live_);
+}
+
+Result<std::uint32_t> FailoverCoordinator::resolve_view(
+    std::uint32_t stream_id, const std::vector<bool>& live) const {
+  for (std::size_t i = pinned_streams_.size(); i-- > 0;) {
+    if (pinned_streams_[i] == stream_id) {
+      const std::uint32_t owner = pinned_owners_[i];
+      if (owner < live.size() && live[owner]) {
+        return owner;
+      }
+      break;  // pinned owner is dead: fall back to the ring
+    }
+  }
+  return ring_.resolve(stream_id, live);
 }
 
 std::vector<std::uint32_t> FailoverCoordinator::plan_takeover(
@@ -91,8 +160,8 @@ std::vector<std::uint32_t> FailoverCoordinator::plan_takeover(
   const std::vector<bool> before = live_;
   mark_dead(victim);
   for (const std::uint32_t stream : streams) {
-    auto was = ring_.resolve(stream, before);
-    auto now = ring_.resolve(stream, live_);
+    auto was = resolve_view(stream, before);
+    auto now = resolve_view(stream, live_);
     if (was.ok() && was.value() == victim && now.ok() &&
         now.value() == self_) {
       adopted.push_back(stream);
@@ -108,6 +177,18 @@ std::vector<std::uint32_t> FailoverCoordinator::plan_takeover(
     counters_->note_epoch(epoch_);
   }
   return adopted;
+}
+
+std::uint64_t FailoverCoordinator::note_handoff(std::uint32_t stream_id,
+                                                std::uint32_t target) {
+  NS_CHECK(target < ring_.gateways(), "handoff target must be a ring member");
+  pinned_streams_.push_back(stream_id);
+  pinned_owners_.push_back(target);
+  ++epoch_;
+  if (counters_ != nullptr) {
+    counters_->note_epoch(epoch_);
+  }
+  return epoch_;
 }
 
 }  // namespace cluster

@@ -21,11 +21,14 @@
 //   resume session=<n> [ack_interval=<n>]
 //   cluster gateways=<n> self=<i> [vnodes=<n>] [heartbeat_ms=<n>]
 //           [miss_windows=<n>]
+//   rebalance window_ms=<n> [imbalance_ratio=<f>] [hysteresis_windows=<n>]
+//             [cooldown_windows=<n>] [max_concurrent=<n>]
+//             [drain_degraded=on|off]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
-// `recovery`, `overload`, `health`, `observe`, `resume` and `cluster` may
-// each appear at most once; a duplicate is a parse error (silent last-wins
-// hid config merge mistakes).
+// `recovery`, `overload`, `health`, `observe`, `resume`, `cluster` and
+// `rebalance` may each appear at most once; a duplicate is a parse error
+// (silent last-wins hid config merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -283,6 +286,31 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
           "journals are the resume journals)");
     }
   }
+  if (rebalance.enabled()) {
+    if (rebalance.window_ms == 0) {
+      return invalid_argument_error(
+          "config: rebalance needs window_ms > 0 (the load-observation "
+          "window)");
+    }
+    if (rebalance.imbalance_ratio <= 1.0) {
+      return invalid_argument_error(
+          "config: rebalance imbalance_ratio must be > 1 (a threshold at or "
+          "below the mean would always fire)");
+    }
+    if (rebalance.hysteresis_windows <= 0 || rebalance.cooldown_windows <= 0) {
+      return invalid_argument_error(
+          "config: rebalance window counts must be positive");
+    }
+    if (rebalance.max_concurrent <= 0) {
+      return invalid_argument_error(
+          "config: rebalance max_concurrent must be positive");
+    }
+    if (!cluster.enabled()) {
+      return invalid_argument_error(
+          "config: rebalance requires a cluster (handoffs move streams "
+          "between federated gateways)");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -384,6 +412,17 @@ std::string NodeConfig::serialize() const {
         << " heartbeat_ms=" << cluster.heartbeat_ms
         << " miss_windows=" << cluster.miss_windows << "\n";
   }
+  if (!rebalance.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so failure-only federation configs round-trip byte-identically.
+    out << "rebalance window_ms=" << rebalance.window_ms
+        << " imbalance_ratio=" << rebalance.imbalance_ratio
+        << " hysteresis_windows=" << rebalance.hysteresis_windows
+        << " cooldown_windows=" << rebalance.cooldown_windows
+        << " max_concurrent=" << rebalance.max_concurrent
+        << " drain_degraded=" << (rebalance.drain_degraded ? "on" : "off")
+        << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -408,6 +447,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_observe = false;
   bool saw_resume = false;
   bool saw_cluster = false;
+  bool saw_rebalance = false;
 
   std::istringstream in(text);
   std::string line;
@@ -714,6 +754,46 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             config.cluster.heartbeat_ms = std::stoull(value);
           } else if (key == "miss_windows") {
             config.cluster.miss_windows = std::stoi(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "rebalance") {
+      if (saw_rebalance) {
+        return fail("duplicate 'rebalance' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_rebalance = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "window_ms") {
+            config.rebalance.window_ms = std::stoull(value);
+          } else if (key == "imbalance_ratio") {
+            config.rebalance.imbalance_ratio = std::stod(value);
+          } else if (key == "hysteresis_windows") {
+            config.rebalance.hysteresis_windows = std::stoi(value);
+          } else if (key == "cooldown_windows") {
+            config.rebalance.cooldown_windows = std::stoi(value);
+          } else if (key == "max_concurrent") {
+            config.rebalance.max_concurrent = std::stoi(value);
+          } else if (key == "drain_degraded") {
+            if (value == "on") {
+              config.rebalance.drain_degraded = true;
+            } else if (value == "off") {
+              config.rebalance.drain_degraded = false;
+            } else {
+              return fail("bad drain_degraded '" + value + "' (want on|off)");
+            }
           } else {
             return fail("unknown attribute '" + key + "'");
           }

@@ -248,6 +248,42 @@ struct ClusterConfig {
   friend bool operator==(const ClusterConfig&, const ClusterConfig&) = default;
 };
 
+/// Load-driven rebalancing policy for a federated gateway (DESIGN.md §13).
+/// Everything defaults to off, matching failure-only federation behavior
+/// byte for byte: no load windows, no HANDOFF frames on the wire, streams
+/// move only when a gateway dies. Turning it on means setting `window_ms`
+/// (the load-observation window); the controller then watches per-gateway
+/// load gauges and plans lossless handoffs off hot or degraded gateways.
+struct RebalanceConfig {
+  /// Load-observation window in milliseconds (virtual time in simulation,
+  /// wall time on a real pipeline). 0 disables the whole subsystem.
+  std::uint64_t window_ms = 0;
+  /// A handoff is considered when the hottest gateway's load exceeds the
+  /// cluster mean by this factor. Must be > 1.
+  double imbalance_ratio = 1.5;
+  /// Consecutive over-threshold windows before a handoff engages, and
+  /// consecutive calm windows before the controller re-arms (hysteresis
+  /// against transient spikes). Must be >= 1.
+  int hysteresis_windows = 2;
+  /// Windows after a triggered handoff during which no further handoff may
+  /// start (migration-storm guard). Must be >= 1.
+  int cooldown_windows = 5;
+  /// Handoffs allowed in flight at once across the cluster. Must be >= 1.
+  int max_concurrent = 1;
+  /// Also drain streams off a peer classified *degraded* (gray failure),
+  /// not just off an overloaded-but-healthy one.
+  bool drain_degraded = true;
+
+  [[nodiscard]] bool is_default() const { return *this == RebalanceConfig{}; }
+
+  /// Rebalancing is on iff any knob moved; the absent directive keeps the
+  /// wire and the federation bit-identical to the failure-only runtime.
+  [[nodiscard]] bool enabled() const { return !is_default(); }
+
+  friend bool operator==(const RebalanceConfig&,
+                         const RebalanceConfig&) = default;
+};
+
 struct NodeConfig {
   std::string node_name;
   NodeRole role = NodeRole::kSender;
@@ -260,6 +296,7 @@ struct NodeConfig {
   ObserveConfig observe;
   ResumeConfig resume;
   ClusterConfig cluster;
+  RebalanceConfig rebalance;
   std::vector<TaskGroupConfig> tasks;
 
   /// Total threads of one task type across all groups (optionally filtered

@@ -20,12 +20,21 @@ constexpr NamedCounter kCounters[] = {
     {"heartbeats_sent", &FederationCountersSnapshot::heartbeats_sent},
     {"peer_failures_detected",
      &FederationCountersSnapshot::peer_failures_detected},
+    {"degraded_peers_detected",
+     &FederationCountersSnapshot::degraded_peers_detected},
     {"failovers", &FederationCountersSnapshot::failovers},
     {"streams_reresolved", &FederationCountersSnapshot::streams_reresolved},
     {"failover_wall_ms", &FederationCountersSnapshot::failover_wall_ms},
     {"epoch", &FederationCountersSnapshot::epoch},
     {"fenced_appends_rejected",
      &FederationCountersSnapshot::fenced_appends_rejected},
+    {"rebalance_triggers", &FederationCountersSnapshot::rebalance_triggers},
+    {"handoffs_planned", &FederationCountersSnapshot::handoffs_planned},
+    {"handoffs_completed", &FederationCountersSnapshot::handoffs_completed},
+    {"handoffs_aborted", &FederationCountersSnapshot::handoffs_aborted},
+    {"handoff_streams_moved",
+     &FederationCountersSnapshot::handoff_streams_moved},
+    {"handoff_wall_ms", &FederationCountersSnapshot::handoff_wall_ms},
 };
 
 }  // namespace
@@ -72,12 +81,21 @@ FederationCountersSnapshot FederationCounters::snapshot() const {
   s.heartbeats_sent = heartbeats_sent.load(std::memory_order_relaxed);
   s.peer_failures_detected =
       peer_failures_detected.load(std::memory_order_relaxed);
+  s.degraded_peers_detected =
+      degraded_peers_detected.load(std::memory_order_relaxed);
   s.failovers = failovers.load(std::memory_order_relaxed);
   s.streams_reresolved = streams_reresolved.load(std::memory_order_relaxed);
   s.failover_wall_ms = failover_wall_ms.load(std::memory_order_relaxed);
   s.epoch = epoch.load(std::memory_order_relaxed);
   s.fenced_appends_rejected =
       fenced_appends_rejected.load(std::memory_order_relaxed);
+  s.rebalance_triggers = rebalance_triggers.load(std::memory_order_relaxed);
+  s.handoffs_planned = handoffs_planned.load(std::memory_order_relaxed);
+  s.handoffs_completed = handoffs_completed.load(std::memory_order_relaxed);
+  s.handoffs_aborted = handoffs_aborted.load(std::memory_order_relaxed);
+  s.handoff_streams_moved =
+      handoff_streams_moved.load(std::memory_order_relaxed);
+  s.handoff_wall_ms = handoff_wall_ms.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -32,6 +32,7 @@ struct FederationCountersSnapshot {
   // Liveness.
   std::uint64_t heartbeats_sent = 0;      ///< probes emitted toward peers
   std::uint64_t peer_failures_detected = 0;  ///< detector breaches latched
+  std::uint64_t degraded_peers_detected = 0;  ///< gray-failure episodes latched
 
   // Failover orchestration.
   std::uint64_t failovers = 0;            ///< whole-gateway takeovers
@@ -41,6 +42,14 @@ struct FederationCountersSnapshot {
 
   // The fence.
   std::uint64_t fenced_appends_rejected = 0;  ///< stale-epoch writes refused
+
+  // Planned handoffs (load-driven rebalancing, DESIGN.md §13).
+  std::uint64_t rebalance_triggers = 0;    ///< controller decided to move load
+  std::uint64_t handoffs_planned = 0;      ///< three-phase transfers started
+  std::uint64_t handoffs_completed = 0;    ///< transfers committed (fence up)
+  std::uint64_t handoffs_aborted = 0;      ///< transfers abandoned mid-flight
+  std::uint64_t handoff_streams_moved = 0; ///< streams re-homed by handoff
+  std::uint64_t handoff_wall_ms = 0;       ///< freeze-to-resumed-delivery
 
   friend bool operator==(const FederationCountersSnapshot&,
                          const FederationCountersSnapshot&) = default;
@@ -60,6 +69,7 @@ class FederationCounters {
 
   std::atomic<std::uint64_t> heartbeats_sent{0};
   std::atomic<std::uint64_t> peer_failures_detected{0};
+  std::atomic<std::uint64_t> degraded_peers_detected{0};
 
   std::atomic<std::uint64_t> failovers{0};
   std::atomic<std::uint64_t> streams_reresolved{0};
@@ -67,6 +77,13 @@ class FederationCounters {
   std::atomic<std::uint64_t> epoch{0};
 
   std::atomic<std::uint64_t> fenced_appends_rejected{0};
+
+  std::atomic<std::uint64_t> rebalance_triggers{0};
+  std::atomic<std::uint64_t> handoffs_planned{0};
+  std::atomic<std::uint64_t> handoffs_completed{0};
+  std::atomic<std::uint64_t> handoffs_aborted{0};
+  std::atomic<std::uint64_t> handoff_streams_moved{0};
+  std::atomic<std::uint64_t> handoff_wall_ms{0};
 
   /// Raises `repl_lag_records_max` to `lag` if it is higher than the
   /// current peak (monotone max, not a sum).

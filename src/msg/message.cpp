@@ -20,7 +20,8 @@ Bytes encode_message(const Message& message) {
       (message.end_of_stream ? kMessageFlagEndOfStream : 0) |
       (message.credit ? kMessageFlagCredit : 0) |
       (message.resume ? kMessageFlagResume : 0) |
-      (message.repl ? kMessageFlagRepl : 0)));
+      (message.repl ? kMessageFlagRepl : 0) |
+      (message.handoff ? kMessageFlagHandoff : 0)));
   w.u16(0);
   w.u64(message.body.size());
   w.u32(xxhash32(message.body));
@@ -60,6 +61,25 @@ Message Message::repl_frame(ReplKind kind, std::uint64_t session_id,
   w.u64(epoch);
   w.u32(static_cast<std::uint32_t>(records.size() / kReplRecordSize));
   w.raw(records);
+  return m;
+}
+
+Message Message::handoff_frame(const HandoffInfo& info,
+                               std::uint64_t handoff_sequence) {
+  Message m;
+  m.handoff = true;
+  m.sequence = handoff_sequence;
+  m.body.reserve(kHandoffBodySize);
+  ByteWriter w(m.body);
+  w.u32(static_cast<std::uint32_t>(info.phase));
+  w.u64(info.session_id);
+  w.u64(info.epoch);
+  w.u32(info.stream_id);
+  w.u32(info.source_gateway);
+  w.u32(info.target_gateway);
+  w.u64(info.watermark);
+  NS_CHECK(m.body.size() == kHandoffBodySize,
+           "handoff frame body must be exactly kHandoffBodySize");
   return m;
 }
 
@@ -107,6 +127,32 @@ Result<ReplInfo> parse_repl_body(ByteSpan body) {
     return invalid_argument_error("repl frame: records on a non-append frame");
   }
   info.records.assign(body.begin() + kReplBodyPrefix, body.end());
+  return info;
+}
+
+Result<HandoffInfo> parse_handoff_body(ByteSpan body) {
+  if (body.size() != kHandoffBodySize) {
+    return invalid_argument_error(
+        "handoff frame: body must be exactly " +
+        std::to_string(kHandoffBodySize) + " bytes, got " +
+        std::to_string(body.size()));
+  }
+  ByteReader r(body);
+  HandoffInfo info;
+  std::uint32_t phase = 0;
+  NS_RETURN_IF_ERROR(r.u32(phase));
+  if (phase < static_cast<std::uint32_t>(HandoffPhase::kPrepare) ||
+      phase > static_cast<std::uint32_t>(HandoffPhase::kAbort)) {
+    return invalid_argument_error("handoff frame: unknown phase " +
+                                  std::to_string(phase));
+  }
+  info.phase = static_cast<HandoffPhase>(phase);
+  NS_RETURN_IF_ERROR(r.u64(info.session_id));
+  NS_RETURN_IF_ERROR(r.u64(info.epoch));
+  NS_RETURN_IF_ERROR(r.u32(info.stream_id));
+  NS_RETURN_IF_ERROR(r.u32(info.source_gateway));
+  NS_RETURN_IF_ERROR(r.u32(info.target_gateway));
+  NS_RETURN_IF_ERROR(r.u64(info.watermark));
   return info;
 }
 
@@ -170,7 +216,7 @@ Result<Message> MessageDecoder::next() {
     }
     if ((flags & kMessageFlagResume) != 0) {
       if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
-                    kMessageFlagRepl)) != 0) {
+                    kMessageFlagRepl | kMessageFlagHandoff)) != 0) {
         if (auto st = corruption("message: resume frame with conflicting flags")) {
           return *st;
         }
@@ -184,7 +230,8 @@ Result<Message> MessageDecoder::next() {
       }
     }
     if ((flags & kMessageFlagRepl) != 0) {
-      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream)) != 0) {
+      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
+                    kMessageFlagHandoff)) != 0) {
         if (auto st = corruption("message: repl frame with conflicting flags")) {
           return *st;
         }
@@ -192,6 +239,22 @@ Result<Message> MessageDecoder::next() {
       }
       if (body_size < kReplBodyPrefix) {
         if (auto st = corruption("message: repl frame body too short")) {
+          return *st;
+        }
+        continue;
+      }
+    }
+    if ((flags & kMessageFlagHandoff) != 0) {
+      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream)) != 0) {
+        if (auto st =
+                corruption("message: handoff frame with conflicting flags")) {
+          return *st;
+        }
+        continue;
+      }
+      if (body_size != kHandoffBodySize) {
+        if (auto st = corruption("message: handoff frame body must be " +
+                                 std::to_string(kHandoffBodySize) + " bytes")) {
           return *st;
         }
         continue;
@@ -215,6 +278,7 @@ Result<Message> MessageDecoder::next() {
     message.credit = (flags & kMessageFlagCredit) != 0;
     message.resume = (flags & kMessageFlagResume) != 0;
     message.repl = (flags & kMessageFlagRepl) != 0;
+    message.handoff = (flags & kMessageFlagHandoff) != 0;
     message.body.assign(header + kMessageHeaderSize,
                         header + kMessageHeaderSize + body_size);
     if (xxhash32(message.body) != load_le32(header + 28)) {

@@ -55,6 +55,26 @@
 // has been promoted rejects appends stamped with an older epoch. REPL
 // frames only appear when the `cluster` directive is configured; absent
 // that directive the wire stays bit-identical to v1.2.
+//
+// Bit 4 is the v1.4 extension — a *HANDOFF* control frame that drives the
+// planned, lossless transfer of a live stream between federated gateways
+// (DESIGN.md §13). The message's sequence field is the handoff sequence
+// number and the body is fixed-size:
+//
+//   0   4  phase (1 prepare, 2 journal, 3 commit, 4 ack, 5 abort)
+//   4   8  session id
+//   12  8  epoch
+//   20  4  stream id
+//   24  4  source gateway
+//   28  4  target gateway
+//   32  8  watermark (sequence the stream is frozen at)
+//
+// The three-phase protocol (prepare/drain → journal flush+ship → commit
+// with an epoch bump) makes the transfer exactly-once by construction: the
+// commit fences the source exactly as a crash failover would, so it can
+// never double-deliver. HANDOFF frames only appear when the `rebalance`
+// directive is configured; absent that directive the wire stays
+// bit-identical to v1.3.
 #pragma once
 
 #include <cstdint>
@@ -72,9 +92,10 @@ inline constexpr std::uint16_t kMessageFlagEndOfStream = 1;
 inline constexpr std::uint16_t kMessageFlagCredit = 2;
 inline constexpr std::uint16_t kMessageFlagResume = 4;
 inline constexpr std::uint16_t kMessageFlagRepl = 8;
+inline constexpr std::uint16_t kMessageFlagHandoff = 16;
 inline constexpr std::uint16_t kMessageKnownFlags =
     kMessageFlagEndOfStream | kMessageFlagCredit | kMessageFlagResume |
-    kMessageFlagRepl;
+    kMessageFlagRepl | kMessageFlagHandoff;
 
 /// Fixed prefix of a RESUME body: session id + stream count.
 inline constexpr std::size_t kResumeBodyPrefix = 12;
@@ -87,6 +108,11 @@ inline constexpr std::size_t kReplBodyPrefix = 24;
 /// kJournalRecordSize (core/journal.h); cluster/replication static_asserts
 /// the two constants agree so the grammars cannot drift apart.
 inline constexpr std::size_t kReplRecordSize = 37;
+
+/// Exact size of a HANDOFF body: phase + session + epoch + stream +
+/// source gateway + target gateway + watermark. HANDOFF frames are always
+/// exactly this long; any other length is corruption.
+inline constexpr std::size_t kHandoffBodySize = 40;
 
 /// Refuse absurd body sizes before allocating: protects a receiver from a
 /// corrupt or hostile length prefix. Generous relative to the 11 MiB chunks.
@@ -129,6 +155,32 @@ struct ReplInfo {
   friend bool operator==(const ReplInfo&, const ReplInfo&) = default;
 };
 
+/// HANDOFF frame phases: the planned-transfer sub-protocol between
+/// gateways (source drives prepare/journal/commit; the target answers each
+/// with an ack or an abort).
+enum class HandoffPhase : std::uint32_t {
+  kPrepare = 1,  ///< source -> target: stream frozen at `watermark`, drained
+  kJournal = 2,  ///< source -> target: journal tail flushed and replicated
+  kCommit = 3,   ///< source -> target: transfer ownership (epoch bump fences us)
+  kAck = 4,      ///< target -> source: phase accepted
+  kAbort = 5,    ///< either: abandon; fall back to crash-failover rules
+};
+
+/// Decoded payload of a HANDOFF control frame.
+struct HandoffInfo {
+  HandoffPhase phase = HandoffPhase::kAbort;
+  std::uint64_t session_id = 0;
+  std::uint64_t epoch = 0;
+  std::uint32_t stream_id = 0;
+  std::uint32_t source_gateway = 0;
+  std::uint32_t target_gateway = 0;
+  /// Sequence the stream is frozen at: everything below is drained and
+  /// replicated before commit, so the target resumes exactly here.
+  std::uint64_t watermark = 0;
+
+  friend bool operator==(const HandoffInfo&, const HandoffInfo&) = default;
+};
+
 struct Message {
   std::uint32_t stream_id = 0;
   std::uint64_t sequence = 0;
@@ -144,6 +196,10 @@ struct Message {
   /// field is the replication sequence number and the body carries a
   /// ReplInfo (see parse_repl_body).
   bool repl = false;
+  /// Control frame: gateway-to-gateway planned stream handoff; the sequence
+  /// field is the handoff sequence number and the fixed-size body carries a
+  /// HandoffInfo (see parse_handoff_body).
+  bool handoff = false;
   Bytes body;
 
   [[nodiscard]] static Message end_of_stream_marker(std::uint32_t stream_id,
@@ -175,6 +231,11 @@ struct Message {
                                           std::uint64_t epoch,
                                           std::uint64_t repl_sequence,
                                           ByteSpan records = ByteSpan());
+
+  /// Planned-handoff frame. `handoff_sequence` lands in the message's
+  /// sequence field; the fixed-size body carries the rest of `info`.
+  [[nodiscard]] static Message handoff_frame(const HandoffInfo& info,
+                                             std::uint64_t handoff_sequence = 0);
 };
 
 /// Parses a RESUME frame body. INVALID_ARGUMENT when the declared stream
@@ -184,6 +245,10 @@ Result<ResumeInfo> parse_resume_body(ByteSpan body);
 /// Parses a REPL frame body. INVALID_ARGUMENT when the kind is unknown or
 /// the declared record count disagrees with the body length.
 Result<ReplInfo> parse_repl_body(ByteSpan body);
+
+/// Parses a HANDOFF frame body. INVALID_ARGUMENT when the phase is unknown
+/// or the body is not exactly kHandoffBodySize bytes.
+Result<HandoffInfo> parse_handoff_body(ByteSpan body);
 
 /// Serializes a message (header + body) into a fresh buffer.
 Bytes encode_message(const Message& message);

@@ -7,6 +7,7 @@
 #include <optional>
 
 #include "cluster/failover.h"
+#include "cluster/rebalance.h"
 #include "cluster/ring.h"
 #include "common/assert.h"
 #include "obs/histogram.h"
@@ -315,6 +316,19 @@ class CrashInjector {
 ///     (fail_over_receiver replays the replicated journal through the
 ///     RESUME machinery) and the receive/decompress workers migrate onto
 ///     cores drawn from the adopter's allocator.
+///
+///   * Gray failures (DESIGN.md §13): a GatewayDegradeEvent scales the
+///     victim's NIC capacities by slow_factor and drops its heartbeat
+///     responsiveness to the same factor, so the two-state detector settles
+///     on kDegraded — alive, slow, never a crash takeover.
+///
+///   * Rebalancing: when the RebalanceConfig is enabled the monitor samples
+///     per-gateway load every rebalance window and runs a
+///     RebalanceController; a trigger executes a *planned* handoff of the
+///     source's busiest stream — every coordinator pins the stream to the
+///     target (note_handoff bumps the fencing epoch) and the pipeline
+///     drains to delivery before re-targeting, so the planned path replays
+///     nothing (hand_off_receiver), unlike the crash path above.
 class FederationMonitor {
  public:
   FederationMonitor(sim::Simulation& sim, const ClusterConfig& cluster,
@@ -322,14 +336,19 @@ class FederationMonitor {
                     std::vector<SimHost*> gateway_hosts,
                     std::vector<CoreAllocator*> gateway_allocs,
                     std::vector<ExperimentOptions::GatewayCrashEvent> events,
+                    std::vector<ExperimentOptions::GatewayDegradeEvent> degrades,
+                    const RebalanceConfig& rebalance, double handoff_seconds,
                     bool compress)
       : sim_(sim),
         cluster_(cluster),
+        rebalance_config_(rebalance),
+        handoff_seconds_(handoff_seconds),
         topo_(topo),
         receiver_config_(receiver_config),
         gateway_hosts_(std::move(gateway_hosts)),
         gateway_allocs_(std::move(gateway_allocs)),
         events_(std::move(events)),
+        degrades_(std::move(degrades)),
         compress_(compress),
         ring_(cluster.gateways, cluster.vnodes),
         detector_(cluster, &counters_) {
@@ -341,6 +360,10 @@ class FederationMonitor {
       coordinators_.emplace_back(ring_, g, nullptr);
     }
     live_.assign(cluster_.gateways, true);
+    degrade_active_.assign(degrades_.size(), false);
+    if (rebalance_config_.enabled()) {
+      rebalancer_.emplace(rebalance_config_, cluster_.gateways, &counters_);
+    }
     counters_.note_epoch(1);
   }
 
@@ -374,6 +397,8 @@ class FederationMonitor {
     std::uint32_t gateway = 0;  ///< ring member currently serving the stream
     std::string nic;            ///< receiver NIC name (same on every gateway)
     std::uint64_t sampled_records = 0;  ///< journal records already shipped
+    double sampled_wire_bytes = 0;  ///< wire bytes at last rebalance sample
+    double window_wire_bytes = 0;   ///< latest rebalance-window wire delta
   };
 
   [[nodiscard]] bool all_accounted() const {
@@ -438,19 +463,160 @@ class FederationMonitor {
         counters_.repl_appends_acked.fetch_add(1, std::memory_order_relaxed);
         counters_.note_repl_lag(delta);
       }
+      // Gray degradation: scale capacities and responsiveness on schedule.
+      apply_degradations(now);
       // Failure detection: each window a silenced gateway answers zero of
-      // its buddy's probes; a live one answers all of them.
+      // its buddy's probes; a live one answers all of them — possibly
+      // slowly (the latency channel sees the degraded responsiveness).
       for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
         if (!live_[g]) {
           continue;  // already taken over
         }
-        const bool dead =
-            detector_.observe(ids[g], silenced(g, now) ? 0.0 : 1.0);
-        if (dead) {
+        const cluster::PeerHealth verdict = detector_.observe_window(
+            ids[g], silenced(g, now) ? 0.0 : 1.0, responsiveness(g, now));
+        if (verdict == cluster::PeerHealth::kDead) {
           fail_over(g, now);
         }
       }
+      // Load-driven rebalancing on its own (coarser) cadence.
+      if (rebalancer_.has_value()) {
+        ++windows_since_sample_;
+        const std::uint64_t windows_per_tick = std::max<std::uint64_t>(
+            1, rebalance_config_.window_ms / cluster_.heartbeat_ms);
+        if (windows_since_sample_ >= windows_per_tick) {
+          windows_since_sample_ = 0;
+          maybe_rebalance(ids, now);
+        }
+      }
     }
+  }
+
+  /// Responsiveness score for one gateway this window: the product of the
+  /// slow factors of its active degrade events (1.0 when pristine).
+  [[nodiscard]] double responsiveness(std::uint32_t gateway, double now) const {
+    double score = 1.0;
+    for (const auto& event : degrades_) {
+      if (event.gateway == gateway && event.at_seconds <= now &&
+          (event.until_seconds == 0 || now < event.until_seconds)) {
+        score *= event.slow_factor;
+      }
+    }
+    return score;
+  }
+
+  /// Applies/heals NIC-capacity scaling as degrade events start and end.
+  /// Nominal capacities are captured on first touch so heal restores them
+  /// exactly (same idiom as simhw/degradation.h).
+  void apply_degradations(double now) {
+    for (std::size_t i = 0; i < degrades_.size(); ++i) {
+      const auto& event = degrades_[i];
+      const bool should_be_active =
+          event.at_seconds <= now &&
+          (event.until_seconds == 0 || now < event.until_seconds);
+      if (should_be_active == static_cast<bool>(degrade_active_[i])) {
+        continue;
+      }
+      degrade_active_[i] = should_be_active;
+      scale_gateway_resources(event.gateway,
+                              should_be_active ? event.slow_factor : 0.0);
+    }
+  }
+
+  /// factor > 0 scales every NIC and core on the gateway host by `factor`
+  /// of nominal (a gray-failed box is slow everywhere: thermal throttling,
+  /// a sick PCIe link, a noisy neighbor); factor == 0 restores nominal.
+  void scale_gateway_resources(std::uint32_t gateway, double factor) {
+    SimHost* host = gateway_hosts_[gateway];
+    const auto scale = [&](int id) {
+      const double nominal =
+          nominal_capacity_.try_emplace(id, sim_.resource_capacity(id))
+              .first->second;
+      sim_.set_resource_capacity(id, factor > 0 ? nominal * factor : nominal);
+    };
+    for (const auto& nic : topo_.nics()) {
+      const auto resource = host->nic_resource(nic.name);
+      if (resource.ok()) {
+        scale(resource.value());
+      }
+    }
+    for (const auto& domain : topo_.domains()) {
+      for (const int cpu : domain.cpus.to_vector()) {
+        scale(host->core_resource(cpu));
+      }
+    }
+  }
+
+  /// Samples per-gateway load, consults the controller, and executes one
+  /// planned handoff when it triggers: the source's busiest stream moves to
+  /// the controller's target with zero replays.
+  void maybe_rebalance(const std::vector<int>& ids, double now) {
+    std::vector<cluster::GatewayLoad> loads(cluster_.gateways);
+    for (Stream& stream : streams_) {
+      const double wire = stream.pipeline->wire_bytes_received();
+      stream.window_wire_bytes = wire - stream.sampled_wire_bytes;
+      stream.sampled_wire_bytes = wire;
+      cluster::GatewayLoad& load = loads[stream.gateway];
+      load.queue_depth += 1;
+      load.inflight_bytes +=
+          static_cast<std::uint64_t>(stream.window_wire_bytes);
+    }
+    std::vector<cluster::PeerHealth> health(cluster_.gateways,
+                                            cluster::PeerHealth::kHealthy);
+    for (std::uint32_t g = 0; g < cluster_.gateways; ++g) {
+      health[g] = live_[g] ? detector_.health(ids[g])
+                           : cluster::PeerHealth::kDead;
+    }
+    const auto decision = rebalancer_->observe_window(loads, health);
+    if (!decision.has_value()) {
+      return;
+    }
+    // Busiest stream on the source this window; none = nothing to move
+    // (release the in-flight slot so the controller can re-arm).
+    Stream* victim = nullptr;
+    for (Stream& stream : streams_) {
+      if (stream.gateway != decision->source) {
+        continue;
+      }
+      if (victim == nullptr ||
+          stream.window_wire_bytes > victim->window_wire_bytes) {
+        victim = &stream;
+      }
+    }
+    if (victim == nullptr) {
+      rebalancer_->handoff_finished();
+      return;
+    }
+    hand_off(*victim, decision->target, now);
+    rebalancer_->handoff_finished();
+  }
+
+  /// Executes one planned three-phase handoff, modeled by its ledger
+  /// effects: every coordinator pins the stream to the target (epoch bump =
+  /// the COMMIT fence), the pipeline drains to delivery and re-targets
+  /// (zero replays), and the workers migrate onto target cores.
+  void hand_off(Stream& stream, std::uint32_t target, double now) {
+    (void)now;
+    counters_.handoffs_planned.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t stream_id = stream.pipeline->spec().stream_id;
+    std::uint64_t epoch = 0;
+    for (auto& coordinator : coordinators_) {
+      epoch = std::max(epoch, coordinator.note_handoff(stream_id, target));
+    }
+    SimHost* host = gateway_hosts_[target];
+    const auto resource = host->nic_resource(stream.nic);
+    const auto nic = topo_.find_nic(stream.nic);
+    NS_CHECK(resource.ok() && nic.has_value(),
+             "handoff target shares the receiver topology");
+    stream.pipeline->hand_off_receiver(host, resource.value(),
+                                       nic->numa_domain, handoff_seconds_);
+    migrate_workers(stream, target);
+    stream.gateway = target;
+    counters_.note_epoch(epoch);
+    counters_.handoffs_completed.fetch_add(1, std::memory_order_relaxed);
+    counters_.handoff_streams_moved.fetch_add(1, std::memory_order_relaxed);
+    counters_.handoff_wall_ms.fetch_add(
+        static_cast<std::uint64_t>(std::llround(handoff_seconds_ * 1e3)),
+        std::memory_order_relaxed);
   }
 
   /// The gateway a stream served by `serving` replicates to: the first live,
@@ -528,8 +694,16 @@ class FederationMonitor {
              "adopter gateway shares the receiver topology");
     stream.pipeline->fail_over_receiver(host, resource.value(),
                                         nic->numa_domain, failover_seconds);
+    migrate_workers(stream, adopter);
+    stream.gateway = adopter;
+  }
+
+  /// Migrates a stream's receive/decompress workers onto cores drawn from
+  /// the new owner's allocator (shared by crash adoption and planned
+  /// handoff).
+  void migrate_workers(Stream& stream, std::uint32_t owner) {
     const int stream_id = static_cast<int>(stream.pipeline->spec().stream_id);
-    auto receive = gateway_allocs_[adopter]->take_for(
+    auto receive = gateway_allocs_[owner]->take_for(
         receiver_config_, TaskType::kReceive, stream_id);
     if (receive.ok()) {
       const std::size_t count = std::min(
@@ -539,7 +713,7 @@ class FederationMonitor {
       }
     }
     if (compress_) {
-      auto decompress = gateway_allocs_[adopter]->take_for(
+      auto decompress = gateway_allocs_[owner]->take_for(
           receiver_config_, TaskType::kDecompress, stream_id);
       if (decompress.ok()) {
         const std::size_t count =
@@ -551,21 +725,27 @@ class FederationMonitor {
         }
       }
     }
-    stream.gateway = adopter;
   }
 
   sim::Simulation& sim_;
   ClusterConfig cluster_;
+  RebalanceConfig rebalance_config_;
+  double handoff_seconds_;
   const MachineTopology& topo_;
   const NodeConfig& receiver_config_;
   std::vector<SimHost*> gateway_hosts_;
   std::vector<CoreAllocator*> gateway_allocs_;
   std::vector<ExperimentOptions::GatewayCrashEvent> events_;
+  std::vector<ExperimentOptions::GatewayDegradeEvent> degrades_;
   bool compress_;
   cluster::GatewayRing ring_;
   cluster::PeerFailureDetector detector_;
   std::vector<cluster::FailoverCoordinator> coordinators_;
   std::vector<bool> live_;  ///< monitor's global view (coordinators' union)
+  std::vector<bool> degrade_active_;  ///< per degrade event, applied now?
+  std::map<int, double> nominal_capacity_;  ///< NIC resource -> pristine cap
+  std::optional<cluster::RebalanceController> rebalancer_;
+  std::uint64_t windows_since_sample_ = 0;
   FederationCounters counters_;
   std::vector<Stream> streams_;
 };
@@ -608,6 +788,34 @@ Result<ExperimentResult> run_experiment(
       return invalid_argument_error(
           "driver: gateway crash event references an unknown gateway or a "
           "negative time");
+    }
+  }
+  if (!options.gateway_degrades.empty() && !clustered) {
+    return invalid_argument_error(
+        "driver: gateway degrade events need options.cluster enabled");
+  }
+  for (const auto& event : options.gateway_degrades) {
+    if (event.gateway >= options.cluster.gateways || event.at_seconds < 0 ||
+        (event.until_seconds != 0 && event.until_seconds <= event.at_seconds) ||
+        event.slow_factor <= 0 || event.slow_factor >= 1) {
+      return invalid_argument_error(
+          "driver: gateway degrade event needs a known gateway, "
+          "until > at (or 0 = forever) and slow_factor in (0, 1)");
+    }
+  }
+  if (options.rebalance.enabled()) {
+    if (!clustered) {
+      return invalid_argument_error(
+          "driver: rebalance needs options.cluster enabled");
+    }
+    if (options.rebalance.imbalance_ratio <= 1.0 ||
+        options.rebalance.hysteresis_windows <= 0 ||
+        options.rebalance.cooldown_windows <= 0 ||
+        options.rebalance.max_concurrent <= 0 ||
+        options.handoff_seconds < 0) {
+      return invalid_argument_error(
+          "driver: rebalance needs imbalance_ratio > 1, positive window "
+          "counts and max_concurrent, and handoff_seconds >= 0");
     }
   }
 
@@ -830,7 +1038,8 @@ Result<ExperimentResult> run_experiment(
   if (clustered) {
     federation.emplace(sim, options.cluster, receiver_topo, receiver_config,
                        gateway_hosts, gateway_allocs, options.gateway_crashes,
-                       options.compress);
+                       options.gateway_degrades, options.rebalance,
+                       options.handoff_seconds, options.compress);
     for (std::size_t stream = 0; stream < pipelines.size(); ++stream) {
       federation->add_stream(pipelines[stream].get(), stream_gateway[stream],
                              stream_nics[stream]);

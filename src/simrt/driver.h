@@ -111,6 +111,32 @@ struct ExperimentOptions {
   };
   std::vector<GatewayCrashEvent> gateway_crashes;
 
+  /// Gray degradation: a gateway that stays alive (heartbeats keep
+  /// flowing) but turns slow — its NIC and core capacities are scaled by
+  /// `slow_factor` and its heartbeat responsiveness drops to the same
+  /// factor, so the two-state detector classifies it degraded, never dead.
+  /// Needs cluster.enabled(). Deterministic on virtual time.
+  struct GatewayDegradeEvent {
+    std::uint32_t gateway = 0;   ///< ring index of the slow gateway
+    double at_seconds = 0;       ///< virtual time the degradation starts
+    double until_seconds = 0;    ///< virtual time it heals (0 = never)
+    double slow_factor = 0.25;   ///< capacity/responsiveness scale in (0, 1)
+  };
+  std::vector<GatewayDegradeEvent> gateway_degrades;
+
+  /// Load-driven rebalancing (DESIGN.md §13): when `rebalance.enabled()`
+  /// (needs cluster), the federation monitor also samples per-gateway load
+  /// every rebalance.window_ms and runs a RebalanceController; a trigger
+  /// executes a planned three-phase handoff — the hottest (or degraded)
+  /// gateway's busiest stream freezes, drains, ships its journal tail and
+  /// commits to the coolest gateway with an epoch bump — instead of a
+  /// crash takeover. Zero replays by construction. Default off.
+  RebalanceConfig rebalance;
+
+  /// Blackout charged per planned handoff (freeze + drain + journal ship +
+  /// commit). Only read when rebalance is enabled.
+  double handoff_seconds = 0.005;
+
   /// Self-healing (DESIGN.md §9): when enabled, a monitor process samples
   /// per-NIC delivered bytes every window_ms of virtual time, classifies
   /// each NIC through a HealthMonitor, and on NIC failure re-plans the

@@ -236,12 +236,46 @@ void StreamPipeline::fail_over_receiver(SimHost* new_host, int nic_resource,
   // replays only the sent-but-unacked window; the ledger suppresses any
   // replay whose delivery had already committed.
   replays_.insert(unacked_.begin(), unacked_.end());
+  // The dead gateway's RAM is gone: chunks DMA'd into it but not yet
+  // delivered are lost and must come from the replay above, not from the
+  // ghost of the victim's queues. The incarnation bump makes the receive
+  // stages drop them on pop.
+  ++receiver_epoch_;
   // Blackout: failure detection + handshake + replica scan.
   source_ready_time_ =
       std::max(source_ready_time_, sim_.now() + failover_seconds);
   // Re-target: workers re-read the spec every chunk, so the chunk in hand
   // finishes against the dead gateway's model state and the next one lands
   // on the buddy.
+  spec_.receiver_host = new_host;
+  spec_.receiver_nic = nic_resource;
+  spec_.receiver_nic_domain = nic_domain;
+}
+
+void StreamPipeline::hand_off_receiver(SimHost* new_host, int nic_resource,
+                                       int nic_domain,
+                                       double handoff_seconds) {
+  NS_CHECK(spec_.resume_enabled,
+           "planned handoff needs Spec::resume_enabled (the journal mirror)");
+  NS_CHECK(new_host != nullptr, "handoff needs the target gateway host");
+  NS_CHECK(nic_resource >= 0, "handoff needs a valid target NIC resource");
+  ++handoffs_completed_;
+  // The target adopts the stream through the same RESUME handshake a
+  // failover uses (one journal scan of the replica to recover the ledger) —
+  // but nothing enters replays_: the source froze at a chunk boundary and
+  // the in-flight window drains to delivery during the blackout, so the
+  // re-work a crash would have paid (the unacked window) is exactly zero.
+  ++resume_handshakes_;
+  journal_records_replayed_ += 1 + delivered_records_;
+  handoff_wall_ms_ +=
+      static_cast<std::uint64_t>(std::llround(handoff_seconds * 1e3));
+  // Freeze: the source pauses for the three phases (drain, journal ship,
+  // commit); in-flight chunks keep flowing and deliver exactly once.
+  source_ready_time_ =
+      std::max(source_ready_time_, sim_.now() + handoff_seconds);
+  // Re-target: workers re-read the spec every chunk, so the next chunk —
+  // and every drained in-flight one still upstream of the wire — lands on
+  // the target gateway under the bumped epoch.
   spec_.receiver_host = new_host;
   spec_.receiver_nic = nic_resource;
   spec_.receiver_nic_domain = nic_domain;
@@ -448,8 +482,11 @@ sim::SimProc StreamPipeline::sender_worker(std::size_t connection) {
               send_t0, sim_.now(), chunk->sequence);
     }
 
-    // DMA landed the bytes in the receiver's NIC domain (§2.2).
+    // DMA landed the bytes in the receiver's NIC domain (§2.2), on the
+    // current gateway incarnation — if that gateway later dies, the bytes
+    // die with it.
     chunk->data_domain = spec_.receiver_nic_domain;
+    chunk->receiver_epoch = receiver_epoch_;
     const bool accepted = co_await out.push(*chunk);
     if (!accepted) {
       break;
@@ -471,6 +508,19 @@ sim::SimProc StreamPipeline::receiver_worker(std::size_t connection) {
     auto chunk = co_await in.pop();
     if (!chunk.has_value()) {
       break;
+    }
+    // Bytes queued in a crashed gateway's RAM never reach the adopter: the
+    // journal replay re-sends them. Return the chunk's credit and budget
+    // tokens so the sender's window is whole, then drop it.
+    if (chunk->receiver_epoch != receiver_epoch_) {
+      if (budget_tokens_ != nullptr) {
+        --inflight_chunks_;
+        co_await budget_tokens_->push(1);
+      }
+      if (!credit_tokens_.empty()) {
+        co_await credit_tokens_[connection]->push(1);
+      }
+      continue;
     }
     const Worker worker = spec_.receive_workers[connection];
     const int core = worker.core;
@@ -574,6 +624,16 @@ sim::SimProc StreamPipeline::decompressor_worker(std::size_t index) {
     auto chunk = co_await decompress_queue_->pop();
     if (!chunk.has_value()) {
       break;
+    }
+    // Same incarnation check as the receive stage: a chunk that reached the
+    // decompress queue before its gateway died is lost with that gateway
+    // (its credit was already returned by the receive stage).
+    if (chunk->receiver_epoch != receiver_epoch_) {
+      if (budget_tokens_ != nullptr) {
+        --inflight_chunks_;
+        co_await budget_tokens_->push(1);
+      }
+      continue;
     }
     const Worker worker = spec_.decompress_workers[index];
     const int core = worker.core;

@@ -36,6 +36,12 @@ struct SimChunk {
   int data_domain = 0;  ///< domain whose DRAM holds the (current) payload
   std::uint64_t sequence = 0;  ///< source order, for lifecycle spans
   bool replay = false;  ///< journal-driven re-send after an endpoint crash
+  /// Which receiver-gateway incarnation DMA'd the bytes. A crash takeover
+  /// bumps the pipeline's incarnation, so chunks still queued in the dead
+  /// gateway's RAM are dropped on pop (their bytes died with the host) and
+  /// re-driven by the journal replay. Planned handoffs do NOT bump it: the
+  /// drain delivers the queue before ownership moves.
+  std::uint32_t receiver_epoch = 0;
 };
 
 class StreamPipeline {
@@ -184,6 +190,17 @@ class StreamPipeline {
   void fail_over_receiver(SimHost* new_host, int nic_resource, int nic_domain,
                           double failover_seconds);
 
+  /// Planned stream handoff (DESIGN.md §13). Unlike fail_over_receiver, the
+  /// old gateway is alive and cooperating: the source freezes at a chunk
+  /// boundary, the in-flight window *drains to delivery* during the
+  /// `handoff_seconds` blackout (freeze + drain + journal ship + commit),
+  /// and the target resumes from the RESUME watermarks — so nothing is
+  /// re-sent. Zero replays by construction is the whole point: the planned
+  /// path's re-work is strictly less than the crash path's unacked-window
+  /// replay on the same schedule. Requires Spec::resume_enabled.
+  void hand_off_receiver(SimHost* new_host, int nic_resource, int nic_domain,
+                         double handoff_seconds);
+
   /// True once every produced chunk is accounted for: delivered or shed.
   /// The zero-chunk-loss invariant a recovery scenario asserts.
   [[nodiscard]] bool all_chunks_accounted() const noexcept {
@@ -242,6 +259,14 @@ class StreamPipeline {
   /// compares this against the journal's bounded rework_bytes.
   [[nodiscard]] double restart_from_zero_bytes() const noexcept {
     return restart_from_zero_bytes_;
+  }
+
+  // ---- planned-handoff accounting (DESIGN.md §13) ----
+  [[nodiscard]] std::uint64_t handoffs_completed() const noexcept {
+    return handoffs_completed_;
+  }
+  [[nodiscard]] std::uint64_t handoff_wall_ms() const noexcept {
+    return handoff_wall_ms_;
   }
 
  private:
@@ -323,6 +348,12 @@ class StreamPipeline {
   double rework_bytes_ = 0;
   std::uint64_t recovery_wall_ms_ = 0;
   double restart_from_zero_bytes_ = 0;
+  std::uint64_t handoffs_completed_ = 0;
+  std::uint64_t handoff_wall_ms_ = 0;
+  /// Receiver-gateway incarnation (see SimChunk::receiver_epoch). Bumped by
+  /// fail_over_receiver only — a crash loses the dead host's queued chunks;
+  /// a planned handoff drains them first.
+  std::uint32_t receiver_epoch_ = 0;
 };
 
 }  // namespace numastream::simrt

@@ -147,6 +147,86 @@ TEST(MessageDecoderTest, UnknownFlagsRejected) {
   EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
 }
 
+// --------------------------------------------------------------- handoff
+
+HandoffInfo sample_handoff() {
+  return {.phase = HandoffPhase::kJournal,
+          .session_id = 0xFEEDFACECAFEULL,
+          .epoch = 7,
+          .stream_id = 3,
+          .source_gateway = 1,
+          .target_gateway = 2,
+          .watermark = 100161};
+}
+
+TEST(HandoffFrameTest, RoundTripPreservesEveryField) {
+  const HandoffInfo info = sample_handoff();
+  const Message m = Message::handoff_frame(info, /*handoff_sequence=*/42);
+  EXPECT_EQ(m.body.size(), kHandoffBodySize);
+  MessageDecoder decoder;
+  decoder.feed(encode_message(m));
+  auto decoded = decoder.next();
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_TRUE(decoded.value().handoff);
+  EXPECT_EQ(decoded.value().sequence, 42U);
+  auto parsed = parse_handoff_body(
+      ByteSpan(decoded.value().body.data(), decoded.value().body.size()));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), info);
+}
+
+TEST(HandoffFrameTest, EveryPhaseRoundTrips) {
+  for (const auto phase : {HandoffPhase::kPrepare, HandoffPhase::kJournal,
+                           HandoffPhase::kCommit, HandoffPhase::kAck,
+                           HandoffPhase::kAbort}) {
+    HandoffInfo info = sample_handoff();
+    info.phase = phase;
+    const Message m = Message::handoff_frame(info);
+    auto parsed = parse_handoff_body(ByteSpan(m.body.data(), m.body.size()));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().phase, phase);
+  }
+}
+
+TEST(HandoffFrameTest, ForgedPhaseRejected) {
+  Message m = Message::handoff_frame(sample_handoff());
+  store_le32(m.body.data(), 0);  // phase below the valid range
+  EXPECT_EQ(parse_handoff_body(ByteSpan(m.body.data(), m.body.size()))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  store_le32(m.body.data(), 6);  // phase past kAbort
+  EXPECT_EQ(parse_handoff_body(ByteSpan(m.body.data(), m.body.size()))
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HandoffFrameTest, WrongBodyLengthRejected) {
+  const Message m = Message::handoff_frame(sample_handoff());
+  EXPECT_EQ(
+      parse_handoff_body(ByteSpan(m.body.data(), m.body.size() - 1)).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(HandoffFrameTest, TruncatedFrameRejectedByDecoder) {
+  // A handoff header whose declared body is shorter than kHandoffBodySize is
+  // corruption at the decoder layer, before parse_handoff_body ever runs.
+  Message m = Message::handoff_frame(sample_handoff());
+  m.body.resize(kHandoffBodySize / 2);
+  MessageDecoder decoder;
+  decoder.feed(encode_message(m));
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(HandoffFrameTest, ConflictingFlagsRejected) {
+  Message m = Message::handoff_frame(sample_handoff());
+  m.credit = true;  // HANDOFF cannot also be a credit grant
+  MessageDecoder decoder;
+  decoder.feed(encode_message(m));
+  EXPECT_EQ(decoder.next().status().code(), StatusCode::kDataLoss);
+}
+
 // ---------------------------------------------------------------- inproc
 
 TEST(InprocTest, BytesFlowBothWays) {
@@ -441,7 +521,7 @@ TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
     const std::size_t frame_count = 3 + rng.next_u64() % 6;
     for (std::size_t i = 0; i < frame_count; ++i) {
       Message m;
-      switch (rng.next_u64() % 5) {
+      switch (rng.next_u64() % 6) {
         case 0:
           m.stream_id = static_cast<std::uint32_t>(rng.next_u64() % 4);
           m.sequence = i;
@@ -468,6 +548,19 @@ TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
                                   i, ByteSpan(records.data(), records.size()));
           break;
         }
+        case 4:
+          // Planned-handoff control traffic (cluster/handoff): fixed-size
+          // body, any of the five phases.
+          m = Message::handoff_frame(
+              {.phase = static_cast<HandoffPhase>(1 + rng.next_u64() % 5),
+               .session_id = rng.next_u64(),
+               .epoch = rng.next_u64() % 16,
+               .stream_id = static_cast<std::uint32_t>(rng.next_u64() % 4),
+               .source_gateway = static_cast<std::uint32_t>(rng.next_u64() % 8),
+               .target_gateway = static_cast<std::uint32_t>(rng.next_u64() % 8),
+               .watermark = rng.next_u64()},
+              i);
+          break;
         default:
           m = Message::end_of_stream_marker(
               static_cast<std::uint32_t>(rng.next_u64() % 4), i);
