@@ -5,8 +5,10 @@
 
 Compares every numeric field of every BENCH_*.json present in either
 directory and prints a per-metric delta table. Metrics that moved by more
-than the threshold (default 10%) are flagged WARN; benches present on only
-one side are flagged NEW/GONE. The exit code is always 0: the bench numbers
+than the threshold (default 10%) are flagged WARN; a bench that vanished is
+flagged GONE (a warning), while a bench that is new with no baseline is
+flagged NEW and is purely informational. The exit code is always 0: the
+bench numbers
 come from a calibrated simulator whose absolute values shift whenever the
 model is deliberately retuned, so this is a trajectory record for humans,
 not a merge gate.
@@ -57,7 +59,9 @@ def main():
     warnings = 0
     for bench in sorted(set(prev) | set(curr)):
         if bench not in prev:
-            print(f"NEW  {bench}")
+            # A bench added in this change has no baseline to regress against:
+            # informational, never a warning.
+            print(f"NEW  {bench} (no baseline; informational only)")
             continue
         if bench not in curr:
             print(f"GONE {bench}")

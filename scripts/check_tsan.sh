@@ -8,9 +8,11 @@
 # crash-resumption pipelines where journal appends and watermark reads race
 # send/receive workers across endpoint restarts, and the federation layer
 # where the replication tee, the standby's apply/promote race and a live
-# gateway takeover all share the journal with pipeline workers. A clean exit
-# means the credit/budget/drain/observe machinery is free of data races, not
-# just functionally green.
+# gateway takeover all share the journal with pipeline workers, and the
+# anti-entropy layer where a background scrubber re-reads the journal while
+# appenders extend it and a promotion fences a mid-round repair. A clean
+# exit means the credit/budget/drain/observe machinery is free of data
+# races, not just functionally green.
 #
 #   $ scripts/check_tsan.sh [extra ctest args...]
 #
@@ -26,7 +28,7 @@ cmake --build build-tsan
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
 
 ctest --test-dir build-tsan --output-on-failure \
-  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest|ResumePipelineTest|ChaosResumeTest|ReplicationTest|EpochFenceTest|GatewayFailoverTest|HandoffProtocolTest|ChaosHandoffTest)' \
+  -R '^(BoundedQueueTest|BoundedQueueMpmc|SpscRingTest|MemoryBudgetTest|OverloadCountersTest|OverloadPipelineTest|ChaosOverloadTest|PipelineTest|TcpPipelineTest|ChaosPipelineTest|WatchdogTest|MigrationCoordinatorTest|MigrationPipelineTest|WatchdogDrainTest|SpanRingTest|TracerTest|StageLatenciesTest|MetricsRegistryTest|SnapshotSamplerTest|PipelineObservabilityTest|ThroughputMeterTest|ResumePipelineTest|ChaosResumeTest|ReplicationTest|EpochFenceTest|GatewayFailoverTest|HandoffProtocolTest|ChaosHandoffTest|AntiEntropyTest|ScrubConcurrencyTest)' \
   "$@"
 
 echo

@@ -196,13 +196,22 @@ Status ReplicatedJournalMedia::flush() {
 
 Result<Bytes> ReplicatedJournalMedia::read_all() { return local_.read_all(); }
 
+Status ReplicatedJournalMedia::write_at(std::uint64_t offset, ByteSpan data) {
+  return local_.write_at(offset, data);
+}
+
 // ---- InprocReplicationLink -------------------------------------------------
 
 Result<Message> InprocReplicationLink::exchange(const Message& frame) {
   if (partitioned_.load(std::memory_order_acquire)) {
     return unavailable_error("replication link partitioned");
   }
-  return standby_.handle(frame);
+  auto reply = standby_.handle(frame);
+  if (drop_ack_.exchange(false, std::memory_order_acq_rel)) {
+    // The standby applied the frame durably; only the ack is lost.
+    return unavailable_error("replication link died before the ack");
+  }
+  return reply;
 }
 
 // ---- StreamReplicationTransport --------------------------------------------

@@ -141,6 +141,9 @@ class ReplicatedJournalMedia final : public JournalMedia {
   Status append(ByteSpan data) override;
   Status flush() override;
   Result<Bytes> read_all() override;
+  /// Repairs are local-only: the anti-entropy protocol fixes the buddy's
+  /// side through its own SCRUB frames, never by re-shipping repairs.
+  Status write_at(std::uint64_t offset, ByteSpan data) override;
 
  private:
   JournalMedia& local_;
@@ -163,11 +166,20 @@ class InprocReplicationLink final : public ReplicationTransport {
     partitioned_.store(partitioned, std::memory_order_release);
   }
 
+  /// Fault injection: the next exchange delivers the frame to the standby
+  /// (which applies it durably) but the reply is lost — the link dies
+  /// between apply and ack, the worst spot for a mid-flush failure. The
+  /// primary must treat the flush as NOT replicated even though the
+  /// standby holds the records; the resulting divergence (a duplicated
+  /// range after the retry) is what anti-entropy scrubbing converges.
+  void drop_next_ack() { drop_ack_.store(true, std::memory_order_release); }
+
   Result<Message> exchange(const Message& frame) override;
 
  private:
   StandbySession& standby_;
   std::atomic<bool> partitioned_{false};
+  std::atomic<bool> drop_ack_{false};
 };
 
 /// Byte-stream replication link for real deployments (TCP loopback in

@@ -24,11 +24,13 @@
 //   rebalance window_ms=<n> [imbalance_ratio=<f>] [hysteresis_windows=<n>]
 //             [cooldown_windows=<n>] [max_concurrent=<n>]
 //             [drain_degraded=on|off]
+//   scrub cadence_ms=<n> [range_records=<n>] [budget_records=<n>]
+//         [repair_concurrency=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
-// `recovery`, `overload`, `health`, `observe`, `resume`, `cluster` and
-// `rebalance` may each appear at most once; a duplicate is a parse error
-// (silent last-wins hid config merge mistakes).
+// `recovery`, `overload`, `health`, `observe`, `resume`, `cluster`,
+// `rebalance` and `scrub` may each appear at most once; a duplicate is a
+// parse error (silent last-wins hid config merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -311,6 +313,31 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
           "between federated gateways)");
     }
   }
+  if (scrub.enabled()) {
+    if (scrub.cadence_ms == 0) {
+      return invalid_argument_error(
+          "config: scrub needs cadence_ms > 0 (the re-verification cadence)");
+    }
+    if (scrub.range_records == 0) {
+      return invalid_argument_error(
+          "config: scrub range_records must be positive (the repair "
+          "granularity)");
+    }
+    if (scrub.budget_records == 0) {
+      return invalid_argument_error(
+          "config: scrub budget_records must be positive (a zero budget "
+          "would never verify anything)");
+    }
+    if (scrub.repair_concurrency <= 0) {
+      return invalid_argument_error(
+          "config: scrub repair_concurrency must be positive");
+    }
+    if (!resume.enabled()) {
+      return invalid_argument_error(
+          "config: scrub requires a resume session (there is no journal to "
+          "re-verify without one)");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -423,6 +450,14 @@ std::string NodeConfig::serialize() const {
         << " drain_degraded=" << (rebalance.drain_degraded ? "on" : "off")
         << "\n";
   }
+  if (!scrub.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so trust-the-fsync configs round-trip byte-identically.
+    out << "scrub cadence_ms=" << scrub.cadence_ms
+        << " range_records=" << scrub.range_records
+        << " budget_records=" << scrub.budget_records
+        << " repair_concurrency=" << scrub.repair_concurrency << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -448,6 +483,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_resume = false;
   bool saw_cluster = false;
   bool saw_rebalance = false;
+  bool saw_scrub = false;
 
   std::istringstream in(text);
   std::string line;
@@ -794,6 +830,37 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             } else {
               return fail("bad drain_degraded '" + value + "' (want on|off)");
             }
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "scrub") {
+      if (saw_scrub) {
+        return fail("duplicate 'scrub' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_scrub = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "cadence_ms") {
+            config.scrub.cadence_ms = std::stoull(value);
+          } else if (key == "range_records") {
+            config.scrub.range_records =
+                static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "budget_records") {
+            config.scrub.budget_records = std::stoull(value);
+          } else if (key == "repair_concurrency") {
+            config.scrub.repair_concurrency = std::stoi(value);
           } else {
             return fail("unknown attribute '" + key + "'");
           }

@@ -29,7 +29,45 @@ void count(std::atomic<std::uint64_t> ResumeCounters::*field,
   }
 }
 
+// Seeded position generator for the rot injectors: splitmix64, so the same
+// seed damages the same bits on every run (the bit-identity contract every
+// chaos suite relies on).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Flips one seeded bit per draw within bytes [offset, offset + length) of
+// `image`. Shared by both media's rot modes.
+int rot_image(Bytes& image, std::uint64_t seed, std::uint64_t offset,
+              std::uint64_t length, int flips) {
+  if (offset >= image.size()) {
+    return 0;
+  }
+  const std::uint64_t window = std::min<std::uint64_t>(length, image.size() - offset);
+  if (window == 0) {
+    return 0;
+  }
+  std::uint64_t state = seed;
+  int flipped = 0;
+  for (int i = 0; i < flips; ++i) {
+    const std::uint64_t draw = splitmix64(state);
+    const std::uint64_t position = offset + (draw % window);
+    image[position] ^= static_cast<std::uint8_t>(1U << ((draw >> 32) % 8));
+    ++flipped;
+  }
+  return flipped;
+}
+
 }  // namespace
+
+Status JournalMedia::write_at(std::uint64_t /*offset*/, ByteSpan /*data*/) {
+  return unimplemented_error(
+      "journal media does not support in-place repair writes");
+}
 
 Bytes encode_journal_record(const JournalRecord& record) {
   Bytes out;
@@ -96,6 +134,29 @@ Result<Bytes> MemoryJournalMedia::read_all() {
   return durable_;
 }
 
+Status MemoryJournalMedia::write_at(std::uint64_t offset, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (offset + data.size() > durable_.size()) {
+    durable_.resize(offset + data.size());
+  }
+  std::copy(data.begin(), data.end(),
+            durable_.begin() + static_cast<std::ptrdiff_t>(offset));
+  return Status();
+}
+
+int MemoryJournalMedia::rot(std::uint64_t seed, std::uint64_t offset,
+                            std::uint64_t length, int flips) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rot_image(durable_, seed, offset, length, flips);
+}
+
+std::size_t MemoryJournalMedia::drop_durable_tail(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t dropped = std::min(bytes, durable_.size());
+  durable_.resize(durable_.size() - dropped);
+  return dropped;
+}
+
 void MemoryJournalMedia::crash() {
   std::lock_guard<std::mutex> lock(mutex_);
   pending_.clear();
@@ -136,6 +197,14 @@ Status FileJournalMedia::append(ByteSpan data) {
       return unavailable_error("journal: open '" + path_ +
                                "': " + std::strerror(errno));
     }
+    // The directory entry must be durable before any record is: otherwise a
+    // crash after create loses the file itself and the journal silently
+    // reads back as a fresh session — a hole no torn-tail scan can see.
+    const Status dirsync = sync_parent_directory_locked();
+    if (!dirsync.is_ok()) {
+      sticky_ = dirsync;
+      return sticky_;
+    }
   }
   std::size_t written = 0;
   while (written < data.size()) {
@@ -174,6 +243,130 @@ Status FileJournalMedia::flush() {
     sticky_ = data_loss_error("journal: fsync '" + path_ +
                               "': " + std::strerror(errno));
     return sticky_;
+  }
+  return Status();
+}
+
+Status FileJournalMedia::sync_parent_directory_locked() {
+  if (directory_synced_) {
+    return Status();
+  }
+  if (fail_dirsync_) {
+    // Crash-before-dirsync simulation: the entry never became durable.
+    return data_loss_error("journal: dirsync '" + path_ +
+                           "': injected failure (crash before the directory "
+                           "entry became durable)");
+  }
+  const auto slash = path_.find_last_of('/');
+  const std::string parent =
+      slash == std::string::npos ? "." : path_.substr(0, slash + 1);
+  const int dir_fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) {
+    return data_loss_error("journal: open dir '" + parent +
+                           "': " + std::strerror(errno));
+  }
+  const int rc = ::fsync(dir_fd);
+  const int saved_errno = errno;
+  ::close(dir_fd);
+  if (rc != 0) {
+    return data_loss_error("journal: dirsync '" + parent +
+                           "': " + std::strerror(saved_errno));
+  }
+  directory_synced_ = true;
+  return Status();
+}
+
+bool FileJournalMedia::directory_synced() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return directory_synced_;
+}
+
+void FileJournalMedia::fail_dirsync_for_test() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_dirsync_ = true;
+}
+
+Status FileJournalMedia::write_at(std::uint64_t offset, ByteSpan data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!sticky_.is_ok()) {
+    return sticky_;
+  }
+  // A dedicated non-append fd: pwrite on an O_APPEND descriptor ignores the
+  // offset on Linux, which would turn every repair into a corrupting append.
+  const int fd = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return unavailable_error("journal: open '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::pwrite(fd, data.data() + written, data.size() - written,
+                 static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      const Status status = data_loss_error("journal: repair write '" + path_ +
+                                            "': " + std::strerror(errno));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) {
+      ::close(fd);
+      return data_loss_error("journal: short repair write '" + path_ + "'");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status status = data_loss_error("journal: repair fsync '" + path_ +
+                                          "': " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status();
+}
+
+Result<int> FileJournalMedia::rot(std::uint64_t seed, std::uint64_t offset,
+                                  std::uint64_t length, int flips) {
+  auto image = read_all();
+  if (!image.ok()) {
+    return image.status();
+  }
+  Bytes bytes = std::move(image).value();
+  const int flipped = rot_image(bytes, seed, offset, length, flips);
+  if (flipped == 0) {
+    return 0;
+  }
+  NS_RETURN_IF_ERROR(write_at(0, bytes));
+  return flipped;
+}
+
+Status FileJournalMedia::drop_tail(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto size = [&]() -> Result<std::uint64_t> {
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return unavailable_error("journal: open '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    const off_t end = ::lseek(fd, 0, SEEK_END);
+    ::close(fd);
+    if (end < 0) {
+      return unavailable_error("journal: seek '" + path_ +
+                               "': " + std::strerror(errno));
+    }
+    return static_cast<std::uint64_t>(end);
+  }();
+  if (!size.ok()) {
+    return size.status();
+  }
+  const std::uint64_t keep =
+      size.value() > bytes ? size.value() - bytes : 0;
+  if (::truncate(path_.c_str(), static_cast<off_t>(keep)) != 0) {
+    return unavailable_error("journal: truncate '" + path_ +
+                             "': " + std::strerror(errno));
   }
   return Status();
 }

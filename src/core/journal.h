@@ -98,6 +98,13 @@ class JournalMedia {
   virtual Status flush() = 0;
   /// Everything a restarted process would read back: durable bytes only.
   virtual Result<Bytes> read_all() = 0;
+  /// Overwrites durable bytes in place at `offset`, extending the journal
+  /// when the write reaches past its end. This is the anti-entropy repair
+  /// path (DESIGN.md §14), never the append path: repairs replace already-
+  /// durable bytes with verified-clean copies, so they bypass the pending
+  /// buffer and are durable on return. UNIMPLEMENTED by default — only
+  /// media that can be scrub targets provide it.
+  virtual Status write_at(std::uint64_t offset, ByteSpan data);
 };
 
 /// In-memory media with an explicit durability line, for crash tests: bytes
@@ -108,12 +115,25 @@ class MemoryJournalMedia : public JournalMedia {
   Status append(ByteSpan data) override;
   Status flush() override;
   Result<Bytes> read_all() override;
+  Status write_at(std::uint64_t offset, ByteSpan data) override;
 
   /// Simulates process death: unflushed bytes are gone.
   void crash();
   /// Simulates a torn append: keeps only `keep_pending` bytes of the pending
   /// tail as if the crash landed mid-write, then makes them durable.
   void crash_torn(std::size_t keep_pending);
+
+  /// Seeded latent bit rot (DESIGN.md §14): flips one deterministic bit in
+  /// each of `flips` seeded positions within durable bytes
+  /// [offset, offset + length). Same seed, same damage. Returns how many
+  /// bits were flipped (less than `flips` when the window is empty).
+  int rot(std::uint64_t seed, std::uint64_t offset, std::uint64_t length,
+          int flips = 1);
+
+  /// Stale-replica mode: the last `bytes` durable bytes silently vanish, as
+  /// if this replica stopped applying while still claiming to be current.
+  /// Returns how many bytes were dropped.
+  std::size_t drop_durable_tail(std::size_t bytes);
 
   [[nodiscard]] std::size_t durable_size() const;
 
@@ -135,6 +155,11 @@ class MemoryJournalMedia : public JournalMedia {
 /// scan's truncation; the latch keeps this incarnation from writing past
 /// it. Open failures are UNAVAILABLE and not sticky (transient, retried on
 /// the next append).
+/// Creating the file also fsyncs its parent directory: without the dirsync
+/// a crash right after create can lose the *file itself* (the inode is
+/// durable, the directory entry is not), which the torn-tail scan cannot
+/// see — the whole journal silently reverts to "fresh session". A failed
+/// dirsync latches DATA_LOSS exactly like a failed write.
 class FileJournalMedia : public JournalMedia {
  public:
   explicit FileJournalMedia(std::string path);
@@ -143,12 +168,32 @@ class FileJournalMedia : public JournalMedia {
   Status append(ByteSpan data) override;
   Status flush() override;
   Result<Bytes> read_all() override;
+  Status write_at(std::uint64_t offset, ByteSpan data) override;
+
+  /// Seeded latent bit rot against the file image, for scrub tests: same
+  /// contract as MemoryJournalMedia::rot. Returns bits flipped.
+  Result<int> rot(std::uint64_t seed, std::uint64_t offset,
+                  std::uint64_t length, int flips = 1);
+
+  /// Stale-replica mode: truncates the last `bytes` off the file.
+  Status drop_tail(std::uint64_t bytes);
+
+  /// True once the parent directory entry has been made durable.
+  [[nodiscard]] bool directory_synced() const;
+
+  /// Crash-before-dirsync simulation: the next (or pending) directory sync
+  /// reports failure, as if the machine died between create and dirsync.
+  void fail_dirsync_for_test();
 
  private:
-  std::mutex mutex_;
+  Status sync_parent_directory_locked();
+
+  mutable std::mutex mutex_;
   std::string path_;
   int fd_ = -1;
   Status sticky_ = Status::ok();  ///< first write/fsync DATA_LOSS, latched
+  bool directory_synced_ = false;
+  bool fail_dirsync_ = false;  ///< test hook: simulate dirsync failure
 };
 
 /// Sender-side write-ahead journal: one record per chunk *before* it is

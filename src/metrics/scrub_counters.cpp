@@ -1,0 +1,93 @@
+#include "metrics/scrub_counters.h"
+
+namespace numastream {
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  std::uint64_t ScrubCountersSnapshot::*field;
+};
+
+// One row per counter, in incident order: the local sweep that notices rot,
+// the cross-gateway digest exchange that localizes it, the repair that
+// closes it, and the injection/failover audit that proves what was at stake.
+constexpr NamedCounter kCounters[] = {
+    {"records_scanned", &ScrubCountersSnapshot::records_scanned},
+    {"scrub_passes", &ScrubCountersSnapshot::scrub_passes},
+    {"corrupt_records_found", &ScrubCountersSnapshot::corrupt_records_found},
+    {"ranges_quarantined", &ScrubCountersSnapshot::ranges_quarantined},
+    {"ranges_repaired", &ScrubCountersSnapshot::ranges_repaired},
+    {"ranges_unrepairable", &ScrubCountersSnapshot::ranges_unrepairable},
+    {"digest_rounds", &ScrubCountersSnapshot::digest_rounds},
+    {"ranges_compared", &ScrubCountersSnapshot::ranges_compared},
+    {"ranges_diverged", &ScrubCountersSnapshot::ranges_diverged},
+    {"records_pulled", &ScrubCountersSnapshot::records_pulled},
+    {"records_pushed", &ScrubCountersSnapshot::records_pushed},
+    {"repair_verify_failures",
+     &ScrubCountersSnapshot::repair_verify_failures},
+    {"fenced_scrubs_rejected",
+     &ScrubCountersSnapshot::fenced_scrubs_rejected},
+    {"records_rotted", &ScrubCountersSnapshot::records_rotted},
+    {"stale_records_dropped", &ScrubCountersSnapshot::stale_records_dropped},
+    {"failover_lost_records", &ScrubCountersSnapshot::failover_lost_records},
+};
+
+}  // namespace
+
+std::string ScrubCountersSnapshot::to_string() const {
+  std::string out;
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = this->*(counter.field);
+    if (value == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += counter.name;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out.empty() ? "clean" : out;
+}
+
+ScrubCountersSnapshot ScrubCounters::snapshot() const {
+  ScrubCountersSnapshot s;
+  s.records_scanned = records_scanned.load(std::memory_order_relaxed);
+  s.scrub_passes = scrub_passes.load(std::memory_order_relaxed);
+  s.corrupt_records_found =
+      corrupt_records_found.load(std::memory_order_relaxed);
+  s.ranges_quarantined = ranges_quarantined.load(std::memory_order_relaxed);
+  s.ranges_repaired = ranges_repaired.load(std::memory_order_relaxed);
+  s.ranges_unrepairable = ranges_unrepairable.load(std::memory_order_relaxed);
+  s.digest_rounds = digest_rounds.load(std::memory_order_relaxed);
+  s.ranges_compared = ranges_compared.load(std::memory_order_relaxed);
+  s.ranges_diverged = ranges_diverged.load(std::memory_order_relaxed);
+  s.records_pulled = records_pulled.load(std::memory_order_relaxed);
+  s.records_pushed = records_pushed.load(std::memory_order_relaxed);
+  s.repair_verify_failures =
+      repair_verify_failures.load(std::memory_order_relaxed);
+  s.fenced_scrubs_rejected =
+      fenced_scrubs_rejected.load(std::memory_order_relaxed);
+  s.records_rotted = records_rotted.load(std::memory_order_relaxed);
+  s.stale_records_dropped =
+      stale_records_dropped.load(std::memory_order_relaxed);
+  s.failover_lost_records =
+      failover_lost_records.load(std::memory_order_relaxed);
+  return s;
+}
+
+TextTable scrub_table(const ScrubCountersSnapshot& snapshot,
+                      bool nonzero_only) {
+  TextTable table({"counter", "count"});
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = snapshot.*(counter.field);
+    if (nonzero_only && value == 0) {
+      continue;
+    }
+    table.add_row({counter.name, std::to_string(value)});
+  }
+  return table;
+}
+
+}  // namespace numastream

@@ -1,0 +1,89 @@
+// ScrubCounters: one node's anti-entropy ledger.
+//
+// The sixth ledger next to FaultCounters, OverloadCounters, HealthCounters,
+// ResumeCounters and FederationCounters: this one accounts for what the
+// background scrubber and the cross-gateway repair protocol did — durable
+// records re-verified, latent corruption found and quarantined, digest
+// rounds exchanged with the ring buddy, divergent ranges repaired from
+// whichever side verified clean, and the injection/failover audit trail
+// (records deliberately rotted by a test, records whose durable evidence a
+// failover would have lost). Rot injection is seeded, so in simulation
+// these counters double as the bit-identity fingerprint of a scrub run:
+// same seed, same snapshot.
+//
+// Counters are relaxed atomics; snapshot() yields a comparable plain struct
+// and scrub_table() renders one through the shared TextTable formatter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of ScrubCounters, comparable and printable.
+struct ScrubCountersSnapshot {
+  // Local scrubber (core/scrub.h).
+  std::uint64_t records_scanned = 0;     ///< durable records re-verified
+  std::uint64_t scrub_passes = 0;        ///< full journal sweeps completed
+  std::uint64_t corrupt_records_found = 0;  ///< checksum failures on re-read
+  std::uint64_t ranges_quarantined = 0;  ///< ranges latched as corrupt
+  std::uint64_t ranges_repaired = 0;     ///< quarantines lifted after repair
+  std::uint64_t ranges_unrepairable = 0; ///< neither side verified clean
+
+  // Anti-entropy protocol (cluster/antientropy.h).
+  std::uint64_t digest_rounds = 0;       ///< digest exchanges with the buddy
+  std::uint64_t ranges_compared = 0;     ///< ranges digest-checked
+  std::uint64_t ranges_diverged = 0;     ///< digest mismatches found
+  std::uint64_t records_pulled = 0;      ///< records fetched from the buddy
+  std::uint64_t records_pushed = 0;      ///< records installed at the buddy
+  std::uint64_t repair_verify_failures = 0;  ///< repairs refused on checksum
+  std::uint64_t fenced_scrubs_rejected = 0;  ///< stale-epoch scrubs refused
+
+  // Injection / failover audit (tests, sim, bench).
+  std::uint64_t records_rotted = 0;      ///< records deliberately corrupted
+  std::uint64_t stale_records_dropped = 0;  ///< replica tail records dropped
+  std::uint64_t failover_lost_records = 0;  ///< ledger holes a takeover hit
+
+  friend bool operator==(const ScrubCountersSnapshot&,
+                         const ScrubCountersSnapshot&) = default;
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by the journal scrubber, the anti-entropy
+/// exchange, and the fault injectors. All increments are relaxed: counters
+/// are statistics, not synchronization.
+class ScrubCounters {
+ public:
+  std::atomic<std::uint64_t> records_scanned{0};
+  std::atomic<std::uint64_t> scrub_passes{0};
+  std::atomic<std::uint64_t> corrupt_records_found{0};
+  std::atomic<std::uint64_t> ranges_quarantined{0};
+  std::atomic<std::uint64_t> ranges_repaired{0};
+  std::atomic<std::uint64_t> ranges_unrepairable{0};
+
+  std::atomic<std::uint64_t> digest_rounds{0};
+  std::atomic<std::uint64_t> ranges_compared{0};
+  std::atomic<std::uint64_t> ranges_diverged{0};
+  std::atomic<std::uint64_t> records_pulled{0};
+  std::atomic<std::uint64_t> records_pushed{0};
+  std::atomic<std::uint64_t> repair_verify_failures{0};
+  std::atomic<std::uint64_t> fenced_scrubs_rejected{0};
+
+  std::atomic<std::uint64_t> records_rotted{0};
+  std::atomic<std::uint64_t> stale_records_dropped{0};
+  std::atomic<std::uint64_t> failover_lost_records{0};
+
+  [[nodiscard]] ScrubCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so rot-free runs print short.
+TextTable scrub_table(const ScrubCountersSnapshot& snapshot,
+                      bool nonzero_only = false);
+
+}  // namespace numastream

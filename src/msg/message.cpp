@@ -21,7 +21,8 @@ Bytes encode_message(const Message& message) {
       (message.credit ? kMessageFlagCredit : 0) |
       (message.resume ? kMessageFlagResume : 0) |
       (message.repl ? kMessageFlagRepl : 0) |
-      (message.handoff ? kMessageFlagHandoff : 0)));
+      (message.handoff ? kMessageFlagHandoff : 0) |
+      (message.scrub ? kMessageFlagScrub : 0)));
   w.u16(0);
   w.u64(message.body.size());
   w.u32(xxhash32(message.body));
@@ -80,6 +81,43 @@ Message Message::handoff_frame(const HandoffInfo& info,
   w.u64(info.watermark);
   NS_CHECK(m.body.size() == kHandoffBodySize,
            "handoff frame body must be exactly kHandoffBodySize");
+  return m;
+}
+
+Message Message::scrub_frame(const ScrubInfo& info,
+                             std::uint64_t scrub_sequence) {
+  NS_CHECK(info.kind == ScrubKind::kDigestReply || info.digests.empty(),
+           "only digest replies carry digest entries");
+  NS_CHECK(info.records.size() % kScrubRecordSize == 0,
+           "scrub frame records must be whole journal records");
+  NS_CHECK(info.kind == ScrubKind::kRepairPush ||
+               info.kind == ScrubKind::kRepairReply || info.records.empty(),
+           "only repair push/reply frames carry records");
+  Message m;
+  m.scrub = true;
+  m.sequence = scrub_sequence;
+  const std::size_t payload =
+      info.kind == ScrubKind::kDigestReply
+          ? info.digests.size() * kScrubDigestSize
+          : info.records.size();
+  m.body.reserve(kScrubBodyPrefix + payload);
+  ByteWriter w(m.body);
+  w.u32(static_cast<std::uint32_t>(info.kind));
+  w.u64(info.session_id);
+  w.u64(info.epoch);
+  w.u64(info.range);
+  w.u32(info.range_records);
+  if (info.kind == ScrubKind::kDigestReply) {
+    w.u32(static_cast<std::uint32_t>(info.digests.size()));
+    for (const ScrubRangeDigest& entry : info.digests) {
+      w.u64(entry.range);
+      w.u32(entry.records);
+      w.u32(entry.digest);
+    }
+  } else {
+    w.u32(static_cast<std::uint32_t>(info.records.size() / kScrubRecordSize));
+    w.raw(info.records);
+  }
   return m;
 }
 
@@ -153,6 +191,50 @@ Result<HandoffInfo> parse_handoff_body(ByteSpan body) {
   NS_RETURN_IF_ERROR(r.u32(info.source_gateway));
   NS_RETURN_IF_ERROR(r.u32(info.target_gateway));
   NS_RETURN_IF_ERROR(r.u64(info.watermark));
+  return info;
+}
+
+Result<ScrubInfo> parse_scrub_body(ByteSpan body) {
+  ByteReader r(body);
+  ScrubInfo info;
+  std::uint32_t kind = 0;
+  std::uint32_t count = 0;
+  if (!r.u32(kind).is_ok() || !r.u64(info.session_id).is_ok() ||
+      !r.u64(info.epoch).is_ok() || !r.u64(info.range).is_ok() ||
+      !r.u32(info.range_records).is_ok() || !r.u32(count).is_ok()) {
+    return invalid_argument_error("scrub frame: body shorter than prefix");
+  }
+  if (kind < static_cast<std::uint32_t>(ScrubKind::kDigestRequest) ||
+      kind > static_cast<std::uint32_t>(ScrubKind::kRepairReply)) {
+    return invalid_argument_error("scrub frame: unknown kind " +
+                                  std::to_string(kind));
+  }
+  info.kind = static_cast<ScrubKind>(kind);
+  const std::size_t entry_size =
+      info.kind == ScrubKind::kDigestReply ? kScrubDigestSize
+                                           : kScrubRecordSize;
+  if (body.size() != kScrubBodyPrefix + std::size_t{count} * entry_size) {
+    return invalid_argument_error(
+        "scrub frame: entry count disagrees with body length");
+  }
+  if (count != 0 && info.kind != ScrubKind::kDigestReply &&
+      info.kind != ScrubKind::kRepairPush &&
+      info.kind != ScrubKind::kRepairReply) {
+    return invalid_argument_error(
+        "scrub frame: payload on a request frame");
+  }
+  if (info.kind == ScrubKind::kDigestReply) {
+    info.digests.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      ScrubRangeDigest entry;
+      NS_RETURN_IF_ERROR(r.u64(entry.range));
+      NS_RETURN_IF_ERROR(r.u32(entry.records));
+      NS_RETURN_IF_ERROR(r.u32(entry.digest));
+      info.digests.push_back(entry);
+    }
+  } else {
+    info.records.assign(body.begin() + kScrubBodyPrefix, body.end());
+  }
   return info;
 }
 
@@ -260,6 +342,23 @@ Result<Message> MessageDecoder::next() {
         continue;
       }
     }
+    if ((flags & kMessageFlagScrub) != 0) {
+      if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
+                    kMessageFlagResume | kMessageFlagRepl |
+                    kMessageFlagHandoff)) != 0) {
+        if (auto st =
+                corruption("message: scrub frame with conflicting flags")) {
+          return *st;
+        }
+        continue;
+      }
+      if (body_size < kScrubBodyPrefix) {
+        if (auto st = corruption("message: scrub frame body too short")) {
+          return *st;
+        }
+        continue;
+      }
+    }
     if (body_size > kMaxMessageBody) {
       if (auto st = corruption("message: body size " + std::to_string(body_size) +
                                " exceeds limit")) {
@@ -279,6 +378,7 @@ Result<Message> MessageDecoder::next() {
     message.resume = (flags & kMessageFlagResume) != 0;
     message.repl = (flags & kMessageFlagRepl) != 0;
     message.handoff = (flags & kMessageFlagHandoff) != 0;
+    message.scrub = (flags & kMessageFlagScrub) != 0;
     message.body.assign(header + kMessageHeaderSize,
                         header + kMessageHeaderSize + body_size);
     if (xxhash32(message.body) != load_le32(header + 28)) {

@@ -75,6 +75,31 @@
 // never double-deliver. HANDOFF frames only appear when the `rebalance`
 // directive is configured; absent that directive the wire stays
 // bit-identical to v1.3.
+//
+// Bit 5 is the v1.5 extension — a *SCRUB* control frame that carries the
+// anti-entropy sub-protocol between a primary gateway and its ring buddy
+// (DESIGN.md §14). The message's sequence field is the scrub exchange
+// sequence number and the body is:
+//
+//   0   4  kind (1 digest request, 2 digest reply, 3 repair pull,
+//           4 repair push, 5 repair reply)
+//   4   8  session id
+//   12  8  epoch
+//   20  8  range index
+//   28  4  range size in records (both sides must agree)
+//   32  4  count N (digest entries or journal records; 0 otherwise)
+//   36  .. N x 16-byte digest entries (digest reply:
+//           u64 range index, u32 record count, u32 xxhash32 of the range)
+//           or N x 37-byte journal records (repair push / repair reply)
+//
+// Digest replies let divergence be found without shipping whole journals;
+// repair frames move only the divergent ranges, and every shipped record is
+// checksum-verified by the *receiving* side before it is installed, so a
+// forged digest or a rotted repair can never propagate corruption. The
+// epoch fences a stale primary exactly as REPL does: a promoted buddy
+// refuses scrub traffic stamped with an older epoch. SCRUB frames only
+// appear when the `scrub` directive is configured; absent that directive
+// the wire stays bit-identical to v1.4.
 #pragma once
 
 #include <cstdint>
@@ -93,9 +118,10 @@ inline constexpr std::uint16_t kMessageFlagCredit = 2;
 inline constexpr std::uint16_t kMessageFlagResume = 4;
 inline constexpr std::uint16_t kMessageFlagRepl = 8;
 inline constexpr std::uint16_t kMessageFlagHandoff = 16;
+inline constexpr std::uint16_t kMessageFlagScrub = 32;
 inline constexpr std::uint16_t kMessageKnownFlags =
     kMessageFlagEndOfStream | kMessageFlagCredit | kMessageFlagResume |
-    kMessageFlagRepl | kMessageFlagHandoff;
+    kMessageFlagRepl | kMessageFlagHandoff | kMessageFlagScrub;
 
 /// Fixed prefix of a RESUME body: session id + stream count.
 inline constexpr std::size_t kResumeBodyPrefix = 12;
@@ -113,6 +139,16 @@ inline constexpr std::size_t kReplRecordSize = 37;
 /// source gateway + target gateway + watermark. HANDOFF frames are always
 /// exactly this long; any other length is corruption.
 inline constexpr std::size_t kHandoffBodySize = 40;
+
+/// Fixed prefix of a SCRUB body: kind + session + epoch + range index +
+/// range size + entry count.
+inline constexpr std::size_t kScrubBodyPrefix = 36;
+/// Bytes per range-digest entry in a SCRUB digest reply.
+inline constexpr std::size_t kScrubDigestSize = 16;
+/// Bytes per journal record in a SCRUB repair body. Mirrors
+/// kJournalRecordSize (core/journal.h) exactly as kReplRecordSize does;
+/// cluster/antientropy static_asserts the agreement.
+inline constexpr std::size_t kScrubRecordSize = 37;
 
 /// Refuse absurd body sizes before allocating: protects a receiver from a
 /// corrupt or hostile length prefix. Generous relative to the 11 MiB chunks.
@@ -181,6 +217,46 @@ struct HandoffInfo {
   friend bool operator==(const HandoffInfo&, const HandoffInfo&) = default;
 };
 
+/// SCRUB frame kinds: the anti-entropy sub-protocol between a primary and
+/// its ring buddy (the scrubbing side drives requests; the buddy answers).
+enum class ScrubKind : std::uint32_t {
+  kDigestRequest = 1,  ///< scrubber -> buddy: send your range digests
+  kDigestReply = 2,    ///< buddy -> scrubber: per-range digests of the replica
+  kRepairPull = 3,     ///< scrubber -> buddy: send range's records verbatim
+  kRepairPush = 4,     ///< scrubber -> buddy: install these verified records
+  kRepairReply = 5,    ///< buddy -> scrubber: pulled records / push receipt
+};
+
+/// One journal range's fingerprint: `records` whole records hashed as raw
+/// bytes. Two sides whose (records, digest) pairs agree per range hold
+/// byte-identical journals without ever shipping them.
+struct ScrubRangeDigest {
+  std::uint64_t range = 0;      ///< range index (record index / range size)
+  std::uint32_t records = 0;    ///< whole records present in the range
+  std::uint32_t digest = 0;     ///< xxhash32 over the range's raw bytes
+
+  friend bool operator==(const ScrubRangeDigest&,
+                         const ScrubRangeDigest&) = default;
+};
+
+/// Decoded payload of a SCRUB control frame.
+struct ScrubInfo {
+  ScrubKind kind = ScrubKind::kDigestRequest;
+  std::uint64_t session_id = 0;
+  std::uint64_t epoch = 0;
+  /// Range the frame addresses (repair kinds); ignored for digest kinds,
+  /// which always cover the whole journal.
+  std::uint64_t range = 0;
+  /// Records per range; both sides must agree or the exchange is refused.
+  std::uint32_t range_records = 0;
+  /// kDigestReply only: the replying side's per-range digests.
+  std::vector<ScrubRangeDigest> digests;
+  /// kRepairPush / kRepairReply only: concatenated 37-byte journal records.
+  Bytes records;
+
+  friend bool operator==(const ScrubInfo&, const ScrubInfo&) = default;
+};
+
 struct Message {
   std::uint32_t stream_id = 0;
   std::uint64_t sequence = 0;
@@ -200,6 +276,10 @@ struct Message {
   /// field is the handoff sequence number and the fixed-size body carries a
   /// HandoffInfo (see parse_handoff_body).
   bool handoff = false;
+  /// Control frame: gateway-to-gateway anti-entropy scrub/repair; the
+  /// sequence field is the scrub exchange sequence and the body carries a
+  /// ScrubInfo (see parse_scrub_body).
+  bool scrub = false;
   Bytes body;
 
   [[nodiscard]] static Message end_of_stream_marker(std::uint32_t stream_id,
@@ -236,6 +316,13 @@ struct Message {
   /// sequence field; the fixed-size body carries the rest of `info`.
   [[nodiscard]] static Message handoff_frame(const HandoffInfo& info,
                                              std::uint64_t handoff_sequence = 0);
+
+  /// Anti-entropy scrub frame. `scrub_sequence` lands in the message's
+  /// sequence field. `info.digests` must be empty unless the kind is
+  /// kDigestReply; `info.records` must be a whole number of 37-byte journal
+  /// records and empty unless the kind is kRepairPush or kRepairReply.
+  [[nodiscard]] static Message scrub_frame(const ScrubInfo& info,
+                                           std::uint64_t scrub_sequence = 0);
 };
 
 /// Parses a RESUME frame body. INVALID_ARGUMENT when the declared stream
@@ -249,6 +336,11 @@ Result<ReplInfo> parse_repl_body(ByteSpan body);
 /// Parses a HANDOFF frame body. INVALID_ARGUMENT when the phase is unknown
 /// or the body is not exactly kHandoffBodySize bytes.
 Result<HandoffInfo> parse_handoff_body(ByteSpan body);
+
+/// Parses a SCRUB frame body. INVALID_ARGUMENT when the kind is unknown,
+/// the declared entry count disagrees with the body length, or a payload
+/// rides on a kind that must be payload-less.
+Result<ScrubInfo> parse_scrub_body(ByteSpan body);
 
 /// Serializes a message (header + body) into a fresh buffer.
 Bytes encode_message(const Message& message);

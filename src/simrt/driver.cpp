@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 
 #include "cluster/failover.h"
 #include "cluster/rebalance.h"
@@ -17,6 +18,16 @@ namespace numastream::simrt {
 namespace {
 
 using StageBusy = StreamPipeline::StageBusy;
+
+/// The seeded PRNG behind rot injection (same generator the journal media's
+/// fault hooks use): one u64 stream fully determined by the seed, so a rot
+/// schedule is reproducible bit-for-bit.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
 /// Resolves worker cores for task groups on one host. Pinned groups rotate
 /// through their domains' cores; the rotation state persists across calls so
@@ -322,6 +333,17 @@ class CrashInjector {
 ///     responsiveness to the same factor, so the two-state detector settles
 ///     on kDegraded — alive, slow, never a crash takeover.
 ///
+///   * Anti-entropy scrubbing (DESIGN.md §14): when the ScrubConfig is
+///     enabled the monitor also runs a digest round for every live stream
+///     on the scrub cadence, modeled by its ledger effects against the
+///     stream's rot set: the serving gateway's clean journal is compared
+///     range-by-range with its standby's replica, up to budget_records per
+///     round from a per-stream cursor, and up to repair_concurrency
+///     divergent ranges push-repair per round (erasing their rot). Rot that
+///     is still unrepaired when a takeover replays the replica becomes
+///     delivery holes: the recovery scan truncates at the first bad record,
+///     so every record at or after it is lost (failover_lost_records).
+///
 ///   * Rebalancing: when the RebalanceConfig is enabled the monitor samples
 ///     per-gateway load every rebalance window and runs a
 ///     RebalanceController; a trigger executes a *planned* handoff of the
@@ -338,17 +360,21 @@ class FederationMonitor {
                     std::vector<ExperimentOptions::GatewayCrashEvent> events,
                     std::vector<ExperimentOptions::GatewayDegradeEvent> degrades,
                     const RebalanceConfig& rebalance, double handoff_seconds,
+                    const ScrubConfig& scrub,
+                    std::vector<ExperimentOptions::RotEvent> rots,
                     bool compress)
       : sim_(sim),
         cluster_(cluster),
         rebalance_config_(rebalance),
         handoff_seconds_(handoff_seconds),
+        scrub_config_(scrub),
         topo_(topo),
         receiver_config_(receiver_config),
         gateway_hosts_(std::move(gateway_hosts)),
         gateway_allocs_(std::move(gateway_allocs)),
         events_(std::move(events)),
         degrades_(std::move(degrades)),
+        rots_(std::move(rots)),
         compress_(compress),
         ring_(cluster.gateways, cluster.vnodes),
         detector_(cluster, &counters_) {
@@ -361,6 +387,7 @@ class FederationMonitor {
     }
     live_.assign(cluster_.gateways, true);
     degrade_active_.assign(degrades_.size(), false);
+    rot_fired_.assign(rots_.size(), false);
     if (rebalance_config_.enabled()) {
       rebalancer_.emplace(rebalance_config_, cluster_.gateways, &counters_);
     }
@@ -381,6 +408,10 @@ class FederationMonitor {
     return counters_.snapshot();
   }
 
+  [[nodiscard]] ScrubCountersSnapshot scrub_counters() const {
+    return scrub_counters_.snapshot();
+  }
+
   /// Gateway serving each stream (launch order) as of now / end of run.
   [[nodiscard]] std::vector<std::uint32_t> stream_gateways() const {
     std::vector<std::uint32_t> gateways;
@@ -399,6 +430,10 @@ class FederationMonitor {
     std::uint64_t sampled_records = 0;  ///< journal records already shipped
     double sampled_wire_bytes = 0;  ///< wire bytes at last rebalance sample
     double window_wire_bytes = 0;   ///< latest rebalance-window wire delta
+    /// Record indices of the standby replica that currently hold rot (or a
+    /// stale-dropped tail). Empty = the replica matches the primary.
+    std::set<std::uint64_t> replica_rot;
+    std::uint64_t scrub_cursor = 0;  ///< next record a scrub round examines
   };
 
   [[nodiscard]] bool all_accounted() const {
@@ -463,6 +498,19 @@ class FederationMonitor {
         counters_.repl_appends_acked.fetch_add(1, std::memory_order_relaxed);
         counters_.note_repl_lag(delta);
       }
+      // Latent corruption lands on schedule; scrub rounds (if configured)
+      // run before failure detection, so a repair completing in the death
+      // window still restores the replica the takeover is about to replay.
+      apply_rots(now);
+      if (scrub_config_.enabled()) {
+        ++windows_since_scrub_;
+        const std::uint64_t windows_per_scrub = std::max<std::uint64_t>(
+            1, scrub_config_.cadence_ms / cluster_.heartbeat_ms);
+        if (windows_since_scrub_ >= windows_per_scrub) {
+          windows_since_scrub_ = 0;
+          run_scrub_round(now);
+        }
+      }
       // Gray degradation: scale capacities and responsiveness on schedule.
       apply_degradations(now);
       // Failure detection: each window a silenced gateway answers zero of
@@ -502,6 +550,120 @@ class FederationMonitor {
       }
     }
     return score;
+  }
+
+  /// Fires due rot events: each damages seeded record indices of the
+  /// stream's standby *replica* (the copy a takeover will replay). An event
+  /// whose stream has no shipped records yet stays pending — there is
+  /// nothing to rot — and fires on a later window; determinism holds
+  /// because the shipped-record counts are themselves deterministic.
+  void apply_rots(double now) {
+    for (std::size_t i = 0; i < rots_.size(); ++i) {
+      const auto& event = rots_[i];
+      if (rot_fired_[i] || event.at_seconds > now) {
+        continue;
+      }
+      Stream& stream = streams_[event.stream];
+      if (stream.sampled_records == 0) {
+        continue;  // replica still empty; retry next window
+      }
+      rot_fired_[i] = true;
+      if (event.stale) {
+        // Stale replica: the tail never arrived. Mark the last `records`
+        // indices divergent — the push-repair path re-ships them.
+        const std::uint64_t drop =
+            std::min(event.records, stream.sampled_records);
+        for (std::uint64_t r = stream.sampled_records - drop;
+             r < stream.sampled_records; ++r) {
+          stream.replica_rot.insert(r);
+        }
+        scrub_counters_.stale_records_dropped.fetch_add(
+            drop, std::memory_order_relaxed);
+        continue;
+      }
+      std::uint64_t state = event.seed;
+      std::uint64_t placed = 0;
+      for (std::uint64_t draw = 0; draw < event.records; ++draw) {
+        if (stream.replica_rot
+                .insert(splitmix64(state) % stream.sampled_records)
+                .second) {
+          ++placed;
+        }
+      }
+      scrub_counters_.records_rotted.fetch_add(placed,
+                                               std::memory_order_relaxed);
+    }
+  }
+
+  /// One anti-entropy round per live stream with a live, distinct standby:
+  /// digest-compare up to budget_records from the stream's cursor and
+  /// push-repair up to repair_concurrency divergent ranges.
+  void run_scrub_round(double now) {
+    for (Stream& stream : streams_) {
+      if (!live_[stream.gateway] || silenced(stream.gateway, now)) {
+        continue;
+      }
+      const std::uint32_t standby =
+          standby_for(stream.pipeline->spec().stream_id, stream.gateway, now);
+      if (standby == stream.gateway) {
+        continue;  // no buddy to compare against
+      }
+      const std::uint64_t total = stream.sampled_records;
+      if (total == 0) {
+        continue;
+      }
+      scrub_counters_.digest_rounds.fetch_add(1, std::memory_order_relaxed);
+      if (stream.scrub_cursor >= total) {
+        stream.scrub_cursor = 0;  // defensive: cursor past a shrunken journal
+      }
+      const std::uint64_t window = std::min<std::uint64_t>(
+          scrub_config_.budget_records, total - stream.scrub_cursor);
+      const std::uint64_t first_range =
+          stream.scrub_cursor / scrub_config_.range_records;
+      const std::uint64_t last_range =
+          (stream.scrub_cursor + window - 1) / scrub_config_.range_records;
+      scrub_counters_.records_scanned.fetch_add(window,
+                                                std::memory_order_relaxed);
+      scrub_counters_.ranges_compared.fetch_add(last_range - first_range + 1,
+                                                std::memory_order_relaxed);
+      int repairs = 0;
+      for (std::uint64_t range = first_range;
+           range <= last_range && repairs < scrub_config_.repair_concurrency;
+           ++range) {
+        const std::uint64_t lo = range * scrub_config_.range_records;
+        const std::uint64_t hi = lo + scrub_config_.range_records;
+        const auto begin = stream.replica_rot.lower_bound(lo);
+        const auto end = stream.replica_rot.lower_bound(hi);
+        if (begin == end) {
+          continue;  // digests match
+        }
+        // Divergent: the primary's copy is clean (rot landed on the
+        // replica), so this is a push repair of the whole range.
+        const std::uint64_t damaged =
+            static_cast<std::uint64_t>(std::distance(begin, end));
+        stream.replica_rot.erase(begin, end);
+        scrub_counters_.ranges_diverged.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        scrub_counters_.corrupt_records_found.fetch_add(
+            damaged, std::memory_order_relaxed);
+        scrub_counters_.records_pushed.fetch_add(
+            std::min<std::uint64_t>(scrub_config_.range_records, total - lo),
+            std::memory_order_relaxed);
+        scrub_counters_.ranges_repaired.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        ++repairs;
+      }
+      // Wrap at the end of the journal exactly like JournalScrubber::tick:
+      // the next round restarts from record 0, so ranges behind the cursor
+      // are re-verified on every pass. Chasing the growing tail without
+      // wrapping would never rescan old ranges — and rot lands on records
+      // that were already scanned clean once.
+      stream.scrub_cursor += window;
+      if (stream.scrub_cursor >= total) {
+        stream.scrub_cursor = 0;
+        scrub_counters_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   /// Applies/heals NIC-capacity scaling as degrade events start and end.
@@ -687,6 +849,17 @@ class FederationMonitor {
   /// Moves one stream onto `adopter`: re-target the pipeline (replica
   /// replay + blackout) and migrate its workers onto adopter cores.
   void adopt(Stream& stream, std::uint32_t adopter, double failover_seconds) {
+    if (!stream.replica_rot.empty()) {
+      // Unrepaired rot at takeover: the recovery scan truncates the replica
+      // at the first bad record, so everything at or after it is a
+      // delivery hole. This is exactly the loss scrubbing exists to
+      // prevent — the ablation's no-scrub counterfactual lands here.
+      scrub_counters_.failover_lost_records.fetch_add(
+          stream.sampled_records - *stream.replica_rot.begin(),
+          std::memory_order_relaxed);
+      stream.replica_rot.clear();
+    }
+    stream.scrub_cursor = 0;
     SimHost* host = gateway_hosts_[adopter];
     const auto resource = host->nic_resource(stream.nic);
     const auto nic = topo_.find_nic(stream.nic);
@@ -731,22 +904,27 @@ class FederationMonitor {
   ClusterConfig cluster_;
   RebalanceConfig rebalance_config_;
   double handoff_seconds_;
+  ScrubConfig scrub_config_;
   const MachineTopology& topo_;
   const NodeConfig& receiver_config_;
   std::vector<SimHost*> gateway_hosts_;
   std::vector<CoreAllocator*> gateway_allocs_;
   std::vector<ExperimentOptions::GatewayCrashEvent> events_;
   std::vector<ExperimentOptions::GatewayDegradeEvent> degrades_;
+  std::vector<ExperimentOptions::RotEvent> rots_;
   bool compress_;
   cluster::GatewayRing ring_;
   cluster::PeerFailureDetector detector_;
   std::vector<cluster::FailoverCoordinator> coordinators_;
   std::vector<bool> live_;  ///< monitor's global view (coordinators' union)
   std::vector<bool> degrade_active_;  ///< per degrade event, applied now?
+  std::vector<bool> rot_fired_;       ///< per rot event, landed yet?
   std::map<int, double> nominal_capacity_;  ///< NIC resource -> pristine cap
   std::optional<cluster::RebalanceController> rebalancer_;
   std::uint64_t windows_since_sample_ = 0;
+  std::uint64_t windows_since_scrub_ = 0;
   FederationCounters counters_;
+  ScrubCounters scrub_counters_;
   std::vector<Stream> streams_;
 };
 
@@ -801,6 +979,32 @@ Result<ExperimentResult> run_experiment(
       return invalid_argument_error(
           "driver: gateway degrade event needs a known gateway, "
           "until > at (or 0 = forever) and slow_factor in (0, 1)");
+    }
+  }
+  if (options.scrub.enabled()) {
+    if (!clustered) {
+      return invalid_argument_error(
+          "driver: scrub needs options.cluster enabled (the ring buddy's "
+          "replica is the repair source)");
+    }
+    if (options.scrub.range_records == 0 || options.scrub.budget_records == 0 ||
+        options.scrub.repair_concurrency <= 0) {
+      return invalid_argument_error(
+          "driver: scrub needs positive range_records, budget_records and "
+          "repair_concurrency");
+    }
+  }
+  if (!options.rots.empty() && !clustered) {
+    return invalid_argument_error(
+        "driver: rot events need options.cluster enabled (rot lands on the "
+        "standby replica)");
+  }
+  for (const auto& event : options.rots) {
+    if (event.stream >= sender_configs.size() || event.at_seconds < 0 ||
+        event.records == 0) {
+      return invalid_argument_error(
+          "driver: rot event references an unknown stream, a negative time "
+          "or zero records");
     }
   }
   if (options.rebalance.enabled()) {
@@ -1039,7 +1243,8 @@ Result<ExperimentResult> run_experiment(
     federation.emplace(sim, options.cluster, receiver_topo, receiver_config,
                        gateway_hosts, gateway_allocs, options.gateway_crashes,
                        options.gateway_degrades, options.rebalance,
-                       options.handoff_seconds, options.compress);
+                       options.handoff_seconds, options.scrub, options.rots,
+                       options.compress);
     for (std::size_t stream = 0; stream < pipelines.size(); ++stream) {
       federation->add_stream(pipelines[stream].get(), stream_gateway[stream],
                              stream_nics[stream]);
@@ -1183,6 +1388,7 @@ Result<ExperimentResult> run_experiment(
   }
   if (federation.has_value()) {
     result.federation = federation->counters();
+    result.scrub = federation->scrub_counters();
     result.stream_gateways = federation->stream_gateways();
   }
   if (tracer != nullptr) {

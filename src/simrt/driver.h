@@ -13,6 +13,7 @@
 #include "core/advisor.h"
 #include "metrics/federation_counters.h"
 #include "metrics/health_counters.h"
+#include "metrics/scrub_counters.h"
 #include "metrics/timeline.h"
 #include "core/config.h"
 #include "core/config_generator.h"
@@ -124,6 +125,32 @@ struct ExperimentOptions {
   };
   std::vector<GatewayDegradeEvent> gateway_degrades;
 
+  /// Anti-entropy scrubbing (DESIGN.md §14): when `scrub.enabled()` (needs
+  /// cluster), the federation monitor also runs a digest round for every
+  /// live stream on the scrub cadence: the serving gateway's journal is
+  /// compared range-by-range against its standby's replica, divergent
+  /// ranges are repaired from the clean side, and the scrub ledger records
+  /// the whole arc. Default off — latent rot then survives until a
+  /// failover replays it as holes.
+  ScrubConfig scrub;
+
+  /// Seeded latent-corruption injection on virtual time (needs cluster).
+  /// Each event rots the stream's *standby replica* — the copy nobody
+  /// reads until a failover — so without scrubbing the damage stays latent
+  /// until takeover, where the recovery scan truncates at the first bad
+  /// record and every record at or after it becomes a delivery hole
+  /// (counted as scrub.failover_lost_records). Deterministic: the seed
+  /// fully determines which records rot, so same-seed reruns are
+  /// bit-identical.
+  struct RotEvent {
+    std::size_t stream = 0;      ///< launch-order stream index
+    double at_seconds = 0;       ///< virtual time the rot lands
+    std::uint64_t records = 1;   ///< how many replica records to damage
+    std::uint64_t seed = 1;      ///< picks which records (splitmix64 draws)
+    bool stale = false;          ///< true = drop the replica's tail instead
+  };
+  std::vector<RotEvent> rots;
+
   /// Load-driven rebalancing (DESIGN.md §13): when `rebalance.enabled()`
   /// (needs cluster), the federation monitor also samples per-gateway load
   /// every rebalance.window_ms and runs a RebalanceController; a trigger
@@ -198,6 +225,10 @@ struct ExperimentResult {
   /// enabled). Part of the bit-identity fingerprint of a seeded gateway
   /// failover run.
   FederationCountersSnapshot federation;
+  /// Scrub/anti-entropy ledger (all zero unless ExperimentOptions::scrub is
+  /// enabled or rot events fired). Part of the bit-identity fingerprint of
+  /// a seeded rot-and-repair run.
+  ScrubCountersSnapshot scrub;
   /// Which gateway served each stream at the end of the run (empty unless
   /// cluster is enabled). A failover scenario asserts the victim's streams
   /// moved to their ring buddy.

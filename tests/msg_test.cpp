@@ -503,7 +503,8 @@ std::uint64_t fuzz_seed(std::uint64_t fallback) {
 }
 
 // Property test for the NSM1 parser: take a valid multi-frame wire image
-// (every frame type, resume and REPL frames included), mutate it with seeded
+// (every frame type — resume, REPL, HANDOFF and SCRUB frames included),
+// mutate it with seeded
 // flips, truncations, splices and garbage insertions, then feed it to the decoder
 // in random-sized slices. In every mode, next() must only ever yield a clean
 // Status or a message whose body checksum passed — never a crash, hang or UB
@@ -515,13 +516,14 @@ std::uint64_t fuzz_seed(std::uint64_t fallback) {
 TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
   Rng rng(fuzz_seed(0xF0229EEDULL));
   for (int round = 0; round < 300; ++round) {
-    // A valid conversation: data, credit, resume, REPL and EOS frames.
+    // A valid conversation: data, credit, resume, REPL, HANDOFF, SCRUB and
+    // EOS frames.
     std::set<std::uint32_t> original_bodies;  // content hashes
     Bytes wire;
     const std::size_t frame_count = 3 + rng.next_u64() % 6;
     for (std::size_t i = 0; i < frame_count; ++i) {
       Message m;
-      switch (rng.next_u64() % 6) {
+      switch (rng.next_u64() % 7) {
         case 0:
           m.stream_id = static_cast<std::uint32_t>(rng.next_u64() % 4);
           m.sequence = i;
@@ -561,6 +563,32 @@ TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
                .watermark = rng.next_u64()},
               i);
           break;
+        case 5: {
+          // Anti-entropy control traffic (cluster/antientropy): digest
+          // replies carry range digests, repair push/reply carry whole
+          // journal records, the request kinds are payload-free.
+          ScrubInfo info;
+          info.kind = static_cast<ScrubKind>(1 + rng.next_u64() % 5);
+          info.session_id = rng.next_u64();
+          info.epoch = rng.next_u64() % 16;
+          info.range = rng.next_u64() % 64;
+          info.range_records = 1 + static_cast<std::uint32_t>(rng.next_u64() % 64);
+          if (info.kind == ScrubKind::kDigestReply) {
+            const std::size_t entries = rng.next_u64() % 4;
+            for (std::size_t d = 0; d < entries; ++d) {
+              info.digests.push_back(
+                  {rng.next_u64() % 64,
+                   1 + static_cast<std::uint32_t>(rng.next_u64() % 64),
+                   static_cast<std::uint32_t>(rng.next_u64())});
+            }
+          } else if (info.kind == ScrubKind::kRepairPush ||
+                     info.kind == ScrubKind::kRepairReply) {
+            info.records = random_body((rng.next_u64() % 3) * kScrubRecordSize,
+                                       rng.next_u64());
+          }
+          m = Message::scrub_frame(info, i);
+          break;
+        }
         default:
           m = Message::end_of_stream_marker(
               static_cast<std::uint32_t>(rng.next_u64() % 4), i);
@@ -622,6 +650,20 @@ TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
           ASSERT_TRUE(original_bodies.count(xxhash32(message.value().body)) != 0)
               << "decoder forged body content past the checksum (round "
               << round << ")";
+          // Digest-forgery check: any surviving SCRUB body that parses must
+          // re-encode byte-identically — the parser can never invent a
+          // digest or record that was not on the wire.
+          if (message.value().scrub) {
+            auto info = parse_scrub_body(ByteSpan(message.value().body.data(),
+                                                  message.value().body.size()));
+            if (info.ok()) {
+              const Message reencoded =
+                  Message::scrub_frame(info.value(), message.value().sequence);
+              ASSERT_EQ(reencoded.body, message.value().body)
+                  << "scrub parse/encode asymmetry forged content (round "
+                  << round << ")";
+            }
+          }
         }
       }
     }
