@@ -1,13 +1,33 @@
 // Micro-benchmarks of the real pipeline queues: the blocking MPMC
-// BoundedQueue the runtime couples its stages with, and the lock-free
-// SpscRing used on per-connection fast paths.
+// BoundedQueue the runtime used to couple its stages with, the lock-free
+// SpscRing used on per-connection fast paths, and the padded MPSC fan-in
+// machinery (MpscRing / FanInQueue, DESIGN.md §15) that replaced the mutex
+// queue on the stage handoffs.
+//
+// Headline JSON metrics (BENCH_micro_queue.json):
+//   * fanin_speedup — FanInQueue vs BoundedQueue on the fan-in handoff hot
+//     path (producer push + consumer pop per chunk, uncontended so the
+//     queue-operation cost itself is what's measured). The fastpath claim
+//     is >= 2x here.
+//   * counter_speedup — per-thread increments on a PaddedCounter block vs
+//     the same counters packed 8-per-cache-line (the false-sharing fix).
+//     On a single-core host this is ~1x by construction; the delta shows
+//     with >= 2 hardware threads.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "concurrency/bounded_queue.h"
+#include "concurrency/fanin_queue.h"
+#include "concurrency/mpsc_ring.h"
 #include "concurrency/spsc_ring.h"
+#include "metrics/padded_counter.h"
 
 namespace numastream {
 namespace {
@@ -43,6 +63,27 @@ void BM_SpscRingPushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_SpscRingPushPop);
 
+void BM_MpscRingPushPop(benchmark::State& state) {
+  MpscRing<int> ring(64);
+  for (auto _ : state) {
+    int item = 1;
+    (void)ring.try_push(item);
+    benchmark::DoNotOptimize(ring.try_pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MpscRingPushPop);
+
+void BM_FanInQueuePushPop(benchmark::State& state) {
+  FanInQueue<int> queue(64, 1);
+  for (auto _ : state) {
+    (void)queue.push(1);
+    benchmark::DoNotOptimize(queue.pop(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FanInQueuePushPop);
+
 void BM_BoundedQueueCrossThread(benchmark::State& state) {
   // Producer thread streams items; the benchmark thread drains. Measures
   // handoff cost under real contention (even on a single-core host, where
@@ -67,11 +108,131 @@ void BM_BoundedQueueCrossThread(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundedQueueCrossThread);
 
+void BM_FanInQueueCrossThread(benchmark::State& state) {
+  const int kBatch = 4096;
+  for (auto _ : state) {
+    FanInQueue<int> queue(128, 1);
+    std::thread producer([&] {
+      for (int i = 0; i < kBatch; ++i) {
+        (void)queue.push(i);
+      }
+      queue.close();
+    });
+    int received = 0;
+    while (queue.pop(0)) {
+      ++received;
+    }
+    producer.join();
+    benchmark::DoNotOptimize(received);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_FanInQueueCrossThread);
+
+// ------------------------------------------------------------ headline
+// Hand-rolled measurements for the JSON artifact: the google-benchmark
+// numbers above are for humans, these are the fields CI diffs.
+
+using Seconds = std::chrono::duration<double>;
+
+/// Fan-in handoff hot path, uncontended: `producers` logical producers
+/// take turns pushing a chunk, the single consumer pops each one. Neither
+/// side ever blocks (batch << capacity), so this isolates the per-chunk
+/// queue-operation cost — mutex+deque vs padded ring — which is exactly
+/// the cost the fastpath removes from every chunk crossing a stage
+/// boundary.
+template <typename PushFn, typename PopFn>
+double handoff_mops(int producers, std::uint64_t rounds, PushFn push,
+                    PopFn pop) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t items = 0;
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    for (int p = 0; p < producers; ++p) {
+      push(static_cast<int>(round));
+    }
+    for (int p = 0; p < producers; ++p) {
+      items += pop() ? 1 : 0;
+    }
+  }
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0).count();
+  return static_cast<double>(items) / secs / 1e6;
+}
+
+/// Cross-thread fan-in throughput: `producers` real threads each stream
+/// `per_producer` chunks into the queue, one consumer drains. On a
+/// single-core host this measures the blocking/wakeup path plus scheduler
+/// churn rather than the queue ops, so it is recorded but the >= 2x claim
+/// hangs on the hot-path number above.
+template <typename Queue, typename PopFn>
+double crossthread_mops(Queue& queue, int producers,
+                        std::uint64_t per_producer, PopFn pop) {
+  std::uint64_t received = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread consumer([&] {
+    while (pop(queue)) {
+      ++received;
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&queue, per_producer] {
+      for (std::uint64_t i = 0; i < per_producer; ++i) {
+        (void)queue.push(static_cast<int>(i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  queue.close();
+  consumer.join();
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0).count();
+  return static_cast<double>(received) / secs / 1e6;
+}
+
+/// False-sharing micro: `threads` threads each hammer their own counter in
+/// a shared block. Packed = 8 counters per cache line (the pre-fix layout
+/// of FederationCounters & friends); padded = one line each.
+template <typename CounterBlock>
+double counter_mops(int threads, std::uint64_t per_thread) {
+  CounterBlock block;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&block, t, per_thread] {
+      auto& counter = block.counters[static_cast<std::size_t>(t) %
+                                     CounterBlock::kCount];
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const double secs = Seconds(std::chrono::steady_clock::now() - t0).count();
+  return static_cast<double>(threads) * static_cast<double>(per_thread) /
+         secs / 1e6;
+}
+
+struct PackedBlock {
+  static constexpr std::size_t kCount = 8;
+  std::atomic<std::uint64_t> counters[kCount] = {};
+};
+
+struct PaddedBlock {
+  static constexpr std::size_t kCount = 8;
+  PaddedCounter counters[kCount];
+};
+
 }  // namespace
 }  // namespace numastream
 
 int main(int argc, char** argv) {
-  const numastream::bench::BenchClock bench_clock;
+  using namespace numastream;
+  const bench::BenchClock bench_clock;
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
@@ -79,13 +240,82 @@ int main(int argc, char** argv) {
   const std::size_t benchmarks_run = benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  numastream::bench::JsonWriter json =
-      numastream::bench::bench_json("micro_queue", bench_clock.seconds());
+  // Headline: the fan-in stage handoff (3 compressors -> 1 sender, the
+  // Fig. 12 config A shape) on the hot path. Best of 3 repetitions per
+  // side — ns-scale timing on a shared host jitters, and the best run is
+  // the one least polluted by scheduler noise.
+  const int kProducers = 3;
+  const std::uint64_t kRounds = 400000;
+  BoundedQueue<int> mutex_queue(128);
+  FanInQueue<int> ring_queue(128, 1);
+  double mutex_fanin = 0;
+  double ring_fanin = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    mutex_fanin = std::max(
+        mutex_fanin,
+        handoff_mops(kProducers, kRounds,
+                     [&](int v) { (void)mutex_queue.push(v); },
+                     [&] { return mutex_queue.pop().has_value(); }));
+    ring_fanin = std::max(
+        ring_fanin,
+        handoff_mops(kProducers, kRounds,
+                     [&](int v) { (void)ring_queue.push(v); },
+                     [&] { return ring_queue.pop(0).has_value(); }));
+  }
+  const double fanin_speedup = mutex_fanin > 0 ? ring_fanin / mutex_fanin : 0;
+
+  const std::uint64_t kPerProducer = 100000;
+  BoundedQueue<int> mutex_xt(128);
+  const double mutex_cross = crossthread_mops(
+      mutex_xt, kProducers, kPerProducer,
+      [](BoundedQueue<int>& q) { return q.pop().has_value(); });
+  FanInQueue<int> ring_xt(128, 1);
+  const double ring_cross = crossthread_mops(
+      ring_xt, kProducers, kPerProducer,
+      [](FanInQueue<int>& q) { return q.pop(0).has_value(); });
+
+  const int kCounterThreads = std::max(
+      2, static_cast<int>(std::thread::hardware_concurrency()));
+  const std::uint64_t kPerThread = 2000000;
+  const double packed_mops = counter_mops<PackedBlock>(kCounterThreads,
+                                                       kPerThread);
+  const double padded_mops = counter_mops<PaddedBlock>(kCounterThreads,
+                                                       kPerThread);
+  const double counter_speedup = packed_mops > 0 ? padded_mops / packed_mops
+                                                 : 0;
+
+  std::printf("\nfan-in handoff (%d producers -> 1 consumer, hot path):\n",
+              kProducers);
+  std::printf("  BoundedQueue (mutex) : %8.2f Mops/s\n", mutex_fanin);
+  std::printf("  FanInQueue   (rings) : %8.2f Mops/s  (%.2fx)\n", ring_fanin,
+              fanin_speedup);
+  std::printf("fan-in handoff (cross-thread, %d cores):\n",
+              static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf("  BoundedQueue (mutex) : %8.2f Mops/s\n", mutex_cross);
+  std::printf("  FanInQueue   (rings) : %8.2f Mops/s\n", ring_cross);
+  std::printf("counter increments (%d threads):\n", kCounterThreads);
+  std::printf("  packed 8-per-line    : %8.2f Mops/s\n", packed_mops);
+  std::printf("  PaddedCounter        : %8.2f Mops/s  (%.2fx)\n", padded_mops,
+              counter_speedup);
+  bench::shape_check("FanInQueue >= 2x BoundedQueue on the fan-in handoff",
+                     fanin_speedup >= 2.0);
+
+  bench::JsonWriter json =
+      bench::bench_json("micro_queue", bench_clock.seconds());
   json.field("benchmarks_run", static_cast<double>(benchmarks_run));
-  if (!json.write(numastream::bench::json_artifact_path(
-          "BENCH_micro_queue.json"))) {
+  json.field("fanin_producers", static_cast<std::uint64_t>(kProducers));
+  json.field("mutex_fanin_mops", mutex_fanin);
+  json.field("ring_fanin_mops", ring_fanin);
+  json.field("fanin_speedup", fanin_speedup);
+  json.field("mutex_crossthread_mops", mutex_cross);
+  json.field("ring_crossthread_mops", ring_cross);
+  json.field("counter_threads", static_cast<std::uint64_t>(kCounterThreads));
+  json.field("packed_counter_mops", packed_mops);
+  json.field("padded_counter_mops", padded_mops);
+  json.field("counter_speedup", counter_speedup);
+  if (!json.write(bench::json_artifact_path("BENCH_micro_queue.json"))) {
     std::fprintf(stderr, "failed to write BENCH_micro_queue.json\n");
     return 1;
   }
-  return 0;
+  return bench::finish();
 }

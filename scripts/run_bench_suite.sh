@@ -14,6 +14,7 @@ build_dir=${1:-build}
 out_dir=${2:-bench-json}
 
 benches=(
+  micro_queue
   fig12_end_to_end
   ablation_adaptive
   ablation_chunk_size

@@ -11,7 +11,7 @@ namespace numastream {
 namespace cluster {
 namespace {
 
-void count(std::atomic<std::uint64_t> ScrubCounters::*field,
+void count(PaddedCounter ScrubCounters::*field,
            ScrubCounters* counters, std::uint64_t amount = 1) {
   if (counters != nullptr && amount != 0) {
     (counters->*field).fetch_add(amount, std::memory_order_relaxed);

@@ -8,32 +8,41 @@
 namespace numastream {
 
 Bytes encode_frame(const Codec& codec, ByteSpan raw) {
-  // Compress into scratch space sized by the codec's bound.
-  Bytes scratch(codec.max_compressed_size(raw.size()));
-  auto written = codec.compress(raw, scratch);
+  Bytes frame;
+  encode_frame_into(codec, raw, frame);
+  return frame;
+}
+
+void encode_frame_into(const Codec& codec, ByteSpan raw, Bytes& out) {
+  // Compress straight into the frame's payload region, sized by the codec's
+  // bound; no scratch buffer.
+  out.resize(kFrameHeaderSize + codec.max_compressed_size(raw.size()));
+  auto written = codec.compress(
+      raw, MutableByteSpan(out.data() + kFrameHeaderSize,
+                           out.size() - kFrameHeaderSize));
   NS_CHECK(written.ok(), "compress into a bound-sized buffer must succeed");
 
   // Store-uncompressed fallback when the codec did not help.
   const Codec* effective = &codec;
-  ByteSpan payload(scratch.data(), written.value());
-  if (written.value() >= raw.size() && codec.id() != CodecId::kNull) {
+  std::size_t payload_size = written.value();
+  if (payload_size >= raw.size() && codec.id() != CodecId::kNull) {
     effective = codec_by_id(CodecId::kNull);
-    payload = raw;
+    payload_size = raw.size();
+    if (!raw.empty()) {
+      std::memcpy(out.data() + kFrameHeaderSize, raw.data(), raw.size());
+    }
   }
+  out.resize(kFrameHeaderSize + payload_size);
 
-  Bytes frame;
-  frame.reserve(kFrameHeaderSize + payload.size());
-  ByteWriter w(frame);
-  w.u32(kFrameMagic);
-  w.u8(static_cast<std::uint8_t>(effective->id()));
-  w.u8(0);   // flags
-  w.u16(0);  // reserved
-  w.u64(raw.size());
-  w.u64(payload.size());
-  w.u32(xxhash32(payload));
-  w.u32(xxhash32(raw));
-  w.raw(payload);
-  return frame;
+  std::uint8_t* p = out.data();
+  store_le32(p, kFrameMagic);
+  p[4] = static_cast<std::uint8_t>(effective->id());
+  p[5] = 0;             // flags
+  store_le16(p + 6, 0); // reserved
+  store_le64(p + 8, raw.size());
+  store_le64(p + 16, payload_size);
+  store_le32(p + 24, xxhash32(ByteSpan(p + kFrameHeaderSize, payload_size)));
+  store_le32(p + 28, xxhash32(raw));
 }
 
 Result<FrameView> decode_frame(ByteSpan frame) {

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <iterator>
 #include <mutex>
@@ -28,6 +29,7 @@
 
 #include "common/assert.h"
 #include "common/status.h"
+#include "concurrency/cancel.h"
 
 namespace numastream {
 
@@ -38,8 +40,48 @@ class BoundedQueue {
     NS_CHECK(capacity > 0, "BoundedQueue capacity must be positive");
   }
 
+  ~BoundedQueue() { bind_cancel(nullptr); }
+
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Binds a CancelSignal: raise() then notifies this queue's condition
+  /// variables, so waits whose `cancel` pointer is the signal's flag() block
+  /// fully instead of polling. This is the fix for the teardown busy-poll —
+  /// before, a blocked worker under a raised cancel flag woke every 1 ms
+  /// (hundreds of spurious wakeups per parked worker per second of drain).
+  /// Waits passed any other atomic keep the legacy poll-slice behaviour.
+  /// Pass nullptr to unbind.
+  void bind_cancel(CancelSignal* signal) {
+    CancelSignal* old = nullptr;
+    std::uint64_t old_token = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      old = bound_signal_;
+      old_token = waker_token_;
+      bound_signal_ = nullptr;
+    }
+    if (old != nullptr) {
+      // Serializes with a raise() in flight; after this the old waker can
+      // never run again (see CancelSignal::raise).
+      old->remove_waker(old_token);
+    }
+    if (signal == nullptr) {
+      return;
+    }
+    const std::uint64_t token = signal->add_waker([this] {
+      // Lock before notifying: a waiter that tested the flag just before
+      // raise() is either still holding mu_ (we wait until it parks) or
+      // already parked (notify wakes it). Without the lock that window is a
+      // lost wakeup.
+      const std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_all();
+      not_empty_.notify_all();
+    });
+    const std::lock_guard<std::mutex> lock(mu_);
+    bound_signal_ = signal;
+    waker_token_ = token;
+  }
 
   /// Blocks until space is available or the queue is closed.
   /// Returns kUnavailable if the queue was closed (the item is dropped; the
@@ -48,8 +90,10 @@ class BoundedQueue {
   /// `cancel`, when supplied, bounds the wait: a raised flag (e.g.
   /// StreamRegistry::cancel_flag() after a watchdog trip or a forced drain)
   /// aborts the push with kUnavailable even if nobody ever closes the queue,
-  /// so pipeline teardown can never hang on a full queue. The flag has no
-  /// condition-variable hookup, so cancellable waits poll in short slices.
+  /// so pipeline teardown can never hang on a full queue. When the flag is
+  /// the bound CancelSignal's (see bind_cancel), the wait blocks fully on
+  /// the condition variable — raise() notifies it. An unbound flag has no
+  /// notification channel, so those waits fall back to 1 ms poll slices.
   Status push(T item, const std::atomic<bool>* cancel = nullptr) {
     return push_until(std::move(item), kNoDeadline, cancel);
   }
@@ -212,6 +256,14 @@ class BoundedQueue {
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Number of times a blocked wait woke on its condition variable (all wait
+  /// kinds). The busy-poll regression test pins this down: a cancellable
+  /// wait bound to a CancelSignal that blocks for N ms must wake O(1) times,
+  /// where the old poll loop woke ~N times.
+  [[nodiscard]] std::uint64_t cv_wakeups() const {
+    return cv_wakeups_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr std::chrono::steady_clock::time_point kNoDeadline =
       std::chrono::steady_clock::time_point::max();
@@ -221,16 +273,26 @@ class BoundedQueue {
   }
 
   /// Waits for `ready` on `cv` under `lock`; false when the cancel flag or
-  /// deadline cut the wait short. The uncancellable, undeadlined wait (the
-  /// hot path) blocks on the condition variable exactly as before; only
-  /// waits that can be cut short poll in 1 ms slices, because the cancel
-  /// flag is a plain atomic with no notification channel.
+  /// deadline cut the wait short. The uncancellable, undeadlined wait and
+  /// any wait whose cancel flag belongs to the bound CancelSignal block
+  /// fully on the condition variable (raise() notifies us). Only waits
+  /// cancellable through a foreign atomic — one with no notification
+  /// channel — still poll in 1 ms slices.
   template <typename Ready>
   bool wait_on(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
                std::chrono::steady_clock::time_point deadline,
                const std::atomic<bool>* cancel, Ready ready) {
-    if (cancel == nullptr && deadline == kNoDeadline) {
-      cv.wait(lock, ready);
+    const bool cancel_notifies =
+        cancel == nullptr ||
+        (bound_signal_ != nullptr && cancel == bound_signal_->flag());
+    if (cancel_notifies && deadline == kNoDeadline) {
+      while (!ready()) {
+        if (cancelled(cancel)) {
+          return false;
+        }
+        cv.wait(lock);
+        cv_wakeups_.fetch_add(1, std::memory_order_relaxed);
+      }
       return true;
     }
     while (!ready()) {
@@ -241,9 +303,14 @@ class BoundedQueue {
       if (now >= deadline) {
         return false;
       }
-      const auto slice = std::min<std::chrono::steady_clock::duration>(
-          std::chrono::milliseconds(1), deadline - now);
-      cv.wait_for(lock, slice);
+      if (cancel_notifies) {
+        cv.wait_until(lock, deadline);
+      } else {
+        const auto slice = std::min<std::chrono::steady_clock::duration>(
+            std::chrono::milliseconds(1), deadline - now);
+        cv.wait_for(lock, slice);
+      }
+      cv_wakeups_.fetch_add(1, std::memory_order_relaxed);
     }
     return true;
   }
@@ -254,6 +321,9 @@ class BoundedQueue {
   std::condition_variable not_empty_;
   std::deque<T> items_;
   bool closed_ = false;
+  std::atomic<std::uint64_t> cv_wakeups_{0};
+  CancelSignal* bound_signal_ = nullptr;
+  std::uint64_t waker_token_ = 0;
 };
 
 }  // namespace numastream

@@ -1,0 +1,97 @@
+// CancelSignal: a raise-once cancellation flag with a wake-up channel.
+//
+// The runtime has always cancelled with a plain std::atomic<bool> (the
+// StreamRegistry latch): cheap to test, but invisible to condition
+// variables, so every cancellable queue wait had to poll in short slices —
+// a teardown under a raised flag burned a core per blocked worker just to
+// notice it (the busy-poll bug this type fixes; see bounded_queue.h).
+//
+// CancelSignal keeps the flag (so interruptible_sleep / with_retry and every
+// existing `const std::atomic<bool>*` consumer work unchanged) and adds
+// registered wakers: raise() first publishes the flag, then invokes every
+// registered waker. A waker is supplied by the waiting structure (a queue, a
+// channel) and must take that structure's mutex before notifying its
+// condition variables — the lock order guarantees a waiter that tested the
+// flag before raise() is either still holding the mutex (the notify waits
+// for it to block) or already parked (the notify wakes it): no lost wakeup,
+// no polling.
+//
+// Lifetime: wakers unregister in the owning structure's destructor, so a
+// signal may outlive any queue bound to it. raise() is idempotent and
+// thread-safe; registration is thread-safe but typically happens during
+// pipeline setup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace numastream {
+
+class CancelSignal {
+ public:
+  using Waker = std::function<void()>;
+
+  CancelSignal() = default;
+  CancelSignal(const CancelSignal&) = delete;
+  CancelSignal& operator=(const CancelSignal&) = delete;
+
+  /// The flag, for every legacy `const std::atomic<bool>*` consumer
+  /// (BoundedQueue waits, with_retry, interruptible_sleep). A structure
+  /// that recognizes this exact pointer as its bound signal may block
+  /// indefinitely instead of polling — raise() will wake it.
+  [[nodiscard]] const std::atomic<bool>* flag() const noexcept { return &raised_; }
+
+  [[nodiscard]] bool raised() const noexcept {
+    return raised_.load(std::memory_order_acquire);
+  }
+
+  /// Publishes the flag, then runs every registered waker. Idempotent: a
+  /// second raise still re-runs the wakers (harmless — notifying an empty
+  /// wait set does nothing) so racing teardown paths need no coordination.
+  ///
+  /// Wakers run under the signal's lock: remove_waker therefore serializes
+  /// with a raise in flight, so once remove_waker returns the waker will
+  /// never run again — the owner may safely destruct. (No deadlock: wakers
+  /// only take their own structure's mutex and notify; the lock order is
+  /// strictly signal -> structure.)
+  void raise() {
+    raised_.store(true, std::memory_order_release);
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [token, waker] : wakers_) {
+      waker();
+    }
+  }
+
+  /// Registers a waker; returns a token for remove_waker. If the signal is
+  /// already raised the waker runs immediately (the waiter it guards would
+  /// otherwise sleep through a raise that predates its registration).
+  std::uint64_t add_waker(Waker waker) {
+    std::uint64_t token = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      token = next_token_++;
+      wakers_.emplace_back(token, waker);
+    }
+    if (raised()) {
+      waker();
+    }
+    return token;
+  }
+
+  void remove_waker(std::uint64_t token) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::erase_if(wakers_, [&](const auto& entry) { return entry.first == token; });
+  }
+
+ private:
+  std::atomic<bool> raised_{false};
+  std::mutex mu_;
+  std::vector<std::pair<std::uint64_t, Waker>> wakers_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace numastream

@@ -1,0 +1,309 @@
+// FanInQueue: a bounded, closeable, cancellable fan-in channel built from
+// per-consumer lock-free MPSC rings.
+//
+// This is the lock-free replacement for BoundedQueue at the pipeline's two
+// fan-in handoffs (compressors -> senders, receivers -> decompressors). It
+// keeps the full BoundedQueue contract the pipeline depends on:
+//
+//   * bounded backpressure  — total ring capacity >= requested capacity,
+//     push blocks (or deadlines out) when every ring is full;
+//   * closeable end-of-stream — close() makes pushes fail and pops drain
+//     the remaining elements then return nullopt;
+//   * cancel/deadline waits — a raised cancel flag aborts a blocked push
+//     with kUnavailable and a blocked pop with nullopt; push_until/pop_until
+//     observe absolute deadlines.
+//
+// Topology: one MpscRing per *consumer*. Producers distribute over rings
+// with a relaxed round-robin counter (falling back to scanning all rings
+// when the preferred one is full), so the fast path is a handful of atomic
+// ops with no mutex and no shared deque. Consumers pop only their own ring,
+// which keeps the consumer side CAS-free — the reason this is MPSC-per-ring
+// rather than one MPMC ring (see mpsc_ring.h and DESIGN.md §15). The cost
+// is that "bounded by N" becomes "bounded by consumers * ceil(N/consumers)
+// rounded up to powers of two": capacity is a backpressure watermark here,
+// never an exactness guarantee, and BoundedQueue already only promises the
+// former.
+//
+// Parking: waits use an eventcount-style scheme — waiters advertise
+// themselves in an atomic counter (seq_cst RMW, so it orders against the
+// producer's ring publish), re-check the condition, then park on a mutex +
+// condition_variable. The post side (push/pop/close/cancel-raise) only
+// touches the mutex when the waiter counter is non-zero, so the
+// uncontended fast path never locks. Waits additionally wake on a 100 ms
+// backstop slice — pure belt-and-braces liveness, not correctness; the
+// regression test in concurrency_test.cpp asserts wakeups stay bounded
+// (a 1 ms poll would show hundreds).
+//
+// Not supported (NS_CHECK-fails): try_evict_worst / try_evict_if_worse.
+// A lock-free ring cannot scan-and-remove interior elements; config
+// validation rejects `fastpath rings=on` combined with the evicting shed
+// policies (drop_oldest / priority_evict) so the pipeline never gets here.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/status.h"
+#include "concurrency/cancel.h"
+#include "concurrency/mpsc_ring.h"
+
+namespace numastream {
+
+template <typename T>
+class FanInQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+  static constexpr Clock::time_point kNoDeadline = Clock::time_point::max();
+
+  /// `capacity` bounds total buffered elements (rounded up, see header
+  /// comment); `consumers` is the number of popping threads, each of which
+  /// must pass its own stable index in [0, consumers) to pop().
+  FanInQueue(std::size_t capacity, std::size_t consumers)
+      : consumers_(consumers == 0 ? 1 : consumers) {
+    NS_CHECK(capacity > 0, "FanInQueue capacity must be positive");
+    const std::size_t per_ring = (capacity + consumers_ - 1) / consumers_;
+    rings_.reserve(consumers_);
+    for (std::size_t i = 0; i < consumers_; ++i) {
+      rings_.push_back(std::make_unique<MpscRing<T>>(per_ring));
+    }
+  }
+
+  ~FanInQueue() { unbind_cancel(); }
+
+  FanInQueue(const FanInQueue&) = delete;
+  FanInQueue& operator=(const FanInQueue&) = delete;
+
+  /// Binds a CancelSignal so that raise() wakes parked waiters immediately.
+  /// Waits passed this signal's flag() pointer then block fully between
+  /// wakeups; waits passed any *other* atomic (legacy callers) fall back to
+  /// the 100 ms backstop slices to notice it.
+  void bind_cancel(CancelSignal* signal) {
+    unbind_cancel();
+    if (signal == nullptr) {
+      return;
+    }
+    bound_signal_ = signal;
+    waker_token_ = signal->add_waker([this] { wake_all(); });
+  }
+
+  void unbind_cancel() {
+    if (bound_signal_ != nullptr) {
+      bound_signal_->remove_waker(waker_token_);
+      bound_signal_ = nullptr;
+    }
+  }
+
+  Status push(T value, const std::atomic<bool>* cancel = nullptr) {
+    return push_until(std::move(value), kNoDeadline, cancel);
+  }
+
+  Status push_until(T value, Clock::time_point deadline,
+                    const std::atomic<bool>* cancel = nullptr) {
+    for (;;) {
+      if (cancelled(cancel)) {
+        return unavailable_error("queue wait cancelled");
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        return unavailable_error("queue is closed");
+      }
+      if (try_push_rings(value)) {
+        notify_consumers();
+        return Status::ok();
+      }
+      if (Clock::now() >= deadline) {
+        return deadline_exceeded_error("queue push timed out");
+      }
+      if (!park(producer_waiters_, not_full_, deadline)) {
+        return deadline_exceeded_error("queue push timed out");
+      }
+    }
+  }
+
+  Status try_push(T value) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return unavailable_error("queue is closed");
+    }
+    if (!try_push_rings(value)) {
+      return resource_exhausted_error("queue is full");
+    }
+    notify_consumers();
+    return Status::ok();
+  }
+
+  std::optional<T> pop(std::size_t consumer, const std::atomic<bool>* cancel = nullptr) {
+    return pop_until(consumer, kNoDeadline, cancel);
+  }
+
+  std::optional<T> pop_until(std::size_t consumer, Clock::time_point deadline,
+                             const std::atomic<bool>* cancel = nullptr) {
+    NS_CHECK(consumer < consumers_, "FanInQueue consumer index out of range");
+    MpscRing<T>& ring = *rings_[consumer];
+    for (;;) {
+      if (auto value = ring.try_pop()) {
+        notify_producers();
+        return value;
+      }
+      if (cancelled(cancel)) {
+        return std::nullopt;
+      }
+      if (closed_.load(std::memory_order_acquire)) {
+        // Drain once more after observing closed: a producer may have
+        // published between our failed pop and the closed check.
+        if (auto value = ring.try_pop()) {
+          notify_producers();
+          return value;
+        }
+        return std::nullopt;
+      }
+      if (Clock::now() >= deadline) {
+        return std::nullopt;
+      }
+      if (!park(consumer_waiters_, not_empty_, deadline)) {
+        return std::nullopt;
+      }
+    }
+  }
+
+  /// Non-blocking pop from the consumer's own ring.
+  std::optional<T> try_pop(std::size_t consumer) {
+    NS_CHECK(consumer < consumers_, "FanInQueue consumer index out of range");
+    if (auto value = rings_[consumer]->try_pop()) {
+      notify_producers();
+      return value;
+    }
+    return std::nullopt;
+  }
+
+  /// Drains any ring regardless of consumer ownership. Teardown only: the
+  /// caller must guarantee every consumer thread has exited (this violates
+  /// the single-consumer-per-ring rule otherwise). Used by the pipeline's
+  /// settle path after joining workers.
+  std::optional<T> try_pop_any() {
+    for (auto& ring : rings_) {
+      if (auto value = ring->try_pop()) {
+        return value;
+      }
+    }
+    return std::nullopt;
+  }
+
+  void close() {
+    closed_.store(true, std::memory_order_release);
+    wake_all();
+  }
+
+  [[nodiscard]] bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Racy total across rings; watermark/gauge use only.
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& ring : rings_) {
+      total += ring->size_approx();
+    }
+    return total;
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return rings_[0]->capacity() * consumers_;
+  }
+
+  [[nodiscard]] std::size_t consumers() const { return consumers_; }
+
+  /// Times a waiter fully parked on the condition variable. Bounded-wakeup
+  /// regression tests compare this against what a poll loop would show.
+  [[nodiscard]] std::uint64_t parks() const {
+    return parks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool try_push_rings(T& value) {
+    // Single consumer (the common fan-in shape: N compressors -> 1 sender)
+    // means one ring and nothing to spread — skip the round-robin RMW,
+    // which otherwise costs as much as the ring push itself.
+    if (consumers_ == 1) {
+      return rings_[0]->try_push(value);
+    }
+    // Round-robin start point spreads producers across rings; scan the rest
+    // so one full ring (a slow consumer) never blocks push while another
+    // ring has room.
+    const std::size_t start = rr_.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < consumers_; ++i) {
+      if (rings_[(start + i) % consumers_]->try_push(value)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  static bool cancelled(const std::atomic<bool>* cancel) {
+    return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+  }
+
+  /// Parks on `cv` until notified or the 100 ms backstop elapses. Returns
+  /// false only when `deadline` has passed. The seq_cst increment of the
+  /// waiter counter orders against the post side's seq_cst read: either the
+  /// poster sees our increment (and notifies under the mutex), or we see
+  /// the condition its ring-publish/close established when we re-check
+  /// after parking.
+  bool park(std::atomic<std::size_t>& waiters, std::condition_variable& cv,
+            Clock::time_point deadline) {
+    waiters.fetch_add(1, std::memory_order_seq_cst);
+    parks_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      const auto backstop = Clock::now() + std::chrono::milliseconds(100);
+      const auto until = deadline < backstop ? deadline : backstop;
+      cv.wait_until(lock, until);
+    }
+    waiters.fetch_sub(1, std::memory_order_seq_cst);
+    return Clock::now() < deadline;
+  }
+
+  void notify_consumers() {
+    if (consumer_waiters_.load(std::memory_order_seq_cst) > 0) {
+      // Taking the mutex before notifying closes the race where a waiter
+      // has incremented the counter and re-checked the ring but not yet
+      // parked: the lock forces us to wait until it holds the CV's mutex.
+      const std::lock_guard<std::mutex> lock(mu_);
+      not_empty_.notify_all();
+    }
+  }
+
+  void notify_producers() {
+    if (producer_waiters_.load(std::memory_order_seq_cst) > 0) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      not_full_.notify_all();
+    }
+  }
+
+  void wake_all() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  const std::size_t consumers_;
+  std::vector<std::unique_ptr<MpscRing<T>>> rings_;
+  std::atomic<std::size_t> rr_{0};
+  std::atomic<bool> closed_{false};
+
+  alignas(64) std::atomic<std::size_t> producer_waiters_{0};
+  alignas(64) std::atomic<std::size_t> consumer_waiters_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+
+  CancelSignal* bound_signal_ = nullptr;
+  std::uint64_t waker_token_ = 0;
+};
+
+}  // namespace numastream

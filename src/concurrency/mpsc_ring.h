@@ -1,0 +1,134 @@
+// Bounded lock-free multi-producer single-consumer ring.
+//
+// Extends the spsc_ring.h idiom to many producers using the classic
+// per-slot-sequence bounded queue (Vyukov). Each slot carries an atomic
+// sequence number that encodes which lap of the ring it belongs to:
+//
+//   seq == pos          slot free, a producer may claim position `pos`
+//   seq == pos + 1      slot full, the consumer may read position `pos`
+//   anything else       another thread is mid-claim, or the ring is
+//                       full/empty for this position
+//
+// Producers race a CAS on tail_ to claim a slot, then construct the value
+// and publish it by storing seq = pos + 1 (release). The single consumer
+// never needs a CAS: it owns head_, checks seq == pos + 1 (acquire), moves
+// the value out, and recycles the slot for the next lap by storing
+// seq = pos + capacity. Capacity is rounded up to a power of two so lap
+// arithmetic is a mask; sequence numbers are 64-bit so wraparound of the
+// counter itself is out of reach (2^64 pushes).
+//
+// head_, tail_ and every slot's sequence live on their own cache line
+// (alignas on the ring ends, slot stride padded) so producers hammering
+// tail_ don't invalidate the consumer's head_ line — the same false-sharing
+// discipline as spsc_ring.h, which stays the cheaper choice when there is
+// only one producer.
+//
+// This is deliberately MPSC, not MPMC: every fan-in handoff in the pipeline
+// (compressors -> sender socket, receivers -> decompressor) has exactly one
+// consumer per ring, and keeping the consumer side CAS-free keeps pop() at
+// one acquire load + one release store. Multi-consumer stages get one ring
+// per consumer (see fanin_queue.h) rather than a shared MPMC ring.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace numastream {
+
+template <typename T>
+class MpscRing {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpscRing(std::size_t min_capacity)
+      : capacity_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(capacity_) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRing(const MpscRing&) = delete;
+  MpscRing& operator=(const MpscRing&) = delete;
+
+  /// Attempts to enqueue. Returns false when the ring is full. Safe to call
+  /// from any number of producer threads. On success `value` is moved from.
+  bool try_push(T& value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto dif = static_cast<std::intptr_t>(seq) - static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1, std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the fresh tail.
+      } else if (dif < 0) {
+        // Slot still holds last lap's value: the ring is full *for this
+        // position*. Re-check tail in case the consumer freed slots and
+        // another producer advanced past us while we looked.
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail == pos) {
+          return false;
+        }
+        pos = tail;
+      } else {
+        // dif > 0: another producer claimed this position; chase the tail.
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  bool try_push(T&& value) {
+    T moved = std::move(value);
+    return try_push(moved);
+  }
+
+  /// Dequeues the oldest element, or nullopt when the ring is empty (or a
+  /// producer has claimed the head slot but not yet published it). Must be
+  /// called from a single consumer thread.
+  std::optional<T> try_pop() {
+    const std::size_t pos = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[pos & mask_];
+    const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq != pos + 1) {
+      return std::nullopt;  // empty, or the head producer is mid-publish
+    }
+    std::optional<T> value(std::move(slot.value));
+    slot.value = T{};
+    slot.seq.store(pos + capacity_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_relaxed);
+    return value;
+  }
+
+  /// Racy size estimate, for watermarks and gauges only.
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::vector<Slot> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers CAS here
+};
+
+}  // namespace numastream

@@ -26,11 +26,12 @@
 //             [drain_degraded=on|off]
 //   scrub cadence_ms=<n> [range_records=<n>] [budget_records=<n>]
 //         [repair_concurrency=<n>]
+//   fastpath [rings=on|off] [pool_buffers=<n>]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
 // `recovery`, `overload`, `health`, `observe`, `resume`, `cluster`,
-// `rebalance` and `scrub` may each appear at most once; a duplicate is a
-// parse error (silent last-wins hid config merge mistakes).
+// `rebalance`, `scrub` and `fastpath` may each appear at most once; a
+// duplicate is a parse error (silent last-wins hid config merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -338,6 +339,16 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
           "re-verify without one)");
     }
   }
+  if (fastpath.enabled()) {
+    if (fastpath.rings && (overload.shed_policy == ShedPolicy::kDropOldest ||
+                           overload.shed_policy == ShedPolicy::kPriorityEvict)) {
+      return invalid_argument_error(
+          "config: fastpath rings=on is incompatible with shed policy '" +
+          to_string(overload.shed_policy) +
+          "' (a lock-free ring cannot evict interior elements; use block or "
+          "drop_newest)");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -458,6 +469,12 @@ std::string NodeConfig::serialize() const {
         << " budget_records=" << scrub.budget_records
         << " repair_concurrency=" << scrub.repair_concurrency << "\n";
   }
+  if (!fastpath.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so mutex-queue configs round-trip byte-identically.
+    out << "fastpath rings=" << (fastpath.rings ? "on" : "off")
+        << " pool_buffers=" << fastpath.pool_buffers << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -484,6 +501,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_cluster = false;
   bool saw_rebalance = false;
   bool saw_scrub = false;
+  bool saw_fastpath = false;
 
   std::istringstream in(text);
   std::string line;
@@ -861,6 +879,36 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
             config.scrub.budget_records = std::stoull(value);
           } else if (key == "repair_concurrency") {
             config.scrub.repair_concurrency = std::stoi(value);
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "fastpath") {
+      if (saw_fastpath) {
+        return fail("duplicate 'fastpath' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_fastpath = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "rings") {
+            if (value != "on" && value != "off") {
+              return fail("rings must be on|off");
+            }
+            config.fastpath.rings = value == "on";
+          } else if (key == "pool_buffers") {
+            config.fastpath.pool_buffers =
+                static_cast<std::uint32_t>(std::stoul(value));
           } else {
             return fail("unknown attribute '" + key + "'");
           }

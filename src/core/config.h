@@ -313,6 +313,28 @@ struct ScrubConfig {
   friend bool operator==(const ScrubConfig&, const ScrubConfig&) = default;
 };
 
+/// Lock-free fast path (default off, DESIGN.md §15): replaces the pipeline's
+/// mutex BoundedQueue handoffs with cache-line-padded MPSC rings and
+/// recycles chunk buffers through a NUMA-local pool. Off (the default) the
+/// runtime behaves — and serializes — exactly as before.
+struct FastPathConfig {
+  /// Lock-free fan-in rings for the compressor->sender and
+  /// receiver->decompressor handoffs. Incompatible with the evicting shed
+  /// policies (drop_oldest / priority_evict): a ring cannot scan-and-remove
+  /// interior elements — validate() rejects the combination.
+  bool rings = false;
+  /// Buffers the chunk pool shelves per NUMA domain; 0 disables pooling.
+  std::uint32_t pool_buffers = 0;
+
+  [[nodiscard]] bool is_default() const { return *this == FastPathConfig{}; }
+
+  /// The absent directive keeps serialization byte-identical to the
+  /// pre-fastpath runtime.
+  [[nodiscard]] bool enabled() const { return !is_default(); }
+
+  friend bool operator==(const FastPathConfig&, const FastPathConfig&) = default;
+};
+
 struct NodeConfig {
   std::string node_name;
   NodeRole role = NodeRole::kSender;
@@ -327,6 +349,7 @@ struct NodeConfig {
   ClusterConfig cluster;
   RebalanceConfig rebalance;
   ScrubConfig scrub;
+  FastPathConfig fastpath;
   std::vector<TaskGroupConfig> tasks;
 
   /// Total threads of one task type across all groups (optionally filtered

@@ -10,7 +10,7 @@ namespace {
 
 constexpr std::size_t kChecksumOffset = kJournalRecordSize - 4;
 
-void count(std::atomic<std::uint64_t> ScrubCounters::*field,
+void count(PaddedCounter ScrubCounters::*field,
            ScrubCounters* counters, std::uint64_t amount = 1) {
   if (counters != nullptr && amount != 0) {
     (counters->*field).fetch_add(amount, std::memory_order_relaxed);

@@ -1,0 +1,191 @@
+// StageChannel<T>: one stage-to-stage handoff, selectable implementation.
+//
+// The pipeline's two fan-in handoffs (compressors -> senders, receivers ->
+// decompressors) historically ran on BoundedQueue (mutex + two CVs). The
+// `fastpath rings=on` directive swaps in FanInQueue — per-consumer lock-free
+// MPSC rings with eventcount parking (DESIGN.md §15) — without touching the
+// worker code: this wrapper presents one surface and dispatches per
+// construction. With the directive absent the wrapper *is* BoundedQueue plus
+// one untaken branch per call, so default-config runs stay byte-identical.
+//
+// The one operation the ring path cannot offer is interior eviction
+// (try_evict_worst / try_evict_if_worse): a lock-free ring has no
+// scan-and-remove. Config validation rejects `rings=on` combined with the
+// evicting shed policies, so those calls NS_CHECK-fail on the ring path —
+// reaching them means validation was bypassed, not a recoverable condition.
+//
+// pop() takes the consumer's stable worker index: the ring path dedicates
+// one MPSC ring per consumer (that is what keeps the pop side CAS-free), the
+// mutex path ignores it. try_pop_any() exists for the teardown settle path
+// that runs after every worker joined.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/assert.h"
+#include "common/status.h"
+#include "concurrency/bounded_queue.h"
+#include "concurrency/cancel.h"
+#include "concurrency/fanin_queue.h"
+#include "metrics/fastpath_counters.h"
+
+namespace numastream {
+
+template <typename T>
+class StageChannel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `capacity` bounds buffered elements (the ring path rounds it up — a
+  /// backpressure watermark, see fanin_queue.h); `consumers` is the number
+  /// of popping threads. With `rings` false this is exactly a BoundedQueue.
+  /// `counters` (may be null) receives ring_pushes/ring_parks accounting;
+  /// only the ring path touches it.
+  StageChannel(std::size_t capacity, std::size_t consumers, bool rings,
+               FastPathCounters* counters = nullptr)
+      : counters_(counters) {
+    if (rings) {
+      fanin_ = std::make_unique<FanInQueue<T>>(capacity, consumers);
+    } else {
+      queue_ = std::make_unique<BoundedQueue<T>>(capacity);
+    }
+  }
+
+  ~StageChannel() { flush_parks(); }
+
+  StageChannel(const StageChannel&) = delete;
+  StageChannel& operator=(const StageChannel&) = delete;
+
+  [[nodiscard]] bool lock_free() const noexcept { return fanin_ != nullptr; }
+
+  /// Binds the pipeline's CancelSignal so teardown wakes parked waiters
+  /// instead of leaving them to poll (see BoundedQueue::bind_cancel).
+  void bind_cancel(CancelSignal* signal) {
+    if (fanin_ != nullptr) {
+      fanin_->bind_cancel(signal);
+    } else {
+      queue_->bind_cancel(signal);
+    }
+  }
+
+  Status push(T value, const std::atomic<bool>* cancel = nullptr) {
+    if (fanin_ != nullptr) {
+      const Status status = fanin_->push(std::move(value), cancel);
+      if (status.is_ok() && counters_ != nullptr) {
+        counters_->ring_pushes.fetch_add(1, std::memory_order_relaxed);
+      }
+      return status;
+    }
+    return queue_->push(std::move(value), cancel);
+  }
+
+  Status push_until(T value, Clock::time_point deadline,
+                    const std::atomic<bool>* cancel = nullptr) {
+    if (fanin_ != nullptr) {
+      const Status status = fanin_->push_until(std::move(value), deadline, cancel);
+      if (status.is_ok() && counters_ != nullptr) {
+        counters_->ring_pushes.fetch_add(1, std::memory_order_relaxed);
+      }
+      return status;
+    }
+    return queue_->push_until(std::move(value), deadline, cancel);
+  }
+
+  Status try_push(T value) {
+    if (fanin_ != nullptr) {
+      const Status status = fanin_->try_push(std::move(value));
+      if (status.is_ok() && counters_ != nullptr) {
+        counters_->ring_pushes.fetch_add(1, std::memory_order_relaxed);
+      }
+      return status;
+    }
+    return queue_->try_push(std::move(value));
+  }
+
+  /// `consumer` must be the calling worker's stable index in [0, consumers)
+  /// — it selects the worker's private ring on the ring path (the mutex path
+  /// ignores it).
+  std::optional<T> pop(std::size_t consumer,
+                       const std::atomic<bool>* cancel = nullptr) {
+    return fanin_ != nullptr ? fanin_->pop(consumer, cancel)
+                             : queue_->pop(cancel);
+  }
+
+  std::optional<T> pop_until(std::size_t consumer, Clock::time_point deadline,
+                             const std::atomic<bool>* cancel = nullptr) {
+    return fanin_ != nullptr ? fanin_->pop_until(consumer, deadline, cancel)
+                             : queue_->pop_until(deadline, cancel);
+  }
+
+  std::optional<T> try_pop(std::size_t consumer) {
+    return fanin_ != nullptr ? fanin_->try_pop(consumer) : queue_->try_pop();
+  }
+
+  /// Drains from any ring/position regardless of consumer ownership.
+  /// Teardown only: callers must guarantee every consumer thread has exited.
+  std::optional<T> try_pop_any() {
+    return fanin_ != nullptr ? fanin_->try_pop_any() : queue_->try_pop();
+  }
+
+  /// Interior eviction (shed policies drop_oldest / priority_evict). Mutex
+  /// path only — config validation rejects rings combined with these
+  /// policies, so the ring branch is unreachable in a validated pipeline.
+  template <typename Better>
+  std::optional<T> try_evict_worst(Better better) {
+    NS_CHECK(queue_ != nullptr,
+             "try_evict_worst needs the mutex queue (validation rejects "
+             "rings + evicting shed policies)");
+    return queue_->try_evict_worst(better);
+  }
+
+  template <typename Better>
+  std::optional<T> try_evict_if_worse(const T& incoming, Better better) {
+    NS_CHECK(queue_ != nullptr,
+             "try_evict_if_worse needs the mutex queue (validation rejects "
+             "rings + evicting shed policies)");
+    return queue_->try_evict_if_worse(incoming, better);
+  }
+
+  void close() {
+    if (fanin_ != nullptr) {
+      fanin_->close();
+    } else {
+      queue_->close();
+    }
+  }
+
+  [[nodiscard]] bool closed() const {
+    return fanin_ != nullptr ? fanin_->closed() : queue_->closed();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    return fanin_ != nullptr ? fanin_->size() : queue_->size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    return fanin_ != nullptr ? fanin_->capacity() : queue_->capacity();
+  }
+
+  /// Folds the ring path's park count into the counters. Idempotent per
+  /// channel (called from the destructor; callable earlier for stats taken
+  /// before the channel dies).
+  void flush_parks() {
+    if (fanin_ != nullptr && counters_ != nullptr && !parks_flushed_) {
+      parks_flushed_ = true;
+      counters_->ring_parks.fetch_add(fanin_->parks(),
+                                      std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::unique_ptr<FanInQueue<T>> fanin_;
+  std::unique_ptr<BoundedQueue<T>> queue_;
+  FastPathCounters* counters_;
+  bool parks_flushed_ = false;
+};
+
+}  // namespace numastream

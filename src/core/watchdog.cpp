@@ -12,7 +12,7 @@ void StreamRegistry::add(ByteStream* stream) {
   bool already_cancelled = false;
   {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (cancelled_.load(std::memory_order_relaxed)) {
+    if (signal_.raised()) {
       already_cancelled = true;
     } else {
       streams_.insert(stream);
@@ -29,16 +29,16 @@ void StreamRegistry::remove(ByteStream* stream) {
 }
 
 void StreamRegistry::cancel_all() {
+  // Raise first: parked queue waiters wake, see the flag, and abort before
+  // the per-stream cancels (which unblock workers stuck in syscalls).
+  signal_.raise();
   const std::lock_guard<std::mutex> lock(mu_);
-  cancelled_.store(true, std::memory_order_release);
   for (ByteStream* stream : streams_) {
     stream->cancel();
   }
 }
 
-bool StreamRegistry::cancelled() const {
-  return cancelled_.load(std::memory_order_acquire);
-}
+bool StreamRegistry::cancelled() const { return signal_.raised(); }
 
 Watchdog::Watchdog(std::chrono::milliseconds deadline, StreamRegistry* registry,
                    std::function<void()> on_trip)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "concurrency/cancel.h"
 #include "msg/transport.h"
 
 namespace numastream {
@@ -41,20 +42,25 @@ class StreamRegistry {
   /// Deregisters; the caller may destroy the stream afterwards.
   void remove(ByteStream* stream);
 
-  /// Cancels every registered stream and latches the cancelled state.
+  /// Raises the cancel signal (waking any queue bound to it) and cancels
+  /// every registered stream; latches the cancelled state.
   void cancel_all();
 
   [[nodiscard]] bool cancelled() const;
 
   /// The latch as an atomic flag, for interruptible_sleep / with_retry.
   [[nodiscard]] const std::atomic<bool>* cancel_flag() const noexcept {
-    return &cancelled_;
+    return signal_.flag();
   }
+
+  /// The underlying signal, so queues can bind_cancel() it and block fully
+  /// instead of polling for the flag (see concurrency/cancel.h).
+  [[nodiscard]] CancelSignal* cancel_signal() noexcept { return &signal_; }
 
  private:
   mutable std::mutex mu_;
   std::set<ByteStream*> streams_;
-  std::atomic<bool> cancelled_{false};
+  CancelSignal signal_;
 };
 
 class Watchdog {

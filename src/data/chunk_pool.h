@@ -1,0 +1,82 @@
+// ChunkPool: NUMA-local recycling of large chunk buffers.
+//
+// Every chunk that crosses the pipeline used to pay a fresh 11 MiB
+// allocation (compress output, receive buffer) and a matching free — which
+// at streaming rates means the allocator's page churn plus first-touch
+// faulting dominate the memory system the paper says is the throughput
+// ceiling. The pool keeps a bounded shelf of retired buffers per NUMA
+// domain and hands them back out on the same domain, so a steady-state
+// pipeline allocates each buffer once and then recycles it on its home
+// domain forever (pool_hits in metrics/fastpath_counters.h).
+//
+// Domain affinity is by construction, not by page migration: a worker
+// recycles into the shelf of the domain it runs on, and leases from that
+// same shelf. Under the paper's NUMA-aligned placement the compressor and
+// sender (and receiver and decompressor) share a domain, so a buffer
+// first-touched on domain D cycles back to workers on D. A buffer recycled
+// on a foreign domain merely seeds that domain's shelf with once-remote
+// pages — an approximation that costs a few remote leases after a worker
+// migration, never correctness.
+//
+// Shelves are bounded (`buffers_per_domain`): a burst that retires more
+// buffers than the shelf holds simply frees the surplus (pool_discards) —
+// the pool can cap memory but never leak it. Leases are plain Bytes
+// buffers, so an owner that drops one on the floor (crash path, shed path)
+// frees it through ~vector like any other allocation: returning to the
+// pool is an optimization, not an obligation. The exactly-once accounting
+// test in tests/fastpath_test.cpp runs a chaos pipeline and checks
+// leases == hits + misses and recycles + discards <= leases.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+#include "metrics/fastpath_counters.h"
+
+namespace numastream {
+
+class ChunkPool {
+ public:
+  /// `domains` shelves (domain indices 0..domains-1; lease/recycle clamp a
+  /// -1 "unknown" domain to shelf 0), each holding at most
+  /// `buffers_per_domain` retired buffers. `counters` may be null.
+  ChunkPool(std::size_t domains, std::size_t buffers_per_domain,
+            FastPathCounters* counters = nullptr);
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  /// Returns a buffer of exactly `size` bytes, reusing a shelved buffer's
+  /// capacity when the domain has one (the resize never reallocates when
+  /// the shelved capacity suffices — the common case, since a pipeline's
+  /// chunks are uniformly sized).
+  [[nodiscard]] Bytes lease(int domain, std::size_t size);
+
+  /// Shelves `buffer` on `domain` for future leases, or frees it when the
+  /// shelf is full (or the buffer is empty). Safe from any thread.
+  void recycle(int domain, Bytes&& buffer);
+
+  [[nodiscard]] std::size_t domains() const noexcept { return shelves_.size(); }
+
+  /// Buffers currently shelved on `domain` (test/diagnostic use).
+  [[nodiscard]] std::size_t shelved(int domain) const;
+
+ private:
+  // Each shelf owns its own mutex and lives on its own cache line so
+  // domains never contend with each other.
+  struct alignas(64) Shelf {
+    mutable std::mutex mu;
+    std::vector<Bytes> buffers;
+  };
+
+  [[nodiscard]] std::size_t shelf_index(int domain) const noexcept;
+
+  const std::size_t buffers_per_domain_;
+  std::vector<Shelf> shelves_;
+  FastPathCounters* counters_;
+};
+
+}  // namespace numastream

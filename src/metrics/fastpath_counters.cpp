@@ -1,0 +1,67 @@
+#include "metrics/fastpath_counters.h"
+
+namespace numastream {
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  std::uint64_t FastPathCountersSnapshot::*field;
+};
+
+// One row per counter: the ring traffic first, then the pool's lease
+// lifecycle in the order a buffer experiences it.
+constexpr NamedCounter kCounters[] = {
+    {"ring_pushes", &FastPathCountersSnapshot::ring_pushes},
+    {"ring_parks", &FastPathCountersSnapshot::ring_parks},
+    {"pool_leases", &FastPathCountersSnapshot::pool_leases},
+    {"pool_hits", &FastPathCountersSnapshot::pool_hits},
+    {"pool_misses", &FastPathCountersSnapshot::pool_misses},
+    {"pool_recycles", &FastPathCountersSnapshot::pool_recycles},
+    {"pool_discards", &FastPathCountersSnapshot::pool_discards},
+};
+
+}  // namespace
+
+std::string FastPathCountersSnapshot::to_string() const {
+  std::string out;
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = this->*(counter.field);
+    if (value == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += counter.name;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out.empty() ? "clean" : out;
+}
+
+FastPathCountersSnapshot FastPathCounters::snapshot() const {
+  FastPathCountersSnapshot s;
+  s.ring_pushes = ring_pushes.load(std::memory_order_relaxed);
+  s.ring_parks = ring_parks.load(std::memory_order_relaxed);
+  s.pool_leases = pool_leases.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits.load(std::memory_order_relaxed);
+  s.pool_misses = pool_misses.load(std::memory_order_relaxed);
+  s.pool_recycles = pool_recycles.load(std::memory_order_relaxed);
+  s.pool_discards = pool_discards.load(std::memory_order_relaxed);
+  return s;
+}
+
+TextTable fastpath_table(const FastPathCountersSnapshot& snapshot,
+                         bool nonzero_only) {
+  TextTable table({"counter", "count"});
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = snapshot.*(counter.field);
+    if (nonzero_only && value == 0) {
+      continue;
+    }
+    table.add_row({counter.name, std::to_string(value)});
+  }
+  return table;
+}
+
+}  // namespace numastream

@@ -1,0 +1,69 @@
+// FastPathCounters: the lock-free chunk path's ledger.
+//
+// Accounts for what the fastpath subsystem (DESIGN.md §15) did during a
+// run: ring handoffs taken instead of mutex-queue handoffs, waiter parkings
+// on the fan-in queues' eventcounts (a healthy pipeline parks rarely — the
+// rings absorb the jitter), and the NUMA-local chunk pool's lease traffic.
+// pool_hits vs pool_misses is the headline: a hit recycles an 11 MiB buffer
+// already resident on the worker's home domain, a miss pays a fresh
+// allocation plus first-touch faulting. pool_discards counts returns the
+// pool turned away because the shelf was full (the buffer frees normally —
+// never a leak, the exactly-once test in fastpath_test.cpp pins this down).
+//
+// Counters are relaxed atomics, each padded to its own cache line
+// (PaddedCounter): compressors, senders, receivers and decompressors all
+// bump their own members on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "metrics/padded_counter.h"
+#include "metrics/table.h"
+
+namespace numastream {
+
+/// Plain-value copy of FastPathCounters, comparable and printable.
+struct FastPathCountersSnapshot {
+  // Ring handoffs.
+  std::uint64_t ring_pushes = 0;      ///< elements through the fan-in rings
+  std::uint64_t ring_parks = 0;       ///< waits that actually parked a thread
+
+  // Pool traffic.
+  std::uint64_t pool_leases = 0;      ///< buffers handed out
+  std::uint64_t pool_hits = 0;        ///< leases served by recycling
+  std::uint64_t pool_misses = 0;      ///< leases that had to allocate
+  std::uint64_t pool_recycles = 0;    ///< buffers returned and shelved
+  std::uint64_t pool_discards = 0;    ///< returns dropped (shelf full)
+
+  friend bool operator==(const FastPathCountersSnapshot&,
+                         const FastPathCountersSnapshot&) = default;
+
+  /// One-line summary of the nonzero counters ("clean" when all zero).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thread-safe counter set shared by the fan-in queues and the chunk pool.
+/// All increments are relaxed: counters are statistics, not synchronization.
+class FastPathCounters {
+ public:
+  PaddedCounter ring_pushes;
+  PaddedCounter ring_parks;
+
+  PaddedCounter pool_leases;
+  PaddedCounter pool_hits;
+  PaddedCounter pool_misses;
+  PaddedCounter pool_recycles;
+  PaddedCounter pool_discards;
+
+  [[nodiscard]] FastPathCountersSnapshot snapshot() const;
+};
+
+/// Renders a snapshot as a two-column table ("counter", "count"). With
+/// `nonzero_only`, clean counters are elided so fastpath-off runs print
+/// nothing.
+TextTable fastpath_table(const FastPathCountersSnapshot& snapshot,
+                         bool nonzero_only = false);
+
+}  // namespace numastream

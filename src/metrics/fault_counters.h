@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/padded_counter.h"
 #include "metrics/table.h"
 
 namespace numastream {
@@ -55,25 +56,25 @@ struct FaultCountersSnapshot {
 /// synchronization.
 class FaultCounters {
  public:
-  std::atomic<std::uint64_t> injected_disconnects{0};
-  std::atomic<std::uint64_t> injected_torn_writes{0};
-  std::atomic<std::uint64_t> injected_bitflips{0};
-  std::atomic<std::uint64_t> injected_short_writes{0};
-  std::atomic<std::uint64_t> injected_stalls{0};
-  std::atomic<std::uint64_t> injected_throttles{0};
-  std::atomic<std::uint64_t> injected_crashes{0};
-  std::atomic<std::uint64_t> injected_accept_failures{0};
+  PaddedCounter injected_disconnects;
+  PaddedCounter injected_torn_writes;
+  PaddedCounter injected_bitflips;
+  PaddedCounter injected_short_writes;
+  PaddedCounter injected_stalls;
+  PaddedCounter injected_throttles;
+  PaddedCounter injected_crashes;
+  PaddedCounter injected_accept_failures;
 
-  std::atomic<std::uint64_t> reconnects{0};
-  std::atomic<std::uint64_t> dial_retries{0};
-  std::atomic<std::uint64_t> connections_recycled{0};
-  std::atomic<std::uint64_t> message_resyncs{0};
-  std::atomic<std::uint64_t> frame_resyncs{0};
-  std::atomic<std::uint64_t> corrupt_frames{0};
-  std::atomic<std::uint64_t> dropped_frames{0};
-  std::atomic<std::uint64_t> duplicate_frames{0};
-  std::atomic<std::uint64_t> degraded_chunks{0};
-  std::atomic<std::uint64_t> watchdog_trips{0};
+  PaddedCounter reconnects;
+  PaddedCounter dial_retries;
+  PaddedCounter connections_recycled;
+  PaddedCounter message_resyncs;
+  PaddedCounter frame_resyncs;
+  PaddedCounter corrupt_frames;
+  PaddedCounter dropped_frames;
+  PaddedCounter duplicate_frames;
+  PaddedCounter degraded_chunks;
+  PaddedCounter watchdog_trips;
 
   [[nodiscard]] FaultCountersSnapshot snapshot() const;
 };

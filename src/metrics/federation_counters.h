@@ -10,14 +10,19 @@
 // double as the bit-identity fingerprint of a failover run: same seed,
 // same snapshot.
 //
-// Counters are relaxed atomics; snapshot() yields a comparable plain struct
-// and federation_table() renders one through the shared TextTable formatter.
+// Counters are relaxed atomics, each padded to its own cache line
+// (PaddedCounter): different pipeline threads bump different members, and
+// packing them 8-per-line made physically independent increments contend
+// (false sharing; see metrics/padded_counter.h and the counter micro in
+// bench/micro_queue). snapshot() yields a comparable plain struct and
+// federation_table() renders one through the shared TextTable formatter.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "metrics/padded_counter.h"
 #include "metrics/table.h"
 
 namespace numastream {
@@ -63,27 +68,27 @@ struct FederationCountersSnapshot {
 /// counters are statistics, not synchronization.
 class FederationCounters {
  public:
-  std::atomic<std::uint64_t> repl_records_shipped{0};
-  std::atomic<std::uint64_t> repl_appends_acked{0};
-  std::atomic<std::uint64_t> repl_lag_records_max{0};
+  PaddedCounter repl_records_shipped;
+  PaddedCounter repl_appends_acked;
+  PaddedCounter repl_lag_records_max;
 
-  std::atomic<std::uint64_t> heartbeats_sent{0};
-  std::atomic<std::uint64_t> peer_failures_detected{0};
-  std::atomic<std::uint64_t> degraded_peers_detected{0};
+  PaddedCounter heartbeats_sent;
+  PaddedCounter peer_failures_detected;
+  PaddedCounter degraded_peers_detected;
 
-  std::atomic<std::uint64_t> failovers{0};
-  std::atomic<std::uint64_t> streams_reresolved{0};
-  std::atomic<std::uint64_t> failover_wall_ms{0};
-  std::atomic<std::uint64_t> epoch{0};
+  PaddedCounter failovers;
+  PaddedCounter streams_reresolved;
+  PaddedCounter failover_wall_ms;
+  PaddedCounter epoch;
 
-  std::atomic<std::uint64_t> fenced_appends_rejected{0};
+  PaddedCounter fenced_appends_rejected;
 
-  std::atomic<std::uint64_t> rebalance_triggers{0};
-  std::atomic<std::uint64_t> handoffs_planned{0};
-  std::atomic<std::uint64_t> handoffs_completed{0};
-  std::atomic<std::uint64_t> handoffs_aborted{0};
-  std::atomic<std::uint64_t> handoff_streams_moved{0};
-  std::atomic<std::uint64_t> handoff_wall_ms{0};
+  PaddedCounter rebalance_triggers;
+  PaddedCounter handoffs_planned;
+  PaddedCounter handoffs_completed;
+  PaddedCounter handoffs_aborted;
+  PaddedCounter handoff_streams_moved;
+  PaddedCounter handoff_wall_ms;
 
   /// Raises `repl_lag_records_max` to `lag` if it is higher than the
   /// current peak (monotone max, not a sum).

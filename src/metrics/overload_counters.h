@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/padded_counter.h"
 #include "metrics/table.h"
 
 namespace numastream {
@@ -63,23 +64,23 @@ struct OverloadCountersSnapshot {
 /// are relaxed: counters are statistics, not synchronization.
 class OverloadCounters {
  public:
-  std::atomic<std::uint64_t> shed_newest{0};
-  std::atomic<std::uint64_t> shed_oldest{0};
-  std::atomic<std::uint64_t> priority_evictions{0};
+  PaddedCounter shed_newest;
+  PaddedCounter shed_oldest;
+  PaddedCounter priority_evictions;
 
-  std::atomic<std::uint64_t> credit_stalls{0};
-  std::atomic<std::uint64_t> credit_grants{0};
+  PaddedCounter credit_stalls;
+  PaddedCounter credit_grants;
 
-  std::atomic<std::uint64_t> budget_stalls{0};
-  std::atomic<std::uint64_t> budget_rejections{0};
+  PaddedCounter budget_stalls;
+  PaddedCounter budget_rejections;
 
-  std::atomic<std::uint64_t> slow_streams_evicted{0};
-  std::atomic<std::uint64_t> evicted_chunks{0};
+  PaddedCounter slow_streams_evicted;
+  PaddedCounter evicted_chunks;
 
-  std::atomic<std::uint64_t> drain_requests{0};
-  std::atomic<std::uint64_t> drain_timeouts{0};
+  PaddedCounter drain_requests;
+  PaddedCounter drain_timeouts;
 
-  std::atomic<std::uint64_t> peak_bytes_in_flight{0};
+  PaddedCounter peak_bytes_in_flight;
 
   /// Raises peak_bytes_in_flight to at least `bytes` (monotonic gauge).
   void record_peak(std::uint64_t bytes);

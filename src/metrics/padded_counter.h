@@ -1,0 +1,38 @@
+// PaddedCounter: a cache-line-isolated atomic counter.
+//
+// The hot counter blocks in this directory (FederationCounters,
+// FaultCounters, OverloadCounters, ScrubCounters) pack a dozen-plus
+// adjacent std::atomic<uint64_t> members — 8 counters per 64-byte line.
+// Different pipeline threads increment different members, so physically
+// independent counters ping-pong the same line between cores: classic
+// false sharing, measured at several-x on the counter-increment micro in
+// bench/micro_queue (BM_CounterIncrement vs BM_PaddedCounterIncrement).
+//
+// PaddedCounter is a drop-in member replacement: it IS-A
+// std::atomic<uint64_t> (fetch_add / load / store call sites unchanged)
+// whose alignment pads it to a full cache line, so each write-hot counter
+// owns its line. Use it for counters bumped from several threads on the
+// hot path; cold or single-threaded counters can stay packed — padding
+// them only costs memory.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace numastream {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+struct alignas(kCacheLineBytes) PaddedCounter : std::atomic<std::uint64_t> {
+  PaddedCounter() noexcept : std::atomic<std::uint64_t>(0) {}
+  explicit PaddedCounter(std::uint64_t initial) noexcept
+      : std::atomic<std::uint64_t>(initial) {}
+  // The implicitly-deleted copy assignment would otherwise hide the base's
+  // `operator=(uint64_t)` that call sites like `counters.x = 2` rely on.
+  using std::atomic<std::uint64_t>::operator=;
+};
+
+static_assert(alignof(PaddedCounter) == kCacheLineBytes);
+static_assert(sizeof(PaddedCounter) == kCacheLineBytes);
+
+}  // namespace numastream

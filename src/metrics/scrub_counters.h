@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "metrics/padded_counter.h"
 #include "metrics/table.h"
 
 namespace numastream {
@@ -59,24 +60,24 @@ struct ScrubCountersSnapshot {
 /// are statistics, not synchronization.
 class ScrubCounters {
  public:
-  std::atomic<std::uint64_t> records_scanned{0};
-  std::atomic<std::uint64_t> scrub_passes{0};
-  std::atomic<std::uint64_t> corrupt_records_found{0};
-  std::atomic<std::uint64_t> ranges_quarantined{0};
-  std::atomic<std::uint64_t> ranges_repaired{0};
-  std::atomic<std::uint64_t> ranges_unrepairable{0};
+  PaddedCounter records_scanned;
+  PaddedCounter scrub_passes;
+  PaddedCounter corrupt_records_found;
+  PaddedCounter ranges_quarantined;
+  PaddedCounter ranges_repaired;
+  PaddedCounter ranges_unrepairable;
 
-  std::atomic<std::uint64_t> digest_rounds{0};
-  std::atomic<std::uint64_t> ranges_compared{0};
-  std::atomic<std::uint64_t> ranges_diverged{0};
-  std::atomic<std::uint64_t> records_pulled{0};
-  std::atomic<std::uint64_t> records_pushed{0};
-  std::atomic<std::uint64_t> repair_verify_failures{0};
-  std::atomic<std::uint64_t> fenced_scrubs_rejected{0};
+  PaddedCounter digest_rounds;
+  PaddedCounter ranges_compared;
+  PaddedCounter ranges_diverged;
+  PaddedCounter records_pulled;
+  PaddedCounter records_pushed;
+  PaddedCounter repair_verify_failures;
+  PaddedCounter fenced_scrubs_rejected;
 
-  std::atomic<std::uint64_t> records_rotted{0};
-  std::atomic<std::uint64_t> stale_records_dropped{0};
-  std::atomic<std::uint64_t> failover_lost_records{0};
+  PaddedCounter records_rotted;
+  PaddedCounter stale_records_dropped;
+  PaddedCounter failover_lost_records;
 
   [[nodiscard]] ScrubCountersSnapshot snapshot() const;
 };

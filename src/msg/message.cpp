@@ -9,24 +9,106 @@
 
 namespace numastream {
 
+void encode_message_header(const Message& message, MutableByteSpan out) {
+  NS_CHECK(out.size() >= kMessageHeaderSize,
+           "encode_message_header needs kMessageHeaderSize bytes");
+  std::uint8_t* p = out.data();
+  store_le32(p, kMessageMagic);
+  store_le32(p + 4, message.stream_id);
+  store_le64(p + 8, message.sequence);
+  store_le16(p + 16,
+             static_cast<std::uint16_t>(
+                 (message.end_of_stream ? kMessageFlagEndOfStream : 0) |
+                 (message.credit ? kMessageFlagCredit : 0) |
+                 (message.resume ? kMessageFlagResume : 0) |
+                 (message.repl ? kMessageFlagRepl : 0) |
+                 (message.handoff ? kMessageFlagHandoff : 0) |
+                 (message.scrub ? kMessageFlagScrub : 0)));
+  store_le16(p + 18, 0);
+  store_le64(p + 20, message.body.size());
+  store_le32(p + 28, xxhash32(message.body));
+}
+
 Bytes encode_message(const Message& message) {
-  Bytes out;
-  out.reserve(kMessageHeaderSize + message.body.size());
-  ByteWriter w(out);
-  w.u32(kMessageMagic);
-  w.u32(message.stream_id);
-  w.u64(message.sequence);
-  w.u16(static_cast<std::uint16_t>(
-      (message.end_of_stream ? kMessageFlagEndOfStream : 0) |
-      (message.credit ? kMessageFlagCredit : 0) |
-      (message.resume ? kMessageFlagResume : 0) |
-      (message.repl ? kMessageFlagRepl : 0) |
-      (message.handoff ? kMessageFlagHandoff : 0) |
-      (message.scrub ? kMessageFlagScrub : 0)));
-  w.u16(0);
-  w.u64(message.body.size());
-  w.u32(xxhash32(message.body));
-  w.raw(message.body);
+  Bytes out(kMessageHeaderSize + message.body.size());
+  encode_message_header(message, MutableByteSpan(out.data(), kMessageHeaderSize));
+  if (!message.body.empty()) {
+    std::memcpy(out.data() + kMessageHeaderSize, message.body.data(),
+                message.body.size());
+  }
+  return out;
+}
+
+Result<MessageHeader> decode_message_header(ByteSpan header) {
+  if (header.size() < kMessageHeaderSize) {
+    return data_loss_error("message header: truncated");
+  }
+  const std::uint8_t* p = header.data();
+  if (load_le32(p) != kMessageMagic) {
+    return data_loss_error("message: bad magic " +
+                           hex_preview(ByteSpan(p, 4)));
+  }
+  const std::uint16_t flags = load_le16(p + 16);
+  const std::uint16_t reserved = load_le16(p + 18);
+  const std::uint64_t body_size = load_le64(p + 20);
+  if ((flags & ~kMessageKnownFlags) != 0 || reserved != 0) {
+    return data_loss_error("message: unknown flags");
+  }
+  if ((flags & kMessageFlagCredit) != 0 && body_size != 0) {
+    return data_loss_error("message: credit frame with a body");
+  }
+  if ((flags & kMessageFlagResume) != 0) {
+    if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
+                  kMessageFlagRepl | kMessageFlagHandoff)) != 0) {
+      return data_loss_error("message: resume frame with conflicting flags");
+    }
+    if (body_size < kResumeBodyPrefix) {
+      return data_loss_error("message: resume frame body too short");
+    }
+  }
+  if ((flags & kMessageFlagRepl) != 0) {
+    if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
+                  kMessageFlagHandoff)) != 0) {
+      return data_loss_error("message: repl frame with conflicting flags");
+    }
+    if (body_size < kReplBodyPrefix) {
+      return data_loss_error("message: repl frame body too short");
+    }
+  }
+  if ((flags & kMessageFlagHandoff) != 0) {
+    if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream)) != 0) {
+      return data_loss_error("message: handoff frame with conflicting flags");
+    }
+    if (body_size != kHandoffBodySize) {
+      return data_loss_error("message: handoff frame body must be " +
+                             std::to_string(kHandoffBodySize) + " bytes");
+    }
+  }
+  if ((flags & kMessageFlagScrub) != 0) {
+    if ((flags & (kMessageFlagCredit | kMessageFlagEndOfStream |
+                  kMessageFlagResume | kMessageFlagRepl |
+                  kMessageFlagHandoff)) != 0) {
+      return data_loss_error("message: scrub frame with conflicting flags");
+    }
+    if (body_size < kScrubBodyPrefix) {
+      return data_loss_error("message: scrub frame body too short");
+    }
+  }
+  if (body_size > kMaxMessageBody) {
+    return data_loss_error("message: body size " + std::to_string(body_size) +
+                           " exceeds limit");
+  }
+  MessageHeader out;
+  out.message.stream_id = load_le32(p + 4);
+  out.message.sequence = load_le64(p + 8);
+  out.message.end_of_stream = (flags & kMessageFlagEndOfStream) != 0;
+  out.message.credit = (flags & kMessageFlagCredit) != 0;
+  out.message.resume = (flags & kMessageFlagResume) != 0;
+  out.message.repl = (flags & kMessageFlagRepl) != 0;
+  out.message.handoff = (flags & kMessageFlagHandoff) != 0;
+  out.message.scrub = (flags & kMessageFlagScrub) != 0;
+  out.body_size = body_size;
+  out.body_hash = load_le32(p + 28);
   return out;
 }
 

@@ -345,6 +345,30 @@ Result<ScrubInfo> parse_scrub_body(ByteSpan body);
 /// Serializes a message (header + body) into a fresh buffer.
 Bytes encode_message(const Message& message);
 
+/// Writes just the 32-byte wire header for `message` (including the body
+/// checksum) into `out`, which must hold kMessageHeaderSize bytes. The
+/// scatter-gather send path frames with this + the message's existing body
+/// buffer, so the payload is never copied into a join buffer; the wire
+/// bytes are identical to encode_message's.
+void encode_message_header(const Message& message, MutableByteSpan out);
+
+/// A decoded wire header: the message's identity and flags plus the body
+/// length and checksum still to be read. Produced by decode_message_header
+/// on the pooled-receive fast path, which reads the 32-byte header and then
+/// the body directly into a pool-leased buffer instead of reassembling
+/// through MessageDecoder's internal buffer.
+struct MessageHeader {
+  Message message;          ///< flags/ids decoded; body empty
+  std::uint64_t body_size = 0;
+  std::uint32_t body_hash = 0;
+};
+
+/// Validates and decodes a 32-byte wire header (same checks as
+/// MessageDecoder: magic, unknown flags/reserved bits, per-frame-kind body
+/// constraints, kMaxMessageBody). DATA_LOSS on any violation — the fast
+/// path has no resync; callers needing resync use MessageDecoder.
+Result<MessageHeader> decode_message_header(ByteSpan header);
+
 /// Incremental decoder: feed() arbitrary byte slices as they arrive from a
 /// stream; next() yields complete, checksum-verified messages.
 ///

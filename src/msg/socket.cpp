@@ -1,5 +1,8 @@
 #include "msg/socket.h"
 
+#include <utility>
+
+#include "codec/xxhash.h"
 #include "common/assert.h"
 
 namespace numastream {
@@ -10,9 +13,15 @@ PushSocket::PushSocket(std::unique_ptr<ByteStream> stream) : stream_(std::move(s
 
 Status PushSocket::send(const Message& message) {
   NS_CHECK(!finished_, "send after finish");
-  const Bytes wire = encode_message(message);
-  NS_RETURN_IF_ERROR(stream_->write_all(wire));
-  bytes_sent_ += wire.size();
+  // Scatter-gather framing: header on the stack, body straight from the
+  // message — no join copy. The transport either vectors the two spans
+  // (TcpStream's sendmsg) or joins them itself when it must preserve
+  // single-write semantics (the default; see ByteStream::write_all_vec).
+  std::uint8_t header[kMessageHeaderSize];
+  encode_message_header(message, MutableByteSpan(header, kMessageHeaderSize));
+  NS_RETURN_IF_ERROR(stream_->write_all_vec(
+      {ByteSpan(header, kMessageHeaderSize), ByteSpan(message.body)}));
+  bytes_sent_ += kMessageHeaderSize + message.body.size();
   return Status::ok();
 }
 
@@ -39,13 +48,23 @@ Result<std::uint64_t> PushSocket::recv_credit() {
 
 Result<Message> PushSocket::recv_control() {
   if (credit_buffer_.empty()) {
-    credit_buffer_.resize(4096);  // control frames are small
+    credit_buffer_.resize(kMaxControlBody);  // control frames are small
   }
   while (true) {
     auto message = credit_decoder_.next();
     if (message.ok()) {
       if (!message.value().credit && !message.value().resume) {
         return data_loss_error("control channel carried a data message");
+      }
+      if (message.value().body.size() > kMaxControlBody) {
+        // Fail loudly: a control frame this large means a confused or
+        // hostile peer, and quietly accepting (or truncating) it would turn
+        // a protocol violation into silent state divergence.
+        return data_loss_error(
+            "control frame body of " +
+            std::to_string(message.value().body.size()) +
+            " bytes exceeds kMaxControlBody (" +
+            std::to_string(kMaxControlBody) + ")");
       }
       return message;
     }
@@ -65,12 +84,65 @@ Result<Message> PushSocket::recv_control() {
 
 PullSocket::PullSocket(std::unique_ptr<ByteStream> stream, std::size_t read_buffer,
                        MessageDecoder::OnCorruption on_corruption)
-    : stream_(std::move(stream)), decoder_(on_corruption), read_buffer_(read_buffer) {
+    : stream_(std::move(stream)),
+      decoder_(on_corruption),
+      on_corruption_(on_corruption),
+      read_buffer_(read_buffer) {
   NS_CHECK(stream_ != nullptr, "PullSocket needs a stream");
   NS_CHECK(read_buffer > 0, "read buffer must be non-empty");
 }
 
+void PullSocket::set_buffer_lease(std::function<Bytes(std::size_t)> lease) {
+  lease_ = std::move(lease);
+}
+
+Result<Message> PullSocket::recv_pooled() {
+  if (corrupt_) {
+    return data_loss_error("message stream previously corrupt");
+  }
+  std::uint8_t header[kMessageHeaderSize];
+  const Status header_read =
+      read_exact(*stream_, MutableByteSpan(header, kMessageHeaderSize));
+  if (!header_read.is_ok()) {
+    // read_exact: UNAVAILABLE = clean EOF before any byte (end of stream),
+    // DATA_LOSS = EOF mid-header — both map straight onto recv's contract.
+    return header_read;
+  }
+  auto decoded = decode_message_header(ByteSpan(header, kMessageHeaderSize));
+  if (!decoded.ok()) {
+    corrupt_ = true;  // kFail semantics: framing violations are sticky
+    return decoded.status();
+  }
+  Message message = std::move(decoded.value().message);
+  const std::uint64_t body_size = decoded.value().body_size;
+  message.body = lease_(body_size);
+  NS_CHECK(message.body.size() == body_size,
+           "buffer lease returned the wrong size");
+  if (body_size != 0) {
+    const Status body_read = read_exact(*stream_, MutableByteSpan(message.body));
+    if (!body_read.is_ok()) {
+      // EOF anywhere in the body is mid-message, even at its first byte.
+      return body_read.code() == StatusCode::kUnavailable
+                 ? data_loss_error("connection closed mid-message")
+                 : body_read;
+    }
+  }
+  if (xxhash32(message.body) != decoded.value().body_hash) {
+    corrupt_ = true;
+    return data_loss_error("message: body checksum mismatch");
+  }
+  bytes_received_ += kMessageHeaderSize + body_size;
+  return message;
+}
+
 Result<Message> PullSocket::recv() {
+  // Pooled fast path: header read exactly, body read straight into a
+  // pool-leased buffer. Needs strict corruption mode (resync requires the
+  // decoder's scan buffer) and an empty decoder (no legacy bytes buffered).
+  if (lease_ && on_corruption_ == MessageDecoder::OnCorruption::kFail &&
+      decoder_.buffered() == 0) {
+    return recv_pooled();
+  }
   while (true) {
     auto message = decoder_.next();
     if (message.ok()) {

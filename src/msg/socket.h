@@ -5,6 +5,7 @@
 // threads, x TCP streams" layout.
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "msg/message.h"
@@ -12,11 +13,23 @@
 
 namespace numastream {
 
+/// Upper bound on a control frame's body (credit grants are body-less;
+/// RESUME bodies grow with stream count — 340 streams fit). The control
+/// path reassembles through a small buffer sized for frames like these; a
+/// peer announcing a larger control body gets a loud DATA_LOSS instead of
+/// undefined truncation behaviour. Raise the constant if a deployment ever
+/// legitimately resumes >340 streams per connection.
+inline constexpr std::size_t kMaxControlBody = 4096;
+
 class PushSocket {
  public:
   explicit PushSocket(std::unique_ptr<ByteStream> stream);
 
-  /// Sends one message (blocking until fully written).
+  /// Sends one message (blocking until fully written). Framing is
+  /// scatter-gather: the 32-byte header is built on the stack and handed to
+  /// the transport together with the message's own body buffer
+  /// (write_all_vec), so the body — 11 MiB for a chunk — is never copied
+  /// into a join buffer. Wire bytes are identical to encode_message's.
   Status send(const Message& message);
 
   /// Sends the end-of-stream marker and closes the write side. Idempotent.
@@ -68,6 +81,16 @@ class PullSocket {
   /// check Message::end_of_stream.
   Result<Message> recv();
 
+  /// Installs a buffer lease hook and enables the pooled zero-copy receive
+  /// path: recv() reads the 32-byte header exactly, then reads the body
+  /// directly into `lease(body_size)` — typically a NUMA-local ChunkPool
+  /// lease — instead of reassembling through the decoder's internal buffer
+  /// (one copy saved per message, and the buffer is recyclable). Only takes
+  /// effect in the strict kFail corruption mode: resync needs the decoder's
+  /// scan buffer, so hardened (kResync) receivers keep the legacy path.
+  /// Corruption on the pooled path is sticky DATA_LOSS, matching kFail.
+  void set_buffer_lease(std::function<Bytes(std::size_t)> lease);
+
   /// Writes a credit grant for `grant` messages on the reverse direction of
   /// this connection (credit-based flow control; the paired PushSocket reads
   /// it via recv_credit). Call from the thread that owns this socket.
@@ -91,10 +114,15 @@ class PullSocket {
   }
 
  private:
+  Result<Message> recv_pooled();
+
   std::unique_ptr<ByteStream> stream_;
   MessageDecoder decoder_;
+  MessageDecoder::OnCorruption on_corruption_;
   Bytes read_buffer_;
   std::uint64_t bytes_received_ = 0;
+  std::function<Bytes(std::size_t)> lease_;
+  bool corrupt_ = false;
 };
 
 }  // namespace numastream

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -40,6 +41,52 @@ class TcpStream final : public ByteStream {
         return errno_error("send");
       }
       sent += static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+  }
+
+  // Real vectored I/O: the header and the (pooled) payload go to the kernel
+  // as one sendmsg, so framing never copies the payload into a join buffer.
+  Status write_all_vec(std::initializer_list<ByteSpan> spans) override {
+    iovec iov[8];
+    std::size_t count = 0;
+    std::size_t total = 0;
+    for (const ByteSpan& span : spans) {
+      if (span.empty()) {
+        continue;
+      }
+      if (count == sizeof(iov) / sizeof(iov[0])) {
+        // More fragments than we vector: fall back to the join path.
+        return ByteStream::write_all_vec(spans);
+      }
+      iov[count].iov_base = const_cast<std::uint8_t*>(span.data());
+      iov[count].iov_len = span.size();
+      ++count;
+      total += span.size();
+    }
+    std::size_t sent = 0;
+    std::size_t first = 0;  // first iovec not yet fully written
+    while (sent < total) {
+      msghdr msg{};
+      msg.msg_iov = iov + first;
+      msg.msg_iovlen = count - first;
+      const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return errno_error("sendmsg");
+      }
+      sent += static_cast<std::size_t>(n);
+      std::size_t advanced = static_cast<std::size_t>(n);
+      while (first < count && advanced >= iov[first].iov_len) {
+        advanced -= iov[first].iov_len;
+        ++first;
+      }
+      if (first < count && advanced > 0) {
+        iov[first].iov_base = static_cast<std::uint8_t*>(iov[first].iov_base) + advanced;
+        iov[first].iov_len -= advanced;
+      }
     }
     return Status::ok();
   }

@@ -9,6 +9,7 @@
 // pipeline test can run on inproc and the identical code path ships over TCP.
 #pragma once
 
+#include <initializer_list>
 #include <memory>
 
 #include "common/bytes.h"
@@ -22,6 +23,26 @@ class ByteStream {
 
   /// Writes the entire span (blocking). UNAVAILABLE once the peer is gone.
   virtual Status write_all(ByteSpan data) = 0;
+
+  /// Writes every span, in order, as one logical write (blocking). The wire
+  /// bytes are exactly the concatenation — this exists so framed sends
+  /// (header + large pooled payload) need not join into a temporary buffer.
+  /// The default joins and delegates to write_all, which keeps single-write
+  /// semantics for transports whose fault injection or flow control counts
+  /// writes (msg/faulty); kernel transports override with real vectored I/O
+  /// (TcpStream uses writev).
+  virtual Status write_all_vec(std::initializer_list<ByteSpan> spans) {
+    std::size_t total = 0;
+    for (const ByteSpan& span : spans) {
+      total += span.size();
+    }
+    Bytes joined;
+    joined.reserve(total);
+    for (const ByteSpan& span : spans) {
+      joined.insert(joined.end(), span.begin(), span.end());
+    }
+    return write_all(joined);
+  }
 
   /// Reads at least 1 and at most `out.size()` bytes (blocking).
   /// Returns 0 exactly once: clean end-of-stream (peer closed after flushing).

@@ -1,0 +1,403 @@
+// Fast-path subsystem tests (DESIGN.md §15): the NUMA-local chunk pool's
+// exactly-once accounting, the fastpath config directive, the StageChannel
+// dispatch wrapper, the control-frame size boundary, scatter-gather wire
+// equivalence, and the whole pooled pipeline over real sockets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "codec/frame.h"
+#include "core/pipeline.h"
+#include "core/stage_channel.h"
+#include "data/chunk_pool.h"
+#include "metrics/fastpath_counters.h"
+#include "msg/inproc.h"
+#include "msg/socket.h"
+#include "msg/tcp.h"
+#include "msg/transport.h"
+#include "topo/discover.h"
+
+namespace numastream {
+namespace {
+
+// ---------------------------------------------------------------- pool
+
+TEST(ChunkPoolTest, MissThenRecycleThenHit) {
+  FastPathCounters counters;
+  ChunkPool pool(1, 4, &counters);
+  Bytes first = pool.lease(0, 100);
+  EXPECT_EQ(first.size(), 100U);
+  auto snap = counters.snapshot();
+  EXPECT_EQ(snap.pool_leases, 1U);
+  EXPECT_EQ(snap.pool_misses, 1U);
+  EXPECT_EQ(snap.pool_hits, 0U);
+
+  first.resize(100);
+  pool.recycle(0, std::move(first));
+  Bytes second = pool.lease(0, 64);
+  EXPECT_EQ(second.size(), 64U);
+  snap = counters.snapshot();
+  EXPECT_EQ(snap.pool_leases, 2U);
+  EXPECT_EQ(snap.pool_hits, 1U);
+  EXPECT_EQ(snap.pool_recycles, 1U);
+}
+
+TEST(ChunkPoolTest, UnknownDomainClampsToShelfZero) {
+  FastPathCounters counters;
+  ChunkPool pool(2, 4, &counters);
+  pool.recycle(-1, Bytes(32, 0x1));  // kOsChoice domain lands on shelf 0
+  Bytes leased = pool.lease(-1, 32);
+  EXPECT_EQ(counters.snapshot().pool_hits, 1U);
+  // Out-of-range domains wrap instead of crashing.
+  pool.recycle(7, std::move(leased));
+  (void)pool.lease(7, 16);
+  EXPECT_EQ(counters.snapshot().pool_hits, 2U);
+}
+
+TEST(ChunkPoolTest, FullShelfDiscardsInsteadOfGrowing) {
+  FastPathCounters counters;
+  ChunkPool pool(1, 2, &counters);
+  pool.recycle(0, Bytes(8, 0x1));
+  pool.recycle(0, Bytes(8, 0x2));
+  pool.recycle(0, Bytes(8, 0x3));  // shelf holds 2; the third is freed
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.pool_recycles, 2U);
+  EXPECT_EQ(snap.pool_discards, 1U);
+}
+
+TEST(ChunkPoolTest, EmptyBufferIsDiscardedNotShelved) {
+  FastPathCounters counters;
+  ChunkPool pool(1, 4, &counters);
+  pool.recycle(0, Bytes());
+  EXPECT_EQ(counters.snapshot().pool_recycles, 0U);
+  EXPECT_EQ(counters.snapshot().pool_hits + counters.snapshot().pool_misses,
+            counters.snapshot().pool_leases);
+}
+
+TEST(ChunkPoolTest, ExactlyOnceAccountingUnderChaos) {
+  // Threads lease and recycle across domains at random-ish interleavings;
+  // some buffers are dropped on the floor (the crash/shed path). The
+  // ledger must stay exact: every lease is a hit or a miss, and nothing
+  // is recycled or discarded that was never leased back.
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  FastPathCounters counters;
+  ChunkPool pool(2, 8, &counters);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&pool, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int domain = (t + i) % 2;
+        Bytes buffer = pool.lease(domain, 64 + static_cast<std::size_t>(i % 7));
+        ASSERT_EQ(buffer.size(), 64U + static_cast<std::size_t>(i % 7));
+        if (i % 5 != 0) {  // every 5th buffer is dropped on the floor
+          pool.recycle(domain, std::move(buffer));
+        }
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.pool_leases,
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(snap.pool_hits + snap.pool_misses, snap.pool_leases);
+  EXPECT_LE(snap.pool_recycles + snap.pool_discards, snap.pool_leases);
+  EXPECT_GT(snap.pool_hits, 0U);  // steady state actually recycled
+}
+
+// --------------------------------------------------------------- config
+
+TEST(FastPathConfigTest, DefaultIsOffAndSerializesToNothing) {
+  NodeConfig config;
+  config.node_name = "n";
+  config.role = NodeRole::kSender;
+  config.tasks = {TaskGroupConfig{.type = TaskType::kSend, .count = 1}};
+  EXPECT_FALSE(config.fastpath.enabled());
+  EXPECT_EQ(config.serialize().find("fastpath"), std::string::npos);
+}
+
+TEST(FastPathConfigTest, RoundTripsThroughText) {
+  NodeConfig config;
+  config.node_name = "n";
+  config.role = NodeRole::kSender;
+  config.tasks = {TaskGroupConfig{.type = TaskType::kSend, .count = 1}};
+  config.fastpath.rings = true;
+  config.fastpath.pool_buffers = 6;
+  const std::string text = config.serialize();
+  EXPECT_NE(text.find("fastpath rings=on pool_buffers=6"), std::string::npos);
+  auto parsed = NodeConfig::parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().fastpath, config.fastpath);
+}
+
+TEST(FastPathConfigTest, DuplicateDirectiveRejected) {
+  const auto status = NodeConfig::parse(
+      "node n\nrole sender\ntask send count=1\n"
+      "fastpath rings=on\nfastpath pool_buffers=2\n");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FastPathConfigTest, RingsRejectEvictingShedPolicies) {
+  // A lock-free ring cannot scan-and-remove interior elements, so rings=on
+  // with drop_oldest/priority_evict must fail validation loudly. (Parsing
+  // succeeds — cross-policy checks live in validate(), which the pipeline
+  // runs before any thread starts.)
+  auto topo = discover_topology();
+  ASSERT_TRUE(topo.ok());
+  for (const char* shed : {"drop_oldest", "priority_evict"}) {
+    const auto result = NodeConfig::parse(
+        "node n\nrole sender\ntask send count=1\n"
+        "overload budget_bytes=0 credit_window=0 shed=" +
+        std::string(shed) +
+        " high_watermark=4 low_watermark=2\n"
+        "fastpath rings=on\n");
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    const Status status = result.value().validate(topo.value());
+    ASSERT_FALSE(status.is_ok()) << shed;
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.to_string().find("fastpath rings=on is incompatible"),
+              std::string::npos);
+  }
+  // block and drop_newest stay compatible.
+  const auto compatible = NodeConfig::parse(
+      "node n\nrole sender\ntask send count=1\n"
+      "overload budget_bytes=0 credit_window=0 shed=drop_newest "
+      "high_watermark=4 low_watermark=2\n"
+      "fastpath rings=on pool_buffers=4\n");
+  ASSERT_TRUE(compatible.ok());
+  EXPECT_TRUE(compatible.value().validate(topo.value()).is_ok());
+}
+
+// -------------------------------------------------------- stage channel
+
+TEST(StageChannelTest, MutexModeRoundTrip) {
+  StageChannel<int> channel(4, 2, /*rings=*/false);
+  EXPECT_FALSE(channel.lock_free());
+  ASSERT_TRUE(channel.push(1).is_ok());
+  ASSERT_TRUE(channel.push(2).is_ok());
+  EXPECT_EQ(channel.pop(0).value(), 1);
+  EXPECT_EQ(channel.pop(1).value(), 2);  // any consumer index works
+  channel.close();
+  EXPECT_FALSE(channel.pop(0).has_value());
+}
+
+TEST(StageChannelTest, RingModeRoundTripAndCounters) {
+  FastPathCounters counters;
+  {
+    StageChannel<int> channel(8, 2, /*rings=*/true, &counters);
+    EXPECT_TRUE(channel.lock_free());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(channel.push(i).is_ok());
+    }
+    int drained = 0;
+    while (channel.try_pop_any().has_value()) {
+      ++drained;
+    }
+    EXPECT_EQ(drained, 6);
+    channel.close();
+  }  // destructor flushes parks
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap.ring_pushes, 6U);
+}
+
+TEST(StageChannelTest, RingModeCancelViaSignal) {
+  FastPathCounters counters;
+  CancelSignal cancel;
+  StageChannel<int> channel(4, 1, /*rings=*/true, &counters);
+  channel.bind_cancel(&cancel);
+  std::thread consumer([&] {
+    EXPECT_FALSE(channel.pop(0, cancel.flag()).has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  cancel.raise();
+  consumer.join();
+}
+
+// ------------------------------------------------- control-frame bounds
+
+std::vector<ResumePoint> make_points(std::size_t count) {
+  std::vector<ResumePoint> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    points.push_back(ResumePoint{static_cast<std::uint32_t>(i), i});
+  }
+  return points;
+}
+
+TEST(ControlFrameBoundaryTest, LargestFittingResumeFrameIsAccepted) {
+  // Resume body = 12 bytes prefix + 12 per point: 340 points = 4092 bytes,
+  // the largest whole frame under kMaxControlBody (4096).
+  InprocPair pair = make_inproc_pair(1 << 20);
+  PushSocket push(std::move(pair.first));
+  const Message frame = Message::resume_frame(77, make_points(340));
+  ASSERT_LE(frame.body.size(), kMaxControlBody);
+  ASSERT_TRUE(pair.second->write_all(encode_message(frame)).is_ok());
+  auto received = push.recv_control();
+  ASSERT_TRUE(received.ok()) << received.status().to_string();
+  EXPECT_TRUE(received.value().resume);
+  EXPECT_EQ(received.value().body.size(), frame.body.size());
+}
+
+TEST(ControlFrameBoundaryTest, OversizedControlFrameFailsLoudly) {
+  // One more point crosses the bound: the socket must fail the stream
+  // with DATA_LOSS naming the limit — never truncate or silently accept.
+  InprocPair pair = make_inproc_pair(1 << 20);
+  PushSocket push(std::move(pair.first));
+  const Message frame = Message::resume_frame(77, make_points(341));
+  ASSERT_GT(frame.body.size(), kMaxControlBody);
+  ASSERT_TRUE(pair.second->write_all(encode_message(frame)).is_ok());
+  auto received = push.recv_control();
+  ASSERT_FALSE(received.ok());
+  EXPECT_EQ(received.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(received.status().to_string().find("kMaxControlBody"),
+            std::string::npos);
+}
+
+// --------------------------------------------- scatter-gather equivalence
+
+TEST(ScatterGatherTest, WireBytesIdenticalToEncodeMessage) {
+  // PushSocket::send writes header and payload as separate iovecs; the
+  // bytes on the wire must still be exactly encode_message's.
+  InprocPair pair = make_inproc_pair(1 << 20);
+  PushSocket push(std::move(pair.first));
+  Message message;
+  message.stream_id = 3;
+  message.sequence = 41;
+  message.body = Bytes(10000, 0x5a);
+  const Bytes expected = encode_message(message);
+  ASSERT_TRUE(push.send(message).is_ok());
+  Bytes wire(expected.size());
+  ASSERT_TRUE(read_exact(*pair.second, wire).is_ok());
+  EXPECT_EQ(wire, expected);
+}
+
+// ---------------------------------------------------- pooled pipeline
+
+TEST(FastpathPipelineTest, FullPipelineWithRingsAndPool) {
+  auto topo_result = discover_topology();
+  ASSERT_TRUE(topo_result.ok());
+  const MachineTopology topo = std::move(topo_result).value();
+  TomoConfig tomo;
+  tomo.rows = 64;
+  tomo.cols = 100;
+  tomo.num_spheres = 4;
+
+  NodeConfig sender_config;
+  sender_config.node_name = "fp-sender";
+  sender_config.role = NodeRole::kSender;
+  sender_config.chunk_bytes = tomo.chunk_bytes();
+  sender_config.tasks = {
+      TaskGroupConfig{.type = TaskType::kCompress, .count = 3},
+      TaskGroupConfig{.type = TaskType::kSend, .count = 2},
+  };
+  sender_config.fastpath.rings = true;
+  sender_config.fastpath.pool_buffers = 4;
+  NodeConfig receiver_config;
+  receiver_config.node_name = "fp-receiver";
+  receiver_config.role = NodeRole::kReceiver;
+  receiver_config.chunk_bytes = tomo.chunk_bytes();
+  receiver_config.tasks = {
+      TaskGroupConfig{.type = TaskType::kReceive, .count = 2},
+      TaskGroupConfig{.type = TaskType::kDecompress, .count = 2},
+  };
+  receiver_config.fastpath.rings = true;
+  receiver_config.fastpath.pool_buffers = 4;
+
+  auto listener = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value()->port();
+
+  const std::uint64_t kChunks = 25;
+  TomoChunkSource source(tomo, 1, kChunks);
+  CountingSink sink;
+
+  SenderStats sender_stats;
+  std::thread sender_thread([&] {
+    StreamSender sender(topo, sender_config);
+    auto stats =
+        sender.run(source, [&] { return tcp_connect("127.0.0.1", port); });
+    ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+    sender_stats = stats.value();
+  });
+
+  CountingSink receiver_sink;
+  StreamReceiver receiver(topo, receiver_config);
+  auto stats = receiver.run(*listener.value(), receiver_sink);
+  sender_thread.join();
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+
+  EXPECT_EQ(receiver_sink.chunks(), kChunks);
+  EXPECT_EQ(stats.value().raw_bytes, kChunks * tomo.chunk_bytes());
+  EXPECT_EQ(stats.value().corrupt_frames, 0U);
+  EXPECT_EQ(stats.value().wire_bytes, sender_stats.wire_bytes);
+
+  // The fastpath actually ran: every chunk crossed a ring on both ends,
+  // and the sender-side pool reached steady-state recycling.
+  EXPECT_EQ(sender_stats.fastpath.ring_pushes, kChunks);
+  EXPECT_EQ(stats.value().fastpath.ring_pushes, kChunks);
+  EXPECT_EQ(sender_stats.fastpath.pool_leases, kChunks);
+  EXPECT_GT(sender_stats.fastpath.pool_hits, 0U);
+  EXPECT_GT(stats.value().fastpath.pool_leases, 0U);
+}
+
+TEST(FastpathPipelineTest, MutexModeStatsStayZero) {
+  // With the directive off (the default) the pipeline must not report any
+  // fastpath activity — the counters are the proof the default path is
+  // byte-for-byte the pre-fastpath runtime.
+  auto topo_result = discover_topology();
+  ASSERT_TRUE(topo_result.ok());
+  const MachineTopology topo = std::move(topo_result).value();
+  TomoConfig tomo;
+  tomo.rows = 64;
+  tomo.cols = 100;
+  tomo.num_spheres = 4;
+
+  NodeConfig sender_config;
+  sender_config.node_name = "fp-off-sender";
+  sender_config.role = NodeRole::kSender;
+  sender_config.chunk_bytes = tomo.chunk_bytes();
+  sender_config.tasks = {
+      TaskGroupConfig{.type = TaskType::kCompress, .count = 1},
+      TaskGroupConfig{.type = TaskType::kSend, .count = 1},
+  };
+  NodeConfig receiver_config;
+  receiver_config.node_name = "fp-off-receiver";
+  receiver_config.role = NodeRole::kReceiver;
+  receiver_config.chunk_bytes = tomo.chunk_bytes();
+  receiver_config.tasks = {
+      TaskGroupConfig{.type = TaskType::kReceive, .count = 1},
+      TaskGroupConfig{.type = TaskType::kDecompress, .count = 1},
+  };
+
+  auto listener = TcpListener::bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok());
+  const std::uint16_t port = listener.value()->port();
+
+  TomoChunkSource source(tomo, 1, 5);
+  SenderStats sender_stats;
+  std::thread sender_thread([&] {
+    StreamSender sender(topo, sender_config);
+    auto stats =
+        sender.run(source, [&] { return tcp_connect("127.0.0.1", port); });
+    ASSERT_TRUE(stats.ok());
+    sender_stats = stats.value();
+  });
+  CountingSink sink;
+  StreamReceiver receiver(topo, receiver_config);
+  auto stats = receiver.run(*listener.value(), sink);
+  sender_thread.join();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(sender_stats.fastpath.ring_pushes, 0U);
+  EXPECT_EQ(sender_stats.fastpath.pool_leases, 0U);
+  EXPECT_EQ(stats.value().fastpath.ring_pushes, 0U);
+  EXPECT_EQ(stats.value().fastpath.pool_leases, 0U);
+}
+
+}  // namespace
+}  // namespace numastream
