@@ -8,7 +8,11 @@
 # check, so this script doubles as a correctness gate; the JSON artifacts are
 # the perf-trajectory record that CI diffs warn-only between runs
 # (scripts/bench_diff.py).
-set -euo pipefail
+#
+# A failing bench does NOT stop the suite: every bench runs, failures are
+# collected, and the script exits non-zero at the end if anything failed or
+# left no artifact — so one red bench can't hide the state of the others.
+set -uo pipefail
 
 build_dir=${1:-build}
 out_dir=${2:-bench-json}
@@ -28,19 +32,30 @@ benches=(
   ablation_os_scheduler
   ablation_overload
   ablation_oversubscription
+  ablation_scrub
 )
 
 mkdir -p "$out_dir"
+failed=()
 for bench in "${benches[@]}"; do
   echo "=== $bench ==="
-  NUMASTREAM_BENCH_JSON_DIR=$out_dir "$build_dir/bench/$bench"
+  if ! NUMASTREAM_BENCH_JSON_DIR=$out_dir "$build_dir/bench/$bench"; then
+    echo "FAILED: $bench" >&2
+    failed+=("$bench")
+  fi
 done
 
-missing=0
+missing=()
 for bench in "${benches[@]}"; do
   if [[ ! -f "$out_dir/BENCH_$bench.json" ]]; then
     echo "missing artifact: $out_dir/BENCH_$bench.json" >&2
-    missing=1
+    missing+=("$bench")
   fi
 done
-exit $missing
+
+if ((${#failed[@]} > 0 || ${#missing[@]} > 0)); then
+  echo "bench suite: ${#failed[@]} failed (${failed[*]:-}), ${#missing[@]}" \
+       "missing artifacts (${missing[*]:-})" >&2
+  exit 1
+fi
+echo "bench suite: all ${#benches[@]} benches green"

@@ -1,0 +1,117 @@
+// ChaosExplorer: random-walk fault exploration with shrinking repro
+// bundles (DESIGN.md §16).
+//
+// The explorer is the active half of the chaos subsystem: from one master
+// seed it derives N independent episodes, each a fresh ChaosHarness driven
+// by a random schedule of deliveries, partitions, crashes, failovers, rot,
+// scrubs, handoffs and overload bursts, with the InvariantMonitor watching
+// every probe. A clean sweep is the regression signal ("the protocol
+// survives N random fault compositions"); the first violating episode
+// triggers the part that makes chaos findings actionable — shrinking.
+//
+// Shrinking is classic ddmin over the event schedule: try dropping chunks
+// of events (halves, quarters, ... single events), keep any removal after
+// which a fresh harness still reproduces a violation of the same probe,
+// and stop at a 1-minimal schedule — removing ANY single remaining event
+// makes the violation vanish. Because the harness is deterministic in
+// (options, schedule), every candidate run is exact, not statistical: no
+// flaky shrinks, no lost reproducers.
+//
+// The result is a ReproBundle — seed, episode index, harness options, the
+// minimal schedule, and the violation it produces — with a canonical text
+// serialization that round-trips bit-identically. tools/chaos_replay feeds
+// a bundle back through the same harness and must observe the same
+// violation; that closed loop (explore -> shrink -> bundle -> replay) is
+// the acceptance contract for every bug this subsystem ever reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "check/harness.h"
+#include "check/invariant.h"
+#include "check/schedule.h"
+#include "metrics/chaos_counters.h"
+
+namespace numastream {
+namespace check {
+
+struct ChaosExplorerOptions {
+  std::uint64_t seed = 1;       ///< master seed; episodes derive from it
+  std::uint32_t episodes = 200; ///< random walks to run
+  std::uint32_t events = 12;    ///< events per episode schedule
+  std::uint32_t streams = 2;    ///< streams the harness multiplexes
+  /// Forwarded to the harness: plant the split-brain fencing bug the
+  /// explorer is expected to catch (test/CI self-check only).
+  bool plant_fencing_bug = false;
+
+  friend bool operator==(const ChaosExplorerOptions&,
+                         const ChaosExplorerOptions&) = default;
+};
+
+/// Everything needed to reproduce one violation deterministically.
+struct ReproBundle {
+  std::uint64_t seed = 0;     ///< master seed the episode derived from
+  std::uint32_t episode = 0;  ///< which episode of the walk found it
+  ChaosHarnessOptions options;
+  ChaosSchedule schedule;     ///< minimal (shrunk) schedule
+  InvariantViolation violation;
+
+  friend bool operator==(const ReproBundle&, const ReproBundle&) = default;
+};
+
+/// Canonical "chaosbundle v1" text form. serialize(parse(text)) == text for
+/// any text serialize() produced — bundles are stable artifacts.
+[[nodiscard]] std::string serialize_bundle(const ReproBundle& bundle);
+[[nodiscard]] Result<ReproBundle> parse_bundle(const std::string& text);
+
+struct ChaosExplorerReport {
+  std::uint32_t episodes_run = 0;
+  bool found = false;       ///< a violation was found (bundle is valid)
+  std::uint32_t raw_events = 0;  ///< schedule length before shrinking
+  ReproBundle bundle;
+
+  friend bool operator==(const ChaosExplorerReport&,
+                         const ChaosExplorerReport&) = default;
+};
+
+class ChaosExplorer {
+ public:
+  explicit ChaosExplorer(const ChaosExplorerOptions& options,
+                         ChaosCounters* counters = nullptr);
+
+  /// Runs up to `episodes` random walks; stops at the first violating
+  /// episode, shrinks its schedule to a 1-minimal reproducer, and returns
+  /// the bundle. found == false means a clean sweep.
+  [[nodiscard]] ChaosExplorerReport explore();
+
+  /// Runs one (options, schedule) pair on a fresh harness and returns the
+  /// violations it produced. Deterministic: same inputs, same output —
+  /// this is the function replay and shrinking are built on.
+  [[nodiscard]] static std::vector<InvariantViolation> run_schedule(
+      const ChaosHarnessOptions& options, const ChaosSchedule& schedule,
+      ChaosCounters* counters = nullptr);
+
+  /// Replays a bundle. OK when the bundle's violation (same probe, stream
+  /// and sequence) is reproduced; DATA_LOSS when the run stays clean or
+  /// produces only different violations.
+  [[nodiscard]] static Status replay(const ReproBundle& bundle,
+                                     ChaosCounters* counters = nullptr);
+
+  /// ddmin: shrinks `schedule` to a 1-minimal sequence that still violates
+  /// `probe` under `options`. Public for tests; explore() calls it.
+  [[nodiscard]] ChaosSchedule shrink(const ChaosHarnessOptions& options,
+                                     ChaosSchedule schedule,
+                                     InvariantProbe probe);
+
+ private:
+  [[nodiscard]] bool reproduces(const ChaosHarnessOptions& options,
+                                const ChaosSchedule& schedule,
+                                InvariantProbe probe);
+
+  const ChaosExplorerOptions options_;
+  ChaosCounters* counters_;
+};
+
+}  // namespace check
+}  // namespace numastream

@@ -1,0 +1,185 @@
+#include "check/schedule.h"
+
+#include <sstream>
+
+namespace numastream {
+namespace check {
+namespace {
+
+struct KindName {
+  ChaosEventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {ChaosEventKind::kDeliver, "deliver"},
+    {ChaosEventKind::kPartition, "partition"},
+    {ChaosEventKind::kPartitionOneWay, "partition_one_way"},
+    {ChaosEventKind::kHeal, "heal"},
+    {ChaosEventKind::kCrash, "crash"},
+    {ChaosEventKind::kFailover, "failover"},
+    {ChaosEventKind::kRestart, "restart"},
+    {ChaosEventKind::kRot, "rot"},
+    {ChaosEventKind::kScrub, "scrub"},
+    {ChaosEventKind::kHandoff, "handoff"},
+    {ChaosEventKind::kOverload, "overload"},
+    {ChaosEventKind::kDrain, "drain"},
+};
+
+static_assert(sizeof(kKindNames) / sizeof(kKindNames[0]) == kChaosEventKinds,
+              "every event kind needs a canonical name");
+
+}  // namespace
+
+std::string to_string(ChaosEventKind kind) {
+  for (const auto& entry : kKindNames) {
+    if (entry.kind == kind) {
+      return entry.name;
+    }
+  }
+  return "unknown";
+}
+
+Result<ChaosEventKind> chaos_event_kind_from_string(const std::string& token) {
+  for (const auto& entry : kKindNames) {
+    if (token == entry.name) {
+      return entry.kind;
+    }
+  }
+  return invalid_argument_error("schedule: unknown event kind '" + token +
+                                "'");
+}
+
+std::string ChaosEvent::to_string() const {
+  return "event " + check::to_string(kind) + " a=" + std::to_string(a) +
+         " b=" + std::to_string(b) + " n=" + std::to_string(n);
+}
+
+std::string serialize_schedule(const ChaosSchedule& schedule) {
+  std::string out;
+  for (const ChaosEvent& event : schedule) {
+    out += event.to_string();
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ChaosSchedule> parse_schedule(const std::string& text) {
+  ChaosSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string word;
+    if (!(fields >> word)) {
+      continue;  // blank line
+    }
+    const auto fail = [&](const std::string& why) {
+      return invalid_argument_error("schedule line " +
+                                    std::to_string(line_no) + ": " + why);
+    };
+    if (word != "event") {
+      return fail("expected 'event', got '" + word + "'");
+    }
+    std::string kind_token;
+    if (!(fields >> kind_token)) {
+      return fail("missing event kind");
+    }
+    auto kind = chaos_event_kind_from_string(kind_token);
+    if (!kind.ok()) {
+      return fail(kind.status().message());
+    }
+    ChaosEvent event;
+    event.kind = kind.value();
+    std::string attr;
+    bool saw_a = false;
+    bool saw_b = false;
+    bool saw_n = false;
+    while (fields >> attr) {
+      const auto eq = attr.find('=');
+      if (eq == std::string::npos) {
+        return fail("malformed operand '" + attr + "'");
+      }
+      const std::string key = attr.substr(0, eq);
+      const std::string value = attr.substr(eq + 1);
+      try {
+        if (key == "a") {
+          event.a = static_cast<std::uint32_t>(std::stoul(value));
+          saw_a = true;
+        } else if (key == "b") {
+          event.b = static_cast<std::uint32_t>(std::stoul(value));
+          saw_b = true;
+        } else if (key == "n") {
+          event.n = std::stoull(value);
+          saw_n = true;
+        } else {
+          return fail("unknown operand '" + key + "'");
+        }
+      } catch (const std::exception&) {
+        return fail("bad value for " + key + ": '" + value + "'");
+      }
+    }
+    if (!saw_a || !saw_b || !saw_n) {
+      return fail("operands a=, b=, n= are all required (canonical form)");
+    }
+    schedule.push_back(event);
+  }
+  return schedule;
+}
+
+ChaosSchedule random_schedule(Rng& rng, std::uint32_t events,
+                              std::uint32_t streams) {
+  ChaosSchedule schedule;
+  schedule.reserve(events);
+  const std::uint32_t stream_count = streams == 0 ? 1 : streams;
+  for (std::uint32_t i = 0; i < events; ++i) {
+    ChaosEvent event;
+    // Half the walk is traffic: faults only matter while data flows, and
+    // a schedule of pure faults would never exercise the delivery ledger.
+    if (rng.next_below(2) == 0) {
+      event.kind = ChaosEventKind::kDeliver;
+      event.a = static_cast<std::uint32_t>(rng.next_below(stream_count));
+      event.n = 1 + rng.next_below(4);
+    } else {
+      event.kind = static_cast<ChaosEventKind>(
+          2 + rng.next_below(kChaosEventKinds - 1));
+      switch (event.kind) {
+        case ChaosEventKind::kPartition:
+        case ChaosEventKind::kHeal:
+          event.a = 0;
+          event.b = 1;
+          break;
+        case ChaosEventKind::kPartitionOneWay:
+          event.a = static_cast<std::uint32_t>(rng.next_below(2));
+          event.b = 1 - event.a;
+          break;
+        case ChaosEventKind::kCrash:
+        case ChaosEventKind::kRestart:
+          event.a = static_cast<std::uint32_t>(rng.next_below(2));
+          break;
+        case ChaosEventKind::kRot:
+          event.n = 1 + rng.next_below(3);  // bits to flip
+          break;
+        case ChaosEventKind::kHandoff:
+          event.a = static_cast<std::uint32_t>(rng.next_below(stream_count));
+          break;
+        case ChaosEventKind::kOverload:
+          event.a = static_cast<std::uint32_t>(rng.next_below(stream_count));
+          event.n = 2 + rng.next_below(6);
+          break;
+        case ChaosEventKind::kDeliver:
+        case ChaosEventKind::kFailover:
+        case ChaosEventKind::kScrub:
+        case ChaosEventKind::kDrain:
+          break;
+      }
+    }
+    schedule.push_back(event);
+  }
+  return schedule;
+}
+
+}  // namespace check
+}  // namespace numastream

@@ -1,0 +1,62 @@
+#include "cluster/chaoslink.h"
+
+#include <string>
+
+namespace numastream {
+namespace cluster {
+namespace {
+
+/// Shared request/reply weather: both RPC links fail identically.
+template <typename Transport>
+Result<Message> chaotic_exchange(Transport& inner, ChaosNetMesh& mesh,
+                                 std::uint32_t from, std::uint32_t to,
+                                 const Message& frame) {
+  if (mesh.cut(from, to)) {
+    // Forward cut: the request never reaches the peer; its journal is
+    // untouched. Indistinguishable from a reverse cut at the caller —
+    // that ambiguity is the adversary the protocols must survive.
+    mesh.note_frame_dropped();
+    return unavailable_error("chaosnet: link " + std::to_string(from) +
+                             "->" + std::to_string(to) + " partitioned");
+  }
+  const ChaosFrameFate fate = mesh.roll(from, to);
+  if (fate.duplicated) {
+    // The network delivered the request twice; the peer applies both.
+    // The first reply is lost (the caller can only consume one), so the
+    // caller observes a single clean exchange while the peer saw two —
+    // exercising the peer's idempotency the way a retransmit would.
+    auto first = inner.exchange(frame);
+    if (!first.ok()) {
+      return first;
+    }
+  }
+  auto reply = inner.exchange(frame);
+  if (!reply.ok()) {
+    return reply;
+  }
+  if (mesh.cut(to, from)) {
+    // Reverse cut: the peer applied the frame durably but the ack died on
+    // the return path — the worst spot for a mid-flush failure. The
+    // caller must treat the work as NOT done even though the peer holds
+    // it; retries then diverge the replicas until scrubbing converges
+    // them.
+    mesh.note_ack_dropped();
+    return unavailable_error("chaosnet: ack lost on link " +
+                             std::to_string(to) + "->" +
+                             std::to_string(from) + " (one-way partition)");
+  }
+  return reply;
+}
+
+}  // namespace
+
+Result<Message> ChaosReplicationTransport::exchange(const Message& frame) {
+  return chaotic_exchange(inner_, mesh_, from_, to_, frame);
+}
+
+Result<Message> ChaosScrubTransport::exchange(const Message& frame) {
+  return chaotic_exchange(inner_, mesh_, from_, to_, frame);
+}
+
+}  // namespace cluster
+}  // namespace numastream

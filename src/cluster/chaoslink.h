@@ -1,0 +1,73 @@
+// Chaos decorators for the synchronous cluster RPC links (DESIGN.md §16).
+//
+// The REPL and SCRUB links are request/reply: the caller blocks on
+// exchange() until the peer's frame comes back. On such a link the chaos
+// mesh's directed cuts split into two distinct failures that a symmetric
+// fault layer cannot tell apart:
+//
+//   forward cut  (from → to severed): the request never arrives. The peer
+//                sees silence, the caller sees UNAVAILABLE, and — crucially
+//                — the peer's journal did NOT change.
+//   reverse cut  (to → from severed): the request arrives and the peer
+//                applies it durably, but the ack dies on the return path.
+//                The caller sees the same UNAVAILABLE, yet the peer now
+//                holds records the caller believes unreplicated.
+//
+// That second case is InprocReplicationLink::drop_next_ack generalized
+// from a one-shot test hook into standing link state, and it is where
+// replicated systems actually break: the primary retries the flush into a
+// duplicated range (anti-entropy's job to converge), or gives up and
+// fails over while the standby is *ahead* of the acked watermark (which
+// the standby-superset invariant must tolerate, and does — superset, not
+// equality). Frame duplication rolls exercise the same retry paths
+// without any partition.
+//
+// Both decorators borrow the wrapped transport and the mesh; they hold no
+// state of their own, so one mesh can weather any number of links.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/antientropy.h"
+#include "cluster/replication.h"
+#include "msg/chaosnet.h"
+
+namespace numastream {
+namespace cluster {
+
+/// REPL link under mesh weather. `from` is the primary's endpoint, `to`
+/// the standby's.
+class ChaosReplicationTransport final : public ReplicationTransport {
+ public:
+  ChaosReplicationTransport(ReplicationTransport& inner, ChaosNetMesh& mesh,
+                            std::uint32_t from, std::uint32_t to)
+      : inner_(inner), mesh_(mesh), from_(from), to_(to) {}
+
+  Result<Message> exchange(const Message& frame) override;
+
+ private:
+  ReplicationTransport& inner_;
+  ChaosNetMesh& mesh_;
+  const std::uint32_t from_;
+  const std::uint32_t to_;
+};
+
+/// SCRUB link under the same weather; digest rounds and repairs fail
+/// exactly like REPL exchanges so a partition stalls anti-entropy too.
+class ChaosScrubTransport final : public ScrubTransport {
+ public:
+  ChaosScrubTransport(ScrubTransport& inner, ChaosNetMesh& mesh,
+                      std::uint32_t from, std::uint32_t to)
+      : inner_(inner), mesh_(mesh), from_(from), to_(to) {}
+
+  Result<Message> exchange(const Message& frame) override;
+
+ private:
+  ScrubTransport& inner_;
+  ChaosNetMesh& mesh_;
+  const std::uint32_t from_;
+  const std::uint32_t to_;
+};
+
+}  // namespace cluster
+}  // namespace numastream

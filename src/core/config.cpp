@@ -27,11 +27,13 @@
 //   scrub cadence_ms=<n> [range_records=<n>] [budget_records=<n>]
 //         [repair_concurrency=<n>]
 //   fastpath [rings=on|off] [pool_buffers=<n>]
+//   chaos seed=<n> [episodes=<n>] [events=<n>] [probes=on|off]
 //   task <type> count=<n> exec=<domain|os>[,<domain|os>...] mem=<domain|os> [stream=<id>]
 //
-// `recovery`, `overload`, `health`, `observe`, `resume`, `cluster`,
-// `rebalance`, `scrub` and `fastpath` may each appear at most once; a
-// duplicate is a parse error (silent last-wins hid config merge mistakes).
+// Every directive except `priority` and `task` may appear at most once —
+// `node`, `role`, `codec`, `chunk_bytes` and `queue_capacity` included,
+// not just the policy blocks; a duplicate is a parse error (silent
+// last-wins hid config merge mistakes).
 //
 // Example (the paper's NUMA-aware receiver for one of four streams):
 //   node lynxdtn
@@ -349,6 +351,23 @@ Status NodeConfig::validate(const MachineTopology& topo) const {
           "drop_newest)");
     }
   }
+  if (!chaos.is_default()) {
+    if (chaos.seed == 0) {
+      return invalid_argument_error(
+          "config: chaos needs seed > 0 (the mesh and explorer derive every "
+          "decision from it; 0 means chaos off)");
+    }
+    if (chaos.episodes == 0) {
+      return invalid_argument_error(
+          "config: chaos episodes must be positive (a zero budget would "
+          "explore nothing)");
+    }
+    if (chaos.events == 0) {
+      return invalid_argument_error(
+          "config: chaos events must be positive (an empty schedule cannot "
+          "compose faults)");
+    }
+  }
   if (tasks.empty()) {
     return invalid_argument_error("config: no task groups");
   }
@@ -475,6 +494,13 @@ std::string NodeConfig::serialize() const {
     out << "fastpath rings=" << (fastpath.rings ? "on" : "off")
         << " pool_buffers=" << fastpath.pool_buffers << "\n";
   }
+  if (!chaos.is_default()) {
+    // Same convention again: the directive appears only when some knob
+    // moved, so production configs round-trip byte-identically.
+    out << "chaos seed=" << chaos.seed << " episodes=" << chaos.episodes
+        << " events=" << chaos.events
+        << " probes=" << (chaos.probes ? "on" : "off") << "\n";
+  }
   for (const auto& group : tasks) {
     out << "task " << to_string(group.type) << " count=" << group.count << " exec=";
     for (std::size_t i = 0; i < group.bindings.size(); ++i) {
@@ -493,6 +519,10 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   NodeConfig config;
   config.tasks.clear();
   bool saw_node = false;
+  bool saw_role = false;
+  bool saw_codec = false;
+  bool saw_chunk_bytes = false;
+  bool saw_queue_capacity = false;
   bool saw_recovery = false;
   bool saw_overload = false;
   bool saw_health = false;
@@ -502,6 +532,7 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
   bool saw_rebalance = false;
   bool saw_scrub = false;
   bool saw_fastpath = false;
+  bool saw_chaos = false;
 
   std::istringstream in(text);
   std::string line;
@@ -523,11 +554,20 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
     };
 
     if (directive == "node") {
+      if (saw_node) {
+        return fail("duplicate 'node' directive (each directive may appear "
+                    "at most once)");
+      }
       if (!(fields >> config.node_name)) {
         return fail("missing node name");
       }
       saw_node = true;
     } else if (directive == "role") {
+      if (saw_role) {
+        return fail("duplicate 'role' directive (each directive may appear "
+                    "at most once)");
+      }
+      saw_role = true;
       std::string role;
       if (!(fields >> role)) {
         return fail("missing role");
@@ -540,14 +580,29 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
         return fail("unknown role '" + role + "'");
       }
     } else if (directive == "codec") {
+      if (saw_codec) {
+        return fail("duplicate 'codec' directive (each directive may appear "
+                    "at most once)");
+      }
+      saw_codec = true;
       if (!(fields >> config.codec_name)) {
         return fail("missing codec name");
       }
     } else if (directive == "chunk_bytes") {
+      if (saw_chunk_bytes) {
+        return fail("duplicate 'chunk_bytes' directive (each directive may "
+                    "appear at most once)");
+      }
+      saw_chunk_bytes = true;
       if (!(fields >> config.chunk_bytes)) {
         return fail("bad chunk_bytes");
       }
     } else if (directive == "queue_capacity") {
+      if (saw_queue_capacity) {
+        return fail("duplicate 'queue_capacity' directive (each directive "
+                    "may appear at most once)");
+      }
+      saw_queue_capacity = true;
       if (!(fields >> config.queue_capacity)) {
         return fail("bad queue_capacity");
       }
@@ -909,6 +964,40 @@ Result<NodeConfig> NodeConfig::parse(const std::string& text) {
           } else if (key == "pool_buffers") {
             config.fastpath.pool_buffers =
                 static_cast<std::uint32_t>(std::stoul(value));
+          } else {
+            return fail("unknown attribute '" + key + "'");
+          }
+        } catch (const std::exception&) {
+          return fail("bad value for " + key + ": '" + value + "'");
+        }
+      }
+    } else if (directive == "chaos") {
+      if (saw_chaos) {
+        return fail("duplicate 'chaos' directive (each policy may appear "
+                    "at most once)");
+      }
+      saw_chaos = true;
+      std::string attr;
+      while (fields >> attr) {
+        const auto eq = attr.find('=');
+        if (eq == std::string::npos) {
+          return fail("malformed attribute '" + attr + "'");
+        }
+        const std::string key = attr.substr(0, eq);
+        const std::string value = attr.substr(eq + 1);
+        try {
+          if (key == "seed") {
+            config.chaos.seed = std::stoull(value);
+          } else if (key == "episodes") {
+            config.chaos.episodes =
+                static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "events") {
+            config.chaos.events = static_cast<std::uint32_t>(std::stoul(value));
+          } else if (key == "probes") {
+            if (value != "on" && value != "off") {
+              return fail("probes must be on|off");
+            }
+            config.chaos.probes = value == "on";
           } else {
             return fail("unknown attribute '" + key + "'");
           }

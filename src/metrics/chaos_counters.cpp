@@ -1,0 +1,81 @@
+#include "metrics/chaos_counters.h"
+
+namespace numastream {
+namespace {
+
+struct NamedCounter {
+  const char* name;
+  std::uint64_t ChaosCountersSnapshot::*field;
+};
+
+// One row per counter, in causal order: the weather the mesh injected,
+// then what the explorer learned from running schedules through it.
+constexpr NamedCounter kCounters[] = {
+    {"partitions_cut", &ChaosCountersSnapshot::partitions_cut},
+    {"partitions_healed", &ChaosCountersSnapshot::partitions_healed},
+    {"frames_dropped", &ChaosCountersSnapshot::frames_dropped},
+    {"frames_delayed", &ChaosCountersSnapshot::frames_delayed},
+    {"frames_duplicated", &ChaosCountersSnapshot::frames_duplicated},
+    {"frames_reordered", &ChaosCountersSnapshot::frames_reordered},
+    {"acks_dropped", &ChaosCountersSnapshot::acks_dropped},
+    {"virtual_micros", &ChaosCountersSnapshot::virtual_micros},
+    {"episodes_run", &ChaosCountersSnapshot::episodes_run},
+    {"events_injected", &ChaosCountersSnapshot::events_injected},
+    {"probes_fired", &ChaosCountersSnapshot::probes_fired},
+    {"violations_found", &ChaosCountersSnapshot::violations_found},
+    {"shrink_steps", &ChaosCountersSnapshot::shrink_steps},
+    {"schedules_shrunk", &ChaosCountersSnapshot::schedules_shrunk},
+};
+
+}  // namespace
+
+std::string ChaosCountersSnapshot::to_string() const {
+  std::string out;
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = this->*(counter.field);
+    if (value == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += counter.name;
+    out += "=";
+    out += std::to_string(value);
+  }
+  return out.empty() ? "clean" : out;
+}
+
+ChaosCountersSnapshot ChaosCounters::snapshot() const {
+  ChaosCountersSnapshot s;
+  s.partitions_cut = partitions_cut.load(std::memory_order_relaxed);
+  s.partitions_healed = partitions_healed.load(std::memory_order_relaxed);
+  s.frames_dropped = frames_dropped.load(std::memory_order_relaxed);
+  s.frames_delayed = frames_delayed.load(std::memory_order_relaxed);
+  s.frames_duplicated = frames_duplicated.load(std::memory_order_relaxed);
+  s.frames_reordered = frames_reordered.load(std::memory_order_relaxed);
+  s.acks_dropped = acks_dropped.load(std::memory_order_relaxed);
+  s.virtual_micros = virtual_micros.load(std::memory_order_relaxed);
+  s.episodes_run = episodes_run.load(std::memory_order_relaxed);
+  s.events_injected = events_injected.load(std::memory_order_relaxed);
+  s.probes_fired = probes_fired.load(std::memory_order_relaxed);
+  s.violations_found = violations_found.load(std::memory_order_relaxed);
+  s.shrink_steps = shrink_steps.load(std::memory_order_relaxed);
+  s.schedules_shrunk = schedules_shrunk.load(std::memory_order_relaxed);
+  return s;
+}
+
+TextTable chaos_table(const ChaosCountersSnapshot& snapshot,
+                      bool nonzero_only) {
+  TextTable table({"counter", "count"});
+  for (const auto& counter : kCounters) {
+    const std::uint64_t value = snapshot.*(counter.field);
+    if (nonzero_only && value == 0) {
+      continue;
+    }
+    table.add_row({counter.name, std::to_string(value)});
+  }
+  return table;
+}
+
+}  // namespace numastream

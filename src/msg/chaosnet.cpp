@@ -1,0 +1,261 @@
+#include "msg/chaosnet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/assert.h"
+#include "msg/message.h"
+
+namespace numastream {
+
+void WallChaosClock::advance(std::uint64_t micros) {
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  advanced_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+std::uint64_t WallChaosClock::now_micros() const {
+  return advanced_.load(std::memory_order_relaxed);
+}
+
+void VirtualChaosClock::advance(std::uint64_t micros) {
+  advanced_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+std::uint64_t VirtualChaosClock::now_micros() const {
+  return advanced_.load(std::memory_order_relaxed);
+}
+
+Status ChaosLinkPlan::validate() const {
+  const auto chance_ok = [](double chance) {
+    return chance >= 0.0 && chance <= 1.0;
+  };
+  if (!chance_ok(delay_chance) || !chance_ok(duplicate_chance) ||
+      !chance_ok(reorder_chance)) {
+    return invalid_argument_error(
+        "chaosnet: per-frame chances must be within [0, 1]");
+  }
+  if (delay_chance > 0.0 && delay_micros == 0) {
+    return invalid_argument_error(
+        "chaosnet: delay_chance without delay_micros delays by nothing");
+  }
+  return Status::ok();
+}
+
+ChaosNetMesh::ChaosNetMesh(std::uint32_t endpoints, std::uint64_t seed,
+                           ChaosLinkPlan plan, ChaosClock* clock,
+                           ChaosCounters* counters)
+    : endpoints_(endpoints),
+      plan_(plan),
+      clock_(clock != nullptr ? clock : &default_clock_),
+      counters_(counters),
+      cut_(static_cast<std::size_t>(endpoints) * endpoints, 0) {
+  rng_.reserve(cut_.size());
+  for (std::size_t link = 0; link < cut_.size(); ++link) {
+    // splitmix64 over (seed, link) decorrelates the per-link streams even
+    // for adjacent seeds, the same derivation faulty.h uses per connection.
+    std::uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (link + 1));
+    rng_.emplace_back(splitmix64_next(state));
+  }
+}
+
+std::size_t ChaosNetMesh::index(std::uint32_t from, std::uint32_t to) const {
+  NS_CHECK(from < endpoints_ && to < endpoints_,
+           "chaosnet: endpoint out of range");
+  return static_cast<std::size_t>(from) * endpoints_ + to;
+}
+
+void ChaosNetMesh::partition(std::uint32_t a, std::uint32_t b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cut_[index(a, b)] = 1;
+  cut_[index(b, a)] = 1;
+  if (counters_ != nullptr) {
+    counters_->partitions_cut.fetch_add(2, std::memory_order_relaxed);
+  }
+}
+
+void ChaosNetMesh::partition_one_way(std::uint32_t from, std::uint32_t to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cut_[index(from, to)] = 1;
+  if (counters_ != nullptr) {
+    counters_->partitions_cut.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChaosNetMesh::heal(std::uint32_t a, std::uint32_t b) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cut_[index(a, b)] = 0;
+  cut_[index(b, a)] = 0;
+  if (counters_ != nullptr) {
+    counters_->partitions_healed.fetch_add(2, std::memory_order_relaxed);
+  }
+}
+
+void ChaosNetMesh::heal_all() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto severed = static_cast<std::uint64_t>(
+      std::count(cut_.begin(), cut_.end(), std::uint8_t{1}));
+  std::fill(cut_.begin(), cut_.end(), 0);
+  if (counters_ != nullptr && severed > 0) {
+    counters_->partitions_healed.fetch_add(severed, std::memory_order_relaxed);
+  }
+}
+
+bool ChaosNetMesh::cut(std::uint32_t from, std::uint32_t to) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cut_[index(from, to)] != 0;
+}
+
+ChaosFrameFate ChaosNetMesh::roll(std::uint32_t from, std::uint32_t to) {
+  ChaosFrameFate fate;
+  std::uint64_t delay = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Rng& rng = rng_[index(from, to)];
+    fate.delayed = plan_.delay_chance > 0.0 &&
+                   rng.next_double() < plan_.delay_chance;
+    fate.duplicated = plan_.duplicate_chance > 0.0 &&
+                      rng.next_double() < plan_.duplicate_chance;
+    fate.reordered = plan_.reorder_chance > 0.0 &&
+                     rng.next_double() < plan_.reorder_chance;
+    if (fate.delayed) {
+      delay = plan_.delay_micros;
+    }
+  }
+  if (counters_ != nullptr) {
+    if (fate.delayed) {
+      counters_->frames_delayed.fetch_add(1, std::memory_order_relaxed);
+      counters_->virtual_micros.fetch_add(delay, std::memory_order_relaxed);
+    }
+    if (fate.duplicated) {
+      counters_->frames_duplicated.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (fate.reordered) {
+      counters_->frames_reordered.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (delay > 0) {
+    // Spend the delay outside the mesh lock so a slow wall-clock link
+    // never stalls an unrelated link's roll.
+    clock_->advance(delay);
+  }
+  return fate;
+}
+
+void ChaosNetMesh::note_frame_dropped() {
+  if (counters_ != nullptr) {
+    counters_->frames_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ChaosNetMesh::note_ack_dropped() {
+  if (counters_ != nullptr) {
+    counters_->acks_dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+ChaosByteStream::ChaosByteStream(std::unique_ptr<ByteStream> inner,
+                                 ChaosNetMesh& mesh, std::uint32_t from,
+                                 std::uint32_t to)
+    : inner_(std::move(inner)), mesh_(mesh), from_(from), to_(to) {}
+
+Status ChaosByteStream::write_all(ByteSpan data) {
+  if (mesh_.cut(from_, to_)) {
+    // Connection-level partition: nothing written reaches the peer. The
+    // frame count is approximate here (a cut link drops writes, not
+    // assembled frames), which is what a severed TCP link looks like too.
+    mesh_.note_frame_dropped();
+    return unavailable_error("chaosnet: link " + std::to_string(from_) +
+                             "->" + std::to_string(to_) + " partitioned");
+  }
+  if (!framed_) {
+    return inner_->write_all(data);
+  }
+  pending_.insert(pending_.end(), data.begin(), data.end());
+  while (pending_.size() >= kMessageHeaderSize) {
+    auto header = decode_message_header(
+        ByteSpan(pending_.data(), kMessageHeaderSize));
+    if (!header.ok()) {
+      // Not NSM1 framing (raw payload, a deliberate fuzz, or a transport
+      // that never frames). Frame-granular chaos is meaningless here —
+      // degrade to a transparent pipe for the rest of the stream.
+      framed_ = false;
+      Bytes flush = std::move(pending_);
+      pending_.clear();
+      auto status = flush_held();
+      if (!status.is_ok()) {
+        return status;
+      }
+      return inner_->write_all(flush);
+    }
+    const std::size_t frame_size =
+        kMessageHeaderSize + static_cast<std::size_t>(header.value().body_size);
+    if (pending_.size() < frame_size) {
+      break;  // wait for the rest of the body
+    }
+    Bytes frame(pending_.begin(),
+                pending_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+    auto status = dispatch(std::move(frame));
+    if (!status.is_ok()) {
+      return status;
+    }
+  }
+  return Status::ok();
+}
+
+Status ChaosByteStream::dispatch(Bytes frame) {
+  const ChaosFrameFate fate = mesh_.roll(from_, to_);
+  if (fate.reordered && held_.empty()) {
+    // Park this frame; it goes out after the next one — an adjacent swap,
+    // the unit of reordering a single in-order wire can express.
+    held_ = std::move(frame);
+    return Status::ok();
+  }
+  auto status = emit(frame);
+  if (!status.is_ok()) {
+    return status;
+  }
+  if (fate.duplicated) {
+    status = emit(frame);
+    if (!status.is_ok()) {
+      return status;
+    }
+  }
+  return flush_held();
+}
+
+Status ChaosByteStream::emit(ByteSpan frame) {
+  return inner_->write_all(frame);
+}
+
+Status ChaosByteStream::flush_held() {
+  if (held_.empty()) {
+    return Status::ok();
+  }
+  Bytes frame = std::move(held_);
+  held_.clear();
+  return emit(frame);
+}
+
+Result<std::size_t> ChaosByteStream::read_some(MutableByteSpan out) {
+  return inner_->read_some(out);
+}
+
+void ChaosByteStream::shutdown_write() {
+  // Flush in wire order: the parked frame was already overtaken by
+  // whatever was written since, so it goes first, then any partial bytes.
+  (void)flush_held();
+  if (!pending_.empty()) {
+    Bytes flush = std::move(pending_);
+    pending_.clear();
+    (void)inner_->write_all(flush);
+  }
+  inner_->shutdown_write();
+}
+
+void ChaosByteStream::cancel() noexcept { inner_->cancel(); }
+
+}  // namespace numastream

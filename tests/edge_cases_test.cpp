@@ -175,13 +175,26 @@ TEST(SdfEdgeTest, TruncatedFileDetectedOnRead) {
 
 // ---------------------------------------------------------------- config
 
-TEST(ConfigEdgeTest, DuplicateDirectivesLastOneWins) {
-  auto parsed = NodeConfig::parse(
-      "node first\nnode second\nrole sender\ncodec null\ncodec lz4\n"
+TEST(ConfigEdgeTest, DuplicateDirectivesAreParseErrors) {
+  // Last-one-wins silently masked merge mistakes; every directive now
+  // rejects a second appearance, naming the offender.
+  auto dup_node = NodeConfig::parse(
+      "node first\nnode second\nrole sender\ncodec lz4\n"
       "task compress count=1\ntask send count=1\n");
-  ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ(parsed.value().node_name, "second");
-  EXPECT_EQ(parsed.value().codec_name, "lz4");
+  ASSERT_FALSE(dup_node.ok());
+  EXPECT_EQ(dup_node.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_node.status().message().find("duplicate 'node'"),
+            std::string::npos)
+      << dup_node.status().to_string();
+
+  auto dup_codec = NodeConfig::parse(
+      "node first\nrole sender\ncodec null\ncodec lz4\n"
+      "task compress count=1\ntask send count=1\n");
+  ASSERT_FALSE(dup_codec.ok());
+  EXPECT_EQ(dup_codec.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup_codec.status().message().find("duplicate 'codec'"),
+            std::string::npos)
+      << dup_codec.status().to_string();
 }
 
 TEST(ConfigEdgeTest, WhitespaceAndBlankLinesTolerated) {

@@ -664,6 +664,22 @@ TEST(MessageFuzzTest, MutatedFramesNeverCrashTheDecoder) {
                   << round << ")";
             }
           }
+          // Epoch-forgery check: any surviving HANDOFF body that parses
+          // must re-encode byte-identically — a mutation can never yield a
+          // frame whose parsed phase, epoch or watermark differs from what
+          // the encoder would put on the wire for those values, so the
+          // fence arithmetic downstream always sees what was sent.
+          if (message.value().handoff) {
+            auto info = parse_handoff_body(ByteSpan(
+                message.value().body.data(), message.value().body.size()));
+            if (info.ok()) {
+              const Message reencoded = Message::handoff_frame(
+                  info.value(), message.value().sequence);
+              ASSERT_EQ(reencoded.body, message.value().body)
+                  << "handoff parse/encode asymmetry forged content (round "
+                  << round << ")";
+            }
+          }
         }
       }
     }

@@ -625,6 +625,33 @@ TEST(ChaosHandoffTest, CommitAckMustAdvanceTheEpochFence) {
   EXPECT_EQ(fed.snapshot().handoffs_aborted, 1U);
 }
 
+TEST(ChaosHandoffTest, ForgedHighEpochCannotStealTheFence) {
+  // A source that forges an epoch above anything the standby will actually
+  // grant must not walk away believing it was fenced: the COMMIT promotion
+  // yields a genuine epoch below the forged claim, the advance check
+  // rejects it as data loss, and the fenced hook never fires — a forged
+  // number buys an abort, not an ownership transfer.
+  MemoryJournalMedia replica;
+  FederationCounters fed;
+  StandbySession standby(replica, kSession, &fed);
+  HandoffTarget target(standby, kSession, /*self=*/1, &fed);
+  HandoffLink link(target);
+  HandoffSource source(link, kSession, &fed);
+
+  bool fenced = false;
+  HandoffSource::Hooks hooks;
+  hooks.fenced = [&](std::uint64_t) { fenced = true; };
+  const Status done = source.run(/*stream_id=*/3, /*source=*/0, /*target=*/1,
+                                 /*epoch=*/9001, /*watermark=*/64, hooks);
+  ASSERT_FALSE(done.is_ok());
+  EXPECT_EQ(done.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(fenced);
+  EXPECT_LT(standby.epoch(), 9001U);
+  // Source and target share the counters here, and each side counts the
+  // abort it saw: the source's decision and the target's ABORT frame.
+  EXPECT_EQ(fed.snapshot().handoffs_aborted, 2U);
+}
+
 // The coordinator's pin: a committed handoff overrides the ring while the
 // new owner lives, and degrades to the ring answer the moment it dies.
 TEST(ChaosHandoffTest, HandoffPinFallsBackToTheRingWhenTheOwnerDies) {

@@ -1,0 +1,149 @@
+// chaos_replay: run the chaos explorer, or deterministically re-run a
+// repro bundle it produced (DESIGN.md §16).
+//
+//   chaos_replay explore --seed N [--episodes N] [--events N] [--streams N]
+//                        [--plant-fencing-bug] [--out FILE]
+//       Runs N random-walk episodes. Exit 0: clean sweep. Exit 1: a
+//       violation was found; the shrunk repro bundle is written to FILE
+//       (or stdout) and its summary to stderr. Exit 2: usage error.
+//
+//   chaos_replay replay FILE
+//       Parses a bundle and re-runs it. Exit 0: the bundle's violation was
+//       reproduced exactly (same probe, stream, sequence). Exit 1: the run
+//       did not reproduce it. Exit 2: unreadable or malformed bundle.
+//
+// The explore run prints "episodes=<n> seed=<n>" on success so CI job
+// summaries can echo the coverage actually achieved.
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "check/explorer.h"
+
+namespace {
+
+using numastream::check::ChaosExplorer;
+using numastream::check::ChaosExplorerOptions;
+using numastream::check::ChaosExplorerReport;
+using numastream::check::ReproBundle;
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+      << "  chaos_replay explore --seed N [--episodes N] [--events N]\n"
+      << "                       [--streams N] [--plant-fencing-bug]"
+      << " [--out FILE]\n"
+      << "  chaos_replay replay FILE\n";
+  return 2;
+}
+
+int run_explore(int argc, char** argv) {
+  ChaosExplorerOptions options;
+  std::string out_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](std::uint64_t& target) -> bool {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      try {
+        target = std::stoull(argv[++i]);
+      } catch (const std::exception&) {
+        return false;
+      }
+      return true;
+    };
+    std::uint64_t value = 0;
+    if (arg == "--seed" && next_value(value)) {
+      options.seed = value;
+    } else if (arg == "--episodes" && next_value(value)) {
+      options.episodes = static_cast<std::uint32_t>(value);
+    } else if (arg == "--events" && next_value(value)) {
+      options.events = static_cast<std::uint32_t>(value);
+    } else if (arg == "--streams" && next_value(value)) {
+      options.streams = static_cast<std::uint32_t>(value);
+    } else if (arg == "--plant-fencing-bug") {
+      options.plant_fencing_bug = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "chaos_replay: bad argument '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (options.seed == 0 || options.episodes == 0 || options.events == 0) {
+    std::cerr << "chaos_replay: --seed, --episodes and --events must be"
+              << " nonzero\n";
+    return usage();
+  }
+
+  ChaosExplorer explorer(options);
+  const ChaosExplorerReport report = explorer.explore();
+  std::cout << "episodes=" << report.episodes_run << " seed=" << options.seed
+            << (report.found ? " result=violation" : " result=clean")
+            << "\n";
+  if (!report.found) {
+    return 0;
+  }
+  std::cerr << "chaos_replay: episode " << report.bundle.episode
+            << " violated " << report.bundle.violation.to_string()
+            << "; shrunk " << report.raw_events << " -> "
+            << report.bundle.schedule.size() << " event(s)\n";
+  const std::string text = serialize_bundle(report.bundle);
+  if (out_path.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << text)) {
+      std::cerr << "chaos_replay: cannot write bundle to '" << out_path
+                << "'\n";
+      return 2;
+    }
+    std::cerr << "chaos_replay: bundle written to " << out_path << "\n";
+  }
+  return 1;
+}
+
+int run_replay(int argc, char** argv) {
+  if (argc != 3) {
+    return usage();
+  }
+  std::ifstream in(argv[2], std::ios::binary);
+  if (!in) {
+    std::cerr << "chaos_replay: cannot read '" << argv[2] << "'\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  auto bundle = numastream::check::parse_bundle(text.str());
+  if (!bundle.ok()) {
+    std::cerr << "chaos_replay: " << bundle.status().message() << "\n";
+    return 2;
+  }
+  const numastream::Status replayed = ChaosExplorer::replay(bundle.value());
+  if (replayed.is_ok()) {
+    std::cout << "reproduced " << bundle.value().violation.to_string()
+              << " with " << bundle.value().schedule.size() << " event(s)\n";
+    return 0;
+  }
+  std::cerr << "chaos_replay: " << replayed.message() << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  if (std::strcmp(argv[1], "explore") == 0) {
+    return run_explore(argc, argv);
+  }
+  if (std::strcmp(argv[1], "replay") == 0) {
+    return run_replay(argc, argv);
+  }
+  return usage();
+}
